@@ -1,0 +1,39 @@
+//! Fig. 3 — preprocessing throughput and GPU utilization vs the number of
+//! co-located CPU cores (RM5, one A100).
+
+use presto_bench::{banner, print_table};
+use presto_core::experiments::fig3;
+use presto_datagen::RmConfig;
+use presto_metrics::{percent, samples_per_sec, TextTable};
+
+fn main() {
+    banner(
+        "Fig. 3: co-located preprocessing scaling (RM5, 1x A100)",
+        "~15x throughput scaling from 1 to 16 workers; <20% GPU utilization at 16",
+    );
+    let (points, max_tput) = fig3(&RmConfig::rm5());
+    let mut t = TextTable::new(vec![
+        "CPU cores",
+        "preproc throughput (samples/s)",
+        "GPU utilization",
+    ]);
+    for p in &points {
+        t.row(vec![
+            p.cores.to_string(),
+            samples_per_sec(p.preprocess_throughput),
+            percent(p.gpu_utilization),
+        ]);
+    }
+    print_table(&t);
+    println!(
+        "max training throughput (dotted line): {} samples/s",
+        samples_per_sec(max_tput)
+    );
+    let first = &points[0];
+    let last = points.last().expect("non-empty sweep");
+    println!(
+        "scaling 1 -> 16 workers: {:.1}x (paper: ~15x); GPU utilization at 16: {} (paper: <20%)",
+        last.preprocess_throughput / first.preprocess_throughput,
+        percent(last.gpu_utilization),
+    );
+}

@@ -1,0 +1,39 @@
+//! Fig. 5 — latency to preprocess one mini-batch with a single CPU worker,
+//! broken into pipeline stages, normalized to RM1.
+
+use presto_bench::{banner, breakdown_header, breakdown_row, print_table};
+use presto_core::experiments::fig5;
+use presto_metrics::TextTable;
+
+fn main() {
+    banner(
+        "Fig. 5: single-worker preprocessing latency breakdown (Disagg)",
+        "transform ops = 79% of time on average; RM5 ~14x RM1; compute-bound, not I/O-bound",
+    );
+    let rows = fig5();
+    let rm1_total = rows[0].1.total().seconds();
+
+    let mut t = TextTable::new(breakdown_header());
+    for (model, b) in &rows {
+        t.row(breakdown_row(model, b));
+    }
+    print_table(&t);
+
+    let mut norm = TextTable::new(vec!["model", "normalized to RM1", "transform share"]);
+    let mut shares = Vec::new();
+    for (model, b) in &rows {
+        shares.push(b.transform_fraction());
+        norm.row(vec![
+            model.clone(),
+            format!("{:.1}x", b.total().seconds() / rm1_total),
+            format!("{:.1}%", 100.0 * b.transform_fraction()),
+        ]);
+    }
+    print_table(&norm);
+    let mean = shares.iter().sum::<f64>() / shares.len() as f64;
+    println!(
+        "mean transform share: {:.1}% (paper: 79%); RM5/RM1: {:.1}x (paper: ~14x)",
+        100.0 * mean,
+        rows[4].1.total().seconds() / rm1_total
+    );
+}

@@ -1,0 +1,32 @@
+//! Fig. 11 — preprocessing throughput of PreSto (one SmartSSD) vs
+//! Disagg(N), normalized to Disagg(1).
+
+use presto_bench::{banner, print_table};
+use presto_core::experiments::fig11;
+use presto_metrics::TextTable;
+
+fn main() {
+    banner(
+        "Fig. 11: throughput, PreSto (1 SmartSSD) vs Disagg(N) [normalized to Disagg(1)]",
+        "one SmartSSD beats 32 CPU cores; Disagg(64) wins back by ~27% at 2x the cost",
+    );
+    let groups = fig11();
+    let header: Vec<String> = std::iter::once("model".to_owned())
+        .chain(groups[0].bars.iter().map(|(n, _)| n.clone()))
+        .collect();
+    let mut t = TextTable::new(header);
+    for g in &groups {
+        let mut row = vec![g.model.clone()];
+        row.extend(g.bars.iter().map(|(_, v)| format!("{v:.1}")));
+        t.row(row);
+    }
+    print_table(&t);
+    let mut ratios = Vec::new();
+    for g in &groups {
+        let d64 = g.bars.iter().find(|(n, _)| n == "Disagg(64)").expect("d64").1;
+        let presto = g.bars.iter().find(|(n, _)| n.contains("PreSto")).expect("presto").1;
+        ratios.push(d64 / presto);
+    }
+    let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    println!("Disagg(64) / PreSto mean: {mean:.2}x (paper: ~1.27x)");
+}

@@ -1,0 +1,35 @@
+//! Fig. 12 — single-worker latency breakdown, Disagg vs PreSto, plus the
+//! end-to-end preprocessing speedup.
+
+use presto_bench::{banner, breakdown_header, breakdown_row, print_table};
+use presto_core::experiments::fig12;
+use presto_metrics::TextTable;
+
+fn main() {
+    banner(
+        "Fig. 12: latency breakdown and speedup, Disagg vs PreSto",
+        "9.6x average / 11.6x max speedup; Extract = 40.8% of PreSto's time",
+    );
+    let groups = fig12();
+    let mut t = TextTable::new(breakdown_header());
+    for g in &groups {
+        t.row(breakdown_row(&format!("{} Disagg", g.model), &g.disagg));
+        t.row(breakdown_row(&format!("{} PreSto", g.model), &g.presto));
+    }
+    print_table(&t);
+
+    let mut s = TextTable::new(vec!["model", "speedup", "PreSto extract share"]);
+    let mut speedups = Vec::new();
+    for g in &groups {
+        speedups.push(g.speedup);
+        s.row(vec![
+            g.model.clone(),
+            format!("{:.1}x", g.speedup),
+            format!("{:.1}%", 100.0 * g.presto.extract_fraction()),
+        ]);
+    }
+    print_table(&s);
+    let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    let max = speedups.iter().fold(0.0f64, |a, &b| a.max(b));
+    println!("mean speedup {mean:.1}x (paper 9.6x); max {max:.1}x (paper 11.6x)");
+}

@@ -1,0 +1,40 @@
+//! Fig. 13 — aggregate latency of RPC calls for inter-node communication
+//! during preprocessing.
+
+use presto_bench::{banner, print_table};
+use presto_core::experiments::fig13;
+use presto_metrics::TextTable;
+
+fn main() {
+    banner(
+        "Fig. 13: aggregate RPC / inter-node communication time per mini-batch",
+        "PreSto reduces RPC-invoked inter-node communication time by ~2.9x",
+    );
+    let rows = fig13();
+    let base = rows[0].1.seconds();
+    let mut t = TextTable::new(vec![
+        "model",
+        "Disagg (ms)",
+        "PreSto (ms)",
+        "Disagg (norm. to RM1 Disagg)",
+        "PreSto (norm.)",
+        "reduction",
+    ]);
+    let mut reductions = Vec::new();
+    for (model, disagg, presto) in &rows {
+        reductions.push(disagg.seconds() / presto.seconds());
+        t.row(vec![
+            model.clone(),
+            format!("{:.1}", disagg.millis()),
+            format!("{:.1}", presto.millis()),
+            format!("{:.2}", disagg.seconds() / base),
+            format!("{:.2}", presto.seconds() / base),
+            format!("{:.1}x", disagg.seconds() / presto.seconds()),
+        ]);
+    }
+    print_table(&t);
+    let mean = reductions.iter().sum::<f64>() / reductions.len() as f64;
+    println!("mean RPC-time reduction: {mean:.1}x (paper: 2.9x)");
+    println!("Disagg copies raw features in and tensors out; PreSto only ships");
+    println!("train-ready tensors because extraction is P2P inside the SmartSSD.");
+}

@@ -1,0 +1,47 @@
+//! Fig. 15 — energy-efficiency (a) and cost-efficiency (b) of PreSto vs
+//! the Disagg baseline at deployment scale.
+
+use presto_bench::{banner, print_table};
+use presto_metrics::efficiency::{fig15, mean};
+use presto_metrics::TextTable;
+
+fn main() {
+    banner(
+        "Fig. 15: energy-efficiency and cost-efficiency (8x A100 demand, 3-year TCO)",
+        "11.3x avg / 15.1x max energy-efficiency; 4.3x avg / 5.6x max cost-efficiency",
+    );
+    let rows = fig15();
+    let mut t = TextTable::new(vec![
+        "model",
+        "Disagg power (W)",
+        "PreSto power (W)",
+        "energy-eff gain",
+        "Disagg cost ($)",
+        "PreSto cost ($)",
+        "cost-eff gain",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.model.clone(),
+            format!("{:.0}", r.disagg.power.raw()),
+            format!("{:.0}", r.presto.power.raw()),
+            format!("{:.1}x", r.energy_efficiency_gain),
+            format!("{:.0}", r.disagg.total_cost_usd()),
+            format!("{:.0}", r.presto.total_cost_usd()),
+            format!("{:.1}x", r.cost_efficiency_gain),
+        ]);
+    }
+    print_table(&t);
+    let e: Vec<f64> = rows.iter().map(|r| r.energy_efficiency_gain).collect();
+    let c: Vec<f64> = rows.iter().map(|r| r.cost_efficiency_gain).collect();
+    println!(
+        "energy-efficiency: mean {:.1}x, max {:.1}x (paper: 11.3x / 15.1x)",
+        mean(&e),
+        e.iter().fold(0.0f64, |a, &b| a.max(b))
+    );
+    println!(
+        "cost-efficiency:   mean {:.1}x, max {:.1}x (paper: 4.3x / 5.6x)",
+        mean(&c),
+        c.iter().fold(0.0f64, |a, &b| a.max(b))
+    );
+}

@@ -1,0 +1,256 @@
+//! In-memory typed column data.
+//!
+//! [`Array`] is what decoders produce and what the preprocessing kernels in
+//! `presto-ops` consume. Sparse features use a jagged layout (`offsets` +
+//! flat `values`), matching how TorchRec's `KeyedJaggedTensor` stores
+//! variable-length categorical features.
+
+use crate::error::{ColumnarError, Result};
+use crate::schema::DataType;
+
+/// A column of values of a single [`DataType`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Array {
+    /// 64-bit integers.
+    Int64(Vec<i64>),
+    /// 32-bit floats.
+    Float32(Vec<f32>),
+    /// 64-bit floats.
+    Float64(Vec<f64>),
+    /// Jagged lists of 64-bit ids: row `i` spans
+    /// `values[offsets[i] as usize..offsets[i + 1] as usize]`.
+    ListInt64 {
+        /// `len() == row_count + 1`, starts at 0, non-decreasing.
+        offsets: Vec<u32>,
+        /// Flattened list elements.
+        values: Vec<i64>,
+    },
+}
+
+impl Array {
+    /// Creates an empty array of the given type.
+    #[must_use]
+    pub fn empty(data_type: DataType) -> Self {
+        match data_type {
+            DataType::Int64 => Array::Int64(Vec::new()),
+            DataType::Float32 => Array::Float32(Vec::new()),
+            DataType::Float64 => Array::Float64(Vec::new()),
+            DataType::ListInt64 => Array::ListInt64 { offsets: vec![0], values: Vec::new() },
+        }
+    }
+
+    /// Builds a jagged list array from per-row lists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ColumnarError::ValueOutOfRange`] if the flattened length
+    /// exceeds `u32::MAX`.
+    pub fn from_lists<I, L>(lists: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = L>,
+        L: AsRef<[i64]>,
+    {
+        let mut offsets = vec![0u32];
+        let mut values = Vec::new();
+        for list in lists {
+            values.extend_from_slice(list.as_ref());
+            let end = u32::try_from(values.len()).map_err(|_| ColumnarError::ValueOutOfRange {
+                detail: "jagged array exceeds u32::MAX elements".into(),
+            })?;
+            offsets.push(end);
+        }
+        Ok(Array::ListInt64 { offsets, values })
+    }
+
+    /// The array's data type.
+    #[must_use]
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Array::Int64(_) => DataType::Int64,
+            Array::Float32(_) => DataType::Float32,
+            Array::Float64(_) => DataType::Float64,
+            Array::ListInt64 { .. } => DataType::ListInt64,
+        }
+    }
+
+    /// Number of rows (for lists: number of lists, not elements).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            Array::Int64(v) => v.len(),
+            Array::Float32(v) => v.len(),
+            Array::Float64(v) => v.len(),
+            Array::ListInt64 { offsets, .. } => offsets.len().saturating_sub(1),
+        }
+    }
+
+    /// True when the array holds no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of scalar elements (for lists: flattened length).
+    #[must_use]
+    pub fn element_count(&self) -> usize {
+        match self {
+            Array::Int64(v) => v.len(),
+            Array::Float32(v) => v.len(),
+            Array::Float64(v) => v.len(),
+            Array::ListInt64 { values, .. } => values.len(),
+        }
+    }
+
+    /// Approximate in-memory footprint in bytes, used for sizing estimates.
+    #[must_use]
+    pub fn byte_size(&self) -> usize {
+        match self {
+            Array::Int64(v) => v.len() * 8,
+            Array::Float32(v) => v.len() * 4,
+            Array::Float64(v) => v.len() * 8,
+            Array::ListInt64 { offsets, values } => offsets.len() * 4 + values.len() * 8,
+        }
+    }
+
+    /// Borrows the `i64` values; `None` for other types.
+    #[must_use]
+    pub fn as_int64(&self) -> Option<&[i64]> {
+        match self {
+            Array::Int64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrows the `f32` values; `None` for other types.
+    #[must_use]
+    pub fn as_float32(&self) -> Option<&[f32]> {
+        match self {
+            Array::Float32(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrows the `f64` values; `None` for other types.
+    #[must_use]
+    pub fn as_float64(&self) -> Option<&[f64]> {
+        match self {
+            Array::Float64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrows `(offsets, values)` of a jagged array; `None` for other types.
+    #[must_use]
+    pub fn as_list_int64(&self) -> Option<(&[u32], &[i64])> {
+        match self {
+            Array::ListInt64 { offsets, values } => Some((offsets, values)),
+            _ => None,
+        }
+    }
+
+    /// Returns row `row` of a jagged array as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array is not `ListInt64` or `row` is out of range.
+    #[must_use]
+    pub fn list_at(&self, row: usize) -> &[i64] {
+        let (offsets, values) = self.as_list_int64().expect("list_at on non-list array");
+        let start = offsets[row] as usize;
+        let end = offsets[row + 1] as usize;
+        &values[start..end]
+    }
+
+    /// Validates internal invariants (offset monotonicity, bounds).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ColumnarError::CorruptFile`] describing the violated
+    /// invariant.
+    pub fn validate(&self) -> Result<()> {
+        if let Array::ListInt64 { offsets, values } = self {
+            if offsets.is_empty() {
+                return Err(ColumnarError::CorruptFile {
+                    detail: "jagged array with empty offsets".into(),
+                });
+            }
+            if offsets[0] != 0 {
+                return Err(ColumnarError::CorruptFile {
+                    detail: format!("jagged offsets start at {} instead of 0", offsets[0]),
+                });
+            }
+            for w in offsets.windows(2) {
+                if w[1] < w[0] {
+                    return Err(ColumnarError::CorruptFile {
+                        detail: format!("jagged offsets decrease: {} -> {}", w[0], w[1]),
+                    });
+                }
+            }
+            let last = *offsets.last().expect("non-empty") as usize;
+            if last != values.len() {
+                return Err(ColumnarError::CountMismatch { declared: last, actual: values.len() });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_arrays_have_zero_rows() {
+        for dt in [DataType::Int64, DataType::Float32, DataType::Float64, DataType::ListInt64] {
+            let a = Array::empty(dt);
+            assert_eq!(a.len(), 0);
+            assert!(a.is_empty());
+            assert_eq!(a.data_type(), dt);
+            a.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn from_lists_builds_offsets() {
+        let a = Array::from_lists([vec![1i64, 2], vec![], vec![3, 4, 5]]).unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.element_count(), 5);
+        assert_eq!(a.list_at(0), &[1, 2]);
+        assert_eq!(a.list_at(1), &[] as &[i64]);
+        assert_eq!(a.list_at(2), &[3, 4, 5]);
+        a.validate().unwrap();
+    }
+
+    #[test]
+    fn accessors_return_none_for_wrong_type() {
+        let a = Array::Int64(vec![1]);
+        assert!(a.as_float32().is_none());
+        assert!(a.as_list_int64().is_none());
+        assert_eq!(a.as_int64().unwrap(), &[1]);
+    }
+
+    #[test]
+    fn validate_catches_decreasing_offsets() {
+        let a = Array::ListInt64 { offsets: vec![0, 5, 3], values: vec![0; 5] };
+        assert!(a.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_offset_value_mismatch() {
+        let a = Array::ListInt64 { offsets: vec![0, 2], values: vec![1, 2, 3] };
+        assert!(matches!(a.validate(), Err(ColumnarError::CountMismatch { .. })));
+    }
+
+    #[test]
+    fn validate_catches_nonzero_start() {
+        let a = Array::ListInt64 { offsets: vec![1, 3], values: vec![1, 2, 3] };
+        assert!(a.validate().is_err());
+    }
+
+    #[test]
+    fn byte_size_counts_offsets_and_values() {
+        let a = Array::from_lists([vec![1i64, 2, 3]]).unwrap();
+        assert_eq!(a.byte_size(), 2 * 4 + 3 * 8);
+    }
+}

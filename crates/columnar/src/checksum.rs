@@ -1,0 +1,100 @@
+//! CRC-32 (IEEE 802.3 polynomial) used to protect page payloads and footers.
+//!
+//! Implemented with a lazily built 256-entry lookup table; no external crate
+//! needed.
+
+/// Computes the CRC-32 of `data` (IEEE polynomial, reflected, init `!0`).
+#[must_use]
+pub fn crc32(data: &[u8]) -> u32 {
+    let table = table();
+    let mut crc = !0u32;
+    for &byte in data {
+        let idx = ((crc ^ u32::from(byte)) & 0xff) as usize;
+        crc = (crc >> 8) ^ table[idx];
+    }
+    !crc
+}
+
+/// Incremental CRC-32 hasher for multi-part payloads.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Creates a fresh hasher.
+    #[must_use]
+    pub fn new() -> Self {
+        Crc32 { state: !0 }
+    }
+
+    /// Feeds `data` into the hasher.
+    pub fn update(&mut self, data: &[u8]) {
+        let table = table();
+        for &byte in data {
+            let idx = ((self.state ^ u32::from(byte)) & 0xff) as usize;
+            self.state = (self.state >> 8) ^ table[idx];
+        }
+    }
+
+    /// Finishes and returns the checksum.
+    #[must_use]
+    pub fn finalize(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 { (crc >> 1) ^ 0xedb8_8320 } else { crc >> 1 };
+            }
+            *entry = crc;
+        }
+        table
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC-32 test vectors.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414f_a339);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data = b"hello columnar world";
+        let mut h = Crc32::new();
+        h.update(&data[..5]);
+        h.update(&data[5..]);
+        assert_eq!(h.finalize(), crc32(data));
+    }
+
+    #[test]
+    fn different_data_different_crc() {
+        assert_ne!(crc32(b"abc"), crc32(b"abd"));
+        assert_ne!(crc32(&[0]), crc32(&[0, 0]));
+    }
+
+    #[test]
+    fn default_equals_new() {
+        assert_eq!(Crc32::default().finalize(), Crc32::new().finalize());
+    }
+}

@@ -1,0 +1,217 @@
+//! Column chunks: a column's worth of pages for one row group.
+
+use crate::array::Array;
+use crate::compress::Compression;
+use crate::encoding::varint;
+use crate::error::{ColumnarError, Result};
+use crate::page::{self, DEFAULT_PAGE_ROWS};
+use crate::schema::DataType;
+use crate::stats::ColumnStats;
+
+/// Slices `rows` rows starting at `start` out of an array.
+///
+/// For jagged arrays the offsets are rebased to start at zero.
+///
+/// # Panics
+///
+/// Panics when the range is out of bounds; callers slice by page size.
+#[must_use]
+pub fn slice_array(array: &Array, start: usize, rows: usize) -> Array {
+    match array {
+        Array::Int64(v) => Array::Int64(v[start..start + rows].to_vec()),
+        Array::Float32(v) => Array::Float32(v[start..start + rows].to_vec()),
+        Array::Float64(v) => Array::Float64(v[start..start + rows].to_vec()),
+        Array::ListInt64 { offsets, values } => {
+            let base = offsets[start];
+            let end = offsets[start + rows];
+            let new_offsets: Vec<u32> =
+                offsets[start..=start + rows].iter().map(|&o| o - base).collect();
+            let new_values = values[base as usize..end as usize].to_vec();
+            Array::ListInt64 { offsets: new_offsets, values: new_values }
+        }
+    }
+}
+
+/// Concatenates arrays of the same type into one.
+///
+/// # Errors
+///
+/// Returns [`ColumnarError::InvalidSchema`] when types differ, or
+/// [`ColumnarError::ValueOutOfRange`] when jagged offsets overflow `u32`.
+pub fn concat_arrays(parts: &[Array]) -> Result<Array> {
+    let Some(first) = parts.first() else {
+        return Err(ColumnarError::InvalidSchema { detail: "concat of zero arrays".into() });
+    };
+    let dt = first.data_type();
+    if parts.iter().any(|p| p.data_type() != dt) {
+        return Err(ColumnarError::InvalidSchema {
+            detail: "concat of arrays with differing types".into(),
+        });
+    }
+    match dt {
+        DataType::Int64 => {
+            let mut out = Vec::new();
+            for p in parts {
+                out.extend_from_slice(p.as_int64().expect("checked type"));
+            }
+            Ok(Array::Int64(out))
+        }
+        DataType::Float32 => {
+            let mut out = Vec::new();
+            for p in parts {
+                out.extend_from_slice(p.as_float32().expect("checked type"));
+            }
+            Ok(Array::Float32(out))
+        }
+        DataType::Float64 => {
+            let mut out = Vec::new();
+            for p in parts {
+                out.extend_from_slice(p.as_float64().expect("checked type"));
+            }
+            Ok(Array::Float64(out))
+        }
+        DataType::ListInt64 => {
+            let mut offsets = vec![0u32];
+            let mut values: Vec<i64> = Vec::new();
+            for p in parts {
+                let (po, pv) = p.as_list_int64().expect("checked type");
+                let base = values.len() as u64;
+                for &o in &po[1..] {
+                    let off = base + u64::from(o);
+                    let off = u32::try_from(off).map_err(|_| ColumnarError::ValueOutOfRange {
+                        detail: "concatenated jagged array overflows u32 offsets".into(),
+                    })?;
+                    offsets.push(off);
+                }
+                values.extend_from_slice(pv);
+            }
+            Ok(Array::ListInt64 { offsets, values })
+        }
+    }
+}
+
+/// Writes `array` as a column chunk (page count + pages), returning its stats.
+///
+/// # Errors
+///
+/// Propagates page encoding failures.
+pub fn write_chunk(array: &Array, page_rows: usize, out: &mut Vec<u8>) -> Result<ColumnStats> {
+    write_chunk_compressed(array, page_rows, Compression::None, out)
+}
+
+/// Like [`write_chunk`] with per-page payload compression.
+///
+/// # Errors
+///
+/// Propagates page encoding failures.
+pub fn write_chunk_compressed(
+    array: &Array,
+    page_rows: usize,
+    compression: Compression,
+    out: &mut Vec<u8>,
+) -> Result<ColumnStats> {
+    let page_rows = page_rows.max(1);
+    let rows = array.len();
+    let n_pages = rows.div_ceil(page_rows).max(1);
+    varint::write_u64(out, n_pages as u64);
+    let mut start = 0usize;
+    for _ in 0..n_pages {
+        let take = page_rows.min(rows - start);
+        let page_arr = slice_array(array, start, take);
+        page::write_page_with(&page_arr, compression, out)?;
+        start += take;
+    }
+    Ok(ColumnStats::from_array(array))
+}
+
+/// Reads a column chunk written by [`write_chunk`].
+///
+/// # Errors
+///
+/// Propagates page decode failures.
+pub fn read_chunk(buf: &[u8], pos: &mut usize, data_type: DataType) -> Result<Array> {
+    let n_pages = varint::read_u64(buf, pos)? as usize;
+    let mut parts = Vec::with_capacity(n_pages);
+    for _ in 0..n_pages {
+        parts.push(page::read_page(buf, pos, data_type)?);
+    }
+    concat_arrays(&parts)
+}
+
+/// Convenience wrapper using [`DEFAULT_PAGE_ROWS`].
+///
+/// # Errors
+///
+/// Same as [`write_chunk`].
+pub fn write_chunk_default(array: &Array, out: &mut Vec<u8>) -> Result<ColumnStats> {
+    write_chunk(array, DEFAULT_PAGE_ROWS, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk_roundtrip(array: Array, page_rows: usize) {
+        let mut buf = Vec::new();
+        let stats = write_chunk(&array, page_rows, &mut buf).unwrap();
+        assert_eq!(stats.rows, array.len() as u64);
+        let mut pos = 0;
+        let back = read_chunk(&buf, &mut pos, array.data_type()).unwrap();
+        assert_eq!(back, array);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn multi_page_int_chunk() {
+        chunk_roundtrip(Array::Int64((0..10_000).collect()), 1024);
+    }
+
+    #[test]
+    fn multi_page_list_chunk() {
+        let lists: Vec<Vec<i64>> = (0..3000).map(|i| vec![i as i64; (i % 5) + 1]).collect();
+        chunk_roundtrip(Array::from_lists(lists).unwrap(), 512);
+    }
+
+    #[test]
+    fn single_row_pages() {
+        chunk_roundtrip(Array::Float32(vec![1.0, 2.0, 3.0]), 1);
+    }
+
+    #[test]
+    fn empty_chunk_roundtrips() {
+        chunk_roundtrip(Array::Int64(vec![]), 4096);
+        chunk_roundtrip(Array::from_lists(Vec::<Vec<i64>>::new()).unwrap(), 4096);
+    }
+
+    #[test]
+    fn slice_rebases_jagged_offsets() {
+        let a = Array::from_lists([vec![1i64], vec![2, 3], vec![4, 5, 6], vec![]]).unwrap();
+        let s = slice_array(&a, 1, 2);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.list_at(0), &[2, 3]);
+        assert_eq!(s.list_at(1), &[4, 5, 6]);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn concat_rejects_mixed_types() {
+        let err =
+            concat_arrays(&[Array::Int64(vec![1]), Array::Float32(vec![1.0])]).unwrap_err();
+        assert!(matches!(err, ColumnarError::InvalidSchema { .. }));
+    }
+
+    #[test]
+    fn concat_of_lists_preserves_rows() {
+        let a = Array::from_lists([vec![1i64], vec![2, 3]]).unwrap();
+        let b = Array::from_lists([vec![], vec![4i64, 5]]).unwrap();
+        let c = concat_arrays(&[a, b]).unwrap();
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.list_at(3), &[4, 5]);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn zero_page_rows_is_clamped() {
+        chunk_roundtrip(Array::Int64(vec![5, 6]), 0);
+    }
+}

@@ -1,0 +1,296 @@
+//! Page compression: a self-contained LZ77-family byte codec.
+//!
+//! Parquet compresses page payloads (Snappy/ZSTD); this crate provides the
+//! same capability without external dependencies. The format is a greedy
+//! LZ with a 64 KiB window and hash-chained match finding — structurally a
+//! simplified LZ4:
+//!
+//! ```text
+//! stream  := varint(uncompressed_len) token*
+//! token   := literal_run | match
+//! literal_run := 0x00 varint(len) byte{len}
+//! match       := 0x01 varint(distance) varint(len)      ; len >= 4
+//! ```
+//!
+//! The encoder always terminates and never expands data by more than the
+//! token framing (a few bytes per 64 KiB in the worst case); `decompress`
+//! validates every reference and length.
+
+use crate::encoding::varint;
+use crate::error::{ColumnarError, Result};
+
+/// Minimum match length worth encoding.
+const MIN_MATCH: usize = 4;
+/// Maximum back-reference distance (window size).
+const WINDOW: usize = 64 * 1024;
+/// Hash table size (power of two).
+const HASH_SIZE: usize = 1 << 14;
+
+/// Codec selector stored in file metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum Compression {
+    /// No compression (the default).
+    #[default]
+    None,
+    /// The built-in LZ codec.
+    Lz,
+}
+
+impl Compression {
+    /// Stable on-disk tag.
+    pub(crate) fn to_tag(self) -> u8 {
+        match self {
+            Compression::None => 0,
+            Compression::Lz => 1,
+        }
+    }
+
+    /// Inverse of [`Compression::to_tag`].
+    pub(crate) fn from_tag(tag: u8) -> Result<Self> {
+        match tag {
+            0 => Ok(Compression::None),
+            1 => Ok(Compression::Lz),
+            other => Err(ColumnarError::CorruptFile {
+                detail: format!("unknown compression tag {other}"),
+            }),
+        }
+    }
+}
+
+fn hash4(data: &[u8]) -> usize {
+    let v = u32::from_le_bytes([data[0], data[1], data[2], data[3]]);
+    (v.wrapping_mul(0x9e37_79b1) >> (32 - 14)) as usize & (HASH_SIZE - 1)
+}
+
+/// Compresses `input` with the LZ codec.
+#[must_use]
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    varint::write_u64(&mut out, input.len() as u64);
+    let mut head = vec![usize::MAX; HASH_SIZE];
+
+    let mut pos = 0usize;
+    let mut literal_start = 0usize;
+    while pos + MIN_MATCH <= input.len() {
+        let h = hash4(&input[pos..]);
+        let candidate = head[h];
+        head[h] = pos;
+        let matched = if candidate != usize::MAX
+            && pos - candidate <= WINDOW
+            && input[candidate..candidate + MIN_MATCH] == input[pos..pos + MIN_MATCH]
+        {
+            // Extend the match greedily.
+            let mut len = MIN_MATCH;
+            while pos + len < input.len() && input[candidate + len] == input[pos + len] {
+                len += 1;
+            }
+            Some((pos - candidate, len))
+        } else {
+            None
+        };
+        if let Some((distance, len)) = matched {
+            flush_literals(&input[literal_start..pos], &mut out);
+            out.push(0x01);
+            varint::write_u64(&mut out, distance as u64);
+            varint::write_u64(&mut out, len as u64);
+            // Index a few positions inside the match so later data can
+            // still find it (cheap partial indexing).
+            let step = (len / 4).max(1);
+            let mut p = pos + 1;
+            while p + MIN_MATCH <= input.len() && p < pos + len {
+                head[hash4(&input[p..])] = p;
+                p += step;
+            }
+            pos += len;
+            literal_start = pos;
+        } else {
+            pos += 1;
+        }
+    }
+    flush_literals(&input[literal_start..], &mut out);
+    out
+}
+
+fn flush_literals(literals: &[u8], out: &mut Vec<u8>) {
+    if literals.is_empty() {
+        return;
+    }
+    out.push(0x00);
+    varint::write_u64(out, literals.len() as u64);
+    out.extend_from_slice(literals);
+}
+
+/// Decompresses a stream produced by [`compress`].
+///
+/// # Errors
+///
+/// Returns [`ColumnarError::CorruptFile`] on invalid tokens, bad
+/// back-references or length mismatches, and
+/// [`ColumnarError::UnexpectedEof`] on truncation.
+pub fn decompress(input: &[u8]) -> Result<Vec<u8>> {
+    let mut pos = 0usize;
+    let expected = varint::read_u64(input, &mut pos)? as usize;
+    let mut out = Vec::with_capacity(expected);
+    while pos < input.len() {
+        let token = input[pos];
+        pos += 1;
+        match token {
+            0x00 => {
+                let len = varint::read_u64(input, &mut pos)? as usize;
+                if input.len() < pos + len {
+                    return Err(ColumnarError::UnexpectedEof { context: "lz literal run" });
+                }
+                out.extend_from_slice(&input[pos..pos + len]);
+                pos += len;
+            }
+            0x01 => {
+                let distance = varint::read_u64(input, &mut pos)? as usize;
+                let len = varint::read_u64(input, &mut pos)? as usize;
+                if distance == 0 || distance > out.len() {
+                    return Err(ColumnarError::CorruptFile {
+                        detail: format!(
+                            "lz back-reference distance {distance} at output length {}",
+                            out.len()
+                        ),
+                    });
+                }
+                if len < MIN_MATCH {
+                    return Err(ColumnarError::CorruptFile {
+                        detail: format!("lz match of length {len} below minimum"),
+                    });
+                }
+                // Overlapping copies are legal (distance < len).
+                let start = out.len() - distance;
+                for i in 0..len {
+                    let byte = out[start + i];
+                    out.push(byte);
+                }
+            }
+            other => {
+                return Err(ColumnarError::CorruptFile {
+                    detail: format!("unknown lz token {other:#04x}"),
+                });
+            }
+        }
+        if out.len() > expected {
+            return Err(ColumnarError::CountMismatch { declared: expected, actual: out.len() });
+        }
+    }
+    if out.len() != expected {
+        return Err(ColumnarError::CountMismatch { declared: expected, actual: out.len() });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> usize {
+        let packed = compress(data);
+        assert_eq!(decompress(&packed).unwrap(), data);
+        packed.len()
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"abc");
+        roundtrip(b"abcd");
+    }
+
+    #[test]
+    fn repetitive_data_compresses_well() {
+        let data: Vec<u8> = b"presto".iter().copied().cycle().take(60_000).collect();
+        let packed = roundtrip(&data);
+        assert!(packed < data.len() / 20, "{packed} of {}", data.len());
+    }
+
+    #[test]
+    fn run_of_one_byte_uses_overlapping_match() {
+        let data = vec![0x5a; 100_000];
+        let packed = roundtrip(&data);
+        assert!(packed < 64, "single-byte run took {packed} bytes");
+    }
+
+    #[test]
+    fn incompressible_data_grows_only_slightly() {
+        // Pseudo-random bytes: no matches to find.
+        let mut x = 0x12345678u32;
+        let data: Vec<u8> = (0..10_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                x as u8
+            })
+            .collect();
+        let packed = roundtrip(&data);
+        assert!(packed <= data.len() + 16, "{packed} of {}", data.len());
+    }
+
+    #[test]
+    fn structured_columnar_bytes_compress() {
+        // Delta-encoded-looking data: small varints with patterns.
+        let mut data = Vec::new();
+        for i in 0..20_000u32 {
+            data.extend_from_slice(&(i % 256).to_le_bytes());
+        }
+        let packed = roundtrip(&data);
+        assert!(packed < data.len() / 4, "{packed} of {}", data.len());
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let data: Vec<u8> = (0..1000u32).flat_map(|i| (i % 7).to_le_bytes()).collect();
+        let packed = compress(&data);
+        for cut in 1..packed.len().min(64) {
+            assert!(decompress(&packed[..cut]).is_err(), "cut {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn corrupt_tokens_are_rejected() {
+        let mut packed = compress(b"hello hello hello hello");
+        // Token byte lives after the length varint; find and trash it.
+        packed[1] = 0x7f;
+        assert!(decompress(&packed).is_err());
+    }
+
+    #[test]
+    fn bad_backreference_is_rejected() {
+        let mut out = Vec::new();
+        varint::write_u64(&mut out, 10);
+        out.push(0x01); // match with nothing in the window
+        varint::write_u64(&mut out, 5);
+        varint::write_u64(&mut out, 6);
+        assert!(matches!(
+            decompress(&out),
+            Err(ColumnarError::CorruptFile { .. })
+        ));
+    }
+
+    #[test]
+    fn length_mismatch_is_rejected() {
+        let mut out = Vec::new();
+        varint::write_u64(&mut out, 100); // claims 100 bytes
+        out.push(0x00);
+        varint::write_u64(&mut out, 3);
+        out.extend_from_slice(b"abc");
+        assert!(matches!(
+            decompress(&out),
+            Err(ColumnarError::CountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn tags_roundtrip() {
+        for c in [Compression::None, Compression::Lz] {
+            assert_eq!(Compression::from_tag(c.to_tag()).unwrap(), c);
+        }
+        assert!(Compression::from_tag(9).is_err());
+        assert_eq!(Compression::default(), Compression::None);
+    }
+}

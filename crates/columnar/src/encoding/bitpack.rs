@@ -1,0 +1,218 @@
+//! Fixed-width bit packing for unsigned integers.
+//!
+//! Packs each value into exactly `bit_width` bits, LSB-first within bytes —
+//! the same layout Parquet's RLE/bit-packing hybrid uses. A `bit_width` of 0
+//! encodes a run of zeros in zero bytes.
+
+use crate::error::{ColumnarError, Result};
+
+/// Smallest bit width able to represent `max_value`.
+///
+/// Zero maps to width 0 (all values are zero and occupy no bits).
+#[must_use]
+pub fn width_for(max_value: u64) -> u32 {
+    64 - max_value.leading_zeros()
+}
+
+/// Packs `values` at `bit_width` bits each, appending to `out`.
+///
+/// # Errors
+///
+/// Returns [`ColumnarError::ValueOutOfRange`] if any value needs more than
+/// `bit_width` bits, or if `bit_width > 64`.
+pub fn pack(values: &[u64], bit_width: u32, out: &mut Vec<u8>) -> Result<()> {
+    if bit_width > 64 {
+        return Err(ColumnarError::ValueOutOfRange {
+            detail: format!("bit width {bit_width} exceeds 64"),
+        });
+    }
+    if bit_width == 0 {
+        if let Some(bad) = values.iter().find(|&&v| v != 0) {
+            return Err(ColumnarError::ValueOutOfRange {
+                detail: format!("value {bad} does not fit in 0 bits"),
+            });
+        }
+        return Ok(());
+    }
+    let mask = if bit_width == 64 { u64::MAX } else { (1u64 << bit_width) - 1 };
+    let mut acc: u64 = 0;
+    let mut acc_bits: u32 = 0;
+    for &v in values {
+        if v & !mask != 0 {
+            return Err(ColumnarError::ValueOutOfRange {
+                detail: format!("value {v} does not fit in {bit_width} bits"),
+            });
+        }
+        let mut remaining = bit_width;
+        let mut chunk = v;
+        while remaining > 0 {
+            let take = remaining.min(64 - acc_bits);
+            let take_mask = if take == 64 { u64::MAX } else { (1u64 << take) - 1 };
+            // take == 64 implies acc_bits == 0, so the shift below is by 0.
+            acc |= (chunk & take_mask) << acc_bits;
+            acc_bits += take;
+            chunk = if take == 64 { 0 } else { chunk >> take };
+            remaining -= take;
+            if acc_bits == 64 {
+                out.extend_from_slice(&acc.to_le_bytes());
+                acc = 0;
+                acc_bits = 0;
+            }
+        }
+    }
+    if acc_bits > 0 {
+        let bytes = (acc_bits as usize).div_ceil(8);
+        out.extend_from_slice(&acc.to_le_bytes()[..bytes]);
+    }
+    Ok(())
+}
+
+/// Unpacks `count` values of `bit_width` bits each from `buf` starting at
+/// `*pos`, advancing `*pos` past the consumed bytes.
+///
+/// # Errors
+///
+/// Returns [`ColumnarError::UnexpectedEof`] when the buffer is too short and
+/// [`ColumnarError::ValueOutOfRange`] for widths above 64.
+pub fn unpack(buf: &[u8], pos: &mut usize, count: usize, bit_width: u32) -> Result<Vec<u64>> {
+    if bit_width > 64 {
+        return Err(ColumnarError::ValueOutOfRange {
+            detail: format!("bit width {bit_width} exceeds 64"),
+        });
+    }
+    if bit_width == 0 {
+        return Ok(vec![0; count]);
+    }
+    let total_bits = count as u64 * u64::from(bit_width);
+    let total_bytes = (total_bits as usize).div_ceil(8);
+    if buf.len() < *pos + total_bytes {
+        return Err(ColumnarError::UnexpectedEof { context: "bitpacked run" });
+    }
+    let data = &buf[*pos..*pos + total_bytes];
+    *pos += total_bytes;
+
+    let mut values = Vec::with_capacity(count);
+    let mut bit_pos: u64 = 0;
+    for _ in 0..count {
+        values.push(read_bits(data, bit_pos, bit_width));
+        bit_pos += u64::from(bit_width);
+    }
+    Ok(values)
+}
+
+/// Reads `width` bits starting at absolute bit offset `bit_pos` (LSB-first).
+fn read_bits(data: &[u8], bit_pos: u64, width: u32) -> u64 {
+    let mut value: u64 = 0;
+    let mut got: u32 = 0;
+    let mut byte_idx = (bit_pos / 8) as usize;
+    let mut bit_in_byte = (bit_pos % 8) as u32;
+    while got < width {
+        let avail = 8 - bit_in_byte;
+        let take = avail.min(width - got);
+        let chunk = (u64::from(data[byte_idx]) >> bit_in_byte) & ((1u64 << take) - 1);
+        value |= chunk << got;
+        got += take;
+        bit_in_byte += take;
+        if bit_in_byte == 8 {
+            bit_in_byte = 0;
+            byte_idx += 1;
+        }
+    }
+    value
+}
+
+/// Number of bytes `count` values occupy at `bit_width` bits.
+#[must_use]
+pub fn packed_len(count: usize, bit_width: u32) -> usize {
+    (count as u64 * u64::from(bit_width)).div_ceil(8) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(values: &[u64], width: u32) {
+        let mut buf = Vec::new();
+        pack(values, width, &mut buf).unwrap();
+        assert_eq!(buf.len(), packed_len(values.len(), width));
+        let mut pos = 0;
+        let back = unpack(&buf, &mut pos, values.len(), width).unwrap();
+        assert_eq!(back, values);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn width_for_boundaries() {
+        assert_eq!(width_for(0), 0);
+        assert_eq!(width_for(1), 1);
+        assert_eq!(width_for(2), 2);
+        assert_eq!(width_for(255), 8);
+        assert_eq!(width_for(256), 9);
+        assert_eq!(width_for(u64::MAX), 64);
+    }
+
+    #[test]
+    fn roundtrip_small_widths() {
+        roundtrip(&[0, 1, 1, 0, 1, 0, 0, 1, 1], 1);
+        roundtrip(&[3, 0, 2, 1, 3, 3], 2);
+        roundtrip(&[7, 6, 5, 4, 3, 2, 1, 0], 3);
+    }
+
+    #[test]
+    fn roundtrip_byte_spanning_widths() {
+        roundtrip(&[100, 200, 255, 0, 17], 8);
+        roundtrip(&[1000, 0, 511, 512], 10);
+        roundtrip(&[123_456, 1, 0, 999_999], 20);
+    }
+
+    #[test]
+    fn roundtrip_full_width() {
+        roundtrip(&[u64::MAX, 0, 42, u64::MAX - 1], 64);
+    }
+
+    #[test]
+    fn zero_width_encodes_zeros_for_free() {
+        let mut buf = Vec::new();
+        pack(&[0, 0, 0], 0, &mut buf).unwrap();
+        assert!(buf.is_empty());
+        let mut pos = 0;
+        assert_eq!(unpack(&buf, &mut pos, 3, 0).unwrap(), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn zero_width_rejects_nonzero() {
+        let mut buf = Vec::new();
+        assert!(pack(&[1], 0, &mut buf).is_err());
+    }
+
+    #[test]
+    fn overflow_value_rejected() {
+        let mut buf = Vec::new();
+        assert!(pack(&[8], 3, &mut buf).is_err());
+    }
+
+    #[test]
+    fn short_buffer_detected() {
+        let mut buf = Vec::new();
+        pack(&[5, 6, 7], 3, &mut buf).unwrap();
+        buf.pop();
+        let mut pos = 0;
+        assert!(matches!(
+            unpack(&buf, &mut pos, 3, 3),
+            Err(ColumnarError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn width_above_64_rejected() {
+        let mut buf = Vec::new();
+        assert!(pack(&[1], 65, &mut buf).is_err());
+        let mut pos = 0;
+        assert!(unpack(&[], &mut pos, 0, 65).is_err());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        roundtrip(&[], 7);
+    }
+}

@@ -1,0 +1,101 @@
+//! Delta encoding for integer sequences.
+//!
+//! Stores the first value verbatim, then zigzag-varint deltas. Monotonic or
+//! slowly-varying sequences (list offsets, timestamps, row ids) compress to a
+//! byte or two per value.
+
+use super::varint;
+use crate::error::Result;
+
+/// Encodes `values` as first-value + zigzag deltas, appending to `out`.
+pub fn encode_i64(values: &[i64], out: &mut Vec<u8>) {
+    varint::write_u64(out, values.len() as u64);
+    let mut prev = 0i64;
+    for (i, &v) in values.iter().enumerate() {
+        if i == 0 {
+            varint::write_i64(out, v);
+        } else {
+            varint::write_i64(out, v.wrapping_sub(prev));
+        }
+        prev = v;
+    }
+}
+
+/// Decodes a stream produced by [`encode_i64`].
+///
+/// # Errors
+///
+/// Propagates varint decode errors on truncated or corrupt input.
+pub fn decode_i64(buf: &[u8], pos: &mut usize) -> Result<Vec<i64>> {
+    let count = varint::read_u64(buf, pos)? as usize;
+    let mut values = Vec::with_capacity(count);
+    let mut prev = 0i64;
+    for i in 0..count {
+        let raw = varint::read_i64(buf, pos)?;
+        let v = if i == 0 { raw } else { prev.wrapping_add(raw) };
+        values.push(v);
+        prev = v;
+    }
+    Ok(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(values: &[i64]) -> usize {
+        let mut buf = Vec::new();
+        encode_i64(values, &mut buf);
+        let mut pos = 0;
+        assert_eq!(decode_i64(&buf, &mut pos).unwrap(), values);
+        assert_eq!(pos, buf.len());
+        buf.len()
+    }
+
+    #[test]
+    fn empty_roundtrips() {
+        assert_eq!(roundtrip(&[]), 1);
+    }
+
+    #[test]
+    fn monotonic_offsets_compress_well() {
+        // Typical sparse-feature offsets: +20 average step.
+        let values: Vec<i64> = (0..4096).map(|i| i * 20).collect();
+        let len = roundtrip(&values);
+        assert!(len < values.len() * 2, "offsets took {len} bytes");
+    }
+
+    #[test]
+    fn constant_sequence_is_one_byte_per_delta() {
+        let values = vec![1_000_000i64; 100];
+        let len = roundtrip(&values);
+        // count + first value + 99 zero deltas.
+        assert!(len <= 1 + 4 + 99);
+    }
+
+    #[test]
+    fn extremes_roundtrip_via_wrapping() {
+        roundtrip(&[i64::MIN, i64::MAX, 0, -1, 1, i64::MAX, i64::MIN]);
+    }
+
+    #[test]
+    fn random_walk_roundtrips() {
+        let mut v = 0i64;
+        let values: Vec<i64> = (0..1000)
+            .map(|i| {
+                v = v.wrapping_add(if i % 3 == 0 { -7 } else { 13 });
+                v
+            })
+            .collect();
+        roundtrip(&values);
+    }
+
+    #[test]
+    fn truncation_is_an_error() {
+        let mut buf = Vec::new();
+        encode_i64(&[1, 2, 3], &mut buf);
+        buf.pop();
+        let mut pos = 0;
+        assert!(decode_i64(&buf, &mut pos).is_err());
+    }
+}

@@ -1,0 +1,130 @@
+//! Dictionary encoding for low-cardinality integer columns.
+//!
+//! Distinct values are collected into a dictionary (delta-encoded, since it is
+//! stored sorted) and the data stream becomes dictionary indices compressed
+//! with the RLE/bit-pack hybrid. Categorical RecSys features with a few
+//! thousand distinct ids compress by an order of magnitude this way.
+
+use super::{delta, rle};
+use crate::error::{ColumnarError, Result};
+use std::collections::BTreeMap;
+
+/// Encodes `values` as a sorted dictionary plus RLE-compressed indices.
+pub fn encode_i64(values: &[i64], out: &mut Vec<u8>) {
+    let mut dict: BTreeMap<i64, u64> = BTreeMap::new();
+    for &v in values {
+        let next = dict.len() as u64;
+        dict.entry(v).or_insert(next);
+    }
+    // Re-number so indices follow sorted order (BTreeMap iterates sorted);
+    // sorted dictionaries delta-encode tightly.
+    let sorted: Vec<i64> = dict.keys().copied().collect();
+    for (rank, key) in sorted.iter().enumerate() {
+        *dict.get_mut(key).expect("key present") = rank as u64;
+    }
+    delta::encode_i64(&sorted, out);
+    let indices: Vec<u64> = values.iter().map(|v| dict[v]).collect();
+    rle::encode(&indices, out);
+}
+
+/// Decodes a stream produced by [`encode_i64`].
+///
+/// # Errors
+///
+/// Returns [`ColumnarError::CorruptFile`] when an index exceeds the
+/// dictionary, plus any underlying decode error.
+pub fn decode_i64(buf: &[u8], pos: &mut usize) -> Result<Vec<i64>> {
+    let dict = delta::decode_i64(buf, pos)?;
+    let indices = rle::decode(buf, pos)?;
+    indices
+        .into_iter()
+        .map(|idx| {
+            dict.get(idx as usize).copied().ok_or_else(|| ColumnarError::CorruptFile {
+                detail: format!("dictionary index {idx} out of range ({} entries)", dict.len()),
+            })
+        })
+        .collect()
+}
+
+/// Estimated encoded size, used by the writer to pick an encoding.
+#[must_use]
+pub fn estimated_len(values: &[i64]) -> usize {
+    let mut distinct: Vec<i64> = values.to_vec();
+    distinct.sort_unstable();
+    distinct.dedup();
+    // Exact delta-encoded dictionary size (it is stored sorted).
+    let mut dict_len = 1; // count varint (approx)
+    let mut prev = 0i64;
+    for (i, &v) in distinct.iter().enumerate() {
+        let delta = if i == 0 { v } else { v.wrapping_sub(prev) };
+        dict_len += super::varint::encoded_len_u64(super::varint::zigzag_encode(delta));
+        prev = v;
+    }
+    let width = super::bitpack::width_for(distinct.len().saturating_sub(1) as u64);
+    dict_len + super::bitpack::packed_len(values.len(), width) + 16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(values: &[i64]) -> usize {
+        let mut buf = Vec::new();
+        encode_i64(values, &mut buf);
+        let mut pos = 0;
+        assert_eq!(decode_i64(&buf, &mut pos).unwrap(), values);
+        assert_eq!(pos, buf.len());
+        buf.len()
+    }
+
+    #[test]
+    fn empty_roundtrips() {
+        roundtrip(&[]);
+    }
+
+    #[test]
+    fn single_value_repeated() {
+        let len = roundtrip(&vec![42i64; 10_000]);
+        assert!(len < 32, "10k copies of one value took {len} bytes");
+    }
+
+    #[test]
+    fn low_cardinality_compresses() {
+        let values: Vec<i64> = (0..8192).map(|i| ((i * 37) % 16) as i64 * 1000).collect();
+        let len = roundtrip(&values);
+        assert!(len < 8192, "16-distinct column took {len} bytes");
+    }
+
+    #[test]
+    fn high_cardinality_still_roundtrips() {
+        let values: Vec<i64> = (0..2000).map(|i| i * 7919 - 1_000_000).collect();
+        roundtrip(&values);
+    }
+
+    #[test]
+    fn negative_values_roundtrip() {
+        roundtrip(&[-5, -5, 3, -5, 3, i64::MIN, i64::MAX, -5]);
+    }
+
+    #[test]
+    fn corrupt_index_detected() {
+        let mut buf = Vec::new();
+        // Dictionary with one entry, then hand-craft an index stream with 7.
+        delta::encode_i64(&[10], &mut buf);
+        rle::encode(&[7], &mut buf);
+        let mut pos = 0;
+        assert!(matches!(
+            decode_i64(&buf, &mut pos),
+            Err(ColumnarError::CorruptFile { .. })
+        ));
+    }
+
+    #[test]
+    fn estimate_tracks_reality_loosely() {
+        let values: Vec<i64> = (0..4096).map(|i| (i % 100) as i64).collect();
+        let mut buf = Vec::new();
+        encode_i64(&values, &mut buf);
+        let est = estimated_len(&values);
+        assert!(est >= buf.len() / 4 && est <= buf.len() * 4, "est {est} real {}", buf.len());
+    }
+}

@@ -1,0 +1,189 @@
+//! Value encodings: plain, varint/delta, RLE/bit-pack hybrid and dictionary.
+//!
+//! The writer picks an encoding per page based on estimated size (see
+//! [`choose_i64_encoding`]); the page header records the choice so readers
+//! can dispatch without configuration.
+
+pub mod bitpack;
+pub mod delta;
+pub mod dictionary;
+pub mod plain;
+pub mod rle;
+pub mod varint;
+
+use crate::error::{ColumnarError, Result};
+
+/// The encoding applied to one page's value stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Encoding {
+    /// Fixed-width little-endian values.
+    Plain,
+    /// First value + zigzag varint deltas (integers only).
+    Delta,
+    /// Sorted dictionary + RLE-compressed indices (integers only).
+    Dictionary,
+}
+
+impl Encoding {
+    /// Stable on-disk tag.
+    pub(crate) fn to_tag(self) -> u8 {
+        match self {
+            Encoding::Plain => 0,
+            Encoding::Delta => 1,
+            Encoding::Dictionary => 2,
+        }
+    }
+
+    /// Inverse of [`Encoding::to_tag`].
+    pub(crate) fn from_tag(tag: u8) -> Result<Self> {
+        match tag {
+            0 => Ok(Encoding::Plain),
+            1 => Ok(Encoding::Delta),
+            2 => Ok(Encoding::Dictionary),
+            other => {
+                Err(ColumnarError::CorruptFile { detail: format!("unknown encoding tag {other}") })
+            }
+        }
+    }
+
+    /// Name for diagnostics.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Encoding::Plain => "plain",
+            Encoding::Delta => "delta",
+            Encoding::Dictionary => "dictionary",
+        }
+    }
+}
+
+impl std::fmt::Display for Encoding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Picks the cheapest encoding for an integer page by estimating sizes.
+///
+/// Heuristic, not exact: delta length is estimated from a sample of gaps and
+/// dictionary length from distinct-value counting. Plain is the fallback.
+#[must_use]
+pub fn choose_i64_encoding(values: &[i64]) -> Encoding {
+    if values.is_empty() {
+        return Encoding::Plain;
+    }
+    let plain_len = values.len() * 8;
+
+    let delta_len: usize = {
+        let mut total = 1 + varint::encoded_len_u64(varint::zigzag_encode(values[0]));
+        for w in values.windows(2) {
+            total += varint::encoded_len_u64(varint::zigzag_encode(w[1].wrapping_sub(w[0])));
+        }
+        total
+    };
+
+    let dict_len = dictionary::estimated_len(values);
+
+    if dict_len <= delta_len && dict_len < plain_len {
+        Encoding::Dictionary
+    } else if delta_len < plain_len {
+        Encoding::Delta
+    } else {
+        Encoding::Plain
+    }
+}
+
+/// Encodes an integer slice with the given encoding, appending to `out`.
+pub fn encode_i64(encoding: Encoding, values: &[i64], out: &mut Vec<u8>) {
+    match encoding {
+        Encoding::Plain => plain::encode_i64(values, out),
+        Encoding::Delta => delta::encode_i64(values, out),
+        Encoding::Dictionary => dictionary::encode_i64(values, out),
+    }
+}
+
+/// Decodes `count` integers written by [`encode_i64`].
+///
+/// # Errors
+///
+/// Propagates decode errors; returns [`ColumnarError::CountMismatch`] when the
+/// self-describing encodings disagree with `count`.
+pub fn decode_i64(
+    encoding: Encoding,
+    buf: &[u8],
+    pos: &mut usize,
+    count: usize,
+) -> Result<Vec<i64>> {
+    let values = match encoding {
+        Encoding::Plain => plain::decode_i64(buf, pos, count)?,
+        Encoding::Delta => delta::decode_i64(buf, pos)?,
+        Encoding::Dictionary => dictionary::decode_i64(buf, pos)?,
+    };
+    if values.len() != count {
+        return Err(ColumnarError::CountMismatch { declared: count, actual: values.len() });
+    }
+    Ok(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_roundtrip() {
+        for e in [Encoding::Plain, Encoding::Delta, Encoding::Dictionary] {
+            assert_eq!(Encoding::from_tag(e.to_tag()).unwrap(), e);
+        }
+        assert!(Encoding::from_tag(200).is_err());
+    }
+
+    #[test]
+    fn chooser_prefers_dictionary_for_low_cardinality() {
+        let values: Vec<i64> = (0..4096).map(|i| (i % 8) as i64 * 1_000_003).collect();
+        assert_eq!(choose_i64_encoding(&values), Encoding::Dictionary);
+    }
+
+    #[test]
+    fn chooser_prefers_delta_for_monotonic() {
+        let values: Vec<i64> = (0..4096).map(|i| i * 17).collect();
+        assert_eq!(choose_i64_encoding(&values), Encoding::Delta);
+    }
+
+    #[test]
+    fn chooser_falls_back_to_plain_for_noise() {
+        // Large pseudo-random 63-bit values: no structure to exploit.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let values: Vec<i64> = (0..512)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 1) as i64 * if x & 1 == 0 { 1 } else { -1 }
+            })
+            .collect();
+        assert_eq!(choose_i64_encoding(&values), Encoding::Plain);
+    }
+
+    #[test]
+    fn all_encodings_roundtrip_same_data() {
+        let values: Vec<i64> = (0..1000).map(|i| (i % 50) * 3 - 20).collect();
+        for e in [Encoding::Plain, Encoding::Delta, Encoding::Dictionary] {
+            let mut buf = Vec::new();
+            encode_i64(e, &values, &mut buf);
+            let mut pos = 0;
+            assert_eq!(decode_i64(e, &buf, &mut pos, values.len()).unwrap(), values, "{e}");
+        }
+    }
+
+    #[test]
+    fn count_mismatch_detected() {
+        let mut buf = Vec::new();
+        encode_i64(Encoding::Delta, &[1, 2, 3], &mut buf);
+        let mut pos = 0;
+        assert!(matches!(
+            decode_i64(Encoding::Delta, &buf, &mut pos, 4),
+            Err(ColumnarError::CountMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,154 @@
+//! Plain (fixed-width little-endian) encoding.
+//!
+//! The fallback encoding every physical type supports. Values are laid out
+//! back to back with no headers, exactly `element_width` bytes each.
+
+use crate::error::{ColumnarError, Result};
+
+/// Appends `values` as little-endian `i64`s.
+pub fn encode_i64(values: &[i64], out: &mut Vec<u8>) {
+    out.reserve(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Appends `values` as little-endian IEEE-754 `f32`s.
+pub fn encode_f32(values: &[f32], out: &mut Vec<u8>) {
+    out.reserve(values.len() * 4);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Appends `values` as little-endian IEEE-754 `f64`s.
+pub fn encode_f64(values: &[f64], out: &mut Vec<u8>) {
+    out.reserve(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Reads `count` little-endian `i64`s from `buf` at `*pos`.
+///
+/// # Errors
+///
+/// Returns [`ColumnarError::UnexpectedEof`] if fewer than `count * 8` bytes
+/// remain.
+pub fn decode_i64(buf: &[u8], pos: &mut usize, count: usize) -> Result<Vec<i64>> {
+    let need = count * 8;
+    if buf.len() < *pos + need {
+        return Err(ColumnarError::UnexpectedEof { context: "plain i64" });
+    }
+    let values = buf[*pos..*pos + need]
+        .chunks_exact(8)
+        .map(|c| i64::from_le_bytes(c.try_into().expect("chunk of 8")))
+        .collect();
+    *pos += need;
+    Ok(values)
+}
+
+/// Reads `count` little-endian `f32`s from `buf` at `*pos`.
+///
+/// # Errors
+///
+/// Returns [`ColumnarError::UnexpectedEof`] if fewer than `count * 4` bytes
+/// remain.
+pub fn decode_f32(buf: &[u8], pos: &mut usize, count: usize) -> Result<Vec<f32>> {
+    let need = count * 4;
+    if buf.len() < *pos + need {
+        return Err(ColumnarError::UnexpectedEof { context: "plain f32" });
+    }
+    let values = buf[*pos..*pos + need]
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("chunk of 4")))
+        .collect();
+    *pos += need;
+    Ok(values)
+}
+
+/// Reads `count` little-endian `f64`s from `buf` at `*pos`.
+///
+/// # Errors
+///
+/// Returns [`ColumnarError::UnexpectedEof`] if fewer than `count * 8` bytes
+/// remain.
+pub fn decode_f64(buf: &[u8], pos: &mut usize, count: usize) -> Result<Vec<f64>> {
+    let need = count * 8;
+    if buf.len() < *pos + need {
+        return Err(ColumnarError::UnexpectedEof { context: "plain f64" });
+    }
+    let values = buf[*pos..*pos + need]
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
+        .collect();
+    *pos += need;
+    Ok(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i64_roundtrip() {
+        let values = [0i64, -1, i64::MAX, i64::MIN, 42];
+        let mut buf = Vec::new();
+        encode_i64(&values, &mut buf);
+        assert_eq!(buf.len(), values.len() * 8);
+        let mut pos = 0;
+        assert_eq!(decode_i64(&buf, &mut pos, values.len()).unwrap(), values);
+    }
+
+    #[test]
+    fn f32_roundtrip_preserves_bits() {
+        let values = [0.0f32, -0.0, 1.5, f32::INFINITY, f32::MIN_POSITIVE];
+        let mut buf = Vec::new();
+        encode_f32(&values, &mut buf);
+        let mut pos = 0;
+        let back = decode_f32(&buf, &mut pos, values.len()).unwrap();
+        for (a, b) in values.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn f32_nan_roundtrips_bitwise() {
+        let values = [f32::NAN];
+        let mut buf = Vec::new();
+        encode_f32(&values, &mut buf);
+        let mut pos = 0;
+        let back = decode_f32(&buf, &mut pos, 1).unwrap();
+        assert_eq!(values[0].to_bits(), back[0].to_bits());
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let values = [std::f64::consts::PI, -1e300, 0.0];
+        let mut buf = Vec::new();
+        encode_f64(&values, &mut buf);
+        let mut pos = 0;
+        assert_eq!(decode_f64(&buf, &mut pos, 3).unwrap(), values);
+    }
+
+    #[test]
+    fn short_buffer_errors() {
+        let mut buf = Vec::new();
+        encode_i64(&[1, 2], &mut buf);
+        let mut pos = 0;
+        assert!(decode_i64(&buf, &mut pos, 3).is_err());
+        let mut pos = 0;
+        assert!(decode_f32(&buf[..3], &mut pos, 1).is_err());
+    }
+
+    #[test]
+    fn sequential_decodes_advance_position() {
+        let mut buf = Vec::new();
+        encode_i64(&[10, 20], &mut buf);
+        encode_f32(&[1.0], &mut buf);
+        let mut pos = 0;
+        assert_eq!(decode_i64(&buf, &mut pos, 2).unwrap(), vec![10, 20]);
+        assert_eq!(decode_f32(&buf, &mut pos, 1).unwrap(), vec![1.0]);
+        assert_eq!(pos, buf.len());
+    }
+}

@@ -1,0 +1,172 @@
+//! LEB128 variable-length integers with ZigZag signed mapping.
+//!
+//! These are the primitive building blocks of every other encoding in this
+//! crate: page headers, dictionary indices, list offsets and delta streams all
+//! serialize their integers through this module.
+
+use crate::error::{ColumnarError, Result};
+
+/// Appends `value` to `out` as an unsigned LEB128 varint (1..=10 bytes).
+pub fn write_u64(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends `value` using the ZigZag mapping so small negative numbers stay
+/// small on disk.
+pub fn write_i64(out: &mut Vec<u8>, value: i64) {
+    write_u64(out, zigzag_encode(value));
+}
+
+/// Reads an unsigned LEB128 varint from `buf` starting at `*pos`, advancing
+/// `*pos` past the consumed bytes.
+///
+/// # Errors
+///
+/// Returns [`ColumnarError::UnexpectedEof`] when the buffer ends mid-varint
+/// and [`ColumnarError::ValueOutOfRange`] when the encoding exceeds 64 bits.
+pub fn read_u64(buf: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut shift = 0u32;
+    let mut acc = 0u64;
+    loop {
+        let Some(&byte) = buf.get(*pos) else {
+            return Err(ColumnarError::UnexpectedEof { context: "varint" });
+        };
+        *pos += 1;
+        if shift >= 64 {
+            return Err(ColumnarError::ValueOutOfRange {
+                detail: "varint longer than 10 bytes".into(),
+            });
+        }
+        // The 10th byte may only contribute the lowest bit of the 64-bit value.
+        if shift == 63 && byte & 0x7e != 0 {
+            return Err(ColumnarError::ValueOutOfRange {
+                detail: "varint overflows u64".into(),
+            });
+        }
+        acc |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(acc);
+        }
+        shift += 7;
+    }
+}
+
+/// Signed counterpart of [`read_u64`].
+///
+/// # Errors
+///
+/// Same as [`read_u64`].
+pub fn read_i64(buf: &[u8], pos: &mut usize) -> Result<i64> {
+    Ok(zigzag_decode(read_u64(buf, pos)?))
+}
+
+/// Maps a signed integer onto an unsigned one with small magnitudes first:
+/// `0, -1, 1, -2, 2, ...`.
+#[must_use]
+pub fn zigzag_encode(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_encode`].
+#[must_use]
+pub fn zigzag_decode(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+/// Number of bytes [`write_u64`] would emit for `value`.
+#[must_use]
+pub fn encoded_len_u64(value: u64) -> usize {
+    if value == 0 {
+        1
+    } else {
+        (64 - value.leading_zeros() as usize).div_ceil(7)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_u(value: u64) {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, value);
+        assert_eq!(buf.len(), encoded_len_u64(value), "len estimate for {value}");
+        let mut pos = 0;
+        assert_eq!(read_u64(&buf, &mut pos).unwrap(), value);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn unsigned_roundtrips() {
+        for v in [0, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            roundtrip_u(v);
+        }
+    }
+
+    #[test]
+    fn signed_roundtrips() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, -123_456_789] {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_i64(&buf, &mut pos).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn zigzag_small_magnitudes_stay_small() {
+        assert_eq!(zigzag_encode(0), 0);
+        assert_eq!(zigzag_encode(-1), 1);
+        assert_eq!(zigzag_encode(1), 2);
+        assert_eq!(zigzag_encode(-2), 3);
+        for v in -1000..1000 {
+            assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+    }
+
+    #[test]
+    fn eof_is_detected() {
+        // A continuation bit with no following byte.
+        let buf = [0x80u8];
+        let mut pos = 0;
+        assert!(matches!(
+            read_u64(&buf, &mut pos),
+            Err(ColumnarError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn overlong_varint_rejected() {
+        let buf = [0xffu8; 11];
+        let mut pos = 0;
+        assert!(matches!(
+            read_u64(&buf, &mut pos),
+            Err(ColumnarError::ValueOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn tenth_byte_overflow_rejected() {
+        // 9 continuation bytes then a byte with more than the low bit set.
+        let mut buf = vec![0x80u8; 9];
+        buf.push(0x02);
+        let mut pos = 0;
+        assert!(read_u64(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn max_u64_is_ten_bytes() {
+        assert_eq!(encoded_len_u64(u64::MAX), 10);
+        assert_eq!(encoded_len_u64(0), 1);
+        assert_eq!(encoded_len_u64(127), 1);
+        assert_eq!(encoded_len_u64(128), 2);
+    }
+}

@@ -1,0 +1,127 @@
+//! Error types for the columnar format.
+
+use std::fmt;
+
+/// Errors produced while encoding, decoding, writing or reading columnar data.
+///
+/// Every fallible public function in this crate returns [`Result`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ColumnarError {
+    /// The input buffer ended before a complete value could be decoded.
+    UnexpectedEof {
+        /// What was being decoded when the buffer ran out.
+        context: &'static str,
+    },
+    /// A magic number, version or structural marker did not match.
+    CorruptFile {
+        /// Human-readable description of the corruption.
+        detail: String,
+    },
+    /// A checksum stored in the file does not match the recomputed one.
+    ChecksumMismatch {
+        /// Checksum recorded in the file.
+        expected: u32,
+        /// Checksum recomputed over the payload.
+        actual: u32,
+    },
+    /// An encoding was asked to handle a type it does not support.
+    UnsupportedEncoding {
+        /// The encoding that was requested.
+        encoding: &'static str,
+        /// The physical type it was applied to.
+        physical: &'static str,
+    },
+    /// A value was out of the representable range for the chosen encoding.
+    ValueOutOfRange {
+        /// Description of the offending value.
+        detail: String,
+    },
+    /// The caller referenced a column that does not exist in the schema.
+    UnknownColumn {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// A schema invariant was violated (duplicate names, empty schema, ...).
+    InvalidSchema {
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// Mismatch between declared and actual value counts.
+    CountMismatch {
+        /// Number of values the metadata declared.
+        declared: usize,
+        /// Number of values actually present.
+        actual: usize,
+    },
+    /// Wrapped I/O error (stringified so the error stays `Clone + Eq`).
+    Io {
+        /// The underlying I/O error message.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ColumnarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColumnarError::UnexpectedEof { context } => {
+                write!(f, "unexpected end of buffer while decoding {context}")
+            }
+            ColumnarError::CorruptFile { detail } => write!(f, "corrupt columnar file: {detail}"),
+            ColumnarError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "checksum mismatch: stored {expected:#010x}, computed {actual:#010x}"
+            ),
+            ColumnarError::UnsupportedEncoding { encoding, physical } => {
+                write!(f, "encoding {encoding} does not support physical type {physical}")
+            }
+            ColumnarError::ValueOutOfRange { detail } => {
+                write!(f, "value out of range: {detail}")
+            }
+            ColumnarError::UnknownColumn { name } => write!(f, "unknown column: {name}"),
+            ColumnarError::InvalidSchema { detail } => write!(f, "invalid schema: {detail}"),
+            ColumnarError::CountMismatch { declared, actual } => {
+                write!(f, "value count mismatch: declared {declared}, found {actual}")
+            }
+            ColumnarError::Io { detail } => write!(f, "io error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ColumnarError {}
+
+impl From<std::io::Error> for ColumnarError {
+    fn from(err: std::io::Error) -> Self {
+        ColumnarError::Io { detail: err.to_string() }
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, ColumnarError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = ColumnarError::UnexpectedEof { context: "varint" };
+        assert_eq!(e.to_string(), "unexpected end of buffer while decoding varint");
+        let e = ColumnarError::ChecksumMismatch { expected: 1, actual: 2 };
+        assert!(e.to_string().contains("0x00000001"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::other("disk on fire");
+        let e: ColumnarError = io.into();
+        assert!(matches!(e, ColumnarError::Io { .. }));
+        assert!(e.to_string().contains("disk on fire"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ColumnarError>();
+    }
+}

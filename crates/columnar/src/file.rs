@@ -1,0 +1,551 @@
+//! The columnar file container: row groups of column chunks plus a footer.
+//!
+//! File layout:
+//!
+//! ```text
+//! magic  "PSTOCOL1"                      (8 bytes)
+//! column chunks, back to back            (row-group major, column minor)
+//! footer: schema, row-group metadata     (self-describing)
+//! u32 LE  CRC-32 of the footer bytes
+//! u32 LE  footer length
+//! magic  "PSTOCOL1"                      (8 bytes)
+//! ```
+//!
+//! The footer-at-the-end design is what lets a reader fetch metadata with two
+//! small reads and then issue *exactly one ranged read per projected column*,
+//! which is the selective-extraction property the PreSto paper's Extract
+//! phase depends on (Section II-B).
+
+use crate::array::Array;
+use crate::checksum::crc32;
+use crate::column;
+use crate::compress::Compression;
+use crate::encoding::varint;
+use crate::error::{ColumnarError, Result};
+use crate::io::BlobRead;
+use crate::page::DEFAULT_PAGE_ROWS;
+use crate::schema::{DataType, Field, Schema};
+use crate::stats::ColumnStats;
+
+/// Magic bytes at both ends of every file.
+pub const MAGIC: &[u8; 8] = b"PSTOCOL1";
+
+/// Footer metadata for one column chunk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkMeta {
+    /// Absolute byte offset of the chunk in the file.
+    pub offset: u64,
+    /// Chunk length in bytes.
+    pub byte_len: u64,
+    /// Column statistics.
+    pub stats: ColumnStats,
+}
+
+/// Footer metadata for one row group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowGroupMeta {
+    /// Rows in this group.
+    pub rows: u64,
+    /// One entry per schema field, in schema order.
+    pub columns: Vec<ChunkMeta>,
+}
+
+/// Parsed footer of a columnar file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FileMeta {
+    /// The table schema.
+    pub schema: Schema,
+    /// Row groups in file order.
+    pub row_groups: Vec<RowGroupMeta>,
+}
+
+impl FileMeta {
+    /// Total rows across all row groups.
+    #[must_use]
+    pub fn total_rows(&self) -> u64 {
+        self.row_groups.iter().map(|rg| rg.rows).sum()
+    }
+
+    fn write(&self, out: &mut Vec<u8>) {
+        varint::write_u64(out, self.schema.len() as u64);
+        for field in self.schema.fields() {
+            varint::write_u64(out, field.name().len() as u64);
+            out.extend_from_slice(field.name().as_bytes());
+            out.push(field.data_type().to_tag());
+        }
+        varint::write_u64(out, self.row_groups.len() as u64);
+        for rg in &self.row_groups {
+            varint::write_u64(out, rg.rows);
+            for chunk in &rg.columns {
+                varint::write_u64(out, chunk.offset);
+                varint::write_u64(out, chunk.byte_len);
+                chunk.stats.write(out);
+            }
+        }
+    }
+
+    fn read(buf: &[u8]) -> Result<Self> {
+        let mut pos = 0usize;
+        let n_fields = varint::read_u64(buf, &mut pos)? as usize;
+        let mut fields = Vec::with_capacity(n_fields);
+        for _ in 0..n_fields {
+            let name_len = varint::read_u64(buf, &mut pos)? as usize;
+            if buf.len() < pos + name_len {
+                return Err(ColumnarError::UnexpectedEof { context: "field name" });
+            }
+            let name = std::str::from_utf8(&buf[pos..pos + name_len])
+                .map_err(|_| ColumnarError::CorruptFile {
+                    detail: "field name is not utf-8".into(),
+                })?
+                .to_owned();
+            pos += name_len;
+            let Some(&tag) = buf.get(pos) else {
+                return Err(ColumnarError::UnexpectedEof { context: "field type tag" });
+            };
+            pos += 1;
+            fields.push(Field::new(name, DataType::from_tag(tag)?));
+        }
+        let schema = Schema::new(fields)?;
+        let n_groups = varint::read_u64(buf, &mut pos)? as usize;
+        let mut row_groups = Vec::with_capacity(n_groups);
+        for _ in 0..n_groups {
+            let rows = varint::read_u64(buf, &mut pos)?;
+            let mut columns = Vec::with_capacity(schema.len());
+            for _ in 0..schema.len() {
+                let offset = varint::read_u64(buf, &mut pos)?;
+                let byte_len = varint::read_u64(buf, &mut pos)?;
+                let stats = ColumnStats::read(buf, &mut pos)?;
+                columns.push(ChunkMeta { offset, byte_len, stats });
+            }
+            row_groups.push(RowGroupMeta { rows, columns });
+        }
+        Ok(FileMeta { schema, row_groups })
+    }
+}
+
+/// Streaming writer producing an in-memory columnar file.
+///
+/// # Examples
+///
+/// ```
+/// use presto_columnar::{Array, DataType, Field, FileWriter, Schema};
+///
+/// let schema = Schema::new(vec![
+///     Field::new("label", DataType::Int64),
+///     Field::new("dense_0", DataType::Float32),
+/// ])?;
+/// let mut writer = FileWriter::new(schema);
+/// writer.write_row_group(&[
+///     Array::Int64(vec![0, 1]),
+///     Array::Float32(vec![0.5, 1.5]),
+/// ])?;
+/// let bytes = writer.finish();
+/// assert!(bytes.len() > 16);
+/// # Ok::<(), presto_columnar::ColumnarError>(())
+/// ```
+#[derive(Debug)]
+pub struct FileWriter {
+    schema: Schema,
+    page_rows: usize,
+    compression: Compression,
+    buf: Vec<u8>,
+    row_groups: Vec<RowGroupMeta>,
+}
+
+impl FileWriter {
+    /// Creates a writer with the default page size.
+    #[must_use]
+    pub fn new(schema: Schema) -> Self {
+        Self::with_page_rows(schema, DEFAULT_PAGE_ROWS)
+    }
+
+    /// Creates a writer with an explicit page size (rows per page).
+    #[must_use]
+    pub fn with_page_rows(schema: Schema, page_rows: usize) -> Self {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        FileWriter {
+            schema,
+            page_rows: page_rows.max(1),
+            compression: Compression::None,
+            buf,
+            row_groups: Vec::new(),
+        }
+    }
+
+    /// Enables per-page payload compression for subsequently written row
+    /// groups.
+    #[must_use]
+    pub fn with_compression(mut self, compression: Compression) -> Self {
+        self.compression = compression;
+        self
+    }
+
+    /// The schema this writer enforces.
+    #[must_use]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Appends one row group; `columns` must match the schema in count,
+    /// order, type and row count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ColumnarError::InvalidSchema`] on arity/type mismatches and
+    /// [`ColumnarError::CountMismatch`] when column lengths differ.
+    pub fn write_row_group(&mut self, columns: &[Array]) -> Result<()> {
+        if columns.len() != self.schema.len() {
+            return Err(ColumnarError::InvalidSchema {
+                detail: format!(
+                    "row group has {} columns, schema has {}",
+                    columns.len(),
+                    self.schema.len()
+                ),
+            });
+        }
+        let rows = columns.first().map_or(0, Array::len);
+        for (field, col) in self.schema.fields().iter().zip(columns) {
+            if col.data_type() != field.data_type() {
+                return Err(ColumnarError::InvalidSchema {
+                    detail: format!(
+                        "column {:?} is {} but schema says {}",
+                        field.name(),
+                        col.data_type(),
+                        field.data_type()
+                    ),
+                });
+            }
+            if col.len() != rows {
+                return Err(ColumnarError::CountMismatch { declared: rows, actual: col.len() });
+            }
+            col.validate()?;
+        }
+        let mut metas = Vec::with_capacity(columns.len());
+        for col in columns {
+            let offset = self.buf.len() as u64;
+            let stats = column::write_chunk_compressed(
+                col,
+                self.page_rows,
+                self.compression,
+                &mut self.buf,
+            )?;
+            let byte_len = self.buf.len() as u64 - offset;
+            metas.push(ChunkMeta { offset, byte_len, stats });
+        }
+        self.row_groups.push(RowGroupMeta { rows: rows as u64, columns: metas });
+        Ok(())
+    }
+
+    /// Finalizes the file and returns its bytes.
+    #[must_use]
+    pub fn finish(mut self) -> Vec<u8> {
+        let meta = FileMeta { schema: self.schema.clone(), row_groups: self.row_groups.clone() };
+        let mut footer = Vec::new();
+        meta.write(&mut footer);
+        let footer_crc = crc32(&footer);
+        let footer_len = footer.len() as u32;
+        self.buf.extend_from_slice(&footer);
+        self.buf.extend_from_slice(&footer_crc.to_le_bytes());
+        self.buf.extend_from_slice(&footer_len.to_le_bytes());
+        self.buf.extend_from_slice(MAGIC);
+        self.buf
+    }
+}
+
+/// Reader with per-column random access over any [`BlobRead`] backend.
+#[derive(Debug)]
+pub struct FileReader<B> {
+    blob: B,
+    meta: FileMeta,
+}
+
+impl<B: BlobRead> FileReader<B> {
+    /// Opens a columnar file, validating magic numbers and the footer CRC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ColumnarError::CorruptFile`] / [`ColumnarError::ChecksumMismatch`]
+    /// on structural damage.
+    pub fn open(blob: B) -> Result<Self> {
+        let total = blob.blob_len();
+        let tail_len = 8 + 4 + 4;
+        if total < (8 + tail_len) as u64 {
+            return Err(ColumnarError::CorruptFile {
+                detail: format!("file of {total} bytes is too small"),
+            });
+        }
+        let head = blob.read_at(0, 8)?;
+        if head != MAGIC {
+            return Err(ColumnarError::CorruptFile { detail: "bad leading magic".into() });
+        }
+        let tail = blob.read_at(total - tail_len as u64, tail_len)?;
+        if &tail[8..] != MAGIC {
+            return Err(ColumnarError::CorruptFile { detail: "bad trailing magic".into() });
+        }
+        let footer_crc = u32::from_le_bytes(tail[0..4].try_into().expect("4 bytes"));
+        let footer_len = u32::from_le_bytes(tail[4..8].try_into().expect("4 bytes")) as u64;
+        let footer_end = total - tail_len as u64;
+        if footer_len > footer_end - 8 {
+            return Err(ColumnarError::CorruptFile {
+                detail: format!("footer length {footer_len} exceeds file"),
+            });
+        }
+        let footer = blob.read_at(footer_end - footer_len, footer_len as usize)?;
+        let actual = crc32(&footer);
+        if actual != footer_crc {
+            return Err(ColumnarError::ChecksumMismatch { expected: footer_crc, actual });
+        }
+        let meta = FileMeta::read(&footer)?;
+        Ok(FileReader { blob, meta })
+    }
+
+    /// The parsed footer.
+    #[must_use]
+    pub fn meta(&self) -> &FileMeta {
+        &self.meta
+    }
+
+    /// The table schema.
+    #[must_use]
+    pub fn schema(&self) -> &Schema {
+        &self.meta.schema
+    }
+
+    /// Number of row groups.
+    #[must_use]
+    pub fn row_group_count(&self) -> usize {
+        self.meta.row_groups.len()
+    }
+
+    /// Reads one column of one row group with a single ranged read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ColumnarError::UnknownColumn`] for bad indices plus any
+    /// decode error.
+    pub fn read_column(&self, row_group: usize, column: usize) -> Result<Array> {
+        let rg = self.meta.row_groups.get(row_group).ok_or_else(|| {
+            ColumnarError::UnknownColumn { name: format!("row group {row_group}") }
+        })?;
+        let chunk = rg
+            .columns
+            .get(column)
+            .ok_or_else(|| ColumnarError::UnknownColumn { name: format!("column {column}") })?;
+        let field = self.meta.schema.field(column).expect("meta/schema in sync");
+        let bytes = self.blob.read_at(chunk.offset, chunk.byte_len as usize)?;
+        let mut pos = 0usize;
+        let array = column::read_chunk(&bytes, &mut pos, field.data_type())?;
+        if array.len() as u64 != rg.rows {
+            return Err(ColumnarError::CountMismatch {
+                declared: rg.rows as usize,
+                actual: array.len(),
+            });
+        }
+        Ok(array)
+    }
+
+    /// Reads several columns by index (the projection path).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FileReader::read_column`].
+    pub fn read_columns(&self, row_group: usize, columns: &[usize]) -> Result<Vec<Array>> {
+        columns.iter().map(|&c| self.read_column(row_group, c)).collect()
+    }
+
+    /// Reads several columns by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ColumnarError::UnknownColumn`] for unknown names plus any
+    /// decode error.
+    pub fn read_projected(&self, row_group: usize, names: &[&str]) -> Result<Vec<Array>> {
+        let idx = self.meta.schema.project(names)?;
+        self.read_columns(row_group, &idx)
+    }
+
+    /// Reads an entire row group in schema order.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FileReader::read_column`].
+    pub fn read_row_group(&self, row_group: usize) -> Result<Vec<Array>> {
+        let all: Vec<usize> = (0..self.meta.schema.len()).collect();
+        self.read_columns(row_group, &all)
+    }
+
+    /// Returns the wrapped blob.
+    pub fn into_inner(self) -> B {
+        self.blob
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::{CountingBlob, MemBlob};
+
+    fn sample_schema() -> Schema {
+        Schema::new(vec![
+            Field::new("label", DataType::Int64),
+            Field::new("dense_0", DataType::Float32),
+            Field::new("sparse_0", DataType::ListInt64),
+        ])
+        .unwrap()
+    }
+
+    fn sample_columns(rows: usize, salt: i64) -> Vec<Array> {
+        vec![
+            Array::Int64((0..rows as i64).map(|i| (i + salt) % 2).collect()),
+            Array::Float32((0..rows).map(|i| i as f32 * 0.5).collect()),
+            Array::from_lists(
+                (0..rows).map(|i| vec![salt + i as i64; i % 4]).collect::<Vec<_>>(),
+            )
+            .unwrap(),
+        ]
+    }
+
+    fn sample_file(groups: usize, rows: usize) -> Vec<u8> {
+        let mut w = FileWriter::with_page_rows(sample_schema(), 128);
+        for g in 0..groups {
+            w.write_row_group(&sample_columns(rows, g as i64)).unwrap();
+        }
+        w.finish()
+    }
+
+    #[test]
+    fn full_roundtrip() {
+        let bytes = sample_file(3, 500);
+        let reader = FileReader::open(MemBlob::new(bytes)).unwrap();
+        assert_eq!(reader.row_group_count(), 3);
+        assert_eq!(reader.meta().total_rows(), 1500);
+        for g in 0..3 {
+            let cols = reader.read_row_group(g).unwrap();
+            assert_eq!(cols, sample_columns(500, g as i64));
+        }
+    }
+
+    #[test]
+    fn projection_reads_only_requested_chunks() {
+        let bytes = sample_file(1, 2000);
+        let total_len = bytes.len() as u64;
+        let blob = CountingBlob::new(MemBlob::new(bytes));
+        let reader = FileReader::open(blob).unwrap();
+        let after_open = reader.into_inner();
+        after_open.reset();
+        let reader = FileReader::open(after_open).unwrap();
+        let metadata_traffic = reader.into_inner();
+        let open_cost = metadata_traffic.bytes_read();
+        let reader = FileReader::open(metadata_traffic).unwrap();
+        reader.read_projected(0, &["label"]).unwrap();
+        let blob = reader.into_inner();
+        // Subtract the second open()'s metadata reads; what's left is the
+        // ranged read for the projected column chunk only.
+        let label_traffic = blob.bytes_read() - 2 * open_cost;
+        assert!(
+            label_traffic < total_len / 4,
+            "projected read touched {label_traffic} of {total_len} bytes"
+        );
+    }
+
+    #[test]
+    fn read_by_name_matches_read_by_index() {
+        let bytes = sample_file(1, 100);
+        let reader = FileReader::open(MemBlob::new(bytes)).unwrap();
+        let by_name = reader.read_projected(0, &["sparse_0"]).unwrap();
+        let by_idx = reader.read_columns(0, &[2]).unwrap();
+        assert_eq!(by_name, by_idx);
+    }
+
+    #[test]
+    fn unknown_column_and_group_error() {
+        let bytes = sample_file(1, 10);
+        let reader = FileReader::open(MemBlob::new(bytes)).unwrap();
+        assert!(reader.read_projected(0, &["nope"]).is_err());
+        assert!(reader.read_column(5, 0).is_err());
+        assert!(reader.read_column(0, 99).is_err());
+    }
+
+    #[test]
+    fn writer_rejects_schema_violations() {
+        let mut w = FileWriter::new(sample_schema());
+        // Wrong arity.
+        assert!(w.write_row_group(&[Array::Int64(vec![1])]).is_err());
+        // Wrong type order.
+        assert!(w
+            .write_row_group(&[
+                Array::Float32(vec![1.0]),
+                Array::Float32(vec![1.0]),
+                Array::from_lists([vec![1i64]]).unwrap(),
+            ])
+            .is_err());
+        // Mismatched row counts.
+        assert!(w
+            .write_row_group(&[
+                Array::Int64(vec![1, 2]),
+                Array::Float32(vec![1.0]),
+                Array::from_lists([vec![1i64]]).unwrap(),
+            ])
+            .is_err());
+    }
+
+    #[test]
+    fn corrupt_footer_detected() {
+        let mut bytes = sample_file(1, 50);
+        // Flip a bit inside the footer (just before the 16-byte tail).
+        let idx = bytes.len() - 20;
+        bytes[idx] ^= 0x01;
+        assert!(FileReader::open(MemBlob::new(bytes)).is_err());
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut bytes = sample_file(1, 10);
+        bytes[0] = b'X';
+        assert!(matches!(
+            FileReader::open(MemBlob::new(bytes)),
+            Err(ColumnarError::CorruptFile { .. })
+        ));
+        let mut bytes = sample_file(1, 10);
+        let n = bytes.len();
+        bytes[n - 1] = b'X';
+        assert!(FileReader::open(MemBlob::new(bytes)).is_err());
+    }
+
+    #[test]
+    fn tiny_file_rejected() {
+        assert!(FileReader::open(MemBlob::new(vec![0; 10])).is_err());
+    }
+
+    #[test]
+    fn compressed_files_roundtrip_and_shrink() {
+        use crate::compress::Compression;
+        // Repetitive labels + low-cardinality lists: compressible content.
+        let schema = sample_schema();
+        let cols = sample_columns(2000, 1);
+        let plain = {
+            let mut w = FileWriter::with_page_rows(schema.clone(), 256);
+            w.write_row_group(&cols).unwrap();
+            w.finish()
+        };
+        let packed = {
+            let mut w = FileWriter::with_page_rows(schema, 256)
+                .with_compression(Compression::Lz);
+            w.write_row_group(&cols).unwrap();
+            w.finish()
+        };
+        assert!(packed.len() <= plain.len(), "{} > {}", packed.len(), plain.len());
+        let reader = FileReader::open(MemBlob::new(packed)).unwrap();
+        assert_eq!(reader.read_row_group(0).unwrap(), cols);
+    }
+
+    #[test]
+    fn empty_row_group_list_roundtrips() {
+        let w = FileWriter::new(sample_schema());
+        let bytes = w.finish();
+        let reader = FileReader::open(MemBlob::new(bytes)).unwrap();
+        assert_eq!(reader.row_group_count(), 0);
+        assert_eq!(reader.meta().total_rows(), 0);
+    }
+}

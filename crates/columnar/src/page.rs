@@ -1,0 +1,272 @@
+//! Pages: the unit of encoding and checksumming inside a column chunk.
+//!
+//! Layout of one page:
+//!
+//! ```text
+//! u8       encoding tag (value stream encoding)
+//! u8       compression tag (None | Lz)
+//! varint   row count
+//! varint   element count (== row count for scalar columns)
+//! varint   stored payload length in bytes
+//! u32 LE   CRC-32 of the stored payload
+//! payload  [lists only: RLE row-length stream] value stream,
+//!          optionally LZ-compressed
+//! ```
+
+use crate::array::Array;
+use crate::checksum::crc32;
+use crate::compress::{self, Compression};
+use crate::encoding::{self, rle, varint, Encoding};
+use crate::error::{ColumnarError, Result};
+use crate::schema::DataType;
+
+/// Default number of rows the writer packs into one page.
+pub const DEFAULT_PAGE_ROWS: usize = 4096;
+
+/// Encodes `array` (already sliced to page size by the caller) into `out`
+/// without compression.
+///
+/// Returns the encoding that was chosen.
+///
+/// # Errors
+///
+/// Returns [`ColumnarError::ValueOutOfRange`] when list lengths overflow the
+/// RLE stream (practically impossible for sane page sizes).
+pub fn write_page(array: &Array, out: &mut Vec<u8>) -> Result<Encoding> {
+    write_page_with(array, Compression::None, out)
+}
+
+/// Encodes `array` into `out`, compressing the payload with `compression`
+/// when that makes it smaller (falls back to stored-uncompressed
+/// otherwise).
+///
+/// # Errors
+///
+/// Same as [`write_page`].
+pub fn write_page_with(
+    array: &Array,
+    compression: Compression,
+    out: &mut Vec<u8>,
+) -> Result<Encoding> {
+    let mut payload = Vec::new();
+    let encoding = match array {
+        Array::Int64(values) => {
+            let enc = encoding::choose_i64_encoding(values);
+            encoding::encode_i64(enc, values, &mut payload);
+            enc
+        }
+        Array::Float32(values) => {
+            encoding::plain::encode_f32(values, &mut payload);
+            Encoding::Plain
+        }
+        Array::Float64(values) => {
+            encoding::plain::encode_f64(values, &mut payload);
+            Encoding::Plain
+        }
+        Array::ListInt64 { offsets, values } => {
+            let lengths: Vec<u64> =
+                offsets.windows(2).map(|w| u64::from(w[1] - w[0])).collect();
+            rle::encode(&lengths, &mut payload);
+            let enc = encoding::choose_i64_encoding(values);
+            payload.push(enc.to_tag());
+            encoding::encode_i64(enc, values, &mut payload);
+            enc
+        }
+    };
+
+    let (stored_compression, stored) = match compression {
+        Compression::None => (Compression::None, payload),
+        Compression::Lz => {
+            let packed = compress::compress(&payload);
+            if packed.len() < payload.len() {
+                (Compression::Lz, packed)
+            } else {
+                (Compression::None, payload)
+            }
+        }
+    };
+    out.push(encoding.to_tag());
+    out.push(stored_compression.to_tag());
+    varint::write_u64(out, array.len() as u64);
+    varint::write_u64(out, array.element_count() as u64);
+    varint::write_u64(out, stored.len() as u64);
+    out.extend_from_slice(&crc32(&stored).to_le_bytes());
+    out.extend_from_slice(&stored);
+    Ok(encoding)
+}
+
+/// Decodes one page of the given `data_type` from `buf` at `*pos`.
+///
+/// # Errors
+///
+/// Returns [`ColumnarError::ChecksumMismatch`] on payload corruption,
+/// [`ColumnarError::UnexpectedEof`] on truncation and decode errors from the
+/// underlying encodings.
+pub fn read_page(buf: &[u8], pos: &mut usize, data_type: DataType) -> Result<Array> {
+    let Some(&enc_tag) = buf.get(*pos) else {
+        return Err(ColumnarError::UnexpectedEof { context: "page encoding tag" });
+    };
+    *pos += 1;
+    let encoding = Encoding::from_tag(enc_tag)?;
+    let Some(&comp_tag) = buf.get(*pos) else {
+        return Err(ColumnarError::UnexpectedEof { context: "page compression tag" });
+    };
+    *pos += 1;
+    let compression = Compression::from_tag(comp_tag)?;
+    let rows = varint::read_u64(buf, pos)? as usize;
+    let elements = varint::read_u64(buf, pos)? as usize;
+    let payload_len = varint::read_u64(buf, pos)? as usize;
+    if buf.len() < *pos + 4 {
+        return Err(ColumnarError::UnexpectedEof { context: "page checksum" });
+    }
+    let stored_crc = u32::from_le_bytes(buf[*pos..*pos + 4].try_into().expect("4 bytes"));
+    *pos += 4;
+    if buf.len() < *pos + payload_len {
+        return Err(ColumnarError::UnexpectedEof { context: "page payload" });
+    }
+    let stored = &buf[*pos..*pos + payload_len];
+    *pos += payload_len;
+    let actual_crc = crc32(stored);
+    if actual_crc != stored_crc {
+        return Err(ColumnarError::ChecksumMismatch { expected: stored_crc, actual: actual_crc });
+    }
+    let decompressed;
+    let payload: &[u8] = match compression {
+        Compression::None => stored,
+        Compression::Lz => {
+            decompressed = compress::decompress(stored)?;
+            &decompressed
+        }
+    };
+
+    let mut p = 0usize;
+    let array = match data_type {
+        DataType::Int64 => Array::Int64(encoding::decode_i64(encoding, payload, &mut p, rows)?),
+        DataType::Float32 => {
+            Array::Float32(encoding::plain::decode_f32(payload, &mut p, rows)?)
+        }
+        DataType::Float64 => {
+            Array::Float64(encoding::plain::decode_f64(payload, &mut p, rows)?)
+        }
+        DataType::ListInt64 => {
+            let lengths = rle::decode(payload, &mut p)?;
+            if lengths.len() != rows {
+                return Err(ColumnarError::CountMismatch { declared: rows, actual: lengths.len() });
+            }
+            let Some(&value_tag) = payload.get(p) else {
+                return Err(ColumnarError::UnexpectedEof { context: "list value encoding tag" });
+            };
+            p += 1;
+            let value_enc = Encoding::from_tag(value_tag)?;
+            let values = encoding::decode_i64(value_enc, payload, &mut p, elements)?;
+            let mut offsets = Vec::with_capacity(rows + 1);
+            offsets.push(0u32);
+            let mut acc = 0u64;
+            for len in lengths {
+                acc += len;
+                let off = u32::try_from(acc).map_err(|_| ColumnarError::ValueOutOfRange {
+                    detail: "list offsets overflow u32".into(),
+                })?;
+                offsets.push(off);
+            }
+            Array::ListInt64 { offsets, values }
+        }
+    };
+    if array.element_count() != elements {
+        return Err(ColumnarError::CountMismatch {
+            declared: elements,
+            actual: array.element_count(),
+        });
+    }
+    array.validate()?;
+    Ok(array)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(array: Array) {
+        let mut buf = Vec::new();
+        write_page(&array, &mut buf).unwrap();
+        let mut pos = 0;
+        let back = read_page(&buf, &mut pos, array.data_type()).unwrap();
+        assert_eq!(back, array);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn int64_page_roundtrips() {
+        roundtrip(Array::Int64((0..5000).map(|i| i * 3 - 100).collect()));
+    }
+
+    #[test]
+    fn float32_page_roundtrips() {
+        roundtrip(Array::Float32((0..4096).map(|i| i as f32 * 0.25).collect()));
+    }
+
+    #[test]
+    fn float64_page_roundtrips() {
+        roundtrip(Array::Float64(vec![1.5, -2.5, 0.0]));
+    }
+
+    #[test]
+    fn list_page_roundtrips() {
+        let lists: Vec<Vec<i64>> =
+            (0..500).map(|i| (0..(i % 7)).map(|j| i as i64 * 100 + j as i64).collect()).collect();
+        roundtrip(Array::from_lists(lists).unwrap());
+    }
+
+    #[test]
+    fn empty_pages_roundtrip() {
+        roundtrip(Array::Int64(vec![]));
+        roundtrip(Array::Float32(vec![]));
+        roundtrip(Array::from_lists(Vec::<Vec<i64>>::new()).unwrap());
+    }
+
+    #[test]
+    fn bitflip_in_payload_is_caught() {
+        let mut buf = Vec::new();
+        write_page(&Array::Int64((0..100).collect()), &mut buf).unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0x40;
+        let mut pos = 0;
+        assert!(matches!(
+            read_page(&buf, &mut pos, DataType::Int64),
+            Err(ColumnarError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_page_is_caught() {
+        let mut buf = Vec::new();
+        write_page(&Array::Float32(vec![1.0; 64]), &mut buf).unwrap();
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert!(read_page(&buf[..cut], &mut pos, DataType::Float32).is_err());
+        }
+    }
+
+    #[test]
+    fn wrong_type_fails_cleanly() {
+        // A list page read as Int64 must error, not panic.
+        let lists = Array::from_lists([vec![1i64, 2, 3]]).unwrap();
+        let mut buf = Vec::new();
+        write_page(&lists, &mut buf).unwrap();
+        let mut pos = 0;
+        assert!(read_page(&buf, &mut pos, DataType::Int64).is_err());
+    }
+
+    #[test]
+    fn sparse_feature_like_lists_compress() {
+        // Average length 20, ids in a 500k vocab — the RM2-5 shape.
+        let lists: Vec<Vec<i64>> = (0..1024u64)
+            .map(|i| (0..20).map(|j| ((i * 37 + j * 101) % 500_000) as i64).collect())
+            .collect();
+        let a = Array::from_lists(lists).unwrap();
+        let raw = a.byte_size();
+        let mut buf = Vec::new();
+        write_page(&a, &mut buf).unwrap();
+        assert!(buf.len() < raw, "encoded {} raw {raw}", buf.len());
+    }
+}

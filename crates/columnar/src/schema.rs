@@ -1,0 +1,275 @@
+//! Logical schema: fields, data types and lookup by name.
+//!
+//! A RecSys training table is modeled exactly the way the PreSto paper
+//! describes it (Section II-B): each row is a user sample, each column is a
+//! feature. Dense features are `Float32`, sparse features are variable-length
+//! lists of categorical ids (`ListInt64`), and the click label is `Int64`.
+
+use crate::error::{ColumnarError, Result};
+use std::fmt;
+
+/// Physical/logical data type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum DataType {
+    /// 64-bit signed integers (labels, raw categorical values).
+    Int64,
+    /// 32-bit IEEE-754 floats (dense features).
+    Float32,
+    /// 64-bit IEEE-754 floats (normalized dense features).
+    Float64,
+    /// Variable-length lists of 64-bit ids (sparse features).
+    ListInt64,
+}
+
+impl DataType {
+    /// Width in bytes of one element of this type, for sizing estimates.
+    ///
+    /// For [`DataType::ListInt64`] this is the width of a single list
+    /// *element*, not of the whole list.
+    #[must_use]
+    pub fn element_width(self) -> usize {
+        match self {
+            DataType::Int64 | DataType::Float64 | DataType::ListInt64 => 8,
+            DataType::Float32 => 4,
+        }
+    }
+
+    /// Stable on-disk tag for the type.
+    #[must_use]
+    pub(crate) fn to_tag(self) -> u8 {
+        match self {
+            DataType::Int64 => 0,
+            DataType::Float32 => 1,
+            DataType::Float64 => 2,
+            DataType::ListInt64 => 3,
+        }
+    }
+
+    /// Inverse of [`DataType::to_tag`].
+    pub(crate) fn from_tag(tag: u8) -> Result<Self> {
+        match tag {
+            0 => Ok(DataType::Int64),
+            1 => Ok(DataType::Float32),
+            2 => Ok(DataType::Float64),
+            3 => Ok(DataType::ListInt64),
+            other => Err(ColumnarError::CorruptFile {
+                detail: format!("unknown data type tag {other}"),
+            }),
+        }
+    }
+
+    /// Name used in error messages.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::Int64 => "Int64",
+            DataType::Float32 => "Float32",
+            DataType::Float64 => "Float64",
+            DataType::ListInt64 => "ListInt64",
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A named, typed column in a table schema.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Field {
+    name: String,
+    data_type: DataType,
+}
+
+impl Field {
+    /// Creates a field with the given name and type.
+    #[must_use]
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Field { name: name.into(), data_type }
+    }
+
+    /// The field name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The field type.
+    #[must_use]
+    pub fn data_type(&self) -> DataType {
+        self.data_type
+    }
+}
+
+/// An ordered collection of uniquely named [`Field`]s.
+///
+/// # Examples
+///
+/// ```
+/// use presto_columnar::{DataType, Field, Schema};
+///
+/// let schema = Schema::new(vec![
+///     Field::new("label", DataType::Int64),
+///     Field::new("dense_0", DataType::Float32),
+///     Field::new("sparse_0", DataType::ListInt64),
+/// ])?;
+/// assert_eq!(schema.len(), 3);
+/// assert_eq!(schema.index_of("dense_0"), Some(1));
+/// # Ok::<(), presto_columnar::ColumnarError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Builds a schema from fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ColumnarError::InvalidSchema`] if the field list is empty or
+    /// contains duplicate names.
+    pub fn new(fields: Vec<Field>) -> Result<Self> {
+        if fields.is_empty() {
+            return Err(ColumnarError::InvalidSchema { detail: "schema has no fields".into() });
+        }
+        for (i, f) in fields.iter().enumerate() {
+            if fields[..i].iter().any(|g| g.name() == f.name()) {
+                return Err(ColumnarError::InvalidSchema {
+                    detail: format!("duplicate field name {:?}", f.name()),
+                });
+            }
+        }
+        Ok(Schema { fields })
+    }
+
+    /// Number of fields.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when the schema has no fields (never true for a valid schema).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// All fields in declaration order.
+    #[must_use]
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Field at `idx`, if in range.
+    #[must_use]
+    pub fn field(&self, idx: usize) -> Option<&Field> {
+        self.fields.get(idx)
+    }
+
+    /// Index of the field named `name`.
+    #[must_use]
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name() == name)
+    }
+
+    /// Resolves a list of column names to indices, preserving order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ColumnarError::UnknownColumn`] on the first name that does
+    /// not exist.
+    pub fn project(&self, names: &[&str]) -> Result<Vec<usize>> {
+        names
+            .iter()
+            .map(|n| {
+                self.index_of(n).ok_or_else(|| ColumnarError::UnknownColumn { name: (*n).into() })
+            })
+            .collect()
+    }
+
+    /// Iterator over the fields.
+    pub fn iter(&self) -> std::slice::Iter<'_, Field> {
+        self.fields.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Schema {
+    type Item = &'a Field;
+    type IntoIter = std::slice::Iter<'a, Field>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.fields.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            Field::new("label", DataType::Int64),
+            Field::new("dense_0", DataType::Float32),
+            Field::new("sparse_0", DataType::ListInt64),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_empty_schema() {
+        assert!(matches!(Schema::new(vec![]), Err(ColumnarError::InvalidSchema { .. })));
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let err = Schema::new(vec![
+            Field::new("x", DataType::Int64),
+            Field::new("x", DataType::Float32),
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = sample();
+        assert_eq!(s.index_of("sparse_0"), Some(2));
+        assert_eq!(s.index_of("missing"), None);
+        assert_eq!(s.field(1).unwrap().data_type(), DataType::Float32);
+    }
+
+    #[test]
+    fn projection_preserves_order_and_errors() {
+        let s = sample();
+        assert_eq!(s.project(&["sparse_0", "label"]).unwrap(), vec![2, 0]);
+        assert!(matches!(
+            s.project(&["label", "nope"]),
+            Err(ColumnarError::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn data_type_tags_roundtrip() {
+        for dt in [DataType::Int64, DataType::Float32, DataType::Float64, DataType::ListInt64] {
+            assert_eq!(DataType::from_tag(dt.to_tag()).unwrap(), dt);
+        }
+        assert!(DataType::from_tag(99).is_err());
+    }
+
+    #[test]
+    fn element_widths() {
+        assert_eq!(DataType::Float32.element_width(), 4);
+        assert_eq!(DataType::ListInt64.element_width(), 8);
+    }
+
+    #[test]
+    fn schema_iterates() {
+        let s = sample();
+        let names: Vec<_> = (&s).into_iter().map(Field::name).collect();
+        assert_eq!(names, vec!["label", "dense_0", "sparse_0"]);
+    }
+}

@@ -1,0 +1,127 @@
+//! Per-column-chunk statistics recorded in the file footer.
+//!
+//! Readers use these to size buffers and (in the hwsim layer) to price decode
+//! work without touching payload bytes.
+
+use crate::array::Array;
+use crate::encoding::varint;
+use crate::error::Result;
+
+/// Statistics for one column chunk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColumnStats {
+    /// Number of rows in the chunk.
+    pub rows: u64,
+    /// Number of scalar elements (= rows for scalars, flattened length for lists).
+    pub elements: u64,
+    /// Minimum integer value, when the column is integer-typed and non-empty.
+    pub min_i64: Option<i64>,
+    /// Maximum integer value, when the column is integer-typed and non-empty.
+    pub max_i64: Option<i64>,
+}
+
+impl ColumnStats {
+    /// Computes statistics from an in-memory array.
+    #[must_use]
+    pub fn from_array(array: &Array) -> Self {
+        let (min_i64, max_i64) = match array {
+            Array::Int64(v) => (v.iter().min().copied(), v.iter().max().copied()),
+            Array::ListInt64 { values, .. } => {
+                (values.iter().min().copied(), values.iter().max().copied())
+            }
+            _ => (None, None),
+        };
+        ColumnStats {
+            rows: array.len() as u64,
+            elements: array.element_count() as u64,
+            min_i64,
+            max_i64,
+        }
+    }
+
+    pub(crate) fn write(&self, out: &mut Vec<u8>) {
+        varint::write_u64(out, self.rows);
+        varint::write_u64(out, self.elements);
+        match (self.min_i64, self.max_i64) {
+            (Some(min), Some(max)) => {
+                out.push(1);
+                varint::write_i64(out, min);
+                varint::write_i64(out, max);
+            }
+            _ => out.push(0),
+        }
+    }
+
+    pub(crate) fn read(buf: &[u8], pos: &mut usize) -> Result<Self> {
+        let rows = varint::read_u64(buf, pos)?;
+        let elements = varint::read_u64(buf, pos)?;
+        let has_minmax = {
+            let b = buf.get(*pos).copied().ok_or(crate::error::ColumnarError::UnexpectedEof {
+                context: "stats flag",
+            })?;
+            *pos += 1;
+            b == 1
+        };
+        let (min_i64, max_i64) = if has_minmax {
+            (Some(varint::read_i64(buf, pos)?), Some(varint::read_i64(buf, pos)?))
+        } else {
+            (None, None)
+        };
+        Ok(ColumnStats { rows, elements, min_i64, max_i64 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_from_int_array() {
+        let s = ColumnStats::from_array(&Array::Int64(vec![3, -1, 7]));
+        assert_eq!(s.rows, 3);
+        assert_eq!(s.elements, 3);
+        assert_eq!(s.min_i64, Some(-1));
+        assert_eq!(s.max_i64, Some(7));
+    }
+
+    #[test]
+    fn stats_from_list_array_count_elements() {
+        let a = Array::from_lists([vec![5i64, 1], vec![9]]).unwrap();
+        let s = ColumnStats::from_array(&a);
+        assert_eq!(s.rows, 2);
+        assert_eq!(s.elements, 3);
+        assert_eq!(s.min_i64, Some(1));
+        assert_eq!(s.max_i64, Some(9));
+    }
+
+    #[test]
+    fn stats_from_float_array_have_no_minmax() {
+        let s = ColumnStats::from_array(&Array::Float32(vec![1.0, 2.0]));
+        assert_eq!(s.min_i64, None);
+        assert_eq!(s.max_i64, None);
+    }
+
+    #[test]
+    fn serialization_roundtrips() {
+        for s in [
+            ColumnStats { rows: 0, elements: 0, min_i64: None, max_i64: None },
+            ColumnStats { rows: 10, elements: 200, min_i64: Some(-5), max_i64: Some(i64::MAX) },
+        ] {
+            let mut buf = Vec::new();
+            s.write(&mut buf);
+            let mut pos = 0;
+            assert_eq!(ColumnStats::read(&buf, &mut pos).unwrap(), s);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn truncated_stats_error() {
+        let s = ColumnStats { rows: 1, elements: 1, min_i64: Some(1), max_i64: Some(2) };
+        let mut buf = Vec::new();
+        s.write(&mut buf);
+        buf.pop();
+        let mut pos = 0;
+        assert!(ColumnStats::read(&buf, &mut pos).is_err());
+    }
+}

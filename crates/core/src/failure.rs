@@ -1,0 +1,376 @@
+//! Failure injection: device loss and preprocess-manager recovery.
+//!
+//! Production storage fleets lose devices; a preprocessing system sized at
+//! exactly `⌈T/P⌉` devices has no slack, so the preprocess manager must
+//! detect failures and respawn workers (on a spare SmartSSD or CPU node).
+//! This module extends the pipeline simulation with failure events and a
+//! recovery policy, reporting the GPU-utilization dip and recovery time —
+//! the paper leaves fault handling as deployment engineering; we implement
+//! the obvious policy and quantify it.
+
+use presto_datagen::{RmConfig, WorkloadProfile};
+use presto_hwsim::event::EventQueue;
+use presto_hwsim::gpu::GpuTrainModel;
+use presto_hwsim::units::Secs;
+
+use crate::pipeline::PipelineConfig;
+use crate::systems::System;
+
+/// One injected device failure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailureEvent {
+    /// Simulation time at which the device dies.
+    pub at: Secs,
+    /// Index of the worker/device that fails.
+    pub worker: usize,
+}
+
+/// How the preprocess manager reacts to failures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Time from failure to detection (missed heartbeats).
+    pub detection_delay: Secs,
+    /// Time to spawn a replacement worker once detected.
+    pub respawn_delay: Secs,
+    /// Spare devices available; failures beyond this are permanent.
+    pub spares: usize,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            detection_delay: Secs::new(0.05),
+            respawn_delay: Secs::new(0.2),
+            spares: 1,
+        }
+    }
+}
+
+/// Outcome of a faulty run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultyRunReport {
+    /// Total simulated time.
+    pub makespan: Secs,
+    /// GPU utilization over the steady window.
+    pub gpu_utilization: f64,
+    /// Mini-batches trained.
+    pub batches_trained: usize,
+    /// Failures that were recovered (respawned on spares).
+    pub recovered_failures: usize,
+    /// Failures left unrecovered (no spares remaining).
+    pub permanent_failures: usize,
+}
+
+#[derive(Debug)]
+enum Event {
+    BatchReady { worker: usize, epoch: u32 },
+    GpuDone,
+    Fail { worker: usize },
+    Respawn { worker: usize },
+}
+
+/// Simulates `config.batches` mini-batches under injected `failures` and a
+/// `recovery` policy.
+///
+/// Each worker produces batches at the system's per-worker rate. A failed
+/// worker's in-flight batch is lost; after `detection_delay +
+/// respawn_delay` it resumes (if a spare remains). Epoch counters fence
+/// stale events from resurrected workers.
+///
+/// # Panics
+///
+/// Panics if the simulation deadlocks with batches remaining but no
+/// worker alive to produce them (all devices permanently failed).
+#[must_use]
+pub fn simulate_with_failures(
+    system: &System,
+    gpu: &GpuTrainModel,
+    model: &RmConfig,
+    config: &PipelineConfig,
+    failures: &[FailureEvent],
+    recovery: RecoveryPolicy,
+) -> FaultyRunReport {
+    let profile = WorkloadProfile::from_config(model);
+    let workers = system.parallelism().max(1);
+    let per_worker = system.per_worker_throughput(&profile);
+    let batch_interval = Secs::new(profile.rows as f64 / per_worker);
+    let step_time = gpu.step_time(model);
+    let num_gpus = config.num_gpus.max(1);
+
+    let mut alive = vec![true; workers];
+    let mut epochs = vec![0u32; workers];
+    let mut spares_left = recovery.spares;
+    let mut recovered = 0usize;
+    let mut permanent = 0usize;
+
+    let mut queue = 0usize;
+    let mut started = 0usize;
+    let mut trained = 0usize;
+    let mut blocked: Vec<usize> = Vec::new();
+    let mut idle_gpus = num_gpus;
+    let mut gpu_busy = Secs::ZERO;
+    let mut first_arrival: Option<Secs> = None;
+
+    let mut events: EventQueue<Event> = EventQueue::new();
+    for (worker, &is_alive) in alive.iter().enumerate() {
+        if is_alive && started < config.batches {
+            started += 1;
+            let offset = batch_interval * (worker as f64 / workers as f64);
+            events.schedule_after(batch_interval + offset, Event::BatchReady { worker, epoch: 0 });
+        }
+    }
+    for f in failures {
+        events.schedule(f.at, Event::Fail { worker: f.worker });
+    }
+
+    while let Some((now, event)) = events.pop() {
+        match event {
+            Event::BatchReady { worker, epoch } => {
+                // Stale events from a pre-failure epoch are dropped — the
+                // batch died with the device. Its production slot is
+                // re-dispatched immediately to a live worker so the job
+                // still finishes (another device re-reads the partition).
+                if !alive[worker] || epochs[worker] != epoch {
+                    if let Some(live) = alive.iter().position(|&a| a) {
+                        let live_epoch = epochs[live];
+                        events.schedule_after(
+                            batch_interval,
+                            Event::BatchReady { worker: live, epoch: live_epoch },
+                        );
+                    } else {
+                        // Nobody alive right now: release the slot and let
+                        // a respawned worker claim it via start_next.
+                        started = started.saturating_sub(1);
+                    }
+                    continue;
+                }
+                first_arrival.get_or_insert(now);
+                if idle_gpus > 0 {
+                    idle_gpus -= 1;
+                    gpu_busy += step_time;
+                    events.schedule_after(step_time, Event::GpuDone);
+                    start_next(&mut events, &mut started, config, batch_interval, worker, epoch);
+                } else if queue < config.queue_capacity {
+                    queue += 1;
+                    start_next(&mut events, &mut started, config, batch_interval, worker, epoch);
+                } else {
+                    blocked.push(worker);
+                }
+            }
+            Event::GpuDone => {
+                trained += 1;
+                if queue > 0 {
+                    queue -= 1;
+                    gpu_busy += step_time;
+                    events.schedule_after(step_time, Event::GpuDone);
+                    if let Some(worker) = blocked.pop() {
+                        if alive[worker] {
+                            queue += 1;
+                            let epoch = epochs[worker];
+                            start_next(
+                                &mut events,
+                                &mut started,
+                                config,
+                                batch_interval,
+                                worker,
+                                epoch,
+                            );
+                        }
+                    }
+                } else {
+                    idle_gpus += 1;
+                }
+            }
+            Event::Fail { worker } => {
+                if !alive[worker] {
+                    continue;
+                }
+                alive[worker] = false;
+                epochs[worker] += 1;
+                blocked.retain(|&w| w != worker);
+                if spares_left > 0 {
+                    spares_left -= 1;
+                    recovered += 1;
+                    let delay = recovery.detection_delay + recovery.respawn_delay;
+                    events.schedule_after(delay, Event::Respawn { worker });
+                } else {
+                    permanent += 1;
+                }
+            }
+            Event::Respawn { worker } => {
+                alive[worker] = true;
+                let epoch = epochs[worker];
+                start_next(&mut events, &mut started, config, batch_interval, worker, epoch);
+            }
+        }
+        if trained >= config.batches {
+            break;
+        }
+    }
+    assert!(
+        trained >= config.batches || alive.iter().any(|&a| a),
+        "pipeline deadlocked: every worker permanently failed"
+    );
+
+    let makespan = events.now();
+    let window = match first_arrival {
+        Some(t) if makespan > t => makespan - t,
+        _ => makespan,
+    };
+    let denom = window.seconds() * num_gpus as f64;
+    FaultyRunReport {
+        makespan,
+        gpu_utilization: if denom == 0.0 { 0.0 } else { (gpu_busy.seconds() / denom).min(1.0) },
+        batches_trained: trained,
+        recovered_failures: recovered,
+        permanent_failures: permanent,
+    }
+}
+
+fn start_next(
+    events: &mut EventQueue<Event>,
+    started: &mut usize,
+    config: &PipelineConfig,
+    batch_interval: Secs,
+    worker: usize,
+    epoch: u32,
+) {
+    if *started < config.batches {
+        *started += 1;
+        events.schedule_after(batch_interval, Event::BatchReady { worker, epoch });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_config() -> PipelineConfig {
+        PipelineConfig { batches: 96, queue_capacity: 8, num_gpus: 8 }
+    }
+
+    fn exact_fleet() -> System {
+        // Tight provisioning: just enough units for 8 GPUs on RM5.
+        let p = crate::provision::Provisioner::poc();
+        System::presto_smartssd(p.isp_units_required(&RmConfig::rm5(), 8))
+    }
+
+    #[test]
+    fn no_failures_matches_healthy_run() {
+        let gpu = GpuTrainModel::a100();
+        let healthy = crate::pipeline::simulate(
+            &exact_fleet(),
+            &gpu,
+            &RmConfig::rm5(),
+            &base_config(),
+        );
+        let faulty = simulate_with_failures(
+            &exact_fleet(),
+            &gpu,
+            &RmConfig::rm5(),
+            &base_config(),
+            &[],
+            RecoveryPolicy::default(),
+        );
+        assert_eq!(faulty.batches_trained, healthy.batches_trained);
+        assert!((faulty.gpu_utilization - healthy.gpu_utilization).abs() < 0.05);
+        assert_eq!(faulty.recovered_failures, 0);
+    }
+
+    #[test]
+    fn one_failure_recovers_and_completes() {
+        let gpu = GpuTrainModel::a100();
+        let report = simulate_with_failures(
+            &exact_fleet(),
+            &gpu,
+            &RmConfig::rm5(),
+            &base_config(),
+            &[FailureEvent { at: Secs::new(0.05), worker: 0 }],
+            RecoveryPolicy::default(),
+        );
+        assert_eq!(report.batches_trained, 96);
+        assert_eq!(report.recovered_failures, 1);
+        assert_eq!(report.permanent_failures, 0);
+    }
+
+    #[test]
+    fn unrecovered_failure_degrades_utilization() {
+        let gpu = GpuTrainModel::a100();
+        let no_spares = RecoveryPolicy { spares: 0, ..RecoveryPolicy::default() };
+        let healthy = simulate_with_failures(
+            &exact_fleet(),
+            &gpu,
+            &RmConfig::rm5(),
+            &base_config(),
+            &[],
+            no_spares,
+        );
+        let degraded = simulate_with_failures(
+            &exact_fleet(),
+            &gpu,
+            &RmConfig::rm5(),
+            &base_config(),
+            &[FailureEvent { at: Secs::new(0.05), worker: 0 }],
+            no_spares,
+        );
+        assert_eq!(degraded.permanent_failures, 1);
+        assert_eq!(degraded.batches_trained, 96, "job must still finish");
+        assert!(
+            degraded.gpu_utilization < healthy.gpu_utilization,
+            "degraded {:.3} vs healthy {:.3}",
+            degraded.gpu_utilization,
+            healthy.gpu_utilization
+        );
+        assert!(degraded.makespan > healthy.makespan);
+    }
+
+    #[test]
+    fn slow_recovery_hurts_more_than_fast() {
+        let gpu = GpuTrainModel::a100();
+        let failures = [FailureEvent { at: Secs::new(0.05), worker: 1 }];
+        let fast = simulate_with_failures(
+            &exact_fleet(),
+            &gpu,
+            &RmConfig::rm5(),
+            &base_config(),
+            &failures,
+            RecoveryPolicy {
+                detection_delay: Secs::new(0.01),
+                respawn_delay: Secs::new(0.05),
+                spares: 1,
+            },
+        );
+        let slow = simulate_with_failures(
+            &exact_fleet(),
+            &gpu,
+            &RmConfig::rm5(),
+            &base_config(),
+            &failures,
+            RecoveryPolicy {
+                detection_delay: Secs::new(0.2),
+                respawn_delay: Secs::new(1.0),
+                spares: 1,
+            },
+        );
+        assert!(slow.makespan >= fast.makespan);
+    }
+
+    #[test]
+    fn double_failure_of_same_worker_counts_once_per_life() {
+        let gpu = GpuTrainModel::a100();
+        let report = simulate_with_failures(
+            &exact_fleet(),
+            &gpu,
+            &RmConfig::rm5(),
+            &base_config(),
+            &[
+                FailureEvent { at: Secs::new(0.05), worker: 0 },
+                // Fires while worker 0 is already dead: ignored.
+                FailureEvent { at: Secs::new(0.06), worker: 0 },
+            ],
+            RecoveryPolicy::default(),
+        );
+        assert_eq!(report.recovered_failures + report.permanent_failures, 1);
+        assert_eq!(report.batches_trained, 96);
+    }
+}

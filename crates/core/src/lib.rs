@@ -1,0 +1,46 @@
+//! # presto-core
+//!
+//! The PreSto system layer of the ISCA 2024 reproduction: everything above
+//! the device models and below the benchmark harness.
+//!
+//! * [`systems::System`] — the four preprocessing architectures the paper
+//!   compares (co-located, disaggregated CPU pool, accelerator pools,
+//!   PreSto ISP).
+//! * [`provision::Provisioner`] — the `⌈T/P⌉` sizing rule (Figs. 4/14).
+//! * [`managers`] — the train manager / preprocess manager control flow of
+//!   Fig. 9.
+//! * [`pipeline`] — the discrete-event producer–consumer simulation behind
+//!   GPU-utilization numbers (Fig. 3).
+//! * [`experiments`] — one data generator per evaluation figure.
+//!
+//! ## Example: reproduce the headline comparison on RM5
+//!
+//! ```
+//! use presto_core::systems::System;
+//! use presto_datagen::{RmConfig, WorkloadProfile};
+//!
+//! let profile = WorkloadProfile::from_config(&RmConfig::rm5());
+//! let presto = System::presto_smartssd(1);
+//! let disagg32 = System::disagg(32);
+//! assert!(presto.throughput(&profile) > disagg32.throughput(&profile));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod datacenter;
+pub mod experiments;
+pub mod failure;
+pub mod isp_worker;
+pub mod managers;
+pub mod pipeline;
+pub mod provision;
+pub mod systems;
+
+pub use datacenter::{analyze as analyze_contention, ContentionReport, Fabric, FleetKind};
+pub use failure::{simulate_with_failures, FailureEvent, FaultyRunReport, RecoveryPolicy};
+pub use isp_worker::{IspRunStats, IspWorker};
+pub use managers::{Backend, EndToEndReport, PreprocessManager, TrainManager, TrainingJob};
+pub use pipeline::{simulate, PipelineConfig, PipelineReport};
+pub use provision::Provisioner;
+pub use systems::System;

@@ -1,0 +1,228 @@
+//! The train manager and preprocess manager of the PreSto software system
+//! (Fig. 9), as an executable control flow.
+//!
+//! 1. The train manager receives the job (model config, batch size, GPUs)
+//!    and boots the input queue (step ❶).
+//! 2. It stress-tests the GPUs to measure the maximum training throughput
+//!    `T`, then hands `T` to the preprocess manager (step ❷).
+//! 3. The preprocess manager measures one device's throughput `P` and
+//!    spawns `⌈T/P⌉` preprocessing workers (step ❸).
+//! 4. The pipeline runs: devices extract/preprocess (steps ❹–❺), batches
+//!    flow through the queue to the GPUs (steps ❻–❼) — simulated by
+//!    [`crate::pipeline::simulate`].
+
+use presto_datagen::{RmConfig, WorkloadProfile};
+use presto_hwsim::fpga::IspModel;
+use presto_hwsim::gpu::GpuTrainModel;
+use presto_hwsim::cpu::CpuWorkerModel;
+
+use crate::pipeline::{simulate, PipelineConfig, PipelineReport};
+use crate::systems::System;
+
+/// Which preprocessing backend the preprocess manager drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Backend {
+    /// Disaggregated CPU pool (the baseline).
+    DisaggCpu,
+    /// PreSto with SmartSSD ISP units.
+    PrestoSmartSsd,
+    /// PreSto with a storage-node U280.
+    PrestoU280,
+}
+
+/// A training job description (what TorchRec hands the train manager).
+#[derive(Debug, Clone)]
+pub struct TrainingJob {
+    /// Model/dataset configuration.
+    pub config: RmConfig,
+    /// GPUs dedicated to the job.
+    pub num_gpus: usize,
+    /// Mini-batches to train.
+    pub batches: usize,
+}
+
+/// Outcome of provisioning: the chosen system plus its sizing inputs.
+#[derive(Debug, Clone)]
+pub struct ProvisionOutcome {
+    /// The preprocessing system spawned.
+    pub system: System,
+    /// Measured training demand `T`, samples/sec.
+    pub training_demand: f64,
+    /// Measured per-device preprocessing throughput `P`, samples/sec.
+    pub per_device_throughput: f64,
+    /// Devices allocated (`⌈T/P⌉`).
+    pub devices: usize,
+}
+
+/// End-to-end run summary returned by the train manager.
+#[derive(Debug, Clone)]
+pub struct EndToEndReport {
+    /// Provisioning decision.
+    pub provision: ProvisionOutcome,
+    /// Pipeline simulation result.
+    pub pipeline: PipelineReport,
+}
+
+/// Preprocess manager: sizes and represents the preprocessing fleet.
+#[derive(Debug, Clone)]
+pub struct PreprocessManager {
+    backend: Backend,
+    cpu: CpuWorkerModel,
+}
+
+impl PreprocessManager {
+    /// Creates a manager for the chosen backend with PoC device models.
+    #[must_use]
+    pub fn new(backend: Backend) -> Self {
+        PreprocessManager { backend, cpu: CpuWorkerModel::poc() }
+    }
+
+    /// The backend in use.
+    #[must_use]
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Measures one device's preprocessing throughput `P` (step ❷'s
+    /// offline measurement) and allocates `⌈T/P⌉` devices (step ❸).
+    #[must_use]
+    pub fn provision(&self, config: &RmConfig, training_demand: f64) -> ProvisionOutcome {
+        let profile = WorkloadProfile::from_config(config);
+        let per_device = match self.backend {
+            Backend::DisaggCpu => {
+                System::DisaggCpu { cores: 1, cpu: self.cpu }
+                    .per_worker_throughput(&profile)
+            }
+            Backend::PrestoSmartSsd => IspModel::smartssd().throughput(&profile),
+            Backend::PrestoU280 => IspModel::u280_in_storage().throughput(&profile),
+        };
+        let devices = ((training_demand / per_device).ceil() as usize).max(1);
+        let system = match self.backend {
+            Backend::DisaggCpu => System::disagg(devices),
+            Backend::PrestoSmartSsd => System::presto_smartssd(devices),
+            Backend::PrestoU280 => System::Presto {
+                units: devices,
+                isp: IspModel::u280_in_storage(),
+            },
+        };
+        ProvisionOutcome {
+            system,
+            training_demand,
+            per_device_throughput: per_device,
+            devices,
+        }
+    }
+}
+
+/// Train manager: owns the job lifecycle from measurement to training.
+#[derive(Debug, Clone)]
+pub struct TrainManager {
+    gpu: GpuTrainModel,
+    queue_capacity: usize,
+}
+
+impl TrainManager {
+    /// Creates a train manager over PoC A100s with the default input queue.
+    #[must_use]
+    pub fn new() -> Self {
+        TrainManager { gpu: GpuTrainModel::a100(), queue_capacity: 8 }
+    }
+
+    /// Overrides the input-queue capacity.
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Stress-tests the GPUs with dummy mini-batches to find the maximum
+    /// sustainable training throughput `T` (step ❷).
+    #[must_use]
+    pub fn measure_training_demand(&self, job: &TrainingJob) -> f64 {
+        self.gpu.max_throughput(&job.config) * job.num_gpus as f64
+    }
+
+    /// Runs the full Fig. 9 flow for `job` on `preprocess`'s backend.
+    #[must_use]
+    pub fn launch(&self, job: &TrainingJob, preprocess: &PreprocessManager) -> EndToEndReport {
+        let demand = self.measure_training_demand(job);
+        let provision = preprocess.provision(&job.config, demand);
+        let pipeline = simulate(
+            &provision.system,
+            &self.gpu,
+            &job.config,
+            &PipelineConfig {
+                batches: job.batches,
+                queue_capacity: self.queue_capacity,
+                num_gpus: job.num_gpus,
+            },
+        );
+        EndToEndReport { provision, pipeline }
+    }
+}
+
+impl Default for TrainManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(gpus: usize) -> TrainingJob {
+        TrainingJob { config: RmConfig::rm5(), num_gpus: gpus, batches: 48 }
+    }
+
+    #[test]
+    fn provisioning_sizes_match_fig14() {
+        let tm = TrainManager::new();
+        let demand = tm.measure_training_demand(&job(8));
+        let disagg = PreprocessManager::new(Backend::DisaggCpu).provision(&RmConfig::rm5(), demand);
+        let presto =
+            PreprocessManager::new(Backend::PrestoSmartSsd).provision(&RmConfig::rm5(), demand);
+        assert!((280..=420).contains(&disagg.devices), "cores {}", disagg.devices);
+        assert!((4..=12).contains(&presto.devices), "units {}", presto.devices);
+    }
+
+    #[test]
+    fn launched_jobs_keep_gpus_busy() {
+        let tm = TrainManager::new();
+        for backend in [Backend::DisaggCpu, Backend::PrestoSmartSsd, Backend::PrestoU280] {
+            let report = tm.launch(&job(8), &PreprocessManager::new(backend));
+            assert!(
+                report.pipeline.gpu_utilization > 0.85,
+                "{backend:?}: utilization {:.2}",
+                report.pipeline.gpu_utilization
+            );
+            assert_eq!(report.pipeline.batches_trained, 48);
+        }
+    }
+
+    #[test]
+    fn both_backends_meet_the_same_demand() {
+        // The cost-efficiency comparison's premise: throughput × duration is
+        // identical across systems (Sec. V-C).
+        let tm = TrainManager::new();
+        let a = tm.launch(&job(8), &PreprocessManager::new(Backend::DisaggCpu));
+        let b = tm.launch(&job(8), &PreprocessManager::new(Backend::PrestoSmartSsd));
+        let ratio = a.pipeline.training_throughput / b.pipeline.training_throughput;
+        assert!((0.9..=1.1).contains(&ratio), "throughput ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn at_least_one_device_is_always_allocated() {
+        let pm = PreprocessManager::new(Backend::PrestoSmartSsd);
+        let out = pm.provision(&RmConfig::rm1(), 1.0);
+        assert_eq!(out.devices, 1);
+    }
+
+    #[test]
+    fn queue_capacity_builder() {
+        let tm = TrainManager::new().with_queue_capacity(0);
+        let report = tm.launch(&job(1), &PreprocessManager::new(Backend::PrestoSmartSsd));
+        assert_eq!(report.pipeline.batches_trained, 48);
+    }
+}

@@ -1,0 +1,264 @@
+//! End-to-end training-pipeline simulation (Fig. 9's producer–consumer
+//! loop), driven by the discrete-event engine.
+//!
+//! Preprocessing workers independently produce mini-batches into the train
+//! manager's bounded input queue; the GPU trainer consumes them. The
+//! simulation reports GPU utilization, queue occupancy and makespan — the
+//! quantities behind Fig. 3.
+
+use presto_datagen::{RmConfig, WorkloadProfile};
+use presto_hwsim::event::EventQueue;
+use presto_hwsim::gpu::GpuTrainModel;
+use presto_hwsim::units::Secs;
+
+use crate::systems::System;
+
+/// Configuration of one simulated run.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Mini-batches to train before stopping.
+    pub batches: usize,
+    /// Input-queue capacity (mini-batches); producers stall when full.
+    pub queue_capacity: usize,
+    /// Number of GPUs consuming batches.
+    pub num_gpus: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig { batches: 64, queue_capacity: 8, num_gpus: 1 }
+    }
+}
+
+/// Result of a simulated run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineReport {
+    /// Total simulated wall-clock time.
+    pub makespan: Secs,
+    /// Time the GPUs spent actually training.
+    pub gpu_busy: Secs,
+    /// GPU utilization in `[0, 1]` (busy time over `num_gpus × makespan`).
+    pub gpu_utilization: f64,
+    /// Mini-batches trained.
+    pub batches_trained: usize,
+    /// Effective end-to-end training throughput, samples/sec.
+    pub training_throughput: f64,
+    /// Peak input-queue occupancy observed.
+    pub peak_queue: usize,
+}
+
+#[derive(Debug)]
+enum Event {
+    /// A preprocessing worker finished a mini-batch.
+    BatchReady { worker: usize },
+    /// A GPU finished training a mini-batch.
+    GpuDone { gpu: usize },
+}
+
+/// Simulates `config.batches` mini-batches flowing through `system` into
+/// `gpu` trainers.
+///
+/// Producers are modeled at their steady-state per-worker throughput;
+/// trainers at their per-step time. The bounded queue applies back-pressure:
+/// a worker with a ready batch waits for space before starting its next one.
+#[must_use]
+pub fn simulate(
+    system: &System,
+    gpu: &GpuTrainModel,
+    model: &RmConfig,
+    config: &PipelineConfig,
+) -> PipelineReport {
+    let profile = WorkloadProfile::from_config(model);
+    let workers = system.parallelism().max(1);
+    let per_worker = system.per_worker_throughput(&profile);
+    let batch_interval = Secs::new(profile.rows as f64 / per_worker);
+    let step_time = gpu.step_time(model);
+    let num_gpus = config.num_gpus.max(1);
+
+    let mut queue: usize = 0; // ready batches waiting for a GPU
+    let mut started = 0usize; // batches whose production has begun
+    let mut trained = 0usize;
+    // Workers holding a finished batch because the queue is full
+    // (a producer blocks on its push, as in the real input queue).
+    let mut blocked_workers: Vec<usize> = Vec::new();
+    let mut idle_gpus: Vec<usize> = (0..num_gpus).collect();
+    let mut gpu_busy = Secs::ZERO;
+    let mut peak_queue = 0usize;
+    let mut first_arrival: Option<Secs> = None;
+
+    let mut events: EventQueue<Event> = EventQueue::new();
+    // Kick off the first wave of production. Workers are staggered across
+    // one batch interval, as a running fleet would be — without this the
+    // simulation produces artificial arrival bursts.
+    for worker in 0..workers {
+        if started < config.batches {
+            started += 1;
+            let offset = batch_interval * (worker as f64 / workers as f64);
+            events.schedule_after(batch_interval + offset, Event::BatchReady { worker });
+        }
+    }
+
+    let start_next = |events: &mut EventQueue<Event>, started: &mut usize, worker: usize| {
+        if *started < config.batches {
+            *started += 1;
+            events.schedule_after(batch_interval, Event::BatchReady { worker });
+        }
+    };
+
+    while let Some((now, event)) = events.pop() {
+        match event {
+            Event::BatchReady { worker } => {
+                first_arrival.get_or_insert(now);
+                if let Some(gpu_id) = idle_gpus.pop() {
+                    // Hand straight to an idle GPU, bypassing the queue.
+                    gpu_busy += step_time;
+                    events.schedule_after(step_time, Event::GpuDone { gpu: gpu_id });
+                    start_next(&mut events, &mut started, worker);
+                } else if queue < config.queue_capacity {
+                    queue += 1;
+                    peak_queue = peak_queue.max(queue);
+                    start_next(&mut events, &mut started, worker);
+                } else {
+                    // Queue full: the worker blocks holding its batch.
+                    blocked_workers.push(worker);
+                }
+            }
+            Event::GpuDone { gpu: gpu_id } => {
+                trained += 1;
+                if queue > 0 {
+                    queue -= 1;
+                    gpu_busy += step_time;
+                    events.schedule_after(step_time, Event::GpuDone { gpu: gpu_id });
+                    // Space freed: one blocked worker delivers and resumes.
+                    if let Some(worker) = blocked_workers.pop() {
+                        queue += 1;
+                        start_next(&mut events, &mut started, worker);
+                    }
+                } else if let Some(worker) = blocked_workers.pop() {
+                    // Zero-capacity queue: hand the held batch over directly.
+                    gpu_busy += step_time;
+                    events.schedule_after(step_time, Event::GpuDone { gpu: gpu_id });
+                    start_next(&mut events, &mut started, worker);
+                } else {
+                    idle_gpus.push(gpu_id);
+                }
+            }
+        }
+        if trained >= config.batches {
+            break;
+        }
+    }
+
+    let makespan = events.now();
+    // Utilization and throughput are measured over the steady window from
+    // the first batch arrival (the paper measures a running pipeline, not
+    // cold start).
+    let window = match first_arrival {
+        Some(t) if makespan > t => makespan - t,
+        _ => makespan,
+    };
+    let denom = window.seconds() * num_gpus as f64;
+    PipelineReport {
+        makespan,
+        gpu_busy,
+        gpu_utilization: if denom == 0.0 { 0.0 } else { (gpu_busy.seconds() / denom).min(1.0) },
+        batches_trained: trained,
+        training_throughput: trained as f64 * profile.rows as f64
+            / window.seconds().max(1e-12),
+        peak_queue,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(system: &System, batches: usize) -> PipelineReport {
+        let gpu = GpuTrainModel::a100();
+        simulate(
+            system,
+            &gpu,
+            &RmConfig::rm5(),
+            &PipelineConfig { batches, queue_capacity: 8, num_gpus: 1 },
+        )
+    }
+
+    #[test]
+    fn starved_gpu_has_low_utilization() {
+        // 16 co-located workers on RM5: the Fig. 3 situation (< 20% util).
+        let report = run(&System::colocated(16), 48);
+        assert!(
+            report.gpu_utilization < 0.25,
+            "colocated(16) utilization {:.2}",
+            report.gpu_utilization
+        );
+        assert_eq!(report.batches_trained, 48);
+    }
+
+    #[test]
+    fn provisioned_fleet_saturates_gpu() {
+        // Enough Disagg cores to exceed demand: utilization near 1.
+        let report = run(&System::disagg(400), 48);
+        assert!(report.gpu_utilization > 0.9, "utilization {:.2}", report.gpu_utilization);
+    }
+
+    #[test]
+    fn more_workers_never_hurt() {
+        let a = run(&System::disagg(16), 32).training_throughput;
+        let b = run(&System::disagg(64), 32).training_throughput;
+        let c = run(&System::disagg(256), 32).training_throughput;
+        assert!(b > a);
+        assert!(c >= b * 0.99);
+    }
+
+    #[test]
+    fn queue_respects_capacity() {
+        let gpu = GpuTrainModel::a100();
+        let report = simulate(
+            &System::disagg(512),
+            &gpu,
+            &RmConfig::rm5(),
+            &PipelineConfig { batches: 64, queue_capacity: 4, num_gpus: 1 },
+        );
+        assert!(report.peak_queue <= 4 + 1, "peak queue {}", report.peak_queue);
+    }
+
+    #[test]
+    fn training_throughput_capped_by_gpu() {
+        let gpu = GpuTrainModel::a100();
+        let max = gpu.max_throughput(&RmConfig::rm5());
+        let report = run(&System::disagg(1024), 64);
+        assert!(report.training_throughput <= max * 1.01);
+        assert!(report.training_throughput > max * 0.8);
+    }
+
+    #[test]
+    fn multi_gpu_needs_proportional_supply() {
+        let gpu = GpuTrainModel::a100();
+        let single = simulate(
+            &System::presto_smartssd(2),
+            &gpu,
+            &RmConfig::rm5(),
+            &PipelineConfig { batches: 64, queue_capacity: 8, num_gpus: 1 },
+        );
+        let eight = simulate(
+            &System::presto_smartssd(2),
+            &gpu,
+            &RmConfig::rm5(),
+            &PipelineConfig { batches: 64, queue_capacity: 8, num_gpus: 8 },
+        );
+        assert!(eight.gpu_utilization < single.gpu_utilization);
+    }
+
+    #[test]
+    fn zero_batches_terminate() {
+        let gpu = GpuTrainModel::a100();
+        let report = simulate(
+            &System::disagg(4),
+            &gpu,
+            &RmConfig::rm1(),
+            &PipelineConfig { batches: 0, queue_capacity: 4, num_gpus: 1 },
+        );
+        assert_eq!(report.batches_trained, 0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Per-mini-batch workload quantities, the interface between data generation
+//! and the hardware cost models.
+//!
+//! `presto-hwsim` prices preprocessing stages (Extract, Bucketize,
+//! SigridHash, Log, format conversion, Load) from these first-order counts,
+//! exactly the quantities the paper's own analytical model is driven by
+//! (Section V-B).
+
+use crate::config::RmConfig;
+use crate::table::{generate_batch, RowBatch};
+use crate::writer::write_partition;
+use serde::{Deserialize, Serialize};
+
+/// First-order workload description of preprocessing one mini-batch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// Rows per mini-batch.
+    pub rows: u64,
+    /// Dense scalar values (`rows × num_dense`).
+    pub dense_values: u64,
+    /// Raw sparse list elements (`rows × num_sparse × avg_len`).
+    pub sparse_values: u64,
+    /// Bucketize outputs (`rows × num_generated`).
+    pub generated_values: u64,
+    /// Binary-search comparisons per Bucketize output (`⌈log₂ bucket_size⌉`).
+    pub bucket_search_depth: u32,
+    /// Encoded bytes extracted from storage for one mini-batch.
+    pub raw_bytes: u64,
+    /// Train-ready tensor bytes loaded to the trainer for one mini-batch.
+    pub tensor_bytes: u64,
+    /// Number of feature columns touched (drives per-column overheads).
+    pub num_columns: u64,
+}
+
+impl WorkloadProfile {
+    /// Analytic profile straight from a configuration (no data generation).
+    ///
+    /// Encoded sizes use the measured average densities of this crate's
+    /// columnar encodings: ~4.1 B per dense value, ~3.3 B per sparse id
+    /// (dictionary/delta-compressed from a 500k vocabulary) and ~1 B of list
+    /// length metadata per row per sparse feature.
+    #[must_use]
+    pub fn from_config(config: &RmConfig) -> Self {
+        let rows = config.batch_size as u64;
+        let dense_values = config.dense_values_per_batch();
+        let sparse_values = config.sparse_values_per_batch();
+        let generated_values = config.generated_values_per_batch();
+        let raw_bytes = (dense_values * 41) / 10
+            + (sparse_values * 33) / 10
+            + rows * config.num_sparse as u64
+            + rows; // label column
+        Self::assemble(config, rows, dense_values, sparse_values, generated_values, raw_bytes)
+    }
+
+    /// Profile with `raw_bytes` measured from a real generated partition.
+    ///
+    /// Generates `sample_rows` rows, serializes them with `presto-columnar`
+    /// and extrapolates the encoded density to a full mini-batch. Slower but
+    /// grounded in the actual format.
+    #[must_use]
+    pub fn measured(config: &RmConfig, sample_rows: usize, seed: u64) -> Self {
+        let sample_rows = sample_rows.max(1);
+        let batch = generate_batch(config, sample_rows, seed);
+        let blob = write_partition(&batch).expect("generated batch serializes");
+        let bytes_per_row = blob.as_bytes().len() as f64 / sample_rows as f64;
+        let rows = config.batch_size as u64;
+        let raw_bytes = (bytes_per_row * rows as f64) as u64;
+        Self::assemble(
+            config,
+            rows,
+            config.dense_values_per_batch(),
+            config.sparse_values_per_batch(),
+            config.generated_values_per_batch(),
+            raw_bytes,
+        )
+    }
+
+    /// Profile of an in-memory batch that has already been generated.
+    #[must_use]
+    pub fn of_batch(config: &RmConfig, batch: &RowBatch, encoded_bytes: u64) -> Self {
+        let rows = batch.rows() as u64;
+        let dense_values = rows * config.num_dense as u64;
+        let sparse_values: u64 = (0..config.num_sparse)
+            .map(|i| {
+                batch
+                    .column(&format!("sparse_{i}"))
+                    .map_or(0, |c| c.element_count() as u64)
+            })
+            .sum();
+        let generated_values = rows * config.num_generated as u64;
+        Self::assemble(config, rows, dense_values, sparse_values, generated_values, encoded_bytes)
+    }
+
+    fn assemble(
+        config: &RmConfig,
+        rows: u64,
+        dense_values: u64,
+        sparse_values: u64,
+        generated_values: u64,
+        raw_bytes: u64,
+    ) -> Self {
+        // Train-ready tensors: dense f32 matrix, sparse and generated ids as
+        // int32 jagged values (TorchRec's KeyedJaggedTensor index dtype) plus
+        // u32 offsets per sparse feature, i64 labels.
+        let tensor_bytes = dense_values * 4
+            + (sparse_values + generated_values) * 4
+            + (config.num_sparse as u64 + config.num_generated as u64) * (rows + 1) * 4
+            + rows * 8;
+        WorkloadProfile {
+            rows,
+            dense_values,
+            sparse_values,
+            generated_values,
+            bucket_search_depth: (config.bucket_size.max(2) as f64).log2().ceil() as u32,
+            raw_bytes,
+            tensor_bytes,
+            num_columns: 1 + config.num_dense as u64 + config.num_sparse as u64,
+        }
+    }
+
+    /// Total scalar elements transformed (inputs of the three key ops).
+    #[must_use]
+    pub fn transform_values(&self) -> u64 {
+        self.dense_values + self.sparse_values + self.generated_values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rm1_profile_counts() {
+        let p = WorkloadProfile::from_config(&RmConfig::rm1());
+        assert_eq!(p.rows, 8192);
+        assert_eq!(p.dense_values, 8192 * 13);
+        assert_eq!(p.sparse_values, 8192 * 26);
+        assert_eq!(p.generated_values, 8192 * 13);
+        assert_eq!(p.bucket_search_depth, 10); // log2(1024)
+    }
+
+    #[test]
+    fn bucket_depth_follows_bucket_size() {
+        assert_eq!(WorkloadProfile::from_config(&RmConfig::rm4()).bucket_search_depth, 11);
+        assert_eq!(WorkloadProfile::from_config(&RmConfig::rm5()).bucket_search_depth, 12);
+    }
+
+    #[test]
+    fn production_models_have_much_bigger_batches() {
+        let rm1 = WorkloadProfile::from_config(&RmConfig::rm1());
+        let rm5 = WorkloadProfile::from_config(&RmConfig::rm5());
+        assert!(rm5.raw_bytes > 10 * rm1.raw_bytes);
+        assert!(rm5.tensor_bytes > 10 * rm1.tensor_bytes);
+    }
+
+    #[test]
+    fn measured_profile_is_within_2x_of_analytic() {
+        let mut config = RmConfig::rm1();
+        config.batch_size = 2048;
+        let analytic = WorkloadProfile::from_config(&config);
+        let measured = WorkloadProfile::measured(&config, 512, 3);
+        let ratio = measured.raw_bytes as f64 / analytic.raw_bytes as f64;
+        assert!((0.5..2.0).contains(&ratio), "measured/analytic = {ratio}");
+    }
+
+    #[test]
+    fn of_batch_counts_real_sparse_elements() {
+        let mut config = RmConfig::rm2();
+        config.batch_size = 128;
+        let batch = generate_batch(&config, 128, 9);
+        let p = WorkloadProfile::of_batch(&config, &batch, 1_000);
+        let expected: u64 = (0..42)
+            .map(|i| batch.column(&format!("sparse_{i}")).unwrap().element_count() as u64)
+            .sum();
+        assert_eq!(p.sparse_values, expected);
+        assert_eq!(p.raw_bytes, 1_000);
+    }
+
+    #[test]
+    fn tensor_bytes_cover_all_outputs() {
+        let p = WorkloadProfile::from_config(&RmConfig::rm1());
+        // Must at least contain the dense matrix and the id payloads.
+        assert!(p.tensor_bytes > p.dense_values * 4);
+        assert!(p.tensor_bytes > (p.sparse_values + p.generated_values) * 4);
+    }
+
+    #[test]
+    fn transform_values_sums_components() {
+        let p = WorkloadProfile::from_config(&RmConfig::rm3());
+        assert_eq!(
+            p.transform_values(),
+            p.dense_values + p.sparse_values + p.generated_values
+        );
+    }
+}

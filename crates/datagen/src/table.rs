@@ -1,0 +1,246 @@
+//! Tabular row batches and their synthesis from an [`RmConfig`].
+//!
+//! The generated table shape follows Figure 1 of the paper: one row per
+//! user sample, one column per feature, stored column-major so it can be
+//! written straight into `presto-columnar` files.
+
+use crate::config::RmConfig;
+use crate::rng::DataRng;
+use presto_columnar::{Array, ColumnarError, DataType, Field, Schema};
+
+/// Click-through probability used for synthetic labels.
+const CLICK_RATE: f64 = 0.25;
+
+/// Column-major batch of rows conforming to a schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowBatch {
+    schema: Schema,
+    columns: Vec<Array>,
+    rows: usize,
+}
+
+impl RowBatch {
+    /// Bundles a schema with its column data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ColumnarError::InvalidSchema`] when arity or types disagree
+    /// and [`ColumnarError::CountMismatch`] when column lengths differ.
+    pub fn new(schema: Schema, columns: Vec<Array>) -> Result<Self, ColumnarError> {
+        if schema.len() != columns.len() {
+            return Err(ColumnarError::InvalidSchema {
+                detail: format!("{} columns for {} fields", columns.len(), schema.len()),
+            });
+        }
+        let rows = columns.first().map_or(0, Array::len);
+        for (field, col) in schema.fields().iter().zip(&columns) {
+            if field.data_type() != col.data_type() {
+                return Err(ColumnarError::InvalidSchema {
+                    detail: format!(
+                        "column {:?}: schema {} vs data {}",
+                        field.name(),
+                        field.data_type(),
+                        col.data_type()
+                    ),
+                });
+            }
+            if col.len() != rows {
+                return Err(ColumnarError::CountMismatch { declared: rows, actual: col.len() });
+            }
+        }
+        Ok(RowBatch { schema, columns, rows })
+    }
+
+    /// The schema.
+    #[must_use]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The column arrays, in schema order.
+    #[must_use]
+    pub fn columns(&self) -> &[Array] {
+        &self.columns
+    }
+
+    /// Column by name.
+    #[must_use]
+    pub fn column(&self, name: &str) -> Option<&Array> {
+        self.schema.index_of(name).map(|i| &self.columns[i])
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Consumes the batch, returning `(schema, columns)`.
+    #[must_use]
+    pub fn into_parts(self) -> (Schema, Vec<Array>) {
+        (self.schema, self.columns)
+    }
+
+    /// Total in-memory bytes across all columns.
+    #[must_use]
+    pub fn byte_size(&self) -> usize {
+        self.columns.iter().map(Array::byte_size).sum()
+    }
+}
+
+/// Builds the raw-feature schema for a configuration:
+/// `label, dense_0..dense_N, sparse_0..sparse_M`.
+///
+/// # Panics
+///
+/// Panics if the configuration produces duplicate names (impossible for
+/// validated configs).
+#[must_use]
+pub fn raw_schema(config: &RmConfig) -> Schema {
+    let mut fields = Vec::with_capacity(1 + config.num_dense + config.num_sparse);
+    fields.push(Field::new("label", DataType::Int64));
+    for i in 0..config.num_dense {
+        fields.push(Field::new(format!("dense_{i}"), DataType::Float32));
+    }
+    for i in 0..config.num_sparse {
+        fields.push(Field::new(format!("sparse_{i}"), DataType::ListInt64));
+    }
+    Schema::new(fields).expect("generated names are unique")
+}
+
+/// Name of the dense column feeding generated feature `i` (round-robin over
+/// the dense features, matching "new feature X' generated from raw feature
+/// X" in Figure 1).
+#[must_use]
+pub fn generated_source_column(config: &RmConfig, i: usize) -> String {
+    format!("dense_{}", i % config.num_dense.max(1))
+}
+
+/// Deterministically synthesizes `rows` rows of raw feature data.
+///
+/// The same `(config, seed)` pair always yields identical data; independent
+/// sub-streams per feature keep columns uncorrelated.
+#[must_use]
+pub fn generate_batch(config: &RmConfig, rows: usize, seed: u64) -> RowBatch {
+    let schema = raw_schema(config);
+    let root = DataRng::seed_from_u64(seed);
+    let mut columns = Vec::with_capacity(schema.len());
+
+    let mut label_rng = root.derive(0);
+    columns.push(Array::Int64((0..rows).map(|_| label_rng.label(CLICK_RATE)).collect()));
+
+    for i in 0..config.num_dense {
+        let mut rng = root.derive(1_000 + i as u64);
+        columns.push(Array::Float32((0..rows).map(|_| rng.dense_value()).collect()));
+    }
+
+    let vocab = config.avg_embeddings as u64;
+    for i in 0..config.num_sparse {
+        let mut rng = root.derive(2_000_000 + i as u64);
+        let lists: Vec<Vec<i64>> = (0..rows)
+            .map(|_| {
+                let len = rng.sparse_len(config.avg_sparse_len, config.fixed_sparse_len);
+                (0..len).map(|_| rng.sparse_id(vocab)).collect()
+            })
+            .collect();
+        columns.push(Array::from_lists(lists).expect("lists fit u32 offsets"));
+    }
+
+    RowBatch::new(schema, columns).expect("generated batch is schema-consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_shape_matches_config() {
+        let c = RmConfig::rm1();
+        let s = raw_schema(&c);
+        assert_eq!(s.len(), 1 + 13 + 26);
+        assert_eq!(s.field(0).unwrap().name(), "label");
+        assert_eq!(s.field(1).unwrap().data_type(), DataType::Float32);
+        assert_eq!(s.field(14).unwrap().data_type(), DataType::ListInt64);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let c = RmConfig::rm1();
+        let a = generate_batch(&c, 64, 99);
+        let b = generate_batch(&c, 64, 99);
+        assert_eq!(a, b);
+        let d = generate_batch(&c, 64, 100);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn rm1_sparse_lengths_are_fixed_at_one() {
+        let c = RmConfig::rm1();
+        let batch = generate_batch(&c, 128, 1);
+        let (offsets, _) = batch.column("sparse_0").unwrap().as_list_int64().unwrap();
+        for w in offsets.windows(2) {
+            assert_eq!(w[1] - w[0], 1);
+        }
+    }
+
+    #[test]
+    fn production_sparse_lengths_vary_around_average() {
+        let mut c = RmConfig::rm2();
+        c.batch_size = 512;
+        let batch = generate_batch(&c, 512, 7);
+        let col = batch.column("sparse_3").unwrap();
+        let mean = col.element_count() as f64 / col.len() as f64;
+        assert!((mean - 20.0).abs() < 4.0, "mean sparse length {mean}");
+    }
+
+    #[test]
+    fn labels_are_binary() {
+        let batch = generate_batch(&RmConfig::rm1(), 256, 3);
+        for &v in batch.column("label").unwrap().as_int64().unwrap() {
+            assert!(v == 0 || v == 1);
+        }
+    }
+
+    #[test]
+    fn sparse_ids_stay_in_vocab() {
+        let c = RmConfig::rm1();
+        let batch = generate_batch(&c, 256, 3);
+        let (_, values) = batch.column("sparse_5").unwrap().as_list_int64().unwrap();
+        for &v in values {
+            assert!((0..c.avg_embeddings as i64).contains(&v));
+        }
+    }
+
+    #[test]
+    fn row_batch_rejects_inconsistency() {
+        let s = Schema::new(vec![Field::new("a", DataType::Int64)]).unwrap();
+        assert!(RowBatch::new(s.clone(), vec![]).is_err());
+        assert!(RowBatch::new(s.clone(), vec![Array::Float32(vec![1.0])]).is_err());
+        let s2 = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Int64),
+        ])
+        .unwrap();
+        assert!(RowBatch::new(
+            s2,
+            vec![Array::Int64(vec![1]), Array::Int64(vec![1, 2])]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn generated_source_round_robins() {
+        let c = RmConfig::rm1(); // 13 dense, 13 generated
+        assert_eq!(generated_source_column(&c, 0), "dense_0");
+        assert_eq!(generated_source_column(&c, 12), "dense_12");
+        assert_eq!(generated_source_column(&c, 13), "dense_0");
+    }
+
+    #[test]
+    fn column_lookup_by_name() {
+        let batch = generate_batch(&RmConfig::rm1(), 8, 1);
+        assert!(batch.column("dense_12").is_some());
+        assert!(batch.column("dense_13").is_none());
+        assert_eq!(batch.rows(), 8);
+    }
+}

@@ -1,0 +1,213 @@
+//! Per-stage latency breakdown of preprocessing one mini-batch.
+//!
+//! The stage set matches Figures 5 and 12 of the paper: Extract (Read),
+//! Extract (Decode), Bucketize, SigridHash, Log, format conversion, "Else"
+//! and Load.
+
+use crate::units::Secs;
+
+/// Stage identifiers, in pipeline order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Stage {
+    /// Fetching encoded raw feature bytes (network or P2P).
+    ExtractRead,
+    /// Decoding the columnar payload.
+    ExtractDecode,
+    /// Feature generation (Algorithm 1).
+    Bucketize,
+    /// Sparse normalization (Algorithm 2).
+    SigridHash,
+    /// Dense normalization.
+    Log,
+    /// Train-ready tensor assembly.
+    FormatConversion,
+    /// Fixed bookkeeping not attributable to a kernel.
+    Else,
+    /// Handing the mini-batch to the training input queue.
+    Load,
+}
+
+impl Stage {
+    /// All stages in pipeline order.
+    pub const ALL: [Stage; 8] = [
+        Stage::ExtractRead,
+        Stage::ExtractDecode,
+        Stage::Bucketize,
+        Stage::SigridHash,
+        Stage::Log,
+        Stage::FormatConversion,
+        Stage::Else,
+        Stage::Load,
+    ];
+
+    /// Human-readable label matching the paper's figure legends.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::ExtractRead => "Extract (Read)",
+            Stage::ExtractDecode => "Extract (Decode)",
+            Stage::Bucketize => "Bucketize",
+            Stage::SigridHash => "SigridHash",
+            Stage::Log => "Log",
+            Stage::FormatConversion => "Format conversion",
+            Stage::Else => "Else",
+            Stage::Load => "Load",
+        }
+    }
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Latency of every stage for one mini-batch on one worker.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageBreakdown {
+    /// Extract (Read) time.
+    pub extract_read: Secs,
+    /// Extract (Decode) time.
+    pub extract_decode: Secs,
+    /// Bucketize time.
+    pub bucketize: Secs,
+    /// SigridHash time.
+    pub sigridhash: Secs,
+    /// Log time.
+    pub log: Secs,
+    /// Format conversion time.
+    pub format: Secs,
+    /// Else time.
+    pub other: Secs,
+    /// Load time.
+    pub load: Secs,
+}
+
+impl StageBreakdown {
+    /// Time of one stage.
+    #[must_use]
+    pub fn stage(&self, stage: Stage) -> Secs {
+        match stage {
+            Stage::ExtractRead => self.extract_read,
+            Stage::ExtractDecode => self.extract_decode,
+            Stage::Bucketize => self.bucketize,
+            Stage::SigridHash => self.sigridhash,
+            Stage::Log => self.log,
+            Stage::FormatConversion => self.format,
+            Stage::Else => self.other,
+            Stage::Load => self.load,
+        }
+    }
+
+    /// End-to-end single-worker latency (sum of all stages).
+    #[must_use]
+    pub fn total(&self) -> Secs {
+        Stage::ALL.iter().map(|&s| self.stage(s)).sum()
+    }
+
+    /// Combined Extract time (Read + Decode).
+    #[must_use]
+    pub fn extract(&self) -> Secs {
+        self.extract_read + self.extract_decode
+    }
+
+    /// Combined transform time (Bucketize + SigridHash + Log), the paper's
+    /// "feature generation and normalization".
+    #[must_use]
+    pub fn transform(&self) -> Secs {
+        self.bucketize + self.sigridhash + self.log
+    }
+
+    /// Transform share of the total, in `[0, 1]`.
+    #[must_use]
+    pub fn transform_fraction(&self) -> f64 {
+        let total = self.total().seconds();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.transform().seconds() / total
+        }
+    }
+
+    /// Extract share of the total, in `[0, 1]`.
+    #[must_use]
+    pub fn extract_fraction(&self) -> f64 {
+        let total = self.total().seconds();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.extract().seconds() / total
+        }
+    }
+
+    /// Scales every stage by `factor` (e.g. co-location slowdown).
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> StageBreakdown {
+        StageBreakdown {
+            extract_read: self.extract_read * factor,
+            extract_decode: self.extract_decode * factor,
+            bucketize: self.bucketize * factor,
+            sigridhash: self.sigridhash * factor,
+            log: self.log * factor,
+            format: self.format * factor,
+            other: self.other * factor,
+            load: self.load * factor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StageBreakdown {
+        StageBreakdown {
+            extract_read: Secs::from_millis(1.0),
+            extract_decode: Secs::from_millis(2.0),
+            bucketize: Secs::from_millis(3.0),
+            sigridhash: Secs::from_millis(4.0),
+            log: Secs::from_millis(5.0),
+            format: Secs::from_millis(6.0),
+            other: Secs::from_millis(7.0),
+            load: Secs::from_millis(8.0),
+        }
+    }
+
+    #[test]
+    fn totals_and_groups() {
+        let b = sample();
+        assert!((b.total().millis() - 36.0).abs() < 1e-9);
+        assert!((b.extract().millis() - 3.0).abs() < 1e-9);
+        assert!((b.transform().millis() - 12.0).abs() < 1e-9);
+        assert!((b.transform_fraction() - 12.0 / 36.0).abs() < 1e-12);
+        assert!((b.extract_fraction() - 3.0 / 36.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stage_accessor_covers_all() {
+        let b = sample();
+        let sum: Secs = Stage::ALL.iter().map(|&s| b.stage(s)).sum();
+        assert_eq!(sum, b.total());
+    }
+
+    #[test]
+    fn labels_match_paper_legends() {
+        assert_eq!(Stage::ExtractRead.label(), "Extract (Read)");
+        assert_eq!(Stage::FormatConversion.to_string(), "Format conversion");
+    }
+
+    #[test]
+    fn zero_breakdown_has_zero_fractions() {
+        let b = StageBreakdown::default();
+        assert_eq!(b.transform_fraction(), 0.0);
+        assert_eq!(b.extract_fraction(), 0.0);
+    }
+
+    #[test]
+    fn scaling_is_uniform() {
+        let b = sample().scaled(2.0);
+        assert!((b.total().millis() - 72.0).abs() < 1e-9);
+        assert!((b.transform_fraction() - 12.0 / 36.0).abs() < 1e-12);
+    }
+}

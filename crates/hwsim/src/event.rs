@@ -1,0 +1,183 @@
+//! Minimal discrete-event simulation engine.
+//!
+//! `presto-core` uses this to simulate the producer–consumer training
+//! pipeline (preprocessing workers feeding the train manager's input queue,
+//! Fig. 9): events are scheduled at absolute times and delivered in
+//! (time, insertion-order) order, so simultaneous events stay deterministic.
+
+use crate::units::Secs;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled event carrying a payload of type `E`.
+#[derive(Debug)]
+struct Scheduled<E> {
+    time: Secs,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap on (time, seq).
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times are finite")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic discrete-event queue.
+///
+/// # Examples
+///
+/// ```
+/// use presto_hwsim::event::EventQueue;
+/// use presto_hwsim::units::Secs;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Secs::new(2.0), "late");
+/// q.schedule(Secs::new(1.0), "early");
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!((t.seconds(), e), (1.0, "early"));
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    now: Secs,
+    seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), now: Secs::ZERO, seq: 0 }
+    }
+
+    /// Current simulation time (time of the last popped event).
+    #[must_use]
+    pub fn now(&self) -> Secs {
+        self.now
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `payload` at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when scheduling into the past (a model bug).
+    pub fn schedule(&mut self, time: Secs, payload: E) {
+        assert!(time >= self.now, "event scheduled in the past: {time} < {}", self.now);
+        self.heap.push(Scheduled { time, seq: self.seq, payload });
+        self.seq += 1;
+    }
+
+    /// Schedules `payload` `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: Secs, payload: E) {
+        let t = self.now + delay;
+        self.schedule(t, payload);
+    }
+
+    /// Pops the earliest event, advancing simulation time to it.
+    pub fn pop(&mut self) -> Option<(Secs, E)> {
+        let ev = self.heap.pop()?;
+        self.now = ev.time;
+        Some((ev.time, ev.payload))
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Secs::new(3.0), 3);
+        q.schedule(Secs::new(1.0), 1);
+        q.schedule(Secs::new(2.0), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Secs::new(1.0), "a");
+        q.schedule(Secs::new(1.0), "b");
+        q.schedule(Secs::new(1.0), "c");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn time_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(Secs::new(5.0), ());
+        assert_eq!(q.now(), Secs::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Secs::new(5.0));
+    }
+
+    #[test]
+    fn schedule_after_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(Secs::new(2.0), "first");
+        q.pop();
+        q.schedule_after(Secs::new(1.5), "second");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, Secs::new(3.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn past_scheduling_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(Secs::new(2.0), ());
+        q.pop();
+        q.schedule(Secs::new(1.0), ());
+    }
+
+    #[test]
+    fn len_and_empty_track_contents() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(Secs::new(1.0), ());
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

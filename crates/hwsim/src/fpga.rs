@@ -1,0 +1,417 @@
+//! PreSto ISP accelerator model (Fig. 10 microarchitecture).
+//!
+//! The accelerator is a chain of hardwired units — Decoder, Bucketize,
+//! SigridHash, Log, plus output assembly — each with on-chip feature buffers
+//! and double buffering (Section IV-C). The model follows the paper's
+//! observed behaviour:
+//!
+//! * **Latency** of one mini-batch = sum of unit stage times plus per-stage
+//!   invocation overhead: a batch's columns flow through the units in
+//!   sequence, with double buffering hiding DRAM fetch *within* a unit but
+//!   not across units. This matches the paper's Extract share of ~40.8%
+//!   and end-to-end speedups of ~9.6× (Fig. 12).
+//! * **Throughput** in steady state = 1 / max(stage time): consecutive
+//!   mini-batches pipeline across the units, which is how one SmartSSD
+//!   rivals ~50 CPU cores (Fig. 11) while its single-batch latency is only
+//!   ~10× better.
+
+use crate::breakdown::StageBreakdown;
+use crate::calib;
+use crate::ssd::SsdModel;
+use crate::units::{BytesPerSec, Secs, Watts};
+use presto_datagen::WorkloadProfile;
+
+/// How raw bytes reach the accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeedPath {
+    /// SSD→FPGA peer-to-peer inside a SmartSSD (no host round trip).
+    P2p,
+    /// Host-staged DMA (PreSto(U280): SSD → host → card over PCIe).
+    HostStaged,
+    /// Raw data arrives over the datacenter network (disaggregated
+    /// accelerator pool, Fig. 7(b)); the copy-in time is priced by the
+    /// caller's network model and excluded from the device pipeline.
+    Remote,
+}
+
+/// One ISP accelerator build (SmartSSD or U280 variants).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IspModel {
+    name: &'static str,
+    clock_hz: f64,
+    decode_bytes_per_cycle: f64,
+    bucketize_elems_per_cycle: f64,
+    sigridhash_elems_per_cycle: f64,
+    log_elems_per_cycle: f64,
+    dram_bw: BytesPerSec,
+    stage_overhead: Secs,
+    feed: FeedPath,
+    ssd: SsdModel,
+    host_read_bw: BytesPerSec,
+    power: Watts,
+    double_buffering: bool,
+}
+
+impl IspModel {
+    /// The SmartSSD build of Table II (223 MHz, 25 W, P2P-fed).
+    #[must_use]
+    pub fn smartssd() -> Self {
+        use calib::smartssd as c;
+        IspModel {
+            name: "PreSto (SmartSSD)",
+            clock_hz: c::CLOCK_HZ,
+            decode_bytes_per_cycle: c::DECODE_BYTES_PER_CYCLE,
+            bucketize_elems_per_cycle: c::BUCKETIZE_ELEMS_PER_CYCLE,
+            sigridhash_elems_per_cycle: c::SIGRIDHASH_ELEMS_PER_CYCLE,
+            log_elems_per_cycle: c::LOG_ELEMS_PER_CYCLE,
+            dram_bw: BytesPerSec::new(c::DRAM_BYTES_PER_SEC),
+            stage_overhead: Secs::new(c::STAGE_OVERHEAD_SECS),
+            feed: FeedPath::P2p,
+            ssd: SsdModel::nvme(),
+            host_read_bw: BytesPerSec::new(calib::u280::HOST_READ_BYTES_PER_SEC),
+            power: Watts::new(c::POWER_W),
+            double_buffering: true,
+        }
+    }
+
+    /// The U280 build integrated in the storage node (Sec. VI-C,
+    /// "PreSto (U280)"): 2× unit counts, host-staged feed, 225 W.
+    #[must_use]
+    pub fn u280_in_storage() -> Self {
+        let mut m = Self::smartssd();
+        m.name = "PreSto (U280)";
+        m.decode_bytes_per_cycle *= calib::u280::UNIT_SCALE;
+        m.bucketize_elems_per_cycle *= calib::u280::UNIT_SCALE;
+        m.sigridhash_elems_per_cycle *= calib::u280::UNIT_SCALE;
+        m.log_elems_per_cycle *= calib::u280::UNIT_SCALE;
+        // HBM-backed card: ample on-card bandwidth for output assembly.
+        m.dram_bw = BytesPerSec::gb(12.0);
+        m.feed = FeedPath::HostStaged;
+        m.power = Watts::new(calib::u280::POWER_W);
+        m
+    }
+
+    /// The U280 build deployed in a disaggregated accelerator pool
+    /// (Fig. 7(b), "U280"): same fabric, but raw data arrives over the
+    /// network.
+    #[must_use]
+    pub fn u280_disaggregated() -> Self {
+        let mut m = Self::u280_in_storage();
+        m.name = "U280";
+        m.feed = FeedPath::Remote;
+        m
+    }
+
+    /// Build name as used in the paper's figures.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// How this build is fed raw bytes.
+    #[must_use]
+    pub fn feed_path(&self) -> FeedPath {
+        self.feed
+    }
+
+    /// Card power draw.
+    #[must_use]
+    pub fn power(&self) -> Watts {
+        self.power
+    }
+
+    /// Scales every unit's rate (PE-count ablation). `scale` multiplies the
+    /// decoder's bytes/cycle and each transform unit's elements/cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive scale.
+    #[must_use]
+    pub fn with_unit_scale(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0, "unit scale must be positive");
+        self.decode_bytes_per_cycle *= scale;
+        self.bucketize_elems_per_cycle *= scale;
+        self.sigridhash_elems_per_cycle *= scale;
+        self.log_elems_per_cycle *= scale;
+        self
+    }
+
+    /// Overrides the per-stage invocation overhead (dispatch ablation).
+    #[must_use]
+    pub fn with_stage_overhead(mut self, overhead: Secs) -> Self {
+        self.stage_overhead = overhead;
+        self
+    }
+
+    /// Overrides the feed path (P2P vs host-staged ablation).
+    #[must_use]
+    pub fn with_feed(mut self, feed: FeedPath) -> Self {
+        self.feed = feed;
+        self
+    }
+
+    /// Disables double buffering: each transform unit's DRAM fetch is no
+    /// longer overlapped with compute, so every stage pays its off-chip
+    /// traffic explicitly (the Sec. IV-C design-choice ablation).
+    #[must_use]
+    pub fn without_double_buffering(mut self) -> Self {
+        self.double_buffering = false;
+        self
+    }
+
+    /// Whether double buffering is enabled (default: true).
+    #[must_use]
+    pub fn double_buffering(&self) -> bool {
+        self.double_buffering
+    }
+
+    fn unit_rate(&self, elems_per_cycle: f64) -> f64 {
+        self.clock_hz * elems_per_cycle
+    }
+
+    /// Per-unit stage times for one mini-batch (before invocation overhead).
+    #[must_use]
+    pub fn stage_breakdown(&self, profile: &WorkloadProfile) -> StageBreakdown {
+        let extract_read = match self.feed {
+            FeedPath::P2p => self.ssd.p2p_time(profile.raw_bytes),
+            FeedPath::HostStaged => self.host_read_bw.time_for(profile.raw_bytes),
+            // Remote copy-in is priced by the caller's network model.
+            FeedPath::Remote => Secs::ZERO,
+        };
+        let extract_decode = Secs::new(
+            profile.raw_bytes as f64 / (self.clock_hz * self.decode_bytes_per_cycle),
+        );
+        // With double buffering (Sec. IV-C) each unit's DRAM fetch of the
+        // next feature chunk overlaps the current chunk's compute; without
+        // it the fetch serializes with compute (input read + output write,
+        // 8 B per element each way).
+        let fetch_penalty = |elements: u64| {
+            if self.double_buffering {
+                Secs::ZERO
+            } else {
+                self.dram_bw.time_for(elements * 16)
+            }
+        };
+        let bucketize = Secs::new(
+            profile.generated_values as f64 / self.unit_rate(self.bucketize_elems_per_cycle),
+        ) + fetch_penalty(profile.generated_values);
+        let sigridhash = Secs::new(
+            profile.sparse_values as f64 / self.unit_rate(self.sigridhash_elems_per_cycle),
+        ) + fetch_penalty(profile.sparse_values);
+        let log =
+            Secs::new(profile.dense_values as f64 / self.unit_rate(self.log_elems_per_cycle))
+                + fetch_penalty(profile.dense_values);
+        // Output assembly writes the train-ready tensors through card DRAM.
+        let format = self.dram_bw.time_for(profile.tensor_bytes);
+        // Handing buffers to the NIC/host DMA engine.
+        let load = self.dram_bw.time_for(profile.tensor_bytes) * 0.25;
+
+        let o = self.stage_overhead;
+        StageBreakdown {
+            extract_read: extract_read + o,
+            extract_decode: extract_decode + o,
+            bucketize: bucketize + o,
+            sigridhash: sigridhash + o,
+            log: log + o,
+            format: format + o,
+            other: Secs::ZERO,
+            load,
+        }
+    }
+
+    /// Single-batch latency: the batch traverses each unit in turn.
+    #[must_use]
+    pub fn latency(&self, profile: &WorkloadProfile) -> Secs {
+        self.stage_breakdown(profile).total()
+    }
+
+    /// Steady-state throughput in samples/second: consecutive batches
+    /// pipeline across units, so the slowest unit governs.
+    #[must_use]
+    pub fn throughput(&self, profile: &WorkloadProfile) -> f64 {
+        let b = self.stage_breakdown(profile);
+        let bottleneck = [
+            b.extract_read,
+            b.extract_decode,
+            b.bucketize,
+            b.sigridhash,
+            b.log,
+            b.format,
+            b.load,
+        ]
+        .into_iter()
+        .fold(Secs::ZERO, Secs::max);
+        profile.rows as f64 / bottleneck.seconds()
+    }
+}
+
+/// FPGA resource utilization of one unit (Table II).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitResources {
+    /// Unit name.
+    pub unit: &'static str,
+    /// Lookup-table utilization, percent of the device.
+    pub lut_pct: f64,
+    /// Register utilization, percent.
+    pub reg_pct: f64,
+    /// Block-RAM utilization, percent.
+    pub bram_pct: f64,
+    /// UltraRAM utilization, percent.
+    pub uram_pct: f64,
+    /// DSP-slice utilization, percent.
+    pub dsp_pct: f64,
+}
+
+/// Table II of the paper: per-unit resource utilization of the SmartSSD
+/// build at 223 MHz.
+#[must_use]
+pub fn table2_resources() -> Vec<UnitResources> {
+    vec![
+        UnitResources { unit: "Decode", lut_pct: 18.84, reg_pct: 8.49, bram_pct: 25.08, uram_pct: 0.0, dsp_pct: 0.0 },
+        UnitResources { unit: "Bucketize", lut_pct: 7.88, reg_pct: 4.28, bram_pct: 6.19, uram_pct: 27.59, dsp_pct: 0.0 },
+        UnitResources { unit: "SigridHash", lut_pct: 23.11, reg_pct: 12.47, bram_pct: 11.89, uram_pct: 0.0, dsp_pct: 19.19 },
+        UnitResources { unit: "Log", lut_pct: 4.18, reg_pct: 2.79, bram_pct: 4.89, uram_pct: 0.0, dsp_pct: 10.62 },
+    ]
+}
+
+/// Column-wise totals over [`table2_resources`] (the paper's "Total" row).
+#[must_use]
+pub fn table2_total() -> UnitResources {
+    let rows = table2_resources();
+    UnitResources {
+        unit: "Total",
+        lut_pct: rows.iter().map(|r| r.lut_pct).sum(),
+        reg_pct: rows.iter().map(|r| r.reg_pct).sum(),
+        bram_pct: rows.iter().map(|r| r.bram_pct).sum(),
+        uram_pct: rows.iter().map(|r| r.uram_pct).sum(),
+        dsp_pct: rows.iter().map(|r| r.dsp_pct).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_datagen::RmConfig;
+
+    fn profile(c: &RmConfig) -> WorkloadProfile {
+        WorkloadProfile::from_config(c)
+    }
+
+    #[test]
+    fn extract_share_near_paper_value() {
+        // Paper Sec. VI-A: Extract ≈ 40.8% of PreSto preprocessing time on
+        // average. Accept 30–55% per model.
+        let isp = IspModel::smartssd();
+        for c in RmConfig::all() {
+            let frac = isp.stage_breakdown(&profile(&c)).extract_fraction();
+            assert!((0.25..=0.60).contains(&frac), "{}: extract {frac:.2}", c.name);
+        }
+    }
+
+    #[test]
+    fn throughput_exceeds_inverse_latency() {
+        let isp = IspModel::smartssd();
+        for c in RmConfig::all() {
+            let p = profile(&c);
+            let lat = isp.latency(&p).seconds();
+            let tput = isp.throughput(&p);
+            assert!(tput > p.rows as f64 / lat, "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn u280_is_faster_than_smartssd() {
+        let ssd = IspModel::smartssd();
+        let u280 = IspModel::u280_in_storage();
+        let p = profile(&RmConfig::rm5());
+        assert!(u280.latency(&p) < ssd.latency(&p));
+        assert!(u280.throughput(&p) > ssd.throughput(&p));
+    }
+
+    #[test]
+    fn smartssd_stays_in_u2_power_envelope() {
+        assert!(IspModel::smartssd().power().raw() <= 25.0);
+        assert!(IspModel::u280_in_storage().power().raw() > 100.0);
+    }
+
+    #[test]
+    fn remote_feed_excludes_copy_in() {
+        let pool = IspModel::u280_disaggregated();
+        let local = IspModel::u280_in_storage();
+        let p = profile(&RmConfig::rm3());
+        assert!(pool.stage_breakdown(&p).extract_read < local.stage_breakdown(&p).extract_read);
+        assert_eq!(pool.feed_path(), FeedPath::Remote);
+    }
+
+    #[test]
+    fn table2_matches_paper() {
+        let total = table2_total();
+        assert!((total.lut_pct - 54.02).abs() < 0.02, "LUT {}", total.lut_pct);
+        assert!((total.reg_pct - 28.03).abs() < 0.02);
+        assert!((total.bram_pct - 48.05).abs() < 0.02);
+        assert!((total.uram_pct - 27.59).abs() < 0.02);
+        assert!((total.dsp_pct - 29.81).abs() < 0.02);
+        assert_eq!(table2_resources().len(), 4);
+    }
+
+    #[test]
+    fn bigger_models_take_longer() {
+        let isp = IspModel::smartssd();
+        let rm1 = isp.latency(&profile(&RmConfig::rm1()));
+        let rm5 = isp.latency(&profile(&RmConfig::rm5()));
+        assert!(rm5 > rm1 * 4.0);
+    }
+
+    #[test]
+    fn unit_scale_speeds_up_compute_stages_only() {
+        let p = profile(&RmConfig::rm5());
+        let base = IspModel::smartssd();
+        let scaled = IspModel::smartssd().with_unit_scale(2.0);
+        let b0 = base.stage_breakdown(&p);
+        let b1 = scaled.stage_breakdown(&p);
+        assert!(b1.sigridhash < b0.sigridhash);
+        assert!(b1.extract_decode < b0.extract_decode);
+        // P2P feed and format (DRAM-bound) are untouched by PE scaling.
+        assert_eq!(b1.extract_read, b0.extract_read);
+        assert_eq!(b1.format, b0.format);
+    }
+
+    #[test]
+    fn disabling_double_buffering_slows_transforms() {
+        let p = profile(&RmConfig::rm5());
+        let on = IspModel::smartssd();
+        let off = IspModel::smartssd().without_double_buffering();
+        assert!(on.double_buffering());
+        assert!(!off.double_buffering());
+        assert!(off.latency(&p) > on.latency(&p));
+        assert!(off.throughput(&p) < on.throughput(&p));
+        let b_on = on.stage_breakdown(&p);
+        let b_off = off.stage_breakdown(&p);
+        assert!(b_off.sigridhash > b_on.sigridhash);
+        assert_eq!(b_off.extract_decode, b_on.extract_decode);
+    }
+
+    #[test]
+    fn stage_overhead_dominates_small_models() {
+        let p1 = profile(&RmConfig::rm1());
+        let fat = IspModel::smartssd().with_stage_overhead(Secs::from_millis(10.0));
+        let lean = IspModel::smartssd().with_stage_overhead(Secs::ZERO);
+        let ratio = fat.latency(&p1) / lean.latency(&p1);
+        assert!(ratio > 3.0, "overhead barely matters? ratio {ratio:.1}");
+    }
+
+    #[test]
+    fn feed_override_switches_extract_path() {
+        let p = profile(&RmConfig::rm3());
+        let p2p = IspModel::smartssd();
+        let staged = IspModel::smartssd().with_feed(FeedPath::HostStaged);
+        assert!(staged.stage_breakdown(&p).extract_read < p2p.stage_breakdown(&p).extract_read);
+    }
+
+    #[test]
+    fn names_match_figure_16_legend() {
+        assert_eq!(IspModel::smartssd().name(), "PreSto (SmartSSD)");
+        assert_eq!(IspModel::u280_in_storage().name(), "PreSto (U280)");
+        assert_eq!(IspModel::u280_disaggregated().name(), "U280");
+    }
+}

@@ -1,0 +1,214 @@
+//! NVIDIA A100 models: training-side throughput demand and NVTabular-style
+//! GPU preprocessing (Sec. VI-C).
+
+use crate::calib::a100;
+use crate::units::{Secs, Watts};
+use presto_datagen::{RmConfig, WorkloadProfile, EMBEDDING_DIM};
+
+/// Per-sample model-training cost derived from the Table I architecture.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelCost {
+    /// MLP + interaction flops per sample (forward + backward).
+    pub flops_per_sample: f64,
+    /// HBM bytes touched per sample (embedding gather + gradient scatter).
+    pub hbm_bytes_per_sample: f64,
+}
+
+impl ModelCost {
+    /// Computes per-sample training cost from a configuration.
+    #[must_use]
+    pub fn from_config(config: &RmConfig) -> Self {
+        let d = EMBEDDING_DIM as f64;
+
+        // Bottom MLP: num_dense -> widths...
+        let mut flops = 0.0;
+        let mut prev = config.num_dense as f64;
+        for &w in &config.bottom_mlp {
+            flops += 2.0 * prev * w as f64;
+            prev = w as f64;
+        }
+        // Feature interaction: pairwise dots over (tables + 1) vectors of d.
+        let vectors = config.num_tables as f64 + 1.0;
+        let pairs = vectors * (vectors - 1.0) / 2.0;
+        flops += 2.0 * pairs * d;
+        // Top MLP: (d + pairs) -> widths...
+        let mut prev = d + pairs;
+        for &w in &config.top_mlp {
+            flops += 2.0 * prev * w as f64;
+            prev = w as f64;
+        }
+        // Forward + backward ≈ 3× forward.
+        let flops_per_sample = 3.0 * flops;
+
+        // Embeddings: one d-wide row per pooled id — forward gather, plus
+        // backward gradient scatter and optimizer-state traffic (≈2.5× the
+        // row bytes in total, f32 rows).
+        let pooled_ids = (config.num_sparse * config.avg_sparse_len + config.num_generated) as f64;
+        let hbm_bytes_per_sample = 2.5 * pooled_ids * d * 4.0;
+
+        ModelCost { flops_per_sample, hbm_bytes_per_sample }
+    }
+}
+
+/// A100 as a *training* device: the throughput demand preprocessing must
+/// sustain (the dotted line of Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuTrainModel {
+    flops: f64,
+    hbm_bw: f64,
+    step_overhead: Secs,
+}
+
+impl GpuTrainModel {
+    /// The PoC's A100.
+    #[must_use]
+    pub fn a100() -> Self {
+        GpuTrainModel {
+            flops: a100::EFFECTIVE_FLOPS,
+            hbm_bw: a100::EFFECTIVE_HBM_BYTES_PER_SEC,
+            step_overhead: Secs::new(a100::STEP_OVERHEAD_SECS),
+        }
+    }
+
+    /// Time to train one mini-batch when input is never the bottleneck.
+    #[must_use]
+    pub fn step_time(&self, config: &RmConfig) -> Secs {
+        let cost = ModelCost::from_config(config);
+        let b = config.batch_size as f64;
+        let compute = Secs::new(b * cost.flops_per_sample / self.flops);
+        let memory = Secs::new(b * cost.hbm_bytes_per_sample / self.hbm_bw);
+        compute.max(memory) + self.step_overhead
+    }
+
+    /// Maximum training throughput in samples/second (Fig. 3's dotted line).
+    #[must_use]
+    pub fn max_throughput(&self, config: &RmConfig) -> f64 {
+        config.batch_size as f64 / self.step_time(config).seconds()
+    }
+
+    /// GPU utilization when preprocessing supplies
+    /// `preprocess_throughput` samples/second (Fig. 3's right axis).
+    #[must_use]
+    pub fn utilization(&self, config: &RmConfig, preprocess_throughput: f64) -> f64 {
+        (preprocess_throughput / self.max_throughput(config)).clamp(0.0, 1.0)
+    }
+
+    /// Card power.
+    #[must_use]
+    pub fn power(&self) -> Watts {
+        Watts::new(a100::POWER_W)
+    }
+}
+
+impl Default for GpuTrainModel {
+    fn default() -> Self {
+        Self::a100()
+    }
+}
+
+/// A100 as a *preprocessing* device (NVTabular, Fig. 16).
+///
+/// Preprocessing kernels are tiny relative to the GPU, so per-column kernel
+/// launches dominate — the paper's explanation for the GPU's poor showing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuPreprocessModel {
+    kernel_overhead: Secs,
+    kernels_per_column: f64,
+    pcie_bw: f64,
+    elems_per_sec: f64,
+}
+
+impl GpuPreprocessModel {
+    /// The PoC's A100 running NVTabular.
+    #[must_use]
+    pub fn a100() -> Self {
+        GpuPreprocessModel {
+            kernel_overhead: Secs::new(a100::KERNEL_OVERHEAD_SECS),
+            kernels_per_column: a100::KERNELS_PER_COLUMN,
+            pcie_bw: a100::PCIE_BYTES_PER_SEC,
+            elems_per_sec: a100::PREPROC_ELEMS_PER_SEC,
+        }
+    }
+
+    /// Time to preprocess one mini-batch (raw data already on the host;
+    /// network copy-in for the disaggregated pool is priced by the caller).
+    #[must_use]
+    pub fn batch_time(&self, profile: &WorkloadProfile) -> Secs {
+        let launches = profile.num_columns as f64 * self.kernels_per_column;
+        let launch_time = self.kernel_overhead * launches;
+        let pcie = Secs::new((profile.raw_bytes + profile.tensor_bytes) as f64 / self.pcie_bw);
+        let compute = Secs::new(profile.transform_values() as f64 / self.elems_per_sec);
+        launch_time + pcie + compute
+    }
+
+    /// Preprocessing throughput in samples/second.
+    #[must_use]
+    pub fn throughput(&self, profile: &WorkloadProfile) -> f64 {
+        profile.rows as f64 / self.batch_time(profile).seconds()
+    }
+
+    /// Card power.
+    #[must_use]
+    pub fn power(&self) -> Watts {
+        Watts::new(a100::POWER_W)
+    }
+}
+
+impl Default for GpuPreprocessModel {
+    fn default() -> Self {
+        Self::a100()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_cost_grows_with_model_size() {
+        let rm1 = ModelCost::from_config(&RmConfig::rm1());
+        let rm5 = ModelCost::from_config(&RmConfig::rm5());
+        assert!(rm5.flops_per_sample > rm1.flops_per_sample);
+        assert!(rm5.hbm_bytes_per_sample > 5.0 * rm1.hbm_bytes_per_sample);
+    }
+
+    #[test]
+    fn training_throughput_bands() {
+        // RM1 trains much faster than RM5; both in the 10^5 samples/s range
+        // an A100 delivers on DLRM-class models (Fig. 3 shows ~1.5e5 for
+        // RM5's ceiling).
+        let gpu = GpuTrainModel::a100();
+        let t1 = gpu.max_throughput(&RmConfig::rm1());
+        let t5 = gpu.max_throughput(&RmConfig::rm5());
+        assert!(t1 > t5, "RM1 {t1:.0} vs RM5 {t5:.0}");
+        assert!((1.0e5..=1.0e6).contains(&t1), "RM1 {t1:.0}");
+        assert!((0.8e5..=3.0e5).contains(&t5), "RM5 {t5:.0}");
+    }
+
+    #[test]
+    fn utilization_saturates_at_one() {
+        let gpu = GpuTrainModel::a100();
+        let c = RmConfig::rm1();
+        assert_eq!(gpu.utilization(&c, f64::MAX), 1.0);
+        assert_eq!(gpu.utilization(&c, 0.0), 0.0);
+        let half = gpu.max_throughput(&c) / 2.0;
+        assert!((gpu.utilization(&c, half) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gpu_preprocessing_is_launch_bound_for_production_models() {
+        let gpu = GpuPreprocessModel::a100();
+        let p = WorkloadProfile::from_config(&RmConfig::rm5());
+        let launches = p.num_columns as f64 * a100::KERNELS_PER_COLUMN;
+        let launch_time = launches * a100::KERNEL_OVERHEAD_SECS;
+        let total = gpu.batch_time(&p).seconds();
+        assert!(launch_time / total > 0.5, "launch share {:.2}", launch_time / total);
+    }
+
+    #[test]
+    fn step_time_includes_overhead() {
+        let gpu = GpuTrainModel::a100();
+        let t = gpu.step_time(&RmConfig::rm1());
+        assert!(t.seconds() >= a100::STEP_OVERHEAD_SECS);
+    }
+}

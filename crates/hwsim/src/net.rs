@@ -1,0 +1,121 @@
+//! Datacenter network and RPC cost model.
+//!
+//! Models the PoC's 10 GbE links and PyTorch-RPC software overhead
+//! (Section V-B). Every remote ranged read (one per projected column chunk)
+//! and every tensor push is an RPC; the per-call overhead is what makes
+//! Disagg's Extract (Read) visible in Fig. 5 and the aggregate RPC time in
+//! Fig. 13.
+
+use crate::calib;
+use crate::units::{BytesPerSec, Secs};
+
+/// A point-to-point network link with per-RPC software overhead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkModel {
+    bandwidth: BytesPerSec,
+    rpc_overhead: Secs,
+}
+
+impl NetworkModel {
+    /// The paper's PoC network: 10 GbE + PyTorch RPC.
+    #[must_use]
+    pub fn poc() -> Self {
+        NetworkModel {
+            bandwidth: BytesPerSec::gbit(calib::net::LINK_GBPS),
+            rpc_overhead: Secs::new(calib::net::RPC_OVERHEAD_SECS),
+        }
+    }
+
+    /// A custom link.
+    #[must_use]
+    pub fn new(bandwidth: BytesPerSec, rpc_overhead: Secs) -> Self {
+        NetworkModel { bandwidth, rpc_overhead }
+    }
+
+    /// Link bandwidth.
+    #[must_use]
+    pub fn bandwidth(&self) -> BytesPerSec {
+        self.bandwidth
+    }
+
+    /// Per-RPC overhead.
+    #[must_use]
+    pub fn rpc_overhead(&self) -> Secs {
+        self.rpc_overhead
+    }
+
+    /// Pure wire time for `bytes` (no RPC overhead).
+    #[must_use]
+    pub fn wire_time(&self, bytes: u64) -> Secs {
+        self.bandwidth.time_for(bytes)
+    }
+
+    /// Time for `calls` RPCs moving `bytes` in total.
+    #[must_use]
+    pub fn rpc_time(&self, calls: u64, bytes: u64) -> Secs {
+        self.rpc_overhead * calls as f64 + self.wire_time(bytes)
+    }
+}
+
+/// Aggregate RPC traffic bookkeeping for one mini-batch (Fig. 13).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RpcAccount {
+    /// Number of RPC calls issued.
+    pub calls: u64,
+    /// Total bytes moved over the network.
+    pub bytes: u64,
+}
+
+impl RpcAccount {
+    /// Adds another account's traffic.
+    #[must_use]
+    pub fn plus(self, other: RpcAccount) -> RpcAccount {
+        RpcAccount { calls: self.calls + other.calls, bytes: self.bytes + other.bytes }
+    }
+
+    /// Total latency on a given link.
+    #[must_use]
+    pub fn time_on(&self, net: &NetworkModel) -> Secs {
+        net.rpc_time(self.calls, self.bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poc_link_is_10gbe() {
+        let net = NetworkModel::poc();
+        assert!((net.bandwidth().raw() - 1.25e9).abs() < 1.0);
+        let t = net.wire_time(1_250_000);
+        assert!((t.millis() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rpc_overhead_scales_with_calls() {
+        let net = NetworkModel::new(BytesPerSec::gb(1.0), Secs::from_micros(100.0));
+        let one = net.rpc_time(1, 0);
+        let ten = net.rpc_time(10, 0);
+        assert!((ten.seconds() - 10.0 * one.seconds()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_reads_are_overhead_dominated() {
+        // The Disagg pathology: hundreds of small per-column reads pay far
+        // more in RPC overhead than in wire time.
+        let net = NetworkModel::poc();
+        let per_column = net.rpc_time(1, 4096);
+        assert!(per_column.seconds() > 10.0 * net.wire_time(4096).seconds());
+    }
+
+    #[test]
+    fn accounts_accumulate() {
+        let a = RpcAccount { calls: 2, bytes: 100 };
+        let b = RpcAccount { calls: 3, bytes: 900 };
+        let c = a.plus(b);
+        assert_eq!(c, RpcAccount { calls: 5, bytes: 1000 });
+        let net = NetworkModel::new(BytesPerSec::new(1000.0), Secs::new(0.01));
+        assert!((c.time_on(&net).seconds() - (0.05 + 1.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,124 @@
+//! Node- and device-level power accounting.
+//!
+//! The paper measures node power with Intel PCM and device power with
+//! Vivado/nvidia-smi (Sec. V-C). This module exposes the same quantities for
+//! the deployment-scale energy/TCO comparisons (Fig. 15).
+
+use crate::calib::node_power;
+use crate::units::Watts;
+
+/// Power model of a two-socket CPU preprocessing node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuNodePower {
+    active: Watts,
+    idle: Watts,
+    cores: usize,
+}
+
+impl CpuNodePower {
+    /// The PoC's Xeon Gold 6242 node.
+    #[must_use]
+    pub fn xeon_node() -> Self {
+        CpuNodePower {
+            active: Watts::new(node_power::CPU_NODE_ACTIVE_W),
+            idle: Watts::new(node_power::CPU_NODE_IDLE_W),
+            cores: node_power::CORES_PER_NODE,
+        }
+    }
+
+    /// Cores per node.
+    #[must_use]
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Node power when `busy_cores` of the node's cores are preprocessing.
+    ///
+    /// Linear interpolation between idle and fully-active: PCM-style
+    /// package power scales roughly linearly with active core count.
+    #[must_use]
+    pub fn power_with_busy_cores(&self, busy_cores: usize) -> Watts {
+        let frac = (busy_cores.min(self.cores)) as f64 / self.cores as f64;
+        Watts::new(
+            self.idle.raw() + (self.active.raw() - self.idle.raw()) * frac,
+        )
+    }
+
+    /// Power of a fleet large enough to host `total_cores` busy cores
+    /// (whole nodes are provisioned; the last node may be partly busy).
+    #[must_use]
+    pub fn fleet_power(&self, total_cores: usize) -> Watts {
+        if total_cores == 0 {
+            return Watts::default();
+        }
+        let full_nodes = total_cores / self.cores;
+        let remainder = total_cores % self.cores;
+        let mut power = self.active.raw() * full_nodes as f64;
+        if remainder > 0 {
+            power += self.power_with_busy_cores(remainder).raw();
+        }
+        Watts::new(power)
+    }
+
+    /// Number of whole nodes needed for `total_cores`.
+    #[must_use]
+    pub fn nodes_for(&self, total_cores: usize) -> usize {
+        total_cores.div_ceil(self.cores)
+    }
+}
+
+/// Power of the storage node hosting SmartSSDs (host + shelf baseline plus
+/// per-card draw).
+#[must_use]
+pub fn storage_node_power(smartssd_cards: usize, card_power: Watts) -> Watts {
+    Watts::new(node_power::STORAGE_NODE_W) + card_power * smartssd_cards as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_below_active() {
+        let node = CpuNodePower::xeon_node();
+        assert!(node.power_with_busy_cores(0).raw() < node.power_with_busy_cores(32).raw());
+        assert_eq!(node.power_with_busy_cores(0).raw(), node_power::CPU_NODE_IDLE_W);
+        assert_eq!(node.power_with_busy_cores(32).raw(), node_power::CPU_NODE_ACTIVE_W);
+    }
+
+    #[test]
+    fn busy_cores_clamp_at_node_size() {
+        let node = CpuNodePower::xeon_node();
+        assert_eq!(
+            node.power_with_busy_cores(99).raw(),
+            node.power_with_busy_cores(32).raw()
+        );
+    }
+
+    #[test]
+    fn fleet_power_provisions_whole_nodes() {
+        let node = CpuNodePower::xeon_node();
+        assert_eq!(node.nodes_for(0), 0);
+        assert_eq!(node.nodes_for(1), 1);
+        assert_eq!(node.nodes_for(32), 1);
+        assert_eq!(node.nodes_for(33), 2);
+        assert_eq!(node.nodes_for(367), 12); // the paper's RM5 fleet
+        // 367 cores: 11 full nodes + 15 busy cores on the 12th.
+        let p = node.fleet_power(367);
+        let expected =
+            11.0 * node_power::CPU_NODE_ACTIVE_W + node.power_with_busy_cores(15).raw();
+        assert!((p.raw() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_cores_zero_power() {
+        assert_eq!(CpuNodePower::xeon_node().fleet_power(0).raw(), 0.0);
+    }
+
+    #[test]
+    fn storage_node_scales_with_cards() {
+        let base = storage_node_power(0, Watts::new(25.0));
+        let nine = storage_node_power(9, Watts::new(25.0));
+        assert!((nine.raw() - base.raw() - 225.0).abs() < 1e-9);
+    }
+}

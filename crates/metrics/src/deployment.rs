@@ -1,0 +1,142 @@
+//! Deployment-scale fleet descriptions: what hardware each preprocessing
+//! system needs to feed a multi-GPU training node, and what it costs.
+//!
+//! Follows the paper's Section V-C methodology: both systems include the
+//! storage node hosting the raw data; Disagg adds CPU server nodes (and
+//! plain SSDs for capacity parity), PreSto swaps the SSDs for SmartSSDs.
+
+use presto_core::provision::Provisioner;
+use presto_datagen::RmConfig;
+use presto_hwsim::calib::{capex, node_power};
+use presto_hwsim::power::CpuNodePower;
+use presto_hwsim::units::Watts;
+
+/// A sized preprocessing deployment for one training job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Deployment {
+    /// Human-readable system name.
+    pub name: String,
+    /// CPU cores allocated (Disagg only).
+    pub cpu_cores: usize,
+    /// CPU server nodes purchased.
+    pub cpu_nodes: usize,
+    /// SmartSSD cards purchased (PreSto only).
+    pub smartssd_cards: usize,
+    /// Plain SSDs purchased (Disagg's storage, capacity-matched).
+    pub plain_ssds: usize,
+    /// One-time capital expenditure, USD.
+    pub capex_usd: f64,
+    /// Steady-state power draw, watts.
+    pub power: Watts,
+}
+
+impl Deployment {
+    /// The Disagg deployment feeding `num_gpus` A100s on `config`.
+    #[must_use]
+    pub fn disagg(provisioner: &Provisioner, config: &RmConfig, num_gpus: usize) -> Self {
+        let cores = provisioner.cpu_cores_required(config, num_gpus);
+        let units = provisioner.isp_units_required(config, num_gpus);
+        let node = CpuNodePower::xeon_node();
+        let nodes = node.nodes_for(cores);
+        // Capacity parity: as many plain SSDs as PreSto would use SmartSSDs.
+        let plain_ssds = units;
+        let capex_usd = nodes as f64 * capex::CPU_NODE_USD
+            + capex::CPU_NODE_USD // the storage node itself
+            + plain_ssds as f64 * capex::PLAIN_SSD_USD;
+        let power =
+            Watts::new(node_power::STORAGE_NODE_W) + node.fleet_power(cores);
+        Deployment {
+            name: format!("Disagg({cores})"),
+            cpu_cores: cores,
+            cpu_nodes: nodes,
+            smartssd_cards: 0,
+            plain_ssds,
+            capex_usd,
+            power,
+        }
+    }
+
+    /// The PreSto deployment feeding `num_gpus` A100s on `config`.
+    #[must_use]
+    pub fn presto(provisioner: &Provisioner, config: &RmConfig, num_gpus: usize) -> Self {
+        let units = provisioner.isp_units_required(config, num_gpus);
+        let capex_usd =
+            capex::CPU_NODE_USD + units as f64 * capex::SMARTSSD_USD;
+        let power = Watts::new(node_power::STORAGE_NODE_W)
+            + provisioner.isp().power() * units as f64;
+        Deployment {
+            name: format!("PreSto({units})"),
+            cpu_cores: 0,
+            cpu_nodes: 0,
+            smartssd_cards: units,
+            plain_ssds: 0,
+            capex_usd,
+            power,
+        }
+    }
+
+    /// Operating expenditure over the depreciation horizon, USD
+    /// (`Power × Duration × Electricity`, Sec. V-C).
+    #[must_use]
+    pub fn opex_usd(&self) -> f64 {
+        let hours = capex::DURATION_YEARS * 365.0 * 24.0;
+        (self.power.raw() / 1000.0) * hours * capex::ELECTRICITY_USD_PER_KWH
+    }
+
+    /// CapEx + OpEx, the denominator of the cost-efficiency metric.
+    #[must_use]
+    pub fn total_cost_usd(&self) -> f64 {
+        self.capex_usd + self.opex_usd()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rm5_deployments_match_paper_scale() {
+        let p = Provisioner::poc();
+        let disagg = Deployment::disagg(&p, &RmConfig::rm5(), 8);
+        let presto = Deployment::presto(&p, &RmConfig::rm5(), 8);
+        assert!((9..=14).contains(&disagg.cpu_nodes), "nodes {}", disagg.cpu_nodes);
+        assert!((4..=12).contains(&presto.smartssd_cards), "cards {}", presto.smartssd_cards);
+        assert!(disagg.power.raw() > 8.0 * presto.power.raw());
+        assert!(disagg.total_cost_usd() > 3.0 * presto.total_cost_usd());
+    }
+
+    #[test]
+    fn opex_formula_matches_section_5c() {
+        let d = Deployment {
+            name: "test".into(),
+            cpu_cores: 0,
+            cpu_nodes: 0,
+            smartssd_cards: 0,
+            plain_ssds: 0,
+            capex_usd: 0.0,
+            power: Watts::new(1000.0),
+        };
+        // 1 kW for 3 years at $0.0733/kWh.
+        let expected = 3.0 * 365.0 * 24.0 * 0.0733;
+        assert!((d.opex_usd() - expected).abs() < 1e-6);
+        assert_eq!(d.total_cost_usd(), d.opex_usd());
+    }
+
+    #[test]
+    fn presto_capex_is_storage_node_plus_cards() {
+        let p = Provisioner::poc();
+        let presto = Deployment::presto(&p, &RmConfig::rm1(), 8);
+        let expected = capex::CPU_NODE_USD
+            + presto.smartssd_cards as f64 * capex::SMARTSSD_USD;
+        assert!((presto.capex_usd - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smaller_models_need_smaller_fleets() {
+        let p = Provisioner::poc();
+        let rm1 = Deployment::disagg(&p, &RmConfig::rm1(), 8);
+        let rm5 = Deployment::disagg(&p, &RmConfig::rm5(), 8);
+        assert!(rm1.cpu_nodes < rm5.cpu_nodes);
+        assert!(rm1.total_cost_usd() < rm5.total_cost_usd());
+    }
+}

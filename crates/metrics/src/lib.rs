@@ -1,0 +1,31 @@
+//! # presto-metrics
+//!
+//! Deployment-scale economics for the PreSto reproduction (ISCA 2024):
+//! fleet sizing, power, capital/operating expenditure, and the paper's
+//! energy-efficiency and cost-efficiency metrics (Fig. 15, Sec. V-C), plus
+//! text-table/CSV report formatting for the benchmark harness.
+//!
+//! ## Example
+//!
+//! ```
+//! use presto_metrics::efficiency::fig15;
+//!
+//! let rows = fig15();
+//! assert_eq!(rows.len(), 5);
+//! for row in &rows {
+//!     // PreSto wins on both axes for every model.
+//!     assert!(row.energy_efficiency_gain > 1.0);
+//!     assert!(row.cost_efficiency_gain > 1.0);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod deployment;
+pub mod efficiency;
+pub mod report;
+
+pub use deployment::Deployment;
+pub use efficiency::{compare, fig15, EfficiencyComparison};
+pub use report::{percent, ratio, samples_per_sec, TextTable};

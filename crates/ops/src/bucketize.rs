@@ -1,0 +1,265 @@
+//! Bucketize — feature generation (Algorithm 1 of the paper).
+//!
+//! Transforms a dense feature into a sparse categorical feature by binary-
+//! searching each value against a sorted boundary array: the output id is the
+//! index of the bucket the value falls into. Matches TorchArrow's
+//! `bucketize`, where `id = #{ boundaries[j] <= value }` over `m` boundaries,
+//! yielding ids in `[0, m]`.
+
+use std::fmt;
+
+/// Error constructing a [`Bucketizer`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BucketizeError {
+    /// The boundary list was empty.
+    Empty,
+    /// Boundaries were not strictly increasing at the reported index.
+    NotIncreasing {
+        /// Index `i` such that `boundaries[i] >= boundaries[i + 1]`.
+        index: usize,
+    },
+    /// A boundary was NaN.
+    NanBoundary {
+        /// Index of the NaN entry.
+        index: usize,
+    },
+}
+
+impl fmt::Display for BucketizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BucketizeError::Empty => write!(f, "bucket boundary list is empty"),
+            BucketizeError::NotIncreasing { index } => {
+                write!(f, "bucket boundaries not strictly increasing at index {index}")
+            }
+            BucketizeError::NanBoundary { index } => {
+                write!(f, "bucket boundary at index {index} is NaN")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BucketizeError {}
+
+/// A validated, sorted bucket boundary array plus the search kernel.
+///
+/// # Examples
+///
+/// ```
+/// use presto_ops::Bucketizer;
+///
+/// let b = Bucketizer::new(vec![0.0, 10.0, 100.0])?;
+/// assert_eq!(b.bucket_id(-5.0), 0);  // below all boundaries
+/// assert_eq!(b.bucket_id(0.0), 1);   // boundaries are inclusive lower edges
+/// assert_eq!(b.bucket_id(50.0), 2);
+/// assert_eq!(b.bucket_id(1e9), 3);   // above all boundaries
+/// # Ok::<(), presto_ops::BucketizeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bucketizer {
+    boundaries: Vec<f32>,
+}
+
+impl Bucketizer {
+    /// Validates and wraps a strictly increasing boundary array.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BucketizeError`] on empty, NaN-containing or non-increasing
+    /// input.
+    pub fn new(boundaries: Vec<f32>) -> Result<Self, BucketizeError> {
+        if boundaries.is_empty() {
+            return Err(BucketizeError::Empty);
+        }
+        if let Some(index) = boundaries.iter().position(|b| b.is_nan()) {
+            return Err(BucketizeError::NanBoundary { index });
+        }
+        if let Some(index) = boundaries.windows(2).position(|w| w[0] >= w[1]) {
+            return Err(BucketizeError::NotIncreasing { index });
+        }
+        Ok(Bucketizer { boundaries })
+    }
+
+    /// `m` boundaries logarithmically spaced over `[1, max_value]`, the shape
+    /// used for count-like dense features. Deduplicated to stay strictly
+    /// increasing, so fewer than `m` boundaries may result for tiny ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BucketizeError::Empty`] when `m == 0` or `max_value < 1.0`.
+    pub fn log_spaced(m: usize, max_value: f32) -> Result<Self, BucketizeError> {
+        if m == 0 || max_value < 1.0 {
+            return Err(BucketizeError::Empty);
+        }
+        let log_max = max_value.ln();
+        let mut strict: Vec<f32> = Vec::with_capacity(m);
+        for i in 0..m {
+            let b = (log_max * i as f32 / m as f32).exp() - 1.0;
+            if strict.last().is_none_or(|&last| b > last) {
+                strict.push(b);
+            }
+        }
+        Bucketizer::new(strict)
+    }
+
+    /// Quantile boundaries estimated from a data sample: `m` cut points that
+    /// split the sample into equal-mass buckets (duplicates collapsed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BucketizeError::Empty`] when `m == 0` or the sample has no
+    /// finite values.
+    pub fn from_quantiles(sample: &[f32], m: usize) -> Result<Self, BucketizeError> {
+        if m == 0 {
+            return Err(BucketizeError::Empty);
+        }
+        let mut sorted: Vec<f32> = sample.iter().copied().filter(|v| v.is_finite()).collect();
+        if sorted.is_empty() {
+            return Err(BucketizeError::Empty);
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        let mut boundaries = Vec::with_capacity(m);
+        for i in 1..=m {
+            let idx = (i * (sorted.len() - 1)) / (m + 1);
+            let candidate = sorted[idx];
+            if boundaries.last().is_none_or(|&last| candidate > last) {
+                boundaries.push(candidate);
+            }
+        }
+        if boundaries.is_empty() {
+            boundaries.push(sorted[0]);
+        }
+        Bucketizer::new(boundaries)
+    }
+
+    /// The boundary array.
+    #[must_use]
+    pub fn boundaries(&self) -> &[f32] {
+        &self.boundaries
+    }
+
+    /// Number of boundaries `m`; output ids span `[0, m]`.
+    #[must_use]
+    pub fn num_boundaries(&self) -> usize {
+        self.boundaries.len()
+    }
+
+    /// `SearchBucketID` from Algorithm 1: index of the bucket `value` falls
+    /// into, via binary search. NaN maps to bucket 0.
+    #[must_use]
+    pub fn bucket_id(&self, value: f32) -> i64 {
+        // partition_point returns the count of boundaries <= value.
+        self.boundaries.partition_point(|&b| b <= value) as i64
+    }
+
+    /// Bucketizes a full dense column (the Algorithm 1 loop).
+    #[must_use]
+    pub fn apply(&self, values: &[f32]) -> Vec<i64> {
+        values.iter().map(|&v| self.bucket_id(v)).collect()
+    }
+
+    /// Bucketizes into a caller-provided buffer, reusing its capacity.
+    pub fn apply_into(&self, values: &[f32], out: &mut Vec<i64>) {
+        out.clear();
+        out.reserve(values.len());
+        out.extend(values.iter().map(|&v| self.bucket_id(v)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_match_linear_scan() {
+        let b = Bucketizer::new(vec![1.0, 2.5, 7.0, 9.0]).unwrap();
+        for v in [-1.0f32, 0.0, 1.0, 2.0, 2.5, 3.0, 8.9, 9.0, 100.0] {
+            let linear = b.boundaries().iter().filter(|&&x| x <= v).count() as i64;
+            assert_eq!(b.bucket_id(v), linear, "value {v}");
+        }
+    }
+
+    #[test]
+    fn ids_are_in_range_and_monotone() {
+        let b = Bucketizer::log_spaced(1024, 1.0e6).unwrap();
+        let mut prev = -1i64;
+        for i in 0..2000 {
+            let v = i as f32 * 500.0;
+            let id = b.bucket_id(v);
+            assert!((0..=b.num_boundaries() as i64).contains(&id));
+            assert!(id >= prev, "bucket ids must be monotone in the value");
+            prev = id;
+        }
+    }
+
+    #[test]
+    fn empty_boundaries_rejected() {
+        assert_eq!(Bucketizer::new(vec![]), Err(BucketizeError::Empty));
+    }
+
+    #[test]
+    fn unsorted_boundaries_rejected() {
+        assert_eq!(
+            Bucketizer::new(vec![1.0, 1.0]),
+            Err(BucketizeError::NotIncreasing { index: 0 })
+        );
+        assert_eq!(
+            Bucketizer::new(vec![1.0, 3.0, 2.0]),
+            Err(BucketizeError::NotIncreasing { index: 1 })
+        );
+    }
+
+    #[test]
+    fn nan_boundary_rejected() {
+        assert_eq!(
+            Bucketizer::new(vec![1.0, f32::NAN]),
+            Err(BucketizeError::NanBoundary { index: 1 })
+        );
+    }
+
+    #[test]
+    fn nan_value_goes_to_bucket_zero() {
+        let b = Bucketizer::new(vec![0.0, 1.0]).unwrap();
+        assert_eq!(b.bucket_id(f32::NAN), 0);
+    }
+
+    #[test]
+    fn log_spaced_has_requested_scale() {
+        let b = Bucketizer::log_spaced(256, 1.0e6).unwrap();
+        assert!(b.num_boundaries() > 200, "got {}", b.num_boundaries());
+        assert!(b.num_boundaries() <= 256);
+        // First boundary at exp(0)-1 = 0.
+        assert_eq!(b.boundaries()[0], 0.0);
+    }
+
+    #[test]
+    fn quantile_boundaries_balance_buckets() {
+        let sample: Vec<f32> = (0..10_000).map(|i| (i % 1000) as f32).collect();
+        let b = Bucketizer::from_quantiles(&sample, 9).unwrap();
+        let ids = b.apply(&sample);
+        let mut counts = vec![0usize; b.num_boundaries() + 1];
+        for id in ids {
+            counts[id as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().filter(|&&c| c > 0).min().unwrap();
+        assert!(max < min * 4, "bucket skew: max {max} min {min}");
+    }
+
+    #[test]
+    fn apply_into_reuses_buffer() {
+        let b = Bucketizer::new(vec![5.0]).unwrap();
+        let mut out = Vec::with_capacity(4);
+        b.apply_into(&[1.0, 9.0], &mut out);
+        assert_eq!(out, vec![0, 1]);
+        b.apply_into(&[6.0], &mut out);
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn infinities_clamp_to_extremes() {
+        let b = Bucketizer::new(vec![0.0, 1.0]).unwrap();
+        assert_eq!(b.bucket_id(f32::NEG_INFINITY), 0);
+        assert_eq!(b.bucket_id(f32::INFINITY), 2);
+    }
+}

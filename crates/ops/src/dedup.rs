@@ -1,0 +1,222 @@
+//! Feature deduplication — the RecD-style optimization the paper cites as
+//! orthogonal related work (Zhao et al., "RecD", MLSys 2023).
+//!
+//! RecSys training samples are generated per user interaction, so
+//! consecutive rows from one session often carry *identical* sparse
+//! feature lists (the user's history changed by at most one item). RecD
+//! deduplicates those lists before normalization: hash each row's list,
+//! keep one representative per distinct list, run SigridHash once per
+//! representative, and fan the results back out. The transform work drops
+//! by the duplication factor while the output is bit-identical.
+
+use crate::sigridhash::SigridHasher;
+use std::collections::HashMap;
+
+/// Result of deduplicating one jagged feature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DedupPlan {
+    /// For each row, the index of its representative in `unique_rows`.
+    pub row_to_unique: Vec<u32>,
+    /// Row indices (into the original feature) of the representatives.
+    pub unique_rows: Vec<u32>,
+}
+
+impl DedupPlan {
+    /// Number of original rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.row_to_unique.len()
+    }
+
+    /// Number of distinct lists.
+    #[must_use]
+    pub fn unique(&self) -> usize {
+        self.unique_rows.len()
+    }
+
+    /// Fraction of rows that were duplicates (`0.0` = all distinct).
+    #[must_use]
+    pub fn dup_ratio(&self) -> f64 {
+        if self.row_to_unique.is_empty() {
+            0.0
+        } else {
+            1.0 - self.unique_rows.len() as f64 / self.row_to_unique.len() as f64
+        }
+    }
+}
+
+/// Builds a dedup plan for a jagged feature (`offsets` + `values`).
+///
+/// Two rows are duplicates when their id lists are element-wise equal.
+///
+/// # Panics
+///
+/// Panics if `offsets` is empty or inconsistent with `values`
+/// (callers hold validated jagged features).
+#[must_use]
+pub fn plan_dedup(offsets: &[u32], values: &[i64]) -> DedupPlan {
+    assert!(!offsets.is_empty(), "jagged offsets must have at least one entry");
+    assert_eq!(*offsets.last().expect("non-empty") as usize, values.len());
+    let rows = offsets.len() - 1;
+    let mut seen: HashMap<&[i64], u32> = HashMap::with_capacity(rows);
+    let mut row_to_unique = Vec::with_capacity(rows);
+    let mut unique_rows = Vec::new();
+    for row in 0..rows {
+        let list = &values[offsets[row] as usize..offsets[row + 1] as usize];
+        let unique_idx = *seen.entry(list).or_insert_with(|| {
+            unique_rows.push(row as u32);
+            (unique_rows.len() - 1) as u32
+        });
+        row_to_unique.push(unique_idx);
+    }
+    DedupPlan { row_to_unique, unique_rows }
+}
+
+/// SigridHash with deduplication: hashes each *distinct* list once and
+/// expands the results, producing exactly what
+/// [`SigridHasher::apply`] on the full feature would.
+///
+/// Returns `(offsets, values, plan)` of the normalized feature.
+#[must_use]
+pub fn hash_deduped(
+    hasher: &SigridHasher,
+    offsets: &[u32],
+    values: &[i64],
+) -> (Vec<u32>, Vec<i64>, DedupPlan) {
+    let plan = plan_dedup(offsets, values);
+
+    // Hash each representative list once.
+    let hashed_unique: Vec<Vec<i64>> = plan
+        .unique_rows
+        .iter()
+        .map(|&row| {
+            let r = row as usize;
+            let list = &values[offsets[r] as usize..offsets[r + 1] as usize];
+            hasher.apply(list)
+        })
+        .collect();
+
+    // Fan out.
+    let rows = plan.rows();
+    let mut out_offsets = Vec::with_capacity(rows + 1);
+    out_offsets.push(0u32);
+    let mut out_values = Vec::with_capacity(values.len());
+    for row in 0..rows {
+        let hashed = &hashed_unique[plan.row_to_unique[row] as usize];
+        out_values.extend_from_slice(hashed);
+        out_offsets.push(out_values.len() as u32);
+    }
+    (out_offsets, out_values, plan)
+}
+
+/// Injects session-style duplication into a jagged feature for evaluation:
+/// each row is replaced by a copy of the most recent "session head" with
+/// probability `(window - 1) / window` (deterministic round-robin).
+///
+/// # Panics
+///
+/// Panics when `window == 0`.
+#[must_use]
+pub fn inject_duplication(
+    offsets: &[u32],
+    values: &[i64],
+    window: usize,
+) -> (Vec<u32>, Vec<i64>) {
+    assert!(window > 0, "duplication window must be positive");
+    let rows = offsets.len() - 1;
+    let mut out_offsets = vec![0u32];
+    let mut out_values = Vec::new();
+    let mut head = 0usize;
+    for row in 0..rows {
+        if row % window == 0 {
+            head = row;
+        }
+        let list = &values[offsets[head] as usize..offsets[head + 1] as usize];
+        out_values.extend_from_slice(list);
+        out_offsets.push(out_values.len() as u32);
+    }
+    (out_offsets, out_values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jagged(lists: &[&[i64]]) -> (Vec<u32>, Vec<i64>) {
+        let mut offsets = vec![0u32];
+        let mut values = Vec::new();
+        for l in lists {
+            values.extend_from_slice(l);
+            offsets.push(values.len() as u32);
+        }
+        (offsets, values)
+    }
+
+    #[test]
+    fn all_distinct_rows_have_no_dups() {
+        let (o, v) = jagged(&[&[1, 2], &[3], &[4, 5, 6]]);
+        let plan = plan_dedup(&o, &v);
+        assert_eq!(plan.unique(), 3);
+        assert_eq!(plan.dup_ratio(), 0.0);
+    }
+
+    #[test]
+    fn exact_duplicates_collapse() {
+        let (o, v) = jagged(&[&[7, 8], &[7, 8], &[], &[], &[7, 8]]);
+        let plan = plan_dedup(&o, &v);
+        assert_eq!(plan.unique(), 2); // [7,8] and []
+        assert_eq!(plan.row_to_unique, vec![0, 0, 1, 1, 0]);
+        assert!((plan.dup_ratio() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefix_is_not_a_duplicate() {
+        let (o, v) = jagged(&[&[1, 2, 3], &[1, 2]]);
+        assert_eq!(plan_dedup(&o, &v).unique(), 2);
+    }
+
+    #[test]
+    fn hash_deduped_matches_direct_hash() {
+        let hasher = SigridHasher::new(9, 500_000).unwrap();
+        let (o, v) = jagged(&[&[10, 20], &[10, 20], &[30], &[10, 20], &[]]);
+        let (oo, ov, plan) = hash_deduped(&hasher, &o, &v);
+        assert_eq!(oo, o);
+        assert_eq!(ov, hasher.apply(&v));
+        assert_eq!(plan.unique(), 3);
+    }
+
+    #[test]
+    fn injected_duplication_reaches_expected_ratio() {
+        let lists: Vec<Vec<i64>> = (0..100).map(|i| vec![i, i + 1]).collect();
+        let refs: Vec<&[i64]> = lists.iter().map(Vec::as_slice).collect();
+        let (o, v) = jagged(&refs);
+        let (od, vd) = inject_duplication(&o, &v, 4);
+        let plan = plan_dedup(&od, &vd);
+        assert_eq!(plan.unique(), 25);
+        assert!((plan.dup_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dedup_saves_hash_work_proportionally() {
+        let hasher = SigridHasher::new(3, 500_000).unwrap();
+        let lists: Vec<Vec<i64>> = (0..64).map(|i| vec![i; 8]).collect();
+        let refs: Vec<&[i64]> = lists.iter().map(Vec::as_slice).collect();
+        let (o, v) = jagged(&refs);
+        let (od, vd) = inject_duplication(&o, &v, 8);
+        let (_, out, plan) = hash_deduped(&hasher, &od, &vd);
+        // Work dropped 8x; output still matches the direct path.
+        assert_eq!(plan.unique(), 8);
+        assert_eq!(out, hasher.apply(&vd));
+    }
+
+    #[test]
+    fn empty_feature_is_fine() {
+        let plan = plan_dedup(&[0], &[]);
+        assert_eq!(plan.rows(), 0);
+        assert_eq!(plan.dup_ratio(), 0.0);
+        let hasher = SigridHasher::new(1, 10).unwrap();
+        let (o, v, _) = hash_deduped(&hasher, &[0], &[]);
+        assert_eq!(o, vec![0]);
+        assert!(v.is_empty());
+    }
+}

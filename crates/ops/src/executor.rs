@@ -1,0 +1,316 @@
+//! Functional preprocessing executor: Extract → Transform → format
+//! conversion, with per-stage wall-clock timing.
+//!
+//! This is the *real* data path — every mini-batch it produces went through
+//! the actual kernels. The timings it reports are host-CPU measurements used
+//! by the criterion benches; the paper-scale performance projections come
+//! from `presto-hwsim` instead.
+
+use crate::lognorm;
+use crate::minibatch::{DenseMatrix, JaggedFeature, MiniBatch, ShapeError};
+use crate::plan::PreprocessPlan;
+use presto_columnar::{Array, BlobRead, ColumnarError, FileReader};
+use presto_datagen::RowBatch;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Error from the preprocessing pipeline.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PreprocessError {
+    /// Storage or decode failure during Extract.
+    Extract(ColumnarError),
+    /// A required column was missing or had the wrong type.
+    BadColumn {
+        /// The offending column name.
+        column: String,
+    },
+    /// Mini-batch assembly failed.
+    Shape(ShapeError),
+}
+
+impl fmt::Display for PreprocessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PreprocessError::Extract(e) => write!(f, "extract failed: {e}"),
+            PreprocessError::BadColumn { column } => {
+                write!(f, "column {column} missing or mistyped")
+            }
+            PreprocessError::Shape(e) => write!(f, "format conversion failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PreprocessError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PreprocessError::Extract(e) => Some(e),
+            PreprocessError::Shape(e) => Some(e),
+            PreprocessError::BadColumn { .. } => None,
+        }
+    }
+}
+
+impl From<ColumnarError> for PreprocessError {
+    fn from(e: ColumnarError) -> Self {
+        PreprocessError::Extract(e)
+    }
+}
+
+impl From<ShapeError> for PreprocessError {
+    fn from(e: ShapeError) -> Self {
+        PreprocessError::Shape(e)
+    }
+}
+
+/// Wall-clock time per pipeline stage (the Fig. 5 / Fig. 12 stages, measured
+/// on the host).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Reading + decoding the projected columns.
+    pub extract: Duration,
+    /// Feature generation (Bucketize).
+    pub bucketize: Duration,
+    /// Sparse normalization (SigridHash).
+    pub sigridhash: Duration,
+    /// Dense normalization (Log).
+    pub log: Duration,
+    /// Mini-batch assembly (format conversion).
+    pub format: Duration,
+}
+
+impl StageTimings {
+    /// Sum of all stages.
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        self.extract + self.bucketize + self.sigridhash + self.log + self.format
+    }
+}
+
+/// Preprocesses an already-decoded row batch (Transform + format conversion).
+///
+/// # Errors
+///
+/// Returns [`PreprocessError::BadColumn`] when the batch does not contain a
+/// column the plan requires.
+pub fn preprocess_batch(
+    plan: &PreprocessPlan,
+    batch: &RowBatch,
+) -> Result<(MiniBatch, StageTimings), PreprocessError> {
+    let mut timings = StageTimings::default();
+
+    let labels = batch
+        .column("label")
+        .and_then(Array::as_int64)
+        .ok_or_else(|| PreprocessError::BadColumn { column: "label".into() })?
+        .to_vec();
+    let rows = labels.len();
+
+    // Feature generation: Bucketize dense sources into new sparse features.
+    let t0 = Instant::now();
+    let mut generated: Vec<(String, Vec<i64>)> =
+        Vec::with_capacity(plan.generated_specs().len());
+    for spec in plan.generated_specs() {
+        let source = batch
+            .column(&spec.source_column)
+            .and_then(Array::as_float32)
+            .ok_or_else(|| PreprocessError::BadColumn { column: spec.source_column.clone() })?;
+        generated.push((spec.name.clone(), spec.bucketizer.apply(source)));
+    }
+    timings.bucketize = t0.elapsed();
+
+    // Sparse normalization: SigridHash each raw sparse feature.
+    let t0 = Instant::now();
+    let mut hashed: Vec<(String, Vec<u32>, Vec<i64>)> =
+        Vec::with_capacity(plan.sparse_specs().len());
+    for spec in plan.sparse_specs() {
+        let (offsets, values) = batch
+            .column(&spec.column)
+            .and_then(Array::as_list_int64)
+            .ok_or_else(|| PreprocessError::BadColumn { column: spec.column.clone() })?;
+        hashed.push((spec.column.clone(), offsets.to_vec(), spec.hasher.apply(values)));
+    }
+    timings.sigridhash = t0.elapsed();
+
+    // Dense normalization: Log over every dense column.
+    let t0 = Instant::now();
+    let mut dense_norm: Vec<Vec<f32>> = Vec::with_capacity(plan.dense_columns().len());
+    for name in plan.dense_columns() {
+        let col = batch
+            .column(name)
+            .and_then(Array::as_float32)
+            .ok_or_else(|| PreprocessError::BadColumn { column: name.clone() })?;
+        dense_norm.push(lognorm::log_normalize(col));
+    }
+    timings.log = t0.elapsed();
+
+    // Format conversion: row-major dense + jagged sparse + generated.
+    let t0 = Instant::now();
+    let dense = DenseMatrix::from_columns(&dense_norm, rows)?;
+    let mut sparse = Vec::with_capacity(hashed.len() + generated.len());
+    for (name, offsets, values) in hashed {
+        sparse.push(JaggedFeature { name, offsets, values });
+    }
+    for (name, ids) in generated {
+        // One id per row: offsets are the identity ramp.
+        let offsets: Vec<u32> = (0..=rows as u32).collect();
+        sparse.push(JaggedFeature { name, offsets, values: ids });
+    }
+    let mini_batch = MiniBatch::new(labels, dense, sparse)?;
+    timings.format = t0.elapsed();
+
+    Ok((mini_batch, timings))
+}
+
+/// Full pipeline over a stored partition: Extract (projected read + decode),
+/// Transform, format conversion.
+///
+/// # Errors
+///
+/// Propagates storage, decode and shape failures.
+pub fn preprocess_partition<B: BlobRead>(
+    plan: &PreprocessPlan,
+    blob: B,
+) -> Result<(MiniBatch, StageTimings), PreprocessError> {
+    let t0 = Instant::now();
+    let reader = FileReader::open(blob)?;
+    let needed = plan.required_columns();
+    let names: Vec<&str> = needed.iter().map(String::as_str).collect();
+    let mut columns = Vec::with_capacity(names.len());
+    for rg in 0..reader.row_group_count() {
+        columns.push(reader.read_projected(rg, &names)?);
+    }
+    let extract = t0.elapsed();
+
+    // Reassemble into one RowBatch (single row group is the common case).
+    let schema = {
+        let fields: Vec<presto_columnar::Field> = needed
+            .iter()
+            .map(|n| {
+                let idx = reader.schema().index_of(n).expect("projected name resolves");
+                reader.schema().field(idx).expect("index valid").clone()
+            })
+            .collect();
+        presto_columnar::Schema::new(fields)?
+    };
+    let merged: Vec<Array> = if columns.len() == 1 {
+        columns.pop().expect("one row group")
+    } else {
+        let mut merged = Vec::with_capacity(needed.len());
+        for c in 0..needed.len() {
+            let parts: Vec<Array> = columns.iter().map(|rg| rg[c].clone()).collect();
+            merged.push(presto_columnar::column::concat_arrays(&parts)?);
+        }
+        merged
+    };
+    let batch = RowBatch::new(schema, merged)?;
+
+    let (mini_batch, mut timings) = preprocess_batch(plan, &batch)?;
+    timings.extract = extract;
+    Ok((mini_batch, timings))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_datagen::{generate_batch, write_partition, RmConfig};
+
+    fn tiny_config() -> RmConfig {
+        let mut c = RmConfig::rm1();
+        c.batch_size = 64;
+        c
+    }
+
+    #[test]
+    fn end_to_end_shapes() {
+        let c = tiny_config();
+        let plan = PreprocessPlan::from_config(&c, 1).unwrap();
+        let batch = generate_batch(&c, 64, 2);
+        let (mb, t) = preprocess_batch(&plan, &batch).unwrap();
+        assert_eq!(mb.rows(), 64);
+        assert_eq!(mb.dense().cols(), 13);
+        assert_eq!(mb.sparse().len(), 26 + 13);
+        assert_eq!(t.extract, Duration::ZERO); // not measured on this path
+    }
+
+    #[test]
+    fn normalized_ids_are_bounded_by_table_sizes() {
+        let c = tiny_config();
+        let plan = PreprocessPlan::from_config(&c, 1).unwrap();
+        let batch = generate_batch(&c, 64, 2);
+        let (mb, _) = preprocess_batch(&plan, &batch).unwrap();
+        for feat in mb.sparse() {
+            let bound = if feat.name.starts_with("gen_") {
+                c.bucket_size as i64 + 1
+            } else {
+                c.avg_embeddings as i64
+            };
+            for &v in &feat.values {
+                assert!((0..bound).contains(&v), "{}: id {v}", feat.name);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_outputs_are_log_normalized() {
+        let c = tiny_config();
+        let plan = PreprocessPlan::from_config(&c, 1).unwrap();
+        let batch = generate_batch(&c, 64, 2);
+        let (mb, _) = preprocess_batch(&plan, &batch).unwrap();
+        let raw = batch.column("dense_0").unwrap().as_float32().unwrap();
+        for (r, &x) in raw.iter().enumerate() {
+            let y = mb.dense().row(r)[0];
+            assert!((y - lognorm::log_normalize_one(x)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn partition_path_matches_batch_path() {
+        let c = tiny_config();
+        let plan = PreprocessPlan::from_config(&c, 1).unwrap();
+        let batch = generate_batch(&c, 64, 7);
+        let blob = write_partition(&batch).unwrap();
+        let (from_disk, t) = preprocess_partition(&plan, blob).unwrap();
+        let (from_mem, _) = preprocess_batch(&plan, &batch).unwrap();
+        assert_eq!(from_disk, from_mem);
+        assert!(t.extract > Duration::ZERO);
+    }
+
+    #[test]
+    fn missing_column_is_reported() {
+        let c = tiny_config();
+        let mut big = c.clone();
+        big.num_dense = 14; // plan expects a dense_13 the data lacks
+        big.num_tables = big.num_sparse + big.num_generated;
+        let plan = PreprocessPlan::from_config(&big, 1).unwrap();
+        let batch = generate_batch(&c, 8, 1);
+        let err = preprocess_batch(&plan, &batch).unwrap_err();
+        assert!(matches!(err, PreprocessError::BadColumn { .. }));
+        assert!(err.to_string().contains("dense_13"));
+    }
+
+    #[test]
+    fn generated_features_have_unit_lengths() {
+        let c = tiny_config();
+        let plan = PreprocessPlan::from_config(&c, 1).unwrap();
+        let batch = generate_batch(&c, 16, 3);
+        let (mb, _) = preprocess_batch(&plan, &batch).unwrap();
+        let gen = mb.sparse_by_name("gen_0").unwrap();
+        assert_eq!(gen.rows(), 16);
+        for r in 0..16 {
+            assert_eq!(gen.row(r).len(), 1);
+        }
+    }
+
+    #[test]
+    fn stage_timings_total_sums() {
+        let t = StageTimings {
+            extract: Duration::from_millis(1),
+            bucketize: Duration::from_millis(2),
+            sigridhash: Duration::from_millis(3),
+            log: Duration::from_millis(4),
+            format: Duration::from_millis(5),
+        };
+        assert_eq!(t.total(), Duration::from_millis(15));
+    }
+}

@@ -1,0 +1,55 @@
+//! # presto-ops
+//!
+//! The RecSys preprocessing kernels of the PreSto reproduction (ISCA 2024) —
+//! real, executable implementations of the operations the paper offloads to
+//! in-storage accelerators:
+//!
+//! * [`Bucketizer`] — feature generation via boundary binary search
+//!   (Algorithm 1, TorchArrow `bucketize`).
+//! * [`SigridHasher`] — sparse feature normalization via seeded hashing
+//!   modulo the embedding-table size (Algorithm 2, TorchArrow `sigrid_hash`).
+//! * [`lognorm`] — dense feature normalization (`ln(1 + x)`).
+//! * [`MiniBatch`] / [`DenseMatrix`] / [`JaggedFeature`] — train-ready
+//!   tensor assembly in TorchRec's `KeyedJaggedTensor` layout.
+//! * [`PreprocessPlan`] + [`executor`] — the full Extract → Transform →
+//!   format-conversion pipeline over `presto-columnar` partitions.
+//! * [`parallel`] — one-worker-per-core host execution (the baseline
+//!   CPU-centric software architecture of Section II-D).
+//!
+//! ## Example
+//!
+//! ```
+//! use presto_datagen::{generate_batch, RmConfig};
+//! use presto_ops::{preprocess_batch, PreprocessPlan};
+//!
+//! let mut config = RmConfig::rm1();
+//! config.batch_size = 128;
+//! let plan = PreprocessPlan::from_config(&config, 42)?;
+//! let raw = generate_batch(&config, 128, 7);
+//! let (mini_batch, timings) = preprocess_batch(&plan, &raw)?;
+//! assert_eq!(mini_batch.rows(), 128);
+//! assert_eq!(mini_batch.sparse().len(), 26 + 13); // raw + generated
+//! let _ = timings.total();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bucketize;
+pub mod dedup;
+pub mod executor;
+pub mod listops;
+pub mod lognorm;
+pub mod minibatch;
+pub mod parallel;
+pub mod plan;
+pub mod sigridhash;
+
+pub use bucketize::{BucketizeError, Bucketizer};
+pub use dedup::{hash_deduped, plan_dedup, DedupPlan};
+pub use executor::{preprocess_batch, preprocess_partition, PreprocessError, StageTimings};
+pub use minibatch::{DenseMatrix, JaggedFeature, MiniBatch, ShapeError};
+pub use parallel::{run_workers, ParallelReport};
+pub use plan::{GeneratedSpec, PreprocessPlan, SparseSpec};
+pub use sigridhash::{InvalidMaxValueError, SigridHasher};

@@ -1,0 +1,88 @@
+//! Log — dense feature normalization.
+//!
+//! TorchArrow's dense normalization for count-like features:
+//! `y = ln(1 + max(x, 0))`, compressing heavy-tailed counts into a
+//! training-friendly range. NaN inputs normalize to `0.0` (missing value
+//! semantics).
+
+/// Normalizes one dense value.
+#[must_use]
+#[inline]
+pub fn log_normalize_one(value: f32) -> f32 {
+    if value.is_nan() {
+        0.0
+    } else {
+        value.max(0.0).ln_1p()
+    }
+}
+
+/// Normalizes a dense column.
+#[must_use]
+pub fn log_normalize(values: &[f32]) -> Vec<f32> {
+    values.iter().map(|&v| log_normalize_one(v)).collect()
+}
+
+/// Normalizes a dense column in place.
+pub fn log_normalize_in_place(values: &mut [f32]) {
+    for v in values {
+        *v = log_normalize_one(*v);
+    }
+}
+
+/// Normalizes into a caller-provided buffer, reusing its capacity.
+pub fn log_normalize_into(values: &[f32], out: &mut Vec<f32>) {
+    out.clear();
+    out.reserve(values.len());
+    out.extend(values.iter().map(|&v| log_normalize_one(v)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        assert_eq!(log_normalize_one(0.0), 0.0);
+        assert!((log_normalize_one(1.0) - std::f32::consts::LN_2).abs() < 1e-7);
+        assert!((log_normalize_one(std::f32::consts::E - 1.0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn negatives_clamp_to_zero() {
+        assert_eq!(log_normalize_one(-5.0), 0.0);
+        assert_eq!(log_normalize_one(f32::NEG_INFINITY), 0.0);
+    }
+
+    #[test]
+    fn nan_becomes_zero() {
+        assert_eq!(log_normalize_one(f32::NAN), 0.0);
+    }
+
+    #[test]
+    fn output_is_monotone_nondecreasing() {
+        let mut prev = f32::NEG_INFINITY;
+        for i in 0..10_000 {
+            let y = log_normalize_one(i as f32 * 7.3);
+            assert!(y >= prev);
+            prev = y;
+        }
+    }
+
+    #[test]
+    fn large_values_stay_finite() {
+        assert!(log_normalize_one(f32::MAX).is_finite());
+        assert!(log_normalize_one(1e30).is_finite());
+    }
+
+    #[test]
+    fn batch_variants_agree() {
+        let values: Vec<f32> = (-100..100).map(|i| i as f32 * 1.5).collect();
+        let expected = log_normalize(&values);
+        let mut in_place = values.clone();
+        log_normalize_in_place(&mut in_place);
+        assert_eq!(in_place, expected);
+        let mut buf = Vec::new();
+        log_normalize_into(&values, &mut buf);
+        assert_eq!(buf, expected);
+    }
+}

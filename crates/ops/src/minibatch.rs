@@ -1,0 +1,298 @@
+//! Train-ready mini-batch assembly (the "format conversion" step, ❸ in
+//! Figure 1 of the paper).
+//!
+//! The output mirrors what TorchRec consumes: a row-major dense matrix, a
+//! set of jagged (variable-length) id features — the layout of TorchRec's
+//! `KeyedJaggedTensor` — and the label vector.
+
+use std::fmt;
+
+/// Error assembling a mini-batch from mismatched parts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    /// Description of the mismatched dimension.
+    pub detail: String,
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mini-batch shape error: {}", self.detail)
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// Row-major dense feature matrix (`rows × cols`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl DenseMatrix {
+    /// Interleaves column-major normalized features into row-major layout.
+    ///
+    /// This transpose is the real work of format conversion: the GPU wants
+    /// one contiguous per-sample feature vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when columns disagree in length.
+    pub fn from_columns(columns: &[Vec<f32>], rows: usize) -> Result<Self, ShapeError> {
+        for (i, col) in columns.iter().enumerate() {
+            if col.len() != rows {
+                return Err(ShapeError {
+                    detail: format!("dense column {i} has {} rows, expected {rows}", col.len()),
+                });
+            }
+        }
+        let cols = columns.len();
+        let mut data = vec![0.0f32; rows * cols];
+        for (c, col) in columns.iter().enumerate() {
+            for (r, &v) in col.iter().enumerate() {
+                data[r * cols + c] = v;
+            }
+        }
+        Ok(DenseMatrix { rows, cols, data })
+    }
+
+    /// Number of rows (samples).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of dense features.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// One sample's dense feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row >= rows()`.
+    #[must_use]
+    pub fn row(&self, row: usize) -> &[f32] {
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// The raw row-major buffer.
+    #[must_use]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+}
+
+/// One jagged id feature: row `i` spans
+/// `values[offsets[i] as usize..offsets[i+1] as usize]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JaggedFeature {
+    /// Feature name (embedding-table key).
+    pub name: String,
+    /// Row offsets, `len == rows + 1`.
+    pub offsets: Vec<u32>,
+    /// Flattened normalized ids.
+    pub values: Vec<i64>,
+}
+
+impl JaggedFeature {
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Ids of one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row >= rows()`.
+    #[must_use]
+    pub fn row(&self, row: usize) -> &[i64] {
+        &self.values[self.offsets[row] as usize..self.offsets[row + 1] as usize]
+    }
+
+    /// Internal consistency check.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] describing the violated invariant.
+    pub fn validate(&self) -> Result<(), ShapeError> {
+        if self.offsets.first() != Some(&0) {
+            return Err(ShapeError { detail: format!("{}: offsets must start at 0", self.name) });
+        }
+        if self.offsets.windows(2).any(|w| w[1] < w[0]) {
+            return Err(ShapeError { detail: format!("{}: offsets decrease", self.name) });
+        }
+        let last = *self.offsets.last().expect("checked first") as usize;
+        if last != self.values.len() {
+            return Err(ShapeError {
+                detail: format!(
+                    "{}: offsets end at {last} but {} values present",
+                    self.name,
+                    self.values.len()
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A train-ready mini-batch: what the Load step ships to the trainer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MiniBatch {
+    labels: Vec<i64>,
+    dense: DenseMatrix,
+    sparse: Vec<JaggedFeature>,
+}
+
+impl MiniBatch {
+    /// Assembles and validates a mini-batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when any component disagrees on the row count
+    /// or a jagged feature is internally inconsistent.
+    pub fn new(
+        labels: Vec<i64>,
+        dense: DenseMatrix,
+        sparse: Vec<JaggedFeature>,
+    ) -> Result<Self, ShapeError> {
+        let rows = labels.len();
+        if dense.rows() != rows {
+            return Err(ShapeError {
+                detail: format!("dense matrix has {} rows, labels {rows}", dense.rows()),
+            });
+        }
+        for feat in &sparse {
+            if feat.rows() != rows {
+                return Err(ShapeError {
+                    detail: format!("feature {} has {} rows, labels {rows}", feat.name, feat.rows()),
+                });
+            }
+            feat.validate()?;
+        }
+        Ok(MiniBatch { labels, dense, sparse })
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Click labels.
+    #[must_use]
+    pub fn labels(&self) -> &[i64] {
+        &self.labels
+    }
+
+    /// The dense feature matrix.
+    #[must_use]
+    pub fn dense(&self) -> &DenseMatrix {
+        &self.dense
+    }
+
+    /// All jagged id features (raw-normalized first, then generated).
+    #[must_use]
+    pub fn sparse(&self) -> &[JaggedFeature] {
+        &self.sparse
+    }
+
+    /// Jagged feature by name.
+    #[must_use]
+    pub fn sparse_by_name(&self, name: &str) -> Option<&JaggedFeature> {
+        self.sparse.iter().find(|f| f.name == name)
+    }
+
+    /// Approximate serialized size in bytes — the Load transfer volume.
+    #[must_use]
+    pub fn byte_size(&self) -> usize {
+        self.labels.len() * 8
+            + self.dense.data().len() * 4
+            + self
+                .sparse
+                .iter()
+                .map(|f| f.offsets.len() * 4 + f.values.len() * 8)
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jagged(name: &str, lists: &[&[i64]]) -> JaggedFeature {
+        let mut offsets = vec![0u32];
+        let mut values = Vec::new();
+        for l in lists {
+            values.extend_from_slice(l);
+            offsets.push(values.len() as u32);
+        }
+        JaggedFeature { name: name.into(), offsets, values }
+    }
+
+    #[test]
+    fn dense_matrix_transposes_correctly() {
+        let m = DenseMatrix::from_columns(&[vec![1.0, 2.0], vec![10.0, 20.0]], 2).unwrap();
+        assert_eq!(m.row(0), &[1.0, 10.0]);
+        assert_eq!(m.row(1), &[2.0, 20.0]);
+        assert_eq!((m.rows(), m.cols()), (2, 2));
+    }
+
+    #[test]
+    fn dense_matrix_rejects_ragged_columns() {
+        assert!(DenseMatrix::from_columns(&[vec![1.0], vec![1.0, 2.0]], 1).is_err());
+    }
+
+    #[test]
+    fn zero_column_matrix_is_fine() {
+        let m = DenseMatrix::from_columns(&[], 3).unwrap();
+        assert_eq!((m.rows(), m.cols()), (3, 0));
+        assert_eq!(m.row(1), &[] as &[f32]);
+    }
+
+    #[test]
+    fn minibatch_assembly_and_access() {
+        let dense = DenseMatrix::from_columns(&[vec![0.5, 1.5]], 2).unwrap();
+        let f = jagged("s0", &[&[1, 2], &[3]]);
+        let mb = MiniBatch::new(vec![0, 1], dense, vec![f]).unwrap();
+        assert_eq!(mb.rows(), 2);
+        assert_eq!(mb.sparse_by_name("s0").unwrap().row(0), &[1, 2]);
+        assert!(mb.sparse_by_name("missing").is_none());
+        assert!(mb.byte_size() > 0);
+    }
+
+    #[test]
+    fn minibatch_rejects_row_mismatch() {
+        let dense = DenseMatrix::from_columns(&[vec![0.5]], 1).unwrap();
+        assert!(MiniBatch::new(vec![0, 1], dense, vec![]).is_err());
+        let dense = DenseMatrix::from_columns(&[vec![0.5, 1.0]], 2).unwrap();
+        let f = jagged("s0", &[&[1]]);
+        assert!(MiniBatch::new(vec![0, 1], dense, vec![f]).is_err());
+    }
+
+    #[test]
+    fn jagged_validation_catches_corruption() {
+        let mut f = jagged("s", &[&[1], &[2, 3]]);
+        f.offsets[0] = 1;
+        assert!(f.validate().is_err());
+        let mut f = jagged("s", &[&[1], &[2]]);
+        f.offsets[1] = 9;
+        assert!(f.validate().is_err());
+        let mut f = jagged("s", &[&[1, 2]]);
+        f.values.pop();
+        assert!(f.validate().is_err());
+    }
+
+    #[test]
+    fn byte_size_tracks_components() {
+        let dense = DenseMatrix::from_columns(&[vec![0.0; 4]], 4).unwrap();
+        let f = jagged("s", &[&[1], &[], &[2, 3], &[]]);
+        let mb = MiniBatch::new(vec![0; 4], dense, vec![f]).unwrap();
+        assert_eq!(mb.byte_size(), 4 * 8 + 4 * 4 + 5 * 4 + 3 * 8);
+    }
+}

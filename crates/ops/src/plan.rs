@@ -1,0 +1,174 @@
+//! Preprocessing plans: which transform applies to which feature.
+//!
+//! A [`PreprocessPlan`] is derived deterministically from an
+//! [`RmConfig`]: every raw sparse feature gets a seeded [`SigridHasher`],
+//! every generated feature gets a [`Bucketizer`] over a source dense column,
+//! and all dense features get Log normalization. This is the configuration
+//! the preprocess manager ships to each worker (step ❷ of Figure 9).
+
+use crate::bucketize::{BucketizeError, Bucketizer};
+use crate::sigridhash::SigridHasher;
+use presto_datagen::{generated_source_column, RmConfig};
+
+/// Maximum dense value the log-spaced boundaries cover; matches the cap in
+/// `presto-datagen`'s heavy-tailed dense generator.
+const DENSE_VALUE_CEILING: f32 = 1.0e6;
+
+/// One generated sparse feature: Bucketize(`source_column`) → `name`.
+#[derive(Debug, Clone)]
+pub struct GeneratedSpec {
+    /// Output feature name (e.g. `"gen_3"`).
+    pub name: String,
+    /// Dense column the feature is generated from.
+    pub source_column: String,
+    /// The validated bucket boundaries.
+    pub bucketizer: Bucketizer,
+}
+
+/// One raw sparse feature: SigridHash(`column`) in place.
+#[derive(Debug, Clone)]
+pub struct SparseSpec {
+    /// Input/output feature name (e.g. `"sparse_7"`).
+    pub column: String,
+    /// The seeded hasher bounded by the embedding-table size.
+    pub hasher: SigridHasher,
+}
+
+/// Complete transform configuration for one model.
+#[derive(Debug, Clone)]
+pub struct PreprocessPlan {
+    config: RmConfig,
+    dense_columns: Vec<String>,
+    sparse_specs: Vec<SparseSpec>,
+    generated_specs: Vec<GeneratedSpec>,
+}
+
+impl PreprocessPlan {
+    /// Builds the canonical plan for a configuration.
+    ///
+    /// `seed` controls hash seeds; boundaries are log-spaced with
+    /// `config.bucket_size` cut points (the `m` of Algorithm 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BucketizeError`] if boundary construction fails (only
+    /// possible for degenerate bucket sizes).
+    pub fn from_config(config: &RmConfig, seed: u64) -> Result<Self, BucketizeError> {
+        let dense_columns: Vec<String> =
+            (0..config.num_dense).map(|i| format!("dense_{i}")).collect();
+
+        let sparse_specs: Vec<SparseSpec> = (0..config.num_sparse)
+            .map(|i| SparseSpec {
+                column: format!("sparse_{i}"),
+                hasher: SigridHasher::new(
+                    seed ^ (0x5157_u64 << 32) ^ i as u64,
+                    config.avg_embeddings as u64,
+                )
+                .expect("avg_embeddings is positive"),
+            })
+            .collect();
+
+        let generated_specs: Vec<GeneratedSpec> = (0..config.num_generated)
+            .map(|i| {
+                Ok(GeneratedSpec {
+                    name: format!("gen_{i}"),
+                    source_column: generated_source_column(config, i),
+                    bucketizer: Bucketizer::log_spaced(config.bucket_size, DENSE_VALUE_CEILING)?,
+                })
+            })
+            .collect::<Result<_, BucketizeError>>()?;
+
+        Ok(PreprocessPlan { config: config.clone(), dense_columns, sparse_specs, generated_specs })
+    }
+
+    /// The generating configuration.
+    #[must_use]
+    pub fn config(&self) -> &RmConfig {
+        &self.config
+    }
+
+    /// Dense columns that receive Log normalization, in schema order.
+    #[must_use]
+    pub fn dense_columns(&self) -> &[String] {
+        &self.dense_columns
+    }
+
+    /// Sparse normalization specs, in schema order.
+    #[must_use]
+    pub fn sparse_specs(&self) -> &[SparseSpec] {
+        &self.sparse_specs
+    }
+
+    /// Feature generation specs.
+    #[must_use]
+    pub fn generated_specs(&self) -> &[GeneratedSpec] {
+        &self.generated_specs
+    }
+
+    /// Every input column the plan needs (label + dense + sparse), the
+    /// projection the Extract step should fetch — and nothing else.
+    #[must_use]
+    pub fn required_columns(&self) -> Vec<String> {
+        let mut cols = Vec::with_capacity(1 + self.dense_columns.len() + self.sparse_specs.len());
+        cols.push("label".to_owned());
+        cols.extend(self.dense_columns.iter().cloned());
+        cols.extend(self.sparse_specs.iter().map(|s| s.column.clone()));
+        cols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_shapes_follow_config() {
+        let plan = PreprocessPlan::from_config(&RmConfig::rm1(), 1).unwrap();
+        assert_eq!(plan.dense_columns().len(), 13);
+        assert_eq!(plan.sparse_specs().len(), 26);
+        assert_eq!(plan.generated_specs().len(), 13);
+        let plan5 = PreprocessPlan::from_config(&RmConfig::rm5(), 1).unwrap();
+        assert_eq!(plan5.generated_specs().len(), 42);
+    }
+
+    #[test]
+    fn bucketizers_use_config_bucket_size() {
+        let plan = PreprocessPlan::from_config(&RmConfig::rm5(), 1).unwrap();
+        let m = plan.generated_specs()[0].bucketizer.num_boundaries();
+        assert!(m > 4096 / 2 && m <= 4096, "boundaries {m}");
+    }
+
+    #[test]
+    fn hash_seeds_differ_per_feature() {
+        let plan = PreprocessPlan::from_config(&RmConfig::rm1(), 1).unwrap();
+        let seeds: std::collections::HashSet<u64> =
+            plan.sparse_specs().iter().map(|s| s.hasher.seed()).collect();
+        assert_eq!(seeds.len(), plan.sparse_specs().len());
+    }
+
+    #[test]
+    fn generated_sources_are_valid_dense_columns() {
+        let plan = PreprocessPlan::from_config(&RmConfig::rm2(), 1).unwrap();
+        for spec in plan.generated_specs() {
+            assert!(plan.dense_columns().contains(&spec.source_column), "{}", spec.source_column);
+        }
+    }
+
+    #[test]
+    fn required_columns_cover_label_dense_sparse() {
+        let plan = PreprocessPlan::from_config(&RmConfig::rm1(), 1).unwrap();
+        let cols = plan.required_columns();
+        assert_eq!(cols.len(), 1 + 13 + 26);
+        assert_eq!(cols[0], "label");
+        assert!(cols.contains(&"sparse_25".to_owned()));
+    }
+
+    #[test]
+    fn plans_are_deterministic_per_seed() {
+        let a = PreprocessPlan::from_config(&RmConfig::rm1(), 5).unwrap();
+        let b = PreprocessPlan::from_config(&RmConfig::rm1(), 5).unwrap();
+        assert_eq!(a.sparse_specs()[3].hasher, b.sparse_specs()[3].hasher);
+        let c = PreprocessPlan::from_config(&RmConfig::rm1(), 6).unwrap();
+        assert_ne!(a.sparse_specs()[3].hasher, c.sparse_specs()[3].hasher);
+    }
+}

@@ -1,0 +1,179 @@
+//! SigridHash — sparse feature normalization (Algorithm 2 of the paper).
+//!
+//! Applies a seeded 64-bit hash to every categorical id and reduces it modulo
+//! the embedding-table size, so arbitrary ids land inside `[0, max_value)`.
+//! The hash is a strong 128-bit-state mixer in the spirit of the Meta
+//! production hash TorchArrow wraps: seeded, avalanching and stable across
+//! runs.
+
+use std::fmt;
+
+/// Error constructing a [`SigridHasher`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidMaxValueError;
+
+impl fmt::Display for InvalidMaxValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sigridhash max value must be positive")
+    }
+}
+
+impl std::error::Error for InvalidMaxValueError {}
+
+/// Seeded hasher mapping raw categorical ids into an embedding-table range.
+///
+/// # Examples
+///
+/// ```
+/// use presto_ops::SigridHasher;
+///
+/// let h = SigridHasher::new(0xBEEF, 500_000)?;
+/// let id = h.hash_one(123_456_789_000);
+/// assert!((0..500_000).contains(&id));
+/// // Deterministic:
+/// assert_eq!(id, h.hash_one(123_456_789_000));
+/// # Ok::<(), presto_ops::InvalidMaxValueError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SigridHasher {
+    seed: u64,
+    max_value: u64,
+}
+
+impl SigridHasher {
+    /// Creates a hasher with the given seed and table size `d`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidMaxValueError`] when `max_value == 0`.
+    pub fn new(seed: u64, max_value: u64) -> Result<Self, InvalidMaxValueError> {
+        if max_value == 0 {
+            return Err(InvalidMaxValueError);
+        }
+        Ok(SigridHasher { seed, max_value })
+    }
+
+    /// The seed `s` of Algorithm 2.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The modulus `d` of Algorithm 2 (embedding-table size).
+    #[must_use]
+    pub fn max_value(&self) -> u64 {
+        self.max_value
+    }
+
+    /// `ComputeHash(a[i], s) mod d` for one id (Algorithm 2, lines 5–6).
+    #[must_use]
+    pub fn hash_one(&self, id: i64) -> i64 {
+        (mix64(id as u64 ^ self.seed.rotate_left(29)) % self.max_value) as i64
+    }
+
+    /// Normalizes a flat id slice (the Algorithm 2 loop).
+    #[must_use]
+    pub fn apply(&self, ids: &[i64]) -> Vec<i64> {
+        ids.iter().map(|&v| self.hash_one(v)).collect()
+    }
+
+    /// Normalizes into a caller-provided buffer, reusing its capacity.
+    pub fn apply_into(&self, ids: &[i64], out: &mut Vec<i64>) {
+        out.clear();
+        out.reserve(ids.len());
+        out.extend(ids.iter().map(|&v| self.hash_one(v)));
+    }
+
+    /// Normalizes a jagged sparse feature in place (offsets unchanged —
+    /// hashing is element-wise, preserving list structure).
+    pub fn apply_in_place(&self, values: &mut [i64]) {
+        for v in values {
+            *v = self.hash_one(*v);
+        }
+    }
+}
+
+/// SplitMix64 finalizer: full-avalanche 64-bit mixing.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_max_rejected() {
+        assert_eq!(SigridHasher::new(1, 0), Err(InvalidMaxValueError));
+    }
+
+    #[test]
+    fn outputs_stay_in_range() {
+        let h = SigridHasher::new(42, 1000).unwrap();
+        for id in [-1_000_000i64, -1, 0, 1, i64::MAX, i64::MIN, 999] {
+            let out = h.hash_one(id);
+            assert!((0..1000).contains(&out), "id {id} -> {out}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = SigridHasher::new(7, 500_000).unwrap();
+        let b = SigridHasher::new(7, 500_000).unwrap();
+        let c = SigridHasher::new(8, 500_000).unwrap();
+        let ids: Vec<i64> = (0..100).map(|i| i * 13).collect();
+        assert_eq!(a.apply(&ids), b.apply(&ids));
+        assert_ne!(a.apply(&ids), c.apply(&ids));
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        let h = SigridHasher::new(3, 16).unwrap();
+        let mut counts = [0usize; 16];
+        const N: i64 = 64_000;
+        for id in 0..N {
+            counts[h.hash_one(id) as usize] += 1;
+        }
+        let expected = N as usize / 16;
+        for (bucket, &c) in counts.iter().enumerate() {
+            assert!(
+                c > expected * 8 / 10 && c < expected * 12 / 10,
+                "bucket {bucket} has {c}, expected ~{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn avalanche_on_adjacent_ids() {
+        let h = SigridHasher::new(1, 1 << 62).unwrap();
+        // Adjacent inputs must not map to adjacent outputs.
+        let adjacent = (0..1000i64)
+            .filter(|&i| (i128::from(h.hash_one(i)) - i128::from(h.hash_one(i + 1))).abs() < 1000)
+            .count();
+        assert!(adjacent < 5, "{adjacent} adjacent pairs stayed adjacent");
+    }
+
+    #[test]
+    fn apply_in_place_matches_apply() {
+        let h = SigridHasher::new(11, 500_000).unwrap();
+        let ids: Vec<i64> = (0..500).map(|i| i * 31 - 250).collect();
+        let expected = h.apply(&ids);
+        let mut in_place = ids.clone();
+        h.apply_in_place(&mut in_place);
+        assert_eq!(in_place, expected);
+        let mut buf = Vec::new();
+        h.apply_into(&ids, &mut buf);
+        assert_eq!(buf, expected);
+    }
+
+    #[test]
+    fn getters_expose_parameters() {
+        let h = SigridHasher::new(5, 77).unwrap();
+        assert_eq!(h.seed(), 5);
+        assert_eq!(h.max_value(), 77);
+    }
+}

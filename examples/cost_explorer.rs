@@ -1,0 +1,56 @@
+//! Deployment cost explorer: sweep the training-fleet size and compare the
+//! Disagg and PreSto preprocessing deployments on power, CapEx and 3-year
+//! TCO — the decision a capacity planner would actually make with this
+//! library.
+//!
+//! Run with: `cargo run --example cost_explorer [RM1..RM5]`
+
+use presto::core::Provisioner;
+use presto::datagen::RmConfig;
+use presto::metrics::{Deployment, TextTable};
+
+fn main() {
+    let model = std::env::args().nth(1).unwrap_or_else(|| "RM5".to_owned());
+    let config = RmConfig::all()
+        .into_iter()
+        .find(|c| c.name.eq_ignore_ascii_case(&model))
+        .unwrap_or_else(|| {
+            eprintln!("unknown model {model:?}, expected RM1..RM5; using RM5");
+            RmConfig::rm5()
+        });
+    let provisioner = Provisioner::poc();
+
+    println!("deployment sweep for {} (per training job)\n", config.name);
+    let mut table = TextTable::new(vec![
+        "GPUs",
+        "Disagg cores",
+        "Disagg nodes",
+        "Disagg power (W)",
+        "Disagg TCO ($)",
+        "PreSto cards",
+        "PreSto power (W)",
+        "PreSto TCO ($)",
+        "TCO ratio",
+    ]);
+    for num_gpus in [1usize, 2, 4, 8, 16, 32, 64] {
+        let disagg = Deployment::disagg(&provisioner, &config, num_gpus);
+        let presto = Deployment::presto(&provisioner, &config, num_gpus);
+        table.row(vec![
+            num_gpus.to_string(),
+            disagg.cpu_cores.to_string(),
+            disagg.cpu_nodes.to_string(),
+            format!("{:.0}", disagg.power.raw()),
+            format!("{:.0}", disagg.total_cost_usd()),
+            presto.smartssd_cards.to_string(),
+            format!("{:.0}", presto.power.raw()),
+            format!("{:.0}", presto.total_cost_usd()),
+            format!("{:.1}x", disagg.total_cost_usd() / presto.total_cost_usd()),
+        ]);
+    }
+    print!("{}", table.render());
+    println!();
+    println!("PreSto's advantage widens with fleet size: CPU nodes are bought in");
+    println!("32-core increments while SmartSSDs replace drives the storage");
+    println!("system needs anyway. Datacenters run thousands of such jobs");
+    println!("concurrently (Sec. III-A), multiplying the gap.");
+}

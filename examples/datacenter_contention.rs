@@ -1,0 +1,59 @@
+//! Fleet-scale network contention: how many concurrent training jobs can
+//! a shared storage fabric feed before GPU utilization collapses?
+//!
+//! The paper's Fig. 13 argues PreSto relieves pressure on the time-shared
+//! datacenter network; this example plays the argument out at fleet scale
+//! using the contention model in `presto_core::datacenter`.
+//!
+//! Run with: `cargo run --example datacenter_contention`
+
+use presto::core::datacenter::{sweep, Fabric};
+use presto::datagen::RmConfig;
+use presto::metrics::{percent, TextTable};
+
+fn main() {
+    let config = RmConfig::rm5();
+    let fabric = Fabric::poc_cluster();
+    println!(
+        "fleet study: identical {} jobs (8x A100 each) sharing a {} storage fabric\n",
+        config.name,
+        fabric.bisection
+    );
+
+    let job_counts = [1usize, 2, 3, 4, 6, 8, 12, 16, 24, 32];
+    let rows = sweep(&config, &job_counts, 8, fabric);
+
+    let mut table = TextTable::new(vec![
+        "concurrent jobs",
+        "Disagg fabric load",
+        "Disagg GPU util",
+        "PreSto fabric load",
+        "PreSto GPU util",
+    ]);
+    for (jobs, disagg, presto) in &rows {
+        table.row(vec![
+            jobs.to_string(),
+            format!("{:.2}", disagg.fabric_load),
+            percent(disagg.gpu_utilization),
+            format!("{:.2}", presto.fabric_load),
+            percent(presto.gpu_utilization),
+        ]);
+    }
+    print!("{}", table.render());
+
+    let first_bad = |pick: fn(&(usize, _, _)) -> f64| {
+        rows.iter()
+            .find(|r| pick(r) < 0.9)
+            .map_or("beyond sweep".to_owned(), |r| format!("{} jobs", r.0))
+    };
+    println!();
+    println!(
+        "fleet saturates (<90% GPU util): Disagg at {}, PreSto at {}",
+        first_bad(|r| r.1.gpu_utilization),
+        first_bad(|r| r.2.gpu_utilization),
+    );
+    println!();
+    println!("Disagg ships raw features AND train-ready tensors across the");
+    println!("fabric; PreSto ships tensors only, so the same fabric feeds");
+    println!("roughly 2x the concurrent jobs before preprocessing throttles.");
+}

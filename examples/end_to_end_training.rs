@@ -1,0 +1,53 @@
+//! End-to-end training run: the Fig. 9 control flow of the paper.
+//!
+//! The train manager measures the GPUs' demand, the preprocess manager
+//! provisions `⌈T/P⌉` devices, and the discrete-event pipeline simulation
+//! plays out the producer–consumer loop — once with the Disagg baseline,
+//! once with PreSto SmartSSDs.
+//!
+//! Run with: `cargo run --example end_to_end_training`
+
+use presto::core::{Backend, PreprocessManager, TrainManager, TrainingJob};
+use presto::datagen::RmConfig;
+use presto::metrics::{percent, samples_per_sec, TextTable};
+
+fn main() {
+    let job = TrainingJob { config: RmConfig::rm5(), num_gpus: 8, batches: 96 };
+    let train_manager = TrainManager::new();
+
+    println!(
+        "training job: {} on {} GPUs, {} mini-batches of {}",
+        job.config.name, job.num_gpus, job.batches, job.config.batch_size
+    );
+    let demand = train_manager.measure_training_demand(&job);
+    println!(
+        "stress-tested training demand T = {} samples/s\n",
+        samples_per_sec(demand)
+    );
+
+    let mut table = TextTable::new(vec![
+        "backend",
+        "devices",
+        "per-device P (samples/s)",
+        "GPU utilization",
+        "training throughput",
+    ]);
+    for backend in [Backend::DisaggCpu, Backend::PrestoSmartSsd, Backend::PrestoU280] {
+        let manager = PreprocessManager::new(backend);
+        let report = train_manager.launch(&job, &manager);
+        table.row(vec![
+            report.provision.system.name(),
+            report.provision.devices.to_string(),
+            samples_per_sec(report.provision.per_device_throughput),
+            percent(report.pipeline.gpu_utilization),
+            samples_per_sec(report.pipeline.training_throughput),
+        ]);
+    }
+    print!("{}", table.render());
+
+    println!();
+    println!("Both backends sustain the same training throughput — the paper's");
+    println!("premise for comparing them purely on power and cost (Fig. 15) —");
+    println!("but PreSto does it with single-digit devices instead of hundreds");
+    println!("of CPU cores.");
+}

@@ -1,0 +1,145 @@
+//! Property-based tests of the columnar format: arbitrary data always
+//! roundtrips, and arbitrary corruption always errors (never panics,
+//! never returns wrong data silently).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use presto::columnar::{
+    Array, Compression, DataType, Field, FileReader, FileWriter, MemBlob, Schema,
+};
+
+fn arb_array(rows: usize) -> impl Strategy<Value = Array> {
+    prop_oneof![
+        vec(any::<i64>(), rows..=rows).prop_map(Array::Int64),
+        vec(any::<f32>().prop_filter("finite", |f| f.is_finite()), rows..=rows)
+            .prop_map(Array::Float32),
+        vec(any::<f64>().prop_filter("finite", |f| f.is_finite()), rows..=rows)
+            .prop_map(Array::Float64),
+        vec(vec(any::<i64>(), 0..8), rows..=rows)
+            .prop_map(|lists| Array::from_lists(lists).expect("fits u32")),
+    ]
+}
+
+fn arb_table() -> impl Strategy<Value = (Schema, Vec<Array>)> {
+    (1usize..5, 0usize..64).prop_flat_map(|(cols, rows)| {
+        vec(arb_array(rows), cols..=cols).prop_map(move |arrays| {
+            let fields: Vec<Field> = arrays
+                .iter()
+                .enumerate()
+                .map(|(i, a)| Field::new(format!("col_{i}"), a.data_type()))
+                .collect();
+            (Schema::new(fields).expect("unique names"), arrays)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn any_table_roundtrips((schema, arrays) in arb_table(), compressed in any::<bool>()) {
+        let compression = if compressed { Compression::Lz } else { Compression::None };
+        let mut writer =
+            FileWriter::with_page_rows(schema.clone(), 16).with_compression(compression);
+        writer.write_row_group(&arrays).expect("writes");
+        let bytes = writer.finish();
+        let reader = FileReader::open(MemBlob::new(bytes)).expect("opens");
+        prop_assert_eq!(reader.schema(), &schema);
+        let back = reader.read_row_group(0).expect("reads");
+        prop_assert_eq!(back, arrays);
+    }
+
+    #[test]
+    fn lz_codec_roundtrips_any_bytes(data in vec(any::<u8>(), 0..4096)) {
+        let packed = presto::columnar::compress::compress(&data);
+        prop_assert_eq!(presto::columnar::compress::decompress(&packed).expect("decodes"), data);
+    }
+
+    #[test]
+    fn truncation_errors_cleanly((schema, arrays) in arb_table(), cut_frac in 0.0f64..1.0) {
+        let mut writer = FileWriter::new(schema);
+        writer.write_row_group(&arrays).expect("writes");
+        let bytes = writer.finish();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        if cut < bytes.len() {
+            // Opening or reading a truncated file must error, never panic.
+            if let Ok(reader) = FileReader::open(MemBlob::new(bytes[..cut].to_vec())) {
+                let _ = reader.read_row_group(0);
+            }
+        }
+    }
+
+    #[test]
+    fn single_byte_corruption_never_panics(
+        (schema, arrays) in arb_table(),
+        pos_frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let mut writer = FileWriter::new(schema);
+        writer.write_row_group(&arrays).expect("writes");
+        let mut bytes = writer.finish();
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] ^= flip;
+        // Any result is acceptable except a panic; checksums catch payload
+        // damage, structural validation catches the rest.
+        if let Ok(reader) = FileReader::open(MemBlob::new(bytes)) {
+            let _ = reader.read_row_group(0);
+        }
+    }
+
+    #[test]
+    fn projection_matches_full_read(
+        (schema, arrays) in arb_table(),
+        pick in any::<proptest::sample::Index>(),
+    ) {
+        let mut writer = FileWriter::new(schema.clone());
+        writer.write_row_group(&arrays).expect("writes");
+        let reader = FileReader::open(MemBlob::new(writer.finish())).expect("opens");
+        let idx = pick.index(schema.len());
+        let name = schema.field(idx).expect("in range").name().to_owned();
+        let projected = reader.read_projected(0, &[&name]).expect("projects");
+        prop_assert_eq!(&projected[0], &arrays[idx]);
+    }
+
+    #[test]
+    fn stats_match_data((schema, arrays) in arb_table()) {
+        let mut writer = FileWriter::new(schema);
+        writer.write_row_group(&arrays).expect("writes");
+        let reader = FileReader::open(MemBlob::new(writer.finish())).expect("opens");
+        let meta = reader.meta();
+        for (chunk, array) in meta.row_groups[0].columns.iter().zip(&arrays) {
+            prop_assert_eq!(chunk.stats.rows, array.len() as u64);
+            prop_assert_eq!(chunk.stats.elements, array.element_count() as u64);
+            if let Some(values) = array.as_int64() {
+                prop_assert_eq!(chunk.stats.min_i64, values.iter().min().copied());
+                prop_assert_eq!(chunk.stats.max_i64, values.iter().max().copied());
+            }
+        }
+    }
+}
+
+#[test]
+fn multi_row_group_files_roundtrip() {
+    let schema = Schema::new(vec![
+        Field::new("a", DataType::Int64),
+        Field::new("b", DataType::ListInt64),
+    ])
+    .expect("schema");
+    let mut writer = FileWriter::with_page_rows(schema, 8);
+    for g in 0..5i64 {
+        writer
+            .write_row_group(&[
+                Array::Int64((0..20).map(|i| i * g).collect()),
+                Array::from_lists((0..20).map(|i| vec![g; (i % 3) as usize]).collect::<Vec<_>>())
+                    .expect("lists"),
+            ])
+            .expect("writes");
+    }
+    let reader = FileReader::open(MemBlob::new(writer.finish())).expect("opens");
+    assert_eq!(reader.row_group_count(), 5);
+    assert_eq!(reader.meta().total_rows(), 100);
+    for g in 0..5 {
+        let cols = reader.read_row_group(g).expect("reads");
+        assert_eq!(cols[0].len(), 20);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests of the hardware cost models: physical sanity that must
+//! hold for *any* workload, not just the five paper configurations.
+
+use proptest::prelude::*;
+use presto::core::provision::Provisioner;
+use presto::core::systems::System;
+use presto::datagen::{RmConfig, WorkloadProfile};
+use presto::hwsim::cpu::{CpuWorkerModel, DataLocality};
+use presto::hwsim::fpga::IspModel;
+use presto::hwsim::gpu::GpuTrainModel;
+
+/// A random-but-valid RecSys configuration.
+fn arb_config() -> impl Strategy<Value = RmConfig> {
+    (
+        1usize..600,   // dense
+        0usize..64,    // sparse
+        1usize..32,    // avg sparse len
+        2usize..8192,  // bucket size
+        64usize..4096, // batch size
+    )
+        .prop_map(|(dense, sparse, avg_len, bucket, batch)| {
+            let mut c = RmConfig::rm1();
+            c.name = "prop".into();
+            c.num_dense = dense;
+            c.num_sparse = sparse;
+            c.avg_sparse_len = avg_len;
+            c.fixed_sparse_len = false;
+            c.num_generated = dense.min(13);
+            c.bucket_size = bucket;
+            c.num_tables = c.num_sparse + c.num_generated;
+            c.batch_size = batch;
+            c.validate().expect("constructed config is valid");
+            c
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn latencies_are_positive_and_finite(config in arb_config()) {
+        let profile = WorkloadProfile::from_config(&config);
+        let cpu = CpuWorkerModel::poc();
+        let isp = IspModel::smartssd();
+        let cpu_lat = cpu.stage_breakdown(&profile, DataLocality::RemoteStorage).total();
+        let isp_lat = isp.latency(&profile);
+        prop_assert!(cpu_lat.seconds() > 0.0 && cpu_lat.seconds().is_finite());
+        prop_assert!(isp_lat.seconds() > 0.0 && isp_lat.seconds().is_finite());
+    }
+
+    #[test]
+    fn isp_throughput_at_least_inverse_latency(config in arb_config()) {
+        let profile = WorkloadProfile::from_config(&config);
+        let isp = IspModel::smartssd();
+        let lat = isp.latency(&profile).seconds();
+        let tput = isp.throughput(&profile);
+        prop_assert!(tput >= profile.rows as f64 / lat * 0.999);
+    }
+
+    #[test]
+    fn more_features_never_speed_up_preprocessing(config in arb_config()) {
+        let bigger = {
+            let mut c = config.clone();
+            c.num_dense += 16;
+            c.num_tables = c.num_sparse + c.num_generated;
+            c
+        };
+        let cpu = CpuWorkerModel::poc();
+        let a = cpu
+            .stage_breakdown(&WorkloadProfile::from_config(&config), DataLocality::RemoteStorage)
+            .total();
+        let b = cpu
+            .stage_breakdown(&WorkloadProfile::from_config(&bigger), DataLocality::RemoteStorage)
+            .total();
+        prop_assert!(b >= a);
+    }
+
+    #[test]
+    fn provisioning_is_monotone_in_gpu_count(config in arb_config()) {
+        let p = Provisioner::poc();
+        let mut prev = 0usize;
+        for gpus in [1usize, 2, 4, 8] {
+            let cores = p.cpu_cores_required(&config, gpus);
+            prop_assert!(cores >= prev);
+            prev = cores;
+        }
+    }
+
+    #[test]
+    fn presto_always_beats_one_cpu_core(config in arb_config()) {
+        // The crossover never inverts: one ISP device beats one TorchArrow
+        // worker on any workload shape.
+        let profile = WorkloadProfile::from_config(&config);
+        let presto = System::presto_smartssd(1).throughput(&profile);
+        let one_core = System::disagg(1).throughput(&profile);
+        prop_assert!(presto > one_core);
+    }
+
+    #[test]
+    fn gpu_utilization_bounded(config in arb_config(), supply in 0.0f64..1e7) {
+        let gpu = GpuTrainModel::a100();
+        let util = gpu.utilization(&config, supply);
+        prop_assert!((0.0..=1.0).contains(&util));
+    }
+
+    #[test]
+    fn tensor_bytes_scale_with_batch(config in arb_config()) {
+        let double = {
+            let mut c = config.clone();
+            c.batch_size *= 2;
+            c
+        };
+        let a = WorkloadProfile::from_config(&config);
+        let b = WorkloadProfile::from_config(&double);
+        prop_assert!(b.tensor_bytes > a.tensor_bytes);
+        prop_assert!(b.raw_bytes > a.raw_bytes);
+        prop_assert_eq!(b.rows, a.rows * 2);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests of the preprocessing kernels: the algorithmic
+//! invariants of Algorithms 1 and 2 hold for arbitrary inputs.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use presto::ops::{lognorm, Bucketizer, SigridHasher};
+
+fn arb_boundaries() -> impl Strategy<Value = Vec<f32>> {
+    // Strictly increasing via cumulative positive gaps.
+    vec(0.001f32..1000.0, 1..64).prop_map(|gaps| {
+        let mut acc = -500.0f32;
+        gaps.into_iter()
+            .map(|g| {
+                acc += g;
+                acc
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bucket_id_equals_linear_scan(
+        boundaries in arb_boundaries(),
+        values in vec(-2000.0f32..2000.0, 0..200),
+    ) {
+        let b = Bucketizer::new(boundaries.clone()).expect("strictly increasing");
+        for &v in &values {
+            let linear = boundaries.iter().filter(|&&x| x <= v).count() as i64;
+            prop_assert_eq!(b.bucket_id(v), linear);
+        }
+    }
+
+    #[test]
+    fn bucket_ids_are_monotone_in_value(
+        boundaries in arb_boundaries(),
+        mut values in vec(-2000.0f32..2000.0, 2..100),
+    ) {
+        let b = Bucketizer::new(boundaries).expect("valid");
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let ids = b.apply(&values);
+        for w in ids.windows(2) {
+            prop_assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn bucket_ids_stay_in_range(
+        boundaries in arb_boundaries(),
+        values in vec(any::<f32>(), 0..100),
+    ) {
+        let b = Bucketizer::new(boundaries).expect("valid");
+        for id in b.apply(&values) {
+            prop_assert!((0..=b.num_boundaries() as i64).contains(&id));
+        }
+    }
+
+    #[test]
+    fn sigridhash_respects_modulus(
+        seed in any::<u64>(),
+        max in 1u64..1_000_000,
+        ids in vec(any::<i64>(), 0..200),
+    ) {
+        let h = SigridHasher::new(seed, max).expect("positive max");
+        for out in h.apply(&ids) {
+            prop_assert!((0..max as i64).contains(&out));
+        }
+    }
+
+    #[test]
+    fn sigridhash_is_a_pure_function(
+        seed in any::<u64>(),
+        max in 1u64..1_000_000,
+        id in any::<i64>(),
+    ) {
+        let a = SigridHasher::new(seed, max).expect("valid");
+        let b = SigridHasher::new(seed, max).expect("valid");
+        prop_assert_eq!(a.hash_one(id), b.hash_one(id));
+    }
+
+    #[test]
+    fn sigridhash_preserves_list_structure(
+        seed in any::<u64>(),
+        lists in vec(vec(any::<i64>(), 0..10), 0..40),
+    ) {
+        let h = SigridHasher::new(seed, 500_000).expect("valid");
+        // Hashing the concatenation == concatenating the per-list hashes.
+        let flat: Vec<i64> = lists.iter().flatten().copied().collect();
+        let whole = h.apply(&flat);
+        let mut pieces = Vec::new();
+        for l in &lists {
+            pieces.extend(h.apply(l));
+        }
+        prop_assert_eq!(whole, pieces);
+    }
+
+    #[test]
+    fn log_normalize_is_monotone_and_bounded(
+        mut values in vec(-1.0e6f32..1.0e6, 2..200),
+    ) {
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let out = lognorm::log_normalize(&values);
+        for w in out.windows(2) {
+            prop_assert!(w[1] >= w[0]);
+        }
+        for (&x, &y) in values.iter().zip(&out) {
+            prop_assert!(y >= 0.0);
+            prop_assert!(y <= x.max(1.0)); // ln(1+x) <= x for x >= 0
+        }
+    }
+
+    #[test]
+    fn log_normalize_handles_any_float(values in vec(any::<f32>(), 0..100)) {
+        for y in lognorm::log_normalize(&values) {
+            prop_assert!(y.is_finite());
+            prop_assert!(y >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Integration tests of the simulation stack: provisioning feeds the
+//! pipeline, the pipeline respects physics, and the managers close the
+//! loop (Fig. 9 end to end).
+
+use presto::core::pipeline::{simulate, PipelineConfig};
+use presto::core::provision::Provisioner;
+use presto::core::systems::System;
+use presto::core::{Backend, PreprocessManager, TrainManager, TrainingJob};
+use presto::datagen::RmConfig;
+use presto::hwsim::gpu::GpuTrainModel;
+
+#[test]
+fn provisioned_systems_reach_high_utilization_for_every_model() {
+    let tm = TrainManager::new();
+    for config in RmConfig::all() {
+        let job = TrainingJob { config: config.clone(), num_gpus: 8, batches: 64 };
+        for backend in [Backend::DisaggCpu, Backend::PrestoSmartSsd] {
+            let report = tm.launch(&job, &PreprocessManager::new(backend));
+            assert!(
+                report.pipeline.gpu_utilization > 0.85,
+                "{} {:?}: utilization {:.2}",
+                config.name,
+                backend,
+                report.pipeline.gpu_utilization
+            );
+        }
+    }
+}
+
+#[test]
+fn under_provisioning_shows_up_as_starvation() {
+    let tm = TrainManager::new();
+    let job = TrainingJob { config: RmConfig::rm5(), num_gpus: 8, batches: 48 };
+    let full = tm.launch(&job, &PreprocessManager::new(Backend::PrestoSmartSsd));
+    // Halve the fleet manually and re-simulate.
+    let gpu = GpuTrainModel::a100();
+    let halved = System::presto_smartssd((full.provision.devices / 2).max(1));
+    let starved = simulate(
+        &halved,
+        &gpu,
+        &RmConfig::rm5(),
+        &PipelineConfig { batches: 48, queue_capacity: 8, num_gpus: 8 },
+    );
+    assert!(
+        starved.gpu_utilization < full.pipeline.gpu_utilization,
+        "halved fleet {:.2} vs full {:.2}",
+        starved.gpu_utilization,
+        full.pipeline.gpu_utilization
+    );
+}
+
+#[test]
+fn utilization_is_always_a_fraction() {
+    let gpu = GpuTrainModel::a100();
+    for workers in [1usize, 3, 17, 100] {
+        for queue in [1usize, 4, 64] {
+            let report = simulate(
+                &System::disagg(workers),
+                &gpu,
+                &RmConfig::rm2(),
+                &PipelineConfig { batches: 24, queue_capacity: queue, num_gpus: 2 },
+            );
+            assert!((0.0..=1.0).contains(&report.gpu_utilization));
+            assert_eq!(report.batches_trained, 24);
+            assert!(report.peak_queue <= queue + 1);
+            assert!(report.makespan.seconds() > 0.0);
+        }
+    }
+}
+
+#[test]
+fn provisioner_and_managers_agree() {
+    let p = Provisioner::poc();
+    let tm = TrainManager::new();
+    let pm = PreprocessManager::new(Backend::DisaggCpu);
+    for config in RmConfig::all() {
+        let job = TrainingJob { config: config.clone(), num_gpus: 8, batches: 1 };
+        let demand = tm.measure_training_demand(&job);
+        let outcome = pm.provision(&config, demand);
+        assert_eq!(
+            outcome.devices,
+            p.cpu_cores_required(&config, 8),
+            "{}: manager and provisioner disagree",
+            config.name
+        );
+    }
+}
+
+#[test]
+fn presto_fleet_is_two_orders_smaller_than_cpu_fleet() {
+    let p = Provisioner::poc();
+    for config in RmConfig::all() {
+        let cores = p.cpu_cores_required(&config, 8);
+        let units = p.isp_units_required(&config, 8);
+        assert!(
+            cores >= 30 * units,
+            "{}: {cores} cores vs {units} units",
+            config.name
+        );
+    }
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let gpu = GpuTrainModel::a100();
+    let cfg = PipelineConfig { batches: 32, queue_capacity: 8, num_gpus: 4 };
+    let a = simulate(&System::presto_smartssd(3), &gpu, &RmConfig::rm3(), &cfg);
+    let b = simulate(&System::presto_smartssd(3), &gpu, &RmConfig::rm3(), &cfg);
+    assert_eq!(a, b);
+}
