@@ -77,7 +77,6 @@ fn bench_mem_reader_open(c: &mut Criterion) {
     let _ = MemBlob::new(vec![]);
 }
 
-
 /// Short measurement windows keep `cargo bench --workspace` to a few
 /// minutes while staying statistically useful.
 fn quick() -> Criterion {
@@ -87,7 +86,7 @@ fn quick() -> Criterion {
         .sample_size(20)
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench_encode, bench_decode, bench_projection, bench_mem_reader_open

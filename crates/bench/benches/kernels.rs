@@ -90,7 +90,6 @@ fn bench_dedup(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Short measurement windows keep `cargo bench --workspace` to a few
 /// minutes while staying statistically useful.
 fn quick() -> Criterion {
@@ -100,7 +99,7 @@ fn quick() -> Criterion {
         .sample_size(20)
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench_bucketize, bench_sigridhash, bench_log, bench_dedup

@@ -50,12 +50,9 @@ fn bench_experiment_harness(c: &mut Criterion) {
     group.bench_function("fig12", |bench| bench.iter(|| black_box(experiments::fig12())));
     group.bench_function("fig17", |bench| bench.iter(|| black_box(experiments::fig17())));
     group.sample_size(10);
-    group.bench_function("fig6_rows512", |bench| {
-        bench.iter(|| black_box(experiments::fig6(512)))
-    });
+    group.bench_function("fig6_rows512", |bench| bench.iter(|| black_box(experiments::fig6(512))));
     group.finish();
 }
-
 
 /// Short measurement windows keep `cargo bench --workspace` to a few
 /// minutes while staying statistically useful.
@@ -66,7 +63,7 @@ fn quick() -> Criterion {
         .sample_size(20)
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench_preprocess_batch, bench_preprocess_partition, bench_experiment_harness

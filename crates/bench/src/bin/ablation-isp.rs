@@ -20,12 +20,8 @@ fn main() {
     let base_tput = base.throughput(&profile);
 
     // 1. PE-count sweep.
-    let mut t = TextTable::new(vec![
-        "unit scale",
-        "latency (ms)",
-        "throughput (samples/s)",
-        "vs baseline",
-    ]);
+    let mut t =
+        TextTable::new(vec!["unit scale", "latency (ms)", "throughput (samples/s)", "vs baseline"]);
     for scale in [0.5f64, 1.0, 2.0, 4.0] {
         let m = IspModel::smartssd().with_unit_scale(scale);
         let tput = m.throughput(&profile);
@@ -44,7 +40,8 @@ fn main() {
 
     // 2. Double buffering.
     let no_db = IspModel::smartssd().without_double_buffering();
-    let mut t = TextTable::new(vec!["double buffering", "latency (ms)", "throughput", "speedup lost"]);
+    let mut t =
+        TextTable::new(vec!["double buffering", "latency (ms)", "throughput", "speedup lost"]);
     t.row(vec![
         "on (paper design)".to_owned(),
         format!("{:.1}", base_lat.millis()),
@@ -88,8 +85,7 @@ fn main() {
         "RM5 latency (ms)",
         "RM1 speedup vs Disagg",
     ]);
-    let disagg_rm1 =
-        presto_core::systems::System::disagg(1).worker_latency(&rm1).seconds();
+    let disagg_rm1 = presto_core::systems::System::disagg(1).worker_latency(&rm1).seconds();
     for overhead_ms in [0.0f64, 0.5, 1.5, 5.0] {
         let m = IspModel::smartssd().with_stage_overhead(Secs::from_millis(overhead_ms));
         t.row(vec![

@@ -47,11 +47,7 @@ fn main() {
             &config,
             &PipelineConfig { batches: 256, queue_capacity: 8, num_gpus: 8 },
         );
-        t.row(vec![
-            units.to_string(),
-            format!("{delta:+}"),
-            percent(report.gpu_utilization),
-        ]);
+        t.row(vec![units.to_string(), format!("{delta:+}"), percent(report.gpu_utilization)]);
     }
     println!("-- Provisioning headroom --");
     print_table(&t);

@@ -70,8 +70,7 @@ fn inspect<B: BlobRead>(blob: B) -> Result<(), Box<dyn std::error::Error>> {
             } else {
                 format!("{:.2}", chunk.byte_len as f64 / chunk.stats.elements as f64)
             };
-            let fmt_opt =
-                |v: Option<i64>| v.map_or_else(|| "-".to_owned(), |x| x.to_string());
+            let fmt_opt = |v: Option<i64>| v.map_or_else(|| "-".to_owned(), |x| x.to_string());
             t.row(vec![
                 field.name().to_owned(),
                 chunk.offset.to_string(),

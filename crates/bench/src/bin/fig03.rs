@@ -12,11 +12,8 @@ fn main() {
         "~15x throughput scaling from 1 to 16 workers; <20% GPU utilization at 16",
     );
     let (points, max_tput) = fig3(&RmConfig::rm5());
-    let mut t = TextTable::new(vec![
-        "CPU cores",
-        "preproc throughput (samples/s)",
-        "GPU utilization",
-    ]);
+    let mut t =
+        TextTable::new(vec!["CPU cores", "preproc throughput (samples/s)", "GPU utilization"]);
     for p in &points {
         t.row(vec![
             p.cores.to_string(),
@@ -25,10 +22,7 @@ fn main() {
         ]);
     }
     print_table(&t);
-    println!(
-        "max training throughput (dotted line): {} samples/s",
-        samples_per_sec(max_tput)
-    );
+    println!("max training throughput (dotted line): {} samples/s", samples_per_sec(max_tput));
     let first = &points[0];
     let last = points.last().expect("non-empty sweep");
     println!(

@@ -11,12 +11,8 @@ fn main() {
         "PreSto(SmartSSD) ~2.5x A100, ~5% below disaggregated U280, far better perf/W",
     );
     let groups = fig16();
-    let mut t = TextTable::new(vec![
-        "model",
-        "system",
-        "throughput (samples/s)",
-        "perf/W (samples/s/W)",
-    ]);
+    let mut t =
+        TextTable::new(vec!["model", "system", "throughput (samples/s)", "perf/W (samples/s/W)"]);
     for g in &groups {
         for (name, tput, perf_w) in &g.entries {
             t.row(vec![

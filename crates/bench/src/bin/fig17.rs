@@ -11,13 +11,7 @@ fn main() {
         "Disagg latency grows ~linearly with feature count; PreSto keeps large speedups",
     );
     let points = fig17();
-    let mut t = TextTable::new(vec![
-        "op",
-        "features",
-        "Disagg (ms)",
-        "PreSto (ms)",
-        "speedup",
-    ]);
+    let mut t = TextTable::new(vec!["op", "features", "Disagg (ms)", "PreSto (ms)", "speedup"]);
     for p in &points {
         t.row(vec![
             p.op.to_string(),

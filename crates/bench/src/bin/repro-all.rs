@@ -5,8 +5,8 @@ use std::process::Command;
 
 fn main() {
     let binaries = [
-        "table1", "table2", "fig03", "fig04", "fig05", "fig06", "fig11", "fig12", "fig13",
-        "fig14", "fig15", "fig16", "fig17",
+        "table1", "table2", "fig03", "fig04", "fig05", "fig06", "fig11", "fig12", "fig13", "fig14",
+        "fig15", "fig16", "fig17",
     ];
     // Prefer running sibling binaries from the same build directory.
     let self_path = std::env::current_exe().expect("current exe path");

@@ -22,9 +22,7 @@ fn main() {
         "avg #embeddings",
     ]);
     for c in RmConfig::all() {
-        let mlp = |v: &[usize]| {
-            v.iter().map(ToString::to_string).collect::<Vec<_>>().join("-")
-        };
+        let mlp = |v: &[usize]| v.iter().map(ToString::to_string).collect::<Vec<_>>().join("-");
         t.row(vec![
             c.name.clone(),
             c.num_dense.to_string(),

@@ -1,10 +1,13 @@
 //! In-memory typed column data.
 //!
 //! [`Array`] is what decoders produce and what the preprocessing kernels in
-//! `presto-ops` consume. Sparse features use a jagged layout (`offsets` +
+//! `presto-ops` consume. Payloads live in reference-counted [`Buffer`]s, so
+//! cloning an array (or slicing one on a page boundary) shares storage
+//! instead of copying column data — see [`crate::buffer`]. Sparse features use a jagged layout (`offsets` +
 //! flat `values`), matching how TorchRec's `KeyedJaggedTensor` stores
 //! variable-length categorical features.
 
+use crate::buffer::Buffer;
 use crate::error::{ColumnarError, Result};
 use crate::schema::DataType;
 
@@ -13,18 +16,18 @@ use crate::schema::DataType;
 #[non_exhaustive]
 pub enum Array {
     /// 64-bit integers.
-    Int64(Vec<i64>),
+    Int64(Buffer<i64>),
     /// 32-bit floats.
-    Float32(Vec<f32>),
+    Float32(Buffer<f32>),
     /// 64-bit floats.
-    Float64(Vec<f64>),
+    Float64(Buffer<f64>),
     /// Jagged lists of 64-bit ids: row `i` spans
     /// `values[offsets[i] as usize..offsets[i + 1] as usize]`.
     ListInt64 {
         /// `len() == row_count + 1`, starts at 0, non-decreasing.
-        offsets: Vec<u32>,
+        offsets: Buffer<u32>,
         /// Flattened list elements.
-        values: Vec<i64>,
+        values: Buffer<i64>,
     },
 }
 
@@ -33,10 +36,12 @@ impl Array {
     #[must_use]
     pub fn empty(data_type: DataType) -> Self {
         match data_type {
-            DataType::Int64 => Array::Int64(Vec::new()),
-            DataType::Float32 => Array::Float32(Vec::new()),
-            DataType::Float64 => Array::Float64(Vec::new()),
-            DataType::ListInt64 => Array::ListInt64 { offsets: vec![0], values: Vec::new() },
+            DataType::Int64 => Array::Int64(Buffer::empty()),
+            DataType::Float32 => Array::Float32(Buffer::empty()),
+            DataType::Float64 => Array::Float64(Buffer::empty()),
+            DataType::ListInt64 => {
+                Array::ListInt64 { offsets: vec![0].into(), values: Buffer::empty() }
+            }
         }
     }
 
@@ -60,7 +65,7 @@ impl Array {
             })?;
             offsets.push(end);
         }
-        Ok(Array::ListInt64 { offsets, values })
+        Ok(Array::ListInt64 { offsets: offsets.into(), values: values.into() })
     }
 
     /// The array's data type.
@@ -224,7 +229,7 @@ mod tests {
 
     #[test]
     fn accessors_return_none_for_wrong_type() {
-        let a = Array::Int64(vec![1]);
+        let a = Array::Int64(vec![1].into());
         assert!(a.as_float32().is_none());
         assert!(a.as_list_int64().is_none());
         assert_eq!(a.as_int64().unwrap(), &[1]);
@@ -232,19 +237,19 @@ mod tests {
 
     #[test]
     fn validate_catches_decreasing_offsets() {
-        let a = Array::ListInt64 { offsets: vec![0, 5, 3], values: vec![0; 5] };
+        let a = Array::ListInt64 { offsets: vec![0, 5, 3].into(), values: vec![0; 5].into() };
         assert!(a.validate().is_err());
     }
 
     #[test]
     fn validate_catches_offset_value_mismatch() {
-        let a = Array::ListInt64 { offsets: vec![0, 2], values: vec![1, 2, 3] };
+        let a = Array::ListInt64 { offsets: vec![0, 2].into(), values: vec![1, 2, 3].into() };
         assert!(matches!(a.validate(), Err(ColumnarError::CountMismatch { .. })));
     }
 
     #[test]
     fn validate_catches_nonzero_start() {
-        let a = Array::ListInt64 { offsets: vec![1, 3], values: vec![1, 2, 3] };
+        let a = Array::ListInt64 { offsets: vec![1, 3].into(), values: vec![1, 2, 3].into() };
         assert!(a.validate().is_err());
     }
 

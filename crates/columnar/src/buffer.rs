@@ -1,0 +1,261 @@
+//! Shared, immutable typed buffers backing [`Array`](crate::Array) payloads.
+//!
+//! A [`Buffer`] is a window (`start`, `len`) over reference-counted storage:
+//!
+//! * **cloning is O(1)** — a refcount bump, never a data copy, so arrays can
+//!   be passed between row-group merge steps and worker threads freely;
+//! * **slicing is O(1)** — [`Buffer::slice`] narrows the window without
+//!   touching the elements, which makes page slicing on the write path and
+//!   single-part concatenation on the read path zero-copy;
+//! * **unique buffers give their storage back** — [`Buffer::into_vec`]
+//!   returns the owned `Vec` without copying when no other clone exists,
+//!   and [`Buffer::make_mut`] allows in-place transformation (the
+//!   SigridHash/Log kernels exploit this to normalize decoded columns
+//!   without allocating).
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply clonable window over shared immutable storage.
+///
+/// Dereferences to `[T]`; construct one from a `Vec<T>` (via `From`) or by
+/// collecting an iterator.
+#[derive(Clone)]
+pub struct Buffer<T> {
+    data: Arc<Vec<T>>,
+    start: usize,
+    len: usize,
+}
+
+impl<T> Buffer<T> {
+    /// Wraps a vector, taking ownership without copying.
+    #[must_use]
+    pub fn new(data: Vec<T>) -> Self {
+        let len = data.len();
+        Buffer { data: Arc::new(data), start: 0, len }
+    }
+
+    /// An empty buffer.
+    #[must_use]
+    pub fn empty() -> Self {
+        Buffer::new(Vec::new())
+    }
+
+    /// Number of elements in the window.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the window holds no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The window's elements.
+    #[must_use]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data[self.start..self.start + self.len]
+    }
+
+    /// A zero-copy sub-window of `len` elements starting at `start`
+    /// (relative to this window).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the requested range exceeds the window.
+    #[must_use]
+    pub fn slice(&self, start: usize, len: usize) -> Self {
+        assert!(
+            start.checked_add(len).is_some_and(|end| end <= self.len),
+            "buffer slice {start}..{} out of window of {}",
+            start + len,
+            self.len
+        );
+        Buffer { data: Arc::clone(&self.data), start: self.start + start, len }
+    }
+
+    /// True when no other clone shares this buffer's storage.
+    #[must_use]
+    pub fn is_unique(&self) -> bool {
+        Arc::strong_count(&self.data) == 1
+    }
+
+    /// Mutable access to the window, available only when this is the sole
+    /// owner of the storage (returns `None` otherwise).
+    ///
+    /// This is what makes allocation-free in-place transforms safe: a
+    /// freshly decoded column is always unique, so kernels may overwrite it
+    /// directly, while shared buffers can never be observed mutating.
+    #[must_use]
+    pub fn make_mut(&mut self) -> Option<&mut [T]> {
+        let (start, len) = (self.start, self.len);
+        Arc::get_mut(&mut self.data).map(|v| &mut v[start..start + len])
+    }
+}
+
+impl<T: Clone> Buffer<T> {
+    /// Extracts the elements as an owned `Vec`.
+    ///
+    /// Zero-copy when this is a unique, full-window buffer (the common case
+    /// for freshly decoded columns); otherwise copies the window.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<T> {
+        if self.start == 0 && self.len == self.data.len() {
+            match Arc::try_unwrap(self.data) {
+                Ok(vec) => return vec,
+                Err(shared) => return shared[..self.len].to_vec(),
+            }
+        }
+        self.as_slice().to_vec()
+    }
+}
+
+impl<T> Deref for Buffer<T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T> From<Vec<T>> for Buffer<T> {
+    fn from(data: Vec<T>) -> Self {
+        Buffer::new(data)
+    }
+}
+
+impl<T> FromIterator<T> for Buffer<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        Buffer::new(iter.into_iter().collect())
+    }
+}
+
+impl<T> Default for Buffer<T> {
+    fn default() -> Self {
+        Buffer::empty()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Buffer<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_slice(), f)
+    }
+}
+
+impl<T: PartialEq> PartialEq for Buffer<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: PartialEq> PartialEq<[T]> for Buffer<T> {
+    fn eq(&self, other: &[T]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<T: PartialEq, const N: usize> PartialEq<[T; N]> for Buffer<T> {
+    fn eq(&self, other: &[T; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<T: PartialEq> PartialEq<Vec<T>> for Buffer<T> {
+    fn eq(&self, other: &Vec<T>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_storage() {
+        let b: Buffer<i64> = vec![1, 2, 3, 4].into();
+        let c = b.clone();
+        assert!(std::ptr::eq(b.as_slice(), c.as_slice()));
+        assert!(!b.is_unique());
+        drop(c);
+        assert!(b.is_unique());
+    }
+
+    #[test]
+    fn slice_windows_without_copying() {
+        let b: Buffer<i64> = vec![10, 20, 30, 40, 50].into();
+        let s = b.slice(1, 3);
+        assert_eq!(s.as_slice(), &[20, 30, 40]);
+        assert_eq!(s.len(), 3);
+        let ss = s.slice(2, 1);
+        assert_eq!(ss.as_slice(), &[40]);
+        assert!(std::ptr::eq(&b[3], &ss[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of window")]
+    fn slice_out_of_bounds_panics() {
+        let b: Buffer<i64> = vec![1, 2].into();
+        let _ = b.slice(1, 2);
+    }
+
+    #[test]
+    fn into_vec_is_zero_copy_when_unique() {
+        let v = vec![1i64, 2, 3];
+        let ptr = v.as_ptr();
+        let b: Buffer<i64> = v.into();
+        let back = b.into_vec();
+        assert_eq!(back.as_ptr(), ptr, "unique full-window into_vec must not copy");
+    }
+
+    #[test]
+    fn into_vec_copies_when_shared_or_windowed() {
+        let b: Buffer<i64> = vec![1, 2, 3, 4].into();
+        let clone = b.clone();
+        assert_eq!(clone.into_vec(), vec![1, 2, 3, 4]);
+        assert_eq!(b.slice(1, 2).into_vec(), vec![2, 3]);
+        assert_eq!(b.into_vec(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn make_mut_only_when_unique() {
+        let mut b: Buffer<i64> = vec![1, 2, 3].into();
+        {
+            let c = b.clone();
+            assert!(b.make_mut().is_none());
+            drop(c);
+        }
+        b.make_mut().unwrap()[1] = 99;
+        assert_eq!(b.as_slice(), &[1, 99, 3]);
+    }
+
+    #[test]
+    fn make_mut_respects_window() {
+        let b: Buffer<i64> = vec![1, 2, 3, 4].into();
+        let mut w = b.slice(1, 2);
+        drop(b);
+        let m = w.make_mut().unwrap();
+        assert_eq!(m, &mut [2, 3]);
+        m[0] = -2;
+        assert_eq!(w.as_slice(), &[-2, 3]);
+    }
+
+    #[test]
+    fn equality_compares_contents() {
+        let a: Buffer<i64> = vec![1, 2, 3].into();
+        let b: Buffer<i64> = vec![0, 1, 2, 3].into();
+        assert_eq!(a, b.slice(1, 3));
+        assert_eq!(a, [1, 2, 3]);
+        assert_eq!(a, vec![1, 2, 3]);
+        assert_eq!(format!("{a:?}"), "[1, 2, 3]");
+    }
+
+    #[test]
+    fn collect_and_default() {
+        let b: Buffer<u32> = (0..4).collect();
+        assert_eq!(b, [0, 1, 2, 3]);
+        assert!(Buffer::<f32>::default().is_empty());
+    }
+}

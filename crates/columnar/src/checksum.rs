@@ -1,18 +1,15 @@
 //! CRC-32 (IEEE 802.3 polynomial) used to protect page payloads and footers.
 //!
-//! Implemented with a lazily built 256-entry lookup table; no external crate
-//! needed.
+//! Implemented with the slicing-by-8 technique (eight lazily built 256-entry
+//! lookup tables, consuming 8 input bytes per iteration); no external crate
+//! needed. CRC verification runs over every page payload on the Extract hot
+//! path, so its throughput directly bounds decode throughput — slicing-by-8
+//! is roughly 7× faster than the classic byte-at-a-time loop.
 
 /// Computes the CRC-32 of `data` (IEEE polynomial, reflected, init `!0`).
 #[must_use]
 pub fn crc32(data: &[u8]) -> u32 {
-    let table = table();
-    let mut crc = !0u32;
-    for &byte in data {
-        let idx = ((crc ^ u32::from(byte)) & 0xff) as usize;
-        crc = (crc >> 8) ^ table[idx];
-    }
-    !crc
+    !update(!0u32, data)
 }
 
 /// Incremental CRC-32 hasher for multi-part payloads.
@@ -30,11 +27,7 @@ impl Crc32 {
 
     /// Feeds `data` into the hasher.
     pub fn update(&mut self, data: &[u8]) {
-        let table = table();
-        for &byte in data {
-            let idx = ((self.state ^ u32::from(byte)) & 0xff) as usize;
-            self.state = (self.state >> 8) ^ table[idx];
-        }
+        self.state = update(self.state, data);
     }
 
     /// Finishes and returns the checksum.
@@ -50,19 +43,51 @@ impl Default for Crc32 {
     }
 }
 
-fn table() -> &'static [u32; 256] {
+/// Advances `crc` (internal, pre-inversion state) over `data`.
+fn update(mut crc: u32, data: &[u8]) -> u32 {
+    let tables = tables();
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        // Fold the current state into the first four bytes, then look all
+        // eight bytes up in parallel tables — one XOR tree per 8 bytes
+        // instead of eight dependent table lookups.
+        let lo = u32::from_le_bytes(chunk[0..4].try_into().expect("4 bytes")) ^ crc;
+        let hi = u32::from_le_bytes(chunk[4..8].try_into().expect("4 bytes"));
+        crc = tables[7][(lo & 0xff) as usize]
+            ^ tables[6][((lo >> 8) & 0xff) as usize]
+            ^ tables[5][((lo >> 16) & 0xff) as usize]
+            ^ tables[4][(lo >> 24) as usize]
+            ^ tables[3][(hi & 0xff) as usize]
+            ^ tables[2][((hi >> 8) & 0xff) as usize]
+            ^ tables[1][((hi >> 16) & 0xff) as usize]
+            ^ tables[0][(hi >> 24) as usize];
+    }
+    for &byte in chunks.remainder() {
+        let idx = ((crc ^ u32::from(byte)) & 0xff) as usize;
+        crc = (crc >> 8) ^ tables[0][idx];
+    }
+    crc
+}
+
+fn tables() -> &'static [[u32; 256]; 8] {
     use std::sync::OnceLock;
-    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-    TABLE.get_or_init(|| {
-        let mut table = [0u32; 256];
-        for (i, entry) in table.iter_mut().enumerate() {
+    static TABLES: OnceLock<[[u32; 256]; 8]> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut tables = [[0u32; 256]; 8];
+        for (i, entry) in tables[0].iter_mut().enumerate() {
             let mut crc = i as u32;
             for _ in 0..8 {
                 crc = if crc & 1 != 0 { (crc >> 1) ^ 0xedb8_8320 } else { crc >> 1 };
             }
             *entry = crc;
         }
-        table
+        for t in 1..8 {
+            for i in 0..256usize {
+                let prev = tables[t - 1][i];
+                tables[t][i] = (prev >> 8) ^ tables[0][(prev & 0xff) as usize];
+            }
+        }
+        tables
     })
 }
 
@@ -85,6 +110,27 @@ mod tests {
         h.update(&data[..5]);
         h.update(&data[5..]);
         assert_eq!(h.finalize(), crc32(data));
+    }
+
+    #[test]
+    fn sliced_path_matches_bytewise_reference() {
+        // Cross-check the slicing-by-8 fast path against the textbook
+        // byte-at-a-time loop on every length from 0 to 64 (covers all
+        // remainder cases around the 8-byte chunking).
+        fn reference(data: &[u8]) -> u32 {
+            let mut crc = !0u32;
+            for &byte in data {
+                crc ^= u32::from(byte);
+                for _ in 0..8 {
+                    crc = if crc & 1 != 0 { (crc >> 1) ^ 0xedb8_8320 } else { crc >> 1 };
+                }
+            }
+            !crc
+        }
+        let data: Vec<u8> = (0..64u8).map(|i| i.wrapping_mul(37).wrapping_add(11)).collect();
+        for len in 0..=data.len() {
+            assert_eq!(crc32(&data[..len]), reference(&data[..len]), "len {len}");
+        }
     }
 
     #[test]

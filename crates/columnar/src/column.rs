@@ -10,7 +10,9 @@ use crate::stats::ColumnStats;
 
 /// Slices `rows` rows starting at `start` out of an array.
 ///
-/// For jagged arrays the offsets are rebased to start at zero.
+/// Primitive payloads (and jagged *values*) are shared zero-copy windows
+/// over the source array's buffers; only jagged offsets are materialized,
+/// because they must be rebased to start at zero.
 ///
 /// # Panics
 ///
@@ -18,21 +20,26 @@ use crate::stats::ColumnStats;
 #[must_use]
 pub fn slice_array(array: &Array, start: usize, rows: usize) -> Array {
     match array {
-        Array::Int64(v) => Array::Int64(v[start..start + rows].to_vec()),
-        Array::Float32(v) => Array::Float32(v[start..start + rows].to_vec()),
-        Array::Float64(v) => Array::Float64(v[start..start + rows].to_vec()),
+        Array::Int64(v) => Array::Int64(v.slice(start, rows)),
+        Array::Float32(v) => Array::Float32(v.slice(start, rows)),
+        Array::Float64(v) => Array::Float64(v.slice(start, rows)),
         Array::ListInt64 { offsets, values } => {
             let base = offsets[start];
             let end = offsets[start + rows];
-            let new_offsets: Vec<u32> =
+            let new_offsets: crate::Buffer<u32> =
                 offsets[start..=start + rows].iter().map(|&o| o - base).collect();
-            let new_values = values[base as usize..end as usize].to_vec();
+            let new_values = values.slice(base as usize, (end - base) as usize);
             Array::ListInt64 { offsets: new_offsets, values: new_values }
         }
     }
 }
 
 /// Concatenates arrays of the same type into one.
+///
+/// A single-part concat is zero-copy: the result shares the input's
+/// buffers. This is the common case on the read path (one page per chunk,
+/// one row group per partition), so decoded column data is typically never
+/// recopied on its way to the preprocessing kernels.
 ///
 /// # Errors
 ///
@@ -42,6 +49,9 @@ pub fn concat_arrays(parts: &[Array]) -> Result<Array> {
     let Some(first) = parts.first() else {
         return Err(ColumnarError::InvalidSchema { detail: "concat of zero arrays".into() });
     };
+    if parts.len() == 1 {
+        return Ok(first.clone());
+    }
     let dt = first.data_type();
     if parts.iter().any(|p| p.data_type() != dt) {
         return Err(ColumnarError::InvalidSchema {
@@ -50,25 +60,25 @@ pub fn concat_arrays(parts: &[Array]) -> Result<Array> {
     }
     match dt {
         DataType::Int64 => {
-            let mut out = Vec::new();
+            let mut out = Vec::with_capacity(parts.iter().map(Array::element_count).sum());
             for p in parts {
                 out.extend_from_slice(p.as_int64().expect("checked type"));
             }
-            Ok(Array::Int64(out))
+            Ok(Array::Int64(out.into()))
         }
         DataType::Float32 => {
-            let mut out = Vec::new();
+            let mut out = Vec::with_capacity(parts.iter().map(Array::element_count).sum());
             for p in parts {
                 out.extend_from_slice(p.as_float32().expect("checked type"));
             }
-            Ok(Array::Float32(out))
+            Ok(Array::Float32(out.into()))
         }
         DataType::Float64 => {
-            let mut out = Vec::new();
+            let mut out = Vec::with_capacity(parts.iter().map(Array::element_count).sum());
             for p in parts {
                 out.extend_from_slice(p.as_float64().expect("checked type"));
             }
-            Ok(Array::Float64(out))
+            Ok(Array::Float64(out.into()))
         }
         DataType::ListInt64 => {
             let mut offsets = vec![0u32];
@@ -85,7 +95,7 @@ pub fn concat_arrays(parts: &[Array]) -> Result<Array> {
                 }
                 values.extend_from_slice(pv);
             }
-            Ok(Array::ListInt64 { offsets, values })
+            Ok(Array::ListInt64 { offsets: offsets.into(), values: values.into() })
         }
     }
 }
@@ -174,12 +184,12 @@ mod tests {
 
     #[test]
     fn single_row_pages() {
-        chunk_roundtrip(Array::Float32(vec![1.0, 2.0, 3.0]), 1);
+        chunk_roundtrip(Array::Float32(vec![1.0, 2.0, 3.0].into()), 1);
     }
 
     #[test]
     fn empty_chunk_roundtrips() {
-        chunk_roundtrip(Array::Int64(vec![]), 4096);
+        chunk_roundtrip(Array::Int64(vec![].into()), 4096);
         chunk_roundtrip(Array::from_lists(Vec::<Vec<i64>>::new()).unwrap(), 4096);
     }
 
@@ -195,8 +205,8 @@ mod tests {
 
     #[test]
     fn concat_rejects_mixed_types() {
-        let err =
-            concat_arrays(&[Array::Int64(vec![1]), Array::Float32(vec![1.0])]).unwrap_err();
+        let err = concat_arrays(&[Array::Int64(vec![1].into()), Array::Float32(vec![1.0].into())])
+            .unwrap_err();
         assert!(matches!(err, ColumnarError::InvalidSchema { .. }));
     }
 
@@ -212,6 +222,6 @@ mod tests {
 
     #[test]
     fn zero_page_rows_is_clamped() {
-        chunk_roundtrip(Array::Int64(vec![5, 6]), 0);
+        chunk_roundtrip(Array::Int64(vec![5, 6].into()), 0);
     }
 }

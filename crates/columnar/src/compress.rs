@@ -266,10 +266,7 @@ mod tests {
         out.push(0x01); // match with nothing in the window
         varint::write_u64(&mut out, 5);
         varint::write_u64(&mut out, 6);
-        assert!(matches!(
-            decompress(&out),
-            Err(ColumnarError::CorruptFile { .. })
-        ));
+        assert!(matches!(decompress(&out), Err(ColumnarError::CorruptFile { .. })));
     }
 
     #[test]
@@ -279,10 +276,7 @@ mod tests {
         out.push(0x00);
         varint::write_u64(&mut out, 3);
         out.extend_from_slice(b"abc");
-        assert!(matches!(
-            decompress(&out),
-            Err(ColumnarError::CountMismatch { .. })
-        ));
+        assert!(matches!(decompress(&out), Err(ColumnarError::CountMismatch { .. })));
     }
 
     #[test]

@@ -197,10 +197,7 @@ mod tests {
         pack(&[5, 6, 7], 3, &mut buf).unwrap();
         buf.pop();
         let mut pos = 0;
-        assert!(matches!(
-            unpack(&buf, &mut pos, 3, 3),
-            Err(ColumnarError::UnexpectedEof { .. })
-        ));
+        assert!(matches!(unpack(&buf, &mut pos, 3, 3), Err(ColumnarError::UnexpectedEof { .. })));
     }
 
     #[test]

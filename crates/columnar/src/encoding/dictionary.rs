@@ -113,10 +113,7 @@ mod tests {
         delta::encode_i64(&[10], &mut buf);
         rle::encode(&[7], &mut buf);
         let mut pos = 0;
-        assert!(matches!(
-            decode_i64(&buf, &mut pos),
-            Err(ColumnarError::CorruptFile { .. })
-        ));
+        assert!(matches!(decode_i64(&buf, &mut pos), Err(ColumnarError::CorruptFile { .. })));
     }
 
     #[test]

@@ -94,7 +94,10 @@ pub fn decode(buf: &[u8], pos: &mut usize) -> Result<Vec<u64>> {
             return Err(ColumnarError::CorruptFile { detail: "zero-length rle run".into() });
         }
         if values.len() + len > count {
-            return Err(ColumnarError::CountMismatch { declared: count, actual: values.len() + len });
+            return Err(ColumnarError::CountMismatch {
+                declared: count,
+                actual: values.len() + len,
+            });
         }
         if header & 1 == 1 {
             values.extend(bitpack::unpack(buf, pos, len, width)?);

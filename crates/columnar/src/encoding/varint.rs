@@ -28,11 +28,44 @@ pub fn write_i64(out: &mut Vec<u8>, value: i64) {
 /// Reads an unsigned LEB128 varint from `buf` starting at `*pos`, advancing
 /// `*pos` past the consumed bytes.
 ///
+/// One- to three-byte varints (the overwhelming majority on the decode hot
+/// path: list lengths, dictionary indices and id deltas) take an inlined
+/// fast path with one branch per byte; longer or truncated encodings fall
+/// back to the checked loop.
+///
 /// # Errors
 ///
 /// Returns [`ColumnarError::UnexpectedEof`] when the buffer ends mid-varint
 /// and [`ColumnarError::ValueOutOfRange`] when the encoding exceeds 64 bits.
+#[inline]
 pub fn read_u64(buf: &[u8], pos: &mut usize) -> Result<u64> {
+    let p = *pos;
+    if let Some(&b0) = buf.get(p) {
+        if b0 & 0x80 == 0 {
+            *pos = p + 1;
+            return Ok(u64::from(b0));
+        }
+        if let Some(&b1) = buf.get(p + 1) {
+            if b1 & 0x80 == 0 {
+                *pos = p + 2;
+                return Ok(u64::from(b0 & 0x7f) | (u64::from(b1) << 7));
+            }
+            if let Some(&b2) = buf.get(p + 2) {
+                if b2 & 0x80 == 0 {
+                    *pos = p + 3;
+                    return Ok(u64::from(b0 & 0x7f)
+                        | (u64::from(b1 & 0x7f) << 7)
+                        | (u64::from(b2) << 14));
+                }
+            }
+        }
+    }
+    read_u64_slow(buf, pos)
+}
+
+/// Checked general-case decoder behind [`read_u64`]'s fast path.
+#[cold]
+fn read_u64_slow(buf: &[u8], pos: &mut usize) -> Result<u64> {
     let mut shift = 0u32;
     let mut acc = 0u64;
     loop {
@@ -47,9 +80,7 @@ pub fn read_u64(buf: &[u8], pos: &mut usize) -> Result<u64> {
         }
         // The 10th byte may only contribute the lowest bit of the 64-bit value.
         if shift == 63 && byte & 0x7e != 0 {
-            return Err(ColumnarError::ValueOutOfRange {
-                detail: "varint overflows u64".into(),
-            });
+            return Err(ColumnarError::ValueOutOfRange { detail: "varint overflows u64".into() });
         }
         acc |= u64::from(byte & 0x7f) << shift;
         if byte & 0x80 == 0 {
@@ -137,20 +168,14 @@ mod tests {
         // A continuation bit with no following byte.
         let buf = [0x80u8];
         let mut pos = 0;
-        assert!(matches!(
-            read_u64(&buf, &mut pos),
-            Err(ColumnarError::UnexpectedEof { .. })
-        ));
+        assert!(matches!(read_u64(&buf, &mut pos), Err(ColumnarError::UnexpectedEof { .. })));
     }
 
     #[test]
     fn overlong_varint_rejected() {
         let buf = [0xffu8; 11];
         let mut pos = 0;
-        assert!(matches!(
-            read_u64(&buf, &mut pos),
-            Err(ColumnarError::ValueOutOfRange { .. })
-        ));
+        assert!(matches!(read_u64(&buf, &mut pos), Err(ColumnarError::ValueOutOfRange { .. })));
     }
 
     #[test]

@@ -68,10 +68,9 @@ impl fmt::Display for ColumnarError {
                 write!(f, "unexpected end of buffer while decoding {context}")
             }
             ColumnarError::CorruptFile { detail } => write!(f, "corrupt columnar file: {detail}"),
-            ColumnarError::ChecksumMismatch { expected, actual } => write!(
-                f,
-                "checksum mismatch: stored {expected:#010x}, computed {actual:#010x}"
-            ),
+            ColumnarError::ChecksumMismatch { expected, actual } => {
+                write!(f, "checksum mismatch: stored {expected:#010x}, computed {actual:#010x}")
+            }
             ColumnarError::UnsupportedEncoding { encoding, physical } => {
                 write!(f, "encoding {encoding} does not support physical type {physical}")
             }

@@ -136,8 +136,8 @@ impl FileMeta {
 /// ])?;
 /// let mut writer = FileWriter::new(schema);
 /// writer.write_row_group(&[
-///     Array::Int64(vec![0, 1]),
-///     Array::Float32(vec![0.5, 1.5]),
+///     Array::Int64(vec![0, 1].into()),
+///     Array::Float32(vec![0.5, 1.5].into()),
 /// ])?;
 /// let bytes = writer.finish();
 /// assert!(bytes.len() > 16);
@@ -325,6 +325,28 @@ impl<B: BlobRead> FileReader<B> {
     /// Returns [`ColumnarError::UnknownColumn`] for bad indices plus any
     /// decode error.
     pub fn read_column(&self, row_group: usize, column: usize) -> Result<Array> {
+        self.read_column_with(row_group, column, &mut crate::io::ReadScratch::new())
+    }
+
+    /// Like [`FileReader::read_column`], staging the chunk bytes in a
+    /// caller-provided [`crate::ReadScratch`] — the zero-copy Extract path.
+    ///
+    /// When the backend can expose its bytes directly
+    /// ([`BlobRead::as_slice`]), the chunk is decoded straight from storage
+    /// memory and the scratch is not touched at all; otherwise the chunk is
+    /// read into the scratch's recycled buffer. Either way, a caller that
+    /// reuses one scratch across columns and partitions performs no
+    /// per-chunk staging allocation.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FileReader::read_column`].
+    pub fn read_column_with(
+        &self,
+        row_group: usize,
+        column: usize,
+        scratch: &mut crate::io::ReadScratch,
+    ) -> Result<Array> {
         let rg = self.meta.row_groups.get(row_group).ok_or_else(|| {
             ColumnarError::UnknownColumn { name: format!("row group {row_group}") }
         })?;
@@ -333,9 +355,23 @@ impl<B: BlobRead> FileReader<B> {
             .get(column)
             .ok_or_else(|| ColumnarError::UnknownColumn { name: format!("column {column}") })?;
         let field = self.meta.schema.field(column).expect("meta/schema in sync");
-        let bytes = self.blob.read_at(chunk.offset, chunk.byte_len as usize)?;
+        let (offset, len) = (chunk.offset, chunk.byte_len as usize);
+        let bytes: &[u8] = match self.blob.as_slice() {
+            Some(all) => {
+                let start = usize::try_from(offset).map_err(|_| ColumnarError::Io {
+                    detail: format!("chunk offset {offset} out of addressable range"),
+                })?;
+                // checked_add: corrupt metadata must surface as Err, not an
+                // overflow panic.
+                start
+                    .checked_add(len)
+                    .and_then(|end| all.get(start..end))
+                    .ok_or(ColumnarError::UnexpectedEof { context: "column chunk range" })?
+            }
+            None => scratch.read(&self.blob, offset, len)?,
+        };
         let mut pos = 0usize;
-        let array = column::read_chunk(&bytes, &mut pos, field.data_type())?;
+        let array = column::read_chunk(bytes, &mut pos, field.data_type())?;
         if array.len() as u64 != rg.rows {
             return Err(ColumnarError::CountMismatch {
                 declared: rg.rows as usize,
@@ -363,6 +399,22 @@ impl<B: BlobRead> FileReader<B> {
     pub fn read_projected(&self, row_group: usize, names: &[&str]) -> Result<Vec<Array>> {
         let idx = self.meta.schema.project(names)?;
         self.read_columns(row_group, &idx)
+    }
+
+    /// Like [`FileReader::read_projected`], reusing a [`crate::ReadScratch`]
+    /// for every chunk read (see [`FileReader::read_column_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FileReader::read_projected`].
+    pub fn read_projected_with(
+        &self,
+        row_group: usize,
+        names: &[&str],
+        scratch: &mut crate::io::ReadScratch,
+    ) -> Result<Vec<Array>> {
+        let idx = self.meta.schema.project(names)?;
+        idx.iter().map(|&c| self.read_column_with(row_group, c, scratch)).collect()
     }
 
     /// Reads an entire row group in schema order.
@@ -399,10 +451,8 @@ mod tests {
         vec![
             Array::Int64((0..rows as i64).map(|i| (i + salt) % 2).collect()),
             Array::Float32((0..rows).map(|i| i as f32 * 0.5).collect()),
-            Array::from_lists(
-                (0..rows).map(|i| vec![salt + i as i64; i % 4]).collect::<Vec<_>>(),
-            )
-            .unwrap(),
+            Array::from_lists((0..rows).map(|i| vec![salt + i as i64; i % 4]).collect::<Vec<_>>())
+                .unwrap(),
         ]
     }
 
@@ -450,6 +500,28 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reads_match_allocating_reads() {
+        use crate::io::ReadScratch;
+        let bytes = sample_file(2, 300);
+        // MemBlob decodes straight from storage memory...
+        let reader = FileReader::open(MemBlob::new(bytes.clone())).unwrap();
+        let mut scratch = ReadScratch::new();
+        for g in 0..2 {
+            let plain = reader.read_projected(g, &["label", "sparse_0"]).unwrap();
+            let scratched =
+                reader.read_projected_with(g, &["label", "sparse_0"], &mut scratch).unwrap();
+            assert_eq!(plain, scratched);
+        }
+        assert_eq!(scratch.capacity(), 0, "slice-backed blob must not touch the scratch");
+        // ...while an opaque backend stages chunks in the recycled buffer.
+        let reader = FileReader::open(CountingBlob::new(MemBlob::new(bytes))).unwrap();
+        let a = reader.read_projected_with(0, &["dense_0"], &mut scratch).unwrap();
+        let b = reader.read_projected(0, &["dense_0"]).unwrap();
+        assert_eq!(a, b);
+        assert!(scratch.capacity() > 0);
+    }
+
+    #[test]
     fn read_by_name_matches_read_by_index() {
         let bytes = sample_file(1, 100);
         let reader = FileReader::open(MemBlob::new(bytes)).unwrap();
@@ -471,20 +543,20 @@ mod tests {
     fn writer_rejects_schema_violations() {
         let mut w = FileWriter::new(sample_schema());
         // Wrong arity.
-        assert!(w.write_row_group(&[Array::Int64(vec![1])]).is_err());
+        assert!(w.write_row_group(&[Array::Int64(vec![1].into())]).is_err());
         // Wrong type order.
         assert!(w
             .write_row_group(&[
-                Array::Float32(vec![1.0]),
-                Array::Float32(vec![1.0]),
+                Array::Float32(vec![1.0].into()),
+                Array::Float32(vec![1.0].into()),
                 Array::from_lists([vec![1i64]]).unwrap(),
             ])
             .is_err());
         // Mismatched row counts.
         assert!(w
             .write_row_group(&[
-                Array::Int64(vec![1, 2]),
-                Array::Float32(vec![1.0]),
+                Array::Int64(vec![1, 2].into()),
+                Array::Float32(vec![1.0].into()),
                 Array::from_lists([vec![1i64]]).unwrap(),
             ])
             .is_err());
@@ -530,8 +602,7 @@ mod tests {
             w.finish()
         };
         let packed = {
-            let mut w = FileWriter::with_page_rows(schema, 256)
-                .with_compression(Compression::Lz);
+            let mut w = FileWriter::with_page_rows(schema, 256).with_compression(Compression::Lz);
             w.write_row_group(&cols).unwrap();
             w.finish()
         };

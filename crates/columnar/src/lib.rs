@@ -26,8 +26,8 @@
 //!
 //! let mut writer = FileWriter::new(schema);
 //! writer.write_row_group(&[
-//!     Array::Int64(vec![0, 1, 0]),
-//!     Array::Float32(vec![0.1, 7.0, 3.5]),
+//!     Array::Int64(vec![0, 1, 0].into()),
+//!     Array::Float32(vec![0.1, 7.0, 3.5].into()),
 //!     Array::from_lists([vec![11_i64, 42], vec![], vec![7]])?,
 //! ])?;
 //! let bytes = writer.finish();
@@ -38,6 +38,22 @@
 //! assert_eq!(cols[0].list_at(0), &[11, 42]);
 //! # Ok::<(), presto_columnar::ColumnarError>(())
 //! ```
+//!
+//! ## Zero-copy reads
+//!
+//! The read path is built to touch column bytes once:
+//!
+//! * [`BlobRead::read_at_into`] fills caller-provided buffers; a reused
+//!   [`ReadScratch`] makes chunk staging allocation-free, and in-memory
+//!   blobs skip staging entirely (decoders run straight over
+//!   [`MemBlob`]'s shared bytes).
+//! * [`Array`] payloads live in reference-counted [`Buffer`]s: cloning an
+//!   array, slicing it on a page boundary, or concatenating a single part
+//!   shares storage instead of copying, and uniquely owned buffers hand
+//!   their storage to consumers via [`Buffer::into_vec`] /
+//!   [`Buffer::make_mut`] for in-place transformation.
+//! * [`FsBlob`] uses positioned reads (`pread`), so parallel readers of one
+//!   file never serialize behind a seek cursor.
 //!
 //! ## Format internals
 //!
@@ -51,6 +67,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod array;
+pub mod buffer;
 pub mod checksum;
 pub mod column;
 pub mod compress;
@@ -63,10 +80,11 @@ pub mod schema;
 pub mod stats;
 
 pub use array::Array;
+pub use buffer::Buffer;
 pub use compress::Compression;
 pub use encoding::Encoding;
 pub use error::{ColumnarError, Result};
 pub use file::{ChunkMeta, FileMeta, FileReader, FileWriter, RowGroupMeta};
-pub use io::{BlobRead, CountingBlob, FsBlob, MemBlob};
+pub use io::{BlobRead, CountingBlob, FsBlob, MemBlob, ReadScratch};
 pub use schema::{DataType, Field, Schema};
 pub use stats::ColumnStats;

@@ -64,8 +64,7 @@ pub fn write_page_with(
             Encoding::Plain
         }
         Array::ListInt64 { offsets, values } => {
-            let lengths: Vec<u64> =
-                offsets.windows(2).map(|w| u64::from(w[1] - w[0])).collect();
+            let lengths: Vec<u64> = offsets.windows(2).map(|w| u64::from(w[1] - w[0])).collect();
             rle::encode(&lengths, &mut payload);
             let enc = encoding::choose_i64_encoding(values);
             payload.push(enc.to_tag());
@@ -141,12 +140,14 @@ pub fn read_page(buf: &[u8], pos: &mut usize, data_type: DataType) -> Result<Arr
 
     let mut p = 0usize;
     let array = match data_type {
-        DataType::Int64 => Array::Int64(encoding::decode_i64(encoding, payload, &mut p, rows)?),
+        DataType::Int64 => {
+            Array::Int64(encoding::decode_i64(encoding, payload, &mut p, rows)?.into())
+        }
         DataType::Float32 => {
-            Array::Float32(encoding::plain::decode_f32(payload, &mut p, rows)?)
+            Array::Float32(encoding::plain::decode_f32(payload, &mut p, rows)?.into())
         }
         DataType::Float64 => {
-            Array::Float64(encoding::plain::decode_f64(payload, &mut p, rows)?)
+            Array::Float64(encoding::plain::decode_f64(payload, &mut p, rows)?.into())
         }
         DataType::ListInt64 => {
             let lengths = rle::decode(payload, &mut p)?;
@@ -169,7 +170,7 @@ pub fn read_page(buf: &[u8], pos: &mut usize, data_type: DataType) -> Result<Arr
                 })?;
                 offsets.push(off);
             }
-            Array::ListInt64 { offsets, values }
+            Array::ListInt64 { offsets: offsets.into(), values: values.into() }
         }
     };
     if array.element_count() != elements {
@@ -207,7 +208,7 @@ mod tests {
 
     #[test]
     fn float64_page_roundtrips() {
-        roundtrip(Array::Float64(vec![1.5, -2.5, 0.0]));
+        roundtrip(Array::Float64(vec![1.5, -2.5, 0.0].into()));
     }
 
     #[test]
@@ -219,8 +220,8 @@ mod tests {
 
     #[test]
     fn empty_pages_roundtrip() {
-        roundtrip(Array::Int64(vec![]));
-        roundtrip(Array::Float32(vec![]));
+        roundtrip(Array::Int64(vec![].into()));
+        roundtrip(Array::Float32(vec![].into()));
         roundtrip(Array::from_lists(Vec::<Vec<i64>>::new()).unwrap());
     }
 
@@ -240,7 +241,7 @@ mod tests {
     #[test]
     fn truncated_page_is_caught() {
         let mut buf = Vec::new();
-        write_page(&Array::Float32(vec![1.0; 64]), &mut buf).unwrap();
+        write_page(&Array::Float32(vec![1.0; 64].into()), &mut buf).unwrap();
         for cut in 0..buf.len() {
             let mut pos = 0;
             assert!(read_page(&buf[..cut], &mut pos, DataType::Float32).is_err());

@@ -53,9 +53,9 @@ impl DataType {
             1 => Ok(DataType::Float32),
             2 => Ok(DataType::Float64),
             3 => Ok(DataType::ListInt64),
-            other => Err(ColumnarError::CorruptFile {
-                detail: format!("unknown data type tag {other}"),
-            }),
+            other => {
+                Err(ColumnarError::CorruptFile { detail: format!("unknown data type tag {other}") })
+            }
         }
     }
 
@@ -226,11 +226,9 @@ mod tests {
 
     #[test]
     fn rejects_duplicate_names() {
-        let err = Schema::new(vec![
-            Field::new("x", DataType::Int64),
-            Field::new("x", DataType::Float32),
-        ])
-        .unwrap_err();
+        let err =
+            Schema::new(vec![Field::new("x", DataType::Int64), Field::new("x", DataType::Float32)])
+                .unwrap_err();
         assert!(err.to_string().contains("duplicate"));
     }
 
@@ -246,10 +244,7 @@ mod tests {
     fn projection_preserves_order_and_errors() {
         let s = sample();
         assert_eq!(s.project(&["sparse_0", "label"]).unwrap(), vec![2, 0]);
-        assert!(matches!(
-            s.project(&["label", "nope"]),
-            Err(ColumnarError::UnknownColumn { .. })
-        ));
+        assert!(matches!(s.project(&["label", "nope"]), Err(ColumnarError::UnknownColumn { .. })));
     }
 
     #[test]

@@ -56,9 +56,10 @@ impl ColumnStats {
         let rows = varint::read_u64(buf, pos)?;
         let elements = varint::read_u64(buf, pos)?;
         let has_minmax = {
-            let b = buf.get(*pos).copied().ok_or(crate::error::ColumnarError::UnexpectedEof {
-                context: "stats flag",
-            })?;
+            let b = buf
+                .get(*pos)
+                .copied()
+                .ok_or(crate::error::ColumnarError::UnexpectedEof { context: "stats flag" })?;
             *pos += 1;
             b == 1
         };
@@ -77,7 +78,7 @@ mod tests {
 
     #[test]
     fn stats_from_int_array() {
-        let s = ColumnStats::from_array(&Array::Int64(vec![3, -1, 7]));
+        let s = ColumnStats::from_array(&Array::Int64(vec![3, -1, 7].into()));
         assert_eq!(s.rows, 3);
         assert_eq!(s.elements, 3);
         assert_eq!(s.min_i64, Some(-1));
@@ -96,7 +97,7 @@ mod tests {
 
     #[test]
     fn stats_from_float_array_have_no_minmax() {
-        let s = ColumnStats::from_array(&Array::Float32(vec![1.0, 2.0]));
+        let s = ColumnStats::from_array(&Array::Float32(vec![1.0, 2.0].into()));
         assert_eq!(s.min_i64, None);
         assert_eq!(s.max_i64, None);
     }

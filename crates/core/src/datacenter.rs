@@ -173,10 +173,7 @@ mod tests {
         };
         let disagg = breaking_point(FleetKind::Disagg);
         let presto = breaking_point(FleetKind::Presto);
-        assert!(
-            presto > disagg,
-            "presto breaks at {presto} jobs, disagg at {disagg}"
-        );
+        assert!(presto > disagg, "presto breaks at {presto} jobs, disagg at {disagg}");
     }
 
     #[test]

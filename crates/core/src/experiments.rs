@@ -164,9 +164,7 @@ pub fn fig14() -> Vec<(String, usize, usize)> {
     let p = Provisioner::poc();
     RmConfig::all()
         .into_iter()
-        .map(|c| {
-            (c.name.clone(), p.isp_units_required(&c, 8), p.cpu_cores_required(&c, 8))
-        })
+        .map(|c| (c.name.clone(), p.isp_units_required(&c, 8), p.cpu_cores_required(&c, 8)))
         .collect()
 }
 
@@ -302,9 +300,8 @@ mod tests {
     #[test]
     fn fig11_presto_lands_between_disagg32_and_64() {
         for group in fig11() {
-            let get = |name: &str| {
-                group.bars.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap()
-            };
+            let get =
+                |name: &str| group.bars.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap();
             let presto = get("PreSto (SmartSSD)");
             assert!(presto > get("Disagg(32)"), "{}: presto {presto:.1}", group.model);
             assert!(presto < get("Disagg(64)"), "{}: presto {presto:.1}", group.model);
@@ -328,11 +325,7 @@ mod tests {
     #[test]
     fn fig16_presto_smartssd_has_best_perf_per_watt() {
         for group in fig16() {
-            let best = group
-                .entries
-                .iter()
-                .max_by(|a, b| a.2.partial_cmp(&b.2).unwrap())
-                .unwrap();
+            let best = group.entries.iter().max_by(|a, b| a.2.partial_cmp(&b.2).unwrap()).unwrap();
             assert_eq!(best.0, "PreSto (SmartSSD)", "{}", group.model);
         }
     }
@@ -341,8 +334,7 @@ mod tests {
     fn fig17_disagg_scales_presto_stays_robust() {
         let points = fig17();
         for op in OpKind::ALL {
-            let series: Vec<&Fig17Point> =
-                points.iter().filter(|p| p.op == op).collect();
+            let series: Vec<&Fig17Point> = points.iter().filter(|p| p.op == op).collect();
             assert_eq!(series.len(), 3);
             // Disagg latency grows ~linearly with feature count.
             let growth = series[2].disagg / series[0].disagg;

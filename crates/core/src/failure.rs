@@ -258,12 +258,8 @@ mod tests {
     #[test]
     fn no_failures_matches_healthy_run() {
         let gpu = GpuTrainModel::a100();
-        let healthy = crate::pipeline::simulate(
-            &exact_fleet(),
-            &gpu,
-            &RmConfig::rm5(),
-            &base_config(),
-        );
+        let healthy =
+            crate::pipeline::simulate(&exact_fleet(), &gpu, &RmConfig::rm5(), &base_config());
         let faulty = simulate_with_failures(
             &exact_fleet(),
             &gpu,

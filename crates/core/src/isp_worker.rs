@@ -90,7 +90,7 @@ impl IspWorker {
             let meta = reader.meta();
             let mut bytes = 0u64;
             for rg in &meta.row_groups {
-                for name in &needed {
+                for name in needed {
                     let idx = meta
                         .schema
                         .index_of(name)
@@ -144,9 +144,7 @@ impl IspWorker {
             let source = batch
                 .column(&spec.source_column)
                 .and_then(Array::as_float32)
-                .ok_or_else(|| PreprocessError::BadColumn {
-                    column: spec.source_column.clone(),
-                })?;
+                .ok_or_else(|| PreprocessError::BadColumn { column: spec.source_column.clone() })?;
             let mut out = Vec::with_capacity(rows);
             let mut staged: Vec<i64> = Vec::with_capacity(self.chunk_elems);
             for chunk in source.chunks(self.chunk_elems) {

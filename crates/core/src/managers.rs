@@ -12,9 +12,9 @@
 //!    [`crate::pipeline::simulate`].
 
 use presto_datagen::{RmConfig, WorkloadProfile};
+use presto_hwsim::cpu::CpuWorkerModel;
 use presto_hwsim::fpga::IspModel;
 use presto_hwsim::gpu::GpuTrainModel;
-use presto_hwsim::cpu::CpuWorkerModel;
 
 use crate::pipeline::{simulate, PipelineConfig, PipelineReport};
 use crate::systems::System;
@@ -91,8 +91,7 @@ impl PreprocessManager {
         let profile = WorkloadProfile::from_config(config);
         let per_device = match self.backend {
             Backend::DisaggCpu => {
-                System::DisaggCpu { cores: 1, cpu: self.cpu }
-                    .per_worker_throughput(&profile)
+                System::DisaggCpu { cores: 1, cpu: self.cpu }.per_worker_throughput(&profile)
             }
             Backend::PrestoSmartSsd => IspModel::smartssd().throughput(&profile),
             Backend::PrestoU280 => IspModel::u280_in_storage().throughput(&profile),
@@ -101,17 +100,11 @@ impl PreprocessManager {
         let system = match self.backend {
             Backend::DisaggCpu => System::disagg(devices),
             Backend::PrestoSmartSsd => System::presto_smartssd(devices),
-            Backend::PrestoU280 => System::Presto {
-                units: devices,
-                isp: IspModel::u280_in_storage(),
-            },
+            Backend::PrestoU280 => {
+                System::Presto { units: devices, isp: IspModel::u280_in_storage() }
+            }
         };
-        ProvisionOutcome {
-            system,
-            training_demand,
-            per_device_throughput: per_device,
-            devices,
-        }
+        ProvisionOutcome { system, training_demand, per_device_throughput: per_device, devices }
     }
 }
 

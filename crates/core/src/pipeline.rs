@@ -163,8 +163,7 @@ pub fn simulate(
         gpu_busy,
         gpu_utilization: if denom == 0.0 { 0.0 } else { (gpu_busy.seconds() / denom).min(1.0) },
         batches_trained: trained,
-        training_throughput: trained as f64 * profile.rows as f64
-            / window.seconds().max(1e-12),
+        training_throughput: trained as f64 * profile.rows as f64 / window.seconds().max(1e-12),
         peak_queue,
     }
 }

@@ -132,8 +132,7 @@ mod tests {
     #[test]
     fn core_requirements_grow_monotonically_with_model() {
         let p = Provisioner::poc();
-        let all: Vec<usize> =
-            RmConfig::all().iter().map(|c| p.cpu_cores_required(c, 8)).collect();
+        let all: Vec<usize> = RmConfig::all().iter().map(|c| p.cpu_cores_required(c, 8)).collect();
         for w in all.windows(2) {
             assert!(w[1] >= w[0], "core demand must not shrink: {all:?}");
         }

@@ -196,9 +196,7 @@ impl System {
                 cpu.throughput(profile, DataLocality::RemoteStorage)
                     * calib::cpu::COLOCATION_EFFICIENCY
             }
-            System::DisaggCpu { cpu, .. } => {
-                cpu.throughput(profile, DataLocality::RemoteStorage)
-            }
+            System::DisaggCpu { cpu, .. } => cpu.throughput(profile, DataLocality::RemoteStorage),
             System::GpuPool { gpu, net, .. } => {
                 let compute = gpu.batch_time(profile);
                 rows / compute.max(pool_net_stage(net, profile)).seconds()
@@ -252,12 +250,8 @@ impl System {
             System::DisaggCpu { cores, .. } => {
                 storage_baseline + CpuNodePower::xeon_node().fleet_power(*cores)
             }
-            System::GpuPool { cards, gpu, .. } => {
-                storage_baseline + gpu.power() * *cards as f64
-            }
-            System::FpgaPool { cards, isp, .. } => {
-                storage_baseline + isp.power() * *cards as f64
-            }
+            System::GpuPool { cards, gpu, .. } => storage_baseline + gpu.power() * *cards as f64,
+            System::FpgaPool { cards, isp, .. } => storage_baseline + isp.power() * *cards as f64,
             System::Presto { units, isp } => storage_node_power(*units, isp.power()),
         }
     }

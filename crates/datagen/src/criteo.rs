@@ -91,15 +91,15 @@ pub fn parse_tsv(text: &str) -> Result<RowBatch, ParseCriteoError> {
     let config = RmConfig::rm1();
     let schema = raw_schema(&config);
     let mut columns = Vec::with_capacity(schema.len());
-    columns.push(Array::Int64(labels));
+    columns.push(Array::Int64(labels.into()));
     for col in dense {
-        columns.push(Array::Float32(col));
+        columns.push(Array::Float32(col.into()));
     }
     for col in sparse {
-        columns.push(Array::from_lists(col).map_err(|e: ColumnarError| ParseCriteoError {
-            line: 0,
-            detail: e.to_string(),
-        })?);
+        columns.push(
+            Array::from_lists(col)
+                .map_err(|e: ColumnarError| ParseCriteoError { line: 0, detail: e.to_string() })?,
+        );
     }
     RowBatch::new(schema, columns).map_err(|e| ParseCriteoError { line: 0, detail: e.to_string() })
 }

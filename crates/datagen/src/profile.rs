@@ -81,11 +81,7 @@ impl WorkloadProfile {
         let rows = batch.rows() as u64;
         let dense_values = rows * config.num_dense as u64;
         let sparse_values: u64 = (0..config.num_sparse)
-            .map(|i| {
-                batch
-                    .column(&format!("sparse_{i}"))
-                    .map_or(0, |c| c.element_count() as u64)
-            })
+            .map(|i| batch.column(&format!("sparse_{i}")).map_or(0, |c| c.element_count() as u64))
             .sum();
         let generated_values = rows * config.num_generated as u64;
         Self::assemble(config, rows, dense_values, sparse_values, generated_values, encoded_bytes)
@@ -187,9 +183,6 @@ mod tests {
     #[test]
     fn transform_values_sums_components() {
         let p = WorkloadProfile::from_config(&RmConfig::rm3());
-        assert_eq!(
-            p.transform_values(),
-            p.dense_values + p.sparse_values + p.generated_values
-        );
+        assert_eq!(p.transform_values(), p.dense_values + p.sparse_values + p.generated_values);
     }
 }

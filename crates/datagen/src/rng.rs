@@ -26,11 +26,8 @@ impl DataRng {
     /// labels do not correlate and different parents stay independent.
     #[must_use]
     pub fn derive(&self, label: u64) -> Self {
-        let mut z = self
-            .seed
-            .rotate_left(17)
-            .wrapping_add(label)
-            .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut z =
+            self.seed.rotate_left(17).wrapping_add(label).wrapping_mul(0x9e37_79b9_7f4a_7c15);
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
         z ^= z >> 31;

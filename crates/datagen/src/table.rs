@@ -215,15 +215,13 @@ mod tests {
     fn row_batch_rejects_inconsistency() {
         let s = Schema::new(vec![Field::new("a", DataType::Int64)]).unwrap();
         assert!(RowBatch::new(s.clone(), vec![]).is_err());
-        assert!(RowBatch::new(s.clone(), vec![Array::Float32(vec![1.0])]).is_err());
-        let s2 = Schema::new(vec![
-            Field::new("a", DataType::Int64),
-            Field::new("b", DataType::Int64),
-        ])
-        .unwrap();
+        assert!(RowBatch::new(s.clone(), vec![Array::Float32(vec![1.0].into())]).is_err());
+        let s2 =
+            Schema::new(vec![Field::new("a", DataType::Int64), Field::new("b", DataType::Int64)])
+                .unwrap();
         assert!(RowBatch::new(
             s2,
-            vec![Array::Int64(vec![1]), Array::Int64(vec![1, 2])]
+            vec![Array::Int64(vec![1].into()), Array::Int64(vec![1, 2].into())]
         )
         .is_err());
     }

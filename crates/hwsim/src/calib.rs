@@ -206,7 +206,9 @@ mod tests {
     #[allow(clippy::assertions_on_constants)]
     #[test]
     fn constants_are_physically_sane() {
-        assert!(super::cpu::COLOCATION_EFFICIENCY > 0.0 && super::cpu::COLOCATION_EFFICIENCY <= 1.0);
+        assert!(
+            super::cpu::COLOCATION_EFFICIENCY > 0.0 && super::cpu::COLOCATION_EFFICIENCY <= 1.0
+        );
         assert!(super::smartssd::POWER_W <= 25.0, "must stay in the U.2 envelope");
         assert!(super::u280::POWER_W > super::smartssd::POWER_W);
         assert!(super::a100::POWER_W >= super::u280::POWER_W);

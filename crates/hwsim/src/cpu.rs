@@ -82,9 +82,9 @@ impl CpuWorkerModel {
             Secs::from_nanos(profile.sparse_values as f64 * calib::cpu::HASH_NS_PER_ELEM);
         let log = Secs::from_nanos(profile.dense_values as f64 * calib::cpu::LOG_NS_PER_ELEM);
 
-        let format = Secs::from_nanos(
-            profile.transform_values() as f64 * calib::cpu::FORMAT_NS_PER_ELEM,
-        ) + self.copy_bw.time_for(profile.tensor_bytes);
+        let format =
+            Secs::from_nanos(profile.transform_values() as f64 * calib::cpu::FORMAT_NS_PER_ELEM)
+                + self.copy_bw.time_for(profile.tensor_bytes);
 
         let other = Secs::new(calib::cpu::ELSE_FIXED_SECS)
             + Secs::from_nanos(profile.transform_values() as f64 * calib::cpu::ELSE_NS_PER_ELEM);

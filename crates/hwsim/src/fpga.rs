@@ -178,9 +178,8 @@ impl IspModel {
             // Remote copy-in is priced by the caller's network model.
             FeedPath::Remote => Secs::ZERO,
         };
-        let extract_decode = Secs::new(
-            profile.raw_bytes as f64 / (self.clock_hz * self.decode_bytes_per_cycle),
-        );
+        let extract_decode =
+            Secs::new(profile.raw_bytes as f64 / (self.clock_hz * self.decode_bytes_per_cycle));
         // With double buffering (Sec. IV-C) each unit's DRAM fetch of the
         // next feature chunk overlaps the current chunk's compute; without
         // it the fetch serializes with compute (input read + output write,
@@ -198,9 +197,8 @@ impl IspModel {
         let sigridhash = Secs::new(
             profile.sparse_values as f64 / self.unit_rate(self.sigridhash_elems_per_cycle),
         ) + fetch_penalty(profile.sparse_values);
-        let log =
-            Secs::new(profile.dense_values as f64 / self.unit_rate(self.log_elems_per_cycle))
-                + fetch_penalty(profile.dense_values);
+        let log = Secs::new(profile.dense_values as f64 / self.unit_rate(self.log_elems_per_cycle))
+            + fetch_penalty(profile.dense_values);
         // Output assembly writes the train-ready tensors through card DRAM.
         let format = self.dram_bw.time_for(profile.tensor_bytes);
         // Handing buffers to the NIC/host DMA engine.
@@ -230,17 +228,10 @@ impl IspModel {
     #[must_use]
     pub fn throughput(&self, profile: &WorkloadProfile) -> f64 {
         let b = self.stage_breakdown(profile);
-        let bottleneck = [
-            b.extract_read,
-            b.extract_decode,
-            b.bucketize,
-            b.sigridhash,
-            b.log,
-            b.format,
-            b.load,
-        ]
-        .into_iter()
-        .fold(Secs::ZERO, Secs::max);
+        let bottleneck =
+            [b.extract_read, b.extract_decode, b.bucketize, b.sigridhash, b.log, b.format, b.load]
+                .into_iter()
+                .fold(Secs::ZERO, Secs::max);
         profile.rows as f64 / bottleneck.seconds()
     }
 }
@@ -267,10 +258,38 @@ pub struct UnitResources {
 #[must_use]
 pub fn table2_resources() -> Vec<UnitResources> {
     vec![
-        UnitResources { unit: "Decode", lut_pct: 18.84, reg_pct: 8.49, bram_pct: 25.08, uram_pct: 0.0, dsp_pct: 0.0 },
-        UnitResources { unit: "Bucketize", lut_pct: 7.88, reg_pct: 4.28, bram_pct: 6.19, uram_pct: 27.59, dsp_pct: 0.0 },
-        UnitResources { unit: "SigridHash", lut_pct: 23.11, reg_pct: 12.47, bram_pct: 11.89, uram_pct: 0.0, dsp_pct: 19.19 },
-        UnitResources { unit: "Log", lut_pct: 4.18, reg_pct: 2.79, bram_pct: 4.89, uram_pct: 0.0, dsp_pct: 10.62 },
+        UnitResources {
+            unit: "Decode",
+            lut_pct: 18.84,
+            reg_pct: 8.49,
+            bram_pct: 25.08,
+            uram_pct: 0.0,
+            dsp_pct: 0.0,
+        },
+        UnitResources {
+            unit: "Bucketize",
+            lut_pct: 7.88,
+            reg_pct: 4.28,
+            bram_pct: 6.19,
+            uram_pct: 27.59,
+            dsp_pct: 0.0,
+        },
+        UnitResources {
+            unit: "SigridHash",
+            lut_pct: 23.11,
+            reg_pct: 12.47,
+            bram_pct: 11.89,
+            uram_pct: 0.0,
+            dsp_pct: 19.19,
+        },
+        UnitResources {
+            unit: "Log",
+            lut_pct: 4.18,
+            reg_pct: 2.79,
+            bram_pct: 4.89,
+            uram_pct: 0.0,
+            dsp_pct: 10.62,
+        },
     ]
 }
 

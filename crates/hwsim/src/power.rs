@@ -39,9 +39,7 @@ impl CpuNodePower {
     #[must_use]
     pub fn power_with_busy_cores(&self, busy_cores: usize) -> Watts {
         let frac = (busy_cores.min(self.cores)) as f64 / self.cores as f64;
-        Watts::new(
-            self.idle.raw() + (self.active.raw() - self.idle.raw()) * frac,
-        )
+        Watts::new(self.idle.raw() + (self.active.raw() - self.idle.raw()) * frac)
     }
 
     /// Power of a fleet large enough to host `total_cores` busy cores
@@ -89,10 +87,7 @@ mod tests {
     #[test]
     fn busy_cores_clamp_at_node_size() {
         let node = CpuNodePower::xeon_node();
-        assert_eq!(
-            node.power_with_busy_cores(99).raw(),
-            node.power_with_busy_cores(32).raw()
-        );
+        assert_eq!(node.power_with_busy_cores(99).raw(), node.power_with_busy_cores(32).raw());
     }
 
     #[test]
@@ -103,10 +98,9 @@ mod tests {
         assert_eq!(node.nodes_for(32), 1);
         assert_eq!(node.nodes_for(33), 2);
         assert_eq!(node.nodes_for(367), 12); // the paper's RM5 fleet
-        // 367 cores: 11 full nodes + 15 busy cores on the 12th.
+                                             // 367 cores: 11 full nodes + 15 busy cores on the 12th.
         let p = node.fleet_power(367);
-        let expected =
-            11.0 * node_power::CPU_NODE_ACTIVE_W + node.power_with_busy_cores(15).raw();
+        let expected = 11.0 * node_power::CPU_NODE_ACTIVE_W + node.power_with_busy_cores(15).raw();
         assert!((p.raw() - expected).abs() < 1e-9);
     }
 

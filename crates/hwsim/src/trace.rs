@@ -111,11 +111,9 @@ pub fn characterize_op(
     // batch. Stream each region once, line by line.
     let input_bytes = decoded_batch_bytes(config, rows);
     let (out_bytes, scratch_bytes) = op_buffer_bytes(config, op, rows);
-    for (base, len) in [
-        (SCRATCH_BASE, scratch_bytes),
-        (OUTPUT_BASE, out_bytes),
-        (INPUT_BASE, input_bytes),
-    ] {
+    for (base, len) in
+        [(SCRATCH_BASE, scratch_bytes), (OUTPUT_BASE, out_bytes), (INPUT_BASE, input_bytes)]
+    {
         let mut addr = base;
         while addr < base + len {
             sim.access(addr);
@@ -167,9 +165,7 @@ fn decoded_batch_bytes(config: &RmConfig, rows: usize) -> u64 {
 fn op_buffer_bytes(config: &RmConfig, op: OpKind, rows: usize) -> (u64, u64) {
     let out = match op {
         OpKind::Bucketize => (rows * config.num_generated * 8) as u64,
-        OpKind::SigridHash => {
-            (rows * config.num_sparse * config.avg_sparse_len * 8) as u64
-        }
+        OpKind::SigridHash => (rows * config.num_sparse * config.avg_sparse_len * 8) as u64,
         OpKind::Log => (rows * config.num_dense * 4) as u64,
     };
     (out, out * INTERMEDIATE_PASSES as u64)
@@ -215,12 +211,7 @@ fn trace_bucketize(config: &RmConfig, rows: usize, sim: &mut CacheSim) -> u64 {
 }
 
 /// SigridHash / Log: stream input, write output, plus intermediate passes.
-fn trace_streaming_op(
-    config: &RmConfig,
-    op: OpKind,
-    rows: usize,
-    sim: &mut CacheSim,
-) -> u64 {
+fn trace_streaming_op(config: &RmConfig, op: OpKind, rows: usize, sim: &mut CacheSim) -> u64 {
     let (input_base, input_bytes, elements) = match op {
         OpKind::SigridHash => {
             let dense_bytes = (config.num_dense * rows * 4) as u64;
@@ -297,7 +288,11 @@ mod tests {
                 a.mem_bw_utilization
             );
             assert!(b.mem_bw_utilization < 0.15, "{op}: RM5 bw {:.3}", b.mem_bw_utilization);
-            assert!(b.mem_bw_utilization > 0.005, "{op}: RM5 bw {:.4} invisible", b.mem_bw_utilization);
+            assert!(
+                b.mem_bw_utilization > 0.005,
+                "{op}: RM5 bw {:.4} invisible",
+                b.mem_bw_utilization
+            );
         }
     }
 

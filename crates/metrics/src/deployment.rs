@@ -43,8 +43,7 @@ impl Deployment {
         let capex_usd = nodes as f64 * capex::CPU_NODE_USD
             + capex::CPU_NODE_USD // the storage node itself
             + plain_ssds as f64 * capex::PLAIN_SSD_USD;
-        let power =
-            Watts::new(node_power::STORAGE_NODE_W) + node.fleet_power(cores);
+        let power = Watts::new(node_power::STORAGE_NODE_W) + node.fleet_power(cores);
         Deployment {
             name: format!("Disagg({cores})"),
             cpu_cores: cores,
@@ -60,10 +59,9 @@ impl Deployment {
     #[must_use]
     pub fn presto(provisioner: &Provisioner, config: &RmConfig, num_gpus: usize) -> Self {
         let units = provisioner.isp_units_required(config, num_gpus);
-        let capex_usd =
-            capex::CPU_NODE_USD + units as f64 * capex::SMARTSSD_USD;
-        let power = Watts::new(node_power::STORAGE_NODE_W)
-            + provisioner.isp().power() * units as f64;
+        let capex_usd = capex::CPU_NODE_USD + units as f64 * capex::SMARTSSD_USD;
+        let power =
+            Watts::new(node_power::STORAGE_NODE_W) + provisioner.isp().power() * units as f64;
         Deployment {
             name: format!("PreSto({units})"),
             cpu_cores: 0,
@@ -126,8 +124,7 @@ mod tests {
     fn presto_capex_is_storage_node_plus_cards() {
         let p = Provisioner::poc();
         let presto = Deployment::presto(&p, &RmConfig::rm1(), 8);
-        let expected = capex::CPU_NODE_USD
-            + presto.smartssd_cards as f64 * capex::SMARTSSD_USD;
+        let expected = capex::CPU_NODE_USD + presto.smartssd_cards as f64 * capex::SMARTSSD_USD;
         assert!((presto.capex_usd - expected).abs() < 1e-9);
     }
 

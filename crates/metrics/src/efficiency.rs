@@ -32,7 +32,11 @@ pub struct EfficiencyComparison {
 
 /// Computes the Fig. 15 comparison for one model feeding `num_gpus` GPUs.
 #[must_use]
-pub fn compare(provisioner: &Provisioner, config: &RmConfig, num_gpus: usize) -> EfficiencyComparison {
+pub fn compare(
+    provisioner: &Provisioner,
+    config: &RmConfig,
+    num_gpus: usize,
+) -> EfficiencyComparison {
     let disagg = Deployment::disagg(provisioner, config, num_gpus);
     let presto = Deployment::presto(provisioner, config, num_gpus);
     let energy_efficiency_gain = disagg.power.raw() / presto.power.raw();
@@ -105,15 +109,12 @@ mod tests {
         let p = Provisioner::poc();
         let row = compare(&p, &RmConfig::rm3(), 8);
         assert!(
-            (row.energy_efficiency_gain
-                - row.disagg.power.raw() / row.presto.power.raw())
-            .abs()
+            (row.energy_efficiency_gain - row.disagg.power.raw() / row.presto.power.raw()).abs()
                 < 1e-12
         );
         assert!(
-            (row.cost_efficiency_gain
-                - row.disagg.total_cost_usd() / row.presto.total_cost_usd())
-            .abs()
+            (row.cost_efficiency_gain - row.disagg.total_cost_usd() / row.presto.total_cost_usd())
+                .abs()
                 < 1e-12
         );
     }

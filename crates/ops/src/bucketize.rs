@@ -120,8 +120,12 @@ impl Bucketizer {
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
         let mut boundaries = Vec::with_capacity(m);
         for i in 1..=m {
-            let idx = (i * (sorted.len() - 1)) / (m + 1);
-            let candidate = sorted[idx];
+            // Cut point i sits at rank i·n/(m+1), so the m cuts split the
+            // sample into m+1 equal-mass buckets. (A previous formula used
+            // i·(n−1)/(m+1), which never reaches the top of the sample and
+            // starved the last bucket; see `quantiles_reach_sample_top`.)
+            let idx = (i * sorted.len()) / (m + 1);
+            let candidate = sorted[idx.min(sorted.len() - 1)];
             if boundaries.last().is_none_or(|&last| candidate > last) {
                 boundaries.push(candidate);
             }
@@ -152,17 +156,43 @@ impl Bucketizer {
         self.boundaries.partition_point(|&b| b <= value) as i64
     }
 
+    /// Branchless id computation for small boundary arrays: counts
+    /// `boundaries[j] <= value` with a data-independent loop the compiler
+    /// can vectorize. Equivalent to [`Bucketizer::bucket_id`] (NaN compares
+    /// false everywhere, so NaN still lands in bucket 0).
+    #[inline]
+    fn bucket_id_small(&self, value: f32) -> i64 {
+        self.boundaries.iter().map(|&b| i64::from(b <= value)).sum()
+    }
+
+    /// Boundary count at or below which the branchless linear scan beats
+    /// binary search (no branch mispredicts, one cache line of boundaries).
+    /// Above the threshold, speculative binary search (`partition_point`)
+    /// wins: a fully branchless cmov search was measured ~5× slower at
+    /// `m = 1024` because it serializes the load chain and forfeits
+    /// memory-level parallelism.
+    const SMALL_M: usize = 16;
+
     /// Bucketizes a full dense column (the Algorithm 1 loop).
     #[must_use]
     pub fn apply(&self, values: &[f32]) -> Vec<i64> {
-        values.iter().map(|&v| self.bucket_id(v)).collect()
+        let mut out = Vec::new();
+        self.apply_into(values, &mut out);
+        out
     }
 
     /// Bucketizes into a caller-provided buffer, reusing its capacity.
+    ///
+    /// Dispatches to the branchless linear scan for small `m` and to binary
+    /// search otherwise; both produce identical ids.
     pub fn apply_into(&self, values: &[f32], out: &mut Vec<i64>) {
         out.clear();
         out.reserve(values.len());
-        out.extend(values.iter().map(|&v| self.bucket_id(v)));
+        if self.boundaries.len() <= Self::SMALL_M {
+            out.extend(values.iter().map(|&v| self.bucket_id_small(v)));
+        } else {
+            out.extend(values.iter().map(|&v| self.bucket_id(v)));
+        }
     }
 }
 
@@ -244,6 +274,74 @@ mod tests {
         let max = *counts.iter().max().unwrap();
         let min = *counts.iter().filter(|&&c| c > 0).min().unwrap();
         assert!(max < min * 4, "bucket skew: max {max} min {min}");
+    }
+
+    #[test]
+    fn quantiles_reach_sample_top() {
+        // Regression: with m cuts over n = m + 1 distinct values, every
+        // value must become its own bucket — including the top one. The old
+        // index formula ((i * (n - 1)) / (m + 1)) stopped one short and
+        // merged the two largest values into one bucket.
+        let sample: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        let b = Bucketizer::from_quantiles(&sample, 9).unwrap();
+        assert_eq!(b.boundaries(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]);
+        // The top value is separated from its neighbor.
+        assert_ne!(b.bucket_id(9.0), b.bucket_id(8.0));
+    }
+
+    #[test]
+    fn quantile_last_bucket_is_not_starved() {
+        // With a uniform sample, the mass above the last cut must be about
+        // one bucket's worth, not two.
+        let sample: Vec<f32> = (0..1000).map(|i| i as f32).collect();
+        let m = 4;
+        let b = Bucketizer::from_quantiles(&sample, m).unwrap();
+        let ids = b.apply(&sample);
+        let top = ids.iter().filter(|&&id| id == m as i64).count();
+        let expected = sample.len() / (m + 1);
+        assert!(
+            top <= expected + expected / 2,
+            "last bucket got {top} of {} samples, expected ~{expected}",
+            sample.len()
+        );
+    }
+
+    #[test]
+    fn large_m_apply_matches_bucket_id() {
+        // Large-m apply path vs the scalar reference, across
+        // non-power-of-two sizes and boundary-exact values.
+        for m in [17usize, 100, 1023, 1024, 1025] {
+            let boundaries: Vec<f32> = (0..m).map(|i| i as f32 * 3.5).collect();
+            let b = Bucketizer::new(boundaries).unwrap();
+            let mut probes: Vec<f32> = (0..2 * m).map(|i| i as f32 * 1.75 - 10.0).collect();
+            probes.extend([f32::NAN, f32::INFINITY, f32::NEG_INFINITY, -1e30, 1e30]);
+            let expected: Vec<i64> = probes.iter().map(|&v| b.bucket_id(v)).collect();
+            assert_eq!(b.apply(&probes), expected, "m={m}");
+        }
+    }
+
+    #[test]
+    fn small_and_large_m_paths_agree() {
+        // Straddle the SMALL_M dispatch threshold with shared inputs.
+        let values: Vec<f32> = (-50..50).map(|i| i as f32 * 7.31).collect();
+        for m in [1usize, 2, 15, 16, 17, 64] {
+            let boundaries: Vec<f32> = (0..m).map(|i| i as f32 * 11.0 - 100.0).collect();
+            let b = Bucketizer::new(boundaries).unwrap();
+            for &v in &values {
+                let linear = b.boundaries().iter().filter(|&&x| x <= v).count() as i64;
+                assert_eq!(b.bucket_id(v), linear, "m={m} v={v}");
+            }
+            let applied = b.apply(&values);
+            let expected: Vec<i64> = values.iter().map(|&v| b.bucket_id(v)).collect();
+            assert_eq!(applied, expected, "m={m}");
+        }
+    }
+
+    #[test]
+    fn small_path_handles_nan_and_infinities() {
+        let b = Bucketizer::new(vec![0.0, 1.0]).unwrap();
+        let out = b.apply(&[f32::NAN, f32::NEG_INFINITY, f32::INFINITY]);
+        assert_eq!(out, vec![0, 0, 2]);
     }
 
     #[test]

@@ -117,11 +117,7 @@ pub fn hash_deduped(
 ///
 /// Panics when `window == 0`.
 #[must_use]
-pub fn inject_duplication(
-    offsets: &[u32],
-    values: &[i64],
-    window: usize,
-) -> (Vec<u32>, Vec<i64>) {
+pub fn inject_duplication(offsets: &[u32], values: &[i64], window: usize) -> (Vec<u32>, Vec<i64>) {
     assert!(window > 0, "duplication window must be positive");
     let rows = offsets.len() - 1;
     let mut out_offsets = vec![0u32];

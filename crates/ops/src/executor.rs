@@ -5,11 +5,33 @@
 //! the actual kernels. The timings it reports are host-CPU measurements used
 //! by the criterion benches; the paper-scale performance projections come
 //! from `presto-hwsim` instead.
+//!
+//! # The allocation-free hot path
+//!
+//! PreSto's motivating observation (Section II-B/II-D) is that host-side
+//! preprocessing is dominated by memory traffic, so the executor is built to
+//! avoid per-batch copies and allocations in steady state:
+//!
+//! * [`ScratchSpace`] owns every reusable buffer — the Extract chunk buffer
+//!   and one output buffer per transform column. A worker that keeps its
+//!   scratch across partitions performs **zero heap allocation** inside the
+//!   transform kernel loop once the buffers are warm (asserted by the
+//!   counting-allocator test in `tests/alloc_free.rs`).
+//! * [`preprocess_partition_with`] consumes the decoded columns instead of
+//!   copying them: SigridHash and Log normalize **in place** on the uniquely
+//!   owned decode buffers, and labels/offsets move into the mini-batch
+//!   without a copy (see [`presto_columnar::Buffer`]).
+//! * [`transform_batch_into`] is the borrowed-batch variant used by
+//!   [`preprocess_batch_with`]: kernels write into the scratch pools through
+//!   `apply_into` / `log_normalize_into`.
+//!
+//! Both variants are bit-identical to the straightforward allocating kernels
+//! (`apply`); property tests in `tests/` pin that equivalence.
 
 use crate::lognorm;
 use crate::minibatch::{DenseMatrix, JaggedFeature, MiniBatch, ShapeError};
 use crate::plan::PreprocessPlan;
-use presto_columnar::{Array, BlobRead, ColumnarError, FileReader};
+use presto_columnar::{Array, BlobRead, ColumnarError, FileReader, ReadScratch};
 use presto_datagen::RowBatch;
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -87,7 +109,167 @@ impl StageTimings {
     }
 }
 
+/// Reusable per-worker buffers for the preprocessing hot path.
+///
+/// One `ScratchSpace` per worker thread turns the whole
+/// Extract → Transform loop into recycled-memory operation:
+///
+/// * `read` stages column-chunk bytes for backends that cannot expose their
+///   storage directly (see [`presto_columnar::ReadScratch`]);
+/// * `generated` / `hashed` / `dense` hold one output buffer per transform
+///   column, written through the kernels' `apply_into` /
+///   `log_normalize_into` variants.
+///
+/// Buffers grow to the high-water mark of the workload and are then reused
+/// verbatim: processing the Nth same-shaped partition allocates nothing in
+/// the kernel loop.
+#[derive(Debug, Default)]
+pub struct ScratchSpace {
+    read: ReadScratch,
+    // Pools only ever grow (high-water-mark reuse); the `*_len` counts
+    // record how many slots the *last* transform actually wrote, so the
+    // accessors never expose stale trailing columns after a plan switch.
+    generated: Vec<Vec<i64>>,
+    generated_len: usize,
+    hashed: Vec<Vec<i64>>,
+    hashed_len: usize,
+    dense: Vec<Vec<f32>>,
+    dense_len: usize,
+}
+
+impl ScratchSpace {
+    /// Creates an empty scratch space; buffers are grown on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        ScratchSpace::default()
+    }
+
+    /// The Extract-stage chunk buffer.
+    pub fn read_scratch(&mut self) -> &mut ReadScratch {
+        &mut self.read
+    }
+
+    /// Bucketize outputs of the last [`transform_batch_into`] call, one per
+    /// generated spec.
+    #[must_use]
+    pub fn generated(&self) -> &[Vec<i64>] {
+        &self.generated[..self.generated_len]
+    }
+
+    /// SigridHash outputs of the last [`transform_batch_into`] call, one per
+    /// sparse spec.
+    #[must_use]
+    pub fn hashed(&self) -> &[Vec<i64>] {
+        &self.hashed[..self.hashed_len]
+    }
+
+    /// Log-normalization outputs of the last [`transform_batch_into`] call,
+    /// one per dense column.
+    #[must_use]
+    pub fn dense(&self) -> &[Vec<f32>] {
+        &self.dense[..self.dense_len]
+    }
+
+    /// Ensures `pool` has `n` slots, allocating only on first growth.
+    fn ensure_slots<T>(pool: &mut Vec<Vec<T>>, n: usize) {
+        if pool.len() < n {
+            pool.resize_with(n, Vec::new);
+        }
+    }
+}
+
+/// Runs the three Transform kernels over a borrowed batch, writing every
+/// output into `scratch` (no other side effects).
+///
+/// This is the allocation-free core: with a warm scratch, repeated calls on
+/// same-shaped batches perform zero heap allocation. Results are read back
+/// via [`ScratchSpace::generated`] / [`ScratchSpace::hashed`] /
+/// [`ScratchSpace::dense`], laid out in plan order.
+///
+/// # Errors
+///
+/// Returns [`PreprocessError::BadColumn`] when the batch lacks a column the
+/// plan requires.
+pub fn transform_batch_into(
+    plan: &PreprocessPlan,
+    batch: &RowBatch,
+    scratch: &mut ScratchSpace,
+) -> Result<StageTimings, PreprocessError> {
+    let mut timings = StageTimings::default();
+    scratch.generated_len = plan.generated_specs().len();
+    scratch.hashed_len = plan.sparse_specs().len();
+    scratch.dense_len = plan.dense_columns().len();
+
+    // Feature generation: Bucketize dense sources into new sparse features.
+    let t0 = Instant::now();
+    ScratchSpace::ensure_slots(&mut scratch.generated, plan.generated_specs().len());
+    for (spec, out) in plan.generated_specs().iter().zip(&mut scratch.generated) {
+        let source = batch
+            .column(&spec.source_column)
+            .and_then(Array::as_float32)
+            .ok_or_else(|| PreprocessError::BadColumn { column: spec.source_column.clone() })?;
+        spec.bucketizer.apply_into(source, out);
+    }
+    timings.bucketize = t0.elapsed();
+
+    // Sparse normalization: SigridHash each raw sparse feature.
+    let t0 = Instant::now();
+    ScratchSpace::ensure_slots(&mut scratch.hashed, plan.sparse_specs().len());
+    for (spec, out) in plan.sparse_specs().iter().zip(&mut scratch.hashed) {
+        let (_, values) = batch
+            .column(&spec.column)
+            .and_then(Array::as_list_int64)
+            .ok_or_else(|| PreprocessError::BadColumn { column: spec.column.clone() })?;
+        spec.hasher.apply_into(values, out);
+    }
+    timings.sigridhash = t0.elapsed();
+
+    // Dense normalization: Log over every dense column.
+    let t0 = Instant::now();
+    ScratchSpace::ensure_slots(&mut scratch.dense, plan.dense_columns().len());
+    for (name, out) in plan.dense_columns().iter().zip(&mut scratch.dense) {
+        let col = batch
+            .column(name)
+            .and_then(Array::as_float32)
+            .ok_or_else(|| PreprocessError::BadColumn { column: name.clone() })?;
+        lognorm::log_normalize_into(col, out);
+    }
+    timings.log = t0.elapsed();
+
+    Ok(timings)
+}
+
+/// Format conversion shared by every batch path: row-major dense matrix,
+/// jagged sparse features in plan order, then the generated features with
+/// identity-ramp offsets (one id per row).
+fn assemble_mini_batch(
+    plan: &PreprocessPlan,
+    labels: Vec<i64>,
+    dense_norm: &[Vec<f32>],
+    hashed: Vec<(Vec<u32>, Vec<i64>)>,
+    generated: Vec<Vec<i64>>,
+) -> Result<MiniBatch, PreprocessError> {
+    let rows = labels.len();
+    let dense = DenseMatrix::from_columns(dense_norm, rows)?;
+    let mut sparse = Vec::with_capacity(hashed.len() + generated.len());
+    for (spec, (offsets, values)) in plan.sparse_specs().iter().zip(hashed) {
+        sparse.push(JaggedFeature { name: spec.column.clone(), offsets, values });
+    }
+    for (spec, ids) in plan.generated_specs().iter().zip(generated) {
+        // One id per row: offsets are the identity ramp.
+        let offsets: Vec<u32> = (0..=rows as u32).collect();
+        sparse.push(JaggedFeature { name: spec.name.clone(), offsets, values: ids });
+    }
+    Ok(MiniBatch::new(labels, dense, sparse)?)
+}
+
 /// Preprocesses an already-decoded row batch (Transform + format conversion).
+///
+/// One-shot path: kernel outputs are allocated exactly once at their final
+/// size and move into the mini-batch. Callers in a steady-state loop should
+/// prefer [`preprocess_batch_with`] (bounded allocation via scratch) or
+/// [`preprocess_batch_owned`] (in-place transforms); all three produce
+/// bit-identical output.
 ///
 /// # Errors
 ///
@@ -104,31 +286,28 @@ pub fn preprocess_batch(
         .and_then(Array::as_int64)
         .ok_or_else(|| PreprocessError::BadColumn { column: "label".into() })?
         .to_vec();
-    let rows = labels.len();
 
     // Feature generation: Bucketize dense sources into new sparse features.
     let t0 = Instant::now();
-    let mut generated: Vec<(String, Vec<i64>)> =
-        Vec::with_capacity(plan.generated_specs().len());
+    let mut generated: Vec<Vec<i64>> = Vec::with_capacity(plan.generated_specs().len());
     for spec in plan.generated_specs() {
         let source = batch
             .column(&spec.source_column)
             .and_then(Array::as_float32)
             .ok_or_else(|| PreprocessError::BadColumn { column: spec.source_column.clone() })?;
-        generated.push((spec.name.clone(), spec.bucketizer.apply(source)));
+        generated.push(spec.bucketizer.apply(source));
     }
     timings.bucketize = t0.elapsed();
 
     // Sparse normalization: SigridHash each raw sparse feature.
     let t0 = Instant::now();
-    let mut hashed: Vec<(String, Vec<u32>, Vec<i64>)> =
-        Vec::with_capacity(plan.sparse_specs().len());
+    let mut hashed: Vec<(Vec<u32>, Vec<i64>)> = Vec::with_capacity(plan.sparse_specs().len());
     for spec in plan.sparse_specs() {
         let (offsets, values) = batch
             .column(&spec.column)
             .and_then(Array::as_list_int64)
             .ok_or_else(|| PreprocessError::BadColumn { column: spec.column.clone() })?;
-        hashed.push((spec.column.clone(), offsets.to_vec(), spec.hasher.apply(values)));
+        hashed.push((offsets.to_vec(), spec.hasher.apply(values)));
     }
     timings.sigridhash = t0.elapsed();
 
@@ -146,17 +325,149 @@ pub fn preprocess_batch(
 
     // Format conversion: row-major dense + jagged sparse + generated.
     let t0 = Instant::now();
-    let dense = DenseMatrix::from_columns(&dense_norm, rows)?;
-    let mut sparse = Vec::with_capacity(hashed.len() + generated.len());
-    for (name, offsets, values) in hashed {
-        sparse.push(JaggedFeature { name, offsets, values });
+    let mini_batch = assemble_mini_batch(plan, labels, &dense_norm, hashed, generated)?;
+    timings.format = t0.elapsed();
+
+    Ok((mini_batch, timings))
+}
+
+/// Like [`preprocess_batch`], threading kernel outputs through a reusable
+/// [`ScratchSpace`] so the transform loop itself allocates nothing once the
+/// scratch is warm. Only the final mini-batch assembly allocates (its
+/// buffers are the returned value and cannot be recycled).
+///
+/// # Errors
+///
+/// Same as [`preprocess_batch`].
+pub fn preprocess_batch_with(
+    plan: &PreprocessPlan,
+    batch: &RowBatch,
+    scratch: &mut ScratchSpace,
+) -> Result<(MiniBatch, StageTimings), PreprocessError> {
+    let labels = batch
+        .column("label")
+        .and_then(Array::as_int64)
+        .ok_or_else(|| PreprocessError::BadColumn { column: "label".into() })?
+        .to_vec();
+    let mut timings = transform_batch_into(plan, batch, scratch)?;
+
+    // Format conversion: copy the scratch outputs into owned buffers (they
+    // must outlive the scratch) and assemble.
+    let t0 = Instant::now();
+    let hashed = plan
+        .sparse_specs()
+        .iter()
+        .zip(scratch.hashed())
+        .map(|(spec, values)| {
+            let (offsets, _) = batch
+                .column(&spec.column)
+                .and_then(Array::as_list_int64)
+                .ok_or_else(|| PreprocessError::BadColumn { column: spec.column.clone() })?;
+            Ok((offsets.to_vec(), values.clone()))
+        })
+        .collect::<Result<Vec<_>, PreprocessError>>()?;
+    let generated: Vec<Vec<i64>> = scratch.generated().to_vec();
+    let mini_batch = assemble_mini_batch(plan, labels, scratch.dense(), hashed, generated)?;
+    timings.format = t0.elapsed();
+
+    Ok((mini_batch, timings))
+}
+
+/// Moves `columns[index_of(name)]` out of the batch, leaving an empty array.
+fn take_column(
+    schema: &presto_columnar::Schema,
+    columns: &mut [Array],
+    name: &str,
+) -> Option<Array> {
+    let idx = schema.index_of(name)?;
+    let dt = columns[idx].data_type();
+    Some(std::mem::replace(&mut columns[idx], Array::empty(dt)))
+}
+
+/// Preprocesses a batch it *owns*: kernels run in place on the uniquely
+/// owned column buffers and results move into the mini-batch without
+/// copying. This is the fast path [`preprocess_partition_with`] takes after
+/// decoding — identical output to [`preprocess_batch`], fewer allocations
+/// and about half the transform memory traffic.
+///
+/// # Errors
+///
+/// Same as [`preprocess_batch`].
+pub fn preprocess_batch_owned(
+    plan: &PreprocessPlan,
+    batch: RowBatch,
+) -> Result<(MiniBatch, StageTimings), PreprocessError> {
+    let mut timings = StageTimings::default();
+    let (schema, mut columns) = batch.into_parts();
+
+    let labels = take_column(&schema, &mut columns, "label")
+        .and_then(|a| match a {
+            Array::Int64(buf) => Some(buf.into_vec()),
+            _ => None,
+        })
+        .ok_or_else(|| PreprocessError::BadColumn { column: "label".into() })?;
+
+    // Feature generation first: Bucketize reads the *raw* dense values, so
+    // it must run before Log rewrites them in place.
+    let t0 = Instant::now();
+    let mut generated: Vec<Vec<i64>> = Vec::with_capacity(plan.generated_specs().len());
+    for spec in plan.generated_specs() {
+        let idx = schema
+            .index_of(&spec.source_column)
+            .ok_or_else(|| PreprocessError::BadColumn { column: spec.source_column.clone() })?;
+        let source = columns[idx]
+            .as_float32()
+            .ok_or_else(|| PreprocessError::BadColumn { column: spec.source_column.clone() })?;
+        generated.push(spec.bucketizer.apply(source));
     }
-    for (name, ids) in generated {
-        // One id per row: offsets are the identity ramp.
-        let offsets: Vec<u32> = (0..=rows as u32).collect();
-        sparse.push(JaggedFeature { name, offsets, values: ids });
+    timings.bucketize = t0.elapsed();
+
+    // Sparse normalization in place: the decoded buffers are uniquely owned,
+    // so SigridHash overwrites them and the offsets/values move straight
+    // into the output feature.
+    let t0 = Instant::now();
+    let mut hashed: Vec<(Vec<u32>, Vec<i64>)> = Vec::with_capacity(plan.sparse_specs().len());
+    for spec in plan.sparse_specs() {
+        let col = take_column(&schema, &mut columns, &spec.column)
+            .ok_or_else(|| PreprocessError::BadColumn { column: spec.column.clone() })?;
+        let Array::ListInt64 { offsets, mut values } = col else {
+            return Err(PreprocessError::BadColumn { column: spec.column.clone() });
+        };
+        let values = match values.make_mut() {
+            Some(unique) => {
+                spec.hasher.apply_in_place(unique);
+                values.into_vec()
+            }
+            // Shared buffer (multi-clone callers): fall back to a copy.
+            None => spec.hasher.apply(&values),
+        };
+        hashed.push((offsets.into_vec(), values));
     }
-    let mini_batch = MiniBatch::new(labels, dense, sparse)?;
+    timings.sigridhash = t0.elapsed();
+
+    // Dense normalization in place on the owned buffers.
+    let t0 = Instant::now();
+    let mut dense_norm: Vec<Vec<f32>> = Vec::with_capacity(plan.dense_columns().len());
+    for name in plan.dense_columns() {
+        let col = take_column(&schema, &mut columns, name)
+            .ok_or_else(|| PreprocessError::BadColumn { column: name.clone() })?;
+        let Array::Float32(mut buf) = col else {
+            return Err(PreprocessError::BadColumn { column: name.clone() });
+        };
+        let normalized = match buf.make_mut() {
+            Some(unique) => {
+                lognorm::log_normalize_in_place(unique);
+                buf.into_vec()
+            }
+            None => lognorm::log_normalize(&buf),
+        };
+        dense_norm.push(normalized);
+    }
+    timings.log = t0.elapsed();
+
+    // Format conversion: row-major dense + jagged sparse + generated.
+    let t0 = Instant::now();
+    let mini_batch = assemble_mini_batch(plan, labels, &dense_norm, hashed, generated)?;
     timings.format = t0.elapsed();
 
     Ok((mini_batch, timings))
@@ -172,13 +483,28 @@ pub fn preprocess_partition<B: BlobRead>(
     plan: &PreprocessPlan,
     blob: B,
 ) -> Result<(MiniBatch, StageTimings), PreprocessError> {
+    preprocess_partition_with(plan, blob, &mut ScratchSpace::new())
+}
+
+/// Like [`preprocess_partition`], staging Extract reads in the worker's
+/// [`ScratchSpace`] and transforming the decoded columns in place — the
+/// steady-state path [`crate::run_workers`] drives.
+///
+/// # Errors
+///
+/// Same as [`preprocess_partition`].
+pub fn preprocess_partition_with<B: BlobRead>(
+    plan: &PreprocessPlan,
+    blob: B,
+    scratch: &mut ScratchSpace,
+) -> Result<(MiniBatch, StageTimings), PreprocessError> {
     let t0 = Instant::now();
     let reader = FileReader::open(blob)?;
     let needed = plan.required_columns();
     let names: Vec<&str> = needed.iter().map(String::as_str).collect();
-    let mut columns = Vec::with_capacity(names.len());
+    let mut columns = Vec::with_capacity(reader.row_group_count());
     for rg in 0..reader.row_group_count() {
-        columns.push(reader.read_projected(rg, &names)?);
+        columns.push(reader.read_projected_with(rg, &names, &mut scratch.read)?);
     }
     let extract = t0.elapsed();
 
@@ -196,16 +522,23 @@ pub fn preprocess_partition<B: BlobRead>(
     let merged: Vec<Array> = if columns.len() == 1 {
         columns.pop().expect("one row group")
     } else {
-        let mut merged = Vec::with_capacity(needed.len());
-        for c in 0..needed.len() {
-            let parts: Vec<Array> = columns.iter().map(|rg| rg[c].clone()).collect();
-            merged.push(presto_columnar::column::concat_arrays(&parts)?);
+        // Transpose row-group-major -> column-major by value: the decoded
+        // arrays move into the per-column part lists without cloning.
+        let mut per_column: Vec<Vec<Array>> =
+            (0..needed.len()).map(|_| Vec::with_capacity(columns.len())).collect();
+        for row_group in columns {
+            for (c, array) in row_group.into_iter().enumerate() {
+                per_column[c].push(array);
+            }
         }
-        merged
+        per_column
+            .into_iter()
+            .map(|parts| presto_columnar::column::concat_arrays(&parts))
+            .collect::<Result<_, _>>()?
     };
     let batch = RowBatch::new(schema, merged)?;
 
-    let (mini_batch, mut timings) = preprocess_batch(plan, &batch)?;
+    let (mini_batch, mut timings) = preprocess_batch_owned(plan, batch)?;
     timings.extract = extract;
     Ok((mini_batch, timings))
 }
@@ -277,6 +610,79 @@ mod tests {
     }
 
     #[test]
+    fn owned_path_matches_borrowed_path() {
+        let c = tiny_config();
+        let plan = PreprocessPlan::from_config(&c, 1).unwrap();
+        let batch = generate_batch(&c, 64, 9);
+        let (borrowed, _) = preprocess_batch(&plan, &batch).unwrap();
+        let (owned, _) = preprocess_batch_owned(&plan, batch).unwrap();
+        assert_eq!(owned, borrowed);
+    }
+
+    #[test]
+    fn scratch_accessors_track_the_last_plan() {
+        // Regression: after reuse with a smaller plan, the accessors must
+        // not expose stale trailing columns from the earlier, larger plan.
+        let big = tiny_config();
+        let mut small = tiny_config();
+        small.num_dense = 2;
+        small.num_sparse = 3;
+        small.num_generated = 2;
+        small.num_tables = small.num_sparse + small.num_generated;
+        let big_plan = PreprocessPlan::from_config(&big, 1).unwrap();
+        let small_plan = PreprocessPlan::from_config(&small, 1).unwrap();
+        let mut scratch = ScratchSpace::new();
+        transform_batch_into(&big_plan, &generate_batch(&big, 16, 1), &mut scratch).unwrap();
+        assert_eq!(scratch.generated().len(), 13);
+        assert_eq!(scratch.hashed().len(), 26);
+        assert_eq!(scratch.dense().len(), 13);
+        transform_batch_into(&small_plan, &generate_batch(&small, 16, 1), &mut scratch).unwrap();
+        assert_eq!(scratch.generated().len(), 2);
+        assert_eq!(scratch.hashed().len(), 3);
+        assert_eq!(scratch.dense().len(), 2);
+    }
+
+    #[test]
+    fn scratch_reuse_across_batches_is_consistent() {
+        let c = tiny_config();
+        let plan = PreprocessPlan::from_config(&c, 1).unwrap();
+        let mut scratch = ScratchSpace::new();
+        for seed in 0..4 {
+            let batch = generate_batch(&c, 64, seed);
+            let (fresh, _) = preprocess_batch(&plan, &batch).unwrap();
+            let (reused, _) = preprocess_batch_with(&plan, &batch, &mut scratch).unwrap();
+            assert_eq!(fresh, reused, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_partitions_is_consistent() {
+        let c = tiny_config();
+        let plan = PreprocessPlan::from_config(&c, 1).unwrap();
+        let mut scratch = ScratchSpace::new();
+        for seed in 0..4 {
+            let batch = generate_batch(&c, 64, 100 + seed);
+            let blob = write_partition(&batch).unwrap();
+            let (fresh, _) = preprocess_partition(&plan, blob.clone()).unwrap();
+            let (reused, _) = preprocess_partition_with(&plan, blob, &mut scratch).unwrap();
+            assert_eq!(fresh, reused, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn shared_blob_partitions_still_preprocess() {
+        // Two clones of one blob processed back to back: the second decode
+        // must not be affected by the first one's in-place transforms.
+        let c = tiny_config();
+        let plan = PreprocessPlan::from_config(&c, 1).unwrap();
+        let batch = generate_batch(&c, 64, 21);
+        let blob = write_partition(&batch).unwrap();
+        let (a, _) = preprocess_partition(&plan, blob.clone()).unwrap();
+        let (b, _) = preprocess_partition(&plan, blob).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn missing_column_is_reported() {
         let c = tiny_config();
         let mut big = c.clone();
@@ -287,6 +693,18 @@ mod tests {
         let err = preprocess_batch(&plan, &batch).unwrap_err();
         assert!(matches!(err, PreprocessError::BadColumn { .. }));
         assert!(err.to_string().contains("dense_13"));
+    }
+
+    #[test]
+    fn missing_column_is_reported_on_owned_path() {
+        let c = tiny_config();
+        let mut big = c.clone();
+        big.num_dense = 14;
+        big.num_tables = big.num_sparse + big.num_generated;
+        let plan = PreprocessPlan::from_config(&big, 1).unwrap();
+        let batch = generate_batch(&c, 8, 1);
+        let err = preprocess_batch_owned(&plan, batch).unwrap_err();
+        assert!(matches!(err, PreprocessError::BadColumn { .. }));
     }
 
     #[test]

@@ -16,6 +16,18 @@
 //! * [`parallel`] — one-worker-per-core host execution (the baseline
 //!   CPU-centric software architecture of Section II-D).
 //!
+//! ## The zero-copy / allocation-free hot path
+//!
+//! Each worker owns a [`ScratchSpace`] and drives
+//! [`executor::preprocess_partition_with`]: Extract stages chunk bytes in a
+//! recycled buffer (or decodes straight from storage memory for in-memory
+//! blobs), SigridHash and Log run **in place** on the uniquely owned decode
+//! buffers, and labels/offsets move into the mini-batch without copying.
+//! The borrowed-batch variant [`executor::transform_batch_into`] performs
+//! zero heap allocation per batch once its scratch is warm — asserted by a
+//! counting-allocator test (`tests/alloc_free.rs`) and bit-matched against
+//! the plain allocating kernels by property tests.
+//!
 //! ## Example
 //!
 //! ```
@@ -48,7 +60,10 @@ pub mod sigridhash;
 
 pub use bucketize::{BucketizeError, Bucketizer};
 pub use dedup::{hash_deduped, plan_dedup, DedupPlan};
-pub use executor::{preprocess_batch, preprocess_partition, PreprocessError, StageTimings};
+pub use executor::{
+    preprocess_batch, preprocess_batch_owned, preprocess_batch_with, preprocess_partition,
+    preprocess_partition_with, transform_batch_into, PreprocessError, ScratchSpace, StageTimings,
+};
 pub use minibatch::{DenseMatrix, JaggedFeature, MiniBatch, ShapeError};
 pub use parallel::{run_workers, ParallelReport};
 pub use plan::{GeneratedSpec, PreprocessPlan, SparseSpec};

@@ -170,7 +170,11 @@ impl MiniBatch {
         for feat in &sparse {
             if feat.rows() != rows {
                 return Err(ShapeError {
-                    detail: format!("feature {} has {} rows, labels {rows}", feat.name, feat.rows()),
+                    detail: format!(
+                        "feature {} has {} rows, labels {rows}",
+                        feat.name,
+                        feat.rows()
+                    ),
                 });
             }
             feat.validate()?;
@@ -213,11 +217,7 @@ impl MiniBatch {
     pub fn byte_size(&self) -> usize {
         self.labels.len() * 8
             + self.dense.data().len() * 4
-            + self
-                .sparse
-                .iter()
-                .map(|f| f.offsets.len() * 4 + f.values.len() * 8)
-                .sum::<usize>()
+            + self.sparse.iter().map(|f| f.offsets.len() * 4 + f.values.len() * 8).sum::<usize>()
     }
 }
 

@@ -2,13 +2,16 @@
 //!
 //! One worker per core, each independently producing whole mini-batches from
 //! its partitions — the TorchRec producer model. Workers pull partition
-//! indices from a shared atomic counter; no locks are held during transform.
+//! indices from a shared atomic counter and observe failures through a
+//! lock-free stop flag; no locks are held during transform. Each worker owns
+//! a [`ScratchSpace`], so its steady-state kernel loop allocates nothing
+//! (see [`crate::executor`]).
 
-use crate::executor::{preprocess_partition, PreprocessError};
+use crate::executor::{preprocess_partition_with, PreprocessError, ScratchSpace};
 use crate::minibatch::MiniBatch;
 use crate::plan::PreprocessPlan;
 use presto_datagen::Partition;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -49,29 +52,39 @@ pub fn run_workers(
     let workers = workers.max(1).min(partitions.len().max(1));
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<MiniBatch>>> = Mutex::new(vec![None; partitions.len()]);
+    // Workers poll the lock-free flag on their hot loop; the mutex exists
+    // only to store the error object itself on the (rare) failure path.
+    let stop = AtomicBool::new(false);
     let first_error: Mutex<Option<PreprocessError>> = Mutex::new(None);
 
     let start = Instant::now();
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                if idx >= partitions.len() {
-                    return;
-                }
-                if first_error.lock().expect("error lock").is_some() {
-                    return;
-                }
-                match preprocess_partition(plan, partitions[idx].blob.clone()) {
-                    Ok((mb, _)) => {
-                        results.lock().expect("result lock")[idx] = Some(mb);
-                    }
-                    Err(e) => {
-                        let mut slot = first_error.lock().expect("error lock");
-                        if slot.is_none() {
-                            *slot = Some(e);
-                        }
+            scope.spawn(|| {
+                // One scratch per worker: every partition after the first
+                // reuses the same Extract buffer and transform pools.
+                let mut scratch = ScratchSpace::new();
+                loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= partitions.len() || stop.load(Ordering::Relaxed) {
                         return;
+                    }
+                    match preprocess_partition_with(
+                        plan,
+                        partitions[idx].blob.clone(),
+                        &mut scratch,
+                    ) {
+                        Ok((mb, _)) => {
+                            results.lock().expect("result lock")[idx] = Some(mb);
+                        }
+                        Err(e) => {
+                            let mut slot = first_error.lock().expect("error lock");
+                            if slot.is_none() {
+                                *slot = Some(e);
+                            }
+                            stop.store(true, Ordering::Relaxed);
+                            return;
+                        }
                     }
                 }
             });

@@ -41,6 +41,7 @@ pub struct PreprocessPlan {
     dense_columns: Vec<String>,
     sparse_specs: Vec<SparseSpec>,
     generated_specs: Vec<GeneratedSpec>,
+    required_columns: Vec<String>,
 }
 
 impl PreprocessPlan {
@@ -78,7 +79,18 @@ impl PreprocessPlan {
             })
             .collect::<Result<_, BucketizeError>>()?;
 
-        Ok(PreprocessPlan { config: config.clone(), dense_columns, sparse_specs, generated_specs })
+        let mut required_columns = Vec::with_capacity(1 + dense_columns.len() + sparse_specs.len());
+        required_columns.push("label".to_owned());
+        required_columns.extend(dense_columns.iter().cloned());
+        required_columns.extend(sparse_specs.iter().map(|s| s.column.clone()));
+
+        Ok(PreprocessPlan {
+            config: config.clone(),
+            dense_columns,
+            sparse_specs,
+            generated_specs,
+            required_columns,
+        })
     }
 
     /// The generating configuration.
@@ -107,13 +119,12 @@ impl PreprocessPlan {
 
     /// Every input column the plan needs (label + dense + sparse), the
     /// projection the Extract step should fetch — and nothing else.
+    ///
+    /// Precomputed at plan construction so the per-partition hot path does
+    /// not rebuild (and re-allocate) the projection list.
     #[must_use]
-    pub fn required_columns(&self) -> Vec<String> {
-        let mut cols = Vec::with_capacity(1 + self.dense_columns.len() + self.sparse_specs.len());
-        cols.push("label".to_owned());
-        cols.extend(self.dense_columns.iter().cloned());
-        cols.extend(self.sparse_specs.iter().map(|s| s.column.clone()));
-        cols
+    pub fn required_columns(&self) -> &[String] {
+        &self.required_columns
     }
 }
 

@@ -71,23 +71,45 @@ impl SigridHasher {
         (mix64(id as u64 ^ self.seed.rotate_left(29)) % self.max_value) as i64
     }
 
+    /// Elements hashed per unrolled step of the batch loops. The mixer has
+    /// a long multiply dependency chain per element; an 8-wide chunk gives
+    /// the CPU independent chains to overlap.
+    const CHUNK: usize = 8;
+
     /// Normalizes a flat id slice (the Algorithm 2 loop).
     #[must_use]
     pub fn apply(&self, ids: &[i64]) -> Vec<i64> {
-        ids.iter().map(|&v| self.hash_one(v)).collect()
+        let mut out = Vec::new();
+        self.apply_into(ids, &mut out);
+        out
     }
 
     /// Normalizes into a caller-provided buffer, reusing its capacity.
     pub fn apply_into(&self, ids: &[i64], out: &mut Vec<i64>) {
         out.clear();
         out.reserve(ids.len());
-        out.extend(ids.iter().map(|&v| self.hash_one(v)));
+        let mut chunks = ids.chunks_exact(Self::CHUNK);
+        for chunk in &mut chunks {
+            // Fixed-size batch: fully unrolled, chains run in parallel.
+            let mut hashed = [0i64; Self::CHUNK];
+            for (h, &v) in hashed.iter_mut().zip(chunk) {
+                *h = self.hash_one(v);
+            }
+            out.extend_from_slice(&hashed);
+        }
+        out.extend(chunks.remainder().iter().map(|&v| self.hash_one(v)));
     }
 
     /// Normalizes a jagged sparse feature in place (offsets unchanged —
     /// hashing is element-wise, preserving list structure).
     pub fn apply_in_place(&self, values: &mut [i64]) {
-        for v in values {
+        let mut chunks = values.chunks_exact_mut(Self::CHUNK);
+        for chunk in &mut chunks {
+            for v in chunk {
+                *v = self.hash_one(*v);
+            }
+        }
+        for v in chunks.into_remainder() {
             *v = self.hash_one(*v);
         }
     }

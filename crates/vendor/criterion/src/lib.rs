@@ -1,0 +1,308 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API the workspace benches use —
+//! [`Criterion`], benchmark groups, [`BenchmarkId`], [`Throughput`], the
+//! [`criterion_group!`]/[`criterion_main!`] macros and `Bencher::iter` — over
+//! plain `std::time::Instant` measurement. Statistics are simpler than the
+//! real crate (median of fixed-size samples, no outlier analysis or HTML
+//! reports), but the benches themselves are source-compatible: dropping the
+//! upstream crate in requires no code changes.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation attached to a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier (`function / parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter display value.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Measurement configuration and top-level entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up duration before samples are recorded.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the number of samples taken per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None, sample_size: None }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
+        let report = run_benchmark(self.warm_up, self.measurement, self.sample_size, &mut f);
+        print_report(&id.to_string(), &report, None);
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the sample count for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let report =
+            run_benchmark(self.criterion.warm_up, self.criterion.measurement, samples, &mut f);
+        print_report(&format!("{}/{}", self.name, id), &report, self.throughput);
+    }
+
+    /// Runs one benchmark parameterized by a shared input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Timing handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly for the configured number of iterations and
+    /// records the total elapsed wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+struct Report {
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+}
+
+fn time_iters<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
+    let mut b = Bencher { iters, elapsed: Duration::ZERO };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+    f: &mut F,
+) -> Report {
+    // Warm-up while estimating the per-iteration cost.
+    let warm_start = Instant::now();
+    let mut iters_done = 0u64;
+    let mut batch = 1u64;
+    while warm_start.elapsed() < warm_up {
+        let _ = time_iters(f, batch);
+        iters_done += batch;
+        batch = (batch * 2).min(1 << 20);
+    }
+    let per_iter = warm_start.elapsed().as_secs_f64() / iters_done.max(1) as f64;
+
+    // Size each sample so all samples fit the measurement budget.
+    let budget_per_sample = measurement.as_secs_f64() / samples as f64;
+    let iters_per_sample = ((budget_per_sample / per_iter.max(1e-9)) as u64).max(1);
+
+    let mut times: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let elapsed = time_iters(f, iters_per_sample);
+        times.push(elapsed.as_secs_f64() * 1e9 / iters_per_sample as f64);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    Report { median_ns: times[times.len() / 2], min_ns: times[0], max_ns: times[times.len() - 1] }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn human_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.3} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.3} M{unit}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.3} K{unit}/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}/s")
+    }
+}
+
+fn print_report(name: &str, report: &Report, throughput: Option<Throughput>) {
+    let thrpt = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  thrpt: {}", human_rate(n as f64 / (report.median_ns / 1e9), "elem"))
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  thrpt: {}", human_rate(n as f64 / (report.median_ns / 1e9), "B"))
+        }
+        None => String::new(),
+    };
+    println!(
+        "{name:<48} time: [{} {} {}]{thrpt}",
+        human_time(report.min_ns),
+        human_time(report.median_ns),
+        human_time(report.max_ns),
+    );
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20))
+            .sample_size(5)
+    }
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = quick();
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            ran = true;
+            b.iter(|| 1 + 1);
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_with_throughput_and_input() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(4));
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("f", "p"), &vec![1, 2, 3, 4], |b, v| {
+            b.iter(|| v.iter().sum::<i32>());
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats_as_pair() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+    }
+
+    #[test]
+    fn human_units_scale() {
+        assert!(human_time(12.0).ends_with("ns"));
+        assert!(human_time(12_000.0).ends_with("µs"));
+        assert!(human_time(12_000_000.0).ends_with("ms"));
+        assert!(human_rate(2.0e6, "elem").contains('M'));
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` *names* (marker traits plus no-op
+//! derive macros) so that derive attributes on workspace types keep compiling
+//! without network access to a crates registry. No serializer exists in this
+//! workspace, so no code depends on the absent impls. Swap these shims for
+//! the upstream crates if real (de)serialization is ever needed.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize` (no methods; see crate docs).
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize` (no methods; see crate docs).
+pub trait Deserialize<'de>: Sized {}

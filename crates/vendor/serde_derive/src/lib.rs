@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real derives generate `Serialize`/`Deserialize` impls; nothing in this
+//! workspace consumes those impls (there is no serializer linked in), so the
+//! stand-in derives expand to nothing. They exist purely so that
+//! `#[derive(Serialize, Deserialize)]` attributes on config structs keep
+//! compiling in the offline build environment. If a future change needs real
+//! (de)serialization, replace the `crates/vendor/serde*` shims with the
+//! upstream crates.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: expands to an empty token stream.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: expands to an empty token stream.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

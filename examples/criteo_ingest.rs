@@ -52,9 +52,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Show the normalization effect on one dense feature.
     let raw_col = batch.column("dense_0").and_then(|a| a.as_float32()).expect("dense_0");
     let max_raw = raw_col.iter().copied().fold(0.0f32, f32::max);
-    let max_norm = (0..mini_batch.rows())
-        .map(|r| mini_batch.dense().row(r)[0])
-        .fold(0.0f32, f32::max);
+    let max_norm =
+        (0..mini_batch.rows()).map(|r| mini_batch.dense().row(r)[0]).fold(0.0f32, f32::max);
     println!("dense_0 range compressed by Log: max {max_raw:.0} -> {max_norm:.2}");
     Ok(())
 }

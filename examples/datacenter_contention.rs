@@ -16,8 +16,7 @@ fn main() {
     let fabric = Fabric::poc_cluster();
     println!(
         "fleet study: identical {} jobs (8x A100 each) sharing a {} storage fabric\n",
-        config.name,
-        fabric.bisection
+        config.name, fabric.bisection
     );
 
     let job_counts = [1usize, 2, 3, 4, 6, 8, 12, 16, 24, 32];

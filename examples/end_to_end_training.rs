@@ -20,10 +20,7 @@ fn main() {
         job.config.name, job.num_gpus, job.batches, job.config.batch_size
     );
     let demand = train_manager.measure_training_demand(&job);
-    println!(
-        "stress-tested training demand T = {} samples/s\n",
-        samples_per_sec(demand)
-    );
+    println!("stress-tested training demand T = {} samples/s\n", samples_per_sec(demand));
 
     let mut table = TextTable::new(vec![
         "backend",

@@ -1,0 +1,33 @@
+use presto::datagen::{generate_batch, write_partition, RmConfig};
+use presto::ops::{preprocess_partition_with, PreprocessPlan, ScratchSpace};
+
+fn main() {
+    let mut config = RmConfig::rm1();
+    config.batch_size = 1024;
+    let plan = PreprocessPlan::from_config(&config, 1).unwrap();
+    let batch = generate_batch(&config, 1024, 5);
+    let blob = write_partition(&batch).unwrap();
+    println!("blob bytes: {}", blob.as_bytes().len());
+    let mut scratch = ScratchSpace::new();
+    // warm
+    for _ in 0..50 {
+        preprocess_partition_with(&plan, blob.clone(), &mut scratch).unwrap();
+    }
+    let mut sums = [0f64; 5];
+    let iters = 500;
+    let t0 = std::time::Instant::now();
+    for _ in 0..iters {
+        let (_, t) = preprocess_partition_with(&plan, blob.clone(), &mut scratch).unwrap();
+        sums[0] += t.extract.as_secs_f64();
+        sums[1] += t.bucketize.as_secs_f64();
+        sums[2] += t.sigridhash.as_secs_f64();
+        sums[3] += t.log.as_secs_f64();
+        sums[4] += t.format.as_secs_f64();
+    }
+    let total = t0.elapsed().as_secs_f64();
+    let names = ["extract", "bucketize", "sigridhash", "log", "format"];
+    for (n, s) in names.iter().zip(&sums) {
+        println!("{n:>10}: {:8.1} us/iter", s / iters as f64 * 1e6);
+    }
+    println!("{:>10}: {:8.1} us/iter (incl. untimed)", "total", total / iters as f64 * 1e6);
+}

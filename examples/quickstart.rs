@@ -14,8 +14,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     config.batch_size = 4096;
     println!(
         "model {}: {} dense, {} sparse, {} generated features, batch {}",
-        config.name, config.num_dense, config.num_sparse, config.num_generated,
-        config.batch_size
+        config.name, config.num_dense, config.num_sparse, config.num_generated, config.batch_size
     );
 
     // 2. Generate one partition of raw feature data and serialize it into

@@ -20,12 +20,7 @@ fn every_model_shape_preprocesses_cleanly() {
         let (mb, _) = preprocess_partition(&plan, blob).expect("preprocesses");
         assert_eq!(mb.rows(), 64, "{}", config.name);
         assert_eq!(mb.dense().cols(), config.num_dense, "{}", config.name);
-        assert_eq!(
-            mb.sparse().len(),
-            config.num_sparse + config.num_generated,
-            "{}",
-            config.name
-        );
+        assert_eq!(mb.sparse().len(), config.num_sparse + config.num_generated, "{}", config.name);
     }
 }
 
@@ -90,10 +85,7 @@ fn extract_reads_only_plan_columns() {
     reader.read_projected(0, &["label", "dense_0"]).expect("projects");
     let blob = reader.into_inner();
     let data_bytes = blob.bytes_read() - meta_bytes;
-    assert!(
-        data_bytes < file_len / 5,
-        "projected read touched {data_bytes} of {file_len} bytes"
-    );
+    assert!(data_bytes < file_len / 5, "projected read touched {data_bytes} of {file_len} bytes");
 }
 
 #[test]

@@ -30,10 +30,8 @@ fn headline_speedup_9_6x_average_11_6x_max() {
 #[test]
 fn transform_ops_dominate_cpu_preprocessing() {
     // Sec. III-B: Bucketize + SigridHash + Log = 79% of time on average.
-    let shares: Vec<f64> = experiments::fig5()
-        .iter()
-        .map(|(_, b)| b.transform_fraction())
-        .collect();
+    let shares: Vec<f64> =
+        experiments::fig5().iter().map(|(_, b)| b.transform_fraction()).collect();
     let avg = mean(&shares);
     assert!((0.69..=0.89).contains(&avg), "avg transform share {avg:.3} (paper 0.79)");
 }
@@ -49,10 +47,8 @@ fn production_models_are_an_order_of_magnitude_heavier() {
 #[test]
 fn presto_extract_share_near_40_percent() {
     // Sec. VI-A: Extract ≈ 40.8% of PreSto's preprocessing time on average.
-    let shares: Vec<f64> = experiments::fig12()
-        .iter()
-        .map(|g| g.presto.extract_fraction())
-        .collect();
+    let shares: Vec<f64> =
+        experiments::fig12().iter().map(|g| g.presto.extract_fraction()).collect();
     let avg = mean(&shares);
     assert!((0.30..=0.52).contains(&avg), "avg PreSto extract share {avg:.3} (paper 0.408)");
 }

@@ -2,19 +2,19 @@
 //! roundtrips, and arbitrary corruption always errors (never panics,
 //! never returns wrong data silently).
 
-use proptest::collection::vec;
-use proptest::prelude::*;
 use presto::columnar::{
     Array, Compression, DataType, Field, FileReader, FileWriter, MemBlob, Schema,
 };
+use proptest::collection::vec;
+use proptest::prelude::*;
 
 fn arb_array(rows: usize) -> impl Strategy<Value = Array> {
     prop_oneof![
-        vec(any::<i64>(), rows..=rows).prop_map(Array::Int64),
+        vec(any::<i64>(), rows..=rows).prop_map(|v| Array::Int64(v.into())),
         vec(any::<f32>().prop_filter("finite", |f| f.is_finite()), rows..=rows)
-            .prop_map(Array::Float32),
+            .prop_map(|v| Array::Float32(v.into())),
         vec(any::<f64>().prop_filter("finite", |f| f.is_finite()), rows..=rows)
-            .prop_map(Array::Float64),
+            .prop_map(|v| Array::Float64(v.into())),
         vec(vec(any::<i64>(), 0..8), rows..=rows)
             .prop_map(|lists| Array::from_lists(lists).expect("fits u32")),
     ]
@@ -120,11 +120,9 @@ proptest! {
 
 #[test]
 fn multi_row_group_files_roundtrip() {
-    let schema = Schema::new(vec![
-        Field::new("a", DataType::Int64),
-        Field::new("b", DataType::ListInt64),
-    ])
-    .expect("schema");
+    let schema =
+        Schema::new(vec![Field::new("a", DataType::Int64), Field::new("b", DataType::ListInt64)])
+            .expect("schema");
     let mut writer = FileWriter::with_page_rows(schema, 8);
     for g in 0..5i64 {
         writer

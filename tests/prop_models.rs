@@ -1,13 +1,13 @@
 //! Property tests of the hardware cost models: physical sanity that must
 //! hold for *any* workload, not just the five paper configurations.
 
-use proptest::prelude::*;
 use presto::core::provision::Provisioner;
 use presto::core::systems::System;
 use presto::datagen::{RmConfig, WorkloadProfile};
 use presto::hwsim::cpu::{CpuWorkerModel, DataLocality};
 use presto::hwsim::fpga::IspModel;
 use presto::hwsim::gpu::GpuTrainModel;
+use proptest::prelude::*;
 
 /// A random-but-valid RecSys configuration.
 fn arb_config() -> impl Strategy<Value = RmConfig> {

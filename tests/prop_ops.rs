@@ -1,9 +1,9 @@
 //! Property-based tests of the preprocessing kernels: the algorithmic
 //! invariants of Algorithms 1 and 2 hold for arbitrary inputs.
 
+use presto::ops::{lognorm, Bucketizer, SigridHasher};
 use proptest::collection::vec;
 use proptest::prelude::*;
-use presto::ops::{lognorm, Bucketizer, SigridHasher};
 
 fn arb_boundaries() -> impl Strategy<Value = Vec<f32>> {
     // Strictly increasing via cumulative positive gaps.
@@ -117,5 +117,58 @@ proptest! {
             prop_assert!(y.is_finite());
             prop_assert!(y >= 0.0);
         }
+    }
+
+    // ---- scratch / in-place variants bit-match the allocating kernels ----
+
+    #[test]
+    fn bucketize_into_matches_apply(
+        boundaries in arb_boundaries(),
+        values in vec(any::<f32>(), 0..200),
+        garbage in vec(any::<i64>(), 0..64),
+    ) {
+        let b = Bucketizer::new(boundaries).expect("valid");
+        let expected: Vec<i64> = values.iter().map(|&v| b.bucket_id(v)).collect();
+        prop_assert_eq!(&b.apply(&values), &expected);
+        // A dirty, reused buffer must end up bit-identical too.
+        let mut out = garbage;
+        b.apply_into(&values, &mut out);
+        prop_assert_eq!(&out, &expected);
+    }
+
+    #[test]
+    fn sigridhash_variants_bit_match(
+        seed in any::<u64>(),
+        max in 1u64..1_000_000,
+        ids in vec(any::<i64>(), 0..300),
+        garbage in vec(any::<i64>(), 0..64),
+    ) {
+        let h = SigridHasher::new(seed, max).expect("valid");
+        let expected: Vec<i64> = ids.iter().map(|&v| h.hash_one(v)).collect();
+        prop_assert_eq!(&h.apply(&ids), &expected);
+        let mut out = garbage;
+        h.apply_into(&ids, &mut out);
+        prop_assert_eq!(&out, &expected);
+        let mut in_place = ids.clone();
+        h.apply_in_place(&mut in_place);
+        prop_assert_eq!(&in_place, &expected);
+    }
+
+    #[test]
+    fn lognorm_variants_bit_match(
+        values in vec(any::<f32>(), 0..300),
+        garbage in vec(any::<f32>(), 0..64),
+    ) {
+        let expected: Vec<f32> =
+            values.iter().map(|&v| lognorm::log_normalize_one(v)).collect();
+        let expected_bits: Vec<u32> = expected.iter().map(|v| v.to_bits()).collect();
+        let as_bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<u32>>();
+        prop_assert_eq!(as_bits(&lognorm::log_normalize(&values)), expected_bits.clone());
+        let mut out = garbage;
+        lognorm::log_normalize_into(&values, &mut out);
+        prop_assert_eq!(as_bits(&out), expected_bits.clone());
+        let mut in_place = values.clone();
+        lognorm::log_normalize_in_place(&mut in_place);
+        prop_assert_eq!(as_bits(&in_place), expected_bits);
     }
 }

@@ -1,0 +1,91 @@
+//! Property tests pinning the zero-copy refactor: every execution path of
+//! the preprocessing pipeline — borrowed batch, owned batch, stored
+//! partition, and all of them again over a *reused* scratch — must produce
+//! bit-identical mini-batches for arbitrary workload shapes.
+
+use presto::datagen::{generate_batch, write_partition, RmConfig};
+use presto::ops::{
+    preprocess_batch, preprocess_batch_owned, preprocess_batch_with, preprocess_partition,
+    preprocess_partition_with, PreprocessPlan, ScratchSpace,
+};
+use proptest::prelude::*;
+
+/// A random-but-valid small RecSys shape (kept small: each case writes and
+/// re-reads a columnar partition).
+fn arb_shape() -> impl Strategy<Value = (RmConfig, usize, u64)> {
+    (
+        1usize..8,  // dense features
+        0usize..6,  // sparse features
+        1usize..5,  // avg sparse length
+        2usize..64, // bucket size
+        1usize..48, // rows
+        any::<u64>(),
+    )
+        .prop_map(|(dense, sparse, avg_len, bucket, rows, seed)| {
+            let mut c = RmConfig::rm1();
+            c.name = "prop".into();
+            c.num_dense = dense;
+            c.num_sparse = sparse;
+            c.avg_sparse_len = avg_len;
+            c.fixed_sparse_len = false;
+            c.num_generated = dense.min(4);
+            c.bucket_size = bucket;
+            c.num_tables = c.num_sparse + c.num_generated;
+            c.batch_size = rows.max(1);
+            c.validate().expect("constructed config is valid");
+            (c, rows, seed)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_execution_paths_agree((config, rows, seed) in arb_shape()) {
+        let plan = PreprocessPlan::from_config(&config, 3).expect("plan builds");
+        let batch = generate_batch(&config, rows, seed);
+        let blob = write_partition(&batch).expect("serializes");
+
+        let (reference, _) = preprocess_batch(&plan, &batch).expect("borrowed path");
+        let (with_scratch, _) =
+            preprocess_batch_with(&plan, &batch, &mut ScratchSpace::new())
+                .expect("scratch path");
+        prop_assert_eq!(&with_scratch, &reference);
+
+        let (from_disk, _) =
+            preprocess_partition(&plan, blob.clone()).expect("partition path");
+        prop_assert_eq!(&from_disk, &reference);
+
+        let (owned, _) = preprocess_batch_owned(&plan, batch).expect("owned path");
+        prop_assert_eq!(&owned, &reference);
+
+        // Re-processing the same partition must be repeatable (the in-place
+        // transforms must never leak back into shared storage).
+        let (again, _) = preprocess_partition(&plan, blob).expect("repeat partition");
+        prop_assert_eq!(&again, &reference);
+    }
+
+    #[test]
+    fn scratch_reuse_across_shapes_is_sound(
+        (config_a, rows_a, seed_a) in arb_shape(),
+        (config_b, rows_b, seed_b) in arb_shape(),
+    ) {
+        // One worker's scratch sees partitions of *different* shapes in
+        // sequence; outputs must match fresh-scratch runs every time.
+        let mut scratch = ScratchSpace::new();
+        for (config, rows, seed) in [
+            (&config_a, rows_a, seed_a),
+            (&config_b, rows_b, seed_b),
+            (&config_a, rows_a, seed_a ^ 1),
+        ] {
+            let plan = PreprocessPlan::from_config(config, 5).expect("plan builds");
+            let batch = generate_batch(config, rows, seed);
+            let blob = write_partition(&batch).expect("serializes");
+            let (fresh, _) =
+                preprocess_partition(&plan, blob.clone()).expect("fresh scratch");
+            let (reused, _) = preprocess_partition_with(&plan, blob, &mut scratch)
+                .expect("reused scratch");
+            prop_assert_eq!(reused, fresh);
+        }
+    }
+}

@@ -92,11 +92,7 @@ fn presto_fleet_is_two_orders_smaller_than_cpu_fleet() {
     for config in RmConfig::all() {
         let cores = p.cpu_cores_required(&config, 8);
         let units = p.isp_units_required(&config, 8);
-        assert!(
-            cores >= 30 * units,
-            "{}: {cores} cores vs {units} units",
-            config.name
-        );
+        assert!(cores >= 30 * units, "{}: {cores} cores vs {units} units", config.name);
     }
 }
 
