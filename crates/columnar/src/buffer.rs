@@ -12,20 +12,78 @@
 //!   and [`Buffer::make_mut`] allows in-place transformation (the
 //!   SigridHash/Log kernels exploit this to normalize decoded columns
 //!   without allocating).
+//!
+//! # Byte-backed buffers (lazy plain-page decode)
+//!
+//! A buffer can also be a typed window directly over a file's shared bytes
+//! ([`Buffer::from_shared_le_bytes`]): on little-endian targets, a
+//! plain-encoded page whose payload is properly aligned inside an
+//! `Arc<Vec<u8>>` blob decodes by *casting* instead of copying. Such
+//! buffers are always treated as shared — [`Buffer::make_mut`] returns
+//! `None` (the storage belongs to the blob) — so in-place transform paths
+//! fall back to their copying variants, which is still one pass fewer than
+//! copy-decode followed by in-place transform.
 
 use std::fmt;
 use std::ops::Deref;
 use std::sync::Arc;
 
+/// Marker for plain fixed-width values that may be read by casting from
+/// little-endian file bytes: every bit pattern is a valid value and the
+/// type has no padding. Sealed; implemented for `i64`, `u32`, `f32`, `f64`.
+pub trait PlainValue: sealed::Sealed + Copy + 'static {}
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for i64 {}
+    impl Sealed for u32 {}
+    impl Sealed for f32 {}
+    impl Sealed for f64 {}
+}
+
+impl PlainValue for i64 {}
+impl PlainValue for u32 {}
+impl PlainValue for f32 {}
+impl PlainValue for f64 {}
+
+enum Repr<T> {
+    /// Typed storage the buffer (co-)owns.
+    Owned(Arc<Vec<T>>),
+    /// A typed view over `elems` elements at `byte_offset` inside a shared
+    /// byte blob. Only constructible through [`Buffer::from_shared_le_bytes`],
+    /// which validates alignment, bounds and (statically) that `T` is a
+    /// [`PlainValue`].
+    Raw { bytes: Arc<Vec<u8>>, byte_offset: usize, elems: usize },
+}
+
+// Manual Clone impls: the derive would demand `T: Clone`, but cloning only
+// bumps refcounts.
+impl<T> Clone for Repr<T> {
+    fn clone(&self) -> Self {
+        match self {
+            Repr::Owned(v) => Repr::Owned(Arc::clone(v)),
+            Repr::Raw { bytes, byte_offset, elems } => {
+                Repr::Raw { bytes: Arc::clone(bytes), byte_offset: *byte_offset, elems: *elems }
+            }
+        }
+    }
+}
+
 /// A cheaply clonable window over shared immutable storage.
 ///
-/// Dereferences to `[T]`; construct one from a `Vec<T>` (via `From`) or by
-/// collecting an iterator.
-#[derive(Clone)]
+/// Dereferences to `[T]`; construct one from a `Vec<T>` (via `From`), by
+/// collecting an iterator, or zero-copy over file bytes with
+/// [`Buffer::from_shared_le_bytes`].
 pub struct Buffer<T> {
-    data: Arc<Vec<T>>,
+    repr: Repr<T>,
     start: usize,
     len: usize,
+}
+
+impl<T> Clone for Buffer<T> {
+    fn clone(&self) -> Self {
+        Buffer { repr: self.repr.clone(), start: self.start, len: self.len }
+    }
 }
 
 impl<T> Buffer<T> {
@@ -33,7 +91,7 @@ impl<T> Buffer<T> {
     #[must_use]
     pub fn new(data: Vec<T>) -> Self {
         let len = data.len();
-        Buffer { data: Arc::new(data), start: 0, len }
+        Buffer { repr: Repr::Owned(Arc::new(data)), start: 0, len }
     }
 
     /// An empty buffer.
@@ -54,10 +112,28 @@ impl<T> Buffer<T> {
         self.len == 0
     }
 
+    /// The full underlying element range, before windowing.
+    fn base_slice(&self) -> &[T] {
+        match &self.repr {
+            Repr::Owned(v) => v.as_slice(),
+            Repr::Raw { bytes, byte_offset, elems } => {
+                // SAFETY: the `Raw` variant is only built by
+                // `from_shared_le_bytes`, which checks that `T: PlainValue`
+                // (any bit pattern valid, no padding), that the pointer is
+                // aligned for `T`, and that `elems` elements fit inside the
+                // blob. The `Arc` keeps the bytes alive and nothing mutates
+                // them (`make_mut` refuses byte-backed buffers).
+                unsafe {
+                    std::slice::from_raw_parts(bytes.as_ptr().add(*byte_offset).cast::<T>(), *elems)
+                }
+            }
+        }
+    }
+
     /// The window's elements.
     #[must_use]
     pub fn as_slice(&self) -> &[T] {
-        &self.data[self.start..self.start + self.len]
+        &self.base_slice()[self.start..self.start + self.len]
     }
 
     /// A zero-copy sub-window of `len` elements starting at `start`
@@ -74,40 +150,90 @@ impl<T> Buffer<T> {
             start + len,
             self.len
         );
-        Buffer { data: Arc::clone(&self.data), start: self.start + start, len }
+        Buffer { repr: self.repr.clone(), start: self.start + start, len }
     }
 
-    /// True when no other clone shares this buffer's storage.
+    /// True when no other clone shares this buffer's storage. Byte-backed
+    /// buffers report `false`: their storage belongs to the blob.
     #[must_use]
     pub fn is_unique(&self) -> bool {
-        Arc::strong_count(&self.data) == 1
+        match &self.repr {
+            Repr::Owned(v) => Arc::strong_count(v) == 1,
+            Repr::Raw { .. } => false,
+        }
+    }
+
+    /// True when this buffer is a direct cast over shared file bytes
+    /// (diagnostic; used by the lazy-decode tests).
+    #[must_use]
+    pub fn is_byte_backed(&self) -> bool {
+        matches!(self.repr, Repr::Raw { .. })
     }
 
     /// Mutable access to the window, available only when this is the sole
-    /// owner of the storage (returns `None` otherwise).
+    /// owner of the storage (returns `None` otherwise — always for
+    /// byte-backed buffers).
     ///
     /// This is what makes allocation-free in-place transforms safe: a
-    /// freshly decoded column is always unique, so kernels may overwrite it
-    /// directly, while shared buffers can never be observed mutating.
+    /// freshly copy-decoded column is always unique, so kernels may
+    /// overwrite it directly, while shared buffers can never be observed
+    /// mutating.
     #[must_use]
     pub fn make_mut(&mut self) -> Option<&mut [T]> {
         let (start, len) = (self.start, self.len);
-        Arc::get_mut(&mut self.data).map(|v| &mut v[start..start + len])
+        match &mut self.repr {
+            Repr::Owned(v) => Arc::get_mut(v).map(|v| &mut v[start..start + len]),
+            Repr::Raw { .. } => None,
+        }
+    }
+}
+
+impl<T: PlainValue> Buffer<T> {
+    /// A typed window over `elems` little-endian values starting
+    /// `byte_offset` bytes into a shared byte blob, without copying.
+    ///
+    /// Returns `None` — callers fall back to copy-decoding — when any
+    /// precondition fails: big-endian target, out-of-range window, or a
+    /// base address not aligned for `T` (page payloads are 8-byte aligned
+    /// relative to the file, but the blob's own allocation decides the
+    /// final address, so this is checked at runtime).
+    #[must_use]
+    pub fn from_shared_le_bytes(
+        bytes: Arc<Vec<u8>>,
+        byte_offset: usize,
+        elems: usize,
+    ) -> Option<Self> {
+        if cfg!(target_endian = "big") {
+            return None;
+        }
+        let byte_len = elems.checked_mul(std::mem::size_of::<T>())?;
+        let end = byte_offset.checked_add(byte_len)?;
+        if end > bytes.len() {
+            return None;
+        }
+        if !(bytes.as_ptr() as usize + byte_offset).is_multiple_of(std::mem::align_of::<T>()) {
+            return None;
+        }
+        Some(Buffer { repr: Repr::Raw { bytes, byte_offset, elems }, start: 0, len: elems })
     }
 }
 
 impl<T: Clone> Buffer<T> {
     /// Extracts the elements as an owned `Vec`.
     ///
-    /// Zero-copy when this is a unique, full-window buffer (the common case
-    /// for freshly decoded columns); otherwise copies the window.
+    /// Zero-copy when this is a unique, full-window owned buffer (the
+    /// common case for freshly copy-decoded columns); otherwise copies the
+    /// window.
     #[must_use]
     pub fn into_vec(self) -> Vec<T> {
-        if self.start == 0 && self.len == self.data.len() {
-            match Arc::try_unwrap(self.data) {
-                Ok(vec) => return vec,
-                Err(shared) => return shared[..self.len].to_vec(),
+        if let Repr::Owned(data) = self.repr {
+            if self.start == 0 && self.len == data.len() {
+                return match Arc::try_unwrap(data) {
+                    Ok(vec) => vec,
+                    Err(shared) => shared[..self.len].to_vec(),
+                };
             }
+            return data[self.start..self.start + self.len].to_vec();
         }
         self.as_slice().to_vec()
     }
@@ -257,5 +383,58 @@ mod tests {
         let b: Buffer<u32> = (0..4).collect();
         assert_eq!(b, [0, 1, 2, 3]);
         assert!(Buffer::<f32>::default().is_empty());
+    }
+
+    /// An aligned `Vec<u8>` of `n` little-endian u32 ramps starting at an
+    /// offset that is aligned for every `PlainValue` type.
+    fn le_ramp_bytes(n: u32) -> Arc<Vec<u8>> {
+        let mut bytes = vec![0u8; 8]; // 8-byte header keeps offsets interesting
+        for i in 0..n {
+            bytes.extend_from_slice(&i.to_le_bytes());
+        }
+        Arc::new(bytes)
+    }
+
+    #[test]
+    fn byte_backed_buffer_reads_without_copying() {
+        let bytes = le_ramp_bytes(16);
+        // A Vec<u8>'s allocation is effectively always 8-aligned on the
+        // supported platforms; skip (vacuously pass) if not.
+        if !(bytes.as_ptr() as usize).is_multiple_of(8) {
+            return;
+        }
+        let b = Buffer::<u32>::from_shared_le_bytes(Arc::clone(&bytes), 8, 16).unwrap();
+        assert!(b.is_byte_backed());
+        assert!(!b.is_unique());
+        assert_eq!(b.as_slice(), (0u32..16).collect::<Vec<_>>());
+        // The element data really is the blob's memory.
+        assert_eq!(b.as_slice().as_ptr().cast::<u8>(), bytes[8..].as_ptr());
+        // Windowing and cloning behave like owned buffers.
+        assert_eq!(b.slice(2, 3).as_slice(), &[2, 3, 4]);
+        assert_eq!(b.clone(), b);
+    }
+
+    #[test]
+    fn byte_backed_buffer_rejects_bad_ranges_and_misalignment() {
+        let bytes = le_ramp_bytes(4);
+        assert!(Buffer::<u32>::from_shared_le_bytes(Arc::clone(&bytes), 8, 5).is_none());
+        assert!(Buffer::<u32>::from_shared_le_bytes(Arc::clone(&bytes), usize::MAX, 1).is_none());
+        if (bytes.as_ptr() as usize).is_multiple_of(4) {
+            // Odd base offset breaks 4-byte alignment.
+            assert!(Buffer::<u32>::from_shared_le_bytes(Arc::clone(&bytes), 9, 2).is_none());
+        }
+    }
+
+    #[test]
+    fn byte_backed_buffer_never_mutates_and_copies_out() {
+        let bytes = le_ramp_bytes(4);
+        if !(bytes.as_ptr() as usize).is_multiple_of(8) {
+            return;
+        }
+        let mut b = Buffer::<u32>::from_shared_le_bytes(Arc::clone(&bytes), 8, 4).unwrap();
+        assert!(b.make_mut().is_none(), "blob-backed storage must not be mutable");
+        let v = b.into_vec();
+        assert_eq!(v, vec![0, 1, 2, 3]);
+        assert_ne!(v.as_ptr().cast::<u8>(), bytes[8..].as_ptr(), "into_vec must copy");
     }
 }

@@ -134,16 +134,59 @@ pub fn write_chunk_compressed(
     Ok(ColumnStats::from_array(array))
 }
 
-/// Reads a column chunk written by [`write_chunk`].
+/// Reads a column chunk written by [`write_chunk`], for a `buf` starting at
+/// the beginning of the written buffer (alignment base 0).
 ///
 /// # Errors
 ///
 /// Propagates page decode failures.
 pub fn read_chunk(buf: &[u8], pos: &mut usize, data_type: DataType) -> Result<Array> {
+    read_chunk_at(buf, pos, data_type, 0)
+}
+
+/// Like [`read_chunk`] for a `buf` sliced (or staged) from `base` bytes into
+/// the written file, so page payload alignment can be recomputed.
+///
+/// # Errors
+///
+/// Same as [`read_chunk`].
+pub fn read_chunk_at(buf: &[u8], pos: &mut usize, data_type: DataType, base: u64) -> Result<Array> {
     let n_pages = varint::read_u64(buf, pos)? as usize;
     let mut parts = Vec::with_capacity(n_pages);
     for _ in 0..n_pages {
-        parts.push(page::read_page(buf, pos, data_type)?);
+        parts.push(page::read_page_at(buf, pos, data_type, base)?);
+    }
+    concat_arrays(&parts)
+}
+
+/// Reads the chunk at `offset..offset + byte_len` of a shared in-memory
+/// file, decoding aligned plain pages as zero-copy views over `shared`
+/// (see [`page::read_page_shared`]). Single-page chunks — the common case —
+/// reach the caller without any value copy.
+///
+/// # Errors
+///
+/// Same as [`read_chunk`], plus [`crate::ColumnarError::UnexpectedEof`] when
+/// the range exceeds the blob.
+pub fn read_chunk_shared(
+    shared: &std::sync::Arc<Vec<u8>>,
+    offset: u64,
+    byte_len: usize,
+    data_type: DataType,
+) -> Result<Array> {
+    let start = usize::try_from(offset).map_err(|_| crate::ColumnarError::Io {
+        detail: format!("chunk offset {offset} out of addressable range"),
+    })?;
+    let end = start
+        .checked_add(byte_len)
+        .filter(|&e| e <= shared.len())
+        .ok_or(crate::ColumnarError::UnexpectedEof { context: "column chunk range" })?;
+    let buf = &shared[..end];
+    let mut pos = start;
+    let n_pages = varint::read_u64(buf, &mut pos)? as usize;
+    let mut parts = Vec::with_capacity(n_pages);
+    for _ in 0..n_pages {
+        parts.push(page::read_page_shared(shared, end, &mut pos, data_type)?);
     }
     concat_arrays(&parts)
 }

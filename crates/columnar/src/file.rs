@@ -3,13 +3,17 @@
 //! File layout:
 //!
 //! ```text
-//! magic  "PSTOCOL1"                      (8 bytes)
+//! magic  "PSTOCOL2"                      (8 bytes)
 //! column chunks, back to back            (row-group major, column minor)
 //! footer: schema, row-group metadata     (self-describing)
 //! u32 LE  CRC-32 of the footer bytes
 //! u32 LE  footer length
-//! magic  "PSTOCOL1"                      (8 bytes)
+//! magic  "PSTOCOL2"                      (8 bytes)
 //! ```
+//!
+//! Version 2 (PR 2) 8-byte-aligns every page payload (see
+//! [`crate::page::PAYLOAD_ALIGN`]); version-1 files fail at open with a
+//! clear bad-magic error instead of a misleading decode failure.
 //!
 //! The footer-at-the-end design is what lets a reader fetch metadata with two
 //! small reads and then issue *exactly one ranged read per projected column*,
@@ -28,7 +32,7 @@ use crate::schema::{DataType, Field, Schema};
 use crate::stats::ColumnStats;
 
 /// Magic bytes at both ends of every file.
-pub const MAGIC: &[u8; 8] = b"PSTOCOL1";
+pub const MAGIC: &[u8; 8] = b"PSTOCOL2";
 
 /// Footer metadata for one column chunk.
 #[derive(Debug, Clone, PartialEq)]
@@ -356,22 +360,29 @@ impl<B: BlobRead> FileReader<B> {
             .ok_or_else(|| ColumnarError::UnknownColumn { name: format!("column {column}") })?;
         let field = self.meta.schema.field(column).expect("meta/schema in sync");
         let (offset, len) = (chunk.offset, chunk.byte_len as usize);
-        let bytes: &[u8] = match self.blob.as_slice() {
-            Some(all) => {
-                let start = usize::try_from(offset).map_err(|_| ColumnarError::Io {
-                    detail: format!("chunk offset {offset} out of addressable range"),
-                })?;
-                // checked_add: corrupt metadata must surface as Err, not an
-                // overflow panic.
-                start
-                    .checked_add(len)
-                    .and_then(|end| all.get(start..end))
-                    .ok_or(ColumnarError::UnexpectedEof { context: "column chunk range" })?
-            }
-            None => scratch.read(&self.blob, offset, len)?,
+        // Lazy decode: when the blob shares its allocation, aligned plain
+        // pages are returned as views over the stored bytes — no staging
+        // and no value copy (see `column::read_chunk_shared`).
+        let array = if let Some(shared) = self.blob.as_shared() {
+            column::read_chunk_shared(&shared, offset, len, field.data_type())?
+        } else {
+            let bytes: &[u8] = match self.blob.as_slice() {
+                Some(all) => {
+                    let start = usize::try_from(offset).map_err(|_| ColumnarError::Io {
+                        detail: format!("chunk offset {offset} out of addressable range"),
+                    })?;
+                    // checked_add: corrupt metadata must surface as Err, not
+                    // an overflow panic.
+                    start
+                        .checked_add(len)
+                        .and_then(|end| all.get(start..end))
+                        .ok_or(ColumnarError::UnexpectedEof { context: "column chunk range" })?
+                }
+                None => scratch.read(&self.blob, offset, len)?,
+            };
+            let mut pos = 0usize;
+            column::read_chunk_at(bytes, &mut pos, field.data_type(), offset)?
         };
-        let mut pos = 0usize;
-        let array = column::read_chunk(bytes, &mut pos, field.data_type())?;
         if array.len() as u64 != rg.rows {
             return Err(ColumnarError::CountMismatch {
                 declared: rg.rows as usize,
@@ -519,6 +530,74 @@ mod tests {
         let b = reader.read_projected(0, &["dense_0"]).unwrap();
         assert_eq!(a, b);
         assert!(scratch.capacity() > 0);
+    }
+
+    #[test]
+    fn shared_blob_decodes_plain_f32_pages_lazily() {
+        // Single-page chunks: multi-page chunks concatenate (and so copy).
+        let bytes = {
+            let mut w = FileWriter::with_page_rows(sample_schema(), 1024);
+            w.write_row_group(&sample_columns(512, 1)).unwrap();
+            w.finish()
+        };
+        let blob = MemBlob::new(bytes.clone());
+        let blob_start = blob.as_bytes().as_ptr() as usize;
+        let blob_end = blob_start + blob.as_bytes().len();
+        let reader = FileReader::open(blob).unwrap();
+        let cols = reader.read_row_group(0).unwrap();
+        // dense_0 is a plain-encoded f32 column: with an aligned payload its
+        // decoded buffer must alias the blob's memory, not a copy.
+        let Array::Float32(values) = &cols[1] else { panic!("dense_0 is f32") };
+        assert!(values.is_byte_backed(), "plain f32 page should decode lazily");
+        let p = values.as_slice().as_ptr() as usize;
+        assert!((blob_start..blob_end).contains(&p), "decoded data must live inside the blob");
+        // Bit-identical to the staged copy-decode path (opaque backend).
+        let opaque = FileReader::open(CountingBlob::new(MemBlob::new(bytes))).unwrap();
+        assert_eq!(cols, opaque.read_row_group(0).unwrap());
+    }
+
+    #[test]
+    fn shared_blob_decodes_plain_list_values_lazily() {
+        // Large pseudo-random ids defeat delta and dictionary encoding, so
+        // the list value stream is stored plain and becomes lazy-decodable.
+        let lists: Vec<Vec<i64>> = (0..600u64)
+            .map(|i| {
+                (0..(i % 5))
+                    .map(|j| {
+                        // splitmix-style scramble: neighbors are uncorrelated.
+                        let mut v = (i * 5 + j + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                        v ^= v >> 31;
+                        v.wrapping_mul(0xbf58_476d_1ce4_e5b9) as i64
+                    })
+                    .collect()
+            })
+            .collect();
+        let schema = Schema::new(vec![Field::new("ids", DataType::ListInt64)]).unwrap();
+        let mut w = FileWriter::with_page_rows(schema, 1024);
+        w.write_row_group(&[Array::from_lists(lists.clone()).unwrap()]).unwrap();
+        let bytes = w.finish();
+        let reader = FileReader::open(MemBlob::new(bytes.clone())).unwrap();
+        let cols = reader.read_row_group(0).unwrap();
+        let Array::ListInt64 { values, .. } = &cols[0] else { panic!("list column") };
+        assert!(values.is_byte_backed(), "plain list values should decode lazily");
+        let opaque = FileReader::open(CountingBlob::new(MemBlob::new(bytes))).unwrap();
+        assert_eq!(cols, opaque.read_row_group(0).unwrap());
+    }
+
+    #[test]
+    fn lazy_and_copy_decode_agree_across_page_sizes() {
+        for page_rows in [1usize, 7, 128, 4096] {
+            let mut w = FileWriter::with_page_rows(sample_schema(), page_rows);
+            w.write_row_group(&sample_columns(300, 3)).unwrap();
+            let bytes = w.finish();
+            let lazy = FileReader::open(MemBlob::new(bytes.clone())).unwrap();
+            let copy = FileReader::open(CountingBlob::new(MemBlob::new(bytes))).unwrap();
+            assert_eq!(
+                lazy.read_row_group(0).unwrap(),
+                copy.read_row_group(0).unwrap(),
+                "page_rows {page_rows}"
+            );
+        }
     }
 
     #[test]

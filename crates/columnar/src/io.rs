@@ -27,6 +27,7 @@ use std::fs;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Random-access read interface over a stored byte blob.
 ///
@@ -67,6 +68,16 @@ pub trait BlobRead {
     fn as_slice(&self) -> Option<&[u8]> {
         None
     }
+
+    /// The blob's bytes behind their reference-counted allocation, when the
+    /// backend stores them that way ([`MemBlob`] does). This is what enables
+    /// *lazy plain-page decode*: a reader holding the `Arc` can hand out
+    /// typed [`crate::Buffer`] views directly over the stored bytes, so an
+    /// aligned plain-encoded page is never copied at all. Backends that
+    /// cannot share ownership of their bytes return `None`.
+    fn as_shared(&self) -> Option<Arc<Vec<u8>>> {
+        None
+    }
 }
 
 impl<B: BlobRead + ?Sized> BlobRead for &B {
@@ -84,6 +95,10 @@ impl<B: BlobRead + ?Sized> BlobRead for &B {
 
     fn as_slice(&self) -> Option<&[u8]> {
         (**self).as_slice()
+    }
+
+    fn as_shared(&self) -> Option<Arc<Vec<u8>>> {
+        (**self).as_shared()
     }
 }
 
@@ -136,16 +151,40 @@ impl ReadScratch {
 /// The bytes live behind an [`Arc`]: cloning a `MemBlob` is O(1) and the
 /// clone shares storage with the original, which is what lets the parallel
 /// workers hand partitions around without copying file contents.
+///
+/// For pipeline experiments, [`MemBlob::with_read_latency`] turns the blob
+/// into a storage-device stand-in: every positioned read pays a fixed
+/// latency (the thread sleeps, as it would blocked in `pread(2)` against an
+/// SSD), and the zero-copy borrows are disabled — a device exposes reads,
+/// not memory. This is what lets the Extract-overlap benches demonstrate
+/// latency hiding on any host.
 #[derive(Debug, Clone, Default)]
 pub struct MemBlob {
     data: Arc<Vec<u8>>,
+    read_latency: Duration,
 }
 
 impl MemBlob {
     /// Wraps a byte buffer.
     #[must_use]
     pub fn new(data: Vec<u8>) -> Self {
-        MemBlob { data: Arc::new(data) }
+        MemBlob { data: Arc::new(data), read_latency: Duration::ZERO }
+    }
+
+    /// Emulates device latency: every `read_at`/`read_at_into` sleeps for
+    /// `latency` before copying, and [`BlobRead::as_slice`] /
+    /// [`BlobRead::as_shared`] report `None` (reads must go through the
+    /// "device"). Shares the same underlying bytes as `self`.
+    #[must_use]
+    pub fn with_read_latency(mut self, latency: Duration) -> Self {
+        self.read_latency = latency;
+        self
+    }
+
+    /// The configured per-read latency (zero for plain memory).
+    #[must_use]
+    pub fn read_latency(&self) -> Duration {
+        self.read_latency
     }
 
     /// Borrows the underlying bytes.
@@ -174,6 +213,9 @@ impl BlobRead for MemBlob {
     }
 
     fn read_at_into(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        if !self.read_latency.is_zero() {
+            std::thread::sleep(self.read_latency);
+        }
         let start = usize::try_from(offset).map_err(|_| crate::ColumnarError::Io {
             detail: format!("offset {offset} out of addressable range"),
         })?;
@@ -186,7 +228,19 @@ impl BlobRead for MemBlob {
     }
 
     fn as_slice(&self) -> Option<&[u8]> {
-        Some(&self.data)
+        if self.read_latency.is_zero() {
+            Some(&self.data)
+        } else {
+            None
+        }
+    }
+
+    fn as_shared(&self) -> Option<Arc<Vec<u8>>> {
+        if self.read_latency.is_zero() {
+            Some(Arc::clone(&self.data))
+        } else {
+            None
+        }
     }
 }
 
@@ -248,9 +302,10 @@ impl BlobRead for FsBlob {
 /// Used to demonstrate the columnar format's selective-read property: reading
 /// two of forty columns must touch roughly 1/20 of the file.
 ///
-/// `CountingBlob` deliberately does **not** forward [`BlobRead::as_slice`]:
-/// the zero-copy borrow would bypass `read_at_into` and the counters with it,
-/// and the whole point of the decorator is to observe the traffic.
+/// `CountingBlob` deliberately does **not** forward [`BlobRead::as_slice`]
+/// or [`BlobRead::as_shared`]: the zero-copy borrows would bypass
+/// `read_at_into` and the counters with it, and the whole point of the
+/// decorator is to observe the traffic.
 #[derive(Debug)]
 pub struct CountingBlob<B> {
     inner: B,
@@ -341,6 +396,17 @@ mod tests {
     }
 
     #[test]
+    fn mem_blob_shares_its_allocation() {
+        let blob = MemBlob::new(vec![5, 6, 7]);
+        let shared = blob.as_shared().unwrap();
+        assert!(std::ptr::eq(shared.as_slice(), blob.as_bytes()));
+        let by_ref: &MemBlob = &blob;
+        assert!(BlobRead::as_shared(&by_ref).is_some());
+        // Decorators and files stay opaque.
+        assert!(CountingBlob::new(blob).as_shared().is_none());
+    }
+
+    #[test]
     fn read_at_into_fills_buffer_without_error() {
         let blob = MemBlob::new((0u8..32).collect());
         let mut buf = [0u8; 4];
@@ -359,6 +425,20 @@ mod tests {
         assert_eq!(scratch.read(&blob, 32, 8).unwrap(), (32u8..40).collect::<Vec<_>>());
         assert_eq!(scratch.read(&blob, 0, 16).unwrap().len(), 16);
         assert_eq!(scratch.capacity(), cap);
+    }
+
+    #[test]
+    fn latency_blob_behaves_like_a_device() {
+        let blob = MemBlob::new((0u8..32).collect());
+        let slow = blob.clone().with_read_latency(Duration::from_millis(5));
+        // Same bytes, device semantics: no zero-copy borrows.
+        assert_eq!(slow.read_latency(), Duration::from_millis(5));
+        assert!(slow.as_slice().is_none());
+        assert!(slow.as_shared().is_none());
+        assert!(blob.as_slice().is_some(), "plain clone keeps memory semantics");
+        let t0 = std::time::Instant::now();
+        assert_eq!(slow.read_at(4, 2).unwrap(), vec![4, 5]);
+        assert!(t0.elapsed() >= Duration::from_millis(5), "read must pay the latency");
     }
 
     #[test]

@@ -80,7 +80,7 @@ pub mod schema;
 pub mod stats;
 
 pub use array::Array;
-pub use buffer::Buffer;
+pub use buffer::{Buffer, PlainValue};
 pub use compress::Compression;
 pub use encoding::Encoding;
 pub use error::{ColumnarError, Result};

@@ -9,19 +9,44 @@
 //! varint   element count (== row count for scalar columns)
 //! varint   stored payload length in bytes
 //! u32 LE   CRC-32 of the stored payload
-//! payload  [lists only: RLE row-length stream] value stream,
-//!          optionally LZ-compressed
+//! pad      zero bytes up to the next PAYLOAD_ALIGN file boundary
+//! payload  [lists only: RLE row-length stream, value encoding tag,
+//!          zero bytes up to the next PAYLOAD_ALIGN payload boundary]
+//!          value stream, optionally LZ-compressed
 //! ```
+//!
+//! Both paddings are *recomputed* by the reader from its position (they are
+//! never stored), so they cost at most `PAYLOAD_ALIGN - 1` bytes each and no
+//! metadata. Their purpose is **lazy plain-page decode**: with the payload
+//! and the list value stream pinned to 8-byte file offsets, a reader over an
+//! in-memory blob ([`crate::BlobRead::as_shared`]) can hand out
+//! [`Buffer`](crate::Buffer) views that alias the stored bytes directly —
+//! an aligned plain-encoded page is decoded by an alignment-checked cast,
+//! not a copy (falling back to the copying decode whenever any precondition
+//! fails).
 
 use crate::array::Array;
+use crate::buffer::{Buffer, PlainValue};
 use crate::checksum::crc32;
 use crate::compress::{self, Compression};
 use crate::encoding::{self, rle, varint, Encoding};
 use crate::error::{ColumnarError, Result};
 use crate::schema::DataType;
+use std::sync::Arc;
 
 /// Default number of rows the writer packs into one page.
 pub const DEFAULT_PAGE_ROWS: usize = 4096;
+
+/// File-offset alignment the writer gives every page payload and list value
+/// stream; 8 covers every [`PlainValue`] type.
+pub const PAYLOAD_ALIGN: usize = 8;
+
+/// Zero bytes needed to advance `pos` to the next [`PAYLOAD_ALIGN`] boundary.
+#[inline]
+fn padding_for(pos: u64) -> usize {
+    let align = PAYLOAD_ALIGN as u64;
+    ((align - pos % align) % align) as usize
+}
 
 /// Encodes `array` (already sliced to page size by the caller) into `out`
 /// without compression.
@@ -68,6 +93,12 @@ pub fn write_page_with(
             rle::encode(&lengths, &mut payload);
             let enc = encoding::choose_i64_encoding(values);
             payload.push(enc.to_tag());
+            // Align the value stream relative to the payload start; combined
+            // with the payload's own file alignment below, plain-encoded
+            // list values land on a PAYLOAD_ALIGN file boundary and become
+            // eligible for lazy decode.
+            let pad = padding_for(payload.len() as u64);
+            payload.resize(payload.len() + pad, 0);
             encoding::encode_i64(enc, values, &mut payload);
             enc
         }
@@ -90,11 +121,18 @@ pub fn write_page_with(
     varint::write_u64(out, array.element_count() as u64);
     varint::write_u64(out, stored.len() as u64);
     out.extend_from_slice(&crc32(&stored).to_le_bytes());
+    // Pad the payload to PAYLOAD_ALIGN relative to the start of `out` —
+    // the file start when called through `FileWriter`. The reader recomputes
+    // the same padding from its own (absolute) position.
+    let pad = padding_for(out.len() as u64);
+    out.resize(out.len() + pad, 0);
     out.extend_from_slice(&stored);
     Ok(encoding)
 }
 
-/// Decodes one page of the given `data_type` from `buf` at `*pos`.
+/// Decodes one page of the given `data_type` from `buf` at `*pos`, where
+/// `buf` starts at the beginning of the buffer the page was written into
+/// (alignment base 0).
 ///
 /// # Errors
 ///
@@ -102,6 +140,69 @@ pub fn write_page_with(
 /// [`ColumnarError::UnexpectedEof`] on truncation and decode errors from the
 /// underlying encodings.
 pub fn read_page(buf: &[u8], pos: &mut usize, data_type: DataType) -> Result<Array> {
+    read_page_at(buf, pos, data_type, 0)
+}
+
+/// Like [`read_page`] for a `buf` that is a slice starting `base` bytes into
+/// the written file — the information the reader needs to recompute the
+/// writer's alignment padding.
+///
+/// # Errors
+///
+/// Same as [`read_page`].
+pub fn read_page_at(buf: &[u8], pos: &mut usize, data_type: DataType, base: u64) -> Result<Array> {
+    read_page_impl(buf, pos, data_type, base, None)
+}
+
+/// Like [`read_page`] over a shared in-memory file: `shared` holds the whole
+/// file, `*pos` is the absolute page offset and `end` bounds the chunk. When
+/// a plain uncompressed value stream is aligned, the returned array's
+/// buffers alias `shared` instead of copying (lazy decode).
+///
+/// # Errors
+///
+/// Same as [`read_page`], plus [`ColumnarError::UnexpectedEof`] when `end`
+/// exceeds the blob.
+pub fn read_page_shared(
+    shared: &Arc<Vec<u8>>,
+    end: usize,
+    pos: &mut usize,
+    data_type: DataType,
+) -> Result<Array> {
+    let buf =
+        shared.get(..end).ok_or(ColumnarError::UnexpectedEof { context: "shared chunk range" })?;
+    read_page_impl(buf, pos, data_type, 0, Some(shared))
+}
+
+/// A typed alias of the shared blob covering exactly the payload's
+/// remaining `count` values at `value_start`; `None` means "copy-decode
+/// instead" (not shared, compressed, length mismatch or misaligned).
+fn raw_values<T: PlainValue>(
+    shared: Option<&Arc<Vec<u8>>>,
+    payload_abs: Option<usize>,
+    payload: &[u8],
+    value_start: usize,
+    count: usize,
+) -> Option<Buffer<T>> {
+    let shared = shared?;
+    let abs = payload_abs?.checked_add(value_start)?;
+    let byte_len = count.checked_mul(std::mem::size_of::<T>())?;
+    if payload.len().checked_sub(value_start)? != byte_len {
+        return None;
+    }
+    Buffer::from_shared_le_bytes(Arc::clone(shared), abs, count)
+}
+
+/// Shared implementation of the `read_page*` family. When `shared` is
+/// `Some`, `buf` must be a prefix of it (so positions in `buf` are absolute
+/// blob offsets) and `base` must be 0.
+fn read_page_impl(
+    buf: &[u8],
+    pos: &mut usize,
+    data_type: DataType,
+    base: u64,
+    shared: Option<&Arc<Vec<u8>>>,
+) -> Result<Array> {
     let Some(&enc_tag) = buf.get(*pos) else {
         return Err(ColumnarError::UnexpectedEof { context: "page encoding tag" });
     };
@@ -120,33 +221,49 @@ pub fn read_page(buf: &[u8], pos: &mut usize, data_type: DataType) -> Result<Arr
     }
     let stored_crc = u32::from_le_bytes(buf[*pos..*pos + 4].try_into().expect("4 bytes"));
     *pos += 4;
-    if buf.len() < *pos + payload_len {
-        return Err(ColumnarError::UnexpectedEof { context: "page payload" });
-    }
-    let stored = &buf[*pos..*pos + payload_len];
+    // Skip the writer's payload alignment padding (recomputed, not stored).
+    *pos += padding_for(base + *pos as u64);
+    let stored = pos
+        .checked_add(payload_len)
+        .and_then(|end| buf.get(*pos..end))
+        .ok_or(ColumnarError::UnexpectedEof { context: "page payload" })?;
+    let payload_start = *pos;
     *pos += payload_len;
     let actual_crc = crc32(stored);
     if actual_crc != stored_crc {
         return Err(ColumnarError::ChecksumMismatch { expected: stored_crc, actual: actual_crc });
     }
     let decompressed;
-    let payload: &[u8] = match compression {
-        Compression::None => stored,
+    let (payload, payload_abs): (&[u8], Option<usize>) = match compression {
+        // In shared mode `buf` is a prefix of the blob, so `payload_start`
+        // is the payload's absolute blob offset.
+        Compression::None => (stored, shared.map(|_| payload_start)),
         Compression::Lz => {
             decompressed = compress::decompress(stored)?;
-            &decompressed
+            (&decompressed, None)
         }
     };
 
     let mut p = 0usize;
     let array = match data_type {
         DataType::Int64 => {
+            if encoding == Encoding::Plain {
+                if let Some(values) = raw_values::<i64>(shared, payload_abs, payload, 0, rows) {
+                    return finish_page(Array::Int64(values), elements);
+                }
+            }
             Array::Int64(encoding::decode_i64(encoding, payload, &mut p, rows)?.into())
         }
         DataType::Float32 => {
+            if let Some(values) = raw_values::<f32>(shared, payload_abs, payload, 0, rows) {
+                return finish_page(Array::Float32(values), elements);
+            }
             Array::Float32(encoding::plain::decode_f32(payload, &mut p, rows)?.into())
         }
         DataType::Float64 => {
+            if let Some(values) = raw_values::<f64>(shared, payload_abs, payload, 0, rows) {
+                return finish_page(Array::Float64(values), elements);
+            }
             Array::Float64(encoding::plain::decode_f64(payload, &mut p, rows)?.into())
         }
         DataType::ListInt64 => {
@@ -159,7 +276,17 @@ pub fn read_page(buf: &[u8], pos: &mut usize, data_type: DataType) -> Result<Arr
             };
             p += 1;
             let value_enc = Encoding::from_tag(value_tag)?;
-            let values = encoding::decode_i64(value_enc, payload, &mut p, elements)?;
+            // Skip the writer's value-stream alignment padding (relative to
+            // the payload start, which is itself file-aligned).
+            p += padding_for(p as u64);
+            let values: Buffer<i64> = if value_enc == Encoding::Plain {
+                match raw_values::<i64>(shared, payload_abs, payload, p, elements) {
+                    Some(buf) => buf,
+                    None => encoding::decode_i64(value_enc, payload, &mut p, elements)?.into(),
+                }
+            } else {
+                encoding::decode_i64(value_enc, payload, &mut p, elements)?.into()
+            };
             let mut offsets = Vec::with_capacity(rows + 1);
             offsets.push(0u32);
             let mut acc = 0u64;
@@ -170,9 +297,14 @@ pub fn read_page(buf: &[u8], pos: &mut usize, data_type: DataType) -> Result<Arr
                 })?;
                 offsets.push(off);
             }
-            Array::ListInt64 { offsets: offsets.into(), values: values.into() }
+            Array::ListInt64 { offsets: offsets.into(), values }
         }
     };
+    finish_page(array, elements)
+}
+
+/// Common element-count and invariant validation for every decode path.
+fn finish_page(array: Array, elements: usize) -> Result<Array> {
     if array.element_count() != elements {
         return Err(ColumnarError::CountMismatch {
             declared: elements,

@@ -9,6 +9,14 @@
 //! Section IV-C. The output must be bit-identical to the host CPU pipeline
 //! — which is the correctness argument for the offload, and is asserted in
 //! tests and integration tests.
+//!
+//! The worker shares the host executor's zero-copy substrate so CPU-vs-ISP
+//! ablations compare transform dataflow, not allocator behavior: Extract
+//! goes through `read_projected_with` + the caller's
+//! [`ScratchSpace`](presto_ops::ScratchSpace) (recycled chunk staging, lazy
+//! plain-page decode), columns are *owned* and normalized in place when
+//! uniquely held, and the chunked unit emulation drains through one
+//! recycled staging buffer per run.
 
 use presto_columnar::{Array, BlobRead, FileReader};
 use presto_datagen::RowBatch;
@@ -16,6 +24,7 @@ use presto_ops::executor::PreprocessError;
 use presto_ops::lognorm;
 use presto_ops::minibatch::{DenseMatrix, JaggedFeature, MiniBatch};
 use presto_ops::plan::PreprocessPlan;
+use presto_ops::ScratchSpace;
 
 /// On-chip feature-buffer capacity in elements. The SmartSSD build's
 /// per-unit buffers hold a few KiB; 2 KiB of 4-byte elements keeps chunks
@@ -68,9 +77,8 @@ impl IspWorker {
         &self.plan
     }
 
-    /// Runs the full in-storage pipeline over one partition blob:
-    /// P2P extract → decoder unit → generation/normalization units →
-    /// output assembly.
+    /// Runs the full in-storage pipeline over one partition blob with a
+    /// fresh scratch; see [`IspWorker::preprocess_with`].
     ///
     /// # Errors
     ///
@@ -78,6 +86,24 @@ impl IspWorker {
     pub fn preprocess<B: BlobRead>(
         &self,
         blob: B,
+    ) -> Result<(MiniBatch, IspRunStats), PreprocessError> {
+        self.preprocess_with(blob, &mut ScratchSpace::new())
+    }
+
+    /// Runs the full in-storage pipeline over one partition blob:
+    /// P2P extract → decoder unit → generation/normalization units →
+    /// output assembly. Extract stages through the caller's
+    /// [`ScratchSpace`] (recycled across partitions, like the host
+    /// workers), and the units transform the uniquely owned decode buffers
+    /// in place whenever the storage backend allows it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage/decode failures and missing-column errors.
+    pub fn preprocess_with<B: BlobRead>(
+        &self,
+        blob: B,
+        scratch: &mut ScratchSpace,
     ) -> Result<(MiniBatch, IspRunStats), PreprocessError> {
         let mut stats = IspRunStats::default();
 
@@ -101,12 +127,14 @@ impl IspWorker {
             bytes
         };
 
-        // Decoder unit: columnar pages -> on-card feature buffers.
+        // Decoder unit: columnar pages -> on-card feature buffers, staged
+        // through the worker's recycled Extract scratch (zero staging
+        // allocation once warm; in-memory blobs decode lazily).
         let needed = self.plan.required_columns();
         let names: Vec<&str> = needed.iter().map(String::as_str).collect();
-        let mut columns = Vec::with_capacity(names.len());
+        let mut columns = Vec::with_capacity(reader.row_group_count());
         for rg in 0..reader.row_group_count() {
-            columns.push(reader.read_projected(rg, &names)?);
+            columns.push(reader.read_projected_with(rg, &names, scratch.read_scratch())?);
         }
         let schema = {
             let fields: Vec<presto_columnar::Field> = needed
@@ -121,78 +149,120 @@ impl IspWorker {
         let merged: Vec<Array> = if columns.len() == 1 {
             columns.pop().expect("one row group")
         } else {
-            let mut merged = Vec::with_capacity(needed.len());
-            for c in 0..needed.len() {
-                let parts: Vec<Array> = columns.iter().map(|rg| rg[c].clone()).collect();
-                merged.push(presto_columnar::column::concat_arrays(&parts)?);
+            // Transpose row-group-major -> column-major by value: decoded
+            // arrays move into the per-column part lists without cloning.
+            let mut per_column: Vec<Vec<Array>> =
+                (0..needed.len()).map(|_| Vec::with_capacity(columns.len())).collect();
+            for row_group in columns {
+                for (c, array) in row_group.into_iter().enumerate() {
+                    per_column[c].push(array);
+                }
             }
-            merged
+            per_column
+                .into_iter()
+                .map(|parts| presto_columnar::column::concat_arrays(&parts))
+                .collect::<Result<_, _>>()?
         };
         let batch = RowBatch::new(schema, merged)?;
         let rows = batch.rows();
 
-        let labels = batch
-            .column("label")
-            .and_then(Array::as_int64)
-            .ok_or_else(|| PreprocessError::BadColumn { column: "label".into() })?
-            .to_vec();
-
-        // Feature generation unit: chunked bucketize with double buffering
-        // (one chunk in flight while the next fills).
+        // Feature generation unit first: chunked Bucketize reads the *raw*
+        // dense values, so it must run before Log rewrites them. One staged
+        // buffer emulates the unit's second on-chip feature buffer: the
+        // previous chunk's results drain to DRAM while this one transforms.
         let mut generated: Vec<(String, Vec<i64>)> = Vec::new();
+        let mut staged_ids: Vec<i64> = Vec::with_capacity(self.chunk_elems);
         for spec in self.plan.generated_specs() {
             let source = batch
                 .column(&spec.source_column)
                 .and_then(Array::as_float32)
                 .ok_or_else(|| PreprocessError::BadColumn { column: spec.source_column.clone() })?;
             let mut out = Vec::with_capacity(rows);
-            let mut staged: Vec<i64> = Vec::with_capacity(self.chunk_elems);
             for chunk in source.chunks(self.chunk_elems) {
-                // Double buffer: previous chunk's results drain to DRAM
-                // while this chunk transforms.
-                out.append(&mut staged);
-                spec.bucketizer.apply_into(chunk, &mut staged);
+                spec.bucketizer.apply_into(chunk, &mut staged_ids);
+                out.extend_from_slice(&staged_ids);
                 stats.bucketize_chunks += 1;
                 stats.elements += chunk.len() as u64;
             }
-            out.append(&mut staged);
             generated.push((spec.name.clone(), out));
         }
+
+        // The units below consume the batch column by column, normalizing
+        // uniquely owned buffers in place (shared or byte-backed decode
+        // buffers fall back to draining through the staged buffer).
+        let (schema, mut columns) = batch.into_parts();
+        let take = |columns: &mut [Array], name: &str| -> Option<Array> {
+            let idx = schema.index_of(name)?;
+            let dt = columns[idx].data_type();
+            Some(std::mem::replace(&mut columns[idx], Array::empty(dt)))
+        };
+
+        let labels = take(&mut columns, "label")
+            .and_then(|a| match a {
+                Array::Int64(buf) => Some(buf.into_vec()),
+                _ => None,
+            })
+            .ok_or_else(|| PreprocessError::BadColumn { column: "label".into() })?;
 
         // Normalization units: SigridHash (sparse) and Log (dense), chunked.
         let mut hashed: Vec<(String, Vec<u32>, Vec<i64>)> = Vec::new();
         for spec in self.plan.sparse_specs() {
-            let (offsets, values) = batch
-                .column(&spec.column)
-                .and_then(Array::as_list_int64)
+            let col = take(&mut columns, &spec.column)
                 .ok_or_else(|| PreprocessError::BadColumn { column: spec.column.clone() })?;
-            let mut out = Vec::with_capacity(values.len());
-            let mut staged: Vec<i64> = Vec::with_capacity(self.chunk_elems);
-            for chunk in values.chunks(self.chunk_elems) {
-                out.append(&mut staged);
-                spec.hasher.apply_into(chunk, &mut staged);
-                stats.normalize_chunks += 1;
-                stats.elements += chunk.len() as u64;
-            }
-            out.append(&mut staged);
-            hashed.push((spec.column.clone(), offsets.to_vec(), out));
+            let Array::ListInt64 { offsets, mut values } = col else {
+                return Err(PreprocessError::BadColumn { column: spec.column.clone() });
+            };
+            let out = match values.make_mut() {
+                Some(unique) => {
+                    for chunk in unique.chunks_mut(self.chunk_elems) {
+                        spec.hasher.apply_in_place(chunk);
+                        stats.normalize_chunks += 1;
+                        stats.elements += chunk.len() as u64;
+                    }
+                    values.into_vec()
+                }
+                None => {
+                    let mut out = Vec::with_capacity(values.len());
+                    for chunk in values.chunks(self.chunk_elems) {
+                        spec.hasher.apply_into(chunk, &mut staged_ids);
+                        out.extend_from_slice(&staged_ids);
+                        stats.normalize_chunks += 1;
+                        stats.elements += chunk.len() as u64;
+                    }
+                    out
+                }
+            };
+            hashed.push((spec.column.clone(), offsets.into_vec(), out));
         }
 
         let mut dense_norm: Vec<Vec<f32>> = Vec::new();
+        let mut staged_dense: Vec<f32> = Vec::with_capacity(self.chunk_elems);
         for name in self.plan.dense_columns() {
-            let col = batch
-                .column(name)
-                .and_then(Array::as_float32)
+            let col = take(&mut columns, name)
                 .ok_or_else(|| PreprocessError::BadColumn { column: name.clone() })?;
-            let mut out = Vec::with_capacity(col.len());
-            let mut staged: Vec<f32> = Vec::with_capacity(self.chunk_elems);
-            for chunk in col.chunks(self.chunk_elems) {
-                out.append(&mut staged);
-                lognorm::log_normalize_into(chunk, &mut staged);
-                stats.normalize_chunks += 1;
-                stats.elements += chunk.len() as u64;
-            }
-            out.append(&mut staged);
+            let Array::Float32(mut buf) = col else {
+                return Err(PreprocessError::BadColumn { column: name.clone() });
+            };
+            let out = match buf.make_mut() {
+                Some(unique) => {
+                    for chunk in unique.chunks_mut(self.chunk_elems) {
+                        lognorm::log_normalize_in_place(chunk);
+                        stats.normalize_chunks += 1;
+                        stats.elements += chunk.len() as u64;
+                    }
+                    buf.into_vec()
+                }
+                None => {
+                    let mut out = Vec::with_capacity(buf.len());
+                    for chunk in buf.chunks(self.chunk_elems) {
+                        lognorm::log_normalize_into(chunk, &mut staged_dense);
+                        out.extend_from_slice(&staged_dense);
+                        stats.normalize_chunks += 1;
+                        stats.elements += chunk.len() as u64;
+                    }
+                    out
+                }
+            };
             dense_norm.push(out);
         }
 
@@ -284,6 +354,38 @@ mod tests {
     fn zero_buffer_rejected() {
         let (_, plan, _) = setup(8);
         let _ = IspWorker::new(plan).with_buffer_elems(0);
+    }
+
+    #[test]
+    fn scratch_reuse_across_partitions_matches_fresh_runs() {
+        let mut c = RmConfig::rm1();
+        c.batch_size = 96;
+        let plan = PreprocessPlan::from_config(&c, 11).expect("plan");
+        let worker = IspWorker::new(plan.clone());
+        let mut scratch = ScratchSpace::new();
+        for seed in 0..3 {
+            let batch = generate_batch(&c, 96, 40 + seed);
+            let blob = write_partition(&batch).expect("serializes");
+            let (fresh, fresh_stats) = worker.preprocess(blob.clone()).expect("fresh");
+            let (reused, reused_stats) =
+                worker.preprocess_with(blob, &mut scratch).expect("reused");
+            assert_eq!(fresh, reused, "seed {seed}");
+            assert_eq!(fresh_stats, reused_stats, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn opaque_backend_matches_shared_backend() {
+        // CountingBlob defeats the lazy-decode path, forcing the staged
+        // fallback in every unit; outputs and stats must not change.
+        let (_, plan, blob) = setup(160);
+        let worker = IspWorker::new(plan);
+        let (shared_out, shared_stats) = worker.preprocess(blob.clone()).expect("shared");
+        let counting = presto_columnar::CountingBlob::new(blob);
+        let (opaque_out, opaque_stats) = worker.preprocess(&counting).expect("opaque");
+        assert_eq!(shared_out, opaque_out);
+        assert_eq!(shared_stats, opaque_stats);
+        assert!(counting.bytes_read() > 0);
     }
 
     #[test]

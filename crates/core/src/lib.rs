@@ -41,6 +41,6 @@ pub use datacenter::{analyze as analyze_contention, ContentionReport, Fabric, Fl
 pub use failure::{simulate_with_failures, FailureEvent, FaultyRunReport, RecoveryPolicy};
 pub use isp_worker::{IspRunStats, IspWorker};
 pub use managers::{Backend, EndToEndReport, PreprocessManager, TrainManager, TrainingJob};
-pub use pipeline::{simulate, PipelineConfig, PipelineReport};
+pub use pipeline::{simulate, simulate_measured, PipelineConfig, PipelineReport};
 pub use provision::Provisioner;
 pub use systems::System;

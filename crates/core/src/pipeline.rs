@@ -5,11 +5,22 @@
 //! manager's bounded input queue; the GPU trainer consumes them. The
 //! simulation reports GPU utilization, queue occupancy and makespan — the
 //! quantities behind Fig. 3.
+//!
+//! Two arrival models drive the producer side:
+//!
+//! * [`simulate`] — the analytic model: every worker produces at its
+//!   steady-state per-worker throughput ([`System::per_worker_throughput`]).
+//! * [`simulate_measured`] — the calibration hook: replay a *measured*
+//!   inter-arrival process, e.g. the consumer-side gaps recorded from a
+//!   real `presto_ops::stream::BatchStream` run, so the simulated trainer
+//!   is driven by the executor actually built in this repo rather than an
+//!   idealized rate.
 
 use presto_datagen::{RmConfig, WorkloadProfile};
 use presto_hwsim::event::EventQueue;
 use presto_hwsim::gpu::GpuTrainModel;
 use presto_hwsim::units::Secs;
+use std::time::Duration;
 
 use crate::systems::System;
 
@@ -168,6 +179,116 @@ pub fn simulate(
     }
 }
 
+/// Simulates `config.batches` mini-batches arriving with the *measured*
+/// inter-arrival gaps `inter_arrivals` (replayed cyclically when the run is
+/// longer than the recording) flowing into `gpu` trainers.
+///
+/// The measured process already folds in worker parallelism, Extract
+/// overlap and device contention, so it is modeled as one aggregated
+/// producer; the bounded queue still applies back-pressure — when it is
+/// full the producer holds its batch and the remaining arrivals shift
+/// later, exactly like a blocked `send` on the real output channel.
+///
+/// An empty `inter_arrivals` means "instant arrivals" (a producer that is
+/// never the bottleneck).
+#[must_use]
+pub fn simulate_measured(
+    inter_arrivals: &[Duration],
+    gpu: &GpuTrainModel,
+    model: &RmConfig,
+    config: &PipelineConfig,
+) -> PipelineReport {
+    let profile = WorkloadProfile::from_config(model);
+    let step_time = gpu.step_time(model);
+    let num_gpus = config.num_gpus.max(1);
+    let gaps: Vec<Secs> = if inter_arrivals.is_empty() {
+        vec![Secs::ZERO]
+    } else {
+        inter_arrivals.iter().map(|d| Secs::new(d.as_secs_f64())).collect()
+    };
+
+    let mut queue: usize = 0;
+    let mut started = 0usize;
+    let mut trained = 0usize;
+    // The producer holding a finished batch because the queue is full.
+    let mut producer_blocked = false;
+    let mut idle_gpus: Vec<usize> = (0..num_gpus).collect();
+    let mut gpu_busy = Secs::ZERO;
+    let mut peak_queue = 0usize;
+    let mut first_arrival: Option<Secs> = None;
+
+    let mut events: EventQueue<Event> = EventQueue::new();
+    if config.batches > 0 {
+        started = 1;
+        events.schedule_after(gaps[0], Event::BatchReady { worker: 0 });
+    }
+
+    let start_next = |events: &mut EventQueue<Event>, started: &mut usize| {
+        if *started < config.batches {
+            let gap = gaps[*started % gaps.len()];
+            *started += 1;
+            events.schedule_after(gap, Event::BatchReady { worker: 0 });
+        }
+    };
+
+    while let Some((now, event)) = events.pop() {
+        match event {
+            Event::BatchReady { .. } => {
+                first_arrival.get_or_insert(now);
+                if let Some(gpu_id) = idle_gpus.pop() {
+                    gpu_busy += step_time;
+                    events.schedule_after(step_time, Event::GpuDone { gpu: gpu_id });
+                    start_next(&mut events, &mut started);
+                } else if queue < config.queue_capacity {
+                    queue += 1;
+                    peak_queue = peak_queue.max(queue);
+                    start_next(&mut events, &mut started);
+                } else {
+                    producer_blocked = true;
+                }
+            }
+            Event::GpuDone { gpu: gpu_id } => {
+                trained += 1;
+                if queue > 0 {
+                    queue -= 1;
+                    gpu_busy += step_time;
+                    events.schedule_after(step_time, Event::GpuDone { gpu: gpu_id });
+                    if producer_blocked {
+                        queue += 1;
+                        producer_blocked = false;
+                        start_next(&mut events, &mut started);
+                    }
+                } else if producer_blocked {
+                    gpu_busy += step_time;
+                    events.schedule_after(step_time, Event::GpuDone { gpu: gpu_id });
+                    producer_blocked = false;
+                    start_next(&mut events, &mut started);
+                } else {
+                    idle_gpus.push(gpu_id);
+                }
+            }
+        }
+        if trained >= config.batches {
+            break;
+        }
+    }
+
+    let makespan = events.now();
+    let window = match first_arrival {
+        Some(t) if makespan > t => makespan - t,
+        _ => makespan,
+    };
+    let denom = window.seconds() * num_gpus as f64;
+    PipelineReport {
+        makespan,
+        gpu_busy,
+        gpu_utilization: if denom == 0.0 { 0.0 } else { (gpu_busy.seconds() / denom).min(1.0) },
+        batches_trained: trained,
+        training_throughput: trained as f64 * profile.rows as f64 / window.seconds().max(1e-12),
+        peak_queue,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,6 +368,73 @@ mod tests {
             &PipelineConfig { batches: 64, queue_capacity: 8, num_gpus: 8 },
         );
         assert!(eight.gpu_utilization < single.gpu_utilization);
+    }
+
+    #[test]
+    fn measured_fast_arrivals_saturate_the_gpu() {
+        let gpu = GpuTrainModel::a100();
+        let step = gpu.step_time(&RmConfig::rm1()).seconds();
+        // Arrivals 50x faster than training: the GPU is the bottleneck.
+        let gaps = vec![Duration::from_secs_f64(step / 50.0); 16];
+        let report = simulate_measured(
+            &gaps,
+            &gpu,
+            &RmConfig::rm1(),
+            &PipelineConfig { batches: 128, queue_capacity: 8, num_gpus: 1 },
+        );
+        assert_eq!(report.batches_trained, 128);
+        assert!(report.gpu_utilization > 0.95, "utilization {:.3}", report.gpu_utilization);
+        assert!(report.peak_queue <= 8, "peak queue {}", report.peak_queue);
+    }
+
+    #[test]
+    fn measured_slow_arrivals_starve_the_gpu_proportionally() {
+        let gpu = GpuTrainModel::a100();
+        let step = gpu.step_time(&RmConfig::rm1()).seconds();
+        // One batch every 4 step-times: utilization must settle near 25%.
+        let gaps = vec![Duration::from_secs_f64(step * 4.0)];
+        let report = simulate_measured(
+            &gaps,
+            &gpu,
+            &RmConfig::rm1(),
+            &PipelineConfig { batches: 64, queue_capacity: 8, num_gpus: 1 },
+        );
+        assert!(
+            (report.gpu_utilization - 0.25).abs() < 0.05,
+            "utilization {:.3}",
+            report.gpu_utilization
+        );
+    }
+
+    #[test]
+    fn measured_replay_cycles_and_respects_capacity() {
+        let gpu = GpuTrainModel::a100();
+        // Bursty trace shorter than the run: two instant arrivals then a
+        // long silence, replayed cyclically through a capacity-2 queue.
+        let step = gpu.step_time(&RmConfig::rm1()).seconds();
+        let gaps = [0.0, 0.0, step * 3.0].map(Duration::from_secs_f64);
+        let report = simulate_measured(
+            &gaps,
+            &gpu,
+            &RmConfig::rm1(),
+            &PipelineConfig { batches: 32, queue_capacity: 2, num_gpus: 1 },
+        );
+        assert_eq!(report.batches_trained, 32);
+        assert!(report.peak_queue <= 2, "peak queue {}", report.peak_queue);
+        assert!(report.training_throughput > 0.0);
+    }
+
+    #[test]
+    fn measured_empty_trace_means_instant_supply() {
+        let gpu = GpuTrainModel::a100();
+        let report = simulate_measured(
+            &[],
+            &gpu,
+            &RmConfig::rm1(),
+            &PipelineConfig { batches: 16, queue_capacity: 4, num_gpus: 1 },
+        );
+        assert_eq!(report.batches_trained, 16);
+        assert!(report.gpu_utilization > 0.99, "utilization {:.3}", report.gpu_utilization);
     }
 
     #[test]

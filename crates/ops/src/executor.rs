@@ -498,15 +498,36 @@ pub fn preprocess_partition_with<B: BlobRead>(
     blob: B,
     scratch: &mut ScratchSpace,
 ) -> Result<(MiniBatch, StageTimings), PreprocessError> {
+    let (batch, extract) = extract_partition_with(plan, blob, &mut scratch.read)?;
+    let (mini_batch, mut timings) = preprocess_batch_owned(plan, batch)?;
+    timings.extract = extract;
+    Ok((mini_batch, timings))
+}
+
+/// The Extract stage alone: projected read + decode + row-group merge into
+/// one owned [`RowBatch`], with its wall-clock cost.
+///
+/// This is the stage the streaming executor's prefetch thread runs for
+/// partition *i + 1* while the worker transforms partition *i* (see
+/// [`crate::stream`]); [`preprocess_partition_with`] is exactly this
+/// followed by [`preprocess_batch_owned`].
+///
+/// # Errors
+///
+/// Propagates storage, decode and schema failures.
+pub fn extract_partition_with<B: BlobRead>(
+    plan: &PreprocessPlan,
+    blob: B,
+    read: &mut ReadScratch,
+) -> Result<(RowBatch, Duration), PreprocessError> {
     let t0 = Instant::now();
     let reader = FileReader::open(blob)?;
     let needed = plan.required_columns();
     let names: Vec<&str> = needed.iter().map(String::as_str).collect();
     let mut columns = Vec::with_capacity(reader.row_group_count());
     for rg in 0..reader.row_group_count() {
-        columns.push(reader.read_projected_with(rg, &names, &mut scratch.read)?);
+        columns.push(reader.read_projected_with(rg, &names, read)?);
     }
-    let extract = t0.elapsed();
 
     // Reassemble into one RowBatch (single row group is the common case).
     let schema = {
@@ -537,10 +558,7 @@ pub fn preprocess_partition_with<B: BlobRead>(
             .collect::<Result<_, _>>()?
     };
     let batch = RowBatch::new(schema, merged)?;
-
-    let (mini_batch, mut timings) = preprocess_batch_owned(plan, batch)?;
-    timings.extract = extract;
-    Ok((mini_batch, timings))
+    Ok((batch, t0.elapsed()))
 }
 
 #[cfg(test)]

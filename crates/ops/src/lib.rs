@@ -13,8 +13,13 @@
 //!   tensor assembly in TorchRec's `KeyedJaggedTensor` layout.
 //! * [`PreprocessPlan`] + [`executor`] — the full Extract → Transform →
 //!   format-conversion pipeline over `presto-columnar` partitions.
-//! * [`parallel`] — one-worker-per-core host execution (the baseline
-//!   CPU-centric software architecture of Section II-D).
+//! * [`stream`] — the streaming pipelined executor: bounded output
+//!   channels, per-worker double-buffered Extract prefetch and
+//!   device-affine work assignment (the producer–consumer architecture of
+//!   Section II-D, actually streaming).
+//! * [`parallel`] — [`run_workers`], the drain-the-stream-into-a-`Vec`
+//!   wrapper, plus the pre-streaming materialized baseline kept for
+//!   ablations.
 //!
 //! ## The zero-copy / allocation-free hot path
 //!
@@ -57,14 +62,20 @@ pub mod minibatch;
 pub mod parallel;
 pub mod plan;
 pub mod sigridhash;
+pub mod stream;
 
 pub use bucketize::{BucketizeError, Bucketizer};
 pub use dedup::{hash_deduped, plan_dedup, DedupPlan};
 pub use executor::{
-    preprocess_batch, preprocess_batch_owned, preprocess_batch_with, preprocess_partition,
-    preprocess_partition_with, transform_batch_into, PreprocessError, ScratchSpace, StageTimings,
+    extract_partition_with, preprocess_batch, preprocess_batch_owned, preprocess_batch_with,
+    preprocess_partition, preprocess_partition_with, transform_batch_into, PreprocessError,
+    ScratchSpace, StageTimings,
 };
 pub use minibatch::{DenseMatrix, JaggedFeature, MiniBatch, ShapeError};
-pub use parallel::{run_workers, ParallelReport};
+pub use parallel::{run_workers, run_workers_materialized, ParallelReport};
 pub use plan::{GeneratedSpec, PreprocessPlan, SparseSpec};
 pub use sigridhash::{InvalidMaxValueError, SigridHasher};
+pub use stream::{
+    inter_arrivals, stream_workers, stream_workers_with, BatchStream, DeviceLoad,
+    OrderedBatchStream, StreamConfig, StreamedBatch,
+};

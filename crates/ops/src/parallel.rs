@@ -1,15 +1,23 @@
 //! Multi-worker host execution: the software architecture of Section II-D.
 //!
-//! One worker per core, each independently producing whole mini-batches from
-//! its partitions — the TorchRec producer model. Workers pull partition
-//! indices from a shared atomic counter and observe failures through a
-//! lock-free stop flag; no locks are held during transform. Each worker owns
-//! a [`ScratchSpace`], so its steady-state kernel loop allocates nothing
-//! (see [`crate::executor`]).
+//! [`run_workers`] is now a thin wrapper over the streaming executor
+//! ([`crate::stream`]): workers produce mini-batches into a bounded channel,
+//! the wrapper drains the channel through the order-restoring adapter into a
+//! `Vec`, and the output is bit-identical to serial execution. Callers that
+//! want batches *as they complete* — the real producer–consumer shape, where
+//! the trainer overlaps with preprocessing — should use
+//! [`stream_workers`](crate::stream::stream_workers) directly.
+//!
+//! [`run_workers_materialized`] preserves the previous architecture (shared
+//! ticket counter, results collected under one mutex, nothing visible until
+//! every partition is done). It exists as the ablation baseline for
+//! `benches/stream.rs` and the `ablation-stream` binary, which quantify what
+//! streaming + double-buffered Extract buys over it.
 
 use crate::executor::{preprocess_partition_with, PreprocessError, ScratchSpace};
 use crate::minibatch::MiniBatch;
 use crate::plan::PreprocessPlan;
+use crate::stream::stream_workers;
 use presto_datagen::Partition;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -35,7 +43,44 @@ impl ParallelReport {
     }
 }
 
-/// Preprocesses all `partitions` using `workers` host threads.
+/// Preprocesses all `partitions` using `workers` streaming pipelines and
+/// collects the mini-batches in partition order.
+///
+/// Equivalent to draining
+/// [`stream_workers`](crate::stream::stream_workers)`(..).into_ordered()`
+/// with a channel capacity of `2 × workers`.
+///
+/// # Errors
+///
+/// Returns the first worker error encountered; remaining work is abandoned
+/// (producers observe the stop flag within one partition).
+///
+/// # Panics
+///
+/// Panics if a worker thread itself panics.
+pub fn run_workers(
+    plan: &PreprocessPlan,
+    partitions: &[Partition],
+    workers: usize,
+) -> Result<ParallelReport, PreprocessError> {
+    let workers = workers.max(1).min(partitions.len().max(1));
+    let start = Instant::now();
+    let stream = stream_workers(plan, partitions, workers, workers * 2);
+    let mut batches = Vec::with_capacity(partitions.len());
+    for item in stream.into_ordered() {
+        batches.push(item?.batch);
+    }
+    Ok(ParallelReport { batches, elapsed: start.elapsed(), workers })
+}
+
+/// The pre-streaming execution strategy: workers pull partition indices from
+/// one shared atomic ticket and store whole mini-batches under a mutex;
+/// nothing is visible to the caller until the last partition finishes.
+///
+/// Kept as the measured baseline for the streaming ablations — it answers
+/// "what did per-worker output channels, double-buffered Extract and
+/// device-affine sharding actually buy?" in `benches/stream.rs`. Output is
+/// bit-identical to [`run_workers`].
 ///
 /// # Errors
 ///
@@ -44,7 +89,7 @@ impl ParallelReport {
 /// # Panics
 ///
 /// Panics if a worker thread itself panics.
-pub fn run_workers(
+pub fn run_workers_materialized(
     plan: &PreprocessPlan,
     partitions: &[Partition],
     workers: usize,
@@ -127,6 +172,15 @@ mod tests {
     }
 
     #[test]
+    fn streaming_wrapper_matches_materialized_baseline() {
+        let (c, ds) = tiny_dataset(7);
+        let plan = PreprocessPlan::from_config(&c, 1).unwrap();
+        let streamed = run_workers(&plan, ds.partitions(), 3).unwrap();
+        let materialized = run_workers_materialized(&plan, ds.partitions(), 3).unwrap();
+        assert_eq!(streamed.batches, materialized.batches);
+    }
+
+    #[test]
     fn output_order_follows_partition_index() {
         let (c, ds) = tiny_dataset(5);
         let plan = PreprocessPlan::from_config(&c, 1).unwrap();
@@ -166,5 +220,6 @@ mod tests {
         let bytes = partitions[1].blob.as_bytes().to_vec();
         partitions[1].blob = presto_columnar::MemBlob::new(bytes[..bytes.len() / 2].to_vec());
         assert!(run_workers(&plan, &partitions, 2).is_err());
+        assert!(run_workers_materialized(&plan, &partitions, 2).is_err());
     }
 }

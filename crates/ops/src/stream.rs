@@ -1,0 +1,830 @@
+//! Streaming pipelined execution: bounded channels, double-buffered
+//! Extract, and device-affine sharding.
+//!
+//! This is the true producer–consumer architecture of the paper's host
+//! baseline (Section II-D) and of Fig. 9's training loop: preprocessing
+//! workers *stream* finished mini-batches through a bounded channel to the
+//! consumer (the trainer), instead of materializing every batch under one
+//! lock and handing them over at the end — the stalled-trainer pattern
+//! Meta's ingestion study calls out. The first mini-batch reaches the
+//! consumer while later partitions are still being read.
+//!
+//! Three mechanisms, one per ROADMAP item this module retires:
+//!
+//! * **Bounded output channel** — [`stream_workers`] returns a
+//!   [`BatchStream`] fed by a `capacity`-bounded MPSC channel (the vendored
+//!   `crossbeam-channel`). Producers block when the consumer falls behind,
+//!   so in-flight memory is `O(capacity)`, not `O(partitions)`. The
+//!   [`BatchStream::into_ordered`] adapter restores deterministic
+//!   partition order for consumers (and tests) that need it.
+//! * **Double-buffered Extract** — with [`StreamConfig::prefetch`] on, each
+//!   worker owns a prefetch thread that runs [`extract_partition_with`]
+//!   (the projected `read_at_into` reads + decode, staged through a
+//!   recycled [`ReadScratch`]) for partition *i + 1* while the worker
+//!   transforms partition *i*: a one-slot hand-off channel holds exactly
+//!   one extracted batch, so the two in-flight partitions are the two
+//!   buffers. `FsBlob`'s positioned `pread` makes the concurrent reads
+//!   safe across workers.
+//! * **Device-affine sharding** — partitions are queued per storage device
+//!   (`Partition::device`, cf. `Dataset::partitions_on`); workers are
+//!   pinned round-robin to devices and steal cross-device only when their
+//!   home queue drains. Per-device in-flight counters record contention
+//!   when workers outnumber devices (see [`DeviceLoad`]).
+//!
+//! Failure semantics: the first worker error is forwarded into the stream
+//! as an `Err` item, the shared stop flag halts every producer within one
+//! partition, and dropping the stream (even with a full channel) drains and
+//! joins the workers — no deadlock, verified by tests.
+//!
+//! [`run_workers`](crate::run_workers) is now a thin "drain the stream into
+//! a `Vec`" wrapper over this module, bit-identical to serial execution.
+
+use crate::executor::{
+    extract_partition_with, preprocess_batch_owned, PreprocessError, ScratchSpace, StageTimings,
+};
+use crate::minibatch::MiniBatch;
+use crate::plan::PreprocessPlan;
+use crossbeam_channel::{bounded, Receiver, Sender};
+use presto_columnar::ReadScratch;
+use presto_datagen::{Partition, RowBatch};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration of one streaming run.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Worker (pipeline) count; clamped to `1..=partitions`.
+    pub workers: usize,
+    /// Output-channel capacity in mini-batches; producers block when full.
+    pub capacity: usize,
+    /// Overlap Extract of the next partition with Transform of the current
+    /// one (one prefetch thread per worker, double-buffered at the batch
+    /// level through a one-slot hand-off channel).
+    pub prefetch: bool,
+}
+
+impl StreamConfig {
+    /// `workers` pipelines over a `capacity`-bounded channel, prefetch on.
+    #[must_use]
+    pub fn new(workers: usize, capacity: usize) -> Self {
+        StreamConfig { workers, capacity, prefetch: true }
+    }
+
+    /// Disables the Extract prefetch thread (ablation switch).
+    #[must_use]
+    pub fn without_prefetch(mut self) -> Self {
+        self.prefetch = false;
+        self
+    }
+}
+
+/// One mini-batch as it leaves the pipeline.
+#[derive(Debug)]
+pub struct StreamedBatch {
+    /// Position of the source partition in the input slice.
+    pub partition: usize,
+    /// Storage device the partition lives on.
+    pub device: usize,
+    /// True when the partition was claimed off the producing worker's home
+    /// device (cross-device steal).
+    pub stolen: bool,
+    /// The preprocessed mini-batch.
+    pub batch: MiniBatch,
+    /// Per-stage wall-clock timings for this partition.
+    pub timings: StageTimings,
+    /// Consumer-side arrival time, measured from stream start. Consecutive
+    /// arrivals give the measured inter-arrival process that can drive the
+    /// pipeline simulation (`presto_core::pipeline::simulate_measured`).
+    pub arrived: Duration,
+}
+
+/// Load observed on one storage device during a streaming run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceLoad {
+    /// Device id (`Partition::device`).
+    pub device: usize,
+    /// Partitions resident on the device.
+    pub partitions: usize,
+    /// Peak simultaneously in-flight Extracts (claim until the projected
+    /// reads + decode finish — the window the device is actually busy).
+    /// Values above 1 mean workers contended for the device.
+    pub max_in_flight: usize,
+    /// Partitions taken from this device by workers homed elsewhere.
+    pub stolen_from: usize,
+}
+
+/// Per-device partition queues with affine claiming and cross-device
+/// stealing.
+#[derive(Debug)]
+struct DeviceQueues {
+    /// Sorted distinct device ids.
+    devices: Vec<usize>,
+    /// Slice positions per device slot, in partition order.
+    queues: Vec<Vec<usize>>,
+    /// Next unclaimed entry per device slot.
+    cursors: Vec<AtomicUsize>,
+    in_flight: Vec<AtomicUsize>,
+    max_in_flight: Vec<AtomicUsize>,
+    stolen_from: Vec<AtomicUsize>,
+}
+
+/// A claimed partition: slice position plus the bookkeeping needed to
+/// release the device when the batch is delivered.
+#[derive(Debug, Clone, Copy)]
+struct Claim {
+    pos: usize,
+    device_slot: usize,
+    stolen: bool,
+}
+
+impl DeviceQueues {
+    fn new(partitions: &[Partition]) -> Self {
+        let mut devices: Vec<usize> = partitions.iter().map(|p| p.device).collect();
+        devices.sort_unstable();
+        devices.dedup();
+        if devices.is_empty() {
+            devices.push(0);
+        }
+        let mut queues: Vec<Vec<usize>> = vec![Vec::new(); devices.len()];
+        for (pos, p) in partitions.iter().enumerate() {
+            let slot = devices.binary_search(&p.device).expect("device listed");
+            queues[slot].push(pos);
+        }
+        let n = devices.len();
+        DeviceQueues {
+            devices,
+            queues,
+            cursors: (0..n).map(|_| AtomicUsize::new(0)).collect(),
+            in_flight: (0..n).map(|_| AtomicUsize::new(0)).collect(),
+            max_in_flight: (0..n).map(|_| AtomicUsize::new(0)).collect(),
+            stolen_from: (0..n).map(|_| AtomicUsize::new(0)).collect(),
+        }
+    }
+
+    fn slots(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Claims the next partition for a worker homed on `home`: the home
+    /// queue first, then the other devices round-robin (a steal).
+    fn claim(&self, home: usize) -> Option<Claim> {
+        let n = self.slots();
+        for k in 0..n {
+            let slot = (home + k) % n;
+            let idx = self.cursors[slot].fetch_add(1, Ordering::Relaxed);
+            if let Some(&pos) = self.queues[slot].get(idx) {
+                let now = self.in_flight[slot].fetch_add(1, Ordering::Relaxed) + 1;
+                self.max_in_flight[slot].fetch_max(now, Ordering::Relaxed);
+                let stolen = k != 0;
+                if stolen {
+                    self.stolen_from[slot].fetch_add(1, Ordering::Relaxed);
+                }
+                return Some(Claim { pos, device_slot: slot, stolen });
+            }
+        }
+        None
+    }
+
+    fn release(&self, claim: Claim) {
+        self.in_flight[claim.device_slot].fetch_sub(1, Ordering::Relaxed);
+    }
+
+    fn report(&self) -> Vec<DeviceLoad> {
+        self.devices
+            .iter()
+            .enumerate()
+            .map(|(slot, &device)| DeviceLoad {
+                device,
+                partitions: self.queues[slot].len(),
+                max_in_flight: self.max_in_flight[slot].load(Ordering::Relaxed),
+                stolen_from: self.stolen_from[slot].load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+}
+
+/// State shared by every worker of one streaming run.
+#[derive(Debug)]
+struct SharedRun {
+    plan: PreprocessPlan,
+    partitions: Vec<Partition>,
+    queues: DeviceQueues,
+    /// Raised on the first error (and on consumer drop); producers observe
+    /// it between partitions.
+    stop: AtomicBool,
+    /// Partitions fully preprocessed (before channel delivery).
+    completed: AtomicUsize,
+}
+
+type StreamItem = Result<StreamedBatch, PreprocessError>;
+
+/// Streams `partitions` through `workers` preprocessing pipelines with
+/// Extract prefetch on; see [`stream_workers_with`].
+#[must_use]
+pub fn stream_workers(
+    plan: &PreprocessPlan,
+    partitions: &[Partition],
+    workers: usize,
+    capacity: usize,
+) -> BatchStream {
+    stream_workers_with(plan, partitions, &StreamConfig::new(workers, capacity))
+}
+
+/// Starts a streaming run and returns the consumer's end of the pipeline.
+///
+/// Mini-batches are yielded **as they complete**, tagged with their
+/// partition index; wrap with [`BatchStream::into_ordered`] for
+/// deterministic order. Worker/partition data is snapshotted via O(1)
+/// clones (`MemBlob` shares its bytes), so the stream is `'static` and
+/// outlives the borrowed arguments.
+#[must_use]
+pub fn stream_workers_with(
+    plan: &PreprocessPlan,
+    partitions: &[Partition],
+    config: &StreamConfig,
+) -> BatchStream {
+    let workers = config.workers.max(1).min(partitions.len().max(1));
+    let capacity = config.capacity.max(1);
+    let shared = Arc::new(SharedRun {
+        plan: plan.clone(),
+        partitions: partitions.to_vec(),
+        queues: DeviceQueues::new(partitions),
+        stop: AtomicBool::new(false),
+        completed: AtomicUsize::new(0),
+    });
+    let (tx, rx) = bounded::<StreamItem>(capacity);
+
+    let mut handles = Vec::with_capacity(workers * 2);
+    for worker in 0..workers {
+        let home = worker % shared.queues.slots();
+        if config.prefetch {
+            // Pipeline pair: prefetcher extracts partition i+1 while the
+            // transform worker processes partition i. The one-slot hand-off
+            // bounds each worker to a single extracted batch in flight.
+            let (stage_tx, stage_rx) =
+                bounded::<(Claim, Result<StagedExtract, PreprocessError>)>(1);
+            handles.push(spawn_named(
+                format!("presto-prefetch-{worker}"),
+                prefetch_loop(Arc::clone(&shared), home, stage_tx),
+            ));
+            handles.push(spawn_named(
+                format!("presto-stream-{worker}"),
+                transform_loop(Arc::clone(&shared), stage_rx, tx.clone()),
+            ));
+        } else {
+            handles.push(spawn_named(
+                format!("presto-stream-{worker}"),
+                fused_loop(Arc::clone(&shared), home, tx.clone()),
+            ));
+        }
+    }
+    drop(tx); // the workers' clones are now the only senders
+
+    BatchStream {
+        rx: Some(rx),
+        handles,
+        shared,
+        workers,
+        capacity,
+        prefetch: config.prefetch,
+        started: Instant::now(),
+    }
+}
+
+fn spawn_named(name: String, body: impl FnOnce() + Send + 'static) -> JoinHandle<()> {
+    std::thread::Builder::new().name(name).spawn(body).expect("spawn stream worker")
+}
+
+/// An extracted-but-not-yet-transformed partition.
+struct StagedExtract {
+    batch: RowBatch,
+    extract: Duration,
+}
+
+/// Prefetcher body: claim → Extract → hand off.
+///
+/// The double buffering is at the *batch* level: the one-slot `stage_tx`
+/// holds one fully extracted (owned) batch while this thread reads the
+/// next, so each worker keeps exactly two partitions in flight — one
+/// transforming, one extracting. Extracts here are strictly sequential, so
+/// a single recycled `ReadScratch` suffices for chunk staging (the
+/// `RowBatch` handed off owns its decoded columns and never borrows it).
+fn prefetch_loop(
+    shared: Arc<SharedRun>,
+    home: usize,
+    stage_tx: Sender<(Claim, Result<StagedExtract, PreprocessError>)>,
+) -> impl FnOnce() + Send + 'static {
+    move || {
+        let mut scratch = ReadScratch::new();
+        while !shared.stop.load(Ordering::Relaxed) {
+            let Some(claim) = shared.queues.claim(home) else { break };
+            let blob = shared.partitions[claim.pos].blob.clone();
+            let result = extract_partition_with(&shared.plan, blob, &mut scratch)
+                .map(|(batch, extract)| StagedExtract { batch, extract });
+            // The device is done with this partition once Extract returns.
+            shared.queues.release(claim);
+            let failed = result.is_err();
+            if stage_tx.send((claim, result)).is_err() || failed {
+                break;
+            }
+        }
+    }
+}
+
+/// Transform-worker body for the prefetch pipeline: staged batch →
+/// Transform + format → consumer channel.
+fn transform_loop(
+    shared: Arc<SharedRun>,
+    stage_rx: Receiver<(Claim, Result<StagedExtract, PreprocessError>)>,
+    tx: Sender<StreamItem>,
+) -> impl FnOnce() + Send + 'static {
+    move || {
+        while let Ok((claim, staged)) = stage_rx.recv() {
+            let produced = staged.and_then(|s| {
+                let (batch, mut timings) = preprocess_batch_owned(&shared.plan, s.batch)?;
+                timings.extract = s.extract;
+                Ok((batch, timings))
+            });
+            if !deliver(&shared, &tx, claim, produced) {
+                break;
+            }
+        }
+    }
+}
+
+/// Fused worker body (prefetch off): claim → full pipeline → consumer.
+fn fused_loop(
+    shared: Arc<SharedRun>,
+    home: usize,
+    tx: Sender<StreamItem>,
+) -> impl FnOnce() + Send + 'static {
+    move || {
+        let mut scratch = ScratchSpace::new();
+        while !shared.stop.load(Ordering::Relaxed) {
+            let Some(claim) = shared.queues.claim(home) else { break };
+            let blob = shared.partitions[claim.pos].blob.clone();
+            // Same split as the prefetch pipeline (Extract, then owned
+            // Transform) so the device in-flight window means the same
+            // thing in both modes.
+            let extracted = extract_partition_with(&shared.plan, blob, scratch.read_scratch());
+            shared.queues.release(claim);
+            let produced = extracted.and_then(|(batch, extract)| {
+                let (mb, mut timings) = preprocess_batch_owned(&shared.plan, batch)?;
+                timings.extract = extract;
+                Ok((mb, timings))
+            });
+            if !deliver(&shared, &tx, claim, produced) {
+                break;
+            }
+        }
+    }
+}
+
+/// Forwards the result to the consumer; returns false when the worker
+/// should stop (error produced or consumer gone). The device claim has
+/// already been released at the end of Extract.
+fn deliver(
+    shared: &SharedRun,
+    tx: &Sender<StreamItem>,
+    claim: Claim,
+    produced: Result<(MiniBatch, StageTimings), PreprocessError>,
+) -> bool {
+    match produced {
+        Ok((batch, timings)) => {
+            shared.completed.fetch_add(1, Ordering::Relaxed);
+            let partition = &shared.partitions[claim.pos];
+            let item = StreamedBatch {
+                partition: claim.pos,
+                device: partition.device,
+                stolen: claim.stolen,
+                batch,
+                timings,
+                arrived: Duration::ZERO, // stamped by the consumer on recv
+            };
+            tx.send(Ok(item)).is_ok()
+        }
+        Err(e) => {
+            // Raise the stop flag *before* blocking on the (possibly full)
+            // channel, so sibling producers halt within one partition even
+            // if the consumer is slow.
+            shared.stop.store(true, Ordering::Relaxed);
+            let _ = tx.send(Err(e));
+            false
+        }
+    }
+}
+
+/// Consumer-side inter-arrival gaps computed from a drained stream's
+/// [`StreamedBatch::arrived`] stamps (arrival order). This is the measured
+/// process `presto_core::pipeline::simulate_measured` replays to calibrate
+/// the trainer simulation against the real executor.
+#[must_use]
+pub fn inter_arrivals(arrivals: &[Duration]) -> Vec<Duration> {
+    arrivals.windows(2).map(|w| w[1].saturating_sub(w[0])).collect()
+}
+
+/// The consumer's end of a streaming run: an iterator of
+/// `Result<StreamedBatch, PreprocessError>` in completion order.
+///
+/// Dropping the stream stops the producers (stop flag + channel disconnect)
+/// and joins every worker thread; no batches leak and nothing deadlocks
+/// even when the channel is full.
+#[derive(Debug)]
+pub struct BatchStream {
+    rx: Option<Receiver<StreamItem>>,
+    handles: Vec<JoinHandle<()>>,
+    shared: Arc<SharedRun>,
+    workers: usize,
+    capacity: usize,
+    prefetch: bool,
+    started: Instant,
+}
+
+impl BatchStream {
+    /// Effective worker count (after clamping).
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Effective channel capacity (after clamping).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether Extract prefetch is active.
+    #[must_use]
+    pub fn prefetch(&self) -> bool {
+        self.prefetch
+    }
+
+    /// Partitions fully preprocessed so far (producer-side counter; a
+    /// consumer can compare it against the partition count to observe
+    /// streaming overlap).
+    #[must_use]
+    pub fn completed(&self) -> usize {
+        self.shared.completed.load(Ordering::Relaxed)
+    }
+
+    /// Per-device load snapshot (final after the stream is drained).
+    #[must_use]
+    pub fn device_report(&self) -> Vec<DeviceLoad> {
+        self.shared.queues.report()
+    }
+
+    /// Adapts the stream to yield batches in partition order, buffering
+    /// out-of-order arrivals; output is bit-identical to serial execution.
+    #[must_use]
+    pub fn into_ordered(self) -> OrderedBatchStream {
+        OrderedBatchStream { inner: self, next_index: 0, pending: BinaryHeap::new() }
+    }
+
+    fn join_workers(&mut self) {
+        for handle in self.handles.drain(..) {
+            if let Err(panic) = handle.join() {
+                if !std::thread::panicking() {
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for BatchStream {
+    type Item = StreamItem;
+
+    fn next(&mut self) -> Option<StreamItem> {
+        let item = self.rx.as_ref().and_then(|rx| rx.recv().ok());
+        match item {
+            Some(Ok(mut batch)) => {
+                batch.arrived = self.started.elapsed();
+                Some(Ok(batch))
+            }
+            Some(Err(e)) => Some(Err(e)),
+            None => {
+                // All senders gone: the run is over; reap the threads.
+                self.join_workers();
+                None
+            }
+        }
+    }
+}
+
+impl Drop for BatchStream {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        // Disconnect the channel so producers blocked on a full queue fail
+        // their send and exit instead of deadlocking.
+        self.rx = None;
+        self.join_workers();
+    }
+}
+
+/// Min-heap entry ordered by partition index.
+struct ByPartition(StreamedBatch);
+
+impl PartialEq for ByPartition {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.partition == other.0.partition
+    }
+}
+impl Eq for ByPartition {}
+impl PartialOrd for ByPartition {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ByPartition {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partition.cmp(&other.0.partition)
+    }
+}
+
+/// [`BatchStream`] adapter restoring partition order (see
+/// [`BatchStream::into_ordered`]).
+pub struct OrderedBatchStream {
+    inner: BatchStream,
+    next_index: usize,
+    pending: BinaryHeap<Reverse<ByPartition>>,
+}
+
+impl OrderedBatchStream {
+    /// The underlying completion-order stream (for its accessors).
+    #[must_use]
+    pub fn get_ref(&self) -> &BatchStream {
+        &self.inner
+    }
+}
+
+impl Iterator for OrderedBatchStream {
+    type Item = StreamItem;
+
+    fn next(&mut self) -> Option<StreamItem> {
+        loop {
+            if let Some(Reverse(head)) = self.pending.peek() {
+                if head.0.partition == self.next_index {
+                    let Reverse(ByPartition(batch)) =
+                        self.pending.pop().expect("peeked entry exists");
+                    self.next_index += 1;
+                    return Some(Ok(batch));
+                }
+            }
+            match self.inner.next() {
+                Some(Ok(batch)) if batch.partition == self.next_index => {
+                    self.next_index += 1;
+                    return Some(Ok(batch));
+                }
+                Some(Ok(batch)) => self.pending.push(Reverse(ByPartition(batch))),
+                Some(Err(e)) => return Some(Err(e)),
+                None => {
+                    // Stream over: flush whatever arrived out of order
+                    // (only reachable with gaps after an early stop).
+                    let Reverse(ByPartition(batch)) = self.pending.pop()?;
+                    self.next_index = batch.partition + 1;
+                    return Some(Ok(batch));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_datagen::{generate_batch, write_partition, Dataset, RmConfig};
+
+    fn tiny_config(rows: usize) -> RmConfig {
+        let mut c = RmConfig::rm1();
+        c.batch_size = rows;
+        c
+    }
+
+    fn dataset(partitions: usize, rows: usize, devices: usize) -> (RmConfig, Dataset) {
+        let c = tiny_config(rows);
+        let ds = Dataset::generate(&c, partitions, rows, devices, 7).unwrap();
+        (c, ds)
+    }
+
+    #[test]
+    fn streaming_matches_serial_in_order() {
+        let (c, ds) = dataset(6, 32, 2);
+        let plan = PreprocessPlan::from_config(&c, 1).unwrap();
+        let serial: Vec<MiniBatch> = ds
+            .partitions()
+            .iter()
+            .map(|p| crate::executor::preprocess_partition(&plan, p.blob.clone()).unwrap().0)
+            .collect();
+        for prefetch in [true, false] {
+            let mut config = StreamConfig::new(3, 2);
+            config.prefetch = prefetch;
+            let streamed: Vec<MiniBatch> = stream_workers_with(&plan, ds.partitions(), &config)
+                .into_ordered()
+                .map(|item| item.unwrap().batch)
+                .collect();
+            assert_eq!(streamed, serial, "prefetch={prefetch}");
+        }
+    }
+
+    #[test]
+    fn first_batch_arrives_before_last_partition_finishes() {
+        // Partition 0 is ~64x the others: with two workers, a small
+        // partition must reach the consumer while the big one is still in
+        // flight — the defining property of streaming execution.
+        let c = tiny_config(32);
+        let plan = PreprocessPlan::from_config(&c, 1).unwrap();
+        let mut partitions = Vec::new();
+        for (index, rows) in [2048usize, 32, 32, 32].into_iter().enumerate() {
+            let batch = generate_batch(&c, rows, index as u64 + 1);
+            let blob = write_partition(&batch).unwrap();
+            partitions.push(Partition { index, device: index % 2, rows, blob });
+        }
+        let mut stream = stream_workers(&plan, &partitions, 2, 4);
+        let first = stream.next().expect("stream yields").expect("no error");
+        assert!(
+            stream.completed() < partitions.len(),
+            "first batch must arrive while other partitions are unfinished"
+        );
+        assert_ne!(first.partition, 0, "the slow partition cannot be first");
+        // Drain the rest: all four partitions arrive exactly once.
+        let mut seen: Vec<usize> = stream.by_ref().map(|i| i.unwrap().partition).collect();
+        seen.push(first.partition);
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn device_affinity_prefers_home_queues_and_steals_when_drained() {
+        let (c, ds) = dataset(8, 16, 4);
+        let plan = PreprocessPlan::from_config(&c, 1).unwrap();
+        // One worker homed on device 0 must still process everything —
+        // 2 affine claims + 6 steals.
+        let stream = stream_workers_with(
+            &plan,
+            ds.partitions(),
+            &StreamConfig { workers: 1, capacity: 8, prefetch: false },
+        );
+        let mut stolen = 0usize;
+        let mut total = 0usize;
+        let report = {
+            let mut s = stream;
+            for item in s.by_ref() {
+                let b = item.unwrap();
+                total += 1;
+                stolen += usize::from(b.stolen);
+            }
+            s.device_report()
+        };
+        assert_eq!(total, 8);
+        assert_eq!(stolen, 6);
+        assert_eq!(report.len(), 4);
+        assert_eq!(report.iter().map(|d| d.partitions).sum::<usize>(), 8);
+        assert_eq!(report[0].stolen_from, 0, "home device is not stolen from");
+        assert_eq!(report[1].stolen_from + report[2].stolen_from + report[3].stolen_from, 6);
+    }
+
+    #[test]
+    fn contention_is_visible_when_workers_outnumber_devices() {
+        let (c, ds) = dataset(8, 24, 1);
+        let plan = PreprocessPlan::from_config(&c, 1).unwrap();
+        // Emulated device latency keeps each Extract on the device long
+        // enough that concurrent claims genuinely overlap, host-independent.
+        let partitions: Vec<Partition> = ds
+            .partitions()
+            .iter()
+            .map(|p| Partition {
+                index: p.index,
+                device: p.device,
+                rows: p.rows,
+                blob: p.blob.clone().with_read_latency(Duration::from_micros(200)),
+            })
+            .collect();
+        let mut stream = stream_workers(&plan, &partitions, 4, 16);
+        let n = stream.by_ref().filter(|i| i.is_ok()).count();
+        assert_eq!(n, 8);
+        let report = stream.device_report();
+        assert_eq!(report.len(), 1);
+        assert!(
+            report[0].max_in_flight > 1,
+            "4 workers on 1 device must contend (max_in_flight {})",
+            report[0].max_in_flight
+        );
+    }
+
+    #[test]
+    fn ordered_adapter_restores_partition_order() {
+        let (c, ds) = dataset(9, 16, 3);
+        let plan = PreprocessPlan::from_config(&c, 1).unwrap();
+        let order: Vec<usize> = stream_workers(&plan, ds.partitions(), 3, 2)
+            .into_ordered()
+            .map(|i| i.unwrap().partition)
+            .collect();
+        assert_eq!(order, (0..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn corrupt_partition_surfaces_error_and_stops_producers_promptly() {
+        let (c, ds) = dataset(8, 16, 1);
+        let plan = PreprocessPlan::from_config(&c, 1).unwrap();
+        let mut partitions = ds.partitions().to_vec();
+        // Truncate partition 2's blob mid-file.
+        let bytes = partitions[2].blob.as_bytes().to_vec();
+        partitions[2].blob = presto_columnar::MemBlob::new(bytes[..bytes.len() / 3].to_vec());
+        // One worker, no prefetch: claims run 0, 1, 2, ... deterministically.
+        let config = StreamConfig::new(1, 1).without_prefetch();
+        let mut stream = stream_workers_with(&plan, &partitions, &config);
+        let mut ok = 0usize;
+        let mut errors = 0usize;
+        for item in stream.by_ref() {
+            match item {
+                Ok(b) => {
+                    assert!(b.partition < 2, "nothing after the corrupt partition");
+                    ok += 1;
+                }
+                Err(e) => {
+                    assert!(matches!(e, PreprocessError::Extract(_)), "{e}");
+                    errors += 1;
+                }
+            }
+        }
+        assert_eq!((ok, errors), (2, 1), "batches before the error, then the error, then end");
+        assert_eq!(
+            stream.completed(),
+            2,
+            "the stop flag must halt the producer within one partition"
+        );
+    }
+
+    #[test]
+    fn error_send_does_not_deadlock_on_a_full_channel() {
+        let (c, ds) = dataset(6, 16, 1);
+        let plan = PreprocessPlan::from_config(&c, 1).unwrap();
+        let mut partitions = ds.partitions().to_vec();
+        let bytes = partitions[3].blob.as_bytes().to_vec();
+        partitions[3].blob = presto_columnar::MemBlob::new(bytes[..bytes.len() / 2].to_vec());
+        // Capacity-1 channel that the consumer never drains past the first
+        // item: the error producer must not wedge the run.
+        let config = StreamConfig::new(2, 1);
+        let mut stream = stream_workers_with(&plan, &partitions, &config);
+        let _first = stream.next().unwrap();
+        drop(stream); // joins workers; a deadlock would hang the test here
+    }
+
+    #[test]
+    fn capacity_one_applies_back_pressure() {
+        let (c, ds) = dataset(8, 16, 1);
+        let plan = PreprocessPlan::from_config(&c, 1).unwrap();
+        let config = StreamConfig::new(1, 1).without_prefetch();
+        let mut stream = stream_workers_with(&plan, ds.partitions(), &config);
+        let mut taken = 0usize;
+        while let Some(item) = stream.next() {
+            item.unwrap();
+            taken += 1;
+            // With one producer and capacity 1, the pipeline can never run
+            // more than (queued = 1) + (blocked in send = 1) ahead of the
+            // consumer, no matter how slowly we drain.
+            assert!(
+                stream.completed() <= taken + 2,
+                "producer ran ahead: completed {} after {} taken",
+                stream.completed(),
+                taken
+            );
+            std::thread::yield_now();
+        }
+        assert_eq!(taken, 8);
+    }
+
+    #[test]
+    fn inter_arrival_helper_computes_gaps() {
+        let stamps = [10u64, 15, 15, 40].map(Duration::from_millis);
+        assert_eq!(inter_arrivals(&stamps), [5u64, 0, 25].map(Duration::from_millis).to_vec());
+        assert!(inter_arrivals(&[]).is_empty());
+        assert!(inter_arrivals(&stamps[..1]).is_empty());
+    }
+
+    #[test]
+    fn dropping_a_full_stream_does_not_deadlock_or_leak_threads() {
+        let (c, ds) = dataset(10, 16, 2);
+        let plan = PreprocessPlan::from_config(&c, 1).unwrap();
+        let mut stream = stream_workers(&plan, ds.partitions(), 2, 1);
+        // Take one batch, then walk away with the capacity-1 channel full
+        // and producers blocked mid-send.
+        let _ = stream.next().unwrap().unwrap();
+        drop(stream); // must join every worker without hanging
+    }
+
+    #[test]
+    fn workers_and_capacity_are_clamped() {
+        let (c, ds) = dataset(2, 8, 1);
+        let plan = PreprocessPlan::from_config(&c, 1).unwrap();
+        let stream = stream_workers(&plan, ds.partitions(), 64, 0);
+        assert_eq!(stream.workers(), 2);
+        assert_eq!(stream.capacity(), 1);
+        assert!(stream.prefetch());
+        assert_eq!(stream.count(), 2);
+    }
+}

@@ -1,0 +1,535 @@
+//! Offline stand-in for `crossbeam-channel`.
+//!
+//! Implements the subset of the crossbeam-channel API the workspace uses —
+//! [`bounded`], cloneable [`Sender`]/[`Receiver`], blocking `send`/`recv`,
+//! the `try_`/`_timeout` variants and receiver iteration — over one
+//! `Mutex<VecDeque>` plus two `Condvar`s. No dependencies, no unsafe code.
+//!
+//! Semantics mirror upstream where the workspace relies on them:
+//!
+//! * `send` **blocks while the queue is full** (the back-pressure the
+//!   streaming executor builds on) and fails only when every receiver is
+//!   gone, returning the unsent value.
+//! * `recv` blocks while the queue is empty and fails once the queue is
+//!   empty **and** every sender is gone — so dropping the producers is the
+//!   end-of-stream signal.
+//! * Both endpoints are cloneable; the channel is MPMC like upstream even
+//!   though the workspace only needs MPSC.
+//!
+//! Differences from upstream, by design: no `select!`, no zero-capacity
+//! rendezvous channels (capacity is clamped to ≥ 1), and fairness is
+//! whatever the platform `Condvar` provides.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Shared channel state behind the mutex.
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    capacity: usize,
+    state: Mutex<State<T>>,
+    /// Signaled when space frees up (or the last receiver leaves).
+    not_full: Condvar,
+    /// Signaled when a value arrives (or the last sender leaves).
+    not_empty: Condvar,
+}
+
+/// Creates a bounded channel with space for `capacity` in-flight values.
+///
+/// A capacity of zero is clamped to one (upstream's rendezvous semantics
+/// are not implemented).
+#[must_use]
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        capacity: capacity.max(1),
+        state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+    });
+    (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+}
+
+/// Error returned by [`Sender::send`] when every receiver is gone; carries
+/// the value that could not be delivered.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+impl<T: fmt::Debug> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Sender::try_send`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The queue is full; the value is returned.
+    Full(T),
+    /// Every receiver is gone; the value is returned.
+    Disconnected(T),
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("sending on a full channel"),
+            TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+        }
+    }
+}
+
+impl<T: fmt::Debug> std::error::Error for TrySendError<T> {}
+
+/// Error returned by [`Receiver::recv`] once the channel is empty and every
+/// sender is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The queue is currently empty but senders remain.
+    Empty,
+    /// The queue is empty and every sender is gone.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => f.write_str("receiving on an empty channel"),
+            TryRecvError::Disconnected => {
+                f.write_str("receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The deadline passed with the queue still empty.
+    Timeout,
+    /// The queue is empty and every sender is gone.
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
+            RecvTimeoutError::Disconnected => {
+                f.write_str("receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
+/// The sending half of a [`bounded`] channel.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Delivers `value`, blocking while the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns the value when every [`Receiver`] has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut state = self.shared.state.lock().expect("channel lock");
+        loop {
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
+            if state.queue.len() < self.shared.capacity {
+                state.queue.push_back(value);
+                drop(state);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.shared.not_full.wait(state).expect("channel lock");
+        }
+    }
+
+    /// Non-blocking [`Sender::send`].
+    ///
+    /// # Errors
+    ///
+    /// [`TrySendError::Full`] when the queue is at capacity,
+    /// [`TrySendError::Disconnected`] when every receiver is gone.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut state = self.shared.state.lock().expect("channel lock");
+        if state.receivers == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if state.queue.len() >= self.shared.capacity {
+            return Err(TrySendError::Full(value));
+        }
+        state.queue.push_back(value);
+        drop(state);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Number of values currently queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shared.state.lock().expect("channel lock").queue.len()
+    }
+
+    /// True when no values are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The channel's capacity.
+    #[must_use]
+    pub fn capacity(&self) -> Option<usize> {
+        Some(self.shared.capacity)
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().expect("channel lock").senders += 1;
+        Sender { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().expect("channel lock");
+        state.senders -= 1;
+        let last = state.senders == 0;
+        drop(state);
+        if last {
+            // Wake receivers so they observe end-of-stream.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sender").field("capacity", &self.shared.capacity).finish()
+    }
+}
+
+/// The receiving half of a [`bounded`] channel.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Takes the next value, blocking while the queue is empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvError`] once the queue is empty and every [`Sender`]
+    /// has been dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.shared.state.lock().expect("channel lock");
+        loop {
+            if let Some(value) = state.queue.pop_front() {
+                drop(state);
+                self.shared.not_full.notify_one();
+                return Ok(value);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self.shared.not_empty.wait(state).expect("channel lock");
+        }
+    }
+
+    /// Non-blocking [`Receiver::recv`].
+    ///
+    /// # Errors
+    ///
+    /// [`TryRecvError::Empty`] when nothing is queued but senders remain,
+    /// [`TryRecvError::Disconnected`] at end of stream.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = self.shared.state.lock().expect("channel lock");
+        if let Some(value) = state.queue.pop_front() {
+            drop(state);
+            self.shared.not_full.notify_one();
+            return Ok(value);
+        }
+        if state.senders == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+
+    /// [`Receiver::recv`] with a deadline.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvTimeoutError::Timeout`] when `timeout` elapses first,
+    /// [`RecvTimeoutError::Disconnected`] at end of stream.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.state.lock().expect("channel lock");
+        loop {
+            if let Some(value) = state.queue.pop_front() {
+                drop(state);
+                self.shared.not_full.notify_one();
+                return Ok(value);
+            }
+            if state.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return Err(RecvTimeoutError::Timeout);
+            };
+            let (guard, result) =
+                self.shared.not_empty.wait_timeout(state, remaining).expect("channel lock");
+            state = guard;
+            if result.timed_out() && state.queue.is_empty() {
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                return Err(RecvTimeoutError::Timeout);
+            }
+        }
+    }
+
+    /// Number of values currently queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shared.state.lock().expect("channel lock").queue.len()
+    }
+
+    /// True when no values are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A blocking iterator over received values; ends when the channel is
+    /// drained and every sender is gone.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { receiver: self }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().expect("channel lock").receivers += 1;
+        Receiver { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().expect("channel lock");
+        state.receivers -= 1;
+        let last = state.receivers == 0;
+        drop(state);
+        if last {
+            // Wake blocked senders so they observe the disconnect.
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Receiver").field("capacity", &self.shared.capacity).finish()
+    }
+}
+
+/// Borrowing iterator returned by [`Receiver::iter`].
+pub struct Iter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.receiver.recv().ok()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+/// Owning iterator over a receiver.
+pub struct IntoIter<T> {
+    receiver: Receiver<T>,
+}
+
+impl<T> Iterator for IntoIter<T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.receiver.recv().ok()
+    }
+}
+
+impl<T> IntoIterator for Receiver<T> {
+    type Item = T;
+    type IntoIter = IntoIter<T>;
+
+    fn into_iter(self) -> IntoIter<T> {
+        IntoIter { receiver: self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread;
+
+    #[test]
+    fn values_arrive_in_order() {
+        let (tx, rx) = bounded(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        assert_eq!(rx.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn send_blocks_until_space_frees() {
+        let (tx, rx) = bounded(1);
+        tx.send(1u32).unwrap();
+        let sent = Arc::new(AtomicUsize::new(0));
+        let observer = Arc::clone(&sent);
+        let handle = thread::spawn(move || {
+            tx.send(2).unwrap(); // blocks: capacity 1, queue holds `1`
+            observer.store(1, Ordering::SeqCst);
+        });
+        thread::sleep(Duration::from_millis(30));
+        assert_eq!(sent.load(Ordering::SeqCst), 0, "send returned before space freed");
+        assert_eq!(rx.recv().unwrap(), 1);
+        handle.join().unwrap();
+        assert_eq!(sent.load(Ordering::SeqCst), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn recv_blocks_until_value_arrives() {
+        let (tx, rx) = bounded::<u32>(2);
+        let handle = thread::spawn(move || rx.recv().unwrap());
+        thread::sleep(Duration::from_millis(10));
+        tx.send(7).unwrap();
+        assert_eq!(handle.join().unwrap(), 7);
+    }
+
+    #[test]
+    fn dropping_all_senders_ends_the_stream() {
+        let (tx, rx) = bounded(2);
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        drop(tx);
+        tx2.send(2).unwrap();
+        drop(tx2);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn dropping_receiver_fails_blocked_and_future_sends() {
+        let (tx, rx) = bounded(1);
+        tx.send(1u8).unwrap();
+        let handle = thread::spawn(move || tx.send(2)); // blocked on full queue
+        thread::sleep(Duration::from_millis(20));
+        drop(rx);
+        assert_eq!(handle.join().unwrap(), Err(SendError(2)));
+    }
+
+    #[test]
+    fn try_variants_report_state() {
+        let (tx, rx) = bounded(1);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.try_send(5).unwrap();
+        assert_eq!(tx.try_send(6), Err(TrySendError::Full(6)));
+        assert_eq!(rx.try_recv(), Ok(5));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_succeeds() {
+        let (tx, rx) = bounded(1);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Timeout));
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(9));
+        drop(tx);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Disconnected));
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let (tx, rx) = bounded(0);
+        assert_eq!(tx.capacity(), Some(1));
+        tx.send(1).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+    }
+
+    #[test]
+    fn mpmc_under_contention_delivers_everything_exactly_once() {
+        let (tx, rx) = bounded(3);
+        let mut producers = Vec::new();
+        for p in 0..4u64 {
+            let tx = tx.clone();
+            producers.push(thread::spawn(move || {
+                for i in 0..50u64 {
+                    tx.send(p * 1000 + i).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let mut consumers = Vec::new();
+        for _ in 0..2 {
+            let rx = rx.clone();
+            consumers.push(thread::spawn(move || rx.iter().collect::<Vec<u64>>()));
+        }
+        drop(rx);
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut all: Vec<u64> = consumers.into_iter().flat_map(|c| c.join().unwrap()).collect();
+        all.sort_unstable();
+        let expected: Vec<u64> =
+            (0..4u64).flat_map(|p| (0..50u64).map(move |i| p * 1000 + i)).collect();
+        assert_eq!(all, expected);
+    }
+}

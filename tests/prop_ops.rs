@@ -172,3 +172,47 @@ proptest! {
         prop_assert_eq!(as_bits(&in_place), expected_bits);
     }
 }
+
+// The `fast-math` accuracy contract: bit-identical to `f32::ln_1p` with the
+// feature off, ULP-bounded against it with the feature on.
+#[cfg(not(feature = "fast-math"))]
+mod lognorm_default_build {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn log_normalize_is_bit_identical_to_std_ln_1p(
+            values in vec(any::<f32>(), 0..300),
+        ) {
+            for (&x, y) in values.iter().zip(lognorm::log_normalize(&values)) {
+                let want = if x.is_nan() { 0.0f32 } else { x.max(0.0).ln_1p() };
+                prop_assert_eq!(y.to_bits(), want.to_bits());
+            }
+        }
+    }
+}
+
+#[cfg(feature = "fast-math")]
+mod lognorm_fast_build {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn log_normalize_is_ulp_bounded_against_std_ln_1p(
+            values in vec(any::<f32>(), 0..300),
+        ) {
+            for (&x, y) in values.iter().zip(lognorm::log_normalize(&values)) {
+                let want = if x.is_nan() { 0.0f32 } else { x.max(0.0).ln_1p() };
+                let ulp = if y == want { 0 } else { y.to_bits().abs_diff(want.to_bits()) };
+                prop_assert!(
+                    ulp <= lognorm::fast::MAX_ULP_ERROR,
+                    "x = {:e}: got {:e}, want {:e} ({} ulp)", x, y, want, ulp
+                );
+            }
+        }
+    }
+}

@@ -3,10 +3,11 @@
 //! partition, and all of them again over a *reused* scratch — must produce
 //! bit-identical mini-batches for arbitrary workload shapes.
 
-use presto::datagen::{generate_batch, write_partition, RmConfig};
+use presto::datagen::{generate_batch, write_partition, Dataset, RmConfig};
 use presto::ops::{
     preprocess_batch, preprocess_batch_owned, preprocess_batch_with, preprocess_partition,
-    preprocess_partition_with, PreprocessPlan, ScratchSpace,
+    preprocess_partition_with, run_workers, run_workers_materialized, stream_workers_with,
+    MiniBatch, PreprocessPlan, ScratchSpace, StreamConfig,
 };
 use proptest::prelude::*;
 
@@ -63,6 +64,45 @@ proptest! {
         // transforms must never leak back into shared storage).
         let (again, _) = preprocess_partition(&plan, blob).expect("repeat partition");
         prop_assert_eq!(&again, &reference);
+    }
+
+    #[test]
+    fn streaming_paths_are_bit_identical_to_serial(
+        (config, rows, seed) in arb_shape(),
+        workers in 1usize..5,
+        capacity in 1usize..4,
+        devices in 1usize..4,
+    ) {
+        // The whole executor matrix over one multi-partition dataset:
+        // serial, streaming (ordered, with and without Extract prefetch),
+        // the run_workers wrapper and the materialized baseline must all
+        // produce the same bytes.
+        let partitions = 1 + (seed % 5) as usize;
+        let ds = Dataset::generate(&config, partitions, rows, devices, seed ^ 0x51ED)
+            .expect("dataset generates");
+        let plan = PreprocessPlan::from_config(&config, 3).expect("plan builds");
+        let serial: Vec<MiniBatch> = ds
+            .partitions()
+            .iter()
+            .map(|p| preprocess_partition(&plan, p.blob.clone()).expect("serial path").0)
+            .collect();
+
+        for prefetch in [true, false] {
+            let mut stream_config = StreamConfig::new(workers, capacity);
+            stream_config.prefetch = prefetch;
+            let streamed: Vec<MiniBatch> =
+                stream_workers_with(&plan, ds.partitions(), &stream_config)
+                    .into_ordered()
+                    .map(|item| item.expect("streamed batch").batch)
+                    .collect();
+            prop_assert_eq!(&streamed, &serial);
+        }
+
+        let wrapped = run_workers(&plan, ds.partitions(), workers).expect("wrapper");
+        prop_assert_eq!(&wrapped.batches, &serial);
+        let materialized =
+            run_workers_materialized(&plan, ds.partitions(), workers).expect("baseline");
+        prop_assert_eq!(&materialized.batches, &serial);
     }
 
     #[test]
