@@ -5,14 +5,18 @@
 //! Run with `cargo run --release -p presto-bench --bin ablation-stream`.
 
 use presto_bench::{banner, print_table};
+use presto_columnar::{Device, DeviceModel};
 use presto_core::pipeline::{simulate, simulate_measured, PipelineConfig};
 use presto_core::systems::System;
 use presto_datagen::{Dataset, Partition, RmConfig};
 use presto_hwsim::gpu::GpuTrainModel;
+use presto_hwsim::ssd::SsdModel;
+use presto_hwsim::units::Secs;
 use presto_metrics::{percent, TextTable};
 use presto_ops::{
     inter_arrivals, run_workers_materialized, stream_workers_with, PreprocessPlan, StreamConfig,
 };
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Drains one streaming run; returns (elapsed, arrival stamps, device
@@ -117,7 +121,68 @@ fn main() {
     print_table(&t);
     println!();
 
-    // 4. Calibration: replay the measured consumer-side inter-arrival
+    // 4. Queue-depth device model: the same partitions behind ONE emulated
+    // device whose queue depth limits read concurrency. The schedule
+    // makespan the token queue produces must agree with the hwsim SSD
+    // model's predicted serialization (ceil(reads / depth) x latency) —
+    // within 10% at queue depth 1, where the device is fully backlogged.
+    let latency = Duration::from_micros(500);
+    let qd_partitions = 8usize;
+    let qd_ds = Dataset::generate(&config, qd_partitions, 256, 1, 11).expect("dataset");
+    let mut t = TextTable::new(vec![
+        "queue depth",
+        "samples/s",
+        "device reads",
+        "queue wait (ms)",
+        "device makespan (ms)",
+        "hwsim predicted (ms)",
+        "measured/predicted",
+    ]);
+    let mut qd1_ratio = None;
+    for qd in [1usize, 2, 4, 32] {
+        let device = Arc::new(Device::new(DeviceModel::new(latency, qd)));
+        let gated: Vec<Partition> = qd_ds
+            .partitions()
+            .iter()
+            .map(|p| Partition {
+                index: p.index,
+                device: p.device,
+                rows: p.rows,
+                blob: p.blob.clone().behind_device(Arc::clone(&device)),
+            })
+            .collect();
+        let cfg = StreamConfig::new(4, 8);
+        let (elapsed, _, _, _) = run_stream(&plan, &gated, &cfg);
+        let stats = device.stats();
+        let predicted = SsdModel::nvme()
+            .with_queue_depth(qd)
+            .queued_service_time(stats.reads, Secs::new(latency.as_secs_f64()));
+        let ratio = stats.makespan.as_secs_f64() / predicted.seconds().max(1e-12);
+        if qd == 1 {
+            qd1_ratio = Some(ratio);
+        }
+        t.row(vec![
+            qd.to_string(),
+            throughput(qd_partitions * 256, elapsed),
+            stats.reads.to_string(),
+            format!("{:.1}", stats.queue_wait.as_secs_f64() * 1e3),
+            format!("{:.1}", stats.makespan.as_secs_f64() * 1e3),
+            format!("{:.1}", predicted.seconds() * 1e3),
+            format!("{ratio:.3}"),
+        ]);
+    }
+    println!("-- Queue-depth device model (4 workers, 1 device, 500us/read) --");
+    print_table(&t);
+    let qd1_ratio = qd1_ratio.expect("queue depth 1 measured");
+    println!(
+        "queue depth 1 serializes fully: measured/predicted = {qd1_ratio:.3} \
+         ({} the 10% agreement band)",
+        if (0.9..=1.1).contains(&qd1_ratio) { "within" } else { "OUTSIDE" }
+    );
+    println!("(deeper queues leave the backlog assumption, so the prediction is a lower bound)");
+    println!();
+
+    // 5. Calibration: replay the measured consumer-side inter-arrival
     // process through the trainer simulation and compare with the analytic
     // steady-state arrival model.
     let cfg = StreamConfig::new(2, 4);

@@ -1,0 +1,155 @@
+//! CI bench-regression gate: a smoke profile of the two headline hot
+//! paths, compared against a checked-in baseline.
+//!
+//! Measures (best-of-N wall-clock, small enough for a CI leg):
+//!
+//! * `preprocess_partition_rm1_rows_per_sec` — the single-worker
+//!   Extract→Transform→format pipeline over one RM1 partition
+//!   (`preprocess_partition_with`, recycled scratch), the
+//!   `preprocess_partition/rm1` criterion bench's subject.
+//! * `streaming_end_to_end_rows_per_sec` — the streaming executor feeding
+//!   the consuming trainer (`stream_workers` → `Trainer`), consumer-side
+//!   goodput.
+//!
+//! Writes the measurements to `BENCH_ci.json` (uploaded as a CI artifact)
+//! and **fails with exit code 1** when any metric regresses more than 15%
+//! (override with `CI_BENCH_MAX_REGRESSION`) against `BENCH_baseline.json`
+//! in the working directory.
+//!
+//! Refreshing the baseline after an intentional perf change:
+//!
+//! ```text
+//! CI_BENCH_WRITE_BASELINE=1 cargo run --release -p presto-bench --bin ci-bench
+//! git add BENCH_baseline.json   # commit alongside the change that moved it
+//! ```
+
+use presto_bench::{banner, parse_flat_json, print_table, render_flat_json};
+use presto_core::{Trainer, TrainerConfig};
+use presto_datagen::{generate_batch, write_partition, Dataset, RmConfig};
+use presto_metrics::TextTable;
+use presto_ops::{preprocess_partition_with, stream_workers, PreprocessPlan, ScratchSpace};
+use std::time::Instant;
+
+const BASELINE_PATH: &str = "BENCH_baseline.json";
+const OUTPUT_PATH: &str = "BENCH_ci.json";
+const DEFAULT_MAX_REGRESSION: f64 = 0.15;
+
+/// Best-of-`reps` throughput (rows/s) of one measured closure.
+fn best_of<F: FnMut() -> usize>(reps: usize, mut run: F) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let rows = run();
+        let tput = rows as f64 / start.elapsed().as_secs_f64().max(1e-12);
+        best = best.max(tput);
+    }
+    best
+}
+
+fn preprocess_partition_rm1() -> f64 {
+    let mut config = RmConfig::rm1();
+    config.batch_size = 4096;
+    let plan = PreprocessPlan::from_config(&config, 1).expect("plan");
+    let batch = generate_batch(&config, 4096, 7);
+    let blob = write_partition(&batch).expect("serializes");
+    let mut scratch = ScratchSpace::new();
+    // Warm the scratch outside the measurement, like the criterion bench.
+    preprocess_partition_with(&plan, blob.clone(), &mut scratch).expect("preprocesses");
+    best_of(5, || {
+        let (mb, _) =
+            preprocess_partition_with(&plan, blob.clone(), &mut scratch).expect("preprocesses");
+        mb.rows()
+    })
+}
+
+fn streaming_end_to_end() -> f64 {
+    let mut config = RmConfig::rm1();
+    config.batch_size = 1024;
+    let plan = PreprocessPlan::from_config(&config, 1).expect("plan");
+    let ds = Dataset::generate(&config, 8, 1024, 2, 7).expect("dataset");
+    let trainer = Trainer::new(TrainerConfig::instant());
+    best_of(3, || {
+        let stream = stream_workers(&plan, ds.partitions(), 2, 4);
+        let report = trainer.run(stream).expect("trains");
+        report.rows
+    })
+}
+
+fn main() {
+    banner(
+        "CI bench-regression gate",
+        "throughput must stay within 15% of the checked-in baseline",
+    );
+    let measured = vec![
+        ("preprocess_partition_rm1_rows_per_sec".to_owned(), preprocess_partition_rm1()),
+        ("streaming_end_to_end_rows_per_sec".to_owned(), streaming_end_to_end()),
+    ];
+    std::fs::write(OUTPUT_PATH, render_flat_json(&measured)).expect("write BENCH_ci.json");
+    println!("wrote {OUTPUT_PATH}");
+
+    if std::env::var("CI_BENCH_WRITE_BASELINE").is_ok_and(|v| v == "1") {
+        std::fs::write(BASELINE_PATH, render_flat_json(&measured))
+            .expect("write BENCH_baseline.json");
+        println!("refreshed {BASELINE_PATH}; commit it alongside your change");
+        return;
+    }
+
+    let Ok(baseline_text) = std::fs::read_to_string(BASELINE_PATH) else {
+        eprintln!(
+            "error: {BASELINE_PATH} not found — run with CI_BENCH_WRITE_BASELINE=1 \
+             from the repository root and commit the result"
+        );
+        std::process::exit(1);
+    };
+    let baseline = parse_flat_json(&baseline_text);
+    if baseline.is_empty() {
+        eprintln!(
+            "error: no numeric metrics parsed from {BASELINE_PATH} — corrupt baseline; \
+             refresh it with CI_BENCH_WRITE_BASELINE=1"
+        );
+        std::process::exit(1);
+    }
+    let max_regression = std::env::var("CI_BENCH_MAX_REGRESSION")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(DEFAULT_MAX_REGRESSION);
+
+    let mut table =
+        TextTable::new(vec!["metric", "baseline rows/s", "measured rows/s", "delta", "verdict"]);
+    let mut failed = false;
+    for (key, base) in &baseline {
+        let Some((_, now)) = measured.iter().find(|(k, _)| k == key) else {
+            eprintln!("error: baseline metric {key} is no longer measured");
+            failed = true;
+            continue;
+        };
+        let delta = now / base - 1.0;
+        let regressed = delta < -max_regression;
+        failed |= regressed;
+        table.row(vec![
+            key.clone(),
+            format!("{base:.0}"),
+            format!("{now:.0}"),
+            format!("{:+.1}%", delta * 100.0),
+            if regressed { "REGRESSED".to_owned() } else { "ok".to_owned() },
+        ]);
+    }
+    // New metrics must be gated too: a measurement without a baseline
+    // entry means the baseline was not refreshed alongside the change.
+    for (key, _) in &measured {
+        if !baseline.iter().any(|(k, _)| k == key) {
+            eprintln!("error: measured metric {key} has no baseline entry — refresh the baseline");
+            failed = true;
+        }
+    }
+    print_table(&table);
+    if failed {
+        eprintln!(
+            "bench gate FAILED: a metric regressed more than {:.0}% against {BASELINE_PATH}",
+            max_regression * 100.0
+        );
+        eprintln!("(intentional change? refresh the baseline — see the header of this binary)");
+        std::process::exit(1);
+    }
+    println!("bench gate passed (threshold {:.0}%)", max_regression * 100.0);
+}

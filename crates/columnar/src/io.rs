@@ -21,13 +21,191 @@
 //! * [`FsBlob`] uses positioned reads (`pread(2)` via
 //!   `std::os::unix::fs::FileExt`), so parallel workers reading one file do
 //!   not serialize behind a seek lock.
+//!
+//! # Emulated devices
+//!
+//! [`Device`] models a storage device as a queue-depth-limited service
+//! gate: each read occupies one of [`DeviceModel::queue_depth`] slots for
+//! [`DeviceModel::read_latency`], and reads beyond the depth serialize —
+//! the behavior an NVMe queue actually exhibits, and the one the analytic
+//! SSD model in `presto_hwsim` predicts. Place blobs behind a shared device
+//! with [`MemBlob::behind_device`] to make contention measurable on any
+//! host.
 
 use crate::error::Result;
 use std::fs;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Queue depth used by [`MemBlob::with_read_latency`]: deep enough that any
+/// realistic worker fleet in this workspace (≤ 16 pipelines) never queues,
+/// so the legacy "every read pays the latency independently" behavior is
+/// preserved while still routing through the shared [`Device`] gate.
+pub const DEFAULT_EMULATED_QUEUE_DEPTH: usize = 32;
+
+/// Parameters of an emulated storage device.
+///
+/// The device services one positioned read in [`DeviceModel::read_latency`]
+/// and can service at most [`DeviceModel::queue_depth`] reads concurrently
+/// (the NVMe queue depth). Reads beyond the depth wait for a slot — they
+/// *serialize at the device*, which is what the original sleep-per-read
+/// emulation got wrong (it modeled a device with unbounded concurrency).
+///
+/// The analytic counterpart lives in `presto_hwsim::ssd::SsdModel`
+/// (`queued_service_time`); both sides compute the same
+/// `ceil(reads / depth) × latency` makespan for a backlogged device, so the
+/// streaming ablation and the hardware model agree by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceModel {
+    /// Service time of one positioned read.
+    pub read_latency: Duration,
+    /// Reads the device services concurrently (≥ 1).
+    pub queue_depth: usize,
+}
+
+impl DeviceModel {
+    /// A device with the given per-read service latency and queue depth
+    /// (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(read_latency: Duration, queue_depth: usize) -> Self {
+        DeviceModel { read_latency, queue_depth: queue_depth.max(1) }
+    }
+
+    /// Makespan of `reads` positioned reads on a *backlogged* device:
+    /// `ceil(reads / queue_depth) × read_latency`. This is the serialization
+    /// the token queue produces when requests always outnumber slots, and it
+    /// is the exact expression `presto_hwsim::ssd::SsdModel::
+    /// queued_service_time` predicts.
+    #[must_use]
+    pub fn serialized_time(&self, reads: u64) -> Duration {
+        let waves = reads.div_ceil(self.queue_depth.max(1) as u64);
+        self.read_latency.saturating_mul(u32::try_from(waves).unwrap_or(u32::MAX))
+    }
+}
+
+/// Aggregate statistics of one emulated device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeviceStats {
+    /// Positioned reads serviced.
+    pub reads: u64,
+    /// Total service time (`reads × read_latency`).
+    pub busy: Duration,
+    /// Total time reads spent queued waiting for a device slot.
+    pub queue_wait: Duration,
+    /// Schedule makespan: first read's start to last read's completion, as
+    /// scheduled by the token queue (free of host sleep jitter).
+    pub makespan: Duration,
+}
+
+/// Slot schedule shared by every read on one device, in nanoseconds since
+/// the device's first read.
+#[derive(Debug, Default)]
+struct DeviceSchedule {
+    /// Instant the offsets below are measured from (set by the first read).
+    origin: Option<Instant>,
+    /// Per-slot busy-until offsets.
+    free_at: Vec<u64>,
+    /// Completion offset of the latest-finishing read scheduled so far.
+    last_completion: u64,
+}
+
+/// A shared emulated storage device: a queue-depth-limited gate that every
+/// positioned read on the device passes through.
+///
+/// Each read claims the earliest-free of `queue_depth` service slots; its
+/// completion deadline is `max(now, slot_free) + read_latency` and the
+/// reading thread sleeps until that *absolute* deadline. Scheduling against
+/// absolute deadlines keeps the emulation faithful: sleep overshoot on one
+/// read does not accumulate into the device's schedule, so a backlogged
+/// queue-depth-1 device serializes `N` reads into `N × latency` wall time
+/// by construction.
+///
+/// Share one `Arc<Device>` across every [`MemBlob`] placed on the same
+/// physical device ([`MemBlob::behind_device`]); per-device contention then
+/// emerges from the workload instead of being assumed away.
+#[derive(Debug)]
+pub struct Device {
+    model: DeviceModel,
+    schedule: Mutex<DeviceSchedule>,
+    reads: AtomicU64,
+    waited_nanos: AtomicU64,
+}
+
+impl Device {
+    /// Creates an idle device.
+    #[must_use]
+    pub fn new(model: DeviceModel) -> Self {
+        Device {
+            model,
+            schedule: Mutex::new(DeviceSchedule {
+                origin: None,
+                free_at: vec![0; model.queue_depth.max(1)],
+                last_completion: 0,
+            }),
+            reads: AtomicU64::new(0),
+            waited_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// The device's parameters.
+    #[must_use]
+    pub fn model(&self) -> DeviceModel {
+        self.model
+    }
+
+    /// Admits one read: claims the earliest-free slot and returns the
+    /// absolute completion deadline the caller must sleep until.
+    fn admit(&self) -> Instant {
+        let now = Instant::now();
+        let latency = u64::try_from(self.model.read_latency.as_nanos()).unwrap_or(u64::MAX);
+        let mut s = self.schedule.lock().expect("device schedule lock");
+        let origin = *s.origin.get_or_insert(now);
+        let now_off = u64::try_from(now.duration_since(origin).as_nanos()).unwrap_or(u64::MAX);
+        let slot = s
+            .free_at
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &free)| free)
+            .map(|(i, _)| i)
+            .expect("at least one slot");
+        let start = now_off.max(s.free_at[slot]);
+        let completion = start.saturating_add(latency);
+        s.free_at[slot] = completion;
+        s.last_completion = s.last_completion.max(completion);
+        drop(s);
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.waited_nanos.fetch_add(start - now_off, Ordering::Relaxed);
+        origin + Duration::from_nanos(completion)
+    }
+
+    /// Statistics accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> DeviceStats {
+        let reads = self.reads.load(Ordering::Relaxed);
+        let s = self.schedule.lock().expect("device schedule lock");
+        DeviceStats {
+            reads,
+            busy: self.model.read_latency.saturating_mul(u32::try_from(reads).unwrap_or(u32::MAX)),
+            queue_wait: Duration::from_nanos(self.waited_nanos.load(Ordering::Relaxed)),
+            makespan: Duration::from_nanos(s.last_completion),
+        }
+    }
+}
+
+/// Sleeps until the absolute `deadline` (plain `thread::sleep` in a loop —
+/// the std library has no stable `sleep_until`).
+fn sleep_until(deadline: Instant) {
+    loop {
+        let now = Instant::now();
+        let Some(remaining) = deadline.checked_duration_since(now) else { return };
+        if remaining.is_zero() {
+            return;
+        }
+        std::thread::sleep(remaining);
+    }
+}
 
 /// Random-access read interface over a stored byte blob.
 ///
@@ -152,39 +330,66 @@ impl ReadScratch {
 /// clone shares storage with the original, which is what lets the parallel
 /// workers hand partitions around without copying file contents.
 ///
-/// For pipeline experiments, [`MemBlob::with_read_latency`] turns the blob
-/// into a storage-device stand-in: every positioned read pays a fixed
-/// latency (the thread sleeps, as it would blocked in `pread(2)` against an
-/// SSD), and the zero-copy borrows are disabled — a device exposes reads,
-/// not memory. This is what lets the Extract-overlap benches demonstrate
-/// latency hiding on any host.
+/// For pipeline experiments, [`MemBlob::behind_device`] puts the blob
+/// behind an emulated storage [`Device`]: every positioned read is
+/// scheduled onto one of the device's queue-depth service slots (reads
+/// beyond the depth serialize, as they would inside an NVMe device), and
+/// the zero-copy borrows are disabled — a device exposes reads, not memory.
+/// This is what lets the Extract-overlap and contention benches demonstrate
+/// latency hiding and queueing on any host. [`MemBlob::with_read_latency`]
+/// is the legacy convenience for a private, effectively-uncontended device.
 #[derive(Debug, Clone, Default)]
 pub struct MemBlob {
     data: Arc<Vec<u8>>,
-    read_latency: Duration,
+    device: Option<Arc<Device>>,
 }
 
 impl MemBlob {
     /// Wraps a byte buffer.
     #[must_use]
     pub fn new(data: Vec<u8>) -> Self {
-        MemBlob { data: Arc::new(data), read_latency: Duration::ZERO }
+        MemBlob { data: Arc::new(data), device: None }
     }
 
-    /// Emulates device latency: every `read_at`/`read_at_into` sleeps for
-    /// `latency` before copying, and [`BlobRead::as_slice`] /
-    /// [`BlobRead::as_shared`] report `None` (reads must go through the
-    /// "device"). Shares the same underlying bytes as `self`.
+    /// Places the blob behind an emulated storage device: every
+    /// `read_at`/`read_at_into` is scheduled through `device`'s queue-depth
+    /// gate, and [`BlobRead::as_slice`] / [`BlobRead::as_shared`] report
+    /// `None` (reads must go through the "device"). Shares the same
+    /// underlying bytes as `self`; share the same `Arc<Device>` across all
+    /// blobs resident on one physical device so they contend for its slots.
     #[must_use]
-    pub fn with_read_latency(mut self, latency: Duration) -> Self {
-        self.read_latency = latency;
+    pub fn behind_device(mut self, device: Arc<Device>) -> Self {
+        self.device = Some(device);
         self
+    }
+
+    /// Emulates device latency with a private, deep-queued device
+    /// ([`DEFAULT_EMULATED_QUEUE_DEPTH`] slots): every read pays `latency`
+    /// but reads never queue behind each other — the pre-queue-model
+    /// behavior, kept for overlap experiments where contention is not the
+    /// subject. Use [`MemBlob::behind_device`] with an explicit
+    /// [`DeviceModel`] to model a real queue depth.
+    #[must_use]
+    pub fn with_read_latency(self, latency: Duration) -> Self {
+        if latency.is_zero() {
+            return self;
+        }
+        self.behind_device(Arc::new(Device::new(DeviceModel::new(
+            latency,
+            DEFAULT_EMULATED_QUEUE_DEPTH,
+        ))))
+    }
+
+    /// The emulated device backing this blob, when one is configured.
+    #[must_use]
+    pub fn device(&self) -> Option<&Arc<Device>> {
+        self.device.as_ref()
     }
 
     /// The configured per-read latency (zero for plain memory).
     #[must_use]
     pub fn read_latency(&self) -> Duration {
-        self.read_latency
+        self.device.as_ref().map_or(Duration::ZERO, |d| d.model().read_latency)
     }
 
     /// Borrows the underlying bytes.
@@ -213,8 +418,8 @@ impl BlobRead for MemBlob {
     }
 
     fn read_at_into(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
-        if !self.read_latency.is_zero() {
-            std::thread::sleep(self.read_latency);
+        if let Some(device) = &self.device {
+            sleep_until(device.admit());
         }
         let start = usize::try_from(offset).map_err(|_| crate::ColumnarError::Io {
             detail: format!("offset {offset} out of addressable range"),
@@ -228,7 +433,7 @@ impl BlobRead for MemBlob {
     }
 
     fn as_slice(&self) -> Option<&[u8]> {
-        if self.read_latency.is_zero() {
+        if self.device.is_none() {
             Some(&self.data)
         } else {
             None
@@ -236,7 +441,7 @@ impl BlobRead for MemBlob {
     }
 
     fn as_shared(&self) -> Option<Arc<Vec<u8>>> {
-        if self.read_latency.is_zero() {
+        if self.device.is_none() {
             Some(Arc::clone(&self.data))
         } else {
             None
@@ -439,6 +644,77 @@ mod tests {
         let t0 = std::time::Instant::now();
         assert_eq!(slow.read_at(4, 2).unwrap(), vec![4, 5]);
         assert!(t0.elapsed() >= Duration::from_millis(5), "read must pay the latency");
+    }
+
+    #[test]
+    fn device_model_serializes_by_waves() {
+        let m = DeviceModel::new(Duration::from_millis(2), 4);
+        assert_eq!(m.serialized_time(0), Duration::ZERO);
+        assert_eq!(m.serialized_time(4), Duration::from_millis(2));
+        assert_eq!(m.serialized_time(5), Duration::from_millis(4));
+        assert_eq!(m.serialized_time(12), Duration::from_millis(6));
+        // Depth clamps to 1.
+        assert_eq!(DeviceModel::new(Duration::from_millis(2), 0).queue_depth, 1);
+    }
+
+    #[test]
+    fn shared_device_queue_depth_one_serializes_concurrent_reads() {
+        let device = Arc::new(Device::new(DeviceModel::new(Duration::from_millis(4), 1)));
+        let blob = MemBlob::new((0u8..64).collect()).behind_device(Arc::clone(&device));
+        assert!(blob.as_slice().is_none(), "device blobs expose reads, not memory");
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            for t in 0..3usize {
+                let blob = blob.clone();
+                scope.spawn(move || {
+                    let got = blob.read_at(t as u64, 4).unwrap();
+                    assert_eq!(got[0], t as u8);
+                });
+            }
+        });
+        // Three reads through a depth-1 device cannot overlap.
+        assert!(t0.elapsed() >= Duration::from_millis(12), "elapsed {:?}", t0.elapsed());
+        let stats = device.stats();
+        assert_eq!(stats.reads, 3);
+        // Depth 1 chains completions: each read starts no earlier than the
+        // previous one finished, so the schedule makespan is at least N × L
+        // whatever the arrival spread.
+        assert!(stats.makespan >= Duration::from_millis(12), "makespan {:?}", stats.makespan);
+        assert_eq!(stats.busy, Duration::from_millis(12));
+    }
+
+    #[test]
+    fn deep_device_queue_restores_overlap() {
+        // Generous latency so scheduler noise on loaded CI hosts cannot
+        // push the overlapped case past the serialized bound (160ms).
+        let device = Arc::new(Device::new(DeviceModel::new(Duration::from_millis(40), 4)));
+        let blob = MemBlob::new(vec![1; 32]).behind_device(Arc::clone(&device));
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let blob = blob.clone();
+                scope.spawn(move || blob.read_at(0, 8).unwrap());
+            }
+        });
+        let elapsed = t0.elapsed();
+        assert!(elapsed >= Duration::from_millis(40));
+        assert!(elapsed < Duration::from_millis(120), "4 slots must overlap, took {elapsed:?}");
+        // Schedule makespan = latency + spawn skew (each read starts on
+        // arrival; no read ever queues).
+        let makespan = device.stats().makespan;
+        assert!(makespan >= Duration::from_millis(40), "makespan {makespan:?}");
+        assert!(makespan < Duration::from_millis(120), "no queueing expected, got {makespan:?}");
+    }
+
+    #[test]
+    fn clones_share_the_device_gate() {
+        let device = Arc::new(Device::new(DeviceModel::new(Duration::from_micros(100), 1)));
+        let blob = MemBlob::new(vec![0; 16]).behind_device(Arc::clone(&device));
+        let clone = blob.clone();
+        blob.read_at(0, 4).unwrap();
+        clone.read_at(4, 4).unwrap();
+        assert_eq!(device.stats().reads, 2, "both clones route through one device");
+        assert_eq!(blob.read_latency(), Duration::from_micros(100));
     }
 
     #[test]

@@ -85,6 +85,8 @@ pub use compress::Compression;
 pub use encoding::Encoding;
 pub use error::{ColumnarError, Result};
 pub use file::{ChunkMeta, FileMeta, FileReader, FileWriter, RowGroupMeta};
-pub use io::{BlobRead, CountingBlob, FsBlob, MemBlob, ReadScratch};
+pub use io::{
+    BlobRead, CountingBlob, Device, DeviceModel, DeviceStats, FsBlob, MemBlob, ReadScratch,
+};
 pub use schema::{DataType, Field, Schema};
 pub use stats::ColumnStats;

@@ -17,14 +17,28 @@
 //! plain-page decode), columns are *owned* and normalized in place when
 //! uniquely held, and the chunked unit emulation drains through one
 //! recycled staging buffer per run.
+//!
+//! [`stream_isp_workers`] drives a fleet of these workers as a streaming
+//! producer ([`IspBatchStream`], a [`BatchSource`]), so the ISP path feeds
+//! a consuming [`crate::pipeline::Trainer`] end to end exactly like the
+//! host CPU executor does — the ISP-vs-CPU comparison is measured at the
+//! trainer, not at a `Vec` drain.
 
+use crossbeam_channel::{bounded, Receiver};
 use presto_columnar::{Array, BlobRead, FileReader};
-use presto_datagen::RowBatch;
-use presto_ops::executor::PreprocessError;
+use presto_datagen::{Partition, RowBatch};
+use presto_ops::executor::{PreprocessError, StageTimings};
 use presto_ops::lognorm;
 use presto_ops::minibatch::{DenseMatrix, JaggedFeature, MiniBatch};
 use presto_ops::plan::PreprocessPlan;
+use presto_ops::stream::StreamedBatch;
 use presto_ops::ScratchSpace;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::pipeline::BatchSource;
 
 /// On-chip feature-buffer capacity in elements. The SmartSSD build's
 /// per-unit buffers hold a few KiB; 2 KiB of 4-byte elements keeps chunks
@@ -281,6 +295,189 @@ impl IspWorker {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Streaming ISP fleet: the in-storage producer side of the trainer loop.
+// ---------------------------------------------------------------------------
+
+/// State shared by the ISP fleet of one streaming run.
+#[derive(Debug)]
+struct IspShared {
+    plan: PreprocessPlan,
+    partitions: Vec<Partition>,
+    /// Next unclaimed partition (each ISP unit owns the partitions resident
+    /// on it in a real deployment; the emulation claims them in order).
+    cursor: AtomicUsize,
+    stop: AtomicBool,
+    completed: AtomicUsize,
+    p2p_bytes: AtomicU64,
+    /// Stream start; origin of every delivery (`arrived`) stamp.
+    started: Instant,
+}
+
+type IspItem = Result<StreamedBatch, PreprocessError>;
+
+/// Streams `partitions` through `workers` emulated ISP devices into a
+/// bounded channel — the in-storage counterpart of
+/// [`presto_ops::stream_workers`], so ISP-vs-CPU comparisons can both run
+/// through the same consuming [`crate::pipeline::Trainer`] instead of
+/// draining into a `Vec`.
+///
+/// Each worker owns one [`IspWorker`] (decoder + generation/normalization
+/// units) and a recycled [`ScratchSpace`]; finished mini-batches flow
+/// through a `capacity`-bounded channel with producer back-pressure, and
+/// the first error stops the fleet within one partition.
+#[must_use]
+pub fn stream_isp_workers(
+    plan: &PreprocessPlan,
+    partitions: &[Partition],
+    workers: usize,
+    capacity: usize,
+) -> IspBatchStream {
+    let workers = workers.max(1).min(partitions.len().max(1));
+    let capacity = capacity.max(1);
+    let shared = Arc::new(IspShared {
+        plan: plan.clone(),
+        partitions: partitions.to_vec(),
+        cursor: AtomicUsize::new(0),
+        stop: AtomicBool::new(false),
+        completed: AtomicUsize::new(0),
+        p2p_bytes: AtomicU64::new(0),
+        started: Instant::now(),
+    });
+    let (tx, rx) = bounded::<IspItem>(capacity);
+    let mut handles = Vec::with_capacity(workers);
+    for unit in 0..workers {
+        let shared = Arc::clone(&shared);
+        let tx = tx.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("presto-isp-{unit}"))
+            .spawn(move || {
+                let worker = IspWorker::new(shared.plan.clone());
+                let mut scratch = ScratchSpace::new();
+                while !shared.stop.load(Ordering::Relaxed) {
+                    let pos = shared.cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(partition) = shared.partitions.get(pos) else { break };
+                    match worker.preprocess_with(partition.blob.clone(), &mut scratch) {
+                        Ok((batch, stats)) => {
+                            shared.completed.fetch_add(1, Ordering::Relaxed);
+                            shared.p2p_bytes.fetch_add(stats.p2p_bytes, Ordering::Relaxed);
+                            let item = StreamedBatch {
+                                partition: pos,
+                                device: partition.device,
+                                stolen: false,
+                                batch,
+                                timings: StageTimings::default(),
+                                // Delivery stamp: the supply process,
+                                // unthrottled by the consumer (matches
+                                // the host executor's semantics).
+                                arrived: shared.started.elapsed(),
+                            };
+                            if tx.send(Ok(item)).is_err() {
+                                break;
+                            }
+                        }
+                        Err(e) => {
+                            shared.stop.store(true, Ordering::Relaxed);
+                            let _ = tx.send(Err(e));
+                            break;
+                        }
+                    }
+                }
+            })
+            .expect("spawn isp worker");
+        handles.push(handle);
+    }
+    drop(tx);
+    IspBatchStream { rx: Some(rx), handles, shared, workers, capacity }
+}
+
+/// The consumer's end of a streaming ISP run: an iterator of
+/// `Result<StreamedBatch, PreprocessError>` in completion order.
+/// Implements [`BatchSource`], so a [`crate::pipeline::Trainer`] consumes
+/// it exactly like the host executor's stream. Dropping the stream stops
+/// the fleet and joins every worker.
+#[derive(Debug)]
+pub struct IspBatchStream {
+    rx: Option<Receiver<IspItem>>,
+    handles: Vec<JoinHandle<()>>,
+    shared: Arc<IspShared>,
+    workers: usize,
+    capacity: usize,
+}
+
+impl IspBatchStream {
+    /// Effective ISP-unit count (after clamping).
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Effective channel capacity (after clamping).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Partitions fully preprocessed so far (producer-side counter).
+    #[must_use]
+    pub fn completed(&self) -> usize {
+        self.shared.completed.load(Ordering::Relaxed)
+    }
+
+    /// Bytes moved over the emulated P2P links so far, summed across units.
+    #[must_use]
+    pub fn p2p_bytes(&self) -> u64 {
+        self.shared.p2p_bytes.load(Ordering::Relaxed)
+    }
+
+    fn join_workers(&mut self) {
+        for handle in self.handles.drain(..) {
+            if let Err(panic) = handle.join() {
+                if !std::thread::panicking() {
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for IspBatchStream {
+    type Item = IspItem;
+
+    fn next(&mut self) -> Option<IspItem> {
+        let item = self.rx.as_ref().and_then(|rx| rx.recv().ok());
+        match item {
+            Some(item) => Some(item),
+            None => {
+                self.join_workers();
+                None
+            }
+        }
+    }
+}
+
+impl Drop for IspBatchStream {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        self.rx = None;
+        self.join_workers();
+    }
+}
+
+impl BatchSource for IspBatchStream {
+    fn next_batch(&mut self) -> Option<Result<StreamedBatch, PreprocessError>> {
+        self.next()
+    }
+
+    fn capacity(&self) -> usize {
+        IspBatchStream::capacity(self)
+    }
+
+    fn queued(&self) -> usize {
+        self.rx.as_ref().map_or(0, Receiver::len)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -386,6 +583,66 @@ mod tests {
         assert_eq!(shared_out, opaque_out);
         assert_eq!(shared_stats, opaque_stats);
         assert!(counting.bytes_read() > 0);
+    }
+
+    #[test]
+    fn isp_stream_matches_serial_isp_and_cpu_paths() {
+        let mut c = RmConfig::rm1();
+        c.batch_size = 48;
+        let plan = PreprocessPlan::from_config(&c, 11).expect("plan");
+        let ds = presto_datagen::Dataset::generate(&c, 6, 48, 2, 21).expect("dataset");
+        let serial: Vec<MiniBatch> = ds
+            .partitions()
+            .iter()
+            .map(|p| preprocess_partition(&plan, p.blob.clone()).unwrap().0)
+            .collect();
+        let mut stream = stream_isp_workers(&plan, ds.partitions(), 2, 2);
+        let mut got: Vec<(usize, MiniBatch)> = Vec::new();
+        for item in stream.by_ref() {
+            let b = item.expect("preprocesses");
+            got.push((b.partition, b.batch));
+        }
+        assert!(stream.p2p_bytes() > 0);
+        assert_eq!(stream.completed(), 6);
+        got.sort_by_key(|(p, _)| *p);
+        assert_eq!(got.len(), 6);
+        for (pos, batch) in got {
+            assert_eq!(batch, serial[pos], "partition {pos}");
+        }
+    }
+
+    #[test]
+    fn isp_stream_surfaces_errors_and_stops() {
+        let mut c = RmConfig::rm1();
+        c.batch_size = 32;
+        let plan = PreprocessPlan::from_config(&c, 11).expect("plan");
+        let ds = presto_datagen::Dataset::generate(&c, 5, 32, 1, 3).expect("dataset");
+        let mut partitions = ds.partitions().to_vec();
+        let bytes = partitions[1].blob.as_bytes().to_vec();
+        partitions[1].blob = presto_columnar::MemBlob::new(bytes[..bytes.len() / 4].to_vec());
+        // One worker claims partitions in order: 0 ok, 1 errors, then stop.
+        let mut stream = stream_isp_workers(&plan, &partitions, 1, 1);
+        let mut ok = 0usize;
+        let mut errors = 0usize;
+        for item in stream.by_ref() {
+            match item {
+                Ok(_) => ok += 1,
+                Err(_) => errors += 1,
+            }
+        }
+        assert_eq!((ok, errors), (1, 1));
+        assert_eq!(stream.completed(), 1, "fleet halts within one partition");
+    }
+
+    #[test]
+    fn dropping_an_isp_stream_joins_without_deadlock() {
+        let mut c = RmConfig::rm1();
+        c.batch_size = 32;
+        let plan = PreprocessPlan::from_config(&c, 11).expect("plan");
+        let ds = presto_datagen::Dataset::generate(&c, 8, 32, 2, 5).expect("dataset");
+        let mut stream = stream_isp_workers(&plan, ds.partitions(), 2, 1);
+        let _ = stream.next().unwrap().unwrap();
+        drop(stream); // full channel + live producers must not wedge
     }
 
     #[test]

@@ -15,12 +15,23 @@
 //!   real `presto_ops::stream::BatchStream` run, so the simulated trainer
 //!   is driven by the executor actually built in this repo rather than an
 //!   idealized rate.
+//!
+//! The *executable* counterpart of the simulation is the [`Trainer`]: a
+//! real consumer that pulls mini-batches off a [`BatchSource`] (the host
+//! streaming executor or the ISP emulation), spends calibrated per-batch
+//! compute on each ([`TrainerConfig::for_model`]), and reports
+//! consumer-side goodput, stall time and queue-occupancy histograms. Its
+//! measured inter-arrival trace feeds [`simulate_measured`]
+//! ([`TrainerReport::replay`]), closing the loop between the built system
+//! and the model.
 
 use presto_datagen::{RmConfig, WorkloadProfile};
 use presto_hwsim::event::EventQueue;
 use presto_hwsim::gpu::GpuTrainModel;
 use presto_hwsim::units::Secs;
-use std::time::Duration;
+use presto_ops::executor::PreprocessError;
+use presto_ops::stream::{inter_arrivals, BatchStream, StreamedBatch};
+use std::time::{Duration, Instant};
 
 use crate::systems::System;
 
@@ -289,6 +300,240 @@ pub fn simulate_measured(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Trainer in the loop: a real consumer for the streaming executor.
+// ---------------------------------------------------------------------------
+
+/// How the trainer prices the compute of one mini-batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Compute {
+    /// Fixed wall-clock time per mini-batch, whatever its size.
+    PerBatch(Duration),
+    /// Wall-clock time per sample (per-RM-model calibration: the GPU step
+    /// time divided by the model's batch size, so partitions of any size
+    /// are priced consistently).
+    PerRow(Duration),
+}
+
+/// Configuration of a [`Trainer`]: how long the consumer computes on each
+/// mini-batch it pulls off the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrainerConfig {
+    compute: Compute,
+}
+
+impl TrainerConfig {
+    /// A trainer that consumes batches instantly (measures pure supply).
+    #[must_use]
+    pub fn instant() -> Self {
+        TrainerConfig { compute: Compute::PerBatch(Duration::ZERO) }
+    }
+
+    /// A trainer that spends `step` of wall-clock compute per mini-batch.
+    #[must_use]
+    pub fn per_batch(step: Duration) -> Self {
+        TrainerConfig { compute: Compute::PerBatch(step) }
+    }
+
+    /// Per-RM-model calibration: prices compute at `gpu.step_time(model) /
+    /// model.batch_size` per sample, scaled by `time_scale` (1.0 replays
+    /// the A100's real pace; smaller values shrink wall-clock time while
+    /// preserving the compute-to-supply ratio). This is what makes trainer
+    /// runs on small test partitions comparable to the full-batch analytic
+    /// model — and what calibrates [`simulate_measured`] traces per model.
+    #[must_use]
+    pub fn for_model(gpu: &GpuTrainModel, model: &RmConfig, time_scale: f64) -> Self {
+        let per_row =
+            gpu.step_time(model).seconds() * time_scale.max(0.0) / model.batch_size.max(1) as f64;
+        TrainerConfig { compute: Compute::PerRow(Duration::from_secs_f64(per_row)) }
+    }
+
+    /// Compute time charged for a mini-batch of `rows` samples.
+    #[must_use]
+    pub fn step_for(&self, rows: usize) -> Duration {
+        match self.compute {
+            Compute::PerBatch(step) => step,
+            Compute::PerRow(per_row) => {
+                per_row.saturating_mul(u32::try_from(rows).unwrap_or(u32::MAX))
+            }
+        }
+    }
+}
+
+/// What the trainer observed while consuming one stream end to end.
+///
+/// All quantities are **consumer-side**: goodput is rows per second as seen
+/// by the trainer, stall is time the trainer sat idle waiting for the
+/// producers, and the occupancy histogram samples the bounded channel at
+/// every pull. This is the measurement the paper's end-to-end claim is
+/// about — a `Vec` drain can report producer throughput, only a consumer
+/// can report whether the trainer stayed fed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainerReport {
+    /// Mini-batches trained.
+    pub batches: usize,
+    /// Samples trained.
+    pub rows: usize,
+    /// Wall-clock time from starting to consume until the last batch was
+    /// trained (includes the pipeline-fill cold start).
+    pub elapsed: Duration,
+    /// Emulated GPU compute time.
+    pub compute: Duration,
+    /// Time spent blocked on the stream with an idle trainer (includes the
+    /// wait for the first batch).
+    pub stall: Duration,
+    /// Consumer-side goodput, samples/sec (`rows / elapsed`).
+    pub goodput: f64,
+    /// Trainer utilization in `[0, 1]`: `compute / (compute + stall)`.
+    pub utilization: f64,
+    /// Queue-occupancy histogram: `occupancy[q]` counts pulls that found
+    /// `q` mini-batches buffered in the channel (length = capacity + 1).
+    pub occupancy: Vec<u64>,
+    /// Measured consumer-side inter-arrival gaps, ready to replay through
+    /// [`simulate_measured`] (per-RM-model calibration).
+    pub inter_arrivals: Vec<Duration>,
+}
+
+impl TrainerReport {
+    /// Share of wall-clock time the trainer spent stalled.
+    #[must_use]
+    pub fn stall_share(&self) -> f64 {
+        let total = self.elapsed.as_secs_f64();
+        if total == 0.0 {
+            0.0
+        } else {
+            (self.stall.as_secs_f64() / total).min(1.0)
+        }
+    }
+
+    /// Mean channel occupancy observed across all pulls.
+    #[must_use]
+    pub fn mean_occupancy(&self) -> f64 {
+        let pulls: u64 = self.occupancy.iter().sum();
+        if pulls == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self.occupancy.iter().enumerate().map(|(q, &n)| q as u64 * n).sum();
+        weighted as f64 / pulls as f64
+    }
+
+    /// Replays this run's measured inter-arrival process through the
+    /// discrete-event trainer simulation — the calibration loop that ties
+    /// [`simulate_measured`] to the executor actually built in this repo.
+    #[must_use]
+    pub fn replay(
+        &self,
+        gpu: &GpuTrainModel,
+        model: &RmConfig,
+        config: &PipelineConfig,
+    ) -> PipelineReport {
+        simulate_measured(&self.inter_arrivals, gpu, model, config)
+    }
+}
+
+/// A producer the trainer can consume: a blocking pull of preprocessed
+/// mini-batches plus the channel introspection the occupancy histogram
+/// needs. Implemented by the host streaming executor
+/// ([`presto_ops::stream::BatchStream`]) and by the in-storage emulation
+/// ([`crate::isp_worker::IspBatchStream`]).
+pub trait BatchSource {
+    /// Pulls the next mini-batch, blocking until one is ready; `None` ends
+    /// the stream.
+    fn next_batch(&mut self) -> Option<Result<StreamedBatch, PreprocessError>>;
+
+    /// Output-channel capacity (sizes the occupancy histogram).
+    fn capacity(&self) -> usize;
+
+    /// Mini-batches currently buffered in the output channel.
+    fn queued(&self) -> usize;
+}
+
+impl BatchSource for BatchStream {
+    fn next_batch(&mut self) -> Option<Result<StreamedBatch, PreprocessError>> {
+        self.next()
+    }
+
+    fn capacity(&self) -> usize {
+        BatchStream::capacity(self)
+    }
+
+    fn queued(&self) -> usize {
+        BatchStream::queued(self)
+    }
+}
+
+/// The consuming trainer: pulls mini-batches from a [`BatchSource`],
+/// spends [`TrainerConfig`]'s compute on each, and reports consumer-side
+/// goodput, stall time and queue occupancy.
+#[derive(Debug, Clone, Copy)]
+pub struct Trainer {
+    config: TrainerConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer with the given compute model.
+    #[must_use]
+    pub fn new(config: TrainerConfig) -> Self {
+        Trainer { config }
+    }
+
+    /// The trainer's compute model.
+    #[must_use]
+    pub fn config(&self) -> TrainerConfig {
+        self.config
+    }
+
+    /// Consumes `source` to exhaustion, training every mini-batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first producer error; dropping the source on the way
+    /// out stops the remaining producers.
+    pub fn run<S: BatchSource>(&self, mut source: S) -> Result<TrainerReport, PreprocessError> {
+        let capacity = source.capacity().max(1);
+        let mut occupancy = vec![0u64; capacity + 1];
+        let mut arrivals: Vec<Duration> = Vec::new();
+        let mut stall = Duration::ZERO;
+        let mut compute = Duration::ZERO;
+        let mut rows = 0usize;
+        let mut batches = 0usize;
+        let start = Instant::now();
+        loop {
+            let wait_from = Instant::now();
+            let Some(item) = source.next_batch() else { break };
+            let streamed = item?;
+            stall += wait_from.elapsed();
+            occupancy[source.queued().min(capacity)] += 1;
+            arrivals.push(streamed.arrived);
+            let batch_rows = streamed.batch.rows();
+            let step = self.config.step_for(batch_rows);
+            if !step.is_zero() {
+                std::thread::sleep(step);
+            }
+            compute += step;
+            rows += batch_rows;
+            batches += 1;
+        }
+        let elapsed = start.elapsed();
+        let busy = compute + stall;
+        Ok(TrainerReport {
+            batches,
+            rows,
+            elapsed,
+            compute,
+            stall,
+            goodput: rows as f64 / elapsed.as_secs_f64().max(1e-12),
+            utilization: if busy.is_zero() {
+                0.0
+            } else {
+                compute.as_secs_f64() / busy.as_secs_f64()
+            },
+            occupancy,
+            inter_arrivals: inter_arrivals(&arrivals),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -447,5 +692,112 @@ mod tests {
             &PipelineConfig { batches: 0, queue_capacity: 4, num_gpus: 1 },
         );
         assert_eq!(report.batches_trained, 0);
+    }
+
+    // --- Trainer in the loop ---
+
+    use presto_datagen::Dataset;
+    use presto_ops::{stream_workers, PreprocessPlan};
+
+    fn tiny_dataset(partitions: usize, rows: usize) -> (RmConfig, PreprocessPlan, Dataset) {
+        let mut c = RmConfig::rm1();
+        c.batch_size = rows;
+        let plan = PreprocessPlan::from_config(&c, 1).expect("plan");
+        let ds = Dataset::generate(&c, partitions, rows, 2, 11).expect("dataset");
+        (c, plan, ds)
+    }
+
+    #[test]
+    fn instant_trainer_consumes_every_batch() {
+        let (_, plan, ds) = tiny_dataset(6, 64);
+        let stream = stream_workers(&plan, ds.partitions(), 2, 3);
+        let report = Trainer::new(TrainerConfig::instant()).run(stream).expect("trains");
+        assert_eq!(report.batches, 6);
+        assert_eq!(report.rows, 6 * 64);
+        assert!(report.goodput > 0.0);
+        assert_eq!(report.occupancy.len(), 3 + 1);
+        assert_eq!(report.occupancy.iter().sum::<u64>(), 6, "one sample per pull");
+        assert_eq!(report.inter_arrivals.len(), 5, "N batches give N-1 gaps");
+        assert_eq!(report.compute, Duration::ZERO);
+        assert!(report.utilization < 1.0, "an instant trainer only ever stalls");
+    }
+
+    #[test]
+    fn slow_trainer_keeps_the_queue_full_and_rarely_stalls() {
+        let (_, plan, ds) = tiny_dataset(8, 32);
+        let stream = stream_workers(&plan, ds.partitions(), 2, 2);
+        let trainer = Trainer::new(TrainerConfig::per_batch(Duration::from_millis(5)));
+        let report = trainer.run(stream).expect("trains");
+        assert_eq!(report.batches, 8);
+        assert!(report.compute >= Duration::from_millis(40));
+        assert!(
+            report.utilization > 0.5,
+            "a 5ms/batch trainer over tiny partitions must be compute-bound, got {:.2}",
+            report.utilization
+        );
+        // After the first pull the producers run ahead: most pulls must
+        // find a non-empty queue.
+        let nonempty: u64 = report.occupancy[1..].iter().sum();
+        assert!(nonempty >= 4, "occupancy {:?}", report.occupancy);
+        assert!(report.stall_share() < 0.5, "stall share {:.2}", report.stall_share());
+    }
+
+    #[test]
+    fn trainer_surfaces_producer_errors() {
+        let (_, plan, ds) = tiny_dataset(4, 32);
+        let mut partitions = ds.partitions().to_vec();
+        let bytes = partitions[1].blob.as_bytes().to_vec();
+        partitions[1].blob = presto_columnar::MemBlob::new(bytes[..bytes.len() / 3].to_vec());
+        let stream = stream_workers(&plan, &partitions, 1, 2);
+        let result = Trainer::new(TrainerConfig::instant()).run(stream);
+        assert!(result.is_err(), "corrupt partition must surface to the trainer");
+    }
+
+    #[test]
+    fn per_model_calibration_prices_rows_not_batches() {
+        let gpu = GpuTrainModel::a100();
+        let config = RmConfig::rm1();
+        let calibrated = TrainerConfig::for_model(&gpu, &config, 1.0);
+        let full = calibrated.step_for(config.batch_size);
+        let expected = gpu.step_time(&config).seconds();
+        assert!((full.as_secs_f64() - expected).abs() < expected * 0.01);
+        // Half the rows cost half the compute; scale shrinks linearly.
+        let half = calibrated.step_for(config.batch_size / 2);
+        assert!((half.as_secs_f64() * 2.0 - expected).abs() < expected * 0.02);
+        let scaled = TrainerConfig::for_model(&gpu, &config, 0.25).step_for(config.batch_size);
+        assert!((scaled.as_secs_f64() * 4.0 - expected).abs() < expected * 0.02);
+        assert_eq!(TrainerConfig::instant().step_for(1024), Duration::ZERO);
+    }
+
+    #[test]
+    fn trainer_trace_replays_through_the_simulation() {
+        let (config, plan, ds) = tiny_dataset(8, 64);
+        let stream = stream_workers(&plan, ds.partitions(), 2, 4);
+        let report = Trainer::new(TrainerConfig::instant()).run(stream).expect("trains");
+        let gpu = GpuTrainModel::a100();
+        let sim = report.replay(
+            &gpu,
+            &config,
+            &PipelineConfig { batches: 32, queue_capacity: 8, num_gpus: 1 },
+        );
+        assert_eq!(sim.batches_trained, 32);
+        assert!(sim.gpu_utilization > 0.0);
+    }
+
+    #[test]
+    fn mean_occupancy_weights_the_histogram() {
+        let report = TrainerReport {
+            batches: 4,
+            rows: 4,
+            elapsed: Duration::from_secs(1),
+            compute: Duration::ZERO,
+            stall: Duration::from_secs(1),
+            goodput: 4.0,
+            utilization: 0.0,
+            occupancy: vec![2, 0, 2],
+            inter_arrivals: Vec::new(),
+        };
+        assert!((report.mean_occupancy() - 1.0).abs() < 1e-12);
+        assert!((report.stall_share() - 1.0).abs() < 1e-12);
     }
 }

@@ -215,6 +215,27 @@ impl System {
         self.per_worker_throughput(profile) * self.parallelism() as f64
     }
 
+    /// Executor shape for running this system's preprocessing fleet *for
+    /// real* through the streaming executor (`presto_ops::stream`): one
+    /// pipeline per worker/device and a `2×` output-channel capacity, the
+    /// rule of thumb the streaming ablation settled on. Host-CPU systems
+    /// keep the Extract prefetch thread (double buffering); PreSto units
+    /// overlap Extract internally (Sec. IV-C double buffering happens
+    /// on-card), so their fused pipeline runs without a host-side
+    /// prefetcher.
+    ///
+    /// This is what lets the trainer-in-the-loop experiments size the real
+    /// executor from the same [`System`] value the analytic model prices.
+    #[must_use]
+    pub fn stream_config(&self) -> presto_ops::StreamConfig {
+        let workers = self.parallelism().max(1);
+        let config = presto_ops::StreamConfig::new(workers, 2 * workers);
+        match self {
+            System::Presto { .. } => config.without_prefetch(),
+            _ => config,
+        }
+    }
+
     /// RPC traffic per mini-batch (Fig. 13).
     #[must_use]
     pub fn rpc_account(&self, profile: &WorkloadProfile) -> RpcAccount {
@@ -369,6 +390,17 @@ mod tests {
         let presto = System::presto_smartssd(9).power();
         let disagg = System::disagg(367).power();
         assert!(disagg.raw() > 8.0 * presto.raw(), "disagg {disagg} vs presto {presto}");
+    }
+
+    #[test]
+    fn stream_config_mirrors_parallelism() {
+        let disagg = System::disagg(4).stream_config();
+        assert_eq!(disagg.workers, 4);
+        assert_eq!(disagg.capacity, 8);
+        assert!(disagg.prefetch, "host CPUs double-buffer Extract");
+        let presto = System::presto_smartssd(2).stream_config();
+        assert_eq!(presto.workers, 2);
+        assert!(!presto.prefetch, "ISP units overlap Extract on-card");
     }
 
     #[test]

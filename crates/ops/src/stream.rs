@@ -96,9 +96,15 @@ pub struct StreamedBatch {
     pub batch: MiniBatch,
     /// Per-stage wall-clock timings for this partition.
     pub timings: StageTimings,
-    /// Consumer-side arrival time, measured from stream start. Consecutive
-    /// arrivals give the measured inter-arrival process that can drive the
-    /// pipeline simulation (`presto_core::pipeline::simulate_measured`).
+    /// Producer-side delivery time, measured from stream start: stamped
+    /// when the finished batch is handed to the (possibly full) output
+    /// channel — the *supply* process, before consumer back-pressure.
+    /// Consecutive arrivals give the measured inter-arrival process that
+    /// drives the pipeline simulation
+    /// (`presto_core::pipeline::simulate_measured`, which applies queue
+    /// back-pressure itself); stamping at the consumer instead would fold
+    /// the consumer's own pacing into the trace and make the calibration
+    /// tautological.
     pub arrived: Duration,
 }
 
@@ -218,6 +224,8 @@ struct SharedRun {
     stop: AtomicBool,
     /// Partitions fully preprocessed (before channel delivery).
     completed: AtomicUsize,
+    /// Stream start; origin of every [`StreamedBatch::arrived`] stamp.
+    started: Instant,
 }
 
 type StreamItem = Result<StreamedBatch, PreprocessError>;
@@ -255,6 +263,7 @@ pub fn stream_workers_with(
         queues: DeviceQueues::new(partitions),
         stop: AtomicBool::new(false),
         completed: AtomicUsize::new(0),
+        started: Instant::now(),
     });
     let (tx, rx) = bounded::<StreamItem>(capacity);
 
@@ -284,15 +293,7 @@ pub fn stream_workers_with(
     }
     drop(tx); // the workers' clones are now the only senders
 
-    BatchStream {
-        rx: Some(rx),
-        handles,
-        shared,
-        workers,
-        capacity,
-        prefetch: config.prefetch,
-        started: Instant::now(),
-    }
+    BatchStream { rx: Some(rx), handles, shared, workers, capacity, prefetch: config.prefetch }
 }
 
 fn spawn_named(name: String, body: impl FnOnce() + Send + 'static) -> JoinHandle<()> {
@@ -403,7 +404,9 @@ fn deliver(
                 stolen: claim.stolen,
                 batch,
                 timings,
-                arrived: Duration::ZERO, // stamped by the consumer on recv
+                // Stamped at delivery (before a possibly blocking send):
+                // the supply process, unthrottled by the consumer.
+                arrived: shared.started.elapsed(),
             };
             tx.send(Ok(item)).is_ok()
         }
@@ -418,10 +421,12 @@ fn deliver(
     }
 }
 
-/// Consumer-side inter-arrival gaps computed from a drained stream's
-/// [`StreamedBatch::arrived`] stamps (arrival order). This is the measured
-/// process `presto_core::pipeline::simulate_measured` replays to calibrate
-/// the trainer simulation against the real executor.
+/// Inter-arrival gaps computed from a drained stream's
+/// [`StreamedBatch::arrived`] delivery stamps (receive order; producers
+/// racing into the channel can invert neighboring stamps, which saturates
+/// to a zero gap). This is the measured supply process
+/// `presto_core::pipeline::simulate_measured` replays to calibrate the
+/// trainer simulation against the real executor.
 #[must_use]
 pub fn inter_arrivals(arrivals: &[Duration]) -> Vec<Duration> {
     arrivals.windows(2).map(|w| w[1].saturating_sub(w[0])).collect()
@@ -441,7 +446,6 @@ pub struct BatchStream {
     workers: usize,
     capacity: usize,
     prefetch: bool,
-    started: Instant,
 }
 
 impl BatchStream {
@@ -469,6 +473,16 @@ impl BatchStream {
     #[must_use]
     pub fn completed(&self) -> usize {
         self.shared.completed.load(Ordering::Relaxed)
+    }
+
+    /// Mini-batches currently buffered in the output channel — the
+    /// consumer-side queue occupancy at the instant of the call. A trainer
+    /// sampling this on every pull builds the queue-occupancy histogram
+    /// that shows whether producers ran ahead (queue full) or the consumer
+    /// starved (queue empty).
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.rx.as_ref().map_or(0, Receiver::len)
     }
 
     /// Per-device load snapshot (final after the stream is drained).
@@ -501,11 +515,7 @@ impl Iterator for BatchStream {
     fn next(&mut self) -> Option<StreamItem> {
         let item = self.rx.as_ref().and_then(|rx| rx.recv().ok());
         match item {
-            Some(Ok(mut batch)) => {
-                batch.arrived = self.started.elapsed();
-                Some(Ok(batch))
-            }
-            Some(Err(e)) => Some(Err(e)),
+            Some(item) => Some(item),
             None => {
                 // All senders gone: the run is over; reap the threads.
                 self.join_workers();

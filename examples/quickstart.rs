@@ -3,6 +3,9 @@
 //! Extract → Transform → Load pipeline on your own machine.
 //!
 //! Run with: `cargo run --example quickstart`
+//!
+//! `PRESTO_QUICKSTART_ROWS` overrides the partition size (default 4096) —
+//! CI runs the example with a tiny value to catch example rot cheaply.
 
 use presto::columnar::FileReader;
 use presto::datagen::{generate_batch, write_partition, RmConfig};
@@ -11,7 +14,8 @@ use presto::ops::{preprocess_partition, PreprocessPlan};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Configure: RM1 is the public-Criteo shape (Table I of the paper).
     let mut config = RmConfig::rm1();
-    config.batch_size = 4096;
+    config.batch_size =
+        std::env::var("PRESTO_QUICKSTART_ROWS").ok().and_then(|v| v.parse().ok()).unwrap_or(4096);
     println!(
         "model {}: {} dense, {} sparse, {} generated features, batch {}",
         config.name, config.num_dense, config.num_sparse, config.num_generated, config.batch_size
