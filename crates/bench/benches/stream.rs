@@ -15,11 +15,11 @@
 //!    drained to completion: adds the overlap win.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use presto_columnar::{BlobRead, MemBlob, Result as ColumnarResult};
-use presto_datagen::{Dataset, Partition, RmConfig};
+use presto_columnar::{BlobRead, MemBlob, ReadScratch, Result as ColumnarResult};
+use presto_datagen::{generate_batch, write_partition, Dataset, Partition, RmConfig};
 use presto_ops::{
-    preprocess_partition_with, run_workers_materialized, stream_workers_with, MiniBatch,
-    PreprocessPlan, ScratchSpace, StreamConfig,
+    extract_partition_with, preprocess_partition_with, run_workers_materialized,
+    stream_workers_with, MiniBatch, PreprocessPlan, ScratchSpace, StreamConfig,
 };
 use std::hint::black_box;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -182,6 +182,32 @@ fn bench_latency_hiding(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_extract_only(c: &mut Criterion) {
+    // The Extract stage in isolation — projected read + block decode into
+    // one RowBatch — the subject of the delta-bitpacked codec work. RM1 is
+    // the sparse-id-dominated shape (one 500k-vocab id per feature per
+    // row); RM2 adds variable-length lists, exercising the offset path.
+    const ROWS: usize = 4096;
+    let mut group = c.benchmark_group("extract_partition");
+    group.throughput(Throughput::Elements(ROWS as u64));
+    for (name, mut config) in [("rm1", RmConfig::rm1()), ("rm2", RmConfig::rm2())] {
+        config.batch_size = ROWS;
+        let plan = PreprocessPlan::from_config(&config, 1).expect("plan");
+        let batch = generate_batch(&config, ROWS, 5);
+        let blob = write_partition(&batch).expect("encodes");
+        let mut scratch = ReadScratch::new();
+        group.bench_function(name, |bench| {
+            bench.iter(|| {
+                black_box(
+                    extract_partition_with(&plan, black_box(blob.clone()), &mut scratch)
+                        .expect("extracts"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_queue_capacity(c: &mut Criterion) {
     // Back-pressure cost: a tiny channel forces producers to run in
     // lock-step with the consumer; a deep one decouples them.
@@ -213,6 +239,7 @@ fn quick() -> Criterion {
 criterion_group! {
     name = benches;
     config = quick();
-    targets = bench_stream_vs_baseline, bench_latency_hiding, bench_queue_capacity
+    targets = bench_stream_vs_baseline, bench_extract_only, bench_latency_hiding,
+        bench_queue_capacity
 }
 criterion_main!(benches);

@@ -1,8 +1,12 @@
-//! CI bench-regression gate: a smoke profile of the two headline hot
+//! CI bench-regression gate: a smoke profile of the three headline hot
 //! paths, compared against a checked-in baseline.
 //!
 //! Measures (best-of-N wall-clock, small enough for a CI leg):
 //!
+//! * `extract_rm1_rows_per_sec` — the Extract stage alone
+//!   (`extract_partition_with`: projected read + block decode into one
+//!   `RowBatch`), the `extract_partition/rm1` criterion bench's subject and
+//!   the path the delta-bitpacked codec accelerates.
 //! * `preprocess_partition_rm1_rows_per_sec` — the single-worker
 //!   Extract→Transform→format pipeline over one RM1 partition
 //!   (`preprocess_partition_with`, recycled scratch), the
@@ -11,10 +15,12 @@
 //!   the consuming trainer (`stream_workers` → `Trainer`), consumer-side
 //!   goodput.
 //!
-//! Writes the measurements to `BENCH_ci.json` (uploaded as a CI artifact)
-//! and **fails with exit code 1** when any metric regresses more than 15%
-//! (override with `CI_BENCH_MAX_REGRESSION`) against `BENCH_baseline.json`
-//! in the working directory.
+//! Writes the measurements to `BENCH_ci.json` (uploaded as a CI artifact),
+//! appends a per-metric delta table to `$GITHUB_STEP_SUMMARY` when that
+//! variable is set (the job summary page shows the deltas even on green
+//! runs), and **fails with exit code 1** when any metric regresses more
+//! than 15% (override with `CI_BENCH_MAX_REGRESSION`) against
+//! `BENCH_baseline.json` in the working directory.
 //!
 //! Refreshing the baseline after an intentional perf change:
 //!
@@ -22,12 +28,19 @@
 //! CI_BENCH_WRITE_BASELINE=1 cargo run --release -p presto-bench --bin ci-bench
 //! git add BENCH_baseline.json   # commit alongside the change that moved it
 //! ```
+//!
+//! CI also runs a `baseline-check` step that fails when
+//! `BENCH_baseline.json` is older (by commit) than the last change to the
+//! measured code paths — a stale baseline silently weakens the gate.
 
 use presto_bench::{banner, parse_flat_json, print_table, render_flat_json};
+use presto_columnar::ReadScratch;
 use presto_core::{Trainer, TrainerConfig};
 use presto_datagen::{generate_batch, write_partition, Dataset, RmConfig};
 use presto_metrics::TextTable;
-use presto_ops::{preprocess_partition_with, stream_workers, PreprocessPlan, ScratchSpace};
+use presto_ops::{
+    extract_partition_with, preprocess_partition_with, stream_workers, PreprocessPlan, ScratchSpace,
+};
 use std::time::Instant;
 
 const BASELINE_PATH: &str = "BENCH_baseline.json";
@@ -44,6 +57,20 @@ fn best_of<F: FnMut() -> usize>(reps: usize, mut run: F) -> f64 {
         best = best.max(tput);
     }
     best
+}
+
+fn extract_rm1() -> f64 {
+    let mut config = RmConfig::rm1();
+    config.batch_size = 4096;
+    let plan = PreprocessPlan::from_config(&config, 1).expect("plan");
+    let batch = generate_batch(&config, 4096, 7);
+    let blob = write_partition(&batch).expect("serializes");
+    let mut scratch = ReadScratch::new();
+    extract_partition_with(&plan, blob.clone(), &mut scratch).expect("extracts");
+    best_of(5, || {
+        let (rb, _) = extract_partition_with(&plan, blob.clone(), &mut scratch).expect("extracts");
+        rb.rows()
+    })
 }
 
 fn preprocess_partition_rm1() -> f64 {
@@ -75,12 +102,43 @@ fn streaming_end_to_end() -> f64 {
     })
 }
 
+/// Appends the per-metric delta table to the GitHub Actions job summary
+/// (`$GITHUB_STEP_SUMMARY`), so reviewers see the deltas without opening
+/// logs — including on green runs. No-op outside CI.
+fn write_step_summary(rows: &[[String; 5]], max_regression: f64, failed: bool) {
+    let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") else {
+        return;
+    };
+    let mut md = String::from("## Bench-regression gate\n\n");
+    md.push_str("| metric | baseline rows/s | measured rows/s | delta | verdict |\n");
+    md.push_str("|---|---:|---:|---:|---|\n");
+    for [key, base, now, delta, verdict] in rows {
+        let icon = if verdict == "ok" { "✅ ok" } else { "❌ REGRESSED" };
+        md.push_str(&format!("| `{key}` | {base} | {now} | {delta} | {icon} |\n"));
+    }
+    md.push_str(&format!(
+        "\n{} (threshold {:.0}%; refresh: `CI_BENCH_WRITE_BASELINE=1 cargo run --release \
+         -p presto-bench --bin ci-bench`)\n",
+        if failed { "**Gate FAILED**" } else { "Gate passed" },
+        max_regression * 100.0
+    ));
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, md.as_bytes()));
+    if let Err(e) = appended {
+        eprintln!("warning: could not write job summary to {path}: {e}");
+    }
+}
+
 fn main() {
     banner(
         "CI bench-regression gate",
         "throughput must stay within 15% of the checked-in baseline",
     );
     let measured = vec![
+        ("extract_rm1_rows_per_sec".to_owned(), extract_rm1()),
         ("preprocess_partition_rm1_rows_per_sec".to_owned(), preprocess_partition_rm1()),
         ("streaming_end_to_end_rows_per_sec".to_owned(), streaming_end_to_end()),
     ];
@@ -116,6 +174,7 @@ fn main() {
 
     let mut table =
         TextTable::new(vec!["metric", "baseline rows/s", "measured rows/s", "delta", "verdict"]);
+    let mut rows: Vec<[String; 5]> = Vec::new();
     let mut failed = false;
     for (key, base) in &baseline {
         let Some((_, now)) = measured.iter().find(|(k, _)| k == key) else {
@@ -126,13 +185,16 @@ fn main() {
         let delta = now / base - 1.0;
         let regressed = delta < -max_regression;
         failed |= regressed;
-        table.row(vec![
+        rows.push([
             key.clone(),
             format!("{base:.0}"),
             format!("{now:.0}"),
             format!("{:+.1}%", delta * 100.0),
             if regressed { "REGRESSED".to_owned() } else { "ok".to_owned() },
         ]);
+    }
+    for row in &rows {
+        table.row(row.to_vec());
     }
     // New metrics must be gated too: a measurement without a baseline
     // entry means the baseline was not refreshed alongside the change.
@@ -143,6 +205,7 @@ fn main() {
         }
     }
     print_table(&table);
+    write_step_summary(&rows, max_regression, failed);
     if failed {
         eprintln!(
             "bench gate FAILED: a metric regressed more than {:.0}% against {BASELINE_PATH}",

@@ -1,11 +1,22 @@
 //! Column chunks: a column's worth of pages for one row group.
+//!
+//! Two decode strategies coexist:
+//!
+//! * the page-at-a-time path ([`read_chunk_at`] / [`read_chunk_shared`]),
+//!   which can hand out zero-copy views over aligned plain pages; and
+//! * the **batched** path ([`read_chunk_batched`]), which decodes every
+//!   integer page of a chunk straight into one set of output buffers via
+//!   the `*_into` codec entry points — no per-page `Vec`, no concat copy.
+//!   [`crate::FileReader::read_column_with`] routes multi-page and encoded
+//!   chunks here, sizing the outputs exactly from the footer's column
+//!   statistics.
 
 use crate::array::Array;
 use crate::compress::Compression;
-use crate::encoding::varint;
+use crate::encoding::{self, varint};
 use crate::error::{ColumnarError, Result};
 use crate::page::{self, DEFAULT_PAGE_ROWS};
-use crate::schema::DataType;
+use crate::schema::{DataType, WritePolicy};
 use crate::stats::ColumnStats;
 
 /// Slices `rows` rows starting at `start` out of an array.
@@ -109,7 +120,8 @@ pub fn write_chunk(array: &Array, page_rows: usize, out: &mut Vec<u8>) -> Result
     write_chunk_compressed(array, page_rows, Compression::None, out)
 }
 
-/// Like [`write_chunk`] with per-page payload compression.
+/// Like [`write_chunk`] with per-page payload compression (applied to every
+/// column type — the per-column policy path is [`write_chunk_policy`]).
 ///
 /// # Errors
 ///
@@ -120,6 +132,37 @@ pub fn write_chunk_compressed(
     compression: Compression,
     out: &mut Vec<u8>,
 ) -> Result<ColumnStats> {
+    let policy = WritePolicy::from_env().with_compression(compression).compressing_hot_columns();
+    write_chunk_policy(array, page_rows, &policy, out)
+}
+
+/// Writes `array` as a column chunk under a [`WritePolicy`]: the policy
+/// picks each page's integer encoding and decides from the column's type
+/// whether payloads are compressed (the "uncompressed-if-hot" rule).
+///
+/// # Errors
+///
+/// Propagates page encoding failures.
+pub fn write_chunk_policy(
+    array: &Array,
+    page_rows: usize,
+    policy: &WritePolicy,
+    out: &mut Vec<u8>,
+) -> Result<ColumnStats> {
+    // The element ceiling holds per chunk, not just per page: readers use
+    // it to bound whole-chunk decode allocations against crafted footers.
+    if array.len() > encoding::MAX_PAGE_ELEMENTS
+        || array.element_count() > encoding::MAX_PAGE_ELEMENTS
+    {
+        return Err(ColumnarError::ValueOutOfRange {
+            detail: format!(
+                "column chunk of {} rows / {} elements exceeds MAX_PAGE_ELEMENTS; \
+                 split the row group",
+                array.len(),
+                array.element_count()
+            ),
+        });
+    }
     let page_rows = page_rows.max(1);
     let rows = array.len();
     let n_pages = rows.div_ceil(page_rows).max(1);
@@ -128,7 +171,7 @@ pub fn write_chunk_compressed(
     for _ in 0..n_pages {
         let take = page_rows.min(rows - start);
         let page_arr = slice_array(array, start, take);
-        page::write_page_with(&page_arr, compression, out)?;
+        page::write_page_policy(&page_arr, policy, out)?;
         start += take;
     }
     Ok(ColumnStats::from_array(array))
@@ -152,11 +195,131 @@ pub fn read_chunk(buf: &[u8], pos: &mut usize, data_type: DataType) -> Result<Ar
 /// Same as [`read_chunk`].
 pub fn read_chunk_at(buf: &[u8], pos: &mut usize, data_type: DataType, base: u64) -> Result<Array> {
     let n_pages = varint::read_u64(buf, pos)? as usize;
-    let mut parts = Vec::with_capacity(n_pages);
+    // Every page costs at least a header byte, so the remaining input
+    // bounds any legitimate page count — a corrupt count cannot
+    // over-reserve.
+    let mut parts = Vec::with_capacity(n_pages.min(buf.len().saturating_sub(*pos)));
     for _ in 0..n_pages {
         parts.push(page::read_page_at(buf, pos, data_type, base)?);
     }
     concat_arrays(&parts)
+}
+
+/// Decodes a whole chunk of an integer column (`Int64` / `ListInt64`) in
+/// one pass: every page's id and offset blocks land directly in a single
+/// set of exactly-sized output buffers, with page payload staging (LZ,
+/// length streams) recycled through the caller's [`ReadScratch`].
+///
+/// `rows` and `elements` come from the footer's column statistics; they
+/// size the outputs and every page's decoded counts are validated against
+/// the running totals. `staging` and `lengths` are recycled intermediates
+/// (see [`ReadScratch::decode_buffers`](crate::ReadScratch)). Float columns
+/// and zero-copy candidates stay on the page-at-a-time path
+/// ([`read_chunk_at`] / [`read_chunk_shared`]).
+///
+/// # Errors
+///
+/// Same as [`read_chunk_at`], plus [`ColumnarError::CountMismatch`] when
+/// the pages disagree with the declared totals.
+#[allow(clippy::too_many_arguments)]
+pub fn read_chunk_batched(
+    buf: &[u8],
+    pos: &mut usize,
+    data_type: DataType,
+    base: u64,
+    rows: usize,
+    elements: usize,
+    staging: &mut Vec<u8>,
+    lengths: &mut Vec<u64>,
+) -> Result<Array> {
+    debug_assert!(matches!(data_type, DataType::Int64 | DataType::ListInt64));
+    // The writer enforces the element ceiling per *chunk* (see
+    // `write_chunk_policy`), so larger declared totals are corruption; this
+    // bounds the whole-chunk decode the same way the page header check
+    // bounds one page.
+    if rows > encoding::MAX_PAGE_ELEMENTS || elements > encoding::MAX_PAGE_ELEMENTS {
+        return Err(ColumnarError::CorruptFile {
+            detail: format!("chunk declares {rows} rows / {elements} elements"),
+        });
+    }
+    let n_pages = varint::read_u64(buf, pos)? as usize;
+    // Clamp the exact-size reservations to what the remaining input could
+    // legitimately describe (codecs emit no fewer than one byte per ~64
+    // values after framing), in case the footer stats are corrupt.
+    let remaining = buf.len().saturating_sub(*pos);
+    let cap_limit = remaining.saturating_mul(64).max(1024);
+    // Running totals are checked against the declared chunk counts *before*
+    // each page's payload is decoded: the per-page element ceiling bounds
+    // one page, but only this check stops a crafted many-tiny-page chunk
+    // from amplifying past it (each page would otherwise materialize its
+    // full declared count before the post-loop totals comparison ran).
+    let mut total_rows = 0usize;
+    let check_budget = |total: usize, add: usize, declared: usize| -> Result<usize> {
+        let next = total.saturating_add(add);
+        if next > declared {
+            return Err(ColumnarError::CountMismatch { declared, actual: next });
+        }
+        Ok(next)
+    };
+    match data_type {
+        DataType::Int64 => {
+            let mut values: Vec<i64> = Vec::with_capacity(rows.min(cap_limit));
+            for _ in 0..n_pages {
+                let header = page::read_page_header(buf, pos, base)?;
+                total_rows = check_budget(total_rows, header.rows, rows)?;
+                let (payload, _) = page::page_payload(&header, buf, staging)?;
+                let mut p = 0usize;
+                encoding::decode_i64_into(
+                    header.encoding,
+                    payload,
+                    &mut p,
+                    header.rows,
+                    &mut values,
+                )?;
+            }
+            if total_rows != rows {
+                return Err(ColumnarError::CountMismatch { declared: rows, actual: total_rows });
+            }
+            let array = Array::Int64(values.into());
+            array.validate()?;
+            Ok(array)
+        }
+        _ => {
+            let mut offsets: Vec<u32> = Vec::with_capacity(rows.saturating_add(1).min(cap_limit));
+            offsets.push(0);
+            let mut values: Vec<i64> = Vec::with_capacity(elements.min(cap_limit));
+            let mut total_elements = 0usize;
+            for _ in 0..n_pages {
+                let header = page::read_page_header(buf, pos, base)?;
+                total_rows = check_budget(total_rows, header.rows, rows)?;
+                total_elements = check_budget(total_elements, header.elements, elements)?;
+                let (payload, _) = page::page_payload(&header, buf, staging)?;
+                let (value_enc, value_start) =
+                    page::read_list_prefix(payload, header.rows, lengths)?;
+                let mut p = value_start;
+                encoding::decode_i64_into(
+                    value_enc,
+                    payload,
+                    &mut p,
+                    header.elements,
+                    &mut values,
+                )?;
+                page::extend_offsets(lengths, header.rows, &mut offsets)?;
+            }
+            if total_rows != rows {
+                return Err(ColumnarError::CountMismatch { declared: rows, actual: total_rows });
+            }
+            if total_elements != elements {
+                return Err(ColumnarError::CountMismatch {
+                    declared: elements,
+                    actual: total_elements,
+                });
+            }
+            let array = Array::ListInt64 { offsets: offsets.into(), values: values.into() };
+            array.validate()?;
+            Ok(array)
+        }
+    }
 }
 
 /// Reads the chunk at `offset..offset + byte_len` of a shared in-memory
@@ -184,11 +347,21 @@ pub fn read_chunk_shared(
     let buf = &shared[..end];
     let mut pos = start;
     let n_pages = varint::read_u64(buf, &mut pos)? as usize;
-    let mut parts = Vec::with_capacity(n_pages);
+    let mut parts = Vec::with_capacity(n_pages.min(end.saturating_sub(pos)));
     for _ in 0..n_pages {
         parts.push(page::read_page_shared(shared, end, &mut pos, data_type)?);
     }
     concat_arrays(&parts)
+}
+
+/// Peeks the page count of the chunk at `offset` without decoding.
+///
+/// # Errors
+///
+/// Propagates varint decode errors.
+pub(crate) fn peek_page_count(buf: &[u8], offset: usize) -> Result<usize> {
+    let mut pos = offset;
+    Ok(varint::read_u64(buf, &mut pos)? as usize)
 }
 
 /// Convenience wrapper using [`DEFAULT_PAGE_ROWS`].
@@ -234,6 +407,71 @@ mod tests {
     fn empty_chunk_roundtrips() {
         chunk_roundtrip(Array::Int64(vec![].into()), 4096);
         chunk_roundtrip(Array::from_lists(Vec::<Vec<i64>>::new()).unwrap(), 4096);
+    }
+
+    #[test]
+    fn batched_reader_matches_page_at_a_time() {
+        let array = Array::Int64((0..5000).map(|i| i * 7 % 997).collect());
+        let mut buf = Vec::new();
+        write_chunk(&array, 512, &mut buf).unwrap();
+        let mut pos = 0;
+        let (mut staging, mut lengths) = (Vec::new(), Vec::new());
+        let back = read_chunk_batched(
+            &buf,
+            &mut pos,
+            DataType::Int64,
+            0,
+            5000,
+            5000,
+            &mut staging,
+            &mut lengths,
+        )
+        .unwrap();
+        assert_eq!(back, array);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn batched_reader_stops_before_decoding_past_declared_totals() {
+        // Ten 512-row pages but a declared total of 512: the second page's
+        // header must trip the budget check *before* its payload decodes —
+        // this is what stops a many-tiny-page chunk from amplifying the
+        // per-page element ceiling.
+        let array = Array::Int64((0..5120).collect());
+        let mut buf = Vec::new();
+        write_chunk(&array, 512, &mut buf).unwrap();
+        let mut pos = 0;
+        let (mut staging, mut lengths) = (Vec::new(), Vec::new());
+        let err = read_chunk_batched(
+            &buf,
+            &mut pos,
+            DataType::Int64,
+            0,
+            512,
+            512,
+            &mut staging,
+            &mut lengths,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ColumnarError::CountMismatch { .. }));
+    }
+
+    #[test]
+    fn batched_reader_rejects_absurd_chunk_totals() {
+        let (mut staging, mut lengths) = (Vec::new(), Vec::new());
+        let mut pos = 0;
+        let err = read_chunk_batched(
+            &[1, 0, 0],
+            &mut pos,
+            DataType::ListInt64,
+            0,
+            usize::MAX,
+            usize::MAX,
+            &mut staging,
+            &mut lengths,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ColumnarError::CorruptFile { .. }));
     }
 
     #[test]

@@ -26,6 +26,11 @@ const WINDOW: usize = 64 * 1024;
 /// Hash table size (power of two).
 const HASH_SIZE: usize = 1 << 14;
 
+/// Hard ceiling on a stream's declared decompressed length (2 GiB):
+/// page payloads are bounded far below this by the page element cap, so a
+/// larger header is corruption, not data.
+const MAX_DECOMPRESSED_LEN: usize = 1 << 31;
+
 /// Codec selector stored in file metadata.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 #[non_exhaustive]
@@ -129,17 +134,62 @@ fn flush_literals(literals: &[u8], out: &mut Vec<u8>) {
 /// back-references or length mismatches, and
 /// [`ColumnarError::UnexpectedEof`] on truncation.
 pub fn decompress(input: &[u8]) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    decompress_into(input, &mut out)?;
+    Ok(out)
+}
+
+/// Like [`decompress`], appending into a caller-owned (typically recycled)
+/// buffer. `out` need not be empty; only the bytes this call appends count
+/// against the stream's declared length. Preallocation is clamped to a
+/// small multiple of the input size so a corrupt length header cannot force
+/// an oversized reservation (the LZ token framing bounds real expansion).
+///
+/// # Errors
+///
+/// Same as [`decompress`].
+pub fn decompress_into(input: &[u8], out: &mut Vec<u8>) -> Result<()> {
     let mut pos = 0usize;
     let expected = varint::read_u64(input, &mut pos)? as usize;
-    let mut out = Vec::with_capacity(expected);
+    // Page payloads never legitimately reach this size (pages are capped at
+    // MAX_PAGE_ELEMENTS values); a larger header is corruption, and the cap
+    // bounds output growth since every token emission is checked against
+    // `expected` before any byte is produced.
+    if expected > MAX_DECOMPRESSED_LEN {
+        return Err(ColumnarError::CorruptFile {
+            detail: format!("lz stream declares {expected} decompressed bytes"),
+        });
+    }
+    let base = out.len();
+    out.reserve(expected.min(input.len().saturating_mul(256).max(1024)));
+    decompress_tokens(input, pos, expected, base, out)
+}
+
+/// Token-decoding core of [`decompress_into`]; `base` is the output length
+/// before this stream's bytes.
+fn decompress_tokens(
+    input: &[u8],
+    mut pos: usize,
+    expected: usize,
+    base: usize,
+    out: &mut Vec<u8>,
+) -> Result<()> {
     while pos < input.len() {
         let token = input[pos];
         pos += 1;
         match token {
             0x00 => {
                 let len = varint::read_u64(input, &mut pos)? as usize;
-                if input.len() < pos + len {
+                if pos.checked_add(len).is_none_or(|end| input.len() < end) {
                     return Err(ColumnarError::UnexpectedEof { context: "lz literal run" });
+                }
+                // Checked before emitting: no token may grow the output
+                // past the (capped) declared length.
+                if out.len() - base + len > expected {
+                    return Err(ColumnarError::CountMismatch {
+                        declared: expected,
+                        actual: out.len() - base + len,
+                    });
                 }
                 out.extend_from_slice(&input[pos..pos + len]);
                 pos += len;
@@ -147,17 +197,25 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>> {
             0x01 => {
                 let distance = varint::read_u64(input, &mut pos)? as usize;
                 let len = varint::read_u64(input, &mut pos)? as usize;
-                if distance == 0 || distance > out.len() {
+                if distance == 0 || distance > out.len() - base {
                     return Err(ColumnarError::CorruptFile {
                         detail: format!(
                             "lz back-reference distance {distance} at output length {}",
-                            out.len()
+                            out.len() - base
                         ),
                     });
                 }
                 if len < MIN_MATCH {
                     return Err(ColumnarError::CorruptFile {
                         detail: format!("lz match of length {len} below minimum"),
+                    });
+                }
+                // Checked before copying: a crafted match length cannot
+                // expand the output beyond the declared (capped) size.
+                if out.len() - base + len > expected {
+                    return Err(ColumnarError::CountMismatch {
+                        declared: expected,
+                        actual: out.len() - base + len,
                     });
                 }
                 // Overlapping copies are legal (distance < len).
@@ -173,14 +231,11 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>> {
                 });
             }
         }
-        if out.len() > expected {
-            return Err(ColumnarError::CountMismatch { declared: expected, actual: out.len() });
-        }
     }
-    if out.len() != expected {
-        return Err(ColumnarError::CountMismatch { declared: expected, actual: out.len() });
+    if out.len() - base != expected {
+        return Err(ColumnarError::CountMismatch { declared: expected, actual: out.len() - base });
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -277,6 +332,32 @@ mod tests {
         varint::write_u64(&mut out, 3);
         out.extend_from_slice(b"abc");
         assert!(matches!(decompress(&out), Err(ColumnarError::CountMismatch { .. })));
+    }
+
+    #[test]
+    fn match_expansion_bomb_is_rejected() {
+        // Regression: a match token claiming a terabyte-length copy used to
+        // emit every byte before the declared-length check. The emission is
+        // now pre-checked, and absurd declared lengths are rejected outright.
+        let mut bomb = Vec::new();
+        varint::write_u64(&mut bomb, u64::MAX); // declared length: absurd
+        assert!(matches!(decompress(&bomb), Err(ColumnarError::CorruptFile { .. })));
+        // A match that would cross the declared length fails before copying
+        // a single byte.
+        let mut strict = Vec::new();
+        varint::write_u64(&mut strict, 8); // declared: 8 bytes
+        strict.push(0x00);
+        varint::write_u64(&mut strict, 4);
+        strict.extend_from_slice(b"abcd");
+        strict.push(0x01);
+        varint::write_u64(&mut strict, 1);
+        varint::write_u64(&mut strict, 1 << 40); // would emit a terabyte
+        let mut out = Vec::new();
+        assert!(matches!(
+            decompress_into(&strict, &mut out),
+            Err(ColumnarError::CountMismatch { .. })
+        ));
+        assert_eq!(out.len(), 4, "no match byte may be emitted past the pre-check");
     }
 
     #[test]

@@ -75,33 +75,106 @@ pub fn pack(values: &[u64], bit_width: u32, out: &mut Vec<u8>) -> Result<()> {
 /// Returns [`ColumnarError::UnexpectedEof`] when the buffer is too short and
 /// [`ColumnarError::ValueOutOfRange`] for widths above 64.
 pub fn unpack(buf: &[u8], pos: &mut usize, count: usize, bit_width: u32) -> Result<Vec<u64>> {
+    let mut values = Vec::new();
+    unpack_into(buf, pos, count, bit_width, &mut values)?;
+    Ok(values)
+}
+
+/// Values per batched-unpack group: 64 values of `w` bits occupy exactly
+/// `8 * w` bytes, so every full group is byte-aligned and decodes with plain
+/// `u64` word loads — no per-value byte assembly.
+pub const GROUP: usize = 64;
+
+/// Like [`unpack`], appending to a caller-owned buffer instead of
+/// allocating.
+///
+/// Full 64-value groups take the word-based kernel ([`unpack_group`]); only
+/// a trailing partial group falls back to per-value bit reads. Preallocation
+/// is clamped to what the remaining input could possibly hold, so a corrupt
+/// `count` cannot force an oversized reservation.
+///
+/// # Errors
+///
+/// Same as [`unpack`].
+pub fn unpack_into(
+    buf: &[u8],
+    pos: &mut usize,
+    count: usize,
+    bit_width: u32,
+    out: &mut Vec<u64>,
+) -> Result<()> {
     if bit_width > 64 {
         return Err(ColumnarError::ValueOutOfRange {
             detail: format!("bit width {bit_width} exceeds 64"),
         });
     }
     if bit_width == 0 {
-        return Ok(vec![0; count]);
+        // Zero-width runs carry no payload bytes; the count is bounded by
+        // the caller (run headers / block counts are validated against the
+        // declared element count before this is reached).
+        out.extend(std::iter::repeat_n(0, count));
+        return Ok(());
     }
-    let total_bits = count as u64 * u64::from(bit_width);
-    let total_bytes = (total_bits as usize).div_ceil(8);
-    if buf.len() < *pos + total_bytes {
-        return Err(ColumnarError::UnexpectedEof { context: "bitpacked run" });
-    }
-    let data = &buf[*pos..*pos + total_bytes];
-    *pos += total_bytes;
+    let total_bits = count as u128 * u128::from(bit_width);
+    let end = usize::try_from(total_bits.div_ceil(8))
+        .ok()
+        .and_then(|need| pos.checked_add(need))
+        .filter(|&e| e <= buf.len())
+        .ok_or(ColumnarError::UnexpectedEof { context: "bitpacked run" })?;
+    let data = &buf[*pos..end];
+    *pos = end;
+    out.reserve(count);
 
-    let mut values = Vec::with_capacity(count);
-    let mut bit_pos: u64 = 0;
-    for _ in 0..count {
-        values.push(read_bits(data, bit_pos, bit_width));
+    let width = bit_width as usize;
+    let full_groups = count / GROUP;
+    let mut scratch = [0u64; GROUP];
+    for g in 0..full_groups {
+        // Each full group is exactly `8 * width` bytes.
+        unpack_group(&data[g * 8 * width..(g + 1) * 8 * width], bit_width, &mut scratch);
+        out.extend_from_slice(&scratch);
+    }
+    let done = full_groups * GROUP;
+    let mut bit_pos = (done * width) as u64;
+    for _ in done..count {
+        out.push(read_bits(data, bit_pos, bit_width));
         bit_pos += u64::from(bit_width);
     }
-    Ok(values)
+    Ok(())
+}
+
+/// Unpacks one full group of [`GROUP`] values from `bytes`
+/// (`bytes.len() == 8 * bit_width`, `1 <= bit_width <= 64`) into `out`.
+///
+/// The packed bits are copied into zero-padded `u64` words once, then each
+/// value is assembled from at most two adjacent words with branch-free
+/// shifts — the `(hi << 1) << (63 - shift)` form keeps the high-word
+/// contribution defined (and zero) when `shift == 0`.
+pub fn unpack_group(bytes: &[u8], bit_width: u32, out: &mut [u64; GROUP]) {
+    debug_assert_eq!(bytes.len(), 8 * bit_width as usize);
+    debug_assert!((1..=64).contains(&bit_width));
+    let width = bit_width as usize;
+    // One padding word so the `idx + 1` load below never branches.
+    let mut words = [0u64; 65];
+    for (w, chunk) in words.iter_mut().zip(bytes.chunks_exact(8)) {
+        *w = u64::from_le_bytes(chunk.try_into().expect("chunk of 8"));
+    }
+    let mask = if bit_width == 64 { u64::MAX } else { (1u64 << bit_width) - 1 };
+    let mut bit = 0usize;
+    for o in out.iter_mut() {
+        let idx = bit >> 6;
+        let shift = (bit & 63) as u32;
+        let lo = words[idx] >> shift;
+        let hi = (words[idx + 1] << 1) << (63 - shift);
+        *o = (lo | hi) & mask;
+        bit += width;
+    }
 }
 
 /// Reads `width` bits starting at absolute bit offset `bit_pos` (LSB-first).
-fn read_bits(data: &[u8], bit_pos: u64, width: u32) -> u64 {
+///
+/// Scalar fallback for partial groups; `data` must hold the addressed bits
+/// and `width` must be `1..=64` (callers validate both).
+pub(crate) fn read_bits(data: &[u8], bit_pos: u64, width: u32) -> u64 {
     let mut value: u64 = 0;
     let mut got: u32 = 0;
     let mut byte_idx = (bit_pos / 8) as usize;
@@ -211,5 +284,41 @@ mod tests {
     #[test]
     fn empty_input_is_fine() {
         roundtrip(&[], 7);
+    }
+
+    #[test]
+    fn group_kernel_matches_scalar_reads_at_every_width() {
+        // 3 full groups + a partial tail per width: the word kernel and the
+        // per-value fallback must agree bit for bit.
+        for width in 1..=64u32 {
+            let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+            let mut x = 0x0123_4567_89ab_cdefu64 ^ u64::from(width);
+            let values: Vec<u64> = (0..3 * GROUP + 17)
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    x & mask
+                })
+                .collect();
+            roundtrip(&values, width);
+        }
+    }
+
+    #[test]
+    fn unpack_into_appends_after_existing_values() {
+        let mut buf = Vec::new();
+        pack(&[5, 6, 7], 3, &mut buf).unwrap();
+        let mut out = vec![99u64];
+        let mut pos = 0;
+        unpack_into(&buf, &mut pos, 3, 3, &mut out).unwrap();
+        assert_eq!(out, vec![99, 5, 6, 7]);
+    }
+
+    #[test]
+    fn group_sized_runs_are_byte_aligned() {
+        for width in [1u32, 7, 20, 33, 64] {
+            assert_eq!(packed_len(GROUP, width), 8 * width as usize);
+        }
     }
 }

@@ -23,20 +23,69 @@ pub fn encode_i64(values: &[i64], out: &mut Vec<u8>) {
 
 /// Decodes a stream produced by [`encode_i64`].
 ///
+/// Preallocation is clamped to the bytes remaining in `buf`: every encoded
+/// delta occupies at least one byte, so a corrupt leading count can never
+/// reserve more memory than the input could legitimately describe.
+///
 /// # Errors
 ///
 /// Propagates varint decode errors on truncated or corrupt input.
 pub fn decode_i64(buf: &[u8], pos: &mut usize) -> Result<Vec<i64>> {
     let count = varint::read_u64(buf, pos)? as usize;
-    let mut values = Vec::with_capacity(count);
-    let mut prev = 0i64;
-    for i in 0..count {
-        let raw = varint::read_i64(buf, pos)?;
-        let v = if i == 0 { raw } else { prev.wrapping_add(raw) };
-        values.push(v);
-        prev = v;
+    if count > super::MAX_PAGE_ELEMENTS {
+        return Err(crate::ColumnarError::CorruptFile {
+            detail: format!("delta stream declares {count} values"),
+        });
     }
+    let mut values = Vec::with_capacity(count.min(buf.len().saturating_sub(*pos)));
+    decode_values(buf, pos, count, &mut values)?;
     Ok(values)
+}
+
+/// Like [`decode_i64`], appending `expected` values to a caller-owned
+/// buffer. The stream's own count must equal `expected` (known to the
+/// caller from the page header), checked before any allocation.
+///
+/// # Errors
+///
+/// Returns [`crate::ColumnarError::CountMismatch`] when the stream count
+/// disagrees with `expected`, plus any varint decode error.
+pub fn decode_i64_into(
+    buf: &[u8],
+    pos: &mut usize,
+    expected: usize,
+    out: &mut Vec<i64>,
+) -> Result<()> {
+    let count = varint::read_u64(buf, pos)? as usize;
+    if count != expected {
+        return Err(crate::ColumnarError::CountMismatch { declared: expected, actual: count });
+    }
+    out.reserve(count);
+    decode_values(buf, pos, count, out)
+}
+
+/// Shared decode core: first value, then zigzag deltas in batches of 64
+/// through the byte-sliced group decoder ([`varint::read_u64_group`]).
+fn decode_values(buf: &[u8], pos: &mut usize, count: usize, out: &mut Vec<i64>) -> Result<()> {
+    if count == 0 {
+        return Ok(());
+    }
+    let mut prev = varint::read_i64(buf, pos)?;
+    out.push(prev);
+    let mut remaining = count - 1;
+    let mut raw = [0u64; 64];
+    let mut decoded = [0i64; 64];
+    while remaining > 0 {
+        let take = remaining.min(64);
+        varint::read_u64_group(buf, pos, &mut raw[..take])?;
+        for (d, &r) in decoded.iter_mut().zip(&raw[..take]) {
+            prev = prev.wrapping_add(varint::zigzag_decode(r));
+            *d = prev;
+        }
+        out.extend_from_slice(&decoded[..take]);
+        remaining -= take;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -97,5 +146,38 @@ mod tests {
         buf.pop();
         let mut pos = 0;
         assert!(decode_i64(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn corrupt_count_cannot_over_reserve() {
+        // A 10-byte varint claiming u64::MAX values followed by nothing:
+        // preallocation is clamped to the remaining input, and the decode
+        // then fails on truncation instead of allocating terabytes.
+        let mut buf = Vec::new();
+        varint::write_u64(&mut buf, u64::MAX);
+        let mut pos = 0;
+        let err = decode_i64(&buf, &mut pos);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn decode_into_checks_expected_count_first() {
+        let mut buf = Vec::new();
+        encode_i64(&[5, 6, 7], &mut buf);
+        let mut out = Vec::new();
+        let mut pos = 0;
+        assert!(decode_i64_into(&buf, &mut pos, 2, &mut out).is_err());
+        assert!(out.is_empty());
+        let mut pos = 0;
+        decode_i64_into(&buf, &mut pos, 3, &mut out).unwrap();
+        assert_eq!(out, vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn long_streams_roundtrip_across_group_boundaries() {
+        for n in [63usize, 64, 65, 128, 129, 1000] {
+            let values: Vec<i64> = (0..n as i64).map(|i| i * 37 - 400).collect();
+            roundtrip(&values);
+        }
     }
 }

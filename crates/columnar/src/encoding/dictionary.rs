@@ -36,14 +36,44 @@ pub fn encode_i64(values: &[i64], out: &mut Vec<u8>) {
 pub fn decode_i64(buf: &[u8], pos: &mut usize) -> Result<Vec<i64>> {
     let dict = delta::decode_i64(buf, pos)?;
     let indices = rle::decode(buf, pos)?;
-    indices
-        .into_iter()
-        .map(|idx| {
-            dict.get(idx as usize).copied().ok_or_else(|| ColumnarError::CorruptFile {
-                detail: format!("dictionary index {idx} out of range ({} entries)", dict.len()),
-            })
-        })
-        .collect()
+    let mut out = Vec::with_capacity(indices.len());
+    lookup_into(&dict, &indices, &mut out)?;
+    Ok(out)
+}
+
+/// Like [`decode_i64`], appending `expected` values into a caller-owned
+/// buffer; the index stream's declared count must equal `expected`.
+///
+/// # Errors
+///
+/// Same as [`decode_i64`], plus [`ColumnarError::CountMismatch`] when the
+/// stream disagrees with `expected`.
+pub fn decode_i64_into(
+    buf: &[u8],
+    pos: &mut usize,
+    expected: usize,
+    out: &mut Vec<i64>,
+) -> Result<()> {
+    // Unlike the other codecs this still allocates the dictionary and index
+    // staging per page — acceptable because dictionary pages sit on the
+    // cold path (low-cardinality label-class columns, small dictionaries),
+    // not the sparse-id streams the batched decode accelerates.
+    let dict = delta::decode_i64(buf, pos)?;
+    let mut indices = Vec::new();
+    rle::decode_into(buf, pos, Some(expected), &mut indices)?;
+    out.reserve(indices.len());
+    lookup_into(&dict, &indices, out)
+}
+
+/// Maps indices through the dictionary, validating range.
+fn lookup_into(dict: &[i64], indices: &[u64], out: &mut Vec<i64>) -> Result<()> {
+    for &idx in indices {
+        let v = dict.get(idx as usize).copied().ok_or_else(|| ColumnarError::CorruptFile {
+            detail: format!("dictionary index {idx} out of range ({} entries)", dict.len()),
+        })?;
+        out.push(v);
+    }
+    Ok(())
 }
 
 /// Estimated encoded size, used by the writer to pick an encoding.

@@ -1,10 +1,14 @@
-//! Value encodings: plain, varint/delta, RLE/bit-pack hybrid and dictionary.
+//! Value encodings: plain, varint/delta, delta-bitpacked blocks,
+//! RLE/bit-pack hybrid and dictionary.
 //!
 //! The writer picks an encoding per page based on estimated size (see
 //! [`choose_i64_encoding`]); the page header records the choice so readers
-//! can dispatch without configuration.
+//! can dispatch without configuration. The chooser can be overridden per
+//! writer through [`crate::schema::WritePolicy`] (and, for CI's encoding
+//! matrix, the `PRESTO_FORCE_ENCODING` environment variable).
 
 pub mod bitpack;
+pub mod block;
 pub mod delta;
 pub mod dictionary;
 pub mod plain;
@@ -23,6 +27,9 @@ pub enum Encoding {
     Delta,
     /// Sorted dictionary + RLE-compressed indices (integers only).
     Dictionary,
+    /// Delta-binary-packed miniblocks (integers only; PSTOCOL3+). See
+    /// [`block`].
+    DeltaBitpack,
 }
 
 impl Encoding {
@@ -32,6 +39,7 @@ impl Encoding {
             Encoding::Plain => 0,
             Encoding::Delta => 1,
             Encoding::Dictionary => 2,
+            Encoding::DeltaBitpack => 3,
         }
     }
 
@@ -41,6 +49,7 @@ impl Encoding {
             0 => Ok(Encoding::Plain),
             1 => Ok(Encoding::Delta),
             2 => Ok(Encoding::Dictionary),
+            3 => Ok(Encoding::DeltaBitpack),
             other => {
                 Err(ColumnarError::CorruptFile { detail: format!("unknown encoding tag {other}") })
             }
@@ -54,6 +63,20 @@ impl Encoding {
             Encoding::Plain => "plain",
             Encoding::Delta => "delta",
             Encoding::Dictionary => "dictionary",
+            Encoding::DeltaBitpack => "delta_bitpack",
+        }
+    }
+
+    /// Parses a forced-encoding name as used by `PRESTO_FORCE_ENCODING`
+    /// (`plain`, `delta_varint`, `delta_bitpack`, `dictionary`).
+    #[must_use]
+    pub fn from_force_name(name: &str) -> Option<Self> {
+        match name {
+            "plain" => Some(Encoding::Plain),
+            "delta" | "delta_varint" => Some(Encoding::Delta),
+            "dictionary" => Some(Encoding::Dictionary),
+            "delta_bitpack" => Some(Encoding::DeltaBitpack),
+            _ => None,
         }
     }
 }
@@ -64,34 +87,142 @@ impl std::fmt::Display for Encoding {
     }
 }
 
+/// Hard sanity ceiling on the element count any single page, column chunk
+/// or bare self-describing stream may declare: 2^28 ≈ 268M values (2 GiB
+/// of `i64`), orders of magnitude above any legitimate partition column.
+///
+/// RLE-class encodings legitimately expand (one run header can encode
+/// millions of repeats from a handful of bytes), so input-proportional
+/// clamps cannot bound their output; this ceiling is what stops a crafted
+/// count — per page *or* amplified across many tiny pages of one chunk —
+/// from driving `extend`-style growth into an allocation abort. The writer
+/// enforces the same limit per chunk, so the bound never rejects real
+/// data.
+pub const MAX_PAGE_ELEMENTS: usize = 1 << 28;
+
+/// Values inspected exactly before the cost model switches to sampling.
+const SAMPLE_EXACT: usize = 1024;
+
+/// Gap samples taken from large pages when estimating varint delta size.
+const GAP_SAMPLES: usize = 256;
+
+/// Miniblocks measured from large pages when estimating bitpacked size.
+const MINIBLOCK_SAMPLES: usize = 8;
+
+/// Distinct-ratio sample used to pre-screen dictionary viability.
+const DICT_SAMPLE: usize = 128;
+
 /// Picks the cheapest encoding for an integer page by estimating sizes.
 ///
-/// Heuristic, not exact: delta length is estimated from a sample of gaps and
-/// dictionary length from distinct-value counting. Plain is the fallback.
+/// Sample-based: pages up to [`SAMPLE_EXACT`] values are costed exactly;
+/// larger pages extrapolate varint size from strided delta samples,
+/// bitpacked size from a handful of real miniblocks, and dictionary
+/// viability from a distinct-ratio sample (so the chooser itself stays off
+/// the write hot path's O(n log n) floor). Plain is the fallback, and ties
+/// between the delta family go to [`Encoding::DeltaBitpack`], whose decode
+/// is several times faster than the varint loop.
 #[must_use]
 pub fn choose_i64_encoding(values: &[i64]) -> Encoding {
     if values.is_empty() {
         return Encoding::Plain;
     }
-    let plain_len = values.len() * 8;
+    let n = values.len();
+    let plain_len = n * 8;
 
-    let delta_len: usize = {
-        let mut total = 1 + varint::encoded_len_u64(varint::zigzag_encode(values[0]));
-        for w in values.windows(2) {
-            total += varint::encoded_len_u64(varint::zigzag_encode(w[1].wrapping_sub(w[0])));
-        }
-        total
+    let (delta_len, bitpack_len) = if n <= SAMPLE_EXACT {
+        (exact_delta_varint_len(values), block::encoded_len(values))
+    } else {
+        (sampled_delta_varint_len(values), sampled_bitpack_len(values))
     };
 
-    let dict_len = dictionary::estimated_len(values);
+    let dict_len =
+        if dictionary_plausible(values) { dictionary::estimated_len(values) } else { usize::MAX };
 
-    if dict_len <= delta_len && dict_len < plain_len {
+    let best_delta =
+        if bitpack_len <= delta_len { Encoding::DeltaBitpack } else { Encoding::Delta };
+    let best_delta_len = bitpack_len.min(delta_len);
+    if dict_len <= best_delta_len && dict_len < plain_len {
         Encoding::Dictionary
-    } else if delta_len < plain_len {
-        Encoding::Delta
+    } else if best_delta_len < plain_len {
+        best_delta
     } else {
         Encoding::Plain
     }
+}
+
+/// Exact byte count of the zigzag-varint delta stream.
+fn exact_delta_varint_len(values: &[i64]) -> usize {
+    let mut total = varint::encoded_len_u64(values.len() as u64)
+        + varint::encoded_len_u64(varint::zigzag_encode(values[0]));
+    for w in values.windows(2) {
+        total += varint::encoded_len_u64(varint::zigzag_encode(w[1].wrapping_sub(w[0])));
+    }
+    total
+}
+
+/// Varint delta size extrapolated from [`GAP_SAMPLES`] strided gaps.
+fn sampled_delta_varint_len(values: &[i64]) -> usize {
+    let gaps = values.len() - 1;
+    let stride = (gaps / GAP_SAMPLES).max(1);
+    let mut sampled_bytes = 0usize;
+    let mut sampled = 0usize;
+    let mut i = 1;
+    while i < values.len() {
+        sampled_bytes +=
+            varint::encoded_len_u64(varint::zigzag_encode(values[i].wrapping_sub(values[i - 1])));
+        sampled += 1;
+        i += stride;
+    }
+    let header = varint::encoded_len_u64(values.len() as u64)
+        + varint::encoded_len_u64(varint::zigzag_encode(values[0]));
+    header + sampled_bytes * gaps / sampled.max(1)
+}
+
+/// Delta-bitpacked size extrapolated from [`MINIBLOCK_SAMPLES`] real
+/// miniblocks spread across the page.
+fn sampled_bitpack_len(values: &[i64]) -> usize {
+    let miniblocks = (values.len() - 1).div_ceil(block::MINIBLOCK).max(1);
+    let step = (miniblocks / MINIBLOCK_SAMPLES).max(1);
+    let mut sampled_bytes = 0usize;
+    let mut sampled = 0usize;
+    let mut mb = 0usize;
+    while mb < miniblocks {
+        let start = 1 + mb * block::MINIBLOCK;
+        let end = (start + block::MINIBLOCK).min(values.len());
+        // Cost one miniblock exactly: min-delta varint + width byte + bits.
+        let mut min_delta = i64::MAX;
+        for w in values[start - 1..end].windows(2) {
+            min_delta = min_delta.min(w[1].wrapping_sub(w[0]));
+        }
+        let mut max_packed = 0u64;
+        for w in values[start - 1..end].windows(2) {
+            max_packed = max_packed.max(w[1].wrapping_sub(w[0]).wrapping_sub(min_delta) as u64);
+        }
+        sampled_bytes += varint::encoded_len_u64(varint::zigzag_encode(min_delta))
+            + 1
+            + bitpack::packed_len(end - start, bitpack::width_for(max_packed));
+        sampled += 1;
+        mb += step;
+    }
+    let header = varint::encoded_len_u64(values.len() as u64)
+        + varint::encoded_len_u64(varint::zigzag_encode(values[0]));
+    header + sampled_bytes * miniblocks / sampled.max(1)
+}
+
+/// Cheap pre-screen: dictionary encoding only pays off when the distinct
+/// ratio is low, which a small strided sample detects reliably.
+fn dictionary_plausible(values: &[i64]) -> bool {
+    if values.len() <= DICT_SAMPLE {
+        return true;
+    }
+    let stride = (values.len() / DICT_SAMPLE).max(1);
+    let mut sample: Vec<i64> = values.iter().step_by(stride).copied().collect();
+    let n = sample.len();
+    sample.sort_unstable();
+    sample.dedup();
+    // More than ~60% distinct in the sample: the dictionary would be nearly
+    // as large as the data; skip the exact O(n log n) costing.
+    sample.len() * 10 <= n * 6
 }
 
 /// Encodes an integer slice with the given encoding, appending to `out`.
@@ -100,6 +231,7 @@ pub fn encode_i64(encoding: Encoding, values: &[i64], out: &mut Vec<u8>) {
         Encoding::Plain => plain::encode_i64(values, out),
         Encoding::Delta => delta::encode_i64(values, out),
         Encoding::Dictionary => dictionary::encode_i64(values, out),
+        Encoding::DeltaBitpack => block::encode_i64(values, out),
     }
 }
 
@@ -115,15 +247,36 @@ pub fn decode_i64(
     pos: &mut usize,
     count: usize,
 ) -> Result<Vec<i64>> {
-    let values = match encoding {
-        Encoding::Plain => plain::decode_i64(buf, pos, count)?,
-        Encoding::Delta => delta::decode_i64(buf, pos)?,
-        Encoding::Dictionary => dictionary::decode_i64(buf, pos)?,
-    };
-    if values.len() != count {
-        return Err(ColumnarError::CountMismatch { declared: count, actual: values.len() });
-    }
+    let mut values = Vec::new();
+    decode_i64_into(encoding, buf, pos, count, &mut values)?;
     Ok(values)
+}
+
+/// Decodes `count` integers written by [`encode_i64`], appending to a
+/// caller-owned buffer — the batched Extract path. Every encoding validates
+/// `count` against its own stream metadata *before* decoding (and clamps
+/// any preallocation to what the remaining input could hold), so corrupt
+/// counts surface as errors instead of oversized reservations.
+///
+/// # Errors
+///
+/// Same as [`decode_i64`].
+pub fn decode_i64_into(
+    encoding: Encoding,
+    buf: &[u8],
+    pos: &mut usize,
+    count: usize,
+    out: &mut Vec<i64>,
+) -> Result<()> {
+    let base = out.len();
+    match encoding {
+        Encoding::Plain => plain::decode_i64_into(buf, pos, count, out)?,
+        Encoding::Delta => delta::decode_i64_into(buf, pos, count, out)?,
+        Encoding::Dictionary => dictionary::decode_i64_into(buf, pos, count, out)?,
+        Encoding::DeltaBitpack => block::decode_i64_into(buf, pos, count, out)?,
+    }
+    debug_assert_eq!(out.len() - base, count);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -132,10 +285,19 @@ mod tests {
 
     #[test]
     fn tags_roundtrip() {
-        for e in [Encoding::Plain, Encoding::Delta, Encoding::Dictionary] {
+        for e in [Encoding::Plain, Encoding::Delta, Encoding::Dictionary, Encoding::DeltaBitpack] {
             assert_eq!(Encoding::from_tag(e.to_tag()).unwrap(), e);
         }
         assert!(Encoding::from_tag(200).is_err());
+    }
+
+    #[test]
+    fn force_names_resolve() {
+        assert_eq!(Encoding::from_force_name("plain"), Some(Encoding::Plain));
+        assert_eq!(Encoding::from_force_name("delta_varint"), Some(Encoding::Delta));
+        assert_eq!(Encoding::from_force_name("delta_bitpack"), Some(Encoding::DeltaBitpack));
+        assert_eq!(Encoding::from_force_name("dictionary"), Some(Encoding::Dictionary));
+        assert_eq!(Encoding::from_force_name("zstd"), None);
     }
 
     #[test]
@@ -145,9 +307,34 @@ mod tests {
     }
 
     #[test]
-    fn chooser_prefers_delta_for_monotonic() {
+    fn chooser_prefers_delta_bitpack_for_monotonic() {
+        // Constant step: the frame-of-reference miniblocks collapse to
+        // width 0, beating the byte-per-delta varint stream.
         let values: Vec<i64> = (0..4096).map(|i| i * 17).collect();
-        assert_eq!(choose_i64_encoding(&values), Encoding::Delta);
+        assert_eq!(choose_i64_encoding(&values), Encoding::DeltaBitpack);
+    }
+
+    #[test]
+    fn chooser_prefers_delta_bitpack_for_vocab_ids() {
+        // Uniform ids in a 500k vocabulary — the RM sparse-feature shape.
+        let mut x = 3u64;
+        let values: Vec<i64> = (0..4096)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % 500_000) as i64
+            })
+            .collect();
+        assert_eq!(choose_i64_encoding(&values), Encoding::DeltaBitpack);
+    }
+
+    #[test]
+    fn sampled_and_exact_cost_models_agree_on_shape() {
+        // A page just above the exact-costing threshold must still pick the
+        // same encoding as its exactly-costed prefix.
+        let values: Vec<i64> = (0..(SAMPLE_EXACT as i64 * 4)).map(|i| i * 11 + (i % 5)).collect();
+        assert_eq!(choose_i64_encoding(&values), choose_i64_encoding(&values[..SAMPLE_EXACT]),);
     }
 
     #[test]
@@ -168,7 +355,7 @@ mod tests {
     #[test]
     fn all_encodings_roundtrip_same_data() {
         let values: Vec<i64> = (0..1000).map(|i| (i % 50) * 3 - 20).collect();
-        for e in [Encoding::Plain, Encoding::Delta, Encoding::Dictionary] {
+        for e in [Encoding::Plain, Encoding::Delta, Encoding::Dictionary, Encoding::DeltaBitpack] {
             let mut buf = Vec::new();
             encode_i64(e, &values, &mut buf);
             let mut pos = 0;

@@ -36,16 +36,34 @@ pub fn encode_f64(values: &[f64], out: &mut Vec<u8>) {
 /// Returns [`ColumnarError::UnexpectedEof`] if fewer than `count * 8` bytes
 /// remain.
 pub fn decode_i64(buf: &[u8], pos: &mut usize, count: usize) -> Result<Vec<i64>> {
-    let need = count * 8;
-    if buf.len() < *pos + need {
-        return Err(ColumnarError::UnexpectedEof { context: "plain i64" });
-    }
-    let values = buf[*pos..*pos + need]
-        .chunks_exact(8)
-        .map(|c| i64::from_le_bytes(c.try_into().expect("chunk of 8")))
-        .collect();
-    *pos += need;
+    let mut values = Vec::new();
+    decode_i64_into(buf, pos, count, &mut values)?;
     Ok(values)
+}
+
+/// Like [`decode_i64`], appending into a caller-owned buffer. The bounds
+/// check precedes the reservation, so a corrupt count cannot over-reserve.
+///
+/// # Errors
+///
+/// Same as [`decode_i64`].
+pub fn decode_i64_into(
+    buf: &[u8],
+    pos: &mut usize,
+    count: usize,
+    out: &mut Vec<i64>,
+) -> Result<()> {
+    let end = count
+        .checked_mul(8)
+        .and_then(|need| pos.checked_add(need))
+        .filter(|&e| e <= buf.len())
+        .ok_or(ColumnarError::UnexpectedEof { context: "plain i64" })?;
+    out.reserve(count);
+    out.extend(
+        buf[*pos..end].chunks_exact(8).map(|c| i64::from_le_bytes(c.try_into().expect("chunk"))),
+    );
+    *pos = end;
+    Ok(())
 }
 
 /// Reads `count` little-endian `f32`s from `buf` at `*pos`.
@@ -55,15 +73,16 @@ pub fn decode_i64(buf: &[u8], pos: &mut usize, count: usize) -> Result<Vec<i64>>
 /// Returns [`ColumnarError::UnexpectedEof`] if fewer than `count * 4` bytes
 /// remain.
 pub fn decode_f32(buf: &[u8], pos: &mut usize, count: usize) -> Result<Vec<f32>> {
-    let need = count * 4;
-    if buf.len() < *pos + need {
-        return Err(ColumnarError::UnexpectedEof { context: "plain f32" });
-    }
-    let values = buf[*pos..*pos + need]
+    let end = count
+        .checked_mul(4)
+        .and_then(|need| pos.checked_add(need))
+        .filter(|&e| e <= buf.len())
+        .ok_or(ColumnarError::UnexpectedEof { context: "plain f32" })?;
+    let values = buf[*pos..end]
         .chunks_exact(4)
         .map(|c| f32::from_le_bytes(c.try_into().expect("chunk of 4")))
         .collect();
-    *pos += need;
+    *pos = end;
     Ok(values)
 }
 
@@ -74,15 +93,16 @@ pub fn decode_f32(buf: &[u8], pos: &mut usize, count: usize) -> Result<Vec<f32>>
 /// Returns [`ColumnarError::UnexpectedEof`] if fewer than `count * 8` bytes
 /// remain.
 pub fn decode_f64(buf: &[u8], pos: &mut usize, count: usize) -> Result<Vec<f64>> {
-    let need = count * 8;
-    if buf.len() < *pos + need {
-        return Err(ColumnarError::UnexpectedEof { context: "plain f64" });
-    }
-    let values = buf[*pos..*pos + need]
+    let end = count
+        .checked_mul(8)
+        .and_then(|need| pos.checked_add(need))
+        .filter(|&e| e <= buf.len())
+        .ok_or(ColumnarError::UnexpectedEof { context: "plain f64" })?;
+    let values = buf[*pos..end]
         .chunks_exact(8)
         .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
         .collect();
-    *pos += need;
+    *pos = end;
     Ok(values)
 }
 

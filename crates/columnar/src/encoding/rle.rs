@@ -69,12 +69,37 @@ fn write_rle_run(value: u64, len: usize, width: u32, out: &mut Vec<u8>) {
 
 /// Decodes a stream produced by [`encode`].
 ///
+/// Preallocation is clamped to what the remaining input could describe
+/// (at most 8 values per byte once the run framing is paid), so a corrupt
+/// count cannot force an oversized reservation.
+///
 /// # Errors
 ///
 /// Returns [`ColumnarError::UnexpectedEof`] on truncated input and
 /// [`ColumnarError::CountMismatch`] when the run headers disagree with the
 /// declared value count.
 pub fn decode(buf: &[u8], pos: &mut usize) -> Result<Vec<u64>> {
+    let mut values = Vec::new();
+    decode_into(buf, pos, None, &mut values)?;
+    Ok(values)
+}
+
+/// Like [`decode`], appending into a caller-owned buffer.
+///
+/// With `expected = Some(n)` the stream's declared count must equal `n`
+/// (checked before any allocation) — the page reader passes its row count
+/// here, so a corrupt length stream errors instead of materializing.
+///
+/// # Errors
+///
+/// Same as [`decode`], plus [`ColumnarError::CountMismatch`] when the
+/// declared count disagrees with `expected`.
+pub fn decode_into(
+    buf: &[u8],
+    pos: &mut usize,
+    expected: Option<usize>,
+    values: &mut Vec<u64>,
+) -> Result<()> {
     let Some(&width) = buf.get(*pos) else {
         return Err(ColumnarError::UnexpectedEof { context: "rle bit width" });
     };
@@ -86,21 +111,51 @@ pub fn decode(buf: &[u8], pos: &mut usize) -> Result<Vec<u64>> {
         });
     }
     let count = varint::read_u64(buf, pos)? as usize;
-    let mut values = Vec::with_capacity(count);
-    while values.len() < count {
+    match expected {
+        Some(expected) => {
+            if count != expected {
+                return Err(ColumnarError::CountMismatch { declared: expected, actual: count });
+            }
+        }
+        // No caller-known count: RLE expands (zero-width runs consume no
+        // input), so only the global page ceiling bounds growth.
+        None => {
+            if count > super::MAX_PAGE_ELEMENTS {
+                return Err(ColumnarError::CorruptFile {
+                    detail: format!("rle stream declares {count} values"),
+                });
+            }
+        }
+    }
+    values.reserve(count.min(buf.len().saturating_sub(*pos).saturating_mul(8).max(64)));
+    let base = values.len();
+    decode_runs(buf, pos, width, count, base, values)
+}
+
+/// Run-decoding core shared by [`decode`] and [`decode_into`]; `base` is
+/// the output length before this stream's values.
+fn decode_runs(
+    buf: &[u8],
+    pos: &mut usize,
+    width: u32,
+    count: usize,
+    base: usize,
+    values: &mut Vec<u64>,
+) -> Result<()> {
+    while values.len() - base < count {
         let header = varint::read_u64(buf, pos)?;
         let len = (header >> 1) as usize;
         if len == 0 {
             return Err(ColumnarError::CorruptFile { detail: "zero-length rle run".into() });
         }
-        if values.len() + len > count {
+        if values.len() - base + len > count {
             return Err(ColumnarError::CountMismatch {
                 declared: count,
-                actual: values.len() + len,
+                actual: values.len() - base + len,
             });
         }
         if header & 1 == 1 {
-            values.extend(bitpack::unpack(buf, pos, len, width)?);
+            bitpack::unpack_into(buf, pos, len, width, values)?;
         } else {
             let value = if width == 0 {
                 0
@@ -117,7 +172,7 @@ pub fn decode(buf: &[u8], pos: &mut usize) -> Result<Vec<u64>> {
             values.extend(std::iter::repeat_n(value, len));
         }
     }
-    Ok(values)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -183,6 +238,51 @@ mod tests {
             let mut pos = 0;
             assert!(decode(&buf[..cut], &mut pos).is_err(), "cut at {cut} decoded");
         }
+    }
+
+    #[test]
+    fn decode_into_enforces_expected_count() {
+        let mut buf = Vec::new();
+        encode(&[1, 2, 3, 4], &mut buf);
+        let mut out = Vec::new();
+        let mut pos = 0;
+        assert!(matches!(
+            decode_into(&buf, &mut pos, Some(5), &mut out),
+            Err(ColumnarError::CountMismatch { .. })
+        ));
+        assert!(out.is_empty());
+        let mut pos = 0;
+        decode_into(&buf, &mut pos, Some(4), &mut out).unwrap();
+        assert_eq!(out, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_width_allocation_bomb_is_rejected() {
+        // Regression: width-0 runs consume no input, so a crafted count of
+        // 2^40 with one matching run header used to materialize terabytes
+        // of zeros. The page-element ceiling now rejects the count.
+        let mut bomb = vec![0u8]; // width 0
+        varint::write_u64(&mut bomb, 1u64 << 40); // count
+        varint::write_u64(&mut bomb, (1u64 << 40) << 1); // one RLE run
+        let mut pos = 0;
+        assert!(matches!(decode(&bomb, &mut pos), Err(ColumnarError::CorruptFile { .. })));
+        // With a caller-expected count the mismatch fires first.
+        let mut out = Vec::new();
+        let mut pos = 0;
+        assert!(decode_into(&bomb, &mut pos, Some(8), &mut out).is_err());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn corrupt_count_cannot_over_reserve() {
+        // Width byte + varint count of u64::MAX and no run data: capacity
+        // stays bounded by the (tiny) remaining input and decode errors.
+        let mut buf = vec![1u8];
+        varint::write_u64(&mut buf, u64::MAX);
+        let mut out = Vec::new();
+        let mut pos = 0;
+        assert!(decode_into(&buf, &mut pos, None, &mut out).is_err());
+        assert!(out.capacity() <= 64);
     }
 
     #[test]

@@ -90,6 +90,47 @@ fn read_u64_slow(buf: &[u8], pos: &mut usize) -> Result<u64> {
     }
 }
 
+/// Decodes `out.len()` consecutive unsigned varints into `out`, advancing
+/// `*pos` past the consumed bytes.
+///
+/// This is the batched decoder behind the delta-varint fallback encoding:
+/// while at least 8 bytes remain, one little-endian word load locates the
+/// varint terminator for every 1..=8-byte encoding via the continuation-bit
+/// mask (`!word & 0x8080…`), so the common path performs one bounds check
+/// and one branch per *value* instead of one per *byte*. Longer encodings
+/// and the buffer tail fall back to the checked scalar decoder.
+///
+/// # Errors
+///
+/// Same as [`read_u64`]; on error `*pos` is left unchanged.
+pub fn read_u64_group(buf: &[u8], pos: &mut usize, out: &mut [u64]) -> Result<()> {
+    let mut p = *pos;
+    let mut i = 0;
+    while i < out.len() && p + 8 <= buf.len() {
+        let word = u64::from_le_bytes(buf[p..p + 8].try_into().expect("8 bytes"));
+        let stops = !word & 0x8080_8080_8080_8080;
+        if stops == 0 {
+            // 9- or 10-byte encoding (top-range u64): rare, take the checked
+            // scalar path which also validates overflow.
+            out[i] = read_u64(buf, &mut p)?;
+        } else {
+            let n = (stops.trailing_zeros() / 8 + 1) as usize; // 1..=8 bytes
+            let mut acc = 0u64;
+            for b in 0..n {
+                acc |= u64::from((word >> (8 * b)) as u8 & 0x7f) << (7 * b);
+            }
+            out[i] = acc;
+            p += n;
+        }
+        i += 1;
+    }
+    for v in &mut out[i..] {
+        *v = read_u64(buf, &mut p)?;
+    }
+    *pos = p;
+    Ok(())
+}
+
 /// Signed counterpart of [`read_u64`].
 ///
 /// # Errors
@@ -185,6 +226,52 @@ mod tests {
         buf.push(0x02);
         let mut pos = 0;
         assert!(read_u64(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn group_decode_matches_scalar_decode() {
+        // Mix of 1..=10-byte encodings, including word-straddling layouts.
+        let values: Vec<u64> = (0..500)
+            .map(|i| match i % 7 {
+                0 => i % 128,
+                1 => 300,
+                2 => 1 << 20,
+                3 => 1 << 34,
+                4 => 1 << 48,
+                5 => u64::MAX - i,
+                _ => (i * 0x9e37_79b9) ^ (i << 40),
+            })
+            .collect();
+        let mut buf = Vec::new();
+        for &v in &values {
+            write_u64(&mut buf, v);
+        }
+        let mut grouped = vec![0u64; values.len()];
+        let mut pos = 0;
+        read_u64_group(&buf, &mut pos, &mut grouped).unwrap();
+        assert_eq!(grouped, values);
+        assert_eq!(pos, buf.len());
+        // Odd group splits must land on the same values.
+        let mut pos = 0;
+        let mut head = vec![0u64; 13];
+        let mut tail = vec![0u64; values.len() - 13];
+        read_u64_group(&buf, &mut pos, &mut head).unwrap();
+        read_u64_group(&buf, &mut pos, &mut tail).unwrap();
+        assert_eq!(head, values[..13]);
+        assert_eq!(tail, values[13..]);
+    }
+
+    #[test]
+    fn group_decode_detects_truncation() {
+        let mut buf = Vec::new();
+        for v in [1u64, 300, 1 << 30] {
+            write_u64(&mut buf, v);
+        }
+        buf.pop();
+        let mut out = vec![0u64; 3];
+        let mut pos = 0;
+        assert!(read_u64_group(&buf, &mut pos, &mut out).is_err());
+        assert_eq!(pos, 0, "failed group decode must not move the cursor");
     }
 
     #[test]

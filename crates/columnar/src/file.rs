@@ -3,17 +3,23 @@
 //! File layout:
 //!
 //! ```text
-//! magic  "PSTOCOL2"                      (8 bytes)
+//! magic  "PSTOCOL3"                      (8 bytes)
 //! column chunks, back to back            (row-group major, column minor)
 //! footer: schema, row-group metadata     (self-describing)
 //! u32 LE  CRC-32 of the footer bytes
 //! u32 LE  footer length
-//! magic  "PSTOCOL2"                      (8 bytes)
+//! magic  "PSTOCOL3"                      (8 bytes)
 //! ```
 //!
+//! Version 3 adds the delta-bitpacked block encoding (page encoding tag 3,
+//! see [`crate::encoding::block`]) and the per-column
+//! [`WritePolicy`](crate::schema::WritePolicy); the container layout is
+//! unchanged from version 2, so the reader accepts `PSTOCOL2` files as-is
+//! (they simply never use tag 3 — covered by a checked-in v2 fixture test).
 //! Version 2 (PR 2) 8-byte-aligns every page payload (see
 //! [`crate::page::PAYLOAD_ALIGN`]); version-1 files fail at open with a
-//! clear bad-magic error instead of a misleading decode failure.
+//! clear bad-magic error instead of a misleading decode failure. Mixed
+//! leading/trailing magics are rejected as corruption.
 //!
 //! The footer-at-the-end design is what lets a reader fetch metadata with two
 //! small reads and then issue *exactly one ranged read per projected column*,
@@ -28,11 +34,15 @@ use crate::encoding::varint;
 use crate::error::{ColumnarError, Result};
 use crate::io::BlobRead;
 use crate::page::DEFAULT_PAGE_ROWS;
-use crate::schema::{DataType, Field, Schema};
+use crate::schema::{DataType, Field, Schema, WritePolicy};
 use crate::stats::ColumnStats;
 
-/// Magic bytes at both ends of every file.
-pub const MAGIC: &[u8; 8] = b"PSTOCOL2";
+/// Magic bytes at both ends of every file the writer produces.
+pub const MAGIC: &[u8; 8] = b"PSTOCOL3";
+
+/// Previous-version magic the reader still accepts (same layout, no
+/// delta-bitpacked pages).
+pub const MAGIC_V2: &[u8; 8] = b"PSTOCOL2";
 
 /// Footer metadata for one column chunk.
 #[derive(Debug, Clone, PartialEq)]
@@ -151,7 +161,7 @@ impl FileMeta {
 pub struct FileWriter {
     schema: Schema,
     page_rows: usize,
-    compression: Compression,
+    policy: WritePolicy,
     buf: Vec<u8>,
     row_groups: Vec<RowGroupMeta>,
 }
@@ -164,6 +174,10 @@ impl FileWriter {
     }
 
     /// Creates a writer with an explicit page size (rows per page).
+    ///
+    /// The starting [`WritePolicy`] is [`WritePolicy::from_env`]: cost-model
+    /// encoding selection, no compression, and any process-wide
+    /// `PRESTO_FORCE_ENCODING` override applied (CI's encoding matrix).
     #[must_use]
     pub fn with_page_rows(schema: Schema, page_rows: usize) -> Self {
         let mut buf = Vec::new();
@@ -171,18 +185,34 @@ impl FileWriter {
         FileWriter {
             schema,
             page_rows: page_rows.max(1),
-            compression: Compression::None,
+            policy: WritePolicy::from_env(),
             buf,
             row_groups: Vec::new(),
         }
     }
 
     /// Enables per-page payload compression for subsequently written row
-    /// groups.
+    /// groups. Hot column types (sparse ids, integer labels/offsets) keep
+    /// skipping compression so they stay lazy-decodable — the
+    /// "uncompressed-if-hot" rule; use [`FileWriter::with_policy`] with
+    /// [`WritePolicy::compressing_hot_columns`] to compress everything.
     #[must_use]
     pub fn with_compression(mut self, compression: Compression) -> Self {
-        self.compression = compression;
+        self.policy.compression = compression;
         self
+    }
+
+    /// Replaces the writer's per-column [`WritePolicy`].
+    #[must_use]
+    pub fn with_policy(mut self, policy: WritePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The active per-column write policy.
+    #[must_use]
+    pub fn policy(&self) -> &WritePolicy {
+        &self.policy
     }
 
     /// The schema this writer enforces.
@@ -228,12 +258,8 @@ impl FileWriter {
         let mut metas = Vec::with_capacity(columns.len());
         for col in columns {
             let offset = self.buf.len() as u64;
-            let stats = column::write_chunk_compressed(
-                col,
-                self.page_rows,
-                self.compression,
-                &mut self.buf,
-            )?;
+            let stats =
+                column::write_chunk_policy(col, self.page_rows, &self.policy, &mut self.buf)?;
             let byte_len = self.buf.len() as u64 - offset;
             metas.push(ChunkMeta { offset, byte_len, stats });
         }
@@ -280,11 +306,11 @@ impl<B: BlobRead> FileReader<B> {
             });
         }
         let head = blob.read_at(0, 8)?;
-        if head != MAGIC {
+        if head != MAGIC && head != MAGIC_V2 {
             return Err(ColumnarError::CorruptFile { detail: "bad leading magic".into() });
         }
         let tail = blob.read_at(total - tail_len as u64, tail_len)?;
-        if &tail[8..] != MAGIC {
+        if tail[8..] != head {
             return Err(ColumnarError::CorruptFile { detail: "bad trailing magic".into() });
         }
         let footer_crc = u32::from_le_bytes(tail[0..4].try_into().expect("4 bytes"));
@@ -359,29 +385,67 @@ impl<B: BlobRead> FileReader<B> {
             .get(column)
             .ok_or_else(|| ColumnarError::UnknownColumn { name: format!("column {column}") })?;
         let field = self.meta.schema.field(column).expect("meta/schema in sync");
+        let data_type = field.data_type();
         let (offset, len) = (chunk.offset, chunk.byte_len as usize);
+        // Footer stats size the batched decoder's outputs exactly.
+        let rows = usize::try_from(rg.rows).unwrap_or(usize::MAX);
+        let elements = usize::try_from(chunk.stats.elements).unwrap_or(usize::MAX);
+        let batchable = matches!(data_type, DataType::Int64 | DataType::ListInt64);
         // Lazy decode: when the blob shares its allocation, aligned plain
         // pages are returned as views over the stored bytes — no staging
-        // and no value copy (see `column::read_chunk_shared`).
+        // and no value copy (see `column::read_chunk_shared`). Multi-page
+        // integer chunks cannot stay lazy (concat copies anyway), so they
+        // take the batched single-output-buffer decode instead.
         let array = if let Some(shared) = self.blob.as_shared() {
-            column::read_chunk_shared(&shared, offset, len, field.data_type())?
+            let start = usize::try_from(offset).map_err(|_| ColumnarError::Io {
+                detail: format!("chunk offset {offset} out of addressable range"),
+            })?;
+            let end = start
+                .checked_add(len)
+                .filter(|&e| e <= shared.len())
+                .ok_or(ColumnarError::UnexpectedEof { context: "column chunk range" })?;
+            if batchable && column::peek_page_count(&shared[..end], start)? > 1 {
+                let (_, staging, lengths) = scratch.split_parts();
+                let mut pos = start;
+                column::read_chunk_batched(
+                    &shared[..end],
+                    &mut pos,
+                    data_type,
+                    0,
+                    rows,
+                    elements,
+                    staging,
+                    lengths,
+                )?
+            } else {
+                column::read_chunk_shared(&shared, offset, len, data_type)?
+            }
         } else {
-            let bytes: &[u8] = match self.blob.as_slice() {
-                Some(all) => {
-                    let start = usize::try_from(offset).map_err(|_| ColumnarError::Io {
-                        detail: format!("chunk offset {offset} out of addressable range"),
-                    })?;
-                    // checked_add: corrupt metadata must surface as Err, not
-                    // an overflow panic.
-                    start
-                        .checked_add(len)
-                        .and_then(|end| all.get(start..end))
-                        .ok_or(ColumnarError::UnexpectedEof { context: "column chunk range" })?
-                }
-                None => scratch.read(&self.blob, offset, len)?,
-            };
+            let (bytes, staging, lengths): (&[u8], &mut Vec<u8>, &mut Vec<u64>) =
+                match self.blob.as_slice() {
+                    Some(all) => {
+                        let start = usize::try_from(offset).map_err(|_| ColumnarError::Io {
+                            detail: format!("chunk offset {offset} out of addressable range"),
+                        })?;
+                        // checked_add: corrupt metadata must surface as Err,
+                        // not an overflow panic.
+                        let bytes =
+                            start.checked_add(len).and_then(|end| all.get(start..end)).ok_or(
+                                ColumnarError::UnexpectedEof { context: "column chunk range" },
+                            )?;
+                        let (_, staging, lengths) = scratch.split_parts();
+                        (bytes, staging, lengths)
+                    }
+                    None => scratch.read_split(&self.blob, offset, len)?,
+                };
             let mut pos = 0usize;
-            column::read_chunk_at(bytes, &mut pos, field.data_type(), offset)?
+            if batchable {
+                column::read_chunk_batched(
+                    bytes, &mut pos, data_type, offset, rows, elements, staging, lengths,
+                )?
+            } else {
+                column::read_chunk_at(bytes, &mut pos, data_type, offset)?
+            }
         };
         if array.len() as u64 != rg.rows {
             return Err(ColumnarError::CountMismatch {
@@ -489,7 +553,15 @@ mod tests {
 
     #[test]
     fn projection_reads_only_requested_chunks() {
-        let bytes = sample_file(1, 2000);
+        // A traffic-ratio assertion: pin the cost-model policy so the CI
+        // encoding matrix (PRESTO_FORCE_ENCODING=plain inflates the label
+        // chunk) cannot skew the ratio.
+        let bytes = {
+            let mut w = FileWriter::with_page_rows(sample_schema(), 128)
+                .with_policy(WritePolicy::default());
+            w.write_row_group(&sample_columns(2000, 0)).unwrap();
+            w.finish()
+        };
         let total_len = bytes.len() as u64;
         let blob = CountingBlob::new(MemBlob::new(bytes));
         let reader = FileReader::open(blob).unwrap();
@@ -558,8 +630,9 @@ mod tests {
 
     #[test]
     fn shared_blob_decodes_plain_list_values_lazily() {
-        // Large pseudo-random ids defeat delta and dictionary encoding, so
-        // the list value stream is stored plain and becomes lazy-decodable.
+        // Plain-encoded list values are the lazy-decode subject, so pin the
+        // encoding explicitly (immune to PRESTO_FORCE_ENCODING in the CI
+        // encoding matrix).
         let lists: Vec<Vec<i64>> = (0..600u64)
             .map(|i| {
                 (0..(i % 5))
@@ -573,7 +646,8 @@ mod tests {
             })
             .collect();
         let schema = Schema::new(vec![Field::new("ids", DataType::ListInt64)]).unwrap();
-        let mut w = FileWriter::with_page_rows(schema, 1024);
+        let mut w = FileWriter::with_page_rows(schema, 1024)
+            .with_policy(WritePolicy::default().with_forced_encoding(crate::Encoding::Plain));
         w.write_row_group(&[Array::from_lists(lists.clone()).unwrap()]).unwrap();
         let bytes = w.finish();
         let reader = FileReader::open(MemBlob::new(bytes.clone())).unwrap();

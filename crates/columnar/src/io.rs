@@ -280,14 +280,22 @@ impl<B: BlobRead + ?Sized> BlobRead for &B {
     }
 }
 
-/// A reusable byte buffer for [`BlobRead::read_at_into`] callers.
+/// Reusable per-worker buffers for the Extract read + decode path.
 ///
 /// One `ReadScratch` per worker turns every column-chunk read into a
 /// positioned read over recycled memory: after warm-up (the largest chunk
-/// seen so far) no further allocation occurs.
+/// seen so far) no further allocation occurs. Beyond the chunk staging
+/// buffer it recycles the batched chunk decoder's intermediates — the LZ
+/// decompress staging and the list-length stream — so decoded id/offset
+/// blocks go straight from storage bytes into their exactly-sized output
+/// buffers with nothing allocated in between.
 #[derive(Debug, Default)]
 pub struct ReadScratch {
     buf: Vec<u8>,
+    /// LZ decompress staging for the batched chunk decoder.
+    staging: Vec<u8>,
+    /// List-length stream staging for the batched chunk decoder.
+    lengths: Vec<u64>,
 }
 
 impl ReadScratch {
@@ -295,6 +303,36 @@ impl ReadScratch {
     #[must_use]
     pub fn new() -> Self {
         ReadScratch::default()
+    }
+
+    /// All three recycled buffers as disjoint borrows:
+    /// (chunk staging, LZ staging, list-length staging). Lets a caller
+    /// stage a chunk read and run the batched decoder over it without
+    /// overlapping `&mut self` borrows.
+    pub(crate) fn split_parts(&mut self) -> (&mut Vec<u8>, &mut Vec<u8>, &mut Vec<u64>) {
+        (&mut self.buf, &mut self.staging, &mut self.lengths)
+    }
+
+    /// Stages `len` bytes at `offset` from `blob` into the recycled chunk
+    /// buffer (same grow-and-fill as [`ReadScratch::read`]) and returns
+    /// them together with the decode intermediates as disjoint borrows —
+    /// the batched chunk decoder's entry point for opaque backends.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BlobRead::read_at_into`].
+    pub(crate) fn read_split<B: BlobRead + ?Sized>(
+        &mut self,
+        blob: &B,
+        offset: u64,
+        len: usize,
+    ) -> Result<(&[u8], &mut Vec<u8>, &mut Vec<u64>)> {
+        if self.buf.len() < len {
+            self.buf.resize(len, 0);
+        }
+        let dst = &mut self.buf[..len];
+        blob.read_at_into(offset, dst)?;
+        Ok((dst, &mut self.staging, &mut self.lengths))
     }
 
     /// Reads `len` bytes at `offset` from `blob` into the recycled buffer

@@ -58,10 +58,14 @@
 //! ## Format internals
 //!
 //! Values are encoded per page with one of [`Encoding::Plain`],
-//! [`Encoding::Delta`] or [`Encoding::Dictionary`] (chosen by size estimate);
-//! jagged list columns store an RLE run of row lengths before the value
-//! stream. Pages are CRC-32 protected, as is the footer. See the [`encoding`]
-//! module for the bit-level details.
+//! [`Encoding::Delta`], [`Encoding::Dictionary`] or
+//! [`Encoding::DeltaBitpack`] (delta-binary-packed miniblocks, the sparse-id
+//! hot path), chosen by a sample-based size estimate that a per-column
+//! [`WritePolicy`] can override; jagged list columns store an RLE run of row
+//! lengths before the value stream. Hot column types skip LZ compression by
+//! default so they stay lazy-decodable ("uncompressed-if-hot"). Pages are
+//! CRC-32 protected, as is the footer. See the [`encoding`] module for the
+//! bit-level details.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -84,9 +88,9 @@ pub use buffer::{Buffer, PlainValue};
 pub use compress::Compression;
 pub use encoding::Encoding;
 pub use error::{ColumnarError, Result};
-pub use file::{ChunkMeta, FileMeta, FileReader, FileWriter, RowGroupMeta};
+pub use file::{ChunkMeta, FileMeta, FileReader, FileWriter, RowGroupMeta, MAGIC, MAGIC_V2};
 pub use io::{
     BlobRead, CountingBlob, Device, DeviceModel, DeviceStats, FsBlob, MemBlob, ReadScratch,
 };
-pub use schema::{DataType, Field, Schema};
+pub use schema::{DataType, Field, Schema, WritePolicy};
 pub use stats::ColumnStats;

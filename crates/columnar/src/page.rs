@@ -1,4 +1,5 @@
-//! Pages: the unit of encoding and checksumming inside a column chunk.
+//! Pages: the unit of encoding and checksumming inside a column chunk
+//! (format version 3, magic `PSTOCOL3`).
 //!
 //! Layout of one page:
 //!
@@ -15,6 +16,18 @@
 //!          value stream, optionally LZ-compressed
 //! ```
 //!
+//! Encoding tags: `0` plain, `1` delta-varint, `2` dictionary, `3`
+//! delta-bitpacked miniblocks ([`crate::encoding::block`]: per-miniblock
+//! frame-of-reference + bit width, 128 values each, decoded 64 at a time
+//! through word loads). Tag 3 is new in version 3; the layout is otherwise
+//! identical to version 2, so the v3 reader accepts v2 files unchanged —
+//! a v2 file simply never uses tag 3.
+//!
+//! Which encoding and compression a page gets is decided per *column* by
+//! [`crate::schema::WritePolicy`]: a sample-based cost model picks the
+//! integer encoding, and hot column types (sparse ids, labels/offsets) skip
+//! LZ compression ("uncompressed-if-hot") so they stay lazy-decodable.
+//!
 //! Both paddings are *recomputed* by the reader from its position (they are
 //! never stored), so they cost at most `PAYLOAD_ALIGN - 1` bytes each and no
 //! metadata. Their purpose is **lazy plain-page decode**: with the payload
@@ -23,7 +36,10 @@
 //! [`Buffer`](crate::Buffer) views that alias the stored bytes directly —
 //! an aligned plain-encoded page is decoded by an alignment-checked cast,
 //! not a copy (falling back to the copying decode whenever any precondition
-//! fails).
+//! fails). Non-plain integer pages decode through the `*_into` codec entry
+//! points, appending straight into the caller's output buffers (see
+//! [`crate::column`]'s batched chunk reader) with no per-page intermediate
+//! `Vec`.
 
 use crate::array::Array;
 use crate::buffer::{Buffer, PlainValue};
@@ -31,7 +47,7 @@ use crate::checksum::crc32;
 use crate::compress::{self, Compression};
 use crate::encoding::{self, rle, varint, Encoding};
 use crate::error::{ColumnarError, Result};
-use crate::schema::DataType;
+use crate::schema::{DataType, WritePolicy};
 use std::sync::Arc;
 
 /// Default number of rows the writer packs into one page.
@@ -63,7 +79,9 @@ pub fn write_page(array: &Array, out: &mut Vec<u8>) -> Result<Encoding> {
 
 /// Encodes `array` into `out`, compressing the payload with `compression`
 /// when that makes it smaller (falls back to stored-uncompressed
-/// otherwise).
+/// otherwise). Applies `compression` regardless of column temperature; the
+/// per-column "uncompressed-if-hot" rule lives in
+/// [`WritePolicy::compression_for`], which [`write_page_policy`] consults.
 ///
 /// # Errors
 ///
@@ -73,10 +91,38 @@ pub fn write_page_with(
     compression: Compression,
     out: &mut Vec<u8>,
 ) -> Result<Encoding> {
+    let policy = WritePolicy::from_env().with_compression(compression).compressing_hot_columns();
+    write_page_policy(array, &policy, out)
+}
+
+/// Encodes `array` into `out` under a [`WritePolicy`]: the policy picks the
+/// integer encoding (cost model or forced) and decides per column type
+/// whether the payload is LZ-compressed.
+///
+/// # Errors
+///
+/// Same as [`write_page`].
+pub fn write_page_policy(
+    array: &Array,
+    policy: &WritePolicy,
+    out: &mut Vec<u8>,
+) -> Result<Encoding> {
+    if array.len() > encoding::MAX_PAGE_ELEMENTS
+        || array.element_count() > encoding::MAX_PAGE_ELEMENTS
+    {
+        return Err(ColumnarError::ValueOutOfRange {
+            detail: format!(
+                "page of {} rows / {} elements exceeds MAX_PAGE_ELEMENTS; reduce page_rows",
+                array.len(),
+                array.element_count()
+            ),
+        });
+    }
+    let compression = policy.compression_for(array.data_type());
     let mut payload = Vec::new();
     let encoding = match array {
         Array::Int64(values) => {
-            let enc = encoding::choose_i64_encoding(values);
+            let enc = policy.i64_encoding(values);
             encoding::encode_i64(enc, values, &mut payload);
             enc
         }
@@ -91,7 +137,7 @@ pub fn write_page_with(
         Array::ListInt64 { offsets, values } => {
             let lengths: Vec<u64> = offsets.windows(2).map(|w| u64::from(w[1] - w[0])).collect();
             rle::encode(&lengths, &mut payload);
-            let enc = encoding::choose_i64_encoding(values);
+            let enc = policy.i64_encoding(values);
             payload.push(enc.to_tag());
             // Align the value stream relative to the payload start; combined
             // with the payload's own file alignment below, plain-encoded
@@ -193,16 +239,34 @@ fn raw_values<T: PlainValue>(
     Buffer::from_shared_le_bytes(Arc::clone(shared), abs, count)
 }
 
-/// Shared implementation of the `read_page*` family. When `shared` is
-/// `Some`, `buf` must be a prefix of it (so positions in `buf` are absolute
-/// blob offsets) and `base` must be 0.
-fn read_page_impl(
-    buf: &[u8],
-    pos: &mut usize,
-    data_type: DataType,
-    base: u64,
-    shared: Option<&Arc<Vec<u8>>>,
-) -> Result<Array> {
+/// Parsed page header, with the payload located (and checksummed) but not
+/// yet decoded. The batched chunk reader in [`crate::column`] uses this to
+/// decode many pages straight into one set of output buffers.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PageHeader {
+    /// Value-stream encoding.
+    pub encoding: Encoding,
+    /// Payload compression.
+    pub compression: Compression,
+    /// Rows in this page.
+    pub rows: usize,
+    /// Elements in this page (== rows for scalar columns).
+    pub elements: usize,
+    /// Absolute offset of the stored payload in `buf`.
+    pub payload_start: usize,
+    /// Stored payload length in bytes.
+    pub payload_len: usize,
+}
+
+/// Parses one page header at `*pos`, verifies the payload checksum and
+/// advances `*pos` past the entire page.
+///
+/// # Errors
+///
+/// Returns [`ColumnarError::UnexpectedEof`] on truncation,
+/// [`ColumnarError::ChecksumMismatch`] on payload corruption and tag errors
+/// from unknown encodings/compressions.
+pub(crate) fn read_page_header(buf: &[u8], pos: &mut usize, base: u64) -> Result<PageHeader> {
     let Some(&enc_tag) = buf.get(*pos) else {
         return Err(ColumnarError::UnexpectedEof { context: "page encoding tag" });
     };
@@ -215,6 +279,15 @@ fn read_page_impl(
     let compression = Compression::from_tag(comp_tag)?;
     let rows = varint::read_u64(buf, pos)? as usize;
     let elements = varint::read_u64(buf, pos)? as usize;
+    // The writer never produces pages above this ceiling, so a larger
+    // declared count is corruption — rejecting it here bounds every
+    // downstream decode allocation (RLE-class encodings expand, so input
+    // size alone cannot).
+    if rows > encoding::MAX_PAGE_ELEMENTS || elements > encoding::MAX_PAGE_ELEMENTS {
+        return Err(ColumnarError::CorruptFile {
+            detail: format!("page declares {rows} rows / {elements} elements"),
+        });
+    }
     let payload_len = varint::read_u64(buf, pos)? as usize;
     if buf.len() < *pos + 4 {
         return Err(ColumnarError::UnexpectedEof { context: "page checksum" });
@@ -233,16 +306,87 @@ fn read_page_impl(
     if actual_crc != stored_crc {
         return Err(ColumnarError::ChecksumMismatch { expected: stored_crc, actual: actual_crc });
     }
-    let decompressed;
-    let (payload, payload_abs): (&[u8], Option<usize>) = match compression {
-        // In shared mode `buf` is a prefix of the blob, so `payload_start`
-        // is the payload's absolute blob offset.
-        Compression::None => (stored, shared.map(|_| payload_start)),
+    Ok(PageHeader { encoding, compression, rows, elements, payload_start, payload_len })
+}
+
+/// The page's decode-ready payload: borrowed from `buf` when stored
+/// uncompressed, otherwise decompressed into `staging`. The second return
+/// is the payload's absolute offset in `buf` when (and only when) the bytes
+/// are the stored ones — the precondition for zero-copy views.
+pub(crate) fn page_payload<'a>(
+    header: &PageHeader,
+    buf: &'a [u8],
+    staging: &'a mut Vec<u8>,
+) -> Result<(&'a [u8], Option<usize>)> {
+    let stored = &buf[header.payload_start..header.payload_start + header.payload_len];
+    match header.compression {
+        Compression::None => Ok((stored, Some(header.payload_start))),
         Compression::Lz => {
-            decompressed = compress::decompress(stored)?;
-            (&decompressed, None)
+            staging.clear();
+            compress::decompress_into(stored, staging)?;
+            Ok((&staging[..], None))
         }
+    }
+}
+
+/// Appends one list page's lengths to `offsets` (rebased onto the running
+/// total) after validating them against the header's row count.
+pub(crate) fn extend_offsets(lengths: &[u64], rows: usize, offsets: &mut Vec<u32>) -> Result<()> {
+    if lengths.len() != rows {
+        return Err(ColumnarError::CountMismatch { declared: rows, actual: lengths.len() });
+    }
+    let mut acc = u64::from(*offsets.last().unwrap_or(&0));
+    offsets.reserve(lengths.len());
+    for len in lengths {
+        acc = acc.saturating_add(*len);
+        let off = u32::try_from(acc).map_err(|_| ColumnarError::ValueOutOfRange {
+            detail: "list offsets overflow u32".into(),
+        })?;
+        offsets.push(off);
+    }
+    Ok(())
+}
+
+/// Locates the list value stream within a list page's payload: decodes the
+/// RLE length stream into `lengths`, reads the value encoding tag and skips
+/// the value-stream alignment padding. Returns the value encoding and the
+/// payload-relative offset where the value stream begins.
+pub(crate) fn read_list_prefix(
+    payload: &[u8],
+    rows: usize,
+    lengths: &mut Vec<u64>,
+) -> Result<(Encoding, usize)> {
+    let mut p = 0usize;
+    lengths.clear();
+    rle::decode_into(payload, &mut p, Some(rows), lengths)?;
+    let Some(&value_tag) = payload.get(p) else {
+        return Err(ColumnarError::UnexpectedEof { context: "list value encoding tag" });
     };
+    p += 1;
+    let value_enc = Encoding::from_tag(value_tag)?;
+    // Skip the writer's value-stream alignment padding (relative to the
+    // payload start, which is itself file-aligned).
+    p += padding_for(p as u64);
+    Ok((value_enc, p))
+}
+
+/// Shared implementation of the `read_page*` family. When `shared` is
+/// `Some`, `buf` must be a prefix of it (so positions in `buf` are absolute
+/// blob offsets) and `base` must be 0.
+fn read_page_impl(
+    buf: &[u8],
+    pos: &mut usize,
+    data_type: DataType,
+    base: u64,
+    shared: Option<&Arc<Vec<u8>>>,
+) -> Result<Array> {
+    let header = read_page_header(buf, pos, base)?;
+    let PageHeader { encoding, rows, elements, .. } = header;
+    let mut staging = Vec::new();
+    let (payload, stored_at) = page_payload(&header, buf, &mut staging)?;
+    // In shared mode `buf` is a prefix of the blob, so a stored payload's
+    // offset is its absolute blob offset.
+    let payload_abs = if shared.is_some() { stored_at } else { None };
 
     let mut p = 0usize;
     let array = match data_type {
@@ -267,18 +411,9 @@ fn read_page_impl(
             Array::Float64(encoding::plain::decode_f64(payload, &mut p, rows)?.into())
         }
         DataType::ListInt64 => {
-            let lengths = rle::decode(payload, &mut p)?;
-            if lengths.len() != rows {
-                return Err(ColumnarError::CountMismatch { declared: rows, actual: lengths.len() });
-            }
-            let Some(&value_tag) = payload.get(p) else {
-                return Err(ColumnarError::UnexpectedEof { context: "list value encoding tag" });
-            };
-            p += 1;
-            let value_enc = Encoding::from_tag(value_tag)?;
-            // Skip the writer's value-stream alignment padding (relative to
-            // the payload start, which is itself file-aligned).
-            p += padding_for(p as u64);
+            let mut lengths = Vec::new();
+            let (value_enc, value_start) = read_list_prefix(payload, rows, &mut lengths)?;
+            p = value_start;
             let values: Buffer<i64> = if value_enc == Encoding::Plain {
                 match raw_values::<i64>(shared, payload_abs, payload, p, elements) {
                     Some(buf) => buf,
@@ -287,16 +422,8 @@ fn read_page_impl(
             } else {
                 encoding::decode_i64(value_enc, payload, &mut p, elements)?.into()
             };
-            let mut offsets = Vec::with_capacity(rows + 1);
-            offsets.push(0u32);
-            let mut acc = 0u64;
-            for len in lengths {
-                acc += len;
-                let off = u32::try_from(acc).map_err(|_| ColumnarError::ValueOutOfRange {
-                    detail: "list offsets overflow u32".into(),
-                })?;
-                offsets.push(off);
-            }
+            let mut offsets = vec![0u32];
+            extend_offsets(&lengths, rows, &mut offsets)?;
             Array::ListInt64 { offsets: offsets.into(), values }
         }
     };
@@ -388,6 +515,25 @@ mod tests {
         write_page(&lists, &mut buf).unwrap();
         let mut pos = 0;
         assert!(read_page(&buf, &mut pos, DataType::Int64).is_err());
+    }
+
+    #[test]
+    fn absurd_declared_counts_are_rejected_at_the_header() {
+        // A crafted header claiming 2^40 rows must fail before any decode
+        // allocation — RLE-class payloads expand, so this ceiling is the
+        // only bound on a zero-width allocation bomb.
+        let mut buf = Vec::new();
+        buf.push(Encoding::Plain.to_tag());
+        buf.push(Compression::None.to_tag());
+        varint::write_u64(&mut buf, 1u64 << 40); // rows
+        varint::write_u64(&mut buf, 1u64 << 40); // elements
+        varint::write_u64(&mut buf, 0); // payload len
+        buf.extend_from_slice(&crc32(&[]).to_le_bytes());
+        let mut pos = 0;
+        assert!(matches!(
+            read_page(&buf, &mut pos, DataType::ListInt64),
+            Err(ColumnarError::CorruptFile { .. })
+        ));
     }
 
     #[test]

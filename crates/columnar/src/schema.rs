@@ -1,12 +1,17 @@
-//! Logical schema: fields, data types and lookup by name.
+//! Logical schema: fields, data types, lookup by name — and the per-column
+//! write policy ([`WritePolicy`]) deciding how each column's pages are
+//! encoded and compressed.
 //!
 //! A RecSys training table is modeled exactly the way the PreSto paper
 //! describes it (Section II-B): each row is a user sample, each column is a
 //! feature. Dense features are `Float32`, sparse features are variable-length
 //! lists of categorical ids (`ListInt64`), and the click label is `Int64`.
 
+use crate::compress::Compression;
+use crate::encoding::{self, Encoding};
 use crate::error::{ColumnarError, Result};
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Physical/logical data type of a column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -68,6 +73,103 @@ impl DataType {
             DataType::Float64 => "Float64",
             DataType::ListInt64 => "ListInt64",
         }
+    }
+
+    /// True for the Extract hot-path column types — sparse-id lists and
+    /// integer label/offset columns — whose decode speed dominates
+    /// preprocessing. The default [`WritePolicy`] keeps these uncompressed
+    /// so they stay lazy-decodable (an LZ-compressed payload must always be
+    /// materialized before decode).
+    #[must_use]
+    pub fn is_hot(self) -> bool {
+        matches!(self, DataType::Int64 | DataType::ListInt64)
+    }
+}
+
+/// Cached `PRESTO_FORCE_ENCODING` parse (read once per process).
+fn forced_encoding_from_env() -> Option<Encoding> {
+    static FORCED: OnceLock<Option<Encoding>> = OnceLock::new();
+    *FORCED.get_or_init(|| {
+        let name = std::env::var("PRESTO_FORCE_ENCODING").ok()?;
+        let parsed = Encoding::from_force_name(name.trim());
+        if parsed.is_none() {
+            eprintln!("warning: unknown PRESTO_FORCE_ENCODING value {name:?}, ignoring");
+        }
+        parsed
+    })
+}
+
+/// Per-column write-side policy: which compression each column's pages get
+/// and how integer value streams are encoded.
+///
+/// Two levers, both per column (chunk), not per file:
+///
+/// * **Uncompressed-if-hot** — [`WritePolicy::compression_for`] applies the
+///   configured compression only to cold column types; hot ones
+///   ([`DataType::is_hot`]) stay uncompressed so plain pages remain
+///   zero-copy-decodable and encoded pages decode straight from storage
+///   memory. Set [`WritePolicy::compress_hot`] to compress everything (the
+///   archival trade-off).
+/// * **Encoding override** — [`WritePolicy::i64_encoding`] normally runs
+///   the sample-based cost model ([`encoding::choose_i64_encoding`]); a
+///   [`WritePolicy::forced_encoding`] pins every integer stream to one
+///   codec. CI's encoding matrix forces each codec in turn via the
+///   `PRESTO_FORCE_ENCODING` environment variable
+///   (`plain | delta_varint | delta_bitpack | dictionary`), which
+///   [`WritePolicy::from_env`] folds into the default policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WritePolicy {
+    /// Compression for cold (and, with `compress_hot`, all) columns.
+    pub compression: Compression,
+    /// Also compress hot columns, trading Extract speed for bytes.
+    pub compress_hot: bool,
+    /// Pin every integer value stream to one encoding (`None` = cost model).
+    pub forced_encoding: Option<Encoding>,
+}
+
+impl WritePolicy {
+    /// The default policy with the process-wide `PRESTO_FORCE_ENCODING`
+    /// override applied — what [`crate::FileWriter`] starts from.
+    #[must_use]
+    pub fn from_env() -> Self {
+        WritePolicy { forced_encoding: forced_encoding_from_env(), ..WritePolicy::default() }
+    }
+
+    /// Returns this policy with the given cold-column compression.
+    #[must_use]
+    pub fn with_compression(mut self, compression: Compression) -> Self {
+        self.compression = compression;
+        self
+    }
+
+    /// Returns this policy with compression applied to hot columns too.
+    #[must_use]
+    pub fn compressing_hot_columns(mut self) -> Self {
+        self.compress_hot = true;
+        self
+    }
+
+    /// Returns this policy with every integer stream pinned to `encoding`.
+    #[must_use]
+    pub fn with_forced_encoding(mut self, encoding: Encoding) -> Self {
+        self.forced_encoding = Some(encoding);
+        self
+    }
+
+    /// The compression a column of `data_type` receives under this policy.
+    #[must_use]
+    pub fn compression_for(&self, data_type: DataType) -> Compression {
+        if data_type.is_hot() && !self.compress_hot {
+            Compression::None
+        } else {
+            self.compression
+        }
+    }
+
+    /// The encoding an integer value stream receives under this policy.
+    #[must_use]
+    pub fn i64_encoding(&self, values: &[i64]) -> Encoding {
+        self.forced_encoding.unwrap_or_else(|| encoding::choose_i64_encoding(values))
     }
 }
 
@@ -259,6 +361,26 @@ mod tests {
     fn element_widths() {
         assert_eq!(DataType::Float32.element_width(), 4);
         assert_eq!(DataType::ListInt64.element_width(), 8);
+    }
+
+    #[test]
+    fn hot_columns_skip_compression_by_default() {
+        let policy = WritePolicy::default().with_compression(Compression::Lz);
+        assert_eq!(policy.compression_for(DataType::ListInt64), Compression::None);
+        assert_eq!(policy.compression_for(DataType::Int64), Compression::None);
+        assert_eq!(policy.compression_for(DataType::Float32), Compression::Lz);
+        assert_eq!(policy.compression_for(DataType::Float64), Compression::Lz);
+        let archival = policy.compressing_hot_columns();
+        assert_eq!(archival.compression_for(DataType::ListInt64), Compression::Lz);
+    }
+
+    #[test]
+    fn forced_encoding_overrides_cost_model() {
+        let values: Vec<i64> = (0..512).map(|i| i * 17).collect();
+        let policy = WritePolicy::default();
+        assert_ne!(policy.i64_encoding(&values), Encoding::Plain);
+        let forced = policy.with_forced_encoding(Encoding::Plain);
+        assert_eq!(forced.i64_encoding(&values), Encoding::Plain);
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Format-version compatibility and encoding-matrix pinning.
+//!
+//! * A checked-in `PSTOCOL2` fixture (written by the PR 3 code base) must
+//!   keep decoding bit-identically under the v3 reader, all the way through
+//!   preprocessing.
+//! * Files written with every forced encoding must decode to the same
+//!   arrays and preprocess to the same mini-batch as the default policy —
+//!   the in-process counterpart of CI's `PRESTO_FORCE_ENCODING` matrix.
+
+use presto::columnar::{
+    Compression, Encoding, FileReader, FileWriter, MemBlob, WritePolicy, MAGIC, MAGIC_V2,
+};
+use presto::datagen::{generate_batch, write_partition, RmConfig};
+use presto::ops::{preprocess_partition, MiniBatch, PreprocessPlan};
+
+const V2_FIXTURE: &[u8] = include_bytes!("data/v2_rm1_200rows_seed42.pstocol");
+
+/// The fixture's generation parameters (fixed forever).
+fn fixture_config() -> RmConfig {
+    let mut config = RmConfig::rm1();
+    config.batch_size = 200;
+    config
+}
+
+/// FNV-1a over every field of a mini-batch, the fingerprint recorded when
+/// the v2 fixture was generated.
+fn fingerprint(mb: &MiniBatch) -> u64 {
+    let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |b: u64| {
+        acc ^= b;
+        acc = acc.wrapping_mul(0x100_0000_01b3);
+    };
+    for &l in mb.labels() {
+        mix(l as u64);
+    }
+    for f in mb.sparse() {
+        for &v in &f.values {
+            mix(v as u64);
+        }
+        for &o in &f.offsets {
+            mix(u64::from(o));
+        }
+    }
+    for r in 0..mb.rows() {
+        for &d in mb.dense().row(r) {
+            mix(u64::from(d.to_bits()));
+        }
+    }
+    acc
+}
+
+#[test]
+fn v2_fixture_still_opens_and_decodes() {
+    assert_eq!(&V2_FIXTURE[..8], MAGIC_V2, "fixture must really be a v2 file");
+    let reader = FileReader::open(MemBlob::new(V2_FIXTURE.to_vec())).expect("v2 file opens");
+    let config = fixture_config();
+    let expected = generate_batch(&config, 200, 42);
+    assert_eq!(reader.read_row_group(0).expect("decodes"), expected.columns());
+}
+
+#[test]
+#[cfg_attr(feature = "fast-math", ignore = "fast-math ln_1p is not bit-identical by design")]
+fn v2_fixture_preprocesses_bit_identically() {
+    // Fingerprint recorded by the PR 3 code base when the fixture was
+    // written: decode + full preprocessing must not have changed a bit.
+    // (The fast-math feature intentionally relaxes dense-normalization
+    // bit-identity to ≤ 8 ULP, so this pin only holds in default builds.)
+    let plan = PreprocessPlan::from_config(&fixture_config(), 1).expect("plan");
+    let (mb, _) =
+        preprocess_partition(&plan, MemBlob::new(V2_FIXTURE.to_vec())).expect("preprocesses");
+    assert_eq!(fingerprint(&mb), 0x8c2b_dfa5_d504_2341);
+}
+
+#[test]
+fn v3_writer_output_matches_v2_content() {
+    let config = fixture_config();
+    let batch = generate_batch(&config, 200, 42);
+    let blob = write_partition(&batch).expect("writes");
+    assert_eq!(&blob.as_bytes()[..8], MAGIC, "new files carry the v3 magic");
+    let v3 = FileReader::open(blob).expect("opens");
+    let v2 = FileReader::open(MemBlob::new(V2_FIXTURE.to_vec())).expect("opens");
+    assert_eq!(
+        v3.read_row_group(0).expect("v3 decodes"),
+        v2.read_row_group(0).expect("v2 decodes"),
+    );
+}
+
+#[test]
+fn mixed_magic_versions_are_rejected() {
+    let config = fixture_config();
+    let batch = generate_batch(&config, 16, 1);
+    let blob = write_partition(&batch).expect("writes");
+    let mut bytes = blob.as_bytes().to_vec();
+    let n = bytes.len();
+    // A v3 head with a v2 tail is corruption, not compatibility.
+    bytes[n - 8..].copy_from_slice(MAGIC_V2);
+    assert!(FileReader::open(MemBlob::new(bytes)).is_err());
+    // Unknown versions stay rejected.
+    let mut v1 = blob.as_bytes().to_vec();
+    v1[..8].copy_from_slice(b"PSTOCOL1");
+    v1[n - 8..].copy_from_slice(b"PSTOCOL1");
+    assert!(FileReader::open(MemBlob::new(v1)).is_err());
+}
+
+/// Every encoding the matrix forces, plus the default cost model.
+fn matrix_policies() -> Vec<(&'static str, WritePolicy)> {
+    let base = WritePolicy::default();
+    vec![
+        ("default", base),
+        ("plain", base.with_forced_encoding(Encoding::Plain)),
+        ("delta_varint", base.with_forced_encoding(Encoding::Delta)),
+        ("delta_bitpack", base.with_forced_encoding(Encoding::DeltaBitpack)),
+        ("dictionary", base.with_forced_encoding(Encoding::Dictionary)),
+        ("lz", base.with_compression(Compression::Lz)),
+        ("lz_hot", base.with_compression(Compression::Lz).compressing_hot_columns()),
+    ]
+}
+
+#[test]
+fn every_forced_encoding_preprocesses_bit_identically() {
+    let mut config = RmConfig::rm1();
+    config.batch_size = 300;
+    let plan = PreprocessPlan::from_config(&config, 1).expect("plan");
+    let batch = generate_batch(&config, 300, 7);
+    let reference = {
+        let blob = write_partition(&batch).expect("writes");
+        preprocess_partition(&plan, blob).expect("preprocesses").0
+    };
+    for (name, policy) in matrix_policies() {
+        // Small pages force multi-page chunks through the batched decoder.
+        let mut writer = FileWriter::with_page_rows(batch.schema().clone(), 64).with_policy(policy);
+        writer.write_row_group(batch.columns()).expect("writes");
+        let blob = MemBlob::new(writer.finish());
+        let decoded =
+            FileReader::open(blob.clone()).expect("opens").read_row_group(0).expect("decodes");
+        assert_eq!(decoded, batch.columns(), "decode differs under {name}");
+        let (mb, _) = preprocess_partition(&plan, blob).expect("preprocesses");
+        assert_eq!(mb, reference, "preprocessing differs under {name}");
+    }
+}

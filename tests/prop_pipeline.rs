@@ -106,6 +106,36 @@ proptest! {
     }
 
     #[test]
+    fn every_encoding_preprocesses_bit_identically(
+        (config, rows, seed) in arb_shape(),
+        page_rows in 1usize..32,
+    ) {
+        // The encoding matrix through the whole pipeline: a partition
+        // written with each forced codec (and with small pages, so the
+        // batched multi-page decoder runs) must preprocess to the same
+        // mini-batch as the default-policy file.
+        use presto::columnar::{Encoding, FileWriter, MemBlob, WritePolicy};
+        let plan = PreprocessPlan::from_config(&config, 3).expect("plan builds");
+        let batch = generate_batch(&config, rows, seed);
+        let blob = write_partition(&batch).expect("serializes");
+        let (reference, _) = preprocess_partition(&plan, blob).expect("default policy");
+        for enc in [
+            Encoding::Plain,
+            Encoding::Delta,
+            Encoding::DeltaBitpack,
+            Encoding::Dictionary,
+        ] {
+            let policy = WritePolicy::default().with_forced_encoding(enc);
+            let mut writer = FileWriter::with_page_rows(batch.schema().clone(), page_rows)
+                .with_policy(policy);
+            writer.write_row_group(batch.columns()).expect("writes");
+            let (mb, _) = preprocess_partition(&plan, MemBlob::new(writer.finish()))
+                .expect("forced-encoding partition");
+            prop_assert!(mb == reference, "preprocessing differs under {enc}");
+        }
+    }
+
+    #[test]
     fn scratch_reuse_across_shapes_is_sound(
         (config_a, rows_a, seed_a) in arb_shape(),
         (config_b, rows_b, seed_b) in arb_shape(),
