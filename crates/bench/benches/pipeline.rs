@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use presto_core::experiments;
 use presto_datagen::{generate_batch, write_partition, RmConfig};
-use presto_ops::{preprocess_batch, preprocess_partition, PreprocessPlan};
+use presto_ops::{preprocess_batch, preprocess_partition, PlanGraph, PreprocessPlan};
 use std::hint::black_box;
 
 fn bench_preprocess_batch(c: &mut Criterion) {
@@ -42,6 +42,32 @@ fn bench_preprocess_partition(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_scenario_graphs(c: &mut Criterion) {
+    // Non-canonical operator graphs through the full partition path: the
+    // cost of the richer vocabulary (FirstX + NGram crosses, MapId
+    // remaps) relative to the canonical pipeline on the same data.
+    let mut config = RmConfig::rm1_lists();
+    config.batch_size = 1024;
+    let batch = generate_batch(&config, 1024, 5);
+    let blob = write_partition(&batch).expect("encodes");
+    let scenarios = [
+        ("canonical", PlanGraph::canonical(&config, 1).expect("graph")),
+        ("truncated_cross", PlanGraph::truncated_cross(&config, 1, 4, 2).expect("graph")),
+        ("remapped", PlanGraph::remapped(&config, 1, 4096).expect("graph")),
+    ];
+    let mut group = c.benchmark_group("preprocess_scenario");
+    group.throughput(Throughput::Elements(1024));
+    for (name, graph) in scenarios {
+        let plan = PreprocessPlan::compile(graph, &config).expect("compiles");
+        group.bench_with_input(BenchmarkId::new("rm1_lists", name), &plan, |bench, plan| {
+            bench.iter(|| {
+                black_box(preprocess_partition(plan, black_box(blob.clone())).expect("pipeline"))
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_experiment_harness(c: &mut Criterion) {
     // Cost of regenerating each modeled figure (all should be trivially
     // cheap except fig6, which runs the trace-driven cache simulation).
@@ -66,6 +92,7 @@ fn quick() -> Criterion {
 criterion_group! {
     name = benches;
     config = quick();
-    targets = bench_preprocess_batch, bench_preprocess_partition, bench_experiment_harness
+    targets = bench_preprocess_batch, bench_preprocess_partition, bench_scenario_graphs,
+        bench_experiment_harness
 }
 criterion_main!(benches);

@@ -208,7 +208,7 @@ pub fn read_chunk_at(buf: &[u8], pos: &mut usize, data_type: DataType, base: u64
 /// Decodes a whole chunk of an integer column (`Int64` / `ListInt64`) in
 /// one pass: every page's id and offset blocks land directly in a single
 /// set of exactly-sized output buffers, with page payload staging (LZ,
-/// length streams) recycled through the caller's [`ReadScratch`].
+/// length streams) recycled through the caller's [`crate::ReadScratch`].
 ///
 /// `rows` and `elements` come from the footer's column statistics; they
 /// size the outputs and every page's decoded counts are validated against

@@ -75,7 +75,7 @@ pub fn encode_i64(values: &[i64], out: &mut Vec<u8>) {
 
 /// Exact encoded size [`encode_i64`] would produce, without materializing
 /// the stream. Used by the writer's cost model; shares the framing scan
-/// with the encoder via [`miniblock_frame`].
+/// with the encoder via `miniblock_frame`.
 #[must_use]
 pub fn encoded_len(values: &[i64]) -> usize {
     let mut total = varint::encoded_len_u64(values.len() as u64);

@@ -114,7 +114,7 @@ const DICT_SAMPLE: usize = 128;
 
 /// Picks the cheapest encoding for an integer page by estimating sizes.
 ///
-/// Sample-based: pages up to [`SAMPLE_EXACT`] values are costed exactly;
+/// Sample-based: pages up to `SAMPLE_EXACT` (1024) values are costed exactly;
 /// larger pages extrapolate varint size from strided delta samples,
 /// bitpacked size from a handful of real miniblocks, and dictionary
 /// viability from a distinct-ratio sample (so the chooser itself stays off

@@ -13,7 +13,7 @@
 //!
 //! Version 3 adds the delta-bitpacked block encoding (page encoding tag 3,
 //! see [`crate::encoding::block`]) and the per-column
-//! [`WritePolicy`](crate::schema::WritePolicy); the container layout is
+//! [`WritePolicy`]; the container layout is
 //! unchanged from version 2, so the reader accepts `PSTOCOL2` files as-is
 //! (they simply never use tag 3 — covered by a checked-in v2 fixture test).
 //! Version 2 (PR 2) 8-byte-aligns every page payload (see

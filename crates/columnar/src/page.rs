@@ -33,7 +33,7 @@
 //! metadata. Their purpose is **lazy plain-page decode**: with the payload
 //! and the list value stream pinned to 8-byte file offsets, a reader over an
 //! in-memory blob ([`crate::BlobRead::as_shared`]) can hand out
-//! [`Buffer`](crate::Buffer) views that alias the stored bytes directly —
+//! [`Buffer`] views that alias the stored bytes directly —
 //! an aligned plain-encoded page is decoded by an alignment-checked cast,
 //! not a copy (falling back to the copying decode whenever any precondition
 //! fails). Non-plain integer pages decode through the `*_into` codec entry

@@ -12,10 +12,11 @@ use presto_hwsim::net::NetworkModel;
 use presto_hwsim::trace::{characterize_op, OpCharacterization, OpKind};
 use presto_hwsim::units::Secs;
 use presto_ops::executor::PreprocessError;
-use presto_ops::{stream_workers_with, PreprocessPlan};
+use presto_ops::{stream_workers_with, GraphError, PlanGraph, PreprocessPlan};
 
 use crate::isp_worker::stream_isp_workers;
 use crate::pipeline::{simulate, PipelineConfig, Trainer, TrainerConfig, TrainerReport};
+use crate::placement::PlacementPlan;
 use crate::provision::Provisioner;
 use crate::systems::System;
 
@@ -253,6 +254,34 @@ pub fn fig17() -> Vec<Fig17Point> {
     out
 }
 
+/// Host/ISP placement of every scenario graph's stages on a SmartSSD-backed
+/// PreSto system — the "which operator runs where" table the plan IR makes
+/// answerable per stage instead of per pipeline. Returns
+/// `(scenario name, placement)` for the canonical, truncated-cross and
+/// dictionary-remap scenarios compiled against `config`.
+///
+/// # Errors
+///
+/// Propagates graph construction/compilation failures (degenerate configs).
+pub fn scenario_placements(
+    config: &RmConfig,
+    rows: usize,
+) -> Result<Vec<(String, PlacementPlan)>, GraphError> {
+    let presto = System::presto_smartssd(1);
+    let scenarios = [
+        ("canonical", PlanGraph::canonical(config, 1)?),
+        ("truncated-cross", PlanGraph::truncated_cross(config, 1, 4, 2)?),
+        ("remapped", PlanGraph::remapped(config, 1, 4096)?),
+    ];
+    scenarios
+        .into_iter()
+        .map(|(name, graph)| {
+            let plan = PreprocessPlan::compile(graph, config)?;
+            Ok((name.to_owned(), presto.plan_placement(&plan, rows)))
+        })
+        .collect()
+}
+
 /// One trainer-in-the-loop end-to-end run: a real producer fleet measured
 /// at the consuming trainer.
 #[derive(Debug, Clone)]
@@ -394,6 +423,26 @@ mod tests {
             assert!(p.report.goodput > 0.0, "{}", p.system);
             assert_eq!(p.report.occupancy.iter().sum::<u64>(), 6, "{}", p.system);
         }
+    }
+
+    #[test]
+    fn scenario_placements_cover_all_three_graphs() {
+        let mut c = RmConfig::rm1();
+        c.avg_sparse_len = 8;
+        c.fixed_sparse_len = false;
+        let rows = 8192;
+        let placements = scenario_placements(&c, rows).expect("scenarios compile");
+        assert_eq!(placements.len(), 3);
+        for (name, p) in &placements {
+            assert_eq!(p.rows, rows, "{name}");
+            assert!(p.offloaded() > 0, "{name}: heavy stages offload at paper scale");
+            assert!(p.speedup() >= 1.0, "{name}");
+        }
+        let cross = &placements[1].1;
+        assert!(
+            cross.offloaded() < cross.stages.len(),
+            "truncated-cross keeps its trivial copies on the host"
+        );
     }
 
     #[test]

@@ -3,20 +3,23 @@
 //!
 //! The performance layer prices the accelerator analytically; this module
 //! *executes* it: raw bytes are "P2P-extracted" from the partition blob,
-//! decoded by the decoder unit, then streamed through the Bucketize,
-//! SigridHash and Log units in fixed-size chunks with two on-chip feature
-//! buffers per unit (double buffering), exactly the structure of
-//! Section IV-C. The output must be bit-identical to the host CPU pipeline
-//! — which is the correctness argument for the offload, and is asserted in
-//! tests and integration tests.
+//! decoded by the decoder unit, then streamed through the compiled plan's
+//! operator stages in fixed-size chunks with two on-chip feature buffers
+//! per unit (double buffering), exactly the structure of Section IV-C. The
+//! worker drives the *same* compiled
+//! [`PreprocessPlan::stages`](presto_ops::PreprocessPlan::stages) as the
+//! host executor — through [`preprocess_batch_owned_chunked`] with the
+//! on-chip buffer size as the chunk bound — so any operator graph
+//! (canonical or not) runs in storage with output bit-identical to the host
+//! CPU pipeline by construction, which is the correctness argument for the
+//! offload.
 //!
 //! The worker shares the host executor's zero-copy substrate so CPU-vs-ISP
 //! ablations compare transform dataflow, not allocator behavior: Extract
-//! goes through `read_projected_with` + the caller's
-//! [`ScratchSpace`](presto_ops::ScratchSpace) (recycled chunk staging, lazy
-//! plain-page decode), columns are *owned* and normalized in place when
-//! uniquely held, and the chunked unit emulation drains through one
-//! recycled staging buffer per run.
+//! goes through `read_projected_with` + the caller's [`ScratchSpace`]
+//! (recycled chunk staging, lazy plain-page decode), and columns whose stage
+//! [consumes them](presto_ops::CompiledStage::consumes_raw) are normalized
+//! in place when uniquely held.
 //!
 //! [`stream_isp_workers`] drives a fleet of these workers as a streaming
 //! producer ([`IspBatchStream`], a [`BatchSource`]), so the ISP path feeds
@@ -25,14 +28,13 @@
 //! trainer, not at a `Vec` drain.
 
 use crossbeam_channel::{bounded, Receiver};
-use presto_columnar::{Array, BlobRead, FileReader};
-use presto_datagen::{Partition, RowBatch};
-use presto_ops::executor::{PreprocessError, StageTimings};
-use presto_ops::lognorm;
-use presto_ops::minibatch::{DenseMatrix, JaggedFeature, MiniBatch};
+use presto_columnar::{BlobRead, FileReader};
+use presto_datagen::Partition;
+use presto_ops::executor::{extract_batch_from_reader, PreprocessError, StageTimings};
+use presto_ops::minibatch::MiniBatch;
 use presto_ops::plan::PreprocessPlan;
 use presto_ops::stream::StreamedBatch;
-use presto_ops::ScratchSpace;
+use presto_ops::{preprocess_batch_owned_chunked, ScratchSpace};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -51,10 +53,16 @@ pub const FEATURE_BUFFER_ELEMS: usize = 512;
 pub struct IspRunStats {
     /// Bytes moved over the emulated P2P link.
     pub p2p_bytes: u64,
-    /// Chunks processed by the feature-generation unit.
+    /// Chunks processed by the feature-generation unit (Bucketize).
     pub bucketize_chunks: u64,
-    /// Chunks processed by the normalization units.
+    /// Chunks processed by the normalization units (SigridHash, MapId,
+    /// LogNorm).
     pub normalize_chunks: u64,
+    /// Chunks attributed to the list-restructuring unit (FirstX, NGram).
+    /// Accounting-only: these ops execute whole-column and the count
+    /// models the streaming unit's traffic (see
+    /// [`UnitStats::restructure_chunks`](presto_ops::UnitStats)).
+    pub restructure_chunks: u64,
     /// Total elements transformed.
     pub elements: u64,
 }
@@ -105,11 +113,13 @@ impl IspWorker {
     }
 
     /// Runs the full in-storage pipeline over one partition blob:
-    /// P2P extract → decoder unit → generation/normalization units →
-    /// output assembly. Extract stages through the caller's
-    /// [`ScratchSpace`] (recycled across partitions, like the host
-    /// workers), and the units transform the uniquely owned decode buffers
-    /// in place whenever the storage backend allows it.
+    /// P2P extract → decoder unit → chunked operator stages → output
+    /// assembly. Extract stages through the caller's [`ScratchSpace`]
+    /// (recycled across partitions, like the host workers); the stages are
+    /// the plan's compiled operator graph, streamed through
+    /// `chunk_elems`-sized on-chip feature buffers, transforming uniquely
+    /// owned decode buffers in place whenever the storage backend allows
+    /// it.
     ///
     /// # Errors
     ///
@@ -144,153 +154,18 @@ impl IspWorker {
         // Decoder unit: columnar pages -> on-card feature buffers, staged
         // through the worker's recycled Extract scratch (zero staging
         // allocation once warm; in-memory blobs decode lazily).
-        let needed = self.plan.required_columns();
-        let names: Vec<&str> = needed.iter().map(String::as_str).collect();
-        let mut columns = Vec::with_capacity(reader.row_group_count());
-        for rg in 0..reader.row_group_count() {
-            columns.push(reader.read_projected_with(rg, &names, scratch.read_scratch())?);
-        }
-        let schema = {
-            let fields: Vec<presto_columnar::Field> = needed
-                .iter()
-                .map(|n| {
-                    let idx = reader.schema().index_of(n).expect("projected name resolves");
-                    reader.schema().field(idx).expect("index valid").clone()
-                })
-                .collect();
-            presto_columnar::Schema::new(fields)?
-        };
-        let merged: Vec<Array> = if columns.len() == 1 {
-            columns.pop().expect("one row group")
-        } else {
-            // Transpose row-group-major -> column-major by value: decoded
-            // arrays move into the per-column part lists without cloning.
-            let mut per_column: Vec<Vec<Array>> =
-                (0..needed.len()).map(|_| Vec::with_capacity(columns.len())).collect();
-            for row_group in columns {
-                for (c, array) in row_group.into_iter().enumerate() {
-                    per_column[c].push(array);
-                }
-            }
-            per_column
-                .into_iter()
-                .map(|parts| presto_columnar::column::concat_arrays(&parts))
-                .collect::<Result<_, _>>()?
-        };
-        let batch = RowBatch::new(schema, merged)?;
-        let rows = batch.rows();
+        let batch = extract_batch_from_reader(&self.plan, &reader, scratch.read_scratch())?;
 
-        // Feature generation unit first: chunked Bucketize reads the *raw*
-        // dense values, so it must run before Log rewrites them. One staged
-        // buffer emulates the unit's second on-chip feature buffer: the
-        // previous chunk's results drain to DRAM while this one transforms.
-        let mut generated: Vec<(String, Vec<i64>)> = Vec::new();
-        let mut staged_ids: Vec<i64> = Vec::with_capacity(self.chunk_elems);
-        for spec in self.plan.generated_specs() {
-            let source = batch
-                .column(&spec.source_column)
-                .and_then(Array::as_float32)
-                .ok_or_else(|| PreprocessError::BadColumn { column: spec.source_column.clone() })?;
-            let mut out = Vec::with_capacity(rows);
-            for chunk in source.chunks(self.chunk_elems) {
-                spec.bucketizer.apply_into(chunk, &mut staged_ids);
-                out.extend_from_slice(&staged_ids);
-                stats.bucketize_chunks += 1;
-                stats.elements += chunk.len() as u64;
-            }
-            generated.push((spec.name.clone(), out));
-        }
-
-        // The units below consume the batch column by column, normalizing
-        // uniquely owned buffers in place (shared or byte-backed decode
-        // buffers fall back to draining through the staged buffer).
-        let (schema, mut columns) = batch.into_parts();
-        let take = |columns: &mut [Array], name: &str| -> Option<Array> {
-            let idx = schema.index_of(name)?;
-            let dt = columns[idx].data_type();
-            Some(std::mem::replace(&mut columns[idx], Array::empty(dt)))
-        };
-
-        let labels = take(&mut columns, "label")
-            .and_then(|a| match a {
-                Array::Int64(buf) => Some(buf.into_vec()),
-                _ => None,
-            })
-            .ok_or_else(|| PreprocessError::BadColumn { column: "label".into() })?;
-
-        // Normalization units: SigridHash (sparse) and Log (dense), chunked.
-        let mut hashed: Vec<(String, Vec<u32>, Vec<i64>)> = Vec::new();
-        for spec in self.plan.sparse_specs() {
-            let col = take(&mut columns, &spec.column)
-                .ok_or_else(|| PreprocessError::BadColumn { column: spec.column.clone() })?;
-            let Array::ListInt64 { offsets, mut values } = col else {
-                return Err(PreprocessError::BadColumn { column: spec.column.clone() });
-            };
-            let out = match values.make_mut() {
-                Some(unique) => {
-                    for chunk in unique.chunks_mut(self.chunk_elems) {
-                        spec.hasher.apply_in_place(chunk);
-                        stats.normalize_chunks += 1;
-                        stats.elements += chunk.len() as u64;
-                    }
-                    values.into_vec()
-                }
-                None => {
-                    let mut out = Vec::with_capacity(values.len());
-                    for chunk in values.chunks(self.chunk_elems) {
-                        spec.hasher.apply_into(chunk, &mut staged_ids);
-                        out.extend_from_slice(&staged_ids);
-                        stats.normalize_chunks += 1;
-                        stats.elements += chunk.len() as u64;
-                    }
-                    out
-                }
-            };
-            hashed.push((spec.column.clone(), offsets.into_vec(), out));
-        }
-
-        let mut dense_norm: Vec<Vec<f32>> = Vec::new();
-        let mut staged_dense: Vec<f32> = Vec::with_capacity(self.chunk_elems);
-        for name in self.plan.dense_columns() {
-            let col = take(&mut columns, name)
-                .ok_or_else(|| PreprocessError::BadColumn { column: name.clone() })?;
-            let Array::Float32(mut buf) = col else {
-                return Err(PreprocessError::BadColumn { column: name.clone() });
-            };
-            let out = match buf.make_mut() {
-                Some(unique) => {
-                    for chunk in unique.chunks_mut(self.chunk_elems) {
-                        lognorm::log_normalize_in_place(chunk);
-                        stats.normalize_chunks += 1;
-                        stats.elements += chunk.len() as u64;
-                    }
-                    buf.into_vec()
-                }
-                None => {
-                    let mut out = Vec::with_capacity(buf.len());
-                    for chunk in buf.chunks(self.chunk_elems) {
-                        lognorm::log_normalize_into(chunk, &mut staged_dense);
-                        out.extend_from_slice(&staged_dense);
-                        stats.normalize_chunks += 1;
-                        stats.elements += chunk.len() as u64;
-                    }
-                    out
-                }
-            };
-            dense_norm.push(out);
-        }
-
-        // Output assembly (format conversion) in card DRAM.
-        let dense = DenseMatrix::from_columns(&dense_norm, rows)?;
-        let mut sparse = Vec::with_capacity(hashed.len() + generated.len());
-        for (name, offsets, values) in hashed {
-            sparse.push(JaggedFeature { name, offsets, values });
-        }
-        for (name, ids) in generated {
-            let offsets: Vec<u32> = (0..=rows as u32).collect();
-            sparse.push(JaggedFeature { name, offsets, values: ids });
-        }
-        let mini_batch = MiniBatch::new(labels, dense, sparse)?;
+        // Generation/normalization/restructuring units: the compiled
+        // stages, each op streamed through the on-chip feature buffers —
+        // one chunk transforms while the previous one's results drain
+        // (double buffering), which is why chunking never changes results.
+        let (mini_batch, _, unit_stats) =
+            preprocess_batch_owned_chunked(&self.plan, batch, self.chunk_elems)?;
+        stats.bucketize_chunks = unit_stats.generation_chunks;
+        stats.normalize_chunks = unit_stats.normalize_chunks;
+        stats.restructure_chunks = unit_stats.restructure_chunks;
+        stats.elements = unit_stats.elements;
         Ok((mini_batch, stats))
     }
 }

@@ -11,6 +11,8 @@
 //!   Fig. 9.
 //! * [`pipeline`] — the discrete-event producer–consumer simulation behind
 //!   GPU-utilization numbers (Fig. 3).
+//! * [`placement`] — cost-model-driven host/ISP placement of a compiled
+//!   plan's operator stages.
 //! * [`experiments`] — one data generator per evaluation figure.
 //!
 //! ## Example: reproduce the headline comparison on RM5
@@ -34,6 +36,7 @@ pub mod failure;
 pub mod isp_worker;
 pub mod managers;
 pub mod pipeline;
+pub mod placement;
 pub mod provision;
 pub mod systems;
 
@@ -46,5 +49,6 @@ pub use pipeline::{
     simulate, simulate_measured, BatchSource, PipelineConfig, PipelineReport, Trainer,
     TrainerConfig, TrainerReport,
 };
+pub use placement::{place_stages, OpCostModel, Place, PlacementPlan, StagePlacement};
 pub use provision::Provisioner;
 pub use systems::System;

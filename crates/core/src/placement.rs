@@ -1,0 +1,451 @@
+//! Cost-model-driven host/ISP stage placement.
+//!
+//! PreSto's core argument is that preprocessing is a pipeline of
+//! heterogeneous operators whose *placement* — host CPU or in-storage
+//! accelerator — should follow their cost profiles (Sections III/IV). This
+//! module makes that decision explicit for any compiled
+//! [`PreprocessPlan`]: an [`OpCostModel`] prices every operator class on
+//! both sides, and [`place_stages`] walks the plan's compiled stages,
+//! prices each one from its per-op element counts
+//! ([`PreprocessPlan::stage_op_elements`]) and assigns it to the cheaper
+//! side.
+//!
+//! Two ways to build the cost model:
+//!
+//! * [`OpCostModel::analytic`] — host rates from the calibrated TorchArrow
+//!   constants (`presto_hwsim::calib::cpu`), ISP rates from the
+//!   [`IspModel`]'s unit throughputs. No measurement needed.
+//! * [`OpCostModel::calibrated`] — host rates from a *measured*
+//!   [`StageTimings`] (the executor's per-op time and element buckets), so
+//!   the placement follows the machine it actually runs on; ops the
+//!   measured run never executed fall back to the analytic rate.
+//!
+//! The ISP side additionally pays the per-stage kernel-dispatch overhead,
+//! which is what keeps tiny stages (a FirstX over a few thousand ids) on
+//! the host while the hash- and search-heavy stages offload — the shape of
+//! the paper's Fig. 12 argument, now produced per stage instead of per
+//! pipeline.
+
+use presto_hwsim::calib;
+use presto_hwsim::fpga::IspModel;
+use presto_hwsim::trace::OpKind;
+use presto_hwsim::units::Secs;
+use presto_ops::{Op, OpTag, PreprocessPlan, StageTimings};
+use std::fmt;
+
+/// Which side a stage runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Place {
+    /// Host CPU worker.
+    Host,
+    /// In-storage accelerator unit.
+    Isp,
+}
+
+impl fmt::Display for Place {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Place::Host => write!(f, "host"),
+            Place::Isp => write!(f, "isp"),
+        }
+    }
+}
+
+const N_OPS: usize = OpTag::ALL.len();
+
+/// Per-op-class cost tables: host nanoseconds per element and ISP
+/// elements per second, plus the ISP's per-stage dispatch overhead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpCostModel {
+    host_ns_per_elem: [f64; N_OPS],
+    /// True where `host_ns_per_elem` came from a measurement (calibrated
+    /// rates already reflect the measured plan's parameters, e.g. the
+    /// Bucketize search depth, so no analytic depth scaling applies).
+    host_measured: [bool; N_OPS],
+    isp_elems_per_sec: [f64; N_OPS],
+    isp_stage_overhead: Secs,
+}
+
+/// Search depth the analytic Bucketize entry is normalized to
+/// (`⌈log₂ 1024⌉` for the canonical m = 1024 boundaries); [`place_stages`]
+/// rescales analytic prices by each op's actual [`Op::search_depth`].
+const ANALYTIC_BUCKETIZE_DEPTH: f64 = 10.0;
+
+/// Analytic host cost of one op class, nanoseconds per element.
+///
+/// The three paper ops come straight from `calib::cpu`; the extended
+/// vocabulary is priced from the same constants: `MapId` is one dependent
+/// table load (a single search step), `FirstX` moves elements at
+/// format-conversion speed, and `NGram` pays a hash plus window-fold
+/// overhead per element.
+fn analytic_host_ns(tag: OpTag) -> f64 {
+    use calib::cpu as c;
+    match tag {
+        // Per-element cost at the reference search depth; place_stages
+        // rescales by the stage's actual boundary count, while calibrated
+        // models replace the entry with a measured rate outright.
+        OpTag::Bucketize => c::BUCKET_NS_PER_CMP * ANALYTIC_BUCKETIZE_DEPTH,
+        OpTag::SigridHash => c::HASH_NS_PER_ELEM,
+        OpTag::LogNorm => c::LOG_NS_PER_ELEM,
+        OpTag::MapId => c::BUCKET_NS_PER_CMP,
+        OpTag::FirstX => c::FORMAT_NS_PER_ELEM,
+        OpTag::NGram => 1.5 * c::HASH_NS_PER_ELEM,
+    }
+}
+
+/// ISP unit rate of one op class, elements per second, derived from the
+/// build's synthesized unit throughputs: `NGram` runs on the hash
+/// pipeline, `MapId` on the URAM search structure, and `FirstX` is a
+/// DRAM-bandwidth copy (8-byte ids).
+fn isp_elems_per_sec(isp: &IspModel, tag: OpTag) -> f64 {
+    match tag {
+        OpTag::Bucketize | OpTag::MapId => isp.unit_elems_per_sec(OpKind::Bucketize),
+        OpTag::SigridHash | OpTag::NGram => isp.unit_elems_per_sec(OpKind::SigridHash),
+        OpTag::LogNorm => isp.unit_elems_per_sec(OpKind::Log),
+        OpTag::FirstX => isp.dram_bandwidth().raw() / 8.0,
+    }
+}
+
+impl OpCostModel {
+    /// Builds the table from the calibrated analytic constants on the host
+    /// side and `isp`'s unit rates on the device side.
+    #[must_use]
+    pub fn analytic(isp: &IspModel) -> Self {
+        let mut host = [0.0; N_OPS];
+        let mut device = [0.0; N_OPS];
+        for tag in OpTag::ALL {
+            host[tag as usize] = analytic_host_ns(tag);
+            device[tag as usize] = isp_elems_per_sec(isp, tag);
+        }
+        OpCostModel {
+            host_ns_per_elem: host,
+            host_measured: [false; N_OPS],
+            isp_elems_per_sec: device,
+            isp_stage_overhead: isp.stage_overhead(),
+        }
+    }
+
+    /// Like [`OpCostModel::analytic`], but host rates come from a measured
+    /// [`StageTimings`] (its per-op time/element buckets) — the closed
+    /// calibration loop: run the executor once, price the plan with the
+    /// rates of *this* machine. Ops the measurement never exercised keep
+    /// the analytic rate.
+    #[must_use]
+    pub fn calibrated(measured: &StageTimings, isp: &IspModel) -> Self {
+        let mut model = Self::analytic(isp);
+        for tag in OpTag::ALL {
+            if let Some(ns) = measured.ops.get(tag).ns_per_elem() {
+                model.host_ns_per_elem[tag as usize] = ns;
+                model.host_measured[tag as usize] = true;
+            }
+        }
+        model
+    }
+
+    /// A host-only table: ISP rates zeroed, so every stage places on the
+    /// host (the shape CPU-pool systems report).
+    #[must_use]
+    pub fn host_only() -> Self {
+        let mut model = Self::analytic(&IspModel::smartssd());
+        model.isp_elems_per_sec = [0.0; N_OPS];
+        model
+    }
+
+    /// Host cost table entry, nanoseconds per element.
+    #[must_use]
+    pub fn host_ns_per_elem(&self, tag: OpTag) -> f64 {
+        self.host_ns_per_elem[tag as usize]
+    }
+
+    /// ISP cost table entry, elements per second (0 = cannot run on ISP).
+    #[must_use]
+    pub fn isp_rate(&self, tag: OpTag) -> f64 {
+        self.isp_elems_per_sec[tag as usize]
+    }
+}
+
+/// One stage's placement decision with both priced alternatives.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StagePlacement {
+    /// Stage output name.
+    pub output: String,
+    /// Display form of the stage's op chain.
+    pub ops: String,
+    /// Elements the stage processes (summed over its ops).
+    pub elements: u64,
+    /// Estimated cost on a host worker.
+    pub host: Secs,
+    /// Estimated cost on an ISP unit (dispatch overhead included), or
+    /// `None` when the model cannot run the stage in storage.
+    pub isp: Option<Secs>,
+    /// The cheaper side.
+    pub place: Place,
+}
+
+impl StagePlacement {
+    /// The cost of the chosen side.
+    #[must_use]
+    pub fn placed(&self) -> Secs {
+        match self.place {
+            Place::Host => self.host,
+            Place::Isp => self.isp.unwrap_or(self.host),
+        }
+    }
+}
+
+/// A whole plan's placement: per-stage decisions plus the aggregate costs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementPlan {
+    /// Rows the costs were estimated for.
+    pub rows: usize,
+    /// Per-stage decisions, in execution order.
+    pub stages: Vec<StagePlacement>,
+}
+
+impl PlacementPlan {
+    /// Total cost with every stage on the host.
+    #[must_use]
+    pub fn host_total(&self) -> Secs {
+        self.stages.iter().fold(Secs::ZERO, |a, s| a + s.host)
+    }
+
+    /// Total cost with every ISP-capable stage on the ISP (stages the
+    /// model cannot offload are priced at their host cost).
+    #[must_use]
+    pub fn isp_total(&self) -> Secs {
+        self.stages.iter().fold(Secs::ZERO, |a, s| a + s.isp.unwrap_or(s.host))
+    }
+
+    /// Total cost with each stage on its chosen side.
+    #[must_use]
+    pub fn placed_total(&self) -> Secs {
+        self.stages.iter().fold(Secs::ZERO, |a, s| a + s.placed())
+    }
+
+    /// Stages assigned to the ISP.
+    #[must_use]
+    pub fn offloaded(&self) -> usize {
+        self.stages.iter().filter(|s| s.place == Place::Isp).count()
+    }
+
+    /// `host_total / placed_total`: the speedup the placement buys over an
+    /// all-host pipeline.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        let placed = self.placed_total().seconds();
+        if placed > 0.0 {
+            self.host_total().seconds() / placed
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Prices every compiled stage of `plan` for a `rows`-row batch on both
+/// sides of `model` and assigns each to the cheaper one.
+///
+/// Per-op element counts come from
+/// [`PreprocessPlan::stage_op_elements`]; Bucketize ops scale the host
+/// rate by their actual boundary-search depth relative to the analytic
+/// table's reference depth when the analytic table is in use (calibrated
+/// tables already measured the real depth). The ISP side pays the
+/// kernel-dispatch overhead once per stage — a stage offloads as a unit.
+#[must_use]
+pub fn place_stages(plan: &PreprocessPlan, rows: usize, model: &OpCostModel) -> PlacementPlan {
+    let per_stage = plan.stage_op_elements(rows);
+    let stages = plan
+        .stages()
+        .iter()
+        .zip(&per_stage)
+        .map(|(stage, op_elems)| {
+            let mut host = 0.0f64;
+            let mut isp = Some(0.0f64);
+            let mut elements = 0u64;
+            for ((tag, elems), op) in op_elems.iter().zip(stage.ops()) {
+                #[allow(clippy::cast_precision_loss)]
+                let n = *elems as f64;
+                elements += elems;
+                let mut ns = model.host_ns_per_elem(*tag);
+                if *tag == OpTag::Bucketize && !model.host_measured[*tag as usize] {
+                    ns *= f64::from(op.search_depth()) / ANALYTIC_BUCKETIZE_DEPTH;
+                }
+                host += n * ns * 1e-9;
+                let rate = model.isp_rate(*tag);
+                isp = match isp {
+                    Some(acc) if rate > 0.0 => Some(acc + n / rate),
+                    _ => None,
+                };
+            }
+            // One kernel dispatch per offloaded stage.
+            let isp = isp.map(|acc| acc + model.isp_stage_overhead.seconds());
+            let host = Secs::new(host);
+            let isp = isp.map(Secs::new);
+            StagePlacement {
+                output: stage.output().to_owned(),
+                ops: stage.ops().iter().map(Op::to_string).collect::<Vec<_>>().join(" → "),
+                elements,
+                host,
+                isp,
+                place: match isp {
+                    Some(device) if device < host => Place::Isp,
+                    _ => Place::Host,
+                },
+            }
+        })
+        .collect();
+    PlacementPlan { rows, stages }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_datagen::RmConfig;
+    use presto_ops::{PlanGraph, PreprocessPlan};
+
+    fn rm1_plan(rows: usize) -> (PreprocessPlan, usize) {
+        let mut c = RmConfig::rm1();
+        c.batch_size = rows;
+        (PreprocessPlan::from_config(&c, 1).unwrap(), rows)
+    }
+
+    #[test]
+    fn paper_scale_batches_offload_the_heavy_stages() {
+        // At the paper's 8192-row batches the boundary-search stages beat
+        // the host by enough to pay the dispatch overhead (Fig. 12's
+        // argument); RM1's length-1 sparse lists stay host-side — exactly
+        // the per-stage nuance a per-pipeline decision cannot express.
+        let (plan, rows) = rm1_plan(8192);
+        let placement = place_stages(&plan, rows, &OpCostModel::analytic(&IspModel::smartssd()));
+        assert_eq!(placement.stages.len(), plan.stages().len());
+        for s in &placement.stages {
+            if s.output.starts_with("gen_") {
+                assert_eq!(s.place, Place::Isp, "{}: host {} isp {:?}", s.output, s.host, s.isp);
+            }
+            if s.output.starts_with("sparse_") {
+                assert_eq!(s.place, Place::Host, "8K length-1 lists cannot amortize dispatch");
+            }
+        }
+        assert!(placement.speedup() > 1.0);
+        assert_eq!(placement.offloaded(), 13);
+
+        // Production-shaped sparse lists (RM3: average length 20) make the
+        // hash stages win the offload too.
+        let mut c = RmConfig::rm3();
+        c.batch_size = 8192;
+        let plan = PreprocessPlan::from_config(&c, 1).unwrap();
+        let placement =
+            place_stages(&plan, c.batch_size, &OpCostModel::analytic(&IspModel::smartssd()));
+        for s in placement.stages.iter().filter(|s| s.output.starts_with("sparse_")) {
+            assert_eq!(s.place, Place::Isp, "{}: host {} isp {:?}", s.output, s.host, s.isp);
+        }
+    }
+
+    #[test]
+    fn tiny_batches_stay_on_host() {
+        // A 16-row batch cannot amortize the kernel dispatch overhead.
+        let (plan, rows) = rm1_plan(16);
+        let placement = place_stages(&plan, rows, &OpCostModel::analytic(&IspModel::smartssd()));
+        assert_eq!(placement.offloaded(), 0);
+        assert!((placement.speedup() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn host_only_model_never_offloads() {
+        let (plan, rows) = rm1_plan(8192);
+        let placement = place_stages(&plan, rows, &OpCostModel::host_only());
+        assert_eq!(placement.offloaded(), 0);
+        assert_eq!(placement.placed_total(), placement.host_total());
+    }
+
+    #[test]
+    fn calibration_overrides_measured_ops_only() {
+        use presto_ops::{OpTag, StageTimings};
+        use std::time::Duration;
+        let mut measured = StageTimings::default();
+        // 1 µs per element measured for SigridHash — much slower than the
+        // analytic table.
+        measured.ops.add(OpTag::SigridHash, Duration::from_millis(1), 1000);
+        let isp = IspModel::smartssd();
+        let analytic = OpCostModel::analytic(&isp);
+        let calibrated = OpCostModel::calibrated(&measured, &isp);
+        assert!((calibrated.host_ns_per_elem(OpTag::SigridHash) - 1000.0).abs() < 1.0);
+        assert_eq!(
+            calibrated.host_ns_per_elem(OpTag::Bucketize),
+            analytic.host_ns_per_elem(OpTag::Bucketize),
+            "unmeasured ops keep the analytic rate"
+        );
+    }
+
+    #[test]
+    fn richer_graphs_split_between_host_and_isp() {
+        // The truncated-cross scenario mixes heavy (hash, ngram) and
+        // trivial (firstx) stages: a paper-scale batch should offload the
+        // former and keep the latter on the host.
+        let mut c = RmConfig::rm1();
+        c.avg_sparse_len = 8;
+        c.fixed_sparse_len = false;
+        c.batch_size = 8192;
+        let plan =
+            PreprocessPlan::compile(PlanGraph::truncated_cross(&c, 3, 4, 2).unwrap(), &c).unwrap();
+        let placement =
+            place_stages(&plan, c.batch_size, &OpCostModel::analytic(&IspModel::smartssd()));
+        let by_name = |prefix: &str| {
+            placement.stages.iter().filter(|s| s.output.starts_with(prefix)).collect::<Vec<_>>()
+        };
+        assert!(by_name("sparse_").iter().all(|s| s.place == Place::Isp));
+        assert!(by_name("cross_").iter().all(|s| s.place == Place::Isp));
+        assert!(by_name("trunc_").iter().all(|s| s.place == Place::Host), "copies stay host-side");
+        assert!(placement.offloaded() > 0);
+        assert!(placement.offloaded() < placement.stages.len());
+    }
+
+    #[test]
+    fn analytic_bucketize_price_scales_with_search_depth() {
+        // RM5's m = 4096 boundaries need 12 search steps vs RM3's 10: the
+        // analytic host price of a generated stage must scale accordingly.
+        let rows = 4096;
+        let model = OpCostModel::analytic(&IspModel::smartssd());
+        let gen_cost = |config: &RmConfig| {
+            let plan = PreprocessPlan::from_config(config, 1).unwrap();
+            let placement = place_stages(&plan, rows, &model);
+            placement.stages.iter().find(|s| s.output == "gen_0").unwrap().host.seconds()
+        };
+        let ratio = gen_cost(&RmConfig::rm5()) / gen_cost(&RmConfig::rm3());
+        assert!((ratio - 12.0 / 10.0).abs() < 1e-6, "depth scaling ratio {ratio}");
+        // Calibrated models measured the real depth already: no rescale.
+        let mut measured = presto_ops::StageTimings::default();
+        measured.ops.add(OpTag::Bucketize, std::time::Duration::from_millis(1), 1000);
+        let calibrated = OpCostModel::calibrated(&measured, &IspModel::smartssd());
+        let plan5 = PreprocessPlan::from_config(&RmConfig::rm5(), 1).unwrap();
+        let placed = place_stages(&plan5, rows, &calibrated);
+        let gen0 = placed.stages.iter().find(|s| s.output == "gen_0").unwrap();
+        let expect = rows as f64 * 1000.0 * 1e-9; // measured 1000 ns/elem, as-is
+        assert!((gen0.host.seconds() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_op_stages_pay_dispatch_overhead_once() {
+        // A MapId → SigridHash chain offloads as one unit: its ISP price
+        // includes exactly one kernel dispatch, not one per op.
+        let mut c = RmConfig::rm1();
+        c.batch_size = 16;
+        let plan = PreprocessPlan::compile(PlanGraph::remapped(&c, 1, 64).unwrap(), &c).unwrap();
+        let isp = IspModel::smartssd();
+        let placement = place_stages(&plan, 16, &OpCostModel::analytic(&isp));
+        let stage = placement.stages.iter().find(|s| s.output == "sparse_0").unwrap();
+        assert!(stage.ops.contains('→'), "two-op chain: {}", stage.ops);
+        let priced = stage.isp.unwrap().seconds();
+        let overhead = isp.stage_overhead().seconds();
+        assert!(priced >= overhead, "dispatch is charged");
+        assert!(priced < 1.5 * overhead, "charged once, not per op: {priced} vs {overhead}");
+    }
+
+    #[test]
+    fn u280_offloads_no_less_than_smartssd() {
+        let (plan, rows) = rm1_plan(4096);
+        let ssd = place_stages(&plan, rows, &OpCostModel::analytic(&IspModel::smartssd()));
+        let u280 = place_stages(&plan, rows, &OpCostModel::analytic(&IspModel::u280_in_storage()));
+        assert!(u280.offloaded() >= ssd.offloaded());
+        assert!(u280.isp_total() <= ssd.isp_total());
+    }
+}

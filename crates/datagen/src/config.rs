@@ -93,6 +93,16 @@ impl RmConfig {
         RmConfig { name: "RM5".into(), bucket_size: 4096, ..Self::production_base() }
     }
 
+    /// RM1 with production-shaped sparse lists (average length 8,
+    /// variable) — the RM-variant of Meta's ingestion study where list
+    /// operators (FirstX truncation, n-gram feature crosses) have real
+    /// work to do. Criteo's fixed length-1 lists make those ops no-ops, so
+    /// the non-canonical scenario graphs and their benches use this shape.
+    #[must_use]
+    pub fn rm1_lists() -> Self {
+        RmConfig { name: "RM1-L".into(), avg_sparse_len: 8, fixed_sparse_len: false, ..Self::rm1() }
+    }
+
     /// Common shape of RM2–RM5 before per-model overrides.
     fn production_base() -> Self {
         RmConfig {
@@ -210,6 +220,17 @@ mod tests {
         for c in RmConfig::all() {
             c.validate().unwrap_or_else(|e| panic!("{} invalid: {e}", c.name));
         }
+    }
+
+    #[test]
+    fn rm1_lists_is_rm1_with_variable_lists() {
+        let v = RmConfig::rm1_lists();
+        v.validate().unwrap();
+        assert_eq!(v.avg_sparse_len, 8);
+        assert!(!v.fixed_sparse_len);
+        let rm1 = RmConfig::rm1();
+        assert_eq!((v.num_dense, v.num_sparse, v.num_generated), (13, 26, 13));
+        assert_eq!(v.bucket_size, rm1.bucket_size);
     }
 
     #[test]

@@ -169,6 +169,31 @@ impl IspModel {
         self.clock_hz * elems_per_cycle
     }
 
+    /// Steady-state throughput of one transform unit, elements/second —
+    /// the per-op rate the host/ISP placement cost model prices stages
+    /// with.
+    #[must_use]
+    pub fn unit_elems_per_sec(&self, op: crate::trace::OpKind) -> f64 {
+        use crate::trace::OpKind;
+        match op {
+            OpKind::Bucketize => self.unit_rate(self.bucketize_elems_per_cycle),
+            OpKind::SigridHash => self.unit_rate(self.sigridhash_elems_per_cycle),
+            OpKind::Log => self.unit_rate(self.log_elems_per_cycle),
+        }
+    }
+
+    /// Fixed per-stage invocation overhead (XRT kernel dispatch).
+    #[must_use]
+    pub fn stage_overhead(&self) -> Secs {
+        self.stage_overhead
+    }
+
+    /// Effective on-card DRAM bandwidth available to data-movement stages.
+    #[must_use]
+    pub fn dram_bandwidth(&self) -> BytesPerSec {
+        self.dram_bw
+    }
+
     /// Per-unit stage times for one mini-batch (before invocation overhead).
     #[must_use]
     pub fn stage_breakdown(&self, profile: &WorkloadProfile) -> StageBreakdown {

@@ -1,36 +1,53 @@
-//! Functional preprocessing executor: Extract → Transform → format
-//! conversion, with per-stage wall-clock timing.
+//! Graph-driven preprocessing executor: Extract → compiled-stage Transform
+//! → format conversion, with per-op wall-clock timing.
 //!
 //! This is the *real* data path — every mini-batch it produces went through
 //! the actual kernels. The timings it reports are host-CPU measurements used
-//! by the criterion benches; the paper-scale performance projections come
+//! by the criterion benches and by the placement cost model
+//! (`presto_core::placement`); the paper-scale performance projections come
 //! from `presto-hwsim` instead.
+//!
+//! # One runner, every backend
+//!
+//! All execution paths drive the same compiled
+//! [`PreprocessPlan::stages`](crate::PreprocessPlan::stages) in topological
+//! order, so the host CPU pipeline, the streaming workers and the
+//! in-storage unit emulation are one dataflow with different parameters:
+//!
+//! * the host paths run each op over the whole column (`chunk = ∞`);
+//! * the ISP emulation ([`preprocess_batch_owned_chunked`]) streams every
+//!   op through fixed-size on-chip feature-buffer chunks and counts them in
+//!   a [`UnitStats`] — bit-identical output by construction, since every op
+//!   is pure and elementwise ops are chunk-invariant.
 //!
 //! # The allocation-free hot path
 //!
 //! PreSto's motivating observation (Section II-B/II-D) is that host-side
-//! preprocessing is dominated by memory traffic, so the executor is built to
-//! avoid per-batch copies and allocations in steady state:
+//! preprocessing is dominated by memory traffic, so the executor avoids
+//! per-batch copies and allocations in steady state:
 //!
 //! * [`ScratchSpace`] owns every reusable buffer — the Extract chunk buffer
-//!   and one output buffer per transform column. A worker that keeps its
-//!   scratch across partitions performs **zero heap allocation** inside the
-//!   transform kernel loop once the buffers are warm (asserted by the
+//!   and one stage-value slot per compiled stage. A worker that keeps
+//!   its scratch across partitions performs **zero heap allocation** inside
+//!   the transform loop once the buffers are warm (asserted by the
 //!   counting-allocator test in `tests/alloc_free.rs`).
-//! * [`preprocess_partition_with`] consumes the decoded columns instead of
-//!   copying them: SigridHash and Log normalize **in place** on the uniquely
-//!   owned decode buffers, and labels/offsets move into the mini-batch
-//!   without a copy (see [`presto_columnar::Buffer`]).
+//! * [`preprocess_batch_owned`] consumes the decoded columns instead of
+//!   copying them: stages whose chain is fully elementwise and whose raw
+//!   column has no other reader
+//!   ([`consumes_raw`](crate::plan::CompiledStage::consumes_raw)) transform
+//!   **in place** on the uniquely owned decode buffers, and labels/offsets
+//!   move into the mini-batch without a copy.
 //! * [`transform_batch_into`] is the borrowed-batch variant used by
-//!   [`preprocess_batch_with`]: kernels write into the scratch pools through
-//!   `apply_into` / `log_normalize_into`.
+//!   [`preprocess_batch_with`]: kernels write into the scratch slots
+//!   through their `*_into` entry points.
 //!
-//! Both variants are bit-identical to the straightforward allocating kernels
-//! (`apply`); property tests in `tests/` pin that equivalence.
+//! All variants are bit-identical to the straightforward allocating kernels;
+//! property tests in `tests/` pin that equivalence.
 
 use crate::lognorm;
 use crate::minibatch::{DenseMatrix, JaggedFeature, MiniBatch, ShapeError};
-use crate::plan::PreprocessPlan;
+use crate::op::{firstx_into, ngram_into, Op, OpTag, ValueKind};
+use crate::plan::{PreprocessPlan, StageInput};
 use presto_columnar::{Array, BlobRead, ColumnarError, FileReader, ReadScratch};
 use presto_datagen::RowBatch;
 use std::fmt;
@@ -49,6 +66,13 @@ pub enum PreprocessError {
     },
     /// Mini-batch assembly failed.
     Shape(ShapeError),
+    /// A compiled-plan invariant was violated at execution time (cannot
+    /// happen for plans built by [`PreprocessPlan::compile`]; kept as an
+    /// error instead of a panic so degenerate states stay recoverable).
+    Plan {
+        /// Human-readable description.
+        detail: String,
+    },
 }
 
 impl fmt::Display for PreprocessError {
@@ -59,6 +83,7 @@ impl fmt::Display for PreprocessError {
                 write!(f, "column {column} missing or mistyped")
             }
             PreprocessError::Shape(e) => write!(f, "format conversion failed: {e}"),
+            PreprocessError::Plan { detail } => write!(f, "compiled plan violated: {detail}"),
         }
     }
 }
@@ -68,7 +93,7 @@ impl std::error::Error for PreprocessError {
         match self {
             PreprocessError::Extract(e) => Some(e),
             PreprocessError::Shape(e) => Some(e),
-            PreprocessError::BadColumn { .. } => None,
+            PreprocessError::BadColumn { .. } | PreprocessError::Plan { .. } => None,
         }
     }
 }
@@ -85,27 +110,207 @@ impl From<ShapeError> for PreprocessError {
     }
 }
 
+fn plan_violation(detail: impl Into<String>) -> PreprocessError {
+    PreprocessError::Plan { detail: detail.into() }
+}
+
+/// Measured work of one operator class: wall-clock time and elements
+/// processed (the per-element rate calibrates the placement cost model).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpBucket {
+    /// Wall-clock time spent in this op class.
+    pub time: Duration,
+    /// Input elements processed by this op class.
+    pub elems: u64,
+}
+
+impl OpBucket {
+    /// Measured nanoseconds per element, or `None` before any elements ran.
+    #[must_use]
+    pub fn ns_per_elem(&self) -> Option<f64> {
+        #[allow(clippy::cast_precision_loss)]
+        (self.elems > 0).then(|| self.time.as_secs_f64() * 1e9 / self.elems as f64)
+    }
+}
+
+/// Per-op-class timing buckets, keyed by [`OpTag`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpTimings {
+    buckets: [OpBucket; OpTag::ALL.len()],
+}
+
+impl OpTimings {
+    /// Accumulates one op application.
+    pub fn add(&mut self, tag: OpTag, time: Duration, elems: u64) {
+        let bucket = &mut self.buckets[tag as usize];
+        bucket.time += time;
+        bucket.elems += elems;
+    }
+
+    /// The bucket of one op class.
+    #[must_use]
+    pub fn get(&self, tag: OpTag) -> OpBucket {
+        self.buckets[tag as usize]
+    }
+
+    /// Sum of all op times.
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        self.buckets.iter().map(|b| b.time).sum()
+    }
+
+    /// `(tag, bucket)` pairs in [`OpTag::ALL`] order.
+    pub fn iter(&self) -> impl Iterator<Item = (OpTag, OpBucket)> + '_ {
+        OpTag::ALL.into_iter().map(|tag| (tag, self.get(tag)))
+    }
+}
+
 /// Wall-clock time per pipeline stage (the Fig. 5 / Fig. 12 stages, measured
-/// on the host).
+/// on the host), with the Transform time broken down per operator class.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StageTimings {
     /// Reading + decoding the projected columns.
     pub extract: Duration,
-    /// Feature generation (Bucketize).
-    pub bucketize: Duration,
-    /// Sparse normalization (SigridHash).
-    pub sigridhash: Duration,
-    /// Dense normalization (Log).
-    pub log: Duration,
     /// Mini-batch assembly (format conversion).
     pub format: Duration,
+    /// Per-op Transform breakdown (and the element counts that calibrate
+    /// the placement cost model).
+    pub ops: OpTimings,
 }
 
 impl StageTimings {
     /// Sum of all stages.
     #[must_use]
     pub fn total(&self) -> Duration {
-        self.extract + self.bucketize + self.sigridhash + self.log + self.format
+        self.extract + self.format + self.ops.total()
+    }
+
+    /// Feature-generation (Bucketize) time.
+    #[must_use]
+    pub fn bucketize(&self) -> Duration {
+        self.ops.get(OpTag::Bucketize).time
+    }
+
+    /// Sparse-normalization (SigridHash) time.
+    #[must_use]
+    pub fn sigridhash(&self) -> Duration {
+        self.ops.get(OpTag::SigridHash).time
+    }
+
+    /// Dense-normalization (LogNorm) time.
+    #[must_use]
+    pub fn log(&self) -> Duration {
+        self.ops.get(OpTag::LogNorm).time
+    }
+}
+
+/// Chunk counters of one emulated in-storage run, bucketed by unit class
+/// (generation = Bucketize, normalization = SigridHash/MapId/LogNorm,
+/// restructure = FirstX/NGram). Filled by
+/// [`preprocess_batch_owned_chunked`]; the host paths leave it at one chunk
+/// per op application.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UnitStats {
+    /// Chunks through the feature-generation unit.
+    pub generation_chunks: u64,
+    /// Chunks through the normalization units.
+    pub normalize_chunks: u64,
+    /// Chunks through the list-restructuring unit. Unlike the other
+    /// counters this one is *accounting-only*: FirstX/NGram execute over
+    /// the whole column (their windows/prefixes span chunk boundaries) and
+    /// the count is derived from the input length, modeling the traffic a
+    /// streaming unit would see rather than bounding the emulation's
+    /// working set.
+    pub restructure_chunks: u64,
+    /// Total input elements transformed.
+    pub elements: u64,
+}
+
+impl UnitStats {
+    fn record(&mut self, tag: OpTag, chunks: u64, elems: u64) {
+        match tag {
+            OpTag::Bucketize => self.generation_chunks += chunks,
+            OpTag::SigridHash | OpTag::MapId | OpTag::LogNorm => self.normalize_chunks += chunks,
+            OpTag::FirstX | OpTag::NGram => self.restructure_chunks += chunks,
+        }
+        self.elements += elems;
+    }
+}
+
+/// One stage's materialized output during plan execution.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum StageValue {
+    /// One `f32` per row.
+    Dense(Vec<f32>),
+    /// A jagged list feature.
+    List {
+        /// Row offsets, `len == rows + 1`.
+        offsets: Vec<u32>,
+        /// Flattened ids.
+        values: Vec<i64>,
+    },
+    /// One `i64` per row.
+    Ids(Vec<i64>),
+}
+
+impl Default for StageValue {
+    fn default() -> Self {
+        StageValue::Ids(Vec::new())
+    }
+}
+
+/// A borrowed view of a stage input (raw column or earlier stage output).
+#[derive(Debug, Clone, Copy)]
+enum ValueRef<'a> {
+    Dense(&'a [f32]),
+    List { offsets: &'a [u32], values: &'a [i64] },
+    Ids(&'a [i64]),
+}
+
+impl ValueRef<'_> {
+    /// Input elements an op over this value processes.
+    fn elems(&self) -> u64 {
+        (match self {
+            ValueRef::Dense(v) => v.len(),
+            ValueRef::List { values, .. } => values.len(),
+            ValueRef::Ids(v) => v.len(),
+        }) as u64
+    }
+}
+
+impl StageValue {
+    fn as_value_ref(&self) -> ValueRef<'_> {
+        match self {
+            StageValue::Dense(v) => ValueRef::Dense(v),
+            StageValue::List { offsets, values } => ValueRef::List { offsets, values },
+            StageValue::Ids(v) => ValueRef::Ids(v),
+        }
+    }
+
+    /// The f32 buffer, re-initializing the variant if needed (allocates
+    /// only when the slot changes kind — i.e. on a plan switch).
+    fn dense_buf(&mut self) -> &mut Vec<f32> {
+        if !matches!(self, StageValue::Dense(_)) {
+            *self = StageValue::Dense(Vec::new());
+        }
+        let StageValue::Dense(v) = self else { unreachable!("just initialized") };
+        v
+    }
+
+    fn ids_buf(&mut self) -> &mut Vec<i64> {
+        if !matches!(self, StageValue::Ids(_)) {
+            *self = StageValue::Ids(Vec::new());
+        }
+        let StageValue::Ids(v) = self else { unreachable!("just initialized") };
+        v
+    }
+
+    fn list_bufs(&mut self) -> (&mut Vec<u32>, &mut Vec<i64>) {
+        if !matches!(self, StageValue::List { .. }) {
+            *self = StageValue::List { offsets: Vec::new(), values: Vec::new() };
+        }
+        let StageValue::List { offsets, values } = self else { unreachable!("just initialized") };
+        (offsets, values)
     }
 }
 
@@ -116,25 +321,24 @@ impl StageTimings {
 ///
 /// * `read` stages column-chunk bytes for backends that cannot expose their
 ///   storage directly (see [`presto_columnar::ReadScratch`]);
-/// * `generated` / `hashed` / `dense` hold one output buffer per transform
-///   column, written through the kernels' `apply_into` /
-///   `log_normalize_into` variants.
+/// * `slots` holds one output buffer set per compiled stage, written
+///   through the kernels' `*_into` variants.
 ///
 /// Buffers grow to the high-water mark of the workload and are then reused
 /// verbatim: processing the Nth same-shaped partition allocates nothing in
-/// the kernel loop.
+/// the transform loop.
 #[derive(Debug, Default)]
 pub struct ScratchSpace {
     read: ReadScratch,
-    // Pools only ever grow (high-water-mark reuse); the `*_len` counts
-    // record how many slots the *last* transform actually wrote, so the
-    // accessors never expose stale trailing columns after a plan switch.
-    generated: Vec<Vec<i64>>,
-    generated_len: usize,
-    hashed: Vec<Vec<i64>>,
-    hashed_len: usize,
-    dense: Vec<Vec<f32>>,
-    dense_len: usize,
+    /// One output per compiled stage of the last plan run; slots only ever
+    /// grow (high-water-mark reuse across plans).
+    slots: Vec<StageValue>,
+    /// `(kind, emit)` of each slot the *last* transform actually wrote, so
+    /// the accessors never expose stale trailing stages after a plan
+    /// switch.
+    slot_meta: Vec<(ValueKind, bool)>,
+    /// Ping-pong buffer for multi-op chains with a non-elementwise tail op.
+    temp: StageValue,
 }
 
 impl ScratchSpace {
@@ -149,42 +353,297 @@ impl ScratchSpace {
         &mut self.read
     }
 
-    /// Bucketize outputs of the last [`transform_batch_into`] call, one per
-    /// generated spec.
+    /// Emitted one-id-per-row (generated-feature) outputs of the last
+    /// [`transform_batch_into`] call, in stage order.
     #[must_use]
-    pub fn generated(&self) -> &[Vec<i64>] {
-        &self.generated[..self.generated_len]
+    pub fn generated(&self) -> Vec<&[i64]> {
+        self.emitted(ValueKind::Ids)
+            .filter_map(|slot| match slot {
+                StageValue::Ids(v) => Some(v.as_slice()),
+                _ => None,
+            })
+            .collect()
     }
 
-    /// SigridHash outputs of the last [`transform_batch_into`] call, one per
-    /// sparse spec.
+    /// Emitted jagged-feature value buffers of the last
+    /// [`transform_batch_into`] call, in stage order.
     #[must_use]
-    pub fn hashed(&self) -> &[Vec<i64>] {
-        &self.hashed[..self.hashed_len]
+    pub fn hashed(&self) -> Vec<&[i64]> {
+        self.emitted(ValueKind::List)
+            .filter_map(|slot| match slot {
+                StageValue::List { values, .. } => Some(values.as_slice()),
+                _ => None,
+            })
+            .collect()
     }
 
-    /// Log-normalization outputs of the last [`transform_batch_into`] call,
-    /// one per dense column.
+    /// Emitted dense outputs of the last [`transform_batch_into`] call, in
+    /// stage order.
     #[must_use]
-    pub fn dense(&self) -> &[Vec<f32>] {
-        &self.dense[..self.dense_len]
+    pub fn dense(&self) -> Vec<&[f32]> {
+        self.emitted(ValueKind::Dense)
+            .filter_map(|slot| match slot {
+                StageValue::Dense(v) => Some(v.as_slice()),
+                _ => None,
+            })
+            .collect()
     }
 
-    /// Ensures `pool` has `n` slots, allocating only on first growth.
-    fn ensure_slots<T>(pool: &mut Vec<Vec<T>>, n: usize) {
-        if pool.len() < n {
-            pool.resize_with(n, Vec::new);
+    fn emitted(&self, kind: ValueKind) -> impl Iterator<Item = &StageValue> {
+        self.slot_meta
+            .iter()
+            .zip(&self.slots)
+            .filter(move |((k, emit), _)| *emit && *k == kind)
+            .map(|(_, slot)| slot)
+    }
+
+    /// Ensures `slots` can hold `n` stages and resets the metadata.
+    fn prepare(&mut self, n: usize) {
+        if self.slots.len() < n {
+            self.slots.resize_with(n, StageValue::default);
         }
+        self.slot_meta.clear();
+        self.slot_meta.reserve(n);
     }
 }
 
-/// Runs the three Transform kernels over a borrowed batch, writing every
-/// output into `scratch` (no other side effects).
+/// Staging buffers for the chunked (in-storage) execution mode: the second
+/// on-chip feature buffer of each unit, through which one chunk's results
+/// drain while the next transforms. The host paths (`chunk = ∞`) never
+/// touch them.
+#[derive(Debug, Default)]
+struct StagedBufs {
+    ids: Vec<i64>,
+    dense: Vec<f32>,
+}
+
+/// Applies one op to a borrowed input, writing the result into `out`
+/// (variant re-initialized as needed, buffers recycled). Processes the
+/// input in `chunk`-element pieces — pass `usize::MAX` for whole-column
+/// host execution (no staging copy).
+fn apply_op(
+    op: &Op,
+    input: ValueRef<'_>,
+    out: &mut StageValue,
+    chunk: usize,
+    staged: &mut StagedBufs,
+    stats: &mut UnitStats,
+) -> Result<(), PreprocessError> {
+    let tag = op.tag();
+    let elems = input.elems();
+    let chunks = match (op, input) {
+        (Op::LogNorm, ValueRef::Dense(src)) => {
+            let out = out.dense_buf();
+            if chunk >= src.len() {
+                lognorm::log_normalize_into(src, out);
+                1
+            } else {
+                out.clear();
+                out.reserve(src.len());
+                let mut n = 0;
+                for piece in src.chunks(chunk.max(1)) {
+                    lognorm::log_normalize_into(piece, &mut staged.dense);
+                    out.extend_from_slice(&staged.dense);
+                    n += 1;
+                }
+                n
+            }
+        }
+        (Op::Bucketize(b), ValueRef::Dense(src)) => {
+            let out = out.ids_buf();
+            if chunk >= src.len() {
+                b.apply_into(src, out);
+                1
+            } else {
+                out.clear();
+                out.reserve(src.len());
+                let mut n = 0;
+                for piece in src.chunks(chunk.max(1)) {
+                    b.apply_into(piece, &mut staged.ids);
+                    out.extend_from_slice(&staged.ids);
+                    n += 1;
+                }
+                n
+            }
+        }
+        (Op::SigridHash(_) | Op::MapId(_), ValueRef::List { offsets, values }) => {
+            let (out_offsets, out_values) = out.list_bufs();
+            out_offsets.clear();
+            out_offsets.extend_from_slice(offsets);
+            apply_ids_chunked(op, values, out_values, chunk, &mut staged.ids)
+        }
+        (Op::SigridHash(_) | Op::MapId(_), ValueRef::Ids(values)) => {
+            apply_ids_chunked(op, values, out.ids_buf(), chunk, &mut staged.ids)
+        }
+        (Op::FirstX(x), ValueRef::List { offsets, values }) => {
+            let (out_offsets, out_values) = out.list_bufs();
+            firstx_into(offsets, values, *x, out_offsets, out_values);
+            chunk_count(values.len(), chunk)
+        }
+        (Op::NGram { n, hasher }, ValueRef::List { offsets, values }) => {
+            let (out_offsets, out_values) = out.list_bufs();
+            ngram_into(offsets, values, *n, hasher, out_offsets, out_values);
+            chunk_count(values.len(), chunk)
+        }
+        _ => {
+            return Err(plan_violation(format!("op {op} applied to mismatched input kind")));
+        }
+    };
+    stats.record(tag, chunks, elems);
+    Ok(())
+}
+
+/// Chunked elementwise id transform into a recycled output buffer.
+fn apply_ids_chunked(
+    op: &Op,
+    src: &[i64],
+    out: &mut Vec<i64>,
+    chunk: usize,
+    staged: &mut Vec<i64>,
+) -> u64 {
+    let apply = |piece: &[i64], out: &mut Vec<i64>| match op {
+        Op::SigridHash(h) => h.apply_into(piece, out),
+        Op::MapId(m) => m.apply_into(piece, out),
+        _ => unreachable!("caller dispatched an elementwise id op"),
+    };
+    if chunk >= src.len() {
+        apply(src, out);
+        1
+    } else {
+        out.clear();
+        out.reserve(src.len());
+        let mut n = 0;
+        for piece in src.chunks(chunk.max(1)) {
+            apply(piece, staged);
+            out.extend_from_slice(staged);
+            n += 1;
+        }
+        n
+    }
+}
+
+/// Chunks an already-whole op application would have streamed through a
+/// `chunk`-element unit buffer.
+fn chunk_count(len: usize, chunk: usize) -> u64 {
+    if chunk >= len {
+        1
+    } else {
+        (len.div_ceil(chunk.max(1))) as u64
+    }
+}
+
+/// Applies one *elementwise* op in place on an owned stage value.
+fn apply_op_in_place(
+    op: &Op,
+    value: &mut StageValue,
+    chunk: usize,
+    stats: &mut UnitStats,
+) -> Result<(), PreprocessError> {
+    let tag = op.tag();
+    let (chunks, elems) = match (op, &mut *value) {
+        (Op::LogNorm, StageValue::Dense(v)) => {
+            let mut n = 0;
+            for piece in v.chunks_mut(chunk.max(1)) {
+                lognorm::log_normalize_in_place(piece);
+                n += 1;
+            }
+            (n, v.len() as u64)
+        }
+        (
+            Op::SigridHash(_) | Op::MapId(_),
+            StageValue::List { values, .. } | StageValue::Ids(values),
+        ) => {
+            let mut n = 0;
+            for piece in values.chunks_mut(chunk.max(1)) {
+                match op {
+                    Op::SigridHash(h) => h.apply_in_place(piece),
+                    Op::MapId(m) => m.apply_in_place(piece),
+                    _ => unreachable!("matched above"),
+                }
+                n += 1;
+            }
+            (n, values.len() as u64)
+        }
+        _ => {
+            return Err(plan_violation(format!("op {op} applied in place to mismatched kind")));
+        }
+    };
+    stats.record(tag, chunks, elems);
+    Ok(())
+}
+
+/// Runs one stage's op chain from a borrowed input into `slot`.
+///
+/// The chain is fused through the slot: the first op writes the slot,
+/// subsequent elementwise ops run in place on it, and non-elementwise ops
+/// ping-pong through `temp` — no per-op intermediate allocation once the
+/// buffers are warm.
+#[allow(clippy::too_many_arguments)]
+fn run_chain(
+    ops: &[Op],
+    input: ValueRef<'_>,
+    slot: &mut StageValue,
+    temp: &mut StageValue,
+    chunk: usize,
+    staged: &mut StagedBufs,
+    timings: &mut StageTimings,
+    stats: &mut UnitStats,
+) -> Result<(), PreprocessError> {
+    let (first, rest) = ops.split_first().ok_or_else(|| plan_violation("empty op chain"))?;
+    let elems = input.elems();
+    let t0 = Instant::now();
+    apply_op(first, input, slot, chunk, staged, stats)?;
+    timings.ops.add(first.tag(), t0.elapsed(), elems);
+    for op in rest {
+        let t0 = Instant::now();
+        if op.is_elementwise() {
+            let elems = slot.as_value_ref().elems();
+            apply_op_in_place(op, slot, chunk, stats)?;
+            timings.ops.add(op.tag(), t0.elapsed(), elems);
+        } else {
+            std::mem::swap(slot, temp);
+            let elems = temp.as_value_ref().elems();
+            apply_op(op, temp.as_value_ref(), slot, chunk, staged, stats)?;
+            timings.ops.add(op.tag(), t0.elapsed(), elems);
+        }
+    }
+    Ok(())
+}
+
+/// Borrows a raw column of `batch` as the kind the compiled stage expects.
+fn raw_value_ref<'a>(
+    batch: &'a RowBatch,
+    name: &str,
+    kind: ValueKind,
+) -> Result<ValueRef<'a>, PreprocessError> {
+    let column =
+        batch.column(name).ok_or_else(|| PreprocessError::BadColumn { column: name.into() })?;
+    array_value_ref(column, name, kind)
+}
+
+fn array_value_ref<'a>(
+    column: &'a Array,
+    name: &str,
+    kind: ValueKind,
+) -> Result<ValueRef<'a>, PreprocessError> {
+    let bad = || PreprocessError::BadColumn { column: name.into() };
+    match kind {
+        ValueKind::Dense => column.as_float32().map(ValueRef::Dense).ok_or_else(bad),
+        ValueKind::List => column
+            .as_list_int64()
+            .map(|(offsets, values)| ValueRef::List { offsets, values })
+            .ok_or_else(bad),
+        ValueKind::Ids => column.as_int64().map(ValueRef::Ids).ok_or_else(bad),
+    }
+}
+
+/// Runs the compiled stages over a borrowed batch, writing every output
+/// into `scratch` (no other side effects).
 ///
 /// This is the allocation-free core: with a warm scratch, repeated calls on
 /// same-shaped batches perform zero heap allocation. Results are read back
 /// via [`ScratchSpace::generated`] / [`ScratchSpace::hashed`] /
-/// [`ScratchSpace::dense`], laid out in plan order.
+/// [`ScratchSpace::dense`], laid out in stage order.
 ///
 /// # Errors
 ///
@@ -196,78 +655,87 @@ pub fn transform_batch_into(
     scratch: &mut ScratchSpace,
 ) -> Result<StageTimings, PreprocessError> {
     let mut timings = StageTimings::default();
-    scratch.generated_len = plan.generated_specs().len();
-    scratch.hashed_len = plan.sparse_specs().len();
-    scratch.dense_len = plan.dense_columns().len();
-
-    // Feature generation: Bucketize dense sources into new sparse features.
-    let t0 = Instant::now();
-    ScratchSpace::ensure_slots(&mut scratch.generated, plan.generated_specs().len());
-    for (spec, out) in plan.generated_specs().iter().zip(&mut scratch.generated) {
-        let source = batch
-            .column(&spec.source_column)
-            .and_then(Array::as_float32)
-            .ok_or_else(|| PreprocessError::BadColumn { column: spec.source_column.clone() })?;
-        spec.bucketizer.apply_into(source, out);
+    let mut stats = UnitStats::default();
+    let mut staged = StagedBufs::default();
+    let stages = plan.stages();
+    scratch.prepare(stages.len());
+    for (i, stage) in stages.iter().enumerate() {
+        let (done, rest) = scratch.slots.split_at_mut(i);
+        let slot = &mut rest[0];
+        let input = match stage.input() {
+            StageInput::Raw(name) => raw_value_ref(batch, name, stage.input_kind())?,
+            StageInput::Stage(j) => done[*j].as_value_ref(),
+        };
+        run_chain(
+            stage.ops(),
+            input,
+            slot,
+            &mut scratch.temp,
+            usize::MAX,
+            &mut staged,
+            &mut timings,
+            &mut stats,
+        )?;
+        scratch.slot_meta.push((stage.output_kind(), stage.emit()));
     }
-    timings.bucketize = t0.elapsed();
-
-    // Sparse normalization: SigridHash each raw sparse feature.
-    let t0 = Instant::now();
-    ScratchSpace::ensure_slots(&mut scratch.hashed, plan.sparse_specs().len());
-    for (spec, out) in plan.sparse_specs().iter().zip(&mut scratch.hashed) {
-        let (_, values) = batch
-            .column(&spec.column)
-            .and_then(Array::as_list_int64)
-            .ok_or_else(|| PreprocessError::BadColumn { column: spec.column.clone() })?;
-        spec.hasher.apply_into(values, out);
-    }
-    timings.sigridhash = t0.elapsed();
-
-    // Dense normalization: Log over every dense column.
-    let t0 = Instant::now();
-    ScratchSpace::ensure_slots(&mut scratch.dense, plan.dense_columns().len());
-    for (name, out) in plan.dense_columns().iter().zip(&mut scratch.dense) {
-        let col = batch
-            .column(name)
-            .and_then(Array::as_float32)
-            .ok_or_else(|| PreprocessError::BadColumn { column: name.clone() })?;
-        lognorm::log_normalize_into(col, out);
-    }
-    timings.log = t0.elapsed();
-
     Ok(timings)
 }
 
-/// Format conversion shared by every batch path: row-major dense matrix,
-/// jagged sparse features in plan order, then the generated features with
-/// identity-ramp offsets (one id per row).
+/// Format conversion shared by every batch path: row-major dense matrix
+/// from the emitted dense stages, jagged features from the emitted list
+/// stages, then the emitted id stages with identity-ramp offsets (one id
+/// per row) — all in graph declaration order.
 fn assemble_mini_batch(
     plan: &PreprocessPlan,
     labels: Vec<i64>,
-    dense_norm: &[Vec<f32>],
-    hashed: Vec<(Vec<u32>, Vec<i64>)>,
-    generated: Vec<Vec<i64>>,
+    mut fetch: impl FnMut(usize) -> StageValue,
 ) -> Result<MiniBatch, PreprocessError> {
     let rows = labels.len();
-    let dense = DenseMatrix::from_columns(dense_norm, rows)?;
-    let mut sparse = Vec::with_capacity(hashed.len() + generated.len());
-    for (spec, (offsets, values)) in plan.sparse_specs().iter().zip(hashed) {
-        sparse.push(JaggedFeature { name: spec.column.clone(), offsets, values });
+    let stages = plan.stages();
+    let mut dense_columns = Vec::with_capacity(plan.emitted_dense().len());
+    for &pos in plan.emitted_dense() {
+        match fetch(pos) {
+            StageValue::Dense(v) => dense_columns.push(v),
+            _ => return Err(plan_violation(format!("stage {pos} is not dense"))),
+        }
     }
-    for (spec, ids) in plan.generated_specs().iter().zip(generated) {
-        // One id per row: offsets are the identity ramp.
-        let offsets: Vec<u32> = (0..=rows as u32).collect();
-        sparse.push(JaggedFeature { name: spec.name.clone(), offsets, values: ids });
+    let dense = DenseMatrix::from_columns(&dense_columns, rows)?;
+    drop(dense_columns);
+
+    let mut sparse = Vec::with_capacity(plan.emitted_lists().len() + plan.emitted_ids().len());
+    for &pos in plan.emitted_lists() {
+        match fetch(pos) {
+            StageValue::List { offsets, values } => sparse.push(JaggedFeature {
+                name: stages[pos].output().to_owned(),
+                offsets,
+                values,
+            }),
+            _ => return Err(plan_violation(format!("stage {pos} is not a list"))),
+        }
+    }
+    for &pos in plan.emitted_ids() {
+        match fetch(pos) {
+            StageValue::Ids(values) => {
+                // One id per row: offsets are the identity ramp.
+                let offsets: Vec<u32> = (0..=rows as u32).collect();
+                sparse.push(JaggedFeature {
+                    name: stages[pos].output().to_owned(),
+                    offsets,
+                    values,
+                });
+            }
+            _ => return Err(plan_violation(format!("stage {pos} is not ids"))),
+        }
     }
     Ok(MiniBatch::new(labels, dense, sparse)?)
 }
 
-/// Preprocesses an already-decoded row batch (Transform + format conversion).
+/// Preprocesses an already-decoded row batch (Transform + format
+/// conversion).
 ///
-/// One-shot path: kernel outputs are allocated exactly once at their final
-/// size and move into the mini-batch. Callers in a steady-state loop should
-/// prefer [`preprocess_batch_with`] (bounded allocation via scratch) or
+/// One-shot path: stage outputs are built in a private scratch and move
+/// into the mini-batch. Callers in a steady-state loop should prefer
+/// [`preprocess_batch_with`] (bounded allocation via a reused scratch) or
 /// [`preprocess_batch_owned`] (in-place transforms); all three produce
 /// bit-identical output.
 ///
@@ -279,59 +747,21 @@ pub fn preprocess_batch(
     plan: &PreprocessPlan,
     batch: &RowBatch,
 ) -> Result<(MiniBatch, StageTimings), PreprocessError> {
-    let mut timings = StageTimings::default();
-
     let labels = batch
         .column("label")
         .and_then(Array::as_int64)
         .ok_or_else(|| PreprocessError::BadColumn { column: "label".into() })?
         .to_vec();
-
-    // Feature generation: Bucketize dense sources into new sparse features.
+    let mut scratch = ScratchSpace::new();
+    let mut timings = transform_batch_into(plan, batch, &mut scratch)?;
     let t0 = Instant::now();
-    let mut generated: Vec<Vec<i64>> = Vec::with_capacity(plan.generated_specs().len());
-    for spec in plan.generated_specs() {
-        let source = batch
-            .column(&spec.source_column)
-            .and_then(Array::as_float32)
-            .ok_or_else(|| PreprocessError::BadColumn { column: spec.source_column.clone() })?;
-        generated.push(spec.bucketizer.apply(source));
-    }
-    timings.bucketize = t0.elapsed();
-
-    // Sparse normalization: SigridHash each raw sparse feature.
-    let t0 = Instant::now();
-    let mut hashed: Vec<(Vec<u32>, Vec<i64>)> = Vec::with_capacity(plan.sparse_specs().len());
-    for spec in plan.sparse_specs() {
-        let (offsets, values) = batch
-            .column(&spec.column)
-            .and_then(Array::as_list_int64)
-            .ok_or_else(|| PreprocessError::BadColumn { column: spec.column.clone() })?;
-        hashed.push((offsets.to_vec(), spec.hasher.apply(values)));
-    }
-    timings.sigridhash = t0.elapsed();
-
-    // Dense normalization: Log over every dense column.
-    let t0 = Instant::now();
-    let mut dense_norm: Vec<Vec<f32>> = Vec::with_capacity(plan.dense_columns().len());
-    for name in plan.dense_columns() {
-        let col = batch
-            .column(name)
-            .and_then(Array::as_float32)
-            .ok_or_else(|| PreprocessError::BadColumn { column: name.clone() })?;
-        dense_norm.push(lognorm::log_normalize(col));
-    }
-    timings.log = t0.elapsed();
-
-    // Format conversion: row-major dense + jagged sparse + generated.
-    let t0 = Instant::now();
-    let mini_batch = assemble_mini_batch(plan, labels, &dense_norm, hashed, generated)?;
+    let slots = &mut scratch.slots;
+    let mini_batch = assemble_mini_batch(plan, labels, |pos| std::mem::take(&mut slots[pos]))?;
     timings.format = t0.elapsed();
-
     Ok((mini_batch, timings))
 }
 
-/// Like [`preprocess_batch`], threading kernel outputs through a reusable
+/// Like [`preprocess_batch`], threading stage outputs through a reusable
 /// [`ScratchSpace`] so the transform loop itself allocates nothing once the
 /// scratch is warm. Only the final mini-batch assembly allocates (its
 /// buffers are the returned value and cannot be recycled).
@@ -354,22 +784,9 @@ pub fn preprocess_batch_with(
     // Format conversion: copy the scratch outputs into owned buffers (they
     // must outlive the scratch) and assemble.
     let t0 = Instant::now();
-    let hashed = plan
-        .sparse_specs()
-        .iter()
-        .zip(scratch.hashed())
-        .map(|(spec, values)| {
-            let (offsets, _) = batch
-                .column(&spec.column)
-                .and_then(Array::as_list_int64)
-                .ok_or_else(|| PreprocessError::BadColumn { column: spec.column.clone() })?;
-            Ok((offsets.to_vec(), values.clone()))
-        })
-        .collect::<Result<Vec<_>, PreprocessError>>()?;
-    let generated: Vec<Vec<i64>> = scratch.generated().to_vec();
-    let mini_batch = assemble_mini_batch(plan, labels, scratch.dense(), hashed, generated)?;
+    let slots = &scratch.slots;
+    let mini_batch = assemble_mini_batch(plan, labels, |pos| slots[pos].clone())?;
     timings.format = t0.elapsed();
-
     Ok((mini_batch, timings))
 }
 
@@ -384,11 +801,14 @@ fn take_column(
     Some(std::mem::replace(&mut columns[idx], Array::empty(dt)))
 }
 
-/// Preprocesses a batch it *owns*: kernels run in place on the uniquely
-/// owned column buffers and results move into the mini-batch without
-/// copying. This is the fast path [`preprocess_partition_with`] takes after
-/// decoding — identical output to [`preprocess_batch`], fewer allocations
-/// and about half the transform memory traffic.
+/// Preprocesses a batch it *owns*: stages marked
+/// [`consumes_raw`](crate::plan::CompiledStage::consumes_raw) run their
+/// (fully elementwise) chains in
+/// place on the uniquely owned column buffers and move the results into the
+/// mini-batch without copying. This is the fast path
+/// [`preprocess_partition_with`] takes after decoding — identical output to
+/// [`preprocess_batch`], fewer allocations and about half the transform
+/// memory traffic on sparse-heavy plans.
 ///
 /// # Errors
 ///
@@ -397,7 +817,32 @@ pub fn preprocess_batch_owned(
     plan: &PreprocessPlan,
     batch: RowBatch,
 ) -> Result<(MiniBatch, StageTimings), PreprocessError> {
+    preprocess_batch_owned_chunked(plan, batch, usize::MAX).map(|(mb, t, _)| (mb, t))
+}
+
+/// [`preprocess_batch_owned`] with the in-storage unit emulation engaged:
+/// elementwise and Bucketize ops stream through `chunk_elems`-element
+/// on-chip feature-buffer chunks (two buffers per unit — one transforms
+/// while the other drains), and the returned [`UnitStats`] counts the
+/// chunks per unit class. List-restructuring ops (FirstX/NGram) run
+/// whole-column — their windows span chunk boundaries — with their unit
+/// traffic counted arithmetically (see
+/// [`UnitStats::restructure_chunks`]). Output is bit-identical to the host
+/// paths for any chunk size, because every op is pure and the chunked
+/// kernels are chunk-invariant.
+///
+/// # Errors
+///
+/// Same as [`preprocess_batch`].
+pub fn preprocess_batch_owned_chunked(
+    plan: &PreprocessPlan,
+    batch: RowBatch,
+    chunk_elems: usize,
+) -> Result<(MiniBatch, StageTimings, UnitStats), PreprocessError> {
+    let chunk = chunk_elems.max(1);
     let mut timings = StageTimings::default();
+    let mut stats = UnitStats::default();
+    let mut staged = StagedBufs::default();
     let (schema, mut columns) = batch.into_parts();
 
     let labels = take_column(&schema, &mut columns, "label")
@@ -407,70 +852,125 @@ pub fn preprocess_batch_owned(
         })
         .ok_or_else(|| PreprocessError::BadColumn { column: "label".into() })?;
 
-    // Feature generation first: Bucketize reads the *raw* dense values, so
-    // it must run before Log rewrites them in place.
-    let t0 = Instant::now();
-    let mut generated: Vec<Vec<i64>> = Vec::with_capacity(plan.generated_specs().len());
-    for spec in plan.generated_specs() {
-        let idx = schema
-            .index_of(&spec.source_column)
-            .ok_or_else(|| PreprocessError::BadColumn { column: spec.source_column.clone() })?;
-        let source = columns[idx]
-            .as_float32()
-            .ok_or_else(|| PreprocessError::BadColumn { column: spec.source_column.clone() })?;
-        generated.push(spec.bucketizer.apply(source));
+    let stages = plan.stages();
+    let mut outputs: Vec<StageValue> = Vec::with_capacity(stages.len());
+    let mut temp = StageValue::default();
+    for (i, stage) in stages.iter().enumerate() {
+        let mut slot = StageValue::default();
+        if stage.consumes_raw() {
+            let StageInput::Raw(name) = stage.input() else {
+                return Err(plan_violation(format!("stage {i} consumes a non-raw input")));
+            };
+            let column = take_column(&schema, &mut columns, name)
+                .ok_or_else(|| PreprocessError::BadColumn { column: name.clone() })?;
+            run_stage_owned(
+                stage.ops(),
+                column,
+                name,
+                stage.input_kind(),
+                &mut slot,
+                &mut temp,
+                chunk,
+                &mut staged,
+                &mut timings,
+                &mut stats,
+            )?;
+        } else {
+            let input = match stage.input() {
+                StageInput::Raw(name) => {
+                    let idx = schema
+                        .index_of(name)
+                        .ok_or_else(|| PreprocessError::BadColumn { column: name.clone() })?;
+                    array_value_ref(&columns[idx], name, stage.input_kind())?
+                }
+                StageInput::Stage(j) => outputs[*j].as_value_ref(),
+            };
+            run_chain(
+                stage.ops(),
+                input,
+                &mut slot,
+                &mut temp,
+                chunk,
+                &mut staged,
+                &mut timings,
+                &mut stats,
+            )?;
+        }
+        outputs.push(slot);
     }
-    timings.bucketize = t0.elapsed();
+    drop(columns);
 
-    // Sparse normalization in place: the decoded buffers are uniquely owned,
-    // so SigridHash overwrites them and the offsets/values move straight
-    // into the output feature.
     let t0 = Instant::now();
-    let mut hashed: Vec<(Vec<u32>, Vec<i64>)> = Vec::with_capacity(plan.sparse_specs().len());
-    for spec in plan.sparse_specs() {
-        let col = take_column(&schema, &mut columns, &spec.column)
-            .ok_or_else(|| PreprocessError::BadColumn { column: spec.column.clone() })?;
-        let Array::ListInt64 { offsets, mut values } = col else {
-            return Err(PreprocessError::BadColumn { column: spec.column.clone() });
-        };
-        let values = match values.make_mut() {
-            Some(unique) => {
-                spec.hasher.apply_in_place(unique);
-                values.into_vec()
-            }
-            // Shared buffer (multi-clone callers): fall back to a copy.
-            None => spec.hasher.apply(&values),
-        };
-        hashed.push((offsets.into_vec(), values));
-    }
-    timings.sigridhash = t0.elapsed();
-
-    // Dense normalization in place on the owned buffers.
-    let t0 = Instant::now();
-    let mut dense_norm: Vec<Vec<f32>> = Vec::with_capacity(plan.dense_columns().len());
-    for name in plan.dense_columns() {
-        let col = take_column(&schema, &mut columns, name)
-            .ok_or_else(|| PreprocessError::BadColumn { column: name.clone() })?;
-        let Array::Float32(mut buf) = col else {
-            return Err(PreprocessError::BadColumn { column: name.clone() });
-        };
-        let normalized = match buf.make_mut() {
-            Some(unique) => {
-                lognorm::log_normalize_in_place(unique);
-                buf.into_vec()
-            }
-            None => lognorm::log_normalize(&buf),
-        };
-        dense_norm.push(normalized);
-    }
-    timings.log = t0.elapsed();
-
-    // Format conversion: row-major dense + jagged sparse + generated.
-    let t0 = Instant::now();
-    let mini_batch = assemble_mini_batch(plan, labels, &dense_norm, hashed, generated)?;
+    let mini_batch = assemble_mini_batch(plan, labels, |pos| std::mem::take(&mut outputs[pos]))?;
     timings.format = t0.elapsed();
+    Ok((mini_batch, timings, stats))
+}
 
-    Ok((mini_batch, timings))
+/// Runs a fully elementwise chain on an owned column: uniquely held buffers
+/// transform in place and move into the stage output; shared buffers (a
+/// multi-clone storage backend) fall back to the borrowed path.
+#[allow(clippy::too_many_arguments)]
+fn run_stage_owned(
+    ops: &[Op],
+    column: Array,
+    name: &str,
+    kind: ValueKind,
+    slot: &mut StageValue,
+    temp: &mut StageValue,
+    chunk: usize,
+    staged: &mut StagedBufs,
+    timings: &mut StageTimings,
+    stats: &mut UnitStats,
+) -> Result<(), PreprocessError> {
+    let bad = || PreprocessError::BadColumn { column: name.into() };
+    let mut owned = match (kind, column) {
+        (ValueKind::List, Array::ListInt64 { offsets, mut values }) => {
+            if values.make_mut().is_none() {
+                let input = ValueRef::List { offsets: &offsets, values: &values };
+                return run_chain(ops, input, slot, temp, chunk, staged, timings, stats);
+            }
+            StageValue::List { offsets: offsets.into_vec(), values: values.into_vec() }
+        }
+        (ValueKind::Dense, Array::Float32(mut buf)) => {
+            if buf.make_mut().is_none() {
+                return run_chain(
+                    ops,
+                    ValueRef::Dense(&buf),
+                    slot,
+                    temp,
+                    chunk,
+                    staged,
+                    timings,
+                    stats,
+                );
+            }
+            StageValue::Dense(buf.into_vec())
+        }
+        (ValueKind::Ids, Array::Int64(mut buf)) => {
+            if buf.make_mut().is_none() {
+                return run_chain(
+                    ops,
+                    ValueRef::Ids(&buf),
+                    slot,
+                    temp,
+                    chunk,
+                    staged,
+                    timings,
+                    stats,
+                );
+            }
+            StageValue::Ids(buf.into_vec())
+        }
+        _ => return Err(bad()),
+    };
+    for op in ops {
+        let t0 = Instant::now();
+        let elems = owned.as_value_ref().elems();
+        apply_op_in_place(op, &mut owned, chunk, stats)?;
+        timings.ops.add(op.tag(), t0.elapsed(), elems);
+    }
+    *slot = owned;
+    Ok(())
 }
 
 /// Full pipeline over a stored partition: Extract (projected read + decode),
@@ -522,6 +1022,23 @@ pub fn extract_partition_with<B: BlobRead>(
 ) -> Result<(RowBatch, Duration), PreprocessError> {
     let t0 = Instant::now();
     let reader = FileReader::open(blob)?;
+    let batch = extract_batch_from_reader(plan, &reader, read)?;
+    Ok((batch, t0.elapsed()))
+}
+
+/// Decodes the plan's projected columns from an already-open reader into
+/// one owned [`RowBatch`] (row groups merged). Split out of
+/// [`extract_partition_with`] so callers that need the file metadata first
+/// — like the ISP worker's P2P byte accounting — reuse one open.
+///
+/// # Errors
+///
+/// Propagates storage, decode and schema failures.
+pub fn extract_batch_from_reader<B: BlobRead>(
+    plan: &PreprocessPlan,
+    reader: &FileReader<B>,
+    read: &mut ReadScratch,
+) -> Result<RowBatch, PreprocessError> {
     let needed = plan.required_columns();
     let names: Vec<&str> = needed.iter().map(String::as_str).collect();
     let mut columns = Vec::with_capacity(reader.row_group_count());
@@ -557,13 +1074,15 @@ pub fn extract_partition_with<B: BlobRead>(
             .map(|parts| presto_columnar::column::concat_arrays(&parts))
             .collect::<Result<_, _>>()?
     };
-    let batch = RowBatch::new(schema, merged)?;
-    Ok((batch, t0.elapsed()))
+    Ok(RowBatch::new(schema, merged)?)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::{ChainSpec, PlanGraph};
+    use crate::op::IdMap;
+    use crate::SigridHasher;
     use presto_datagen::{generate_batch, write_partition, RmConfig};
 
     fn tiny_config() -> RmConfig {
@@ -638,9 +1157,27 @@ mod tests {
     }
 
     #[test]
+    fn chunked_path_matches_whole_column_path_for_any_chunk() {
+        let mut c = tiny_config();
+        c.avg_sparse_len = 5;
+        c.fixed_sparse_len = false;
+        let plan =
+            PreprocessPlan::compile(PlanGraph::truncated_cross(&c, 3, 3, 2).unwrap(), &c).unwrap();
+        let batch = generate_batch(&c, 64, 9);
+        let (whole, _) = preprocess_batch(&plan, &batch).unwrap();
+        for chunk in [1usize, 7, 64, 4096] {
+            let (chunked, _, stats) =
+                preprocess_batch_owned_chunked(&plan, batch.clone(), chunk).unwrap();
+            assert_eq!(chunked, whole, "chunk {chunk}");
+            assert!(stats.elements > 0);
+            assert!(stats.restructure_chunks > 0, "FirstX/NGram counted");
+        }
+    }
+
+    #[test]
     fn scratch_accessors_track_the_last_plan() {
         // Regression: after reuse with a smaller plan, the accessors must
-        // not expose stale trailing columns from the earlier, larger plan.
+        // not expose stale trailing stages from the earlier, larger plan.
         let big = tiny_config();
         let mut small = tiny_config();
         small.num_dense = 2;
@@ -739,14 +1276,106 @@ mod tests {
     }
 
     #[test]
+    fn multi_op_chains_execute_through_all_paths() {
+        // MapId → SigridHash on sparse columns plus Bucketize → MapId on a
+        // generated feature: every path agrees and ids stay bounded.
+        let mut c = tiny_config();
+        c.avg_sparse_len = 4;
+        c.fixed_sparse_len = false;
+        let plan = PreprocessPlan::compile(PlanGraph::remapped(&c, 5, 128).unwrap(), &c).unwrap();
+        let batch = generate_batch(&c, 48, 11);
+        let blob = write_partition(&batch).unwrap();
+        let (reference, _) = preprocess_batch(&plan, &batch).unwrap();
+        let (with_scratch, _) =
+            preprocess_batch_with(&plan, &batch, &mut ScratchSpace::new()).unwrap();
+        assert_eq!(with_scratch, reference);
+        let (owned, _) = preprocess_batch_owned(&plan, batch).unwrap();
+        assert_eq!(owned, reference);
+        let (from_disk, _) = preprocess_partition(&plan, blob).unwrap();
+        assert_eq!(from_disk, reference);
+        let gen = reference.sparse_by_name("gen_0").unwrap();
+        for &v in &gen.values {
+            assert!((0..=(c.bucket_size / 2) as i64).contains(&v), "remapped id {v}");
+        }
+    }
+
+    #[test]
+    fn per_op_timings_cover_the_plan_vocabulary() {
+        let mut c = tiny_config();
+        c.avg_sparse_len = 5;
+        c.fixed_sparse_len = false;
+        let plan =
+            PreprocessPlan::compile(PlanGraph::truncated_cross(&c, 3, 2, 2).unwrap(), &c).unwrap();
+        let batch = generate_batch(&c, 64, 3);
+        let (_, t) = preprocess_batch(&plan, &batch).unwrap();
+        for tag in [OpTag::SigridHash, OpTag::LogNorm, OpTag::Bucketize, OpTag::FirstX] {
+            assert!(t.ops.get(tag).elems > 0, "{tag} saw no elements");
+        }
+        assert!(t.ops.get(OpTag::NGram).elems > 0);
+        assert_eq!(t.ops.get(OpTag::MapId).elems, 0, "no MapId in this graph");
+        assert_eq!(t.total(), t.extract + t.format + t.ops.total());
+    }
+
+    #[test]
+    fn plan_violations_error_instead_of_panicking() {
+        // A hand-built stage mismatch cannot arise from compile(), but the
+        // executor must stay non-panicking: feed a batch whose column type
+        // contradicts the plan kind.
+        let c = tiny_config();
+        let g = PlanGraph::new(vec![ChainSpec::feature(
+            "x",
+            "sparse_0",
+            vec![Op::MapId(IdMap::shuffled(1, 8, 8))],
+        )]);
+        let plan = PreprocessPlan::compile(g, &c).unwrap();
+        // Build a batch where sparse_0 is dense-typed.
+        use presto_columnar::{DataType, Field, Schema};
+        let schema = Schema::new(vec![
+            Field::new("label", DataType::Int64),
+            Field::new("sparse_0", DataType::Float32),
+        ])
+        .unwrap();
+        let batch = RowBatch::new(
+            schema,
+            vec![Array::Int64(vec![0, 1].into()), Array::Float32(vec![1.0, 2.0].into())],
+        )
+        .unwrap();
+        let err = preprocess_batch(&plan, &batch).unwrap_err();
+        assert!(matches!(err, PreprocessError::BadColumn { .. }), "{err}");
+        let err = preprocess_batch_owned(&plan, batch).unwrap_err();
+        assert!(matches!(err, PreprocessError::BadColumn { .. }), "{err}");
+    }
+
+    #[test]
     fn stage_timings_total_sums() {
-        let t = StageTimings {
+        let mut t = StageTimings {
             extract: Duration::from_millis(1),
-            bucketize: Duration::from_millis(2),
-            sigridhash: Duration::from_millis(3),
-            log: Duration::from_millis(4),
             format: Duration::from_millis(5),
+            ops: OpTimings::default(),
         };
+        t.ops.add(OpTag::Bucketize, Duration::from_millis(2), 10);
+        t.ops.add(OpTag::SigridHash, Duration::from_millis(3), 10);
+        t.ops.add(OpTag::LogNorm, Duration::from_millis(4), 10);
         assert_eq!(t.total(), Duration::from_millis(15));
+        assert_eq!(t.bucketize(), Duration::from_millis(2));
+        assert_eq!(t.sigridhash(), Duration::from_millis(3));
+        assert_eq!(t.log(), Duration::from_millis(4));
+        let hash = t.ops.get(OpTag::SigridHash);
+        assert_eq!(hash.elems, 10);
+        assert!(hash.ns_per_elem().unwrap() > 0.0);
+        assert_eq!(OpBucket::default().ns_per_elem(), None);
+    }
+
+    #[test]
+    fn sigrid_hasher_is_shared_across_graph_and_direct_use() {
+        // The canonical seed recipe must keep matching direct kernel use.
+        let c = tiny_config();
+        let plan = PreprocessPlan::from_config(&c, 9).unwrap();
+        let stage =
+            plan.stages().iter().find(|s| s.output() == "sparse_3").expect("sparse_3 exists");
+        let Op::SigridHash(h) = &stage.ops()[0] else { panic!("sparse stage hashes") };
+        let expected =
+            SigridHasher::new(9 ^ (0x5157_u64 << 32) ^ 3, c.avg_embeddings as u64).unwrap();
+        assert_eq!(h, &expected);
     }
 }

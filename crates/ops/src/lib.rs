@@ -9,10 +9,17 @@
 //! * [`SigridHasher`] — sparse feature normalization via seeded hashing
 //!   modulo the embedding-table size (Algorithm 2, TorchArrow `sigrid_hash`).
 //! * [`lognorm`] — dense feature normalization (`ln(1 + x)`).
+//! * [`op`] / [`graph`] — the typed operator vocabulary ([`Op`]: the
+//!   paper's three ops plus `FirstX`, `NGram` feature crosses and `MapId`
+//!   dictionary remaps) and the per-column chain graph IR ([`PlanGraph`])
+//!   that describes a preprocessing scenario.
 //! * [`MiniBatch`] / [`DenseMatrix`] / [`JaggedFeature`] — train-ready
 //!   tensor assembly in TorchRec's `KeyedJaggedTensor` layout.
-//! * [`PreprocessPlan`] + [`executor`] — the full Extract → Transform →
-//!   format-conversion pipeline over `presto-columnar` partitions.
+//! * [`PreprocessPlan`] + [`executor`] — graphs compiled into topologically
+//!   ordered, fused execution stages and the full Extract → Transform →
+//!   format-conversion pipeline over `presto-columnar` partitions. One
+//!   runner serves the host CPU paths and (chunked through on-chip
+//!   feature buffers) the in-storage worker emulation.
 //! * [`stream`] — the streaming pipelined executor: bounded output
 //!   channels, per-worker double-buffered Extract prefetch and
 //!   device-affine work assignment (the producer–consumer architecture of
@@ -56,9 +63,11 @@
 pub mod bucketize;
 pub mod dedup;
 pub mod executor;
+pub mod graph;
 pub mod listops;
 pub mod lognorm;
 pub mod minibatch;
+pub mod op;
 pub mod parallel;
 pub mod plan;
 pub mod sigridhash;
@@ -67,13 +76,16 @@ pub mod stream;
 pub use bucketize::{BucketizeError, Bucketizer};
 pub use dedup::{hash_deduped, plan_dedup, DedupPlan};
 pub use executor::{
-    extract_partition_with, preprocess_batch, preprocess_batch_owned, preprocess_batch_with,
-    preprocess_partition, preprocess_partition_with, transform_batch_into, PreprocessError,
-    ScratchSpace, StageTimings,
+    extract_batch_from_reader, extract_partition_with, preprocess_batch, preprocess_batch_owned,
+    preprocess_batch_owned_chunked, preprocess_batch_with, preprocess_partition,
+    preprocess_partition_with, transform_batch_into, OpBucket, OpTimings, PreprocessError,
+    ScratchSpace, StageTimings, UnitStats,
 };
+pub use graph::{ChainSpec, GraphError, PlanGraph};
 pub use minibatch::{DenseMatrix, JaggedFeature, MiniBatch, ShapeError};
+pub use op::{firstx_into, ngram_into, IdMap, Op, OpTag, ValueKind};
 pub use parallel::{run_workers, run_workers_materialized, ParallelReport};
-pub use plan::{GeneratedSpec, PreprocessPlan, SparseSpec};
+pub use plan::{CompiledStage, PreprocessPlan, StageInput};
 pub use sigridhash::{InvalidMaxValueError, SigridHasher};
 pub use stream::{
     inter_arrivals, stream_workers, stream_workers_with, BatchStream, DeviceLoad,

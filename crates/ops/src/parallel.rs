@@ -6,7 +6,7 @@
 //! `Vec`, and the output is bit-identical to serial execution. Callers that
 //! want batches *as they complete* — the real producer–consumer shape, where
 //! the trainer overlaps with preprocessing — should use
-//! [`stream_workers`](crate::stream::stream_workers) directly.
+//! [`crate::stream_workers`] directly.
 //!
 //! [`run_workers_materialized`] preserves the previous architecture (shared
 //! ticket counter, results collected under one mutex, nothing visible until
@@ -47,7 +47,7 @@ impl ParallelReport {
 /// collects the mini-batches in partition order.
 ///
 /// Equivalent to draining
-/// [`stream_workers`](crate::stream::stream_workers)`(..).into_ordered()`
+/// [`crate::stream_workers`]`(..).into_ordered()`
 /// with a channel capacity of `2 × workers`.
 ///
 /// # Errors

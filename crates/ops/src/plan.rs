@@ -1,96 +1,274 @@
-//! Preprocessing plans: which transform applies to which feature.
+//! Compiled preprocessing plans: operator graphs lowered to execution
+//! stages.
 //!
-//! A [`PreprocessPlan`] is derived deterministically from an
-//! [`RmConfig`]: every raw sparse feature gets a seeded [`SigridHasher`],
-//! every generated feature gets a [`Bucketizer`] over a source dense column,
-//! and all dense features get Log normalization. This is the configuration
-//! the preprocess manager ships to each worker (step ❷ of Figure 9).
+//! A [`PreprocessPlan`] is the executable form of a
+//! [`PlanGraph`]: the graph's per-column op chains
+//! validated (names resolve, ops type-check, references are acyclic) and
+//! ordered into a topological sequence of [`CompiledStage`]s that the
+//! executor ([`crate::executor`]), the streaming pipelines
+//! ([`crate::stream`]) and the in-storage worker emulation all drive with
+//! the same code path. Compilation also precomputes everything the hot loop
+//! would otherwise rebuild per batch:
+//!
+//! * [`PreprocessPlan::required_columns`] — the exact Extract projection
+//!   (only raw columns some chain actually reads, plus the label);
+//! * per-stage *consume* flags — whether a stage is the last reader of its
+//!   raw column and fully elementwise, so the owned executor path can
+//!   transform the decoded buffer in place instead of copying;
+//! * emitted-feature order — dense-matrix columns and jagged features in
+//!   graph declaration order, list-kind features before generated id-kind
+//!   features (the paper's mini-batch layout).
+//!
+//! [`PreprocessPlan::from_config`] compiles the canonical
+//! SigridHash/Bucketize/LogNorm scenario and is bit-identical to the
+//! historical hardcoded three-stage plan (pinned by `tests/graph_ir.rs` and
+//! the v2 format-compat fingerprint); richer scenarios compile through
+//! [`PreprocessPlan::compile`] from any valid graph.
 
-use crate::bucketize::{BucketizeError, Bucketizer};
-use crate::sigridhash::SigridHasher;
-use presto_datagen::{generated_source_column, RmConfig};
+use crate::graph::{resolve, ChainInput, GraphError, PlanGraph, LABEL_COLUMN};
+use crate::op::{Op, OpTag, ValueKind};
+use presto_columnar::DataType;
+use presto_datagen::{raw_schema, RmConfig};
+use std::collections::HashMap;
 
-/// Maximum dense value the log-spaced boundaries cover; matches the cap in
-/// `presto-datagen`'s heavy-tailed dense generator.
-const DENSE_VALUE_CEILING: f32 = 1.0e6;
-
-/// One generated sparse feature: Bucketize(`source_column`) → `name`.
-#[derive(Debug, Clone)]
-pub struct GeneratedSpec {
-    /// Output feature name (e.g. `"gen_3"`).
-    pub name: String,
-    /// Dense column the feature is generated from.
-    pub source_column: String,
-    /// The validated bucket boundaries.
-    pub bucketizer: Bucketizer,
+/// Where a compiled stage reads its input from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StageInput {
+    /// A raw column of the stored partition, by name.
+    Raw(String),
+    /// An earlier stage, by position in [`PreprocessPlan::stages`] (always
+    /// strictly less than the reading stage's own position).
+    Stage(usize),
 }
 
-/// One raw sparse feature: SigridHash(`column`) in place.
+/// One chain of the graph after validation and topological ordering: the
+/// unit the executor runs and the placement planner prices.
 #[derive(Debug, Clone)]
-pub struct SparseSpec {
-    /// Input/output feature name (e.g. `"sparse_7"`).
-    pub column: String,
-    /// The seeded hasher bounded by the embedding-table size.
-    pub hasher: SigridHasher,
+pub struct CompiledStage {
+    /// Declaration index in the source graph (emission order).
+    decl: usize,
+    output: String,
+    emit: bool,
+    input: StageInput,
+    input_kind: ValueKind,
+    output_kind: ValueKind,
+    ops: Vec<Op>,
+    consume_raw: bool,
 }
 
-/// Complete transform configuration for one model.
+impl CompiledStage {
+    /// Output feature name.
+    #[must_use]
+    pub fn output(&self) -> &str {
+        &self.output
+    }
+
+    /// True when the output is emitted into the mini-batch.
+    #[must_use]
+    pub fn emit(&self) -> bool {
+        self.emit
+    }
+
+    /// Where the stage reads from.
+    #[must_use]
+    pub fn input(&self) -> &StageInput {
+        &self.input
+    }
+
+    /// Kind flowing into the first op.
+    #[must_use]
+    pub fn input_kind(&self) -> ValueKind {
+        self.input_kind
+    }
+
+    /// Kind the last op produces.
+    #[must_use]
+    pub fn output_kind(&self) -> ValueKind {
+        self.output_kind
+    }
+
+    /// The fused op chain, in application order (never empty).
+    #[must_use]
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// True when the stage is the final reader of its raw input column and
+    /// every op is elementwise: the owned executor path may then claim the
+    /// decoded buffer and transform it in place instead of copying.
+    #[must_use]
+    pub fn consumes_raw(&self) -> bool {
+        self.consume_raw
+    }
+}
+
+/// A validated, topologically ordered preprocessing plan — the
+/// configuration the preprocess manager ships to each worker (step ❷ of
+/// Figure 9), now carrying an arbitrary operator graph instead of the fixed
+/// three-stage pipeline.
 #[derive(Debug, Clone)]
 pub struct PreprocessPlan {
     config: RmConfig,
-    dense_columns: Vec<String>,
-    sparse_specs: Vec<SparseSpec>,
-    generated_specs: Vec<GeneratedSpec>,
+    graph: PlanGraph,
+    stages: Vec<CompiledStage>,
     required_columns: Vec<String>,
+    /// Stage positions of emitted Dense stages, declaration order.
+    emit_dense: Vec<usize>,
+    /// Stage positions of emitted List stages, declaration order.
+    emit_list: Vec<usize>,
+    /// Stage positions of emitted Ids stages, declaration order.
+    emit_ids: Vec<usize>,
 }
 
 impl PreprocessPlan {
-    /// Builds the canonical plan for a configuration.
+    /// Compiles a graph against the raw-column schema of `config`:
+    /// validates names/types/acyclicity, orders the chains topologically
+    /// and precomputes the Extract projection and in-place eligibility.
     ///
-    /// `seed` controls hash seeds; boundaries are log-spaced with
-    /// `config.bucket_size` cut points (the `m` of Algorithm 1).
+    /// The reserved `label` column is always extracted and never readable
+    /// by a chain (it moves into the mini-batch untouched).
     ///
     /// # Errors
     ///
-    /// Returns [`BucketizeError`] if boundary construction fails (only
-    /// possible for degenerate bucket sizes).
-    pub fn from_config(config: &RmConfig, seed: u64) -> Result<Self, BucketizeError> {
-        let dense_columns: Vec<String> =
-            (0..config.num_dense).map(|i| format!("dense_{i}")).collect();
+    /// Returns the first [`GraphError`] violated; degenerate graphs never
+    /// panic.
+    pub fn compile(graph: PlanGraph, config: &RmConfig) -> Result<Self, GraphError> {
+        let schema = raw_schema(config);
+        let mut raw_kinds: HashMap<&str, ValueKind> = HashMap::with_capacity(schema.len());
+        for field in schema.fields() {
+            if field.name() == LABEL_COLUMN {
+                continue; // reserved: auto-extracted, not chain-readable
+            }
+            let kind = match field.data_type() {
+                DataType::Float32 => ValueKind::Dense,
+                DataType::ListInt64 => ValueKind::List,
+                DataType::Int64 => ValueKind::Ids,
+                // f64 (and any future) raw columns never appear in
+                // generated schemas and the kernels are f32; leave them
+                // unreadable.
+                _ => continue,
+            };
+            raw_kinds.insert(field.name(), kind);
+        }
+        let order = resolve(&graph, |name| raw_kinds.get(name).copied())?;
 
-        let sparse_specs: Vec<SparseSpec> = (0..config.num_sparse)
-            .map(|i| SparseSpec {
-                column: format!("sparse_{i}"),
-                hasher: SigridHasher::new(
-                    seed ^ (0x5157_u64 << 32) ^ i as u64,
-                    config.avg_embeddings as u64,
-                )
-                .expect("avg_embeddings is positive"),
+        // Map declaration index -> topological position.
+        let mut topo_of = vec![usize::MAX; graph.chains().len()];
+        for (pos, resolved) in order.iter().enumerate() {
+            topo_of[resolved.chain] = pos;
+        }
+
+        let mut stages: Vec<CompiledStage> = order
+            .iter()
+            .map(|resolved| {
+                let chain = &graph.chains()[resolved.chain];
+                let input = match &resolved.input {
+                    ChainInput::Raw(name) => StageInput::Raw(name.clone()),
+                    ChainInput::Chain(decl) => StageInput::Stage(topo_of[*decl]),
+                };
+                CompiledStage {
+                    decl: resolved.chain,
+                    output: chain.output.clone(),
+                    emit: chain.emit,
+                    input,
+                    input_kind: resolved.input_kind,
+                    output_kind: resolved.output_kind,
+                    ops: chain.ops.clone(),
+                    consume_raw: false,
+                }
             })
             .collect();
 
-        let generated_specs: Vec<GeneratedSpec> = (0..config.num_generated)
-            .map(|i| {
-                Ok(GeneratedSpec {
-                    name: format!("gen_{i}"),
-                    source_column: generated_source_column(config, i),
-                    bucketizer: Bucketizer::log_spaced(config.bucket_size, DENSE_VALUE_CEILING)?,
-                })
+        // A stage may claim its raw input buffer only if it is the *last*
+        // stage (in execution order) reading that column and its whole
+        // chain runs in place (all ops elementwise). The canonical graph's
+        // dense columns are read twice (LogNorm + Bucketize), so neither
+        // reader consumes; its sparse columns have one elementwise reader,
+        // which does.
+        let mut last_reader: HashMap<&str, usize> = HashMap::new();
+        for (pos, stage) in stages.iter().enumerate() {
+            if let StageInput::Raw(name) = &stage.input {
+                // `pos` increases, so the entry ends at the last reader.
+                let _ = last_reader.insert(name.as_str(), pos);
+            }
+        }
+        let consuming: Vec<usize> = stages
+            .iter()
+            .enumerate()
+            .filter_map(|(pos, stage)| match &stage.input {
+                StageInput::Raw(name)
+                    if last_reader.get(name.as_str()) == Some(&pos)
+                        && stage.ops.iter().all(Op::is_elementwise) =>
+                {
+                    Some(pos)
+                }
+                _ => None,
             })
-            .collect::<Result<_, BucketizeError>>()?;
+            .collect();
+        for pos in consuming {
+            stages[pos].consume_raw = true;
+        }
 
-        let mut required_columns = Vec::with_capacity(1 + dense_columns.len() + sparse_specs.len());
-        required_columns.push("label".to_owned());
-        required_columns.extend(dense_columns.iter().cloned());
-        required_columns.extend(sparse_specs.iter().map(|s| s.column.clone()));
+        // Extract projection: label first, then raw inputs in declaration
+        // (first-reference) order — identical to the legacy projection for
+        // the canonical graph.
+        let mut required_columns = Vec::with_capacity(1 + raw_kinds.len());
+        required_columns.push(LABEL_COLUMN.to_owned());
+        let mut raw_by_decl: Vec<Option<&str>> = vec![None; graph.chains().len()];
+        for stage in &stages {
+            if let StageInput::Raw(name) = &stage.input {
+                raw_by_decl[stage.decl] = Some(name.as_str());
+            }
+        }
+        for name in raw_by_decl.into_iter().flatten() {
+            if !required_columns.iter().any(|c| c == name) {
+                required_columns.push(name.to_owned());
+            }
+        }
+
+        // Emission order: declaration order within each kind; assembly
+        // emits List features before Ids features (raw jagged features,
+        // then unit-length generated features — the legacy layout).
+        let mut by_decl: Vec<usize> = (0..stages.len()).collect();
+        by_decl.sort_by_key(|&pos| stages[pos].decl);
+        let mut emit_dense = Vec::new();
+        let mut emit_list = Vec::new();
+        let mut emit_ids = Vec::new();
+        for pos in by_decl {
+            let stage = &stages[pos];
+            if !stage.emit {
+                continue;
+            }
+            match stage.output_kind {
+                ValueKind::Dense => emit_dense.push(pos),
+                ValueKind::List => emit_list.push(pos),
+                ValueKind::Ids => emit_ids.push(pos),
+            }
+        }
 
         Ok(PreprocessPlan {
             config: config.clone(),
-            dense_columns,
-            sparse_specs,
-            generated_specs,
+            graph,
+            stages,
             required_columns,
+            emit_dense,
+            emit_list,
+            emit_ids,
         })
+    }
+
+    /// Compiles the canonical fixed scenario of the paper
+    /// ([`PlanGraph::canonical`]): LogNorm every dense column, SigridHash
+    /// every sparse column, Bucketize one generated feature per
+    /// `config.num_generated`. Bit-identical to the historical hardcoded
+    /// three-stage plan — same seeds, same feature order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::BadParam`] if boundary construction fails
+    /// (only possible for degenerate bucket sizes).
+    pub fn from_config(config: &RmConfig, seed: u64) -> Result<Self, GraphError> {
+        Self::compile(PlanGraph::canonical(config, seed)?, config)
     }
 
     /// The generating configuration.
@@ -99,70 +277,100 @@ impl PreprocessPlan {
         &self.config
     }
 
-    /// Dense columns that receive Log normalization, in schema order.
+    /// The source graph this plan was compiled from.
     #[must_use]
-    pub fn dense_columns(&self) -> &[String] {
-        &self.dense_columns
+    pub fn graph(&self) -> &PlanGraph {
+        &self.graph
     }
 
-    /// Sparse normalization specs, in schema order.
+    /// The compiled stages, in execution (topological) order.
     #[must_use]
-    pub fn sparse_specs(&self) -> &[SparseSpec] {
-        &self.sparse_specs
+    pub fn stages(&self) -> &[CompiledStage] {
+        &self.stages
     }
 
-    /// Feature generation specs.
+    /// Stage positions of emitted dense-matrix columns, declaration order.
     #[must_use]
-    pub fn generated_specs(&self) -> &[GeneratedSpec] {
-        &self.generated_specs
+    pub fn emitted_dense(&self) -> &[usize] {
+        &self.emit_dense
     }
 
-    /// Every input column the plan needs (label + dense + sparse), the
-    /// projection the Extract step should fetch — and nothing else.
+    /// Stage positions of emitted jagged (list) features, declaration
+    /// order; these precede [`PreprocessPlan::emitted_ids`] in the
+    /// mini-batch.
+    #[must_use]
+    pub fn emitted_lists(&self) -> &[usize] {
+        &self.emit_list
+    }
+
+    /// Stage positions of emitted one-id-per-row features, declaration
+    /// order.
+    #[must_use]
+    pub fn emitted_ids(&self) -> &[usize] {
+        &self.emit_ids
+    }
+
+    /// Every input column the plan needs (label + referenced raw columns),
+    /// the projection the Extract step should fetch — and nothing else.
     ///
-    /// Precomputed at plan construction so the per-partition hot path does
-    /// not rebuild (and re-allocate) the projection list.
+    /// Precomputed at compile time so the per-partition hot path does not
+    /// rebuild (and re-allocate) the projection list.
     #[must_use]
     pub fn required_columns(&self) -> &[String] {
         &self.required_columns
+    }
+
+    /// Estimated elements flowing into each op of each stage for a
+    /// `rows`-row batch, the element counts the placement cost model
+    /// prices. List lengths use the configuration's average
+    /// (`avg_sparse_len`); restructuring ops propagate their expected
+    /// output lengths (`FirstX(x)` → `min(len, x)`, `NGram(n)` →
+    /// `max(len − n + 1, 0)`).
+    #[must_use]
+    pub fn stage_op_elements(&self, rows: usize) -> Vec<Vec<(OpTag, u64)>> {
+        let mut per_row: Vec<f64> = Vec::with_capacity(self.stages.len());
+        let mut out = Vec::with_capacity(self.stages.len());
+        for stage in &self.stages {
+            let mut len = match &stage.input {
+                StageInput::Raw(_) => match stage.input_kind {
+                    ValueKind::List => self.config.avg_sparse_len as f64,
+                    ValueKind::Dense | ValueKind::Ids => 1.0,
+                },
+                StageInput::Stage(pos) => per_row[*pos],
+            };
+            let mut ops = Vec::with_capacity(stage.ops.len());
+            for op in &stage.ops {
+                #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+                ops.push((op.tag(), (rows as f64 * len).round() as u64));
+                len = match op {
+                    Op::FirstX(x) => len.min(*x as f64),
+                    Op::NGram { n, .. } => (len - (*n as f64) + 1.0).max(0.0),
+                    Op::Bucketize(_) => 1.0,
+                    Op::SigridHash(_) | Op::MapId(_) | Op::LogNorm => len,
+                };
+            }
+            per_row.push(len);
+            out.push(ops);
+        }
+        out
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::ChainSpec;
+    use crate::op::IdMap;
 
     #[test]
-    fn plan_shapes_follow_config() {
+    fn canonical_plan_shapes_follow_config() {
         let plan = PreprocessPlan::from_config(&RmConfig::rm1(), 1).unwrap();
-        assert_eq!(plan.dense_columns().len(), 13);
-        assert_eq!(plan.sparse_specs().len(), 26);
-        assert_eq!(plan.generated_specs().len(), 13);
+        assert_eq!(plan.stages().len(), 13 + 26 + 13);
+        assert_eq!(plan.emitted_dense().len(), 13);
+        assert_eq!(plan.emitted_lists().len(), 26);
+        assert_eq!(plan.emitted_ids().len(), 13);
         let plan5 = PreprocessPlan::from_config(&RmConfig::rm5(), 1).unwrap();
-        assert_eq!(plan5.generated_specs().len(), 42);
-    }
-
-    #[test]
-    fn bucketizers_use_config_bucket_size() {
-        let plan = PreprocessPlan::from_config(&RmConfig::rm5(), 1).unwrap();
-        let m = plan.generated_specs()[0].bucketizer.num_boundaries();
-        assert!(m > 4096 / 2 && m <= 4096, "boundaries {m}");
-    }
-
-    #[test]
-    fn hash_seeds_differ_per_feature() {
-        let plan = PreprocessPlan::from_config(&RmConfig::rm1(), 1).unwrap();
-        let seeds: std::collections::HashSet<u64> =
-            plan.sparse_specs().iter().map(|s| s.hasher.seed()).collect();
-        assert_eq!(seeds.len(), plan.sparse_specs().len());
-    }
-
-    #[test]
-    fn generated_sources_are_valid_dense_columns() {
-        let plan = PreprocessPlan::from_config(&RmConfig::rm2(), 1).unwrap();
-        for spec in plan.generated_specs() {
-            assert!(plan.dense_columns().contains(&spec.source_column), "{}", spec.source_column);
-        }
+        assert_eq!(plan5.emitted_ids().len(), 42);
     }
 
     #[test]
@@ -171,15 +379,88 @@ mod tests {
         let cols = plan.required_columns();
         assert_eq!(cols.len(), 1 + 13 + 26);
         assert_eq!(cols[0], "label");
+        assert_eq!(cols[1], "dense_0");
         assert!(cols.contains(&"sparse_25".to_owned()));
+    }
+
+    #[test]
+    fn canonical_sparse_stages_consume_dense_stages_do_not() {
+        // dense_i is read by both its LogNorm chain and a Bucketize chain,
+        // so no dense reader may claim the buffer; sparse_i has exactly one
+        // elementwise reader, which may.
+        let plan = PreprocessPlan::from_config(&RmConfig::rm1(), 1).unwrap();
+        for stage in plan.stages() {
+            let expect = stage.output().starts_with("sparse_");
+            assert_eq!(stage.consumes_raw(), expect, "{}", stage.output());
+        }
     }
 
     #[test]
     fn plans_are_deterministic_per_seed() {
         let a = PreprocessPlan::from_config(&RmConfig::rm1(), 5).unwrap();
         let b = PreprocessPlan::from_config(&RmConfig::rm1(), 5).unwrap();
-        assert_eq!(a.sparse_specs()[3].hasher, b.sparse_specs()[3].hasher);
+        assert_eq!(a.stages()[15].ops(), b.stages()[15].ops());
         let c = PreprocessPlan::from_config(&RmConfig::rm1(), 6).unwrap();
-        assert_ne!(a.sparse_specs()[3].hasher, c.sparse_specs()[3].hasher);
+        assert_ne!(a.stages()[15].ops(), c.stages()[15].ops());
+    }
+
+    #[test]
+    fn chain_inputs_point_backwards() {
+        let mut c = RmConfig::rm1();
+        c.avg_sparse_len = 4;
+        c.fixed_sparse_len = false;
+        let plan = PreprocessPlan::compile(PlanGraph::truncated_cross(&c, 7, 2, 2).unwrap(), &c)
+            .expect("compiles");
+        for (pos, stage) in plan.stages().iter().enumerate() {
+            if let StageInput::Stage(src) = stage.input() {
+                assert!(*src < pos, "stage {pos} reads forward from {src}");
+            }
+        }
+        // Intermediates exist and are not emitted.
+        assert!(plan.stages().iter().any(|s| !s.emit()));
+    }
+
+    #[test]
+    fn label_is_not_chain_readable() {
+        let g = PlanGraph::new(vec![ChainSpec::feature(
+            "x",
+            "label",
+            vec![Op::MapId(IdMap::shuffled(1, 4, 4))],
+        )]);
+        let err = PreprocessPlan::compile(g, &RmConfig::rm1()).unwrap_err();
+        assert!(matches!(err, GraphError::UnknownInput { .. }), "{err}");
+    }
+
+    #[test]
+    fn unused_raw_columns_are_not_projected() {
+        // A graph touching only sparse_0 must not extract dense columns.
+        let g = PlanGraph::new(vec![ChainSpec::feature(
+            "sparse_0",
+            "sparse_0",
+            vec![Op::SigridHash(crate::SigridHasher::new(1, 10).unwrap())],
+        )]);
+        let plan = PreprocessPlan::compile(g, &RmConfig::rm1()).unwrap();
+        assert_eq!(plan.required_columns(), ["label", "sparse_0"]);
+    }
+
+    #[test]
+    fn stage_op_elements_track_restructuring() {
+        let mut c = RmConfig::rm1();
+        c.num_dense = 1;
+        c.num_sparse = 1;
+        c.num_generated = 1;
+        c.num_tables = 2;
+        c.avg_sparse_len = 10;
+        c.fixed_sparse_len = false;
+        let plan = PreprocessPlan::compile(PlanGraph::truncated_cross(&c, 7, 4, 2).unwrap(), &c)
+            .expect("compiles");
+        let elems = plan.stage_op_elements(100);
+        let by_output: HashMap<&str, &Vec<(OpTag, u64)>> =
+            plan.stages().iter().zip(&elems).map(|(s, e)| (s.output(), e)).collect();
+        // FirstX sees the full lists, its consumers see the truncated ones.
+        assert_eq!(by_output["trunc_0"], &vec![(OpTag::FirstX, 1000)]);
+        assert_eq!(by_output["sparse_0"], &vec![(OpTag::SigridHash, 400)]);
+        assert_eq!(by_output["cross_0"], &vec![(OpTag::NGram, 400)]);
+        assert_eq!(by_output["gen_0"], &vec![(OpTag::Bucketize, 100)]);
     }
 }

@@ -397,7 +397,7 @@ pub mod arbitrary {
 }
 
 pub mod collection {
-    //! Collection strategies ([`vec`]).
+    //! Collection strategies ([`vec()`]).
 
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
@@ -435,7 +435,7 @@ pub mod collection {
         VecStrategy { element, size: size.into() }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

@@ -46,7 +46,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "transform time on this host: bucketize {:?}, sigridhash {:?}, log {:?}",
-        timings.bucketize, timings.sigridhash, timings.log
+        timings.bucketize(),
+        timings.sigridhash(),
+        timings.log()
     );
 
     // Show the normalization effect on one dense feature.

@@ -1,11 +1,27 @@
+//! Per-stage and per-op profiling of the preprocessing hot path on this
+//! host — the measured numbers that calibrate the placement cost model
+//! (`presto_core::placement::OpCostModel::calibrated`).
+//!
+//! Run with: `cargo run --release --example profile_stages`
+//! `PRESTO_PROFILE_ROWS` / `PRESTO_PROFILE_ITERS` override the partition
+//! size (default 1024) and timed iterations (default 500).
+
+use presto::core::placement::{place_stages, OpCostModel};
 use presto::datagen::{generate_batch, write_partition, RmConfig};
-use presto::ops::{preprocess_partition_with, PreprocessPlan, ScratchSpace};
+use presto::hwsim::fpga::IspModel;
+use presto::ops::{preprocess_partition_with, OpTag, PreprocessPlan, ScratchSpace, StageTimings};
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
 
 fn main() {
+    let rows = env_usize("PRESTO_PROFILE_ROWS", 1024);
+    let iters = env_usize("PRESTO_PROFILE_ITERS", 500) as u32;
     let mut config = RmConfig::rm1();
-    config.batch_size = 1024;
+    config.batch_size = rows;
     let plan = PreprocessPlan::from_config(&config, 1).unwrap();
-    let batch = generate_batch(&config, 1024, 5);
+    let batch = generate_batch(&config, rows, 5);
     let blob = write_partition(&batch).unwrap();
     println!("blob bytes: {}", blob.as_bytes().len());
     let mut scratch = ScratchSpace::new();
@@ -13,21 +29,55 @@ fn main() {
     for _ in 0..50 {
         preprocess_partition_with(&plan, blob.clone(), &mut scratch).unwrap();
     }
-    let mut sums = [0f64; 5];
-    let iters = 500;
+    let mut sum = StageTimings::default();
     let t0 = std::time::Instant::now();
     for _ in 0..iters {
         let (_, t) = preprocess_partition_with(&plan, blob.clone(), &mut scratch).unwrap();
-        sums[0] += t.extract.as_secs_f64();
-        sums[1] += t.bucketize.as_secs_f64();
-        sums[2] += t.sigridhash.as_secs_f64();
-        sums[3] += t.log.as_secs_f64();
-        sums[4] += t.format.as_secs_f64();
+        sum.extract += t.extract;
+        sum.format += t.format;
+        for (tag, bucket) in t.ops.iter() {
+            sum.ops.add(tag, bucket.time, bucket.elems);
+        }
     }
     let total = t0.elapsed().as_secs_f64();
-    let names = ["extract", "bucketize", "sigridhash", "log", "format"];
-    for (n, s) in names.iter().zip(&sums) {
-        println!("{n:>10}: {:8.1} us/iter", s / iters as f64 * 1e6);
+
+    let per_iter = |d: std::time::Duration| d.as_secs_f64() / f64::from(iters) * 1e6;
+    println!("{:>10}: {:8.1} us/iter", "extract", per_iter(sum.extract));
+    println!("per-op transform breakdown:");
+    for (tag, bucket) in sum.ops.iter() {
+        if bucket.elems == 0 {
+            continue;
+        }
+        println!(
+            "{:>10}: {:8.1} us/iter  ({:6.1} ns/elem over {} elems/iter)",
+            tag.name(),
+            per_iter(bucket.time),
+            bucket.ns_per_elem().unwrap_or(0.0),
+            bucket.elems / u64::from(iters),
+        );
     }
-    println!("{:>10}: {:8.1} us/iter (incl. untimed)", "total", total / iters as f64 * 1e6);
+    println!("{:>10}: {:8.1} us/iter", "format", per_iter(sum.format));
+    println!("{:>10}: {:8.1} us/iter (incl. untimed)", "total", total / f64::from(iters) * 1e6);
+
+    // Feed the measured rates into the placement cost model: where would
+    // each stage of this plan run on a SmartSSD-backed PreSto system?
+    let model = OpCostModel::calibrated(&sum, &IspModel::smartssd());
+    let placement = place_stages(&plan, rows, &model);
+    println!(
+        "\ncalibrated placement @ {} rows: {}/{} stages offloaded, projected speedup {:.2}x",
+        rows,
+        placement.offloaded(),
+        placement.stages.len(),
+        placement.speedup()
+    );
+    for tag in OpTag::ALL {
+        let measured = sum.ops.get(tag).ns_per_elem();
+        if let Some(ns) = measured {
+            println!(
+                "{:>10}: host {ns:6.1} ns/elem (measured) vs isp {:9.0} elems/s",
+                tag.name(),
+                model.isp_rate(tag)
+            );
+        }
+    }
 }

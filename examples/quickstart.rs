@@ -52,7 +52,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "host timings: extract {:?}, bucketize {:?}, sigridhash {:?}, log {:?}, format {:?}",
-        timings.extract, timings.bucketize, timings.sigridhash, timings.log, timings.format
+        timings.extract,
+        timings.bucketize(),
+        timings.sigridhash(),
+        timings.log(),
+        timings.format
     );
 
     // 5. Inspect one sample end to end.
