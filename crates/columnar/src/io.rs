@@ -33,6 +33,7 @@
 //! host.
 
 use crate::error::Result;
+use crate::fault::{FaultInjector, FaultSite};
 use std::fs;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -380,13 +381,48 @@ impl ReadScratch {
 pub struct MemBlob {
     data: Arc<Vec<u8>>,
     device: Option<Arc<Device>>,
+    faults: Option<Arc<FaultSite>>,
 }
 
 impl MemBlob {
     /// Wraps a byte buffer.
     #[must_use]
     pub fn new(data: Vec<u8>) -> Self {
-        MemBlob { data: Arc::new(data), device: None }
+        MemBlob { data: Arc::new(data), device: None, faults: None }
+    }
+
+    /// Arms the blob against a shared [`FaultInjector`], keying injected
+    /// faults on `(device, partition)`. Every positioned read then passes
+    /// through the injector *before* any emulated-device gate, and — as
+    /// with [`MemBlob::behind_device`] — the zero-copy borrows are
+    /// disabled: a faulty medium exposes reads, not memory, so no decode
+    /// path can sidestep the injection. Clones share the arming (and the
+    /// per-partition read counter that makes injection deterministic).
+    #[must_use]
+    pub fn with_faults(
+        mut self,
+        injector: &Arc<FaultInjector>,
+        device: usize,
+        partition: usize,
+    ) -> Self {
+        self.faults = Some(Arc::new(FaultSite::new(Arc::clone(injector), device, partition)));
+        self
+    }
+
+    /// A clone of this blob with the fault arming removed: same bytes,
+    /// same emulated device (if any), pristine access path. This is the
+    /// failover primitive — an ISP engine dying does not destroy the
+    /// media, so the host fleet re-reads the partition through its own
+    /// (unarmed) block-I/O path and gets the stored bytes intact.
+    #[must_use]
+    pub fn without_faults(&self) -> Self {
+        MemBlob { data: Arc::clone(&self.data), device: self.device.clone(), faults: None }
+    }
+
+    /// The fault site this blob is armed with, when any.
+    #[must_use]
+    pub fn fault_site(&self) -> Option<&Arc<FaultSite>> {
+        self.faults.as_ref()
     }
 
     /// Places the blob behind an emulated storage device: every
@@ -456,6 +492,13 @@ impl BlobRead for MemBlob {
     }
 
     fn read_at_into(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        // Faults fire before the device gate: a read refused by the medium
+        // never occupies a device slot, and injected corruption touches the
+        // destination buffer only (stored bytes stay pristine).
+        let corrupt = match &self.faults {
+            Some(site) => site.intercept()?,
+            None => false,
+        };
         if let Some(device) = &self.device {
             sleep_until(device.admit());
         }
@@ -467,11 +510,14 @@ impl BlobRead for MemBlob {
             .filter(|&e| e <= self.data.len())
             .ok_or(crate::ColumnarError::UnexpectedEof { context: "blob range read" })?;
         buf.copy_from_slice(&self.data[start..end]);
+        if corrupt {
+            FaultSite::corrupt(buf);
+        }
         Ok(())
     }
 
     fn as_slice(&self) -> Option<&[u8]> {
-        if self.device.is_none() {
+        if self.device.is_none() && self.faults.is_none() {
             Some(&self.data)
         } else {
             None
@@ -479,7 +525,7 @@ impl BlobRead for MemBlob {
     }
 
     fn as_shared(&self) -> Option<Arc<Vec<u8>>> {
-        if self.device.is_none() {
+        if self.device.is_none() && self.faults.is_none() {
             Some(Arc::clone(&self.data))
         } else {
             None

@@ -77,6 +77,7 @@ pub mod column;
 pub mod compress;
 pub mod encoding;
 pub mod error;
+pub mod fault;
 pub mod file;
 pub mod io;
 pub mod page;
@@ -88,6 +89,7 @@ pub use buffer::{Buffer, PlainValue};
 pub use compress::Compression;
 pub use encoding::Encoding;
 pub use error::{ColumnarError, Result};
+pub use fault::{DeviceDeath, FaultInjector, FaultPlan, FaultSite, FaultStats, FaultyBlob};
 pub use file::{ChunkMeta, FileMeta, FileReader, FileWriter, RowGroupMeta, MAGIC, MAGIC_V2};
 pub use io::{
     BlobRead, CountingBlob, Device, DeviceModel, DeviceStats, FsBlob, MemBlob, ReadScratch,

@@ -26,15 +26,46 @@
 //! a consuming [`crate::pipeline::Trainer`] end to end exactly like the
 //! host CPU executor does — the ISP-vs-CPU comparison is measured at the
 //! trainer, not at a `Vec` drain.
+//!
+//! # Failure semantics
+//!
+//! [`stream_isp_workers_with`] takes a
+//! [`RetryPolicy`] governing the fleet's failure
+//! handling; [`stream_isp_workers`] keeps the legacy fail-fast behavior
+//! (first error poisons the run, fleet halts within one partition). Under a
+//! recovery policy:
+//!
+//! * Retryable errors (storage-side: I/O faults, CRC mismatches from
+//!   corrupt pages, truncated reads) are retried per partition with capped
+//!   exponential backoff; deterministic plan/schema errors surface
+//!   immediately.
+//! * Each ISP device carries a consecutive-failure circuit breaker. A
+//!   quarantined device's partitions — and any partition whose retry
+//!   budget a retryable error exhausts — **fail over to the host
+//!   preprocessing path** when the policy enables it: a dedicated failover
+//!   thread re-reads the partition through the host's independent block-I/O
+//!   path ([`presto_columnar::MemBlob::without_faults`] models the intact
+//!   media behind the dead accelerator/P2P link) and runs the *same*
+//!   compiled plan on the CPU. The graph runner is bit-identical on both
+//!   sides, so failover output provably equals the ISP output — the chaos
+//!   suite asserts this batch-for-batch.
+//! * Failed-over batches are tagged `via_failover` and skip P2P byte
+//!   accounting (no bytes crossed the dead link). Every claimed partition
+//!   ends as exactly one `Ok` batch or one provenance-tagged `Err`
+//!   ([`PreprocessError::At`](presto_ops::PreprocessError)); the
+//!   [`RunReport`] from
+//!   [`IspBatchStream::run_report`] accounts for all of them
+//!   (`delivered + failed_partitions == partitions`).
 
-use crossbeam_channel::{bounded, Receiver};
-use presto_columnar::{BlobRead, FileReader};
+use crossbeam_channel::{bounded, Receiver, Sender};
+use presto_columnar::{BlobRead, ColumnarError, FileReader};
 use presto_datagen::Partition;
 use presto_ops::executor::{extract_batch_from_reader, PreprocessError, StageTimings};
 use presto_ops::minibatch::MiniBatch;
 use presto_ops::plan::PreprocessPlan;
+use presto_ops::recovery::{RecoveryTracker, RetryPolicy, RunReport};
 use presto_ops::stream::StreamedBatch;
-use presto_ops::{preprocess_batch_owned_chunked, ScratchSpace};
+use presto_ops::{preprocess_batch_owned_chunked, preprocess_partition_with, ScratchSpace};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -182,6 +213,9 @@ struct IspShared {
     /// Next unclaimed partition (each ISP unit owns the partitions resident
     /// on it in a real deployment; the emulation claims them in order).
     cursor: AtomicUsize,
+    /// Recovery policy enforcement and bookkeeping (retries, quarantine,
+    /// failover, the event log behind [`RunReport`]).
+    tracker: RecoveryTracker,
     stop: AtomicBool,
     completed: AtomicUsize,
     p2p_bytes: AtomicU64,
@@ -189,7 +223,69 @@ struct IspShared {
     started: Instant,
 }
 
+impl IspShared {
+    /// Sends one finished batch to the consumer; returns false when the
+    /// consumer is gone.
+    fn deliver_ok(
+        &self,
+        tx: &Sender<IspItem>,
+        pos: usize,
+        batch: MiniBatch,
+        timings: StageTimings,
+        attempts: u32,
+        via_failover: bool,
+    ) -> bool {
+        let partition = &self.partitions[pos];
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.tracker.note_delivered(self.tracker.slot_of(partition.device), pos, via_failover);
+        let item = StreamedBatch {
+            partition: pos,
+            device: partition.device,
+            stolen: false,
+            batch,
+            timings,
+            // Delivery stamp: the supply process, unthrottled by the
+            // consumer (matches the host executor's semantics).
+            arrived: self.started.elapsed(),
+            attempts,
+            via_failover,
+        };
+        tx.send(Ok(item)).is_ok()
+    }
+
+    /// Surfaces one partition's error (tagged with its failure site) to
+    /// the consumer; returns false when the fleet should stop (fail-fast
+    /// policy or consumer gone).
+    fn deliver_err(&self, tx: &Sender<IspItem>, pos: usize, e: PreprocessError) -> bool {
+        let partition = &self.partitions[pos];
+        self.tracker.note_failed(self.tracker.slot_of(partition.device), pos);
+        let e = e.with_location(pos, partition.device);
+        if self.tracker.policy().fail_fast {
+            // Raise the stop flag before the (possibly blocking) send so
+            // sibling units halt within one partition.
+            self.stop.store(true, Ordering::Relaxed);
+            let _ = tx.send(Err(e));
+            false
+        } else {
+            tx.send(Err(e)).is_ok()
+        }
+    }
+}
+
 type IspItem = Result<StreamedBatch, PreprocessError>;
+
+/// Streams `partitions` through `workers` emulated ISP devices with the
+/// legacy fail-fast policy (first error poisons the run); see
+/// [`stream_isp_workers_with`] for recovery.
+#[must_use]
+pub fn stream_isp_workers(
+    plan: &PreprocessPlan,
+    partitions: &[Partition],
+    workers: usize,
+    capacity: usize,
+) -> IspBatchStream {
+    stream_isp_workers_with(plan, partitions, workers, capacity, &RetryPolicy::fail_fast())
+}
 
 /// Streams `partitions` through `workers` emulated ISP devices into a
 /// bounded channel — the in-storage counterpart of
@@ -199,71 +295,172 @@ type IspItem = Result<StreamedBatch, PreprocessError>;
 ///
 /// Each worker owns one [`IspWorker`] (decoder + generation/normalization
 /// units) and a recycled [`ScratchSpace`]; finished mini-batches flow
-/// through a `capacity`-bounded channel with producer back-pressure, and
-/// the first error stops the fleet within one partition.
+/// through a `capacity`-bounded channel with producer back-pressure.
+/// Failure handling follows `recovery` — see the module docs for the
+/// retry/quarantine/failover semantics.
 #[must_use]
-pub fn stream_isp_workers(
+pub fn stream_isp_workers_with(
     plan: &PreprocessPlan,
     partitions: &[Partition],
     workers: usize,
     capacity: usize,
+    recovery: &RetryPolicy,
 ) -> IspBatchStream {
     let workers = workers.max(1).min(partitions.len().max(1));
     let capacity = capacity.max(1);
+    let devices: Vec<usize> = partitions.iter().map(|p| p.device).collect();
     let shared = Arc::new(IspShared {
         plan: plan.clone(),
         partitions: partitions.to_vec(),
         cursor: AtomicUsize::new(0),
+        tracker: RecoveryTracker::new(recovery.clone(), &devices, partitions.len()),
         stop: AtomicBool::new(false),
         completed: AtomicUsize::new(0),
         p2p_bytes: AtomicU64::new(0),
         started: Instant::now(),
     });
     let (tx, rx) = bounded::<IspItem>(capacity);
-    let mut handles = Vec::with_capacity(workers);
+    // Failover queue: each partition is enqueued at most once, so the
+    // bound can never block a sender.
+    let (failover_tx, failover_rx) = bounded::<usize>(partitions.len().max(1));
+    let mut handles = Vec::with_capacity(workers + 1);
     for unit in 0..workers {
         let shared = Arc::clone(&shared);
         let tx = tx.clone();
+        let failover_tx = failover_tx.clone();
         let handle = std::thread::Builder::new()
             .name(format!("presto-isp-{unit}"))
-            .spawn(move || {
-                let worker = IspWorker::new(shared.plan.clone());
-                let mut scratch = ScratchSpace::new();
-                while !shared.stop.load(Ordering::Relaxed) {
-                    let pos = shared.cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(partition) = shared.partitions.get(pos) else { break };
-                    match worker.preprocess_with(partition.blob.clone(), &mut scratch) {
-                        Ok((batch, stats)) => {
-                            shared.completed.fetch_add(1, Ordering::Relaxed);
-                            shared.p2p_bytes.fetch_add(stats.p2p_bytes, Ordering::Relaxed);
-                            let item = StreamedBatch {
-                                partition: pos,
-                                device: partition.device,
-                                stolen: false,
-                                batch,
-                                timings: StageTimings::default(),
-                                // Delivery stamp: the supply process,
-                                // unthrottled by the consumer (matches
-                                // the host executor's semantics).
-                                arrived: shared.started.elapsed(),
-                            };
-                            if tx.send(Ok(item)).is_err() {
-                                break;
-                            }
-                        }
-                        Err(e) => {
-                            shared.stop.store(true, Ordering::Relaxed);
-                            let _ = tx.send(Err(e));
-                            break;
-                        }
-                    }
-                }
-            })
+            .spawn(move || isp_unit_loop(&shared, &tx, &failover_tx))
             .expect("spawn isp worker");
         handles.push(handle);
     }
+    {
+        let shared = Arc::clone(&shared);
+        let tx = tx.clone();
+        let handle = std::thread::Builder::new()
+            .name("presto-isp-failover".into())
+            .spawn(move || host_failover_loop(&shared, &tx, &failover_rx))
+            .expect("spawn isp failover worker");
+        handles.push(handle);
+    }
     drop(tx);
+    drop(failover_tx); // unit clones are now the only failover senders
     IspBatchStream { rx: Some(rx), handles, shared, workers, capacity }
+}
+
+/// One ISP unit's body: claim partitions off the global cursor, run the
+/// in-storage pipeline with the policy's retry loop, and route failures to
+/// retry, failover, or the consumer.
+fn isp_unit_loop(shared: &IspShared, tx: &Sender<IspItem>, failover_tx: &Sender<usize>) {
+    let worker = IspWorker::new(shared.plan.clone());
+    let mut scratch = ScratchSpace::new();
+    let policy = shared.tracker.policy().clone();
+    while !shared.stop.load(Ordering::Relaxed) {
+        let pos = shared.cursor.fetch_add(1, Ordering::Relaxed);
+        let Some(partition) = shared.partitions.get(pos) else { break };
+        let slot = shared.tracker.slot_of(partition.device);
+
+        // Circuit open: don't even attempt the device. Fail over when the
+        // policy allows, otherwise surface a tagged error — never silence.
+        if shared.tracker.is_quarantined(slot) {
+            if policy.failover {
+                shared.tracker.note_failover(slot, pos);
+                if failover_tx.send(pos).is_err() {
+                    break;
+                }
+                continue;
+            }
+            let e = PreprocessError::Extract(ColumnarError::Io {
+                detail: format!(
+                    "ISP device {} quarantined (circuit breaker open)",
+                    partition.device
+                ),
+            });
+            if !shared.deliver_err(tx, pos, e) {
+                break;
+            }
+            continue;
+        }
+
+        // Attempt loop: retry retryable errors with capped exponential
+        // backoff until the budget, the breaker, or the stop flag says
+        // otherwise.
+        let mut attempt = 1u32;
+        let outcome = loop {
+            let t0 = Instant::now();
+            let result = worker.preprocess_with(partition.blob.clone(), &mut scratch);
+            shared.tracker.check_straggler(slot, pos, t0.elapsed());
+            match result {
+                Ok(ok) => break Ok((ok, attempt)),
+                Err(e) => {
+                    shared.tracker.note_fault(slot, pos);
+                    let retry = e.is_retryable()
+                        && attempt < policy.max_attempts
+                        && !shared.tracker.is_quarantined(slot)
+                        && !shared.stop.load(Ordering::Relaxed);
+                    if !retry {
+                        break Err(e);
+                    }
+                    attempt += 1;
+                    let backoff = shared.tracker.note_retry(slot, pos, attempt);
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                }
+            }
+        };
+
+        match outcome {
+            Ok(((batch, stats), attempts)) => {
+                shared.p2p_bytes.fetch_add(stats.p2p_bytes, Ordering::Relaxed);
+                if !shared.deliver_ok(tx, pos, batch, StageTimings::default(), attempts, false) {
+                    break;
+                }
+            }
+            // A retryable error that survived the retry loop means the
+            // device (or its link) is gone for this partition; the media
+            // behind it is intact, so the host path can still serve it.
+            Err(e) if e.is_retryable() && policy.failover => {
+                shared.tracker.note_failover(slot, pos);
+                if failover_tx.send(pos).is_err() {
+                    break;
+                }
+            }
+            Err(e) => {
+                if !shared.deliver_err(tx, pos, e) {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// The host-path failover body: partitions whose ISP device died are
+/// re-read through the host's independent block-I/O path (pristine media —
+/// [`presto_columnar::MemBlob::without_faults`]) and preprocessed on the
+/// CPU with the same compiled plan. Output is bit-identical to the ISP
+/// path by construction; no P2P bytes are counted (nothing crossed the
+/// dead link). Exits when every unit has dropped its failover sender.
+fn host_failover_loop(shared: &IspShared, tx: &Sender<IspItem>, failover_rx: &Receiver<usize>) {
+    let mut scratch = ScratchSpace::new();
+    while let Ok(pos) = failover_rx.recv() {
+        if shared.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let blob = shared.partitions[pos].blob.without_faults();
+        match preprocess_partition_with(&shared.plan, blob, &mut scratch) {
+            Ok((batch, timings)) => {
+                if !shared.deliver_ok(tx, pos, batch, timings, 1, true) {
+                    break;
+                }
+            }
+            Err(e) => {
+                if !shared.deliver_err(tx, pos, e) {
+                    break;
+                }
+            }
+        }
+    }
 }
 
 /// The consumer's end of a streaming ISP run: an iterator of
@@ -300,9 +497,20 @@ impl IspBatchStream {
     }
 
     /// Bytes moved over the emulated P2P links so far, summed across units.
+    /// Failed-over partitions contribute nothing: their bytes moved over
+    /// the host's block-I/O path, not a P2P link.
     #[must_use]
     pub fn p2p_bytes(&self) -> u64 {
         self.shared.p2p_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Recovery-activity snapshot ([`RunReport`]: retries, failovers,
+    /// quarantines, per-device fault counts, delivery timeline). Final
+    /// once the stream is drained; callable mid-stream for live
+    /// monitoring.
+    #[must_use]
+    pub fn run_report(&self) -> RunReport {
+        self.shared.tracker.report()
     }
 
     fn join_workers(&mut self) {
@@ -350,6 +558,10 @@ impl BatchSource for IspBatchStream {
 
     fn queued(&self) -> usize {
         self.rx.as_ref().map_or(0, Receiver::len)
+    }
+
+    fn run_report(&self) -> Option<RunReport> {
+        Some(IspBatchStream::run_report(self))
     }
 }
 
@@ -507,6 +719,105 @@ mod tests {
         }
         assert_eq!((ok, errors), (1, 1));
         assert_eq!(stream.completed(), 1, "fleet halts within one partition");
+    }
+
+    #[test]
+    fn dead_isp_device_fails_over_to_host_with_identical_output() {
+        let mut c = RmConfig::rm1();
+        c.batch_size = 32;
+        let plan = PreprocessPlan::from_config(&c, 11).expect("plan");
+        let ds = presto_datagen::Dataset::generate(&c, 8, 32, 2, 9).expect("dataset");
+        let serial: Vec<MiniBatch> = ds
+            .partitions()
+            .iter()
+            .map(|p| preprocess_partition(&plan, p.blob.clone()).unwrap().0)
+            .collect();
+        // ISP device 1 is dead on arrival; device 0 stays healthy.
+        let injector = presto_columnar::FaultPlan::new(3).with_device_death(1, 0).arm();
+        let partitions: Vec<Partition> = ds
+            .partitions()
+            .iter()
+            .map(|p| Partition {
+                index: p.index,
+                device: p.device,
+                rows: p.rows,
+                blob: p.blob.clone().with_faults(&injector, p.device, p.index),
+            })
+            .collect();
+        let recovery = presto_ops::RetryPolicy::recover()
+            .with_max_attempts(2)
+            .with_backoff(std::time::Duration::ZERO, std::time::Duration::ZERO)
+            .with_quarantine_after(2);
+        let mut stream = stream_isp_workers_with(&plan, &partitions, 2, 4, &recovery);
+        let mut got: Vec<(usize, MiniBatch, bool)> = Vec::new();
+        for item in stream.by_ref() {
+            let b = item.expect("every partition must deliver (failover covers device 1)");
+            got.push((b.partition, b.batch, b.via_failover));
+        }
+        let report = stream.run_report();
+        got.sort_by_key(|(p, _, _)| *p);
+        assert_eq!(got.len(), 8, "no partition lost");
+        for (pos, batch, _) in &got {
+            assert_eq!(batch, &serial[*pos], "partition {pos} must be bit-identical");
+        }
+        assert!(
+            got.iter().any(|(_, _, via)| *via),
+            "dead-device partitions must arrive via failover"
+        );
+        assert!(report.failovers > 0, "report must record the failovers");
+        assert!(report.quarantined.contains(&1), "device 1 must be quarantined");
+        assert!(report.failed_partitions.is_empty());
+        assert_eq!(report.delivered, 8);
+        // Failover batches moved no P2P bytes; healthy ones did.
+        assert!(stream.p2p_bytes() > 0);
+    }
+
+    #[test]
+    fn quarantine_without_failover_surfaces_tagged_errors_not_silence() {
+        let mut c = RmConfig::rm1();
+        c.batch_size = 24;
+        let plan = PreprocessPlan::from_config(&c, 11).expect("plan");
+        let ds = presto_datagen::Dataset::generate(&c, 6, 24, 2, 13).expect("dataset");
+        let injector = presto_columnar::FaultPlan::new(4).with_device_death(0, 0).arm();
+        let partitions: Vec<Partition> = ds
+            .partitions()
+            .iter()
+            .map(|p| Partition {
+                index: p.index,
+                device: p.device,
+                rows: p.rows,
+                blob: p.blob.clone().with_faults(&injector, p.device, p.index),
+            })
+            .collect();
+        let recovery = presto_ops::RetryPolicy::recover()
+            .with_max_attempts(2)
+            .with_backoff(std::time::Duration::ZERO, std::time::Duration::ZERO)
+            .with_quarantine_after(2)
+            .with_failover(false);
+        let mut stream = stream_isp_workers_with(&plan, &partitions, 2, 4, &recovery);
+        let mut ok = 0usize;
+        let mut failed: Vec<usize> = Vec::new();
+        for item in stream.by_ref() {
+            match item {
+                Ok(b) => {
+                    assert_ne!(b.device, 0, "dead device cannot deliver");
+                    ok += 1;
+                }
+                Err(e) => {
+                    assert_eq!(e.device(), Some(0), "error names the dead device");
+                    failed.push(e.partition().expect("provenance"));
+                }
+            }
+        }
+        let report = stream.run_report();
+        let on_dead = partitions.iter().filter(|p| p.device == 0).count();
+        assert_eq!(ok, 6 - on_dead);
+        assert_eq!(failed.len(), on_dead, "every dead partition fails loudly");
+        assert_eq!(
+            report.delivered as usize + report.failed_partitions.len(),
+            report.partitions,
+            "quarantine never drops a partition silently"
+        );
     }
 
     #[test]

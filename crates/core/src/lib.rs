@@ -43,7 +43,9 @@ pub mod systems;
 pub use datacenter::{analyze as analyze_contention, ContentionReport, Fabric, FleetKind};
 pub use experiments::{isp_vs_cpu_end_to_end, EndToEndPoint};
 pub use failure::{simulate_with_failures, FailureEvent, FaultyRunReport, RecoveryPolicy};
-pub use isp_worker::{stream_isp_workers, IspBatchStream, IspRunStats, IspWorker};
+pub use isp_worker::{
+    stream_isp_workers, stream_isp_workers_with, IspBatchStream, IspRunStats, IspWorker,
+};
 pub use managers::{Backend, EndToEndReport, PreprocessManager, TrainManager, TrainingJob};
 pub use pipeline::{
     simulate, simulate_measured, BatchSource, PipelineConfig, PipelineReport, Trainer,

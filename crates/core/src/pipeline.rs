@@ -30,6 +30,7 @@ use presto_hwsim::event::EventQueue;
 use presto_hwsim::gpu::GpuTrainModel;
 use presto_hwsim::units::Secs;
 use presto_ops::executor::PreprocessError;
+use presto_ops::recovery::RunReport;
 use presto_ops::stream::{inter_arrivals, BatchStream, StreamedBatch};
 use std::time::{Duration, Instant};
 
@@ -392,6 +393,10 @@ pub struct TrainerReport {
     /// Measured consumer-side inter-arrival gaps, ready to replay through
     /// [`simulate_measured`] (per-RM-model calibration).
     pub inter_arrivals: Vec<Duration>,
+    /// The producer fleet's recovery activity (retries, failovers,
+    /// quarantines, per-device fault counts), when the source reports it.
+    /// `None` for sources without recovery instrumentation.
+    pub recovery: Option<RunReport>,
 }
 
 impl TrainerReport {
@@ -446,6 +451,12 @@ pub trait BatchSource {
 
     /// Mini-batches currently buffered in the output channel.
     fn queued(&self) -> usize;
+
+    /// The fleet's recovery-activity snapshot, when the source tracks one
+    /// (both streaming executors do; defaults to `None`).
+    fn run_report(&self) -> Option<RunReport> {
+        None
+    }
 }
 
 impl BatchSource for BatchStream {
@@ -459,6 +470,10 @@ impl BatchSource for BatchStream {
 
     fn queued(&self) -> usize {
         BatchStream::queued(self)
+    }
+
+    fn run_report(&self) -> Option<RunReport> {
+        Some(BatchStream::run_report(self))
     }
 }
 
@@ -516,6 +531,9 @@ impl Trainer {
         }
         let elapsed = start.elapsed();
         let busy = compute + stall;
+        // Snapshot the fleet's recovery activity before the source drops
+        // (final: every producer has delivered or failed by now).
+        let recovery = source.run_report();
         Ok(TrainerReport {
             batches,
             rows,
@@ -530,6 +548,7 @@ impl Trainer {
             },
             occupancy,
             inter_arrivals: inter_arrivals(&arrivals),
+            recovery,
         })
     }
 }
@@ -796,6 +815,7 @@ mod tests {
             utilization: 0.0,
             occupancy: vec![2, 0, 2],
             inter_arrivals: Vec::new(),
+            recovery: None,
         };
         assert!((report.mean_occupancy() - 1.0).abs() < 1e-12);
         assert!((report.stall_share() - 1.0).abs() < 1e-12);

@@ -73,6 +73,20 @@ pub enum PreprocessError {
         /// Human-readable description.
         detail: String,
     },
+    /// An error annotated with where it happened: the failing partition and
+    /// the device it lived on. The streaming executors wrap every surfaced
+    /// error this way, so a Trainer draining a many-device fleet can tell
+    /// *which* device failed without parsing error strings. Inspect with
+    /// [`PreprocessError::partition`] / [`PreprocessError::device`] and
+    /// unwrap with [`PreprocessError::root`].
+    At {
+        /// Index of the partition whose processing failed.
+        partition: usize,
+        /// Device id the partition was resident on.
+        device: usize,
+        /// The underlying error.
+        source: Box<PreprocessError>,
+    },
 }
 
 impl fmt::Display for PreprocessError {
@@ -84,6 +98,9 @@ impl fmt::Display for PreprocessError {
             }
             PreprocessError::Shape(e) => write!(f, "format conversion failed: {e}"),
             PreprocessError::Plan { detail } => write!(f, "compiled plan violated: {detail}"),
+            PreprocessError::At { partition, device, source } => {
+                write!(f, "partition {partition} (device {device}): {source}")
+            }
         }
     }
 }
@@ -93,8 +110,59 @@ impl std::error::Error for PreprocessError {
         match self {
             PreprocessError::Extract(e) => Some(e),
             PreprocessError::Shape(e) => Some(e),
+            PreprocessError::At { source, .. } => Some(source),
             PreprocessError::BadColumn { .. } | PreprocessError::Plan { .. } => None,
         }
+    }
+}
+
+impl PreprocessError {
+    /// Annotates the error with its failure site. Re-annotating an already
+    /// located error updates the location instead of nesting.
+    #[must_use]
+    pub fn with_location(self, partition: usize, device: usize) -> Self {
+        match self {
+            PreprocessError::At { source, .. } => PreprocessError::At { partition, device, source },
+            other => PreprocessError::At { partition, device, source: Box::new(other) },
+        }
+    }
+
+    /// The failing partition, when the error carries provenance.
+    #[must_use]
+    pub fn partition(&self) -> Option<usize> {
+        match self {
+            PreprocessError::At { partition, .. } => Some(*partition),
+            _ => None,
+        }
+    }
+
+    /// The failing device id, when the error carries provenance.
+    #[must_use]
+    pub fn device(&self) -> Option<usize> {
+        match self {
+            PreprocessError::At { device, .. } => Some(*device),
+            _ => None,
+        }
+    }
+
+    /// The underlying error with any location annotation stripped.
+    #[must_use]
+    pub fn root(&self) -> &PreprocessError {
+        match self {
+            PreprocessError::At { source, .. } => source.root(),
+            other => other,
+        }
+    }
+
+    /// Whether retrying the partition could plausibly succeed. Storage-side
+    /// failures ([`PreprocessError::Extract`]: I/O errors, checksum
+    /// mismatches from corrupt pages, truncated reads) are retryable —
+    /// transient faults clear and corruption is re-read from pristine
+    /// media. Plan/schema/shape errors are deterministic properties of the
+    /// input and fail identically on every attempt.
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        matches!(self.root(), PreprocessError::Extract(_))
     }
 }
 

@@ -70,6 +70,7 @@ pub mod minibatch;
 pub mod op;
 pub mod parallel;
 pub mod plan;
+pub mod recovery;
 pub mod sigridhash;
 pub mod stream;
 
@@ -86,6 +87,9 @@ pub use minibatch::{DenseMatrix, JaggedFeature, MiniBatch, ShapeError};
 pub use op::{firstx_into, ngram_into, IdMap, Op, OpTag, ValueKind};
 pub use parallel::{run_workers, run_workers_materialized, ParallelReport};
 pub use plan::{CompiledStage, PreprocessPlan, StageInput};
+pub use recovery::{
+    DeviceHealth, RecoveryEvent, RecoveryEventKind, RecoveryTracker, RetryPolicy, RunReport,
+};
 pub use sigridhash::{InvalidMaxValueError, SigridHasher};
 pub use stream::{
     inter_arrivals, stream_workers, stream_workers_with, BatchStream, DeviceLoad,

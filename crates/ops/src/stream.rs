@@ -31,10 +31,42 @@
 //!   home queue drains. Per-device in-flight counters record contention
 //!   when workers outnumber devices (see [`DeviceLoad`]).
 //!
-//! Failure semantics: the first worker error is forwarded into the stream
-//! as an `Err` item, the shared stop flag halts every producer within one
-//! partition, and dropping the stream (even with a full channel) drains and
-//! joins the workers — no deadlock, verified by tests.
+//! # Failure semantics
+//!
+//! Every surfaced error carries provenance — it is wrapped as
+//! [`PreprocessError::At`] with the failing partition index and device id —
+//! so a consumer draining a many-device fleet can tell *which* device
+//! failed without string parsing. What happens next is governed by the
+//! [`RetryPolicy`] in [`StreamConfig::recovery`]:
+//!
+//! * **Fail-fast** (the default, [`RetryPolicy::fail_fast`]): the first
+//!   worker error is forwarded into the stream as an `Err` item and the
+//!   shared stop flag halts every producer within one partition — the
+//!   original semantics, unchanged.
+//! * **Recovery** ([`RetryPolicy::recover`] or any custom policy): a failed
+//!   Extract attempt is retried up to [`RetryPolicy::max_attempts`] times
+//!   with capped exponential backoff, but only when the error is
+//!   *retryable* ([`PreprocessError::is_retryable`]: storage-side faults —
+//!   I/O errors, CRC mismatches from corrupt pages, truncated reads).
+//!   Deterministic plan/schema/shape errors surface immediately. Each
+//!   device carries a consecutive-failure circuit breaker
+//!   ([`RetryPolicy::quarantine_after`]): once tripped, workers stop
+//!   claiming attempts against the device and its remaining partitions
+//!   surface tagged errors instead of hanging the fleet — the host fleet
+//!   *is* the fallback path, so a dead host-visible device has nowhere to
+//!   fail over to (the ISP fleet in `presto_core::isp_worker` does fail
+//!   over, to this path). Attempts that outrun
+//!   [`RetryPolicy::straggler_deadline`] are counted post-hoc. With
+//!   `fail_fast: false` the fleet keeps streaming past per-partition
+//!   errors; every claimed partition ends as exactly one `Ok` batch or one
+//!   tagged `Err` — nothing is dropped silently, which
+//!   [`BatchStream::run_report`]'s accounting
+//!   (`delivered + failed_partitions == partitions`) makes checkable.
+//!
+//! Dropping the stream (even with a full channel) stops and joins the
+//! workers — no deadlock, verified by tests. [`BatchStream::run_report`]
+//! snapshots the run's recovery activity ([`RunReport`]: retries,
+//! quarantines, per-device fault counts, delivery timeline).
 //!
 //! [`run_workers`](crate::run_workers) is now a thin "drain the stream into
 //! a `Vec`" wrapper over this module, bit-identical to serial execution.
@@ -44,8 +76,9 @@ use crate::executor::{
 };
 use crate::minibatch::MiniBatch;
 use crate::plan::PreprocessPlan;
+use crate::recovery::{RecoveryTracker, RetryPolicy, RunReport};
 use crossbeam_channel::{bounded, Receiver, Sender};
-use presto_columnar::ReadScratch;
+use presto_columnar::{ColumnarError, ReadScratch};
 use presto_datagen::{Partition, RowBatch};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -65,19 +98,30 @@ pub struct StreamConfig {
     /// one (one prefetch thread per worker, double-buffered at the batch
     /// level through a one-slot hand-off channel).
     pub prefetch: bool,
+    /// Failure handling (retry, quarantine, straggler detection); defaults
+    /// to [`RetryPolicy::fail_fast`], the original semantics.
+    pub recovery: RetryPolicy,
 }
 
 impl StreamConfig {
-    /// `workers` pipelines over a `capacity`-bounded channel, prefetch on.
+    /// `workers` pipelines over a `capacity`-bounded channel, prefetch on,
+    /// fail-fast failure handling.
     #[must_use]
     pub fn new(workers: usize, capacity: usize) -> Self {
-        StreamConfig { workers, capacity, prefetch: true }
+        StreamConfig { workers, capacity, prefetch: true, recovery: RetryPolicy::fail_fast() }
     }
 
     /// Disables the Extract prefetch thread (ablation switch).
     #[must_use]
     pub fn without_prefetch(mut self) -> Self {
         self.prefetch = false;
+        self
+    }
+
+    /// Sets the failure-handling policy.
+    #[must_use]
+    pub fn with_recovery(mut self, recovery: RetryPolicy) -> Self {
+        self.recovery = recovery;
         self
     }
 }
@@ -106,6 +150,12 @@ pub struct StreamedBatch {
     /// the consumer's own pacing into the trace and make the calibration
     /// tautological.
     pub arrived: Duration,
+    /// Extract attempts this batch took (1 = first try succeeded).
+    pub attempts: u32,
+    /// True when the batch was produced by the host failover path after
+    /// its home ISP device was quarantined (always false on the host
+    /// fleet, which is the fallback path).
+    pub via_failover: bool,
 }
 
 /// Load observed on one storage device during a streaming run.
@@ -219,8 +269,11 @@ struct SharedRun {
     plan: PreprocessPlan,
     partitions: Vec<Partition>,
     queues: DeviceQueues,
-    /// Raised on the first error (and on consumer drop); producers observe
-    /// it between partitions.
+    /// Recovery policy enforcement and bookkeeping (retries, quarantine,
+    /// stragglers, the event log behind [`RunReport`]).
+    tracker: RecoveryTracker,
+    /// Raised on a fail-fast error (and on consumer drop); producers
+    /// observe it between partitions.
     stop: AtomicBool,
     /// Partitions fully preprocessed (before channel delivery).
     completed: AtomicUsize,
@@ -257,10 +310,12 @@ pub fn stream_workers_with(
 ) -> BatchStream {
     let workers = config.workers.max(1).min(partitions.len().max(1));
     let capacity = config.capacity.max(1);
+    let devices: Vec<usize> = partitions.iter().map(|p| p.device).collect();
     let shared = Arc::new(SharedRun {
         plan: plan.clone(),
         partitions: partitions.to_vec(),
         queues: DeviceQueues::new(partitions),
+        tracker: RecoveryTracker::new(config.recovery.clone(), &devices, partitions.len()),
         stop: AtomicBool::new(false),
         completed: AtomicUsize::new(0),
         started: Instant::now(),
@@ -304,9 +359,64 @@ fn spawn_named(name: String, body: impl FnOnce() + Send + 'static) -> JoinHandle
 struct StagedExtract {
     batch: RowBatch,
     extract: Duration,
+    attempts: u32,
 }
 
-/// Prefetcher body: claim → Extract → hand off.
+/// The tagged error a partition gets when its device is already
+/// quarantined at claim time: no attempt is made, but the partition is
+/// never dropped silently.
+fn quarantined_error(device: usize) -> PreprocessError {
+    PreprocessError::Extract(ColumnarError::Io {
+        detail: format!("device {device} quarantined (circuit breaker open)"),
+    })
+}
+
+/// Runs the Extract attempt loop for one claimed partition: retry with
+/// capped exponential backoff on retryable errors, straggler accounting
+/// per attempt, and a consecutive-failure circuit breaker per device.
+/// Returns the extraction result plus the number of attempts consumed.
+///
+/// Retries stop when the error is non-retryable, the attempt budget is
+/// exhausted, the device trips (or already tripped) quarantine, or the
+/// fleet is stopping.
+fn attempt_extract(
+    shared: &SharedRun,
+    claim: Claim,
+    scratch: &mut ReadScratch,
+) -> (Result<(RowBatch, Duration), PreprocessError>, u32) {
+    let partition = &shared.partitions[claim.pos];
+    let slot = shared.tracker.slot_of(partition.device);
+    if shared.tracker.is_quarantined(slot) {
+        return (Err(quarantined_error(partition.device)), 0);
+    }
+    let policy = shared.tracker.policy();
+    let mut attempt = 1u32;
+    loop {
+        let t0 = Instant::now();
+        let result = extract_partition_with(&shared.plan, partition.blob.clone(), scratch);
+        shared.tracker.check_straggler(slot, claim.pos, t0.elapsed());
+        match result {
+            Ok(extracted) => return (Ok(extracted), attempt),
+            Err(e) => {
+                shared.tracker.note_fault(slot, claim.pos);
+                let retry = e.is_retryable()
+                    && attempt < policy.max_attempts
+                    && !shared.tracker.is_quarantined(slot)
+                    && !shared.stop.load(Ordering::Relaxed);
+                if !retry {
+                    return (Err(e), attempt);
+                }
+                attempt += 1;
+                let backoff = shared.tracker.note_retry(slot, claim.pos, attempt);
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+            }
+        }
+    }
+}
+
+/// Prefetcher body: claim → Extract (with retries) → hand off.
 ///
 /// The double buffering is at the *batch* level: the one-slot `stage_tx`
 /// holds one fully extracted (owned) batch while this thread reads the
@@ -323,13 +433,15 @@ fn prefetch_loop(
         let mut scratch = ReadScratch::new();
         while !shared.stop.load(Ordering::Relaxed) {
             let Some(claim) = shared.queues.claim(home) else { break };
-            let blob = shared.partitions[claim.pos].blob.clone();
-            let result = extract_partition_with(&shared.plan, blob, &mut scratch)
-                .map(|(batch, extract)| StagedExtract { batch, extract });
+            let (extracted, attempts) = attempt_extract(&shared, claim, &mut scratch);
+            let result =
+                extracted.map(|(batch, extract)| StagedExtract { batch, extract, attempts });
             // The device is done with this partition once Extract returns.
             shared.queues.release(claim);
             let failed = result.is_err();
-            if stage_tx.send((claim, result)).is_err() || failed {
+            if stage_tx.send((claim, result)).is_err()
+                || (failed && shared.tracker.policy().fail_fast)
+            {
                 break;
             }
         }
@@ -345,12 +457,14 @@ fn transform_loop(
 ) -> impl FnOnce() + Send + 'static {
     move || {
         while let Ok((claim, staged)) = stage_rx.recv() {
+            let mut attempts = 0u32;
             let produced = staged.and_then(|s| {
+                attempts = s.attempts;
                 let (batch, mut timings) = preprocess_batch_owned(&shared.plan, s.batch)?;
                 timings.extract = s.extract;
                 Ok((batch, timings))
             });
-            if !deliver(&shared, &tx, claim, produced) {
+            if !deliver(&shared, &tx, claim, produced, attempts.max(1)) {
                 break;
             }
         }
@@ -367,18 +481,17 @@ fn fused_loop(
         let mut scratch = ScratchSpace::new();
         while !shared.stop.load(Ordering::Relaxed) {
             let Some(claim) = shared.queues.claim(home) else { break };
-            let blob = shared.partitions[claim.pos].blob.clone();
             // Same split as the prefetch pipeline (Extract, then owned
             // Transform) so the device in-flight window means the same
             // thing in both modes.
-            let extracted = extract_partition_with(&shared.plan, blob, scratch.read_scratch());
+            let (extracted, attempts) = attempt_extract(&shared, claim, scratch.read_scratch());
             shared.queues.release(claim);
             let produced = extracted.and_then(|(batch, extract)| {
                 let (mb, mut timings) = preprocess_batch_owned(&shared.plan, batch)?;
                 timings.extract = extract;
                 Ok((mb, timings))
             });
-            if !deliver(&shared, &tx, claim, produced) {
+            if !deliver(&shared, &tx, claim, produced, attempts.max(1)) {
                 break;
             }
         }
@@ -386,18 +499,22 @@ fn fused_loop(
 }
 
 /// Forwards the result to the consumer; returns false when the worker
-/// should stop (error produced or consumer gone). The device claim has
-/// already been released at the end of Extract.
+/// should stop (fail-fast error produced or consumer gone). The device
+/// claim has already been released at the end of Extract. Every error is
+/// tagged with its failure site ([`PreprocessError::At`]) before delivery.
 fn deliver(
     shared: &SharedRun,
     tx: &Sender<StreamItem>,
     claim: Claim,
     produced: Result<(MiniBatch, StageTimings), PreprocessError>,
+    attempts: u32,
 ) -> bool {
+    let partition = &shared.partitions[claim.pos];
+    let slot = shared.tracker.slot_of(partition.device);
     match produced {
         Ok((batch, timings)) => {
             shared.completed.fetch_add(1, Ordering::Relaxed);
-            let partition = &shared.partitions[claim.pos];
+            shared.tracker.note_delivered(slot, claim.pos, false);
             let item = StreamedBatch {
                 partition: claim.pos,
                 device: partition.device,
@@ -407,16 +524,26 @@ fn deliver(
                 // Stamped at delivery (before a possibly blocking send):
                 // the supply process, unthrottled by the consumer.
                 arrived: shared.started.elapsed(),
+                attempts,
+                via_failover: false,
             };
             tx.send(Ok(item)).is_ok()
         }
         Err(e) => {
-            // Raise the stop flag *before* blocking on the (possibly full)
-            // channel, so sibling producers halt within one partition even
-            // if the consumer is slow.
-            shared.stop.store(true, Ordering::Relaxed);
-            let _ = tx.send(Err(e));
-            false
+            shared.tracker.note_failed(slot, claim.pos);
+            let e = e.with_location(claim.pos, partition.device);
+            if shared.tracker.policy().fail_fast {
+                // Raise the stop flag *before* blocking on the (possibly
+                // full) channel, so sibling producers halt within one
+                // partition even if the consumer is slow.
+                shared.stop.store(true, Ordering::Relaxed);
+                let _ = tx.send(Err(e));
+                false
+            } else {
+                // Graceful degradation: surface this partition's error
+                // inline and keep streaming the rest.
+                tx.send(Err(e)).is_ok()
+            }
         }
     }
 }
@@ -491,8 +618,31 @@ impl BatchStream {
         self.shared.queues.report()
     }
 
+    /// Recovery-activity snapshot ([`RunReport`]: retries, quarantines,
+    /// per-device fault counts, delivery timeline). Final once the stream
+    /// is drained; callable mid-stream for live monitoring.
+    #[must_use]
+    pub fn run_report(&self) -> RunReport {
+        self.shared.tracker.report()
+    }
+
     /// Adapts the stream to yield batches in partition order, buffering
     /// out-of-order arrivals; output is bit-identical to serial execution.
+    ///
+    /// # Semantics after a mid-stream error
+    ///
+    /// Errors are **not** reordered: an `Err` item is yielded as soon as
+    /// the underlying stream produces it, ahead of any buffered
+    /// out-of-order batches. Under the fail-fast policy this means every
+    /// batch of a partition index *below* the failed one that completed
+    /// before the stop is still delivered in order, the error is surfaced
+    /// exactly once, and iteration then ends after flushing stragglers —
+    /// even with a full (capacity-1) output channel, since dropping or
+    /// draining the inner stream disconnects the channel before joining
+    /// workers. Under a `fail_fast: false` policy the error is yielded
+    /// inline and ordered iteration continues; the failed partition index
+    /// is simply skipped by the order cursor when its turn comes (it can
+    /// never arrive), which the flush path handles.
     #[must_use]
     pub fn into_ordered(self) -> OrderedBatchStream {
         OrderedBatchStream { inner: self, next_index: 0, pending: BinaryHeap::new() }
@@ -676,7 +826,7 @@ mod tests {
         let stream = stream_workers_with(
             &plan,
             ds.partitions(),
-            &StreamConfig { workers: 1, capacity: 8, prefetch: false },
+            &StreamConfig::new(1, 8).without_prefetch(),
         );
         let mut stolen = 0usize;
         let mut total = 0usize;
@@ -756,7 +906,9 @@ mod tests {
                     ok += 1;
                 }
                 Err(e) => {
-                    assert!(matches!(e, PreprocessError::Extract(_)), "{e}");
+                    assert!(matches!(e.root(), PreprocessError::Extract(_)), "{e}");
+                    assert_eq!(e.partition(), Some(2), "error carries the failing partition");
+                    assert_eq!(e.device(), Some(partitions[2].device), "and its device");
                     errors += 1;
                 }
             }
@@ -825,6 +977,147 @@ mod tests {
         // and producers blocked mid-send.
         let _ = stream.next().unwrap().unwrap();
         drop(stream); // must join every worker without hanging
+    }
+
+    #[test]
+    fn ordered_stream_after_midrun_error_delivers_prefix_then_error_once() {
+        let (c, ds) = dataset(6, 16, 1);
+        let plan = PreprocessPlan::from_config(&c, 1).unwrap();
+        let mut partitions = ds.partitions().to_vec();
+        let bytes = partitions[3].blob.as_bytes().to_vec();
+        partitions[3].blob = presto_columnar::MemBlob::new(bytes[..bytes.len() / 2].to_vec());
+        // One worker, no prefetch, capacity 1 (the worst case for a
+        // deadlock): claims run 0, 1, 2, 3 deterministically.
+        let config = StreamConfig::new(1, 1).without_prefetch();
+        let mut delivered = Vec::new();
+        let mut errors = 0usize;
+        for item in stream_workers_with(&plan, &partitions, &config).into_ordered() {
+            match item {
+                Ok(b) => delivered.push(b.partition),
+                Err(e) => {
+                    errors += 1;
+                    assert_eq!(e.partition(), Some(3));
+                }
+            }
+        }
+        assert_eq!(delivered, vec![0, 1, 2], "prefix delivered in order");
+        assert_eq!(errors, 1, "error surfaced exactly once");
+    }
+
+    #[test]
+    fn transient_faults_are_retried_to_a_bit_identical_stream() {
+        let (c, ds) = dataset(6, 24, 2);
+        let plan = PreprocessPlan::from_config(&c, 1).unwrap();
+        let serial: Vec<MiniBatch> = ds
+            .partitions()
+            .iter()
+            .map(|p| crate::executor::preprocess_partition(&plan, p.blob.clone()).unwrap().0)
+            .collect();
+        // Arm every partition with a per-read transient fault rate low
+        // enough that a whole-partition attempt (~40 column reads) clears
+        // within the generous attempt budget — each retry consumes fresh
+        // read indices, so faults eventually miss. Quarantine off:
+        // host-fleet faults here are random across devices, not a dying
+        // device.
+        let injector = presto_columnar::FaultPlan::new(1234).with_transient_rate(0.1).arm();
+        let partitions: Vec<Partition> = ds
+            .partitions()
+            .iter()
+            .map(|p| Partition {
+                index: p.index,
+                device: p.device,
+                rows: p.rows,
+                blob: p.blob.clone().with_faults(&injector, p.device, p.index),
+            })
+            .collect();
+        let recovery = RetryPolicy::recover()
+            .with_max_attempts(2000)
+            .with_backoff(Duration::ZERO, Duration::ZERO)
+            .with_quarantine_after(0);
+        let config = StreamConfig::new(3, 2).with_recovery(recovery);
+        let mut s = stream_workers_with(&plan, &partitions, &config).into_ordered();
+        let streamed: Vec<MiniBatch> = s.by_ref().map(|i| i.unwrap().batch).collect();
+        let report = s.get_ref().run_report();
+        assert_eq!(streamed, serial, "recovered stream must be bit-identical");
+        assert!(injector.stats().transient > 0, "the plan must actually have injected faults");
+        assert_eq!(report.retries, report.faults, "every fault was retried");
+        assert!(report.retries > 0);
+        assert!(report.failed_partitions.is_empty());
+        assert_eq!(report.delivered, 6);
+    }
+
+    #[test]
+    fn corrupt_pages_are_caught_by_crc_and_retried_from_pristine_media() {
+        let (c, ds) = dataset(4, 16, 1);
+        let plan = PreprocessPlan::from_config(&c, 1).unwrap();
+        let injector = presto_columnar::FaultPlan::new(7).with_corrupt_rate(0.05).arm();
+        let partitions: Vec<Partition> = ds
+            .partitions()
+            .iter()
+            .map(|p| Partition {
+                index: p.index,
+                device: p.device,
+                rows: p.rows,
+                blob: p.blob.clone().with_faults(&injector, p.device, p.index),
+            })
+            .collect();
+        let recovery = RetryPolicy::recover()
+            .with_max_attempts(2000)
+            .with_backoff(Duration::ZERO, Duration::ZERO)
+            .with_quarantine_after(0);
+        let config = StreamConfig::new(2, 2).with_recovery(recovery);
+        let ok = stream_workers_with(&plan, &partitions, &config).filter(|i| i.is_ok()).count();
+        assert_eq!(ok, 4, "corruption is transient from pristine media: all must deliver");
+        assert!(injector.stats().corrupt > 0, "corruption must actually have been injected");
+    }
+
+    #[test]
+    fn dead_device_is_quarantined_and_its_partitions_fail_loudly() {
+        let (c, ds) = dataset(8, 16, 2);
+        let plan = PreprocessPlan::from_config(&c, 1).unwrap();
+        // Device 1 dies immediately; device 0 is healthy.
+        let injector = presto_columnar::FaultPlan::new(5).with_device_death(1, 0).arm();
+        let partitions: Vec<Partition> = ds
+            .partitions()
+            .iter()
+            .map(|p| Partition {
+                index: p.index,
+                device: p.device,
+                rows: p.rows,
+                blob: p.blob.clone().with_faults(&injector, p.device, p.index),
+            })
+            .collect();
+        let on_dead: Vec<usize> =
+            partitions.iter().filter(|p| p.device == 1).map(|p| p.index).collect();
+        let recovery = RetryPolicy::recover()
+            .with_max_attempts(2)
+            .with_backoff(Duration::ZERO, Duration::ZERO)
+            .with_quarantine_after(2);
+        let config = StreamConfig::new(2, 4).with_recovery(recovery);
+        let mut stream = stream_workers_with(&plan, &partitions, &config);
+        let mut ok = Vec::new();
+        let mut failed = Vec::new();
+        for item in stream.by_ref() {
+            match item {
+                Ok(b) => ok.push(b.partition),
+                Err(e) => failed.push(e.partition().expect("provenance")),
+            }
+        }
+        ok.sort_unstable();
+        failed.sort_unstable();
+        let healthy: Vec<usize> =
+            partitions.iter().filter(|p| p.device == 0).map(|p| p.index).collect();
+        assert_eq!(ok, healthy, "every healthy-device partition still delivers");
+        assert_eq!(failed, on_dead, "every dead-device partition fails loudly");
+        let report = stream.run_report();
+        let dead_slot = 1; // devices sorted distinct: [0, 1]
+        assert!(report.quarantined.contains(&dead_slot), "breaker must trip");
+        assert!(report.device_health[dead_slot].quarantined);
+        assert_eq!(
+            report.delivered as usize + report.failed_partitions.len(),
+            report.partitions,
+            "nothing dropped silently"
+        );
     }
 
     #[test]
