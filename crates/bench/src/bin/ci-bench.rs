@@ -14,6 +14,9 @@
 //! * `streaming_end_to_end_rows_per_sec` — the streaming executor feeding
 //!   the consuming trainer (`stream_workers` → `Trainer`), consumer-side
 //!   goodput.
+//! * `split_end_to_end_rows_per_sec` — the hybrid split-placement executor
+//!   (`stream_split_workers`: ISP stage prefix pipelined against the host
+//!   suffix at the cost-model boundary) feeding the same trainer.
 //!
 //! Writes the measurements to `BENCH_ci.json` (uploaded as a CI artifact),
 //! appends a per-metric delta table to `$GITHUB_STEP_SUMMARY` when that
@@ -35,8 +38,10 @@
 
 use presto_bench::{banner, parse_flat_json, print_table, render_flat_json};
 use presto_columnar::ReadScratch;
-use presto_core::{Trainer, TrainerConfig};
+use presto_core::placement::{place_stages, OpCostModel};
+use presto_core::{stream_split_workers, Trainer, TrainerConfig};
 use presto_datagen::{generate_batch, write_partition, Dataset, RmConfig};
+use presto_hwsim::fpga::IspModel;
 use presto_metrics::TextTable;
 use presto_ops::{
     extract_partition_with, preprocess_partition_with, stream_workers, PreprocessPlan, ScratchSpace,
@@ -102,6 +107,22 @@ fn streaming_end_to_end() -> f64 {
     })
 }
 
+fn split_end_to_end() -> f64 {
+    let mut config = RmConfig::rm1();
+    config.batch_size = 1024;
+    let plan = PreprocessPlan::from_config(&config, 1).expect("plan");
+    let model = OpCostModel::analytic(&IspModel::smartssd());
+    let placement = place_stages(&plan, 1024, &model);
+    let split = plan.split(&placement.fleet_assignment()).expect("splits");
+    let ds = Dataset::generate(&config, 8, 1024, 2, 7).expect("dataset");
+    let trainer = Trainer::new(TrainerConfig::instant());
+    best_of(3, || {
+        let stream = stream_split_workers(&plan, &split, ds.partitions(), 2, 2, 4);
+        let report = trainer.run(stream).expect("trains");
+        report.rows
+    })
+}
+
 /// Appends the per-metric delta table to the GitHub Actions job summary
 /// (`$GITHUB_STEP_SUMMARY`), so reviewers see the deltas without opening
 /// logs — including on green runs. No-op outside CI.
@@ -141,6 +162,7 @@ fn main() {
         ("extract_rm1_rows_per_sec".to_owned(), extract_rm1()),
         ("preprocess_partition_rm1_rows_per_sec".to_owned(), preprocess_partition_rm1()),
         ("streaming_end_to_end_rows_per_sec".to_owned(), streaming_end_to_end()),
+        ("split_end_to_end_rows_per_sec".to_owned(), split_end_to_end()),
     ];
     std::fs::write(OUTPUT_PATH, render_flat_json(&measured)).expect("write BENCH_ci.json");
     println!("wrote {OUTPUT_PATH}");

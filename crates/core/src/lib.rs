@@ -38,6 +38,7 @@ pub mod managers;
 pub mod pipeline;
 pub mod placement;
 pub mod provision;
+pub mod split;
 pub mod systems;
 
 pub use datacenter::{analyze as analyze_contention, ContentionReport, Fabric, FleetKind};
@@ -53,4 +54,5 @@ pub use pipeline::{
 };
 pub use placement::{place_stages, OpCostModel, Place, PlacementPlan, StagePlacement};
 pub use provision::Provisioner;
+pub use split::{stream_split_workers, stream_split_workers_with, SplitBatchStream};
 pub use systems::System;

@@ -64,6 +64,8 @@ pub struct OpCostModel {
     host_measured: [bool; N_OPS],
     isp_elems_per_sec: [f64; N_OPS],
     isp_stage_overhead: Secs,
+    /// Host ↔ ISP boundary-link rate intermediate hand-offs move at.
+    link_bytes_per_sec: f64,
 }
 
 /// Search depth the analytic Bucketize entry is normalized to
@@ -90,6 +92,8 @@ fn analytic_host_ns(tag: OpTag) -> f64 {
         OpTag::MapId => c::BUCKET_NS_PER_CMP,
         OpTag::FirstX => c::FORMAT_NS_PER_ELEM,
         OpTag::NGram => 1.5 * c::HASH_NS_PER_ELEM,
+        // Branch-free dense cleanup moves at format-conversion speed.
+        OpTag::Clamp | OpTag::FillMissing => c::FORMAT_NS_PER_ELEM,
     }
 }
 
@@ -103,6 +107,8 @@ fn isp_elems_per_sec(isp: &IspModel, tag: OpTag) -> f64 {
         OpTag::SigridHash | OpTag::NGram => isp.unit_elems_per_sec(OpKind::SigridHash),
         OpTag::LogNorm => isp.unit_elems_per_sec(OpKind::Log),
         OpTag::FirstX => isp.dram_bandwidth().raw() / 8.0,
+        // Dense cleanup shares the elementwise normalization pipeline.
+        OpTag::Clamp | OpTag::FillMissing => isp.unit_elems_per_sec(OpKind::Log),
     }
 }
 
@@ -122,6 +128,7 @@ impl OpCostModel {
             host_measured: [false; N_OPS],
             isp_elems_per_sec: device,
             isp_stage_overhead: isp.stage_overhead(),
+            link_bytes_per_sec: isp.link_bandwidth().raw(),
         }
     }
 
@@ -162,6 +169,13 @@ impl OpCostModel {
     pub fn isp_rate(&self, tag: OpTag) -> f64 {
         self.isp_elems_per_sec[tag as usize]
     }
+
+    /// Boundary-link rate an intermediate hand-off crosses fleets at,
+    /// bytes per second (from [`IspModel::link_bandwidth`]).
+    #[must_use]
+    pub fn link_bytes_per_sec(&self) -> f64 {
+        self.link_bytes_per_sec
+    }
 }
 
 /// One stage's placement decision with both priced alternatives.
@@ -178,18 +192,22 @@ pub struct StagePlacement {
     /// Estimated cost on an ISP unit (dispatch overhead included), or
     /// `None` when the model cannot run the stage in storage.
     pub isp: Option<Secs>,
-    /// The cheaper side.
+    /// Boundary hand-off price the *chosen* side pays to import its input
+    /// from the other fleet (zero for raw inputs or same-side producers).
+    pub transfer: Secs,
+    /// The cheaper side, hand-off included.
     pub place: Place,
 }
 
 impl StagePlacement {
-    /// The cost of the chosen side.
+    /// The cost of the chosen side, including its boundary hand-off.
     #[must_use]
     pub fn placed(&self) -> Secs {
-        match self.place {
+        let compute = match self.place {
             Place::Host => self.host,
             Place::Isp => self.isp.unwrap_or(self.host),
-        }
+        };
+        compute + self.transfer
     }
 }
 
@@ -228,6 +246,20 @@ impl PlacementPlan {
         self.stages.iter().filter(|s| s.place == Place::Isp).count()
     }
 
+    /// The per-stage fleet assignment this placement chose, in the form
+    /// [`PreprocessPlan::split`](presto_ops::PreprocessPlan::split)
+    /// materializes into an actual split execution.
+    #[must_use]
+    pub fn fleet_assignment(&self) -> Vec<presto_ops::Fleet> {
+        self.stages
+            .iter()
+            .map(|s| match s.place {
+                Place::Host => presto_ops::Fleet::Host,
+                Place::Isp => presto_ops::Fleet::Isp,
+            })
+            .collect()
+    }
+
     /// `host_total / placed_total`: the speedup the placement buys over an
     /// all-host pipeline.
     #[must_use]
@@ -250,9 +282,21 @@ impl PlacementPlan {
 /// table's reference depth when the analytic table is in use (calibrated
 /// tables already measured the real depth). The ISP side pays the
 /// kernel-dispatch overhead once per stage — a stage offloads as a unit.
+///
+/// A stage whose input is another stage's output pays the boundary
+/// hand-off when the producer was placed on the other fleet: the
+/// producer's estimated output bytes ([`PreprocessPlan::stage_output_bytes`])
+/// at the model's link rate are added to the side that must import them,
+/// so a marginally-cheaper ISP stage correctly stays host-side once the
+/// hand-off dominates. (Raw-column inputs live on storage and are priced
+/// by the Extract path, not here; emitted outputs returning to the host
+/// for mini-batch assembly are accounted at run time by the split
+/// executor's P2P counters.)
 #[must_use]
 pub fn place_stages(plan: &PreprocessPlan, rows: usize, model: &OpCostModel) -> PlacementPlan {
     let per_stage = plan.stage_op_elements(rows);
+    let output_bytes = plan.stage_output_bytes(rows);
+    let mut places: Vec<Place> = Vec::with_capacity(plan.stages().len());
     let stages = plan
         .stages()
         .iter()
@@ -278,18 +322,36 @@ pub fn place_stages(plan: &PreprocessPlan, rows: usize, model: &OpCostModel) -> 
             }
             // One kernel dispatch per offloaded stage.
             let isp = isp.map(|acc| acc + model.isp_stage_overhead.seconds());
-            let host = Secs::new(host);
-            let isp = isp.map(Secs::new);
+            // Importing the input across the fleet boundary costs its
+            // producer's output bytes at the link rate — charged to
+            // whichever side the producer is *not* on.
+            let producer = match stage.input() {
+                presto_ops::StageInput::Stage(pos) => {
+                    #[allow(clippy::cast_precision_loss)]
+                    let secs = output_bytes[*pos] as f64 / model.link_bytes_per_sec.max(1.0);
+                    Some((places[*pos], secs))
+                }
+                presto_ops::StageInput::Raw(_) => None,
+            };
+            let import_cost = |side: Place| match producer {
+                Some((from, secs)) if from != side => secs,
+                _ => 0.0,
+            };
+            let host_landed = host + import_cost(Place::Host);
+            let isp_landed = isp.map(|c| c + import_cost(Place::Isp));
+            let place = match isp_landed {
+                Some(device) if device < host_landed => Place::Isp,
+                _ => Place::Host,
+            };
+            places.push(place);
             StagePlacement {
                 output: stage.output().to_owned(),
                 ops: stage.ops().iter().map(Op::to_string).collect::<Vec<_>>().join(" → "),
                 elements,
-                host,
-                isp,
-                place: match isp {
-                    Some(device) if device < host => Place::Isp,
-                    _ => Place::Host,
-                },
+                host: Secs::new(host),
+                isp: isp.map(Secs::new),
+                transfer: Secs::new(import_cost(place)),
+                place,
             }
         })
         .collect();
@@ -397,6 +459,58 @@ mod tests {
         assert!(by_name("trunc_").iter().all(|s| s.place == Place::Host), "copies stay host-side");
         assert!(placement.offloaded() > 0);
         assert!(placement.offloaded() < placement.stages.len());
+    }
+
+    #[test]
+    fn handoff_cost_keeps_marginal_offloads_host_side() {
+        use presto_hwsim::units::BytesPerSec;
+        // truncated-cross: trunc_ stages stay host (DRAM copies), their
+        // consumers (sparse_ hash, cross_ ngram) offload — so those
+        // consumers import their input across the fleet boundary.
+        let mut c = RmConfig::rm1();
+        c.avg_sparse_len = 8;
+        c.fixed_sparse_len = false;
+        c.batch_size = 8192;
+        let plan =
+            PreprocessPlan::compile(PlanGraph::truncated_cross(&c, 3, 4, 2).unwrap(), &c).unwrap();
+        let fast = place_stages(&plan, 8192, &OpCostModel::analytic(&IspModel::smartssd()));
+        let sparse = fast.stages.iter().find(|s| s.output.starts_with("sparse_")).unwrap();
+        assert_eq!(sparse.place, Place::Isp);
+        assert!(sparse.transfer > Secs::ZERO, "cross-fleet input is priced");
+        assert!(sparse.placed() > sparse.isp.unwrap(), "placed cost includes the hand-off");
+        let trunc = fast.stages.iter().find(|s| s.output.starts_with("trunc_")).unwrap();
+        assert_eq!(trunc.transfer, Secs::ZERO, "raw inputs never pay the link");
+
+        // Starve the boundary link: the same stage's ISP *compute* price is
+        // unchanged and still below host, but the import now dominates —
+        // the planner must keep it host-side.
+        let slow_link = IspModel::smartssd().with_link_bandwidth(BytesPerSec::new(64.0 * 1024.0));
+        let slow = place_stages(&plan, 8192, &OpCostModel::analytic(&slow_link));
+        let sparse_slow = slow.stages.iter().find(|s| s.output.starts_with("sparse_")).unwrap();
+        assert!(sparse_slow.isp.unwrap() < sparse_slow.host, "ISP compute still marginally wins");
+        assert_eq!(sparse_slow.place, Place::Host, "hand-off dominates the margin");
+        assert_eq!(sparse_slow.transfer, Secs::ZERO, "no crossing once co-placed");
+        assert!(slow.offloaded() < fast.offloaded());
+    }
+
+    #[test]
+    fn dense_cleanup_ops_are_priced_on_both_sides() {
+        use presto_ops::graph::ChainSpec;
+        let mut c = RmConfig::rm1();
+        c.batch_size = 8192;
+        let g = PlanGraph::new(vec![ChainSpec::feature(
+            "clean_0",
+            "dense_0",
+            vec![Op::FillMissing(0.0), Op::Clamp { lo: 0.0, hi: 1.0e6 }, Op::LogNorm],
+        )]);
+        let plan = PreprocessPlan::compile(g, &c).unwrap();
+        let model = OpCostModel::analytic(&IspModel::smartssd());
+        assert!(model.host_ns_per_elem(OpTag::Clamp) > 0.0);
+        assert!(model.isp_rate(OpTag::FillMissing) > 0.0);
+        let placement = place_stages(&plan, 8192, &model);
+        let stage = &placement.stages[0];
+        assert!(stage.isp.is_some(), "cleanup chains are ISP-capable");
+        assert!(stage.host > Secs::ZERO);
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub struct IspModel {
     host_read_bw: BytesPerSec,
     power: Watts,
     double_buffering: bool,
+    link_bw_override: Option<BytesPerSec>,
 }
 
 impl IspModel {
@@ -71,6 +72,7 @@ impl IspModel {
             host_read_bw: BytesPerSec::new(calib::u280::HOST_READ_BYTES_PER_SEC),
             power: Watts::new(c::POWER_W),
             double_buffering: true,
+            link_bw_override: None,
         }
     }
 
@@ -192,6 +194,35 @@ impl IspModel {
     #[must_use]
     pub fn dram_bandwidth(&self) -> BytesPerSec {
         self.dram_bw
+    }
+
+    /// Host ↔ card boundary-link bandwidth: the rate at which intermediate
+    /// stage outputs cross the fleet boundary (split-placement hand-off).
+    /// P2P builds move them over the SSD's peer-to-peer path, host-staged
+    /// builds over the PCIe staging path, and disaggregated builds over the
+    /// datacenter network link.
+    #[must_use]
+    pub fn link_bandwidth(&self) -> BytesPerSec {
+        if let Some(bw) = self.link_bw_override {
+            return bw;
+        }
+        match self.feed {
+            FeedPath::P2p => self.ssd.p2p_bandwidth(),
+            FeedPath::HostStaged => self.host_read_bw,
+            FeedPath::Remote => BytesPerSec::new(calib::net::LINK_GBPS * 1e9 / 8.0),
+        }
+    }
+
+    /// Overrides the boundary-link bandwidth (hand-off pricing ablation).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive bandwidth.
+    #[must_use]
+    pub fn with_link_bandwidth(mut self, bw: BytesPerSec) -> Self {
+        assert!(bw.raw() > 0.0, "link bandwidth must be positive");
+        self.link_bw_override = Some(bw);
+        self
     }
 
     /// Per-unit stage times for one mini-batch (before invocation overhead).
@@ -450,6 +481,18 @@ mod tests {
         let p2p = IspModel::smartssd();
         let staged = IspModel::smartssd().with_feed(FeedPath::HostStaged);
         assert!(staged.stage_breakdown(&p).extract_read < p2p.stage_breakdown(&p).extract_read);
+    }
+
+    #[test]
+    fn link_bandwidth_follows_feed_path() {
+        let p2p = IspModel::smartssd();
+        assert_eq!(p2p.link_bandwidth(), SsdModel::nvme().p2p_bandwidth());
+        let staged = IspModel::u280_in_storage();
+        assert!((staged.link_bandwidth().raw() - calib::u280::HOST_READ_BYTES_PER_SEC).abs() < 1.0);
+        let remote = IspModel::u280_disaggregated();
+        assert!((remote.link_bandwidth().raw() - 1.25e9).abs() < 1.0, "10 Gbps in bytes");
+        let slow = IspModel::smartssd().with_link_bandwidth(BytesPerSec::new(1.0e6));
+        assert!((slow.link_bandwidth().raw() - 1.0e6).abs() < 1.0);
     }
 
     #[test]

@@ -18,7 +18,15 @@
 //! * the ISP emulation ([`preprocess_batch_owned_chunked`]) streams every
 //!   op through fixed-size on-chip feature-buffer chunks and counts them in
 //!   a [`UnitStats`] — bit-identical output by construction, since every op
-//!   is pure and elementwise ops are chunk-invariant.
+//!   is pure and elementwise ops are chunk-invariant;
+//! * the split paths run the *same* stages partitioned across two fleets: a
+//!   [`SplitPlan`] names the ISP stage prefix and the
+//!   host suffix, [`preprocess_split_isp`] runs the prefix chunked and
+//!   packs the boundary-crossing outputs into a typed [`BoundaryBatch`],
+//!   and [`preprocess_split_host`] resumes from that hand-off (validating
+//!   kinds against the boundary schema) and assembles the mini-batch.
+//!   [`preprocess_partition_split`] is the serial single-blob composition
+//!   of the two; `presto_core::split` pipelines them across fleets.
 //!
 //! # The allocation-free hot path
 //!
@@ -46,8 +54,11 @@
 
 use crate::lognorm;
 use crate::minibatch::{DenseMatrix, JaggedFeature, MiniBatch, ShapeError};
-use crate::op::{firstx_into, ngram_into, Op, OpTag, ValueKind};
-use crate::plan::{PreprocessPlan, StageInput};
+use crate::op::{
+    clamp_in_place, clamp_into, fill_missing_in_place, fill_missing_into, firstx_into, ngram_into,
+    Op, OpTag, ValueKind,
+};
+use crate::plan::{PreprocessPlan, SplitPlan, StageInput};
 use presto_columnar::{Array, BlobRead, ColumnarError, FileReader, ReadScratch};
 use presto_datagen::RowBatch;
 use std::fmt;
@@ -270,6 +281,17 @@ impl StageTimings {
     pub fn log(&self) -> Duration {
         self.ops.get(OpTag::LogNorm).time
     }
+
+    /// Accumulates another measurement into this one — extract, format and
+    /// every op bucket summed. How a split run folds its ISP-side and
+    /// host-side timings into one per-partition record.
+    pub fn absorb(&mut self, other: &StageTimings) {
+        self.extract += other.extract;
+        self.format += other.format;
+        for (tag, bucket) in other.ops.iter() {
+            self.ops.add(tag, bucket.time, bucket.elems);
+        }
+    }
 }
 
 /// Chunk counters of one emulated in-storage run, bucketed by unit class
@@ -298,16 +320,21 @@ impl UnitStats {
     fn record(&mut self, tag: OpTag, chunks: u64, elems: u64) {
         match tag {
             OpTag::Bucketize => self.generation_chunks += chunks,
-            OpTag::SigridHash | OpTag::MapId | OpTag::LogNorm => self.normalize_chunks += chunks,
+            OpTag::SigridHash
+            | OpTag::MapId
+            | OpTag::LogNorm
+            | OpTag::Clamp
+            | OpTag::FillMissing => self.normalize_chunks += chunks,
             OpTag::FirstX | OpTag::NGram => self.restructure_chunks += chunks,
         }
         self.elements += elems;
     }
 }
 
-/// One stage's materialized output during plan execution.
+/// One stage's materialized output during plan execution — and the typed
+/// payload of a split run's boundary hand-off (see [`BoundaryBatch`]).
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum StageValue {
+pub enum StageValue {
     /// One `f32` per row.
     Dense(Vec<f32>),
     /// A jagged list feature.
@@ -347,6 +374,30 @@ impl ValueRef<'_> {
 }
 
 impl StageValue {
+    /// The [`ValueKind`] this value materializes.
+    #[must_use]
+    pub fn kind(&self) -> ValueKind {
+        match self {
+            StageValue::Dense(_) => ValueKind::Dense,
+            StageValue::List { .. } => ValueKind::List,
+            StageValue::Ids(_) => ValueKind::Ids,
+        }
+    }
+
+    /// Serialized size in bytes — what this value costs to move across the
+    /// fleet boundary (4 bytes per `f32`/offset, 8 per id). Matches the
+    /// sizing model of [`PreprocessPlan::stage_output_bytes`].
+    #[must_use]
+    pub fn byte_len(&self) -> u64 {
+        match self {
+            StageValue::Dense(v) => 4 * v.len() as u64,
+            StageValue::List { offsets, values } => {
+                4 * offsets.len() as u64 + 8 * values.len() as u64
+            }
+            StageValue::Ids(v) => 8 * v.len() as u64,
+        }
+    }
+
     fn as_value_ref(&self) -> ValueRef<'_> {
         match self {
             StageValue::Dense(v) => ValueRef::Dense(v),
@@ -500,22 +551,22 @@ fn apply_op(
     let tag = op.tag();
     let elems = input.elems();
     let chunks = match (op, input) {
-        (Op::LogNorm, ValueRef::Dense(src)) => {
-            let out = out.dense_buf();
-            if chunk >= src.len() {
-                lognorm::log_normalize_into(src, out);
-                1
-            } else {
-                out.clear();
-                out.reserve(src.len());
-                let mut n = 0;
-                for piece in src.chunks(chunk.max(1)) {
-                    lognorm::log_normalize_into(piece, &mut staged.dense);
-                    out.extend_from_slice(&staged.dense);
-                    n += 1;
-                }
-                n
-            }
+        (Op::LogNorm, ValueRef::Dense(src)) => apply_dense_chunked(
+            src,
+            out.dense_buf(),
+            chunk,
+            &mut staged.dense,
+            lognorm::log_normalize_into,
+        ),
+        (Op::Clamp { lo, hi }, ValueRef::Dense(src)) => {
+            apply_dense_chunked(src, out.dense_buf(), chunk, &mut staged.dense, |piece, out| {
+                clamp_into(piece, *lo, *hi, out);
+            })
+        }
+        (Op::FillMissing(fill), ValueRef::Dense(src)) => {
+            apply_dense_chunked(src, out.dense_buf(), chunk, &mut staged.dense, |piece, out| {
+                fill_missing_into(piece, *fill, out);
+            })
         }
         (Op::Bucketize(b), ValueRef::Dense(src)) => {
             let out = out.ids_buf();
@@ -559,6 +610,30 @@ fn apply_op(
     };
     stats.record(tag, chunks, elems);
     Ok(())
+}
+
+/// Chunked elementwise dense transform into a recycled output buffer.
+fn apply_dense_chunked(
+    src: &[f32],
+    out: &mut Vec<f32>,
+    chunk: usize,
+    staged: &mut Vec<f32>,
+    mut f: impl FnMut(&[f32], &mut Vec<f32>),
+) -> u64 {
+    if chunk >= src.len() {
+        f(src, out);
+        1
+    } else {
+        out.clear();
+        out.reserve(src.len());
+        let mut n = 0;
+        for piece in src.chunks(chunk.max(1)) {
+            f(piece, staged);
+            out.extend_from_slice(staged);
+            n += 1;
+        }
+        n
+    }
 }
 
 /// Chunked elementwise id transform into a recycled output buffer.
@@ -609,10 +684,15 @@ fn apply_op_in_place(
 ) -> Result<(), PreprocessError> {
     let tag = op.tag();
     let (chunks, elems) = match (op, &mut *value) {
-        (Op::LogNorm, StageValue::Dense(v)) => {
+        (Op::LogNorm | Op::Clamp { .. } | Op::FillMissing(_), StageValue::Dense(v)) => {
             let mut n = 0;
             for piece in v.chunks_mut(chunk.max(1)) {
-                lognorm::log_normalize_in_place(piece);
+                match op {
+                    Op::LogNorm => lognorm::log_normalize_in_place(piece),
+                    Op::Clamp { lo, hi } => clamp_in_place(piece, *lo, *hi),
+                    Op::FillMissing(fill) => fill_missing_in_place(piece, *fill),
+                    _ => unreachable!("matched above"),
+                }
                 n += 1;
             }
             (n, v.len() as u64)
@@ -910,7 +990,6 @@ pub fn preprocess_batch_owned_chunked(
     let chunk = chunk_elems.max(1);
     let mut timings = StageTimings::default();
     let mut stats = UnitStats::default();
-    let mut staged = StagedBufs::default();
     let (schema, mut columns) = batch.into_parts();
 
     let labels = take_column(&schema, &mut columns, "label")
@@ -920,16 +999,55 @@ pub fn preprocess_batch_owned_chunked(
         })
         .ok_or_else(|| PreprocessError::BadColumn { column: "label".into() })?;
 
+    let mut outputs: Vec<StageValue> = Vec::new();
+    outputs.resize_with(plan.stages().len(), StageValue::default);
+    run_stage_subset(
+        plan,
+        0..plan.stages().len(),
+        &schema,
+        &mut columns,
+        chunk,
+        &mut outputs,
+        &mut timings,
+        &mut stats,
+    )?;
+    drop(columns);
+
+    let t0 = Instant::now();
+    let mini_batch = assemble_mini_batch(plan, labels, |pos| std::mem::take(&mut outputs[pos]))?;
+    timings.format = t0.elapsed();
+    Ok((mini_batch, timings, stats))
+}
+
+/// Executes the stages at `positions` (a dependency-closed, increasing
+/// subset of the plan) over an owned batch, writing each stage's result
+/// into `outputs[pos]`. Stage-to-stage inputs resolve through `outputs`,
+/// so pre-seeded slots (a split run's boundary hand-off) feed stages whose
+/// producers ran elsewhere. The shared loop under
+/// [`preprocess_batch_owned_chunked`], [`preprocess_split_isp`] and
+/// [`preprocess_split_host`].
+#[allow(clippy::too_many_arguments)]
+fn run_stage_subset(
+    plan: &PreprocessPlan,
+    positions: impl IntoIterator<Item = usize>,
+    schema: &presto_columnar::Schema,
+    columns: &mut [Array],
+    chunk: usize,
+    outputs: &mut [StageValue],
+    timings: &mut StageTimings,
+    stats: &mut UnitStats,
+) -> Result<(), PreprocessError> {
     let stages = plan.stages();
-    let mut outputs: Vec<StageValue> = Vec::with_capacity(stages.len());
+    let mut staged = StagedBufs::default();
     let mut temp = StageValue::default();
-    for (i, stage) in stages.iter().enumerate() {
+    for i in positions {
+        let stage = &stages[i];
         let mut slot = StageValue::default();
         if stage.consumes_raw() {
             let StageInput::Raw(name) = stage.input() else {
                 return Err(plan_violation(format!("stage {i} consumes a non-raw input")));
             };
-            let column = take_column(&schema, &mut columns, name)
+            let column = take_column(schema, columns, name)
                 .ok_or_else(|| PreprocessError::BadColumn { column: name.clone() })?;
             run_stage_owned(
                 stage.ops(),
@@ -940,8 +1058,8 @@ pub fn preprocess_batch_owned_chunked(
                 &mut temp,
                 chunk,
                 &mut staged,
-                &mut timings,
-                &mut stats,
+                timings,
+                stats,
             )?;
         } else {
             let input = match stage.input() {
@@ -960,18 +1078,194 @@ pub fn preprocess_batch_owned_chunked(
                 &mut temp,
                 chunk,
                 &mut staged,
-                &mut timings,
-                &mut stats,
+                timings,
+                stats,
             )?;
         }
-        outputs.push(slot);
+        outputs[i] = slot;
     }
+    Ok(())
+}
+
+/// The typed intermediate hand-off of one split batch: every boundary
+/// stage's materialized output, keyed by parent-plan stage position. This —
+/// and only this — is what crosses the ISP → host link in a split run;
+/// on-device intermediates consumed by later ISP stages never leave the
+/// drive.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BoundaryBatch {
+    /// `(stage position, value)` pairs in execution order.
+    pub values: Vec<(usize, StageValue)>,
+}
+
+impl BoundaryBatch {
+    /// Total serialized payload crossing the link, in bytes — the quantity
+    /// the placement cost model prices against the device link rate.
+    #[must_use]
+    pub fn byte_len(&self) -> u64 {
+        self.values.iter().map(|(_, v)| v.byte_len()).sum()
+    }
+}
+
+/// Runs the ISP side of a split plan over an owned batch (extracted with
+/// the [`SplitPlan::isp_columns`] projection) through the chunked
+/// on-chip-buffer emulation, and packs the boundary outputs for transfer.
+///
+/// # Errors
+///
+/// Returns [`PreprocessError::BadColumn`] when the batch is missing an
+/// ISP-side raw input, [`PreprocessError::Plan`] on kind violations.
+pub fn preprocess_split_isp(
+    plan: &PreprocessPlan,
+    split: &SplitPlan,
+    batch: RowBatch,
+    chunk_elems: usize,
+) -> Result<(BoundaryBatch, StageTimings, UnitStats), PreprocessError> {
+    let chunk = chunk_elems.max(1);
+    let mut timings = StageTimings::default();
+    let mut stats = UnitStats::default();
+    let (schema, mut columns) = batch.into_parts();
+    let mut outputs: Vec<StageValue> = Vec::new();
+    outputs.resize_with(plan.stages().len(), StageValue::default);
+    run_stage_subset(
+        plan,
+        split.isp_stages().iter().copied(),
+        &schema,
+        &mut columns,
+        chunk,
+        &mut outputs,
+        &mut timings,
+        &mut stats,
+    )?;
+    let values = split
+        .boundary()
+        .iter()
+        .map(|slot| (slot.stage, std::mem::take(&mut outputs[slot.stage])))
+        .collect();
+    Ok((BoundaryBatch { values }, timings, stats))
+}
+
+/// Runs the host side of a split plan: validates and seeds the transferred
+/// boundary values, executes the host-resident stages whole-column over an
+/// owned batch (extracted with the [`SplitPlan::host_columns`] projection,
+/// label included), and assembles the mini-batch.
+///
+/// # Errors
+///
+/// Returns [`PreprocessError::Plan`] when the boundary hand-off does not
+/// cover the split's boundary schema or a transferred value's kind
+/// mismatches its stage, [`PreprocessError::BadColumn`] on missing host-side
+/// raw inputs.
+pub fn preprocess_split_host(
+    plan: &PreprocessPlan,
+    split: &SplitPlan,
+    batch: RowBatch,
+    boundary: BoundaryBatch,
+) -> Result<(MiniBatch, StageTimings), PreprocessError> {
+    let mut timings = StageTimings::default();
+    let mut stats = UnitStats::default();
+    let (schema, mut columns) = batch.into_parts();
+
+    let labels = take_column(&schema, &mut columns, "label")
+        .and_then(|a| match a {
+            Array::Int64(buf) => Some(buf.into_vec()),
+            _ => None,
+        })
+        .ok_or_else(|| PreprocessError::BadColumn { column: "label".into() })?;
+
+    let mut outputs: Vec<StageValue> = Vec::new();
+    outputs.resize_with(plan.stages().len(), StageValue::default);
+    let mut seeded = vec![false; plan.stages().len()];
+    for (pos, value) in boundary.values {
+        let stage = plan
+            .stages()
+            .get(pos)
+            .ok_or_else(|| plan_violation(format!("boundary stage {pos} out of range")))?;
+        if value.kind() != stage.output_kind() {
+            return Err(plan_violation(format!(
+                "boundary stage {pos} ({}) carries {:?}, plan expects {:?}",
+                stage.output(),
+                value.kind(),
+                stage.output_kind()
+            )));
+        }
+        seeded[pos] = true;
+        outputs[pos] = value;
+    }
+    if let Some(missing) = split.boundary().iter().find(|slot| !seeded[slot.stage]) {
+        return Err(plan_violation(format!(
+            "boundary hand-off is missing stage {} ({})",
+            missing.stage, missing.output
+        )));
+    }
+
+    run_stage_subset(
+        plan,
+        split.host_stages().iter().copied(),
+        &schema,
+        &mut columns,
+        usize::MAX,
+        &mut outputs,
+        &mut timings,
+        &mut stats,
+    )?;
     drop(columns);
 
     let t0 = Instant::now();
     let mini_batch = assemble_mini_batch(plan, labels, |pos| std::mem::take(&mut outputs[pos]))?;
     timings.format = t0.elapsed();
-    Ok((mini_batch, timings, stats))
+    Ok((mini_batch, timings))
+}
+
+/// Timing and traffic breakdown of one split partition run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SplitReport {
+    /// Wall-clock of the Extract step (one file open, both projections).
+    pub extract: Duration,
+    /// ISP-side transform timings.
+    pub isp: StageTimings,
+    /// Host-side transform + assembly timings.
+    pub host: StageTimings,
+    /// On-chip buffer chunk counters of the ISP side.
+    pub stats: UnitStats,
+    /// Bytes that crossed the fleet boundary.
+    pub boundary_bytes: u64,
+}
+
+/// Full split pipeline over one stored partition, serially: extract both
+/// fleet projections from one file open, run the ISP prefix through the
+/// chunked emulation, hand the boundary across, run the host suffix and
+/// assemble. Bit-identical to [`preprocess_partition`] — the streaming
+/// equivalent (ISP and host sides pipelined on separate threads) lives in
+/// `presto_core::stream_split_workers`.
+///
+/// # Errors
+///
+/// Propagates storage, decode and shape failures.
+pub fn preprocess_partition_split<B: BlobRead>(
+    plan: &PreprocessPlan,
+    split: &SplitPlan,
+    blob: B,
+    chunk_elems: usize,
+    read: &mut ReadScratch,
+) -> Result<(MiniBatch, SplitReport), PreprocessError> {
+    let t0 = Instant::now();
+    let reader = FileReader::open(blob)?;
+    let isp_batch = (!split.isp_stages().is_empty())
+        .then(|| extract_columns_from_reader(&reader, split.isp_columns(), read))
+        .transpose()?;
+    let host_batch = extract_columns_from_reader(&reader, split.host_columns(), read)?;
+    let extract = t0.elapsed();
+
+    let (boundary, isp_timings, stats) = match isp_batch {
+        Some(batch) => preprocess_split_isp(plan, split, batch, chunk_elems)?,
+        None => (BoundaryBatch::default(), StageTimings::default(), UnitStats::default()),
+    };
+    let boundary_bytes = boundary.byte_len();
+    let (mini_batch, host_timings) = preprocess_split_host(plan, split, host_batch, boundary)?;
+    let report =
+        SplitReport { extract, isp: isp_timings, host: host_timings, stats, boundary_bytes };
+    Ok((mini_batch, report))
 }
 
 /// Runs a fully elementwise chain on an owned column: uniquely held buffers
@@ -1107,7 +1401,23 @@ pub fn extract_batch_from_reader<B: BlobRead>(
     reader: &FileReader<B>,
     read: &mut ReadScratch,
 ) -> Result<RowBatch, PreprocessError> {
-    let needed = plan.required_columns();
+    extract_columns_from_reader(reader, plan.required_columns(), read)
+}
+
+/// Decodes an arbitrary column projection from an already-open reader into
+/// one owned [`RowBatch`] (row groups merged). The per-fleet Extract of a
+/// split run: each side projects exactly its own raw inputs
+/// ([`SplitPlan::isp_columns`] / [`SplitPlan::host_columns`]) instead of the
+/// whole-plan [`PreprocessPlan::required_columns`].
+///
+/// # Errors
+///
+/// Propagates storage, decode and schema failures.
+pub fn extract_columns_from_reader<B: BlobRead>(
+    reader: &FileReader<B>,
+    needed: &[String],
+    read: &mut ReadScratch,
+) -> Result<RowBatch, PreprocessError> {
     let names: Vec<&str> = needed.iter().map(String::as_str).collect();
     let mut columns = Vec::with_capacity(reader.row_group_count());
     for rg in 0..reader.row_group_count() {
@@ -1240,6 +1550,77 @@ mod tests {
             assert!(stats.elements > 0);
             assert!(stats.restructure_chunks > 0, "FirstX/NGram counted");
         }
+    }
+
+    #[test]
+    fn split_partition_matches_single_fleet_paths() {
+        use crate::plan::Fleet;
+        let mut c = tiny_config();
+        c.avg_sparse_len = 5;
+        c.fixed_sparse_len = false;
+        let graphs = [
+            PlanGraph::canonical(&c, 3).unwrap(),
+            PlanGraph::truncated_cross(&c, 3, 3, 2).unwrap(),
+            PlanGraph::cleaned(&c, 3).unwrap(),
+        ];
+        for graph in graphs {
+            let plan = PreprocessPlan::compile(graph, &c).unwrap();
+            let batch = generate_batch(&c, 64, 11);
+            let (reference, _) = preprocess_batch(&plan, &batch).unwrap();
+            let blob = write_partition(&batch).unwrap();
+            let n = plan.stages().len();
+            // Host-only, ISP-only, and an alternating split.
+            let assignments = [
+                vec![Fleet::Host; n],
+                vec![Fleet::Isp; n],
+                (0..n).map(|i| if i % 2 == 0 { Fleet::Isp } else { Fleet::Host }).collect(),
+            ];
+            for assignment in assignments {
+                let split = plan.split(&assignment).unwrap();
+                let mut read = ReadScratch::default();
+                let (mb, report) =
+                    preprocess_partition_split(&plan, &split, blob.clone(), 512, &mut read)
+                        .unwrap();
+                assert_eq!(mb, reference, "split {:?}", split.fleet());
+                if split.isp_stages().is_empty() {
+                    assert_eq!(report.boundary_bytes, 0);
+                } else {
+                    assert!(report.boundary_bytes > 0);
+                    assert!(report.stats.elements > 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_host_rejects_missing_or_mistyped_boundary() {
+        use crate::plan::Fleet;
+        let c = tiny_config();
+        let plan = PreprocessPlan::from_config(&c, 1).unwrap();
+        let batch = generate_batch(&c, 16, 3);
+        let split = plan.split(&vec![Fleet::Isp; plan.stages().len()]).unwrap();
+        let blob = write_partition(&batch).unwrap();
+        let reader = FileReader::open(blob).unwrap();
+        let mut read = ReadScratch::default();
+        let host_batch =
+            extract_columns_from_reader(&reader, split.host_columns(), &mut read).unwrap();
+
+        // Empty hand-off: every boundary slot is missing.
+        let err =
+            preprocess_split_host(&plan, &split, host_batch.clone(), BoundaryBatch::default())
+                .unwrap_err();
+        assert!(matches!(err, PreprocessError::Plan { .. }), "{err}");
+
+        // Right stages, wrong kind.
+        let mistyped = BoundaryBatch {
+            values: split
+                .boundary()
+                .iter()
+                .map(|slot| (slot.stage, StageValue::Dense(vec![0.0; 16])))
+                .collect(),
+        };
+        let err = preprocess_split_host(&plan, &split, host_batch, mistyped).unwrap_err();
+        assert!(matches!(err, PreprocessError::Plan { .. }), "{err}");
     }
 
     #[test]

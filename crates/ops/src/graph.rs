@@ -315,6 +315,53 @@ impl PlanGraph {
         }
         Ok(PlanGraph::new(chains))
     }
+
+    /// Non-canonical scenario "dense cleanup": every dense column passes
+    /// through a shared `FillMissing → Clamp` intermediate (`clean_i`)
+    /// before its LogNorm feature, and each generated Bucketize reads the
+    /// *cleaned* value instead of the raw column — the sanitize-first shape
+    /// of production dense pipelines. Sparse features stay canonical.
+    ///
+    /// The cleanup intermediates give every dense feature a
+    /// stage-to-stage edge, so this scenario also exercises Dense-kind
+    /// boundary hand-offs under split placement.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PlanGraph::canonical`].
+    pub fn cleaned(config: &RmConfig, seed: u64) -> Result<Self, GraphError> {
+        let mut chains = Vec::new();
+        for i in 0..config.num_dense {
+            let name = format!("dense_{i}");
+            chains.push(ChainSpec::intermediate(
+                format!("clean_{i}"),
+                name.clone(),
+                vec![Op::FillMissing(0.0), Op::Clamp { lo: 0.0, hi: DENSE_VALUE_CEILING }],
+            ));
+            chains.push(ChainSpec::feature(name, format!("clean_{i}"), vec![Op::LogNorm]));
+        }
+        for i in 0..config.num_sparse {
+            let name = format!("sparse_{i}");
+            chains.push(ChainSpec::feature(
+                name.clone(),
+                name,
+                vec![Op::SigridHash(sparse_hasher(config, seed, i)?)],
+            ));
+        }
+        for i in 0..config.num_generated {
+            let source = generated_source_column(config, i);
+            // Re-route through the cleanup intermediate when one exists for
+            // the source column (it always does for dense sources).
+            let input =
+                source.strip_prefix("dense_").map_or(source.clone(), |idx| format!("clean_{idx}"));
+            chains.push(ChainSpec::feature(
+                format!("gen_{i}"),
+                input,
+                vec![Op::Bucketize(log_bucketizer(config, i)?)],
+            ));
+        }
+        Ok(PlanGraph::new(chains))
+    }
 }
 
 /// The canonical per-feature hasher (seed recipe fixed forever: the v2

@@ -11,6 +11,9 @@
 //!   new id (n-gram / feature-cross hashing).
 //! * [`Op::MapId`] — remap raw ids through a bounded lookup table
 //!   (dictionary-style id normalization).
+//! * [`Op::Clamp`] / [`Op::FillMissing`] — dense cleanup: bound outliers to
+//!   a `[lo, hi]` range and replace NaN/sentinel missing values before
+//!   normalization (the TorchArrow `clamp` / `fill_null` pair).
 //!
 //! Ops are *typed*: each consumes and produces a [`ValueKind`], and the
 //! graph validator ([`crate::graph`]) rejects chains whose kinds do not
@@ -60,17 +63,23 @@ pub enum OpTag {
     NGram,
     /// Id remap through a bounded lookup table.
     MapId,
+    /// Dense range clamp to `[lo, hi]`.
+    Clamp,
+    /// Dense NaN/missing-value replacement.
+    FillMissing,
 }
 
 impl OpTag {
     /// Every operator tag, in cost-model order.
-    pub const ALL: [OpTag; 6] = [
+    pub const ALL: [OpTag; 8] = [
         OpTag::SigridHash,
         OpTag::Bucketize,
         OpTag::LogNorm,
         OpTag::FirstX,
         OpTag::NGram,
         OpTag::MapId,
+        OpTag::Clamp,
+        OpTag::FillMissing,
     ];
 
     /// Display name.
@@ -83,6 +92,8 @@ impl OpTag {
             OpTag::FirstX => "FirstX",
             OpTag::NGram => "NGram",
             OpTag::MapId => "MapId",
+            OpTag::Clamp => "Clamp",
+            OpTag::FillMissing => "FillMissing",
         }
     }
 }
@@ -200,6 +211,18 @@ pub enum Op {
     },
     /// Remap ids through a bounded table, elementwise over `List` or `Ids`.
     MapId(IdMap),
+    /// Dense cleanup: bound each value to `[lo, hi]` (`x.max(lo).min(hi)`,
+    /// so NaN inputs become `lo` — apply [`Op::FillMissing`] first when
+    /// missing values need a different fill). `Dense → Dense`.
+    Clamp {
+        /// Lower bound (inclusive).
+        lo: f32,
+        /// Upper bound (inclusive); must be `>= lo`.
+        hi: f32,
+    },
+    /// Dense cleanup: replace NaN (the missing-value sentinel) with a fill
+    /// constant. `Dense → Dense`.
+    FillMissing(f32),
 }
 
 impl Op {
@@ -213,6 +236,8 @@ impl Op {
             Op::FirstX(_) => OpTag::FirstX,
             Op::NGram { .. } => OpTag::NGram,
             Op::MapId(_) => OpTag::MapId,
+            Op::Clamp { .. } => OpTag::Clamp,
+            Op::FillMissing(_) => OpTag::FillMissing,
         }
     }
 
@@ -220,7 +245,9 @@ impl Op {
     #[must_use]
     pub fn output_kind(&self, input: ValueKind) -> Option<ValueKind> {
         match (self, input) {
-            (Op::LogNorm, ValueKind::Dense) => Some(ValueKind::Dense),
+            (Op::LogNorm | Op::Clamp { .. } | Op::FillMissing(_), ValueKind::Dense) => {
+                Some(ValueKind::Dense)
+            }
             (Op::Bucketize(_), ValueKind::Dense) => Some(ValueKind::Ids),
             (Op::SigridHash(_) | Op::MapId(_), ValueKind::List | ValueKind::Ids) => Some(input),
             (Op::FirstX(_) | Op::NGram { .. }, ValueKind::List) => Some(ValueKind::List),
@@ -232,7 +259,10 @@ impl Op {
     /// element without touching list structure (offsets pass through).
     #[must_use]
     pub fn is_elementwise(&self) -> bool {
-        matches!(self, Op::SigridHash(_) | Op::MapId(_) | Op::LogNorm)
+        matches!(
+            self,
+            Op::SigridHash(_) | Op::MapId(_) | Op::LogNorm | Op::Clamp { .. } | Op::FillMissing(_)
+        )
     }
 
     /// True when the op rewrites list offsets ([`Op::FirstX`],
@@ -262,6 +292,8 @@ impl fmt::Display for Op {
             Op::FirstX(x) => write!(f, "FirstX({x})"),
             Op::NGram { n, hasher } => write!(f, "NGram(n={n}, d={})", hasher.max_value()),
             Op::MapId(m) => write!(f, "MapId(|table|={})", m.len()),
+            Op::Clamp { lo, hi } => write!(f, "Clamp({lo}..{hi})"),
+            Op::FillMissing(v) => write!(f, "FillMissing({v})"),
         }
     }
 }
@@ -308,6 +340,39 @@ fn combine_window(window: &[i64]) -> i64 {
         acc = (acc ^ v as u64).wrapping_mul(0x100_0000_01b3);
     }
     acc as i64
+}
+
+/// Clamps a dense slice into `out` (cleared first): `x.max(lo).min(hi)`,
+/// the branch-free form, so NaN inputs land on `lo` rather than passing
+/// through (`f32::max` returns its non-NaN argument).
+pub fn clamp_into(src: &[f32], lo: f32, hi: f32, out: &mut Vec<f32>) {
+    out.clear();
+    out.reserve(src.len());
+    out.extend(src.iter().map(|&x| x.max(lo).min(hi)));
+}
+
+/// In-place counterpart of [`clamp_into`].
+pub fn clamp_in_place(values: &mut [f32], lo: f32, hi: f32) {
+    for v in values {
+        *v = v.max(lo).min(hi);
+    }
+}
+
+/// Replaces NaN (the missing-value sentinel) with `fill`, writing into
+/// `out` (cleared first).
+pub fn fill_missing_into(src: &[f32], fill: f32, out: &mut Vec<f32>) {
+    out.clear();
+    out.reserve(src.len());
+    out.extend(src.iter().map(|&x| if x.is_nan() { fill } else { x }));
+}
+
+/// In-place counterpart of [`fill_missing_into`].
+pub fn fill_missing_in_place(values: &mut [f32], fill: f32) {
+    for v in values {
+        if v.is_nan() {
+            *v = fill;
+        }
+    }
 }
 
 /// Truncates each list to its first `x` ids, appending the new
@@ -451,6 +516,44 @@ mod tests {
         firstx_into(&o, &v, 2, &mut oo, &mut ov);
         assert_eq!(oo, expect_o);
         assert_eq!(ov, expect_v);
+    }
+
+    #[test]
+    fn clamp_and_fill_missing_are_typed_dense_cleanup() {
+        let clamp = Op::Clamp { lo: -1.0, hi: 1.0 };
+        let fill = Op::FillMissing(0.0);
+        assert_eq!(clamp.output_kind(ValueKind::Dense), Some(ValueKind::Dense));
+        assert_eq!(clamp.output_kind(ValueKind::List), None);
+        assert_eq!(fill.output_kind(ValueKind::Dense), Some(ValueKind::Dense));
+        assert_eq!(fill.output_kind(ValueKind::Ids), None);
+        assert!(clamp.is_elementwise() && !clamp.restructures_list());
+        assert!(fill.is_elementwise() && !fill.restructures_list());
+        assert_eq!(clamp.tag(), OpTag::Clamp);
+        assert_eq!(fill.tag(), OpTag::FillMissing);
+        assert_eq!(clamp.to_string(), "Clamp(-1..1)");
+        assert_eq!(fill.to_string(), "FillMissing(0)");
+    }
+
+    #[test]
+    fn clamp_kernels_bound_values_and_swallow_nan() {
+        let src = [-5.0, 0.5, 7.0, f32::NAN];
+        let mut out = vec![9.9];
+        clamp_into(&src, -1.0, 1.0, &mut out);
+        assert_eq!(out, vec![-1.0, 0.5, 1.0, -1.0]);
+        let mut v = src;
+        clamp_in_place(&mut v, -1.0, 1.0);
+        assert_eq!(v.to_vec(), out);
+    }
+
+    #[test]
+    fn fill_missing_kernels_replace_only_nan() {
+        let src = [1.0, f32::NAN, -2.0, f32::NAN];
+        let mut out = Vec::new();
+        fill_missing_into(&src, 0.25, &mut out);
+        assert_eq!(out, vec![1.0, 0.25, -2.0, 0.25]);
+        let mut v = src;
+        fill_missing_in_place(&mut v, 0.25);
+        assert_eq!(v.to_vec(), out);
     }
 
     #[test]

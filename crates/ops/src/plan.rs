@@ -31,6 +31,109 @@ use presto_columnar::DataType;
 use presto_datagen::{raw_schema, RmConfig};
 use std::collections::HashMap;
 
+/// Which fleet a stage of a split execution runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fleet {
+    /// Host CPU worker.
+    Host,
+    /// In-storage (ISP) unit, next to the data.
+    Isp,
+}
+
+/// One entry of a split plan's boundary schema: an ISP-side stage whose
+/// output must cross the fleet boundary to the host — because a host-side
+/// stage reads it, because the mini-batch assembly (always host-side)
+/// emits it, or both.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundarySlot {
+    /// Stage position in the parent plan.
+    pub stage: usize,
+    /// Output feature name (diagnostics / logs).
+    pub output: String,
+    /// The typed kind crossing the boundary.
+    pub kind: ValueKind,
+    /// At least one host-side stage reads this value.
+    pub read_by_host: bool,
+    /// The value is emitted into the mini-batch.
+    pub emitted: bool,
+}
+
+/// A compiled plan partitioned at the placement boundary: the
+/// dependency-closed ISP prefix (offloaded stages, executed through the
+/// chunked on-chip-buffer runner next to the data), the host suffix
+/// (remaining stages plus mini-batch assembly), and the validated boundary
+/// schema between them — exactly the stage outputs that cross fleets.
+///
+/// Built by [`PreprocessPlan::split`]. The boundary is one-directional
+/// (storage → host, the paper's data flow): an ISP-assigned stage that
+/// reads a host-side producer is *demoted* to the host, transitively, so
+/// the ISP side only ever reads raw columns or other ISP stages. Demotion
+/// preserves semantics — execution stays bit-identical for any requested
+/// assignment — and [`SplitPlan::demoted`] reports which stages moved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitPlan {
+    fleet: Vec<Fleet>,
+    isp_stages: Vec<usize>,
+    host_stages: Vec<usize>,
+    boundary: Vec<BoundarySlot>,
+    isp_columns: Vec<String>,
+    host_columns: Vec<String>,
+    demoted: Vec<usize>,
+}
+
+impl SplitPlan {
+    /// Effective fleet of every stage (after demotion), execution order.
+    #[must_use]
+    pub fn fleet(&self) -> &[Fleet] {
+        &self.fleet
+    }
+
+    /// Parent-plan positions of ISP-side stages, execution order.
+    #[must_use]
+    pub fn isp_stages(&self) -> &[usize] {
+        &self.isp_stages
+    }
+
+    /// Parent-plan positions of host-side stages, execution order.
+    #[must_use]
+    pub fn host_stages(&self) -> &[usize] {
+        &self.host_stages
+    }
+
+    /// The boundary schema: ISP stage outputs that cross to the host, in
+    /// execution order.
+    #[must_use]
+    pub fn boundary(&self) -> &[BoundarySlot] {
+        &self.boundary
+    }
+
+    /// Raw columns the ISP-side extraction must project (never the label).
+    #[must_use]
+    pub fn isp_columns(&self) -> &[String] {
+        &self.isp_columns
+    }
+
+    /// Raw columns the host-side extraction must project (label first —
+    /// labels always assemble on the host).
+    #[must_use]
+    pub fn host_columns(&self) -> &[String] {
+        &self.host_columns
+    }
+
+    /// Stages requested on the ISP but demoted to the host because they
+    /// (transitively) read a host-side producer.
+    #[must_use]
+    pub fn demoted(&self) -> &[usize] {
+        &self.demoted
+    }
+
+    /// True when every stage landed on one fleet (no boundary crossing).
+    #[must_use]
+    pub fn is_single_fleet(&self) -> bool {
+        self.isp_stages.is_empty() || self.host_stages.is_empty()
+    }
+}
+
 /// Where a compiled stage reads its input from.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StageInput {
@@ -328,6 +431,37 @@ impl PreprocessPlan {
     /// `max(len − n + 1, 0)`).
     #[must_use]
     pub fn stage_op_elements(&self, rows: usize) -> Vec<Vec<(OpTag, u64)>> {
+        self.stage_flow(rows).0
+    }
+
+    /// Estimated serialized size, in bytes, of each stage's output for a
+    /// `rows`-row batch — the bytes that cross the fleet boundary when a
+    /// consumer (or the mini-batch assembly) runs on the other side of a
+    /// split placement. Dense outputs move 4 bytes per row, Ids 8 bytes
+    /// per row, List outputs 8 bytes per value plus a 4-byte offset per
+    /// row; list lengths use the same expected-length propagation as
+    /// [`PreprocessPlan::stage_op_elements`].
+    #[must_use]
+    pub fn stage_output_bytes(&self, rows: usize) -> Vec<u64> {
+        let (_, out_len) = self.stage_flow(rows);
+        self.stages
+            .iter()
+            .zip(out_len)
+            .map(|(stage, len)| {
+                #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+                let values = (rows as f64 * len).round() as u64;
+                match stage.output_kind {
+                    ValueKind::Dense => 4 * rows as u64,
+                    ValueKind::Ids => 8 * rows as u64,
+                    ValueKind::List => 8 * values + 4 * (rows as u64 + 1),
+                }
+            })
+            .collect()
+    }
+
+    /// Expected per-op element counts and per-stage output lengths
+    /// (elements per row) for a `rows`-row batch.
+    fn stage_flow(&self, rows: usize) -> (Vec<Vec<(OpTag, u64)>>, Vec<f64>) {
         let mut per_row: Vec<f64> = Vec::with_capacity(self.stages.len());
         let mut out = Vec::with_capacity(self.stages.len());
         for stage in &self.stages {
@@ -346,13 +480,115 @@ impl PreprocessPlan {
                     Op::FirstX(x) => len.min(*x as f64),
                     Op::NGram { n, .. } => (len - (*n as f64) + 1.0).max(0.0),
                     Op::Bucketize(_) => 1.0,
-                    Op::SigridHash(_) | Op::MapId(_) | Op::LogNorm => len,
+                    Op::SigridHash(_)
+                    | Op::MapId(_)
+                    | Op::LogNorm
+                    | Op::Clamp { .. }
+                    | Op::FillMissing(_) => len,
                 };
             }
             per_row.push(len);
             out.push(ops);
         }
-        out
+        (out, per_row)
+    }
+
+    /// Partition the plan at a placement boundary into an ISP prefix and a
+    /// host suffix, returning the validated [`SplitPlan`] that the split
+    /// executor and streaming workers run.
+    ///
+    /// `assignment[pos]` is the requested fleet for stage `pos`. Any
+    /// assignment is accepted: because the boundary is one-directional
+    /// (storage → host), an ISP-assigned stage whose producer landed on
+    /// the host is demoted to the host as well, cascading in execution
+    /// order — see [`SplitPlan::demoted`]. The boundary schema lists
+    /// exactly the ISP outputs the host needs (read by a host stage,
+    /// emitted into the mini-batch, or both); everything else stays on the
+    /// device and never crosses the link.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::BadParam`] when `assignment.len()` does not
+    /// match the stage count.
+    pub fn split(&self, assignment: &[Fleet]) -> Result<SplitPlan, GraphError> {
+        if assignment.len() != self.stages.len() {
+            return Err(GraphError::BadParam {
+                output: "split".to_owned(),
+                detail: format!(
+                    "fleet assignment covers {} stages, plan has {}",
+                    assignment.len(),
+                    self.stages.len()
+                ),
+            });
+        }
+        // Normalize: demote ISP stages whose producer is host-side. Stage
+        // inputs point strictly backwards, so one forward pass cascades.
+        let mut fleet = assignment.to_vec();
+        let mut demoted = Vec::new();
+        for (pos, stage) in self.stages.iter().enumerate() {
+            if fleet[pos] == Fleet::Isp {
+                if let StageInput::Stage(j) = &stage.input {
+                    if fleet[*j] == Fleet::Host {
+                        fleet[pos] = Fleet::Host;
+                        demoted.push(pos);
+                    }
+                }
+            }
+        }
+
+        let isp_stages: Vec<usize> = (0..fleet.len()).filter(|&p| fleet[p] == Fleet::Isp).collect();
+        let host_stages: Vec<usize> =
+            (0..fleet.len()).filter(|&p| fleet[p] == Fleet::Host).collect();
+
+        // Boundary: ISP outputs the host reads or the assembly emits.
+        let mut read_by_host = vec![false; self.stages.len()];
+        for &pos in &host_stages {
+            if let StageInput::Stage(j) = &self.stages[pos].input {
+                read_by_host[*j] = true;
+            }
+        }
+        let boundary = isp_stages
+            .iter()
+            .map(|&pos| &self.stages[pos])
+            .zip(&isp_stages)
+            .filter(|(stage, &pos)| stage.emit || read_by_host[pos])
+            .map(|(stage, &pos)| BoundarySlot {
+                stage: pos,
+                output: stage.output.clone(),
+                kind: stage.output_kind,
+                read_by_host: read_by_host[pos],
+                emitted: stage.emit,
+            })
+            .collect();
+
+        // Per-side raw projections. The label always lands host-side —
+        // mini-batch assembly is a host concern.
+        let mut isp_columns: Vec<String> = Vec::new();
+        for &pos in &isp_stages {
+            if let StageInput::Raw(name) = &self.stages[pos].input {
+                if !isp_columns.iter().any(|c| c == name) {
+                    isp_columns.push(name.clone());
+                }
+            }
+        }
+        let mut host_columns: Vec<String> = vec![LABEL_COLUMN.to_owned()];
+        for &pos in &host_stages {
+            if let StageInput::Raw(name) = &self.stages[pos].input {
+                if !host_columns.iter().any(|c| c == name) {
+                    host_columns.push(name.clone());
+                }
+            }
+        }
+
+        Ok(SplitPlan {
+            fleet,
+            isp_stages,
+            host_stages,
+            boundary,
+            isp_columns,
+            host_columns,
+            demoted,
+        })
     }
 }
 
@@ -462,5 +698,88 @@ mod tests {
         assert_eq!(by_output["sparse_0"], &vec![(OpTag::SigridHash, 400)]);
         assert_eq!(by_output["cross_0"], &vec![(OpTag::NGram, 400)]);
         assert_eq!(by_output["gen_0"], &vec![(OpTag::Bucketize, 100)]);
+    }
+
+    fn tiny_truncated_plan() -> PreprocessPlan {
+        // Stages per sparse i: trunc_i (intermediate), sparse_i (reads
+        // trunc_i, emitted), cross_i (reads trunc_i, emitted); per dense i:
+        // dense_i (raw, emitted); per generated i: gen_i (raw, emitted).
+        let mut c = RmConfig::rm1();
+        c.num_dense = 1;
+        c.num_sparse = 1;
+        c.num_generated = 1;
+        c.num_tables = 2;
+        PreprocessPlan::compile(PlanGraph::truncated_cross(&c, 7, 4, 2).unwrap(), &c)
+            .expect("compiles")
+    }
+
+    #[test]
+    fn split_rejects_wrong_assignment_length() {
+        let plan = tiny_truncated_plan();
+        let err = plan.split(&[Fleet::Host]).unwrap_err();
+        assert!(matches!(err, GraphError::BadParam { .. }), "{err}");
+    }
+
+    #[test]
+    fn split_partitions_stages_and_schedules_boundary() {
+        let plan = tiny_truncated_plan();
+        let pos: HashMap<&str, usize> =
+            plan.stages().iter().enumerate().map(|(i, s)| (s.output(), i)).collect();
+        // Offload the truncation and the hash; keep the rest host-side.
+        let mut assignment = vec![Fleet::Host; plan.stages().len()];
+        assignment[pos["trunc_0"]] = Fleet::Isp;
+        assignment[pos["sparse_0"]] = Fleet::Isp;
+        let split = plan.split(&assignment).expect("valid assignment");
+
+        assert!(split.demoted().is_empty());
+        assert_eq!(split.isp_stages(), [pos["trunc_0"], pos["sparse_0"]]);
+        assert!(!split.is_single_fleet());
+        // Boundary: trunc_0 crosses because host-side cross_0 reads it;
+        // sparse_0 crosses because it is emitted. Dense/gen stay host-raw.
+        let by_stage: HashMap<usize, &BoundarySlot> =
+            split.boundary().iter().map(|s| (s.stage, s)).collect();
+        assert_eq!(split.boundary().len(), 2);
+        let trunc = by_stage[&pos["trunc_0"]];
+        assert!(trunc.read_by_host && !trunc.emitted);
+        assert_eq!(trunc.kind, ValueKind::List);
+        let sparse = by_stage[&pos["sparse_0"]];
+        assert!(sparse.emitted && !sparse.read_by_host);
+        // Raw projections: ISP pulls only the sparse column; host gets the
+        // label first plus its own raw inputs.
+        assert_eq!(split.isp_columns(), ["sparse_0"]);
+        assert_eq!(split.host_columns()[0], LABEL_COLUMN);
+        assert!(split.host_columns().iter().any(|c| c == "dense_0"));
+        assert!(!split.host_columns().iter().any(|c| c == "sparse_0"));
+    }
+
+    #[test]
+    fn split_demotes_isp_stages_with_host_producers() {
+        let plan = tiny_truncated_plan();
+        let pos: HashMap<&str, usize> =
+            plan.stages().iter().enumerate().map(|(i, s)| (s.output(), i)).collect();
+        // sparse_0 on ISP but its producer trunc_0 on host: must demote.
+        let mut assignment = vec![Fleet::Host; plan.stages().len()];
+        assignment[pos["sparse_0"]] = Fleet::Isp;
+        let split = plan.split(&assignment).expect("valid assignment");
+        assert_eq!(split.demoted(), [pos["sparse_0"]]);
+        assert!(split.isp_stages().is_empty());
+        assert!(split.boundary().is_empty());
+        assert!(split.is_single_fleet());
+        assert_eq!(split.fleet()[pos["sparse_0"]], Fleet::Host);
+    }
+
+    #[test]
+    fn split_all_isp_keeps_label_host_side() {
+        let plan = tiny_truncated_plan();
+        let split = plan.split(&vec![Fleet::Isp; plan.stages().len()]).expect("valid");
+        assert!(split.host_stages().is_empty());
+        assert!(split.is_single_fleet());
+        // Every emitted stage crosses the boundary; intermediates consumed
+        // on-device do not.
+        let emitted = plan.stages().iter().filter(|s| s.emit()).count();
+        assert_eq!(split.boundary().len(), emitted);
+        assert!(split.boundary().iter().all(|s| s.emitted && !s.read_by_host));
+        // The host still extracts the label for assembly.
+        assert_eq!(split.host_columns(), [LABEL_COLUMN]);
     }
 }

@@ -31,6 +31,11 @@
 //!   home queue drains. Per-device in-flight counters record contention
 //!   when workers outnumber devices (see [`DeviceLoad`]).
 //!
+//! The same bounded-channel machinery also backs the hybrid
+//! split-placement fleet (`presto_core::split::stream_split_workers`),
+//! where the channel additionally models the ISP → host device link and
+//! carries typed boundary hand-offs instead of finished mini-batches.
+//!
 //! # Failure semantics
 //!
 //! Every surfaced error carries provenance — it is wrapped as
@@ -792,15 +797,22 @@ mod tests {
 
     #[test]
     fn first_batch_arrives_before_last_partition_finishes() {
-        // Partition 0 is ~64x the others: with two workers, a small
-        // partition must reach the consumer while the big one is still in
-        // flight — the defining property of streaming execution.
+        // Partition 0 is ~64x the others *and* sits behind an emulated
+        // slow device, so its worker provably sleeps while the small
+        // partitions stream past it — a small partition must reach the
+        // consumer while the big one is still in flight, the defining
+        // property of streaming execution. (The latency, not just the row
+        // count, is what makes this deterministic on a loaded single-core
+        // runner: raw size alone races the OS scheduler.)
         let c = tiny_config(32);
         let plan = PreprocessPlan::from_config(&c, 1).unwrap();
         let mut partitions = Vec::new();
         for (index, rows) in [2048usize, 32, 32, 32].into_iter().enumerate() {
             let batch = generate_batch(&c, rows, index as u64 + 1);
-            let blob = write_partition(&batch).unwrap();
+            let mut blob = write_partition(&batch).unwrap();
+            if index == 0 {
+                blob = blob.with_read_latency(std::time::Duration::from_millis(2));
+            }
             partitions.push(Partition { index, device: index % 2, rows, blob });
         }
         let mut stream = stream_workers(&plan, &partitions, 2, 4);

@@ -1,0 +1,249 @@
+//! Split-placement ablation: host-only vs ISP-only vs hybrid split
+//! execution of the same compiled plans, under emulated SSD read latency.
+//!
+//! For each RM scenario graph (canonical, truncated-cross, remapped,
+//! cleaned) this example:
+//!
+//! 1. asks the placement cost model where each stage should run and
+//!    materializes the answer with `PreprocessPlan::split`;
+//! 2. streams every partition through three fleets — host-only CPU
+//!    workers, ISP-only emulated in-storage units, and the hybrid split
+//!    executor (ISP prefix pipelined against host suffix) — asserting the
+//!    output of all three **bit-identical** to the serial reference;
+//! 3. prints the planner's per-stage predicted costs (host, ISP, boundary
+//!    transfer) next to the measured per-side transform time and the
+//!    predicted vs measured boundary traffic.
+//!
+//! The emulated device latency (`MemBlob::with_read_latency`) is what makes
+//! the comparison interesting: under it, extraction dominates, and the
+//! split pipeline overlaps the drive-side prefix of partition *i + 1* with
+//! the host-side suffix of partition *i*.
+//!
+//! Run with: `cargo run --release --example split_ablation`
+//! `PRESTO_ABLATION_ROWS` / `PRESTO_ABLATION_PARTITIONS` /
+//! `PRESTO_ABLATION_LAT_US` shrink or reshape the run (CI uses tiny
+//! values); `PRESTO_ABLATION_STRICT=1` additionally requires the split to
+//! beat both single-fleet runs on at least one scenario.
+
+use presto::columnar::ReadScratch;
+use presto::core::placement::{place_stages, OpCostModel};
+use presto::core::{stream_isp_workers, stream_split_workers};
+use presto::datagen::{Dataset, Partition, RmConfig};
+use presto::hwsim::fpga::IspModel;
+use presto::ops::{
+    preprocess_partition, preprocess_partition_split, stream_workers, MiniBatch, PlanGraph,
+    PreprocessPlan,
+};
+use std::time::{Duration, Instant};
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let rows = env_usize("PRESTO_ABLATION_ROWS", 2048);
+    let partitions = env_usize("PRESTO_ABLATION_PARTITIONS", 8);
+    let lat_us = env_usize("PRESTO_ABLATION_LAT_US", 1500);
+    let strict = std::env::var("PRESTO_ABLATION_STRICT").is_ok_and(|v| v == "1");
+    let mut config = RmConfig::rm1_lists();
+    config.batch_size = rows;
+    println!(
+        "model {}: {partitions} x {rows} rows, emulated SSD read latency {lat_us} us",
+        config.name
+    );
+    let dataset = Dataset::generate(&config, partitions, rows, 2, 2024)?;
+    // The same partitions behind an emulated device: every positioned read
+    // pays the SSD latency, so extraction cost is realistic rather than
+    // DRAM-speed.
+    let slow: Vec<Partition> = dataset
+        .partitions()
+        .iter()
+        .map(|p| Partition {
+            index: p.index,
+            device: p.device,
+            rows: p.rows,
+            blob: p.blob.clone().with_read_latency(Duration::from_micros(lat_us as u64)),
+        })
+        .collect();
+
+    let scenarios: Vec<(&str, PlanGraph)> = vec![
+        ("canonical", PlanGraph::canonical(&config, 7)?),
+        ("truncated-cross", PlanGraph::truncated_cross(&config, 7, 4, 2)?),
+        ("remapped", PlanGraph::remapped(&config, 7, 4096)?),
+        ("cleaned", PlanGraph::cleaned(&config, 7)?),
+    ];
+    let model = OpCostModel::analytic(&IspModel::smartssd());
+    let total_rows = (partitions * rows) as f64;
+    let mut split_won_any = false;
+
+    // Untimed warm-up pass: fault in the blob pages, warm the allocator and
+    // spawn-path, so the first timed scenario is not charged for cold-start.
+    {
+        let plan = PreprocessPlan::compile(PlanGraph::canonical(&config, 7)?, &config)?;
+        let placement = place_stages(&plan, rows, &model);
+        let split = plan.split(&placement.fleet_assignment())?;
+        for item in stream_split_workers(&plan, &split, &slow, 2, 2, 4) {
+            item?;
+        }
+        for item in stream_workers(&plan, &slow, 2, 4) {
+            item?;
+        }
+    }
+
+    for (name, graph) in scenarios {
+        let plan = PreprocessPlan::compile(graph, &config)?;
+        let placement = place_stages(&plan, rows, &model);
+        let split = plan.split(&placement.fleet_assignment())?;
+        println!(
+            "\n=== scenario {name}: {} stages, {} on ISP / {} on host, {} boundary crossings",
+            plan.stages().len(),
+            split.isp_stages().len(),
+            split.host_stages().len(),
+            split.boundary().len()
+        );
+
+        // Latency-free serial reference: the bit-identity anchor.
+        let serial: Vec<MiniBatch> = dataset
+            .partitions()
+            .iter()
+            .map(|p| preprocess_partition(&plan, p.blob.clone()).map(|(mb, _)| mb))
+            .collect::<Result<_, _>>()?;
+
+        // Host-only fleet.
+        let t0 = Instant::now();
+        let host: Vec<MiniBatch> = stream_workers(&plan, &slow, 2, 4)
+            .into_ordered()
+            .map(|item| item.map(|b| b.batch))
+            .collect::<Result<_, _>>()?;
+        let host_time = t0.elapsed();
+        assert_eq!(host, serial, "{name}: host-only stream must match serial");
+
+        // ISP-only fleet.
+        let t0 = Instant::now();
+        let mut isp_stream = stream_isp_workers(&plan, &slow, 2, 4);
+        let mut isp: Vec<(usize, MiniBatch)> = Vec::new();
+        for item in isp_stream.by_ref() {
+            let b = item?;
+            isp.push((b.partition, b.batch));
+        }
+        let isp_time = t0.elapsed();
+        drop(isp_stream);
+        isp.sort_by_key(|(p, _)| *p);
+        for (pos, batch) in &isp {
+            assert_eq!(batch, &serial[*pos], "{name}: ISP-only partition {pos} must match");
+        }
+
+        // Hybrid split fleet: ISP prefix pipelined against host suffix.
+        let t0 = Instant::now();
+        let mut split_stream = stream_split_workers(&plan, &split, &slow, 2, 2, 4);
+        let mut hybrid: Vec<(usize, MiniBatch)> = Vec::new();
+        for item in split_stream.by_ref() {
+            let b = item?;
+            if std::env::var("PRESTO_ABLATION_DEBUG").is_ok() {
+                eprintln!(
+                    "    [dbg] part {} arrived {:.1}ms extract {:.2}ms ops {:.2}ms format {:.2}ms",
+                    b.partition,
+                    b.arrived.as_secs_f64() * 1e3,
+                    b.timings.extract.as_secs_f64() * 1e3,
+                    b.timings.ops.total().as_secs_f64() * 1e3,
+                    b.timings.format.as_secs_f64() * 1e3,
+                );
+            }
+            hybrid.push((b.partition, b.batch));
+        }
+        let split_time = t0.elapsed();
+        let measured_boundary = split_stream.boundary_bytes();
+        hybrid.sort_by_key(|(p, _)| *p);
+        for (pos, batch) in &hybrid {
+            assert_eq!(batch, &serial[*pos], "{name}: split partition {pos} must match");
+        }
+
+        let tput = |t: Duration| total_rows / t.as_secs_f64();
+        println!(
+            "  host-only  : {:>8.1} ms ({:>9.0} rows/s)",
+            host_time.as_secs_f64() * 1e3,
+            tput(host_time)
+        );
+        println!(
+            "  ISP-only   : {:>8.1} ms ({:>9.0} rows/s)",
+            isp_time.as_secs_f64() * 1e3,
+            tput(isp_time)
+        );
+        let best_single = host_time.min(isp_time);
+        let won = split_time <= best_single;
+        split_won_any |= won;
+        println!(
+            "  split      : {:>8.1} ms ({:>9.0} rows/s), {:.2}x vs best single fleet{}",
+            split_time.as_secs_f64() * 1e3,
+            tput(split_time),
+            best_single.as_secs_f64() / split_time.as_secs_f64(),
+            if won { "  <- wins" } else { "" }
+        );
+
+        // Planner-predicted per-stage costs vs the measured split run.
+        let mut read = ReadScratch::new();
+        let (check, report) = preprocess_partition_split(
+            &plan,
+            &split,
+            dataset.partitions()[0].blob.clone(),
+            512,
+            &mut read,
+        )?;
+        assert_eq!(check, serial[0], "{name}: serial split must match too");
+        let output_bytes = plan.stage_output_bytes(rows);
+        let predicted_boundary: u64 =
+            split.boundary().iter().map(|slot| output_bytes[slot.stage]).sum();
+        let predicted_isp: f64 = placement
+            .stages
+            .iter()
+            .filter(|s| s.place == presto::core::Place::Isp)
+            .map(|s| s.isp.map_or(0.0, |c| c.seconds()))
+            .sum();
+        let predicted_host: f64 = placement
+            .stages
+            .iter()
+            .filter(|s| s.place == presto::core::Place::Host)
+            .map(|s| s.host.seconds())
+            .sum();
+        println!(
+            "  per partition, predicted vs measured: ISP transform {:.2} / {:.2} ms, \
+             host transform {:.2} / {:.2} ms, boundary {:.1} / {:.1} KiB",
+            predicted_isp * 1e3,
+            report.isp.ops.total().as_secs_f64() * 1e3,
+            predicted_host * 1e3,
+            report.host.ops.total().as_secs_f64() * 1e3,
+            predicted_boundary as f64 / 1024.0,
+            report.boundary_bytes as f64 / 1024.0,
+        );
+        println!(
+            "  streamed boundary traffic: {:.1} KiB over {} partitions",
+            measured_boundary as f64 / 1024.0,
+            partitions
+        );
+        let mut heaviest: Vec<_> = placement.stages.iter().collect();
+        heaviest.sort_by_key(|s| std::cmp::Reverse(s.elements));
+        for s in heaviest.iter().take(4) {
+            println!(
+                "    {:<12} {:<28} host {:>10}  isp {:<10}  transfer {:<10} -> {}",
+                s.output,
+                s.ops,
+                s.host.to_string(),
+                s.isp.map_or("n/a".into(), |c| c.to_string()),
+                s.transfer.to_string(),
+                s.place
+            );
+        }
+        if placement.stages.len() > 4 {
+            println!("    ... ({} more stages)", placement.stages.len() - 4);
+        }
+    }
+
+    println!(
+        "\nall scenarios bit-identical across host-only, ISP-only, and split execution{}",
+        if split_won_any { "; split beat both single fleets on >=1 scenario" } else { "" }
+    );
+    if strict {
+        assert!(split_won_any, "PRESTO_ABLATION_STRICT: split never beat the best single fleet");
+    }
+    Ok(())
+}

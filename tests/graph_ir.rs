@@ -5,11 +5,14 @@
 //!    seed recipe — for RM1/RM2/RM3 and arbitrary shapes, across every
 //!    integer encoding the columnar format supports.
 //! 2. Non-canonical scenario graphs (FirstX truncation, NGram crosses,
-//!    MapId remaps) run end to end through the CPU streaming executor and
-//!    the ISP fleet with identical output.
+//!    MapId remaps, Clamp/FillMissing dense cleanup) run end to end through
+//!    the CPU streaming executor and the ISP fleet with identical output.
 //! 3. Degenerate graph construction — cycles, type mismatches, duplicate
 //!    or dangling outputs, arbitrary garbage — errors without panicking,
 //!    and whatever compiles also executes without panicking.
+//! 4. Split execution is bit-identical to host-only and ISP-only execution
+//!    for arbitrary compiled graphs under *arbitrary* (not just
+//!    cost-optimal) stage-to-fleet assignments and any chunk size.
 
 use presto::core::stream_isp_workers;
 use presto::datagen::{generate_batch, generated_source_column, Dataset, RmConfig};
@@ -133,6 +136,7 @@ proptest! {
         for graph in [
             PlanGraph::truncated_cross(&config, 5, x, n).expect("cross graph"),
             PlanGraph::remapped(&config, 5, map_size).expect("remap graph"),
+            PlanGraph::cleaned(&config, 5).expect("cleaned graph"),
         ] {
             let plan = PreprocessPlan::compile(graph, &config).expect("compiles");
             let serial: Vec<MiniBatch> = ds
@@ -153,6 +157,40 @@ proptest! {
             for (pos, batch) in isp {
                 prop_assert_eq!(&batch, &serial[pos]);
             }
+        }
+    }
+
+    #[test]
+    fn split_execution_matches_single_fleet_paths_for_arbitrary_assignments(
+        (config, rows, seed) in arb_shape(),
+        mask in any::<u64>(),
+        chunk in 1usize..1024,
+    ) {
+        use presto::columnar::ReadScratch;
+        use presto::ops::{preprocess_batch_owned_chunked, preprocess_partition_split, Fleet};
+        let batch = generate_batch(&config, rows, seed ^ 0x51F);
+        let blob = presto::datagen::write_partition(&batch).expect("serializes");
+        for graph in [
+            PlanGraph::canonical(&config, 5).expect("canonical graph"),
+            PlanGraph::truncated_cross(&config, 5, 3, 2).expect("cross graph"),
+            PlanGraph::cleaned(&config, 5).expect("cleaned graph"),
+        ] {
+            let plan = PreprocessPlan::compile(graph, &config).expect("compiles");
+            let (host_only, _) = preprocess_partition(&plan, blob.clone()).expect("host path");
+            let (isp_only, _, _) = preprocess_batch_owned_chunked(&plan, batch.clone(), chunk)
+                .expect("isp path");
+            prop_assert_eq!(&isp_only, &host_only);
+            // An arbitrary — not cost-optimal — stage-to-fleet assignment,
+            // one bit per stage.
+            let assignment: Vec<Fleet> = (0..plan.stages().len())
+                .map(|i| if (mask >> (i % 64)) & 1 == 1 { Fleet::Isp } else { Fleet::Host })
+                .collect();
+            let split = plan.split(&assignment).expect("splits");
+            let mut read = ReadScratch::default();
+            let (via_split, _) =
+                preprocess_partition_split(&plan, &split, blob.clone(), chunk, &mut read)
+                    .expect("split path");
+            prop_assert_eq!(&via_split, &host_only);
         }
     }
 
