@@ -18,8 +18,8 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use presto_columnar::{BlobRead, MemBlob, ReadScratch, Result as ColumnarResult};
 use presto_datagen::{generate_batch, write_partition, Dataset, Partition, RmConfig};
 use presto_ops::{
-    extract_partition_with, preprocess_partition_with, run_workers_materialized,
-    stream_workers_with, MiniBatch, PreprocessPlan, ScratchSpace, StreamConfig,
+    extract_partition_with, preprocess_partition_with, run_workers_materialized, BatchStream,
+    FleetConfig, MiniBatch, PreprocessPlan, ScratchSpace,
 };
 use std::hint::black_box;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -84,9 +84,9 @@ fn run_pr1_baseline(
         .collect()
 }
 
-fn drain_stream(plan: &PreprocessPlan, partitions: &[Partition], config: &StreamConfig) -> usize {
+fn drain_stream(plan: &PreprocessPlan, partitions: &[Partition], config: &FleetConfig) -> usize {
     let mut batches = 0usize;
-    for item in stream_workers_with(plan, partitions, config) {
+    for item in BatchStream::spawn(plan, partitions, config) {
         item.expect("bench data preprocesses");
         batches += 1;
     }
@@ -121,11 +121,11 @@ fn bench_stream_vs_baseline(c: &mut Criterion) {
         });
     });
     group.bench_function("streaming-no-prefetch", |bench| {
-        let cfg = StreamConfig::new(WORKERS, 2 * WORKERS).without_prefetch();
+        let cfg = FleetConfig::new(WORKERS, 2 * WORKERS).without_prefetch();
         bench.iter(|| black_box(drain_stream(&plan, ds.partitions(), &cfg)));
     });
     group.bench_function("streaming", |bench| {
-        let cfg = StreamConfig::new(WORKERS, 2 * WORKERS);
+        let cfg = FleetConfig::new(WORKERS, 2 * WORKERS);
         bench.iter(|| black_box(drain_stream(&plan, ds.partitions(), &cfg)));
     });
     group.finish();
@@ -175,7 +175,7 @@ fn bench_latency_hiding(c: &mut Criterion) {
             });
         });
         group.bench_function(format!("streaming-w{workers}"), |bench| {
-            let cfg = StreamConfig::new(workers, 2 * workers);
+            let cfg = FleetConfig::new(workers, 2 * workers);
             bench.iter(|| black_box(drain_stream(&plan, &partitions, &cfg)));
         });
     }
@@ -220,7 +220,7 @@ fn bench_queue_capacity(c: &mut Criterion) {
     group.sample_size(12);
     for capacity in [1usize, 4, 16] {
         group.bench_function(format!("capacity-{capacity}"), |bench| {
-            let cfg = StreamConfig::new(4, capacity);
+            let cfg = FleetConfig::new(4, capacity);
             bench.iter(|| black_box(drain_stream(&plan, ds.partitions(), &cfg)));
         });
     }

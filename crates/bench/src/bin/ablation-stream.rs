@@ -14,7 +14,7 @@ use presto_hwsim::ssd::SsdModel;
 use presto_hwsim::units::Secs;
 use presto_metrics::{percent, TextTable};
 use presto_ops::{
-    inter_arrivals, run_workers_materialized, stream_workers_with, PreprocessPlan, StreamConfig,
+    inter_arrivals, run_workers_materialized, BatchStream, FleetConfig, PreprocessPlan,
 };
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -24,10 +24,10 @@ use std::time::{Duration, Instant};
 fn run_stream(
     plan: &PreprocessPlan,
     partitions: &[Partition],
-    config: &StreamConfig,
+    config: &FleetConfig,
 ) -> (Duration, Vec<Duration>, Vec<presto_ops::DeviceLoad>, usize) {
     let start = Instant::now();
-    let mut stream = stream_workers_with(plan, partitions, config);
+    let mut stream = BatchStream::spawn(plan, partitions, config);
     let mut arrivals = Vec::new();
     let mut steals = 0usize;
     for item in stream.by_ref() {
@@ -61,7 +61,7 @@ fn main() {
     for devices in [1usize, 2, 4] {
         let ds = Dataset::generate(&config, PARTITIONS, ROWS, devices, 7).expect("dataset");
         for workers in [1usize, 2, 4, 8] {
-            let cfg = StreamConfig::new(workers, 2 * workers);
+            let cfg = FleetConfig::new(workers, 2 * workers);
             let (elapsed, _, report, steals) = run_stream(&plan, ds.partitions(), &cfg);
             let max_in_flight: Vec<String> =
                 report.iter().map(|d| d.max_in_flight.to_string()).collect();
@@ -85,7 +85,7 @@ fn main() {
     let ds = Dataset::generate(&config, PARTITIONS, ROWS, 2, 9).expect("dataset");
     let mut t = TextTable::new(vec!["capacity", "streaming samples/s"]);
     for capacity in [1usize, 2, 4, 8, 16] {
-        let cfg = StreamConfig::new(4, capacity);
+        let cfg = FleetConfig::new(4, capacity);
         let (elapsed, _, _, _) = run_stream(&plan, ds.partitions(), &cfg);
         t.row(vec![capacity.to_string(), throughput(total_rows, elapsed)]);
     }
@@ -113,7 +113,7 @@ fn main() {
             run_workers_materialized(&plan, &slow, workers).expect("preprocesses");
             start.elapsed()
         };
-        let cfg = StreamConfig::new(workers, 2 * workers);
+        let cfg = FleetConfig::new(workers, 2 * workers);
         let (s, _, _, _) = run_stream(&plan, &slow, &cfg);
         t.row(vec![workers.to_string(), throughput(total_rows, m), throughput(total_rows, s)]);
     }
@@ -151,7 +151,7 @@ fn main() {
                 blob: p.blob.clone().behind_device(Arc::clone(&device)),
             })
             .collect();
-        let cfg = StreamConfig::new(4, 8);
+        let cfg = FleetConfig::new(4, 8);
         let (elapsed, _, _, _) = run_stream(&plan, &gated, &cfg);
         let stats = device.stats();
         let predicted = SsdModel::nvme()
@@ -185,7 +185,7 @@ fn main() {
     // 5. Calibration: replay the measured consumer-side inter-arrival
     // process through the trainer simulation and compare with the analytic
     // steady-state arrival model.
-    let cfg = StreamConfig::new(2, 4);
+    let cfg = FleetConfig::new(2, 4);
     let (_, arrivals, _, _) = run_stream(&plan, ds.partitions(), &cfg);
     let gaps = inter_arrivals(&arrivals);
     let gpu = GpuTrainModel::a100();

@@ -12,11 +12,14 @@
 //!   (`preprocess_partition_with`, recycled scratch), the
 //!   `preprocess_partition/rm1` criterion bench's subject.
 //! * `streaming_end_to_end_rows_per_sec` — the streaming executor feeding
-//!   the consuming trainer (`stream_workers` → `Trainer`), consumer-side
-//!   goodput.
+//!   the consuming trainer (`BatchStream::spawn` → `Trainer`),
+//!   consumer-side goodput.
 //! * `split_end_to_end_rows_per_sec` — the hybrid split-placement executor
-//!   (`stream_split_workers`: ISP stage prefix pipelined against the host
-//!   suffix at the cost-model boundary) feeding the same trainer.
+//!   (`SplitBatchStream::spawn`: ISP stage prefix pipelined against the
+//!   host suffix at the cost-model boundary) feeding the same trainer.
+//! * `multi_tenant_rows_per_sec` — two concurrent RM1 jobs through the
+//!   multi-tenant [`PreprocessService`] sharing one pool worker under
+//!   weighted-fair dispatch: aggregate delivered rows over wall-clock.
 //!
 //! Writes the measurements to `BENCH_ci.json` (uploaded as a CI artifact),
 //! appends a per-metric delta table to `$GITHUB_STEP_SUMMARY` when that
@@ -39,12 +42,15 @@
 use presto_bench::{banner, parse_flat_json, print_table, render_flat_json};
 use presto_columnar::ReadScratch;
 use presto_core::placement::{place_stages, OpCostModel};
-use presto_core::{stream_split_workers, Trainer, TrainerConfig};
+use presto_core::{
+    JobSpec, PreprocessService, ServiceConfig, SplitBatchStream, Trainer, TrainerConfig,
+};
 use presto_datagen::{generate_batch, write_partition, Dataset, RmConfig};
 use presto_hwsim::fpga::IspModel;
 use presto_metrics::TextTable;
 use presto_ops::{
-    extract_partition_with, preprocess_partition_with, stream_workers, PreprocessPlan, ScratchSpace,
+    extract_partition_with, preprocess_partition_with, BatchStream, FleetConfig, PreprocessPlan,
+    ScratchSpace,
 };
 use std::time::Instant;
 
@@ -101,7 +107,7 @@ fn streaming_end_to_end() -> f64 {
     let ds = Dataset::generate(&config, 8, 1024, 2, 7).expect("dataset");
     let trainer = Trainer::new(TrainerConfig::instant());
     best_of(3, || {
-        let stream = stream_workers(&plan, ds.partitions(), 2, 4);
+        let stream = BatchStream::spawn(&plan, ds.partitions(), &FleetConfig::new(2, 4));
         let report = trainer.run(stream).expect("trains");
         report.rows
     })
@@ -117,9 +123,45 @@ fn split_end_to_end() -> f64 {
     let ds = Dataset::generate(&config, 8, 1024, 2, 7).expect("dataset");
     let trainer = Trainer::new(TrainerConfig::instant());
     best_of(3, || {
-        let stream = stream_split_workers(&plan, &split, ds.partitions(), 2, 2, 4);
+        let config = FleetConfig::new(2, 4).with_host_workers(2);
+        let stream = SplitBatchStream::spawn(&plan, &split, ds.partitions(), &config);
         let report = trainer.run(stream).expect("trains");
         report.rows
+    })
+}
+
+/// Two concurrent RM1 jobs through the multi-tenant service on one shared
+/// pool worker: the aggregate goodput the weighted-fair dispatcher
+/// sustains when tenants contend for the same device fleet.
+fn multi_tenant() -> f64 {
+    let mut config = RmConfig::rm1();
+    config.batch_size = 1024;
+    let plan = PreprocessPlan::from_config(&config, 1).expect("plan");
+    let ds = Dataset::generate(&config, 6, 1024, 2, 7).expect("dataset");
+    best_of(3, || {
+        let service = PreprocessService::new(
+            ServiceConfig::new(1).with_max_active_jobs(2).with_job_capacity(ds.partitions().len()),
+        );
+        let handles: Vec<_> = (0..2)
+            .map(|i| {
+                let spec =
+                    JobSpec::new(format!("tenant-{i}"), plan.clone(), ds.partitions().to_vec());
+                service.submit(spec).expect("an idle pool admits both tenants")
+            })
+            .collect();
+        let rows: usize = std::thread::scope(|scope| {
+            let joins: Vec<_> = handles
+                .into_iter()
+                .map(|h| {
+                    scope.spawn(move || {
+                        h.map(|item| item.expect("preprocesses").batch.rows()).sum::<usize>()
+                    })
+                })
+                .collect();
+            joins.into_iter().map(|j| j.join().expect("tenant drains")).sum()
+        });
+        let _ = service.shutdown();
+        rows
     })
 }
 
@@ -163,6 +205,7 @@ fn main() {
         ("preprocess_partition_rm1_rows_per_sec".to_owned(), preprocess_partition_rm1()),
         ("streaming_end_to_end_rows_per_sec".to_owned(), streaming_end_to_end()),
         ("split_end_to_end_rows_per_sec".to_owned(), split_end_to_end()),
+        ("multi_tenant_rows_per_sec".to_owned(), multi_tenant()),
     ];
     std::fs::write(OUTPUT_PATH, render_flat_json(&measured)).expect("write BENCH_ci.json");
     println!("wrote {OUTPUT_PATH}");

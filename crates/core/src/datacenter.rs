@@ -8,12 +8,21 @@
 //! *and* tensors across it, each PreSto job only tensors. When offered load
 //! exceeds capacity, every job's preprocessing throttles proportionally and
 //! GPU utilization sinks fleet-wide.
+//!
+//! [`measure_throttle`] complements the analytic curve with *measured*
+//! contention: it drives the real multi-tenant
+//! [`PreprocessService`] with `J`
+//! identical jobs time-sharing one fixed pool and reports each point's mean
+//! per-job goodput against the solo run — the executor-level analogue of
+//! the fabric model's fair-share throttle.
 
-use presto_datagen::{RmConfig, WorkloadProfile};
+use presto_datagen::{Partition, RmConfig, WorkloadProfile};
 use presto_hwsim::gpu::GpuTrainModel;
 use presto_hwsim::units::BytesPerSec;
+use presto_ops::plan::PreprocessPlan;
 
 use crate::provision::Provisioner;
+use crate::service::{JobSpec, PreprocessService, ServiceConfig};
 
 /// Which preprocessing system the fleet's jobs use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -131,6 +140,94 @@ pub fn sweep(
         .collect()
 }
 
+/// One measured contention point: `jobs` identical tenants on one pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasuredThrottle {
+    /// Concurrent jobs sharing the pool.
+    pub jobs: usize,
+    /// Mean per-job goodput (rows/sec) at this concurrency.
+    pub mean_rows_per_sec: f64,
+    /// Solo-run goodput (rows/sec) the curve is normalized against.
+    pub solo_rows_per_sec: f64,
+    /// Jain's fairness index across the concurrent jobs.
+    pub fairness: f64,
+}
+
+impl MeasuredThrottle {
+    /// Measured throttle factor: shared goodput relative to solo
+    /// (1.0 = no contention; the analytic counterpart is
+    /// [`ContentionReport::throttle`]).
+    #[must_use]
+    pub fn throttle(&self) -> f64 {
+        self.mean_rows_per_sec / self.solo_rows_per_sec.max(1e-12)
+    }
+}
+
+/// Measures the contention throttle curve by running `job_counts[i]`
+/// identical host-fleet jobs through a real
+/// [`PreprocessService`] sharing
+/// `pool_workers` threads, each job preprocessing its own copy of
+/// `partitions` under `plan`. The first element of the result is always
+/// the solo baseline (1 job), prepended when absent from `job_counts`.
+///
+/// Where [`analyze`] throttles on fabric bandwidth, this measures the
+/// compute-side analogue on the living executor: `J` tenants fair-sharing
+/// a fixed pool each get roughly `1/J` of it.
+///
+/// # Panics
+///
+/// Panics if a job fails admission (the service is sized to admit
+/// `max(job_counts)` jobs) or a partition fails to preprocess.
+#[must_use]
+pub fn measure_throttle(
+    plan: &PreprocessPlan,
+    partitions: &[Partition],
+    job_counts: &[usize],
+    pool_workers: usize,
+) -> Vec<MeasuredThrottle> {
+    let mut counts: Vec<usize> = job_counts.iter().copied().filter(|&j| j > 0).collect();
+    if counts.first() != Some(&1) {
+        counts.insert(0, 1);
+    }
+    let mut solo = 0.0f64;
+    let mut out = Vec::with_capacity(counts.len());
+    for jobs in counts {
+        let config = ServiceConfig::new(pool_workers)
+            .with_max_active_jobs(jobs)
+            .with_job_capacity(partitions.len().max(1));
+        let service = PreprocessService::new(config);
+        let handles: Vec<_> = (0..jobs)
+            .map(|i| {
+                service
+                    .submit(JobSpec::new(format!("tenant-{i}"), plan.clone(), partitions.to_vec()))
+                    .expect("service sized for all tenants")
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            for handle in handles {
+                scope.spawn(move || {
+                    for item in handle {
+                        item.expect("partition preprocesses");
+                    }
+                });
+            }
+        });
+        let report = service.shutdown();
+        let mean = report.jobs.iter().map(|j| j.goodput_rows_per_sec).sum::<f64>()
+            / report.jobs.len().max(1) as f64;
+        if jobs == 1 {
+            solo = mean;
+        }
+        out.push(MeasuredThrottle {
+            jobs,
+            mean_rows_per_sec: mean,
+            solo_rows_per_sec: solo,
+            fairness: report.fairness,
+        });
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,6 +281,26 @@ mod tests {
         assert!(a.fabric_load > 1.0);
         assert!((b.throttle / a.throttle - 0.5).abs() < 0.01);
         assert!(b.gpu_utilization < a.gpu_utilization);
+    }
+
+    #[test]
+    fn measured_throttle_reflects_pool_sharing() {
+        use presto_datagen::Dataset;
+        let mut c = RmConfig::rm1();
+        c.batch_size = 16;
+        let plan = PreprocessPlan::from_config(&c, 7).unwrap();
+        let ds = Dataset::generate(&c, 4, 16, 2, 7).unwrap();
+        let curve = measure_throttle(&plan, ds.partitions(), &[1, 3], 2);
+        assert_eq!(curve.len(), 2);
+        assert_eq!(curve[0].jobs, 1);
+        assert!((curve[0].throttle() - 1.0).abs() < 1e-9, "solo normalizes to 1");
+        let shared = &curve[1];
+        assert_eq!(shared.jobs, 3);
+        assert!(shared.mean_rows_per_sec > 0.0);
+        // Three tenants on two workers must each see less than solo
+        // goodput; leave generous slack for scheduling noise.
+        assert!(shared.throttle() < 1.5, "throttle {:.2}", shared.throttle());
+        assert!(shared.fairness > 0.5, "fairness {:.2}", shared.fairness);
     }
 
     #[test]

@@ -12,9 +12,9 @@ use presto_hwsim::net::NetworkModel;
 use presto_hwsim::trace::{characterize_op, OpCharacterization, OpKind};
 use presto_hwsim::units::Secs;
 use presto_ops::executor::PreprocessError;
-use presto_ops::{stream_workers_with, GraphError, PlanGraph, PreprocessPlan};
+use presto_ops::{BatchStream, FleetConfig, GraphError, PlanGraph, PreprocessPlan};
 
-use crate::isp_worker::stream_isp_workers;
+use crate::isp_worker::IspBatchStream;
 use crate::pipeline::{simulate, PipelineConfig, Trainer, TrainerConfig, TrainerReport};
 use crate::placement::PlacementPlan;
 use crate::provision::Provisioner;
@@ -313,11 +313,15 @@ pub fn isp_vs_cpu_end_to_end(
     let consumer = Trainer::new(trainer);
     let mut out = Vec::with_capacity(2);
 
-    let host = stream_workers_with(plan, dataset.partitions(), &cpu.stream_config());
+    let host = BatchStream::spawn(plan, dataset.partitions(), &cpu.stream_config());
     out.push(EndToEndPoint { system: cpu.name(), report: consumer.run(host)? });
 
     let isp_units = isp_units.max(1);
-    let isp = stream_isp_workers(plan, dataset.partitions(), isp_units, 2 * isp_units);
+    let isp = IspBatchStream::spawn(
+        plan,
+        dataset.partitions(),
+        &FleetConfig::new(isp_units, 2 * isp_units),
+    );
     out.push(EndToEndPoint {
         system: System::presto_smartssd(isp_units).name(),
         report: consumer.run(isp)?,

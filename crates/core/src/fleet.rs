@@ -1,0 +1,169 @@
+//! The unified fleet API: one spec, one config, any streaming executor.
+//!
+//! Before this module, each fleet had its own entry point with its own
+//! positional argument list: `stream_workers_with(plan, parts, &config)`
+//! for the host CPU fleet, `stream_isp_workers_with(plan, parts, workers,
+//! capacity, &recovery)` for the in-storage emulation, and a seven-argument
+//! `stream_split_workers_with` for the hybrid split. Swapping fleets meant
+//! rewriting the call site. [`Fleet`] collapses them into a single spec:
+//!
+//! ```
+//! use presto_core::fleet::Fleet;
+//! use presto_datagen::{Dataset, RmConfig};
+//! use presto_ops::{FleetConfig, PreprocessPlan};
+//!
+//! let mut c = RmConfig::rm1();
+//! c.batch_size = 32;
+//! let plan = PreprocessPlan::from_config(&c, 7)?;
+//! let ds = Dataset::generate(&c, 2, 32, 1, 7)?;
+//! let config = FleetConfig::new(2, 4);
+//! for fleet in [Fleet::Host, Fleet::Isp] {
+//!     let mut source = fleet.spawn(&plan, ds.partitions(), &config);
+//!     while let Some(item) = source.next_batch() {
+//!         item?;
+//!     }
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! All knobs live on one builder, [`FleetConfig`]: shared worker count and
+//! output capacity, the host fleet's `prefetch` ablation switch, the
+//! recovery policy (fail-fast by default — see [`FleetConfig::recovery`]),
+//! and the split fleet's host-side worker count and device-link capacity.
+//! Knobs that do not apply to a fleet are simply ignored, so one config
+//! can drive an apples-to-apples comparison across all three.
+//!
+//! # Migration from the deprecated entry points
+//!
+//! | Deprecated call | Replacement |
+//! |---|---|
+//! | `stream_workers(p, parts, w, cap)` | `Fleet::Host.spawn(p, parts, &FleetConfig::new(w, cap))` |
+//! | `stream_workers_with(p, parts, &sc)` | `BatchStream::spawn(p, parts, &sc.to_fleet())` |
+//! | `stream_isp_workers(p, parts, w, cap)` | `Fleet::Isp.spawn(p, parts, &FleetConfig::new(w, cap))` |
+//! | `stream_isp_workers_with(p, parts, w, cap, &r)` | `..new(w, cap).with_recovery(r)` |
+//! | `stream_split_workers(p, s, parts, iw, hw, cap)` | `Fleet::Split(s).spawn(p, parts, &..new(iw, cap).with_host_workers(hw))` |
+//!
+//! The concrete `spawn` constructors ([`BatchStream::spawn`],
+//! [`IspBatchStream::spawn`], [`SplitBatchStream::spawn`]) remain available
+//! when the caller needs fleet-specific accessors; `Fleet::spawn` erases
+//! the type behind [`BatchSource`] for callers — like the multi-tenant
+//! [`service`](crate::service) — that treat fleets interchangeably.
+//!
+//! Note: [`presto_ops::plan::Fleet`] is the *per-stage placement tag*
+//! (which side of the split boundary a compiled stage runs on); this
+//! `Fleet` is the *executor spec* for a whole run. The split variant
+//! carries the [`SplitPlan`] produced from a list of the former.
+
+use presto_datagen::Partition;
+use presto_ops::plan::{PreprocessPlan, SplitPlan};
+use presto_ops::stream::{BatchStream, FleetConfig};
+
+use crate::isp_worker::IspBatchStream;
+use crate::pipeline::BatchSource;
+use crate::split::SplitBatchStream;
+
+/// Which streaming executor to spawn — the unified spec covering all three
+/// fleets of the reproduction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fleet {
+    /// Host CPU fleet: [`BatchStream`] with double-buffered Extract
+    /// prefetch and device-affine work stealing.
+    Host,
+    /// In-storage fleet: [`IspBatchStream`] emulating one ISP unit per
+    /// worker, with host failover for quarantined devices.
+    Isp,
+    /// Hybrid split fleet: [`SplitBatchStream`] running the carried
+    /// [`SplitPlan`]'s stage prefix on ISP units and its suffix on host
+    /// workers, pipelined over the device link.
+    Split(SplitPlan),
+}
+
+impl Fleet {
+    /// Spawns this fleet over `partitions` with the shared `config`,
+    /// type-erased behind [`BatchSource`] so a
+    /// [`Trainer`](crate::pipeline::Trainer) (or the multi-tenant service)
+    /// consumes any fleet unchanged.
+    ///
+    /// Knobs that do not apply to the chosen fleet are ignored:
+    /// `prefetch` only affects [`Fleet::Host`]; `host_workers` and
+    /// `link_capacity` only affect [`Fleet::Split`].
+    #[must_use]
+    pub fn spawn(
+        &self,
+        plan: &PreprocessPlan,
+        partitions: &[Partition],
+        config: &FleetConfig,
+    ) -> Box<dyn BatchSource + Send> {
+        match self {
+            Fleet::Host => Box::new(BatchStream::spawn(plan, partitions, config)),
+            Fleet::Isp => Box::new(IspBatchStream::spawn(plan, partitions, config)),
+            Fleet::Split(split) => {
+                Box::new(SplitBatchStream::spawn(plan, split, partitions, config))
+            }
+        }
+    }
+
+    /// Short human-readable fleet name for reports and logs.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Fleet::Host => "host",
+            Fleet::Isp => "isp",
+            Fleet::Split(_) => "split",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_datagen::{Dataset, RmConfig};
+    use presto_ops::minibatch::MiniBatch;
+    use presto_ops::preprocess_partition;
+
+    #[test]
+    fn every_fleet_spawns_and_matches_serial_output() {
+        let mut c = RmConfig::rm1();
+        c.batch_size = 32;
+        let plan = PreprocessPlan::from_config(&c, 11).unwrap();
+        let ds = Dataset::generate(&c, 4, 32, 2, 21).unwrap();
+        let serial: Vec<MiniBatch> = ds
+            .partitions()
+            .iter()
+            .map(|p| preprocess_partition(&plan, p.blob.clone()).unwrap().0)
+            .collect();
+        let stage_tags: Vec<presto_ops::plan::Fleet> = (0..plan.stages().len())
+            .map(|i| {
+                if i % 2 == 0 {
+                    presto_ops::plan::Fleet::Isp
+                } else {
+                    presto_ops::plan::Fleet::Host
+                }
+            })
+            .collect();
+        let split = plan.split(&stage_tags).unwrap();
+        let config = FleetConfig::new(2, 4);
+        for fleet in [Fleet::Host, Fleet::Isp, Fleet::Split(split)] {
+            let mut source = fleet.spawn(&plan, ds.partitions(), &config);
+            let mut got: Vec<(usize, MiniBatch)> = Vec::new();
+            while let Some(item) = source.next_batch() {
+                let b = item.unwrap_or_else(|e| panic!("{} fleet failed: {e}", fleet.name()));
+                got.push((b.partition, b.batch));
+            }
+            got.sort_by_key(|(p, _)| *p);
+            assert_eq!(got.len(), 4, "{} fleet delivered all partitions", fleet.name());
+            for (pos, batch) in got {
+                assert_eq!(batch, serial[pos], "{} fleet partition {pos}", fleet.name());
+            }
+            let stats = source.stats();
+            assert_eq!(stats.completed, 4);
+            assert!(stats.recovery.is_some(), "all real fleets track recovery");
+        }
+    }
+
+    #[test]
+    fn fleet_names_are_stable() {
+        assert_eq!(Fleet::Host.name(), "host");
+        assert_eq!(Fleet::Isp.name(), "isp");
+    }
+}

@@ -21,19 +21,18 @@
 //! [consumes them](presto_ops::CompiledStage::consumes_raw) are normalized
 //! in place when uniquely held.
 //!
-//! [`stream_isp_workers`] drives a fleet of these workers as a streaming
-//! producer ([`IspBatchStream`], a [`BatchSource`]), so the ISP path feeds
-//! a consuming [`crate::pipeline::Trainer`] end to end exactly like the
-//! host CPU executor does — the ISP-vs-CPU comparison is measured at the
+//! [`IspBatchStream::spawn`] (or `Fleet::Isp.spawn` through the unified
+//! fleet API) drives a fleet of these workers as a streaming producer
+//! ([`IspBatchStream`], a [`BatchSource`]), so the ISP path feeds a
+//! consuming [`crate::pipeline::Trainer`] end to end exactly like the host
+//! CPU executor does — the ISP-vs-CPU comparison is measured at the
 //! trainer, not at a `Vec` drain.
 //!
 //! # Failure semantics
 //!
-//! [`stream_isp_workers_with`] takes a
-//! [`RetryPolicy`] governing the fleet's failure
-//! handling; [`stream_isp_workers`] keeps the legacy fail-fast behavior
-//! (first error poisons the run, fleet halts within one partition). Under a
-//! recovery policy:
+//! [`FleetConfig::recovery`] governs the fleet's failure handling and
+//! defaults to fail-fast on every fleet (first error poisons the run,
+//! fleet halts within one partition). Under a recovery policy:
 //!
 //! * Retryable errors (storage-side: I/O faults, CRC mismatches from
 //!   corrupt pages, truncated reads) are retried per partition with capped
@@ -64,7 +63,7 @@ use presto_ops::executor::{extract_batch_from_reader, PreprocessError, StageTimi
 use presto_ops::minibatch::MiniBatch;
 use presto_ops::plan::PreprocessPlan;
 use presto_ops::recovery::{RecoveryTracker, RetryPolicy, RunReport};
-use presto_ops::stream::StreamedBatch;
+use presto_ops::stream::{FleetConfig, StreamStats, StreamedBatch};
 use presto_ops::{preprocess_batch_owned_chunked, preprocess_partition_with, ScratchSpace};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -275,8 +274,8 @@ impl IspShared {
 type IspItem = Result<StreamedBatch, PreprocessError>;
 
 /// Streams `partitions` through `workers` emulated ISP devices with the
-/// legacy fail-fast policy (first error poisons the run); see
-/// [`stream_isp_workers_with`] for recovery.
+/// legacy fail-fast policy; see [`IspBatchStream::spawn`].
+#[deprecated(since = "0.8.0", note = "use `IspBatchStream::spawn` or `Fleet::Isp.spawn`")]
 #[must_use]
 pub fn stream_isp_workers(
     plan: &PreprocessPlan,
@@ -284,20 +283,12 @@ pub fn stream_isp_workers(
     workers: usize,
     capacity: usize,
 ) -> IspBatchStream {
-    stream_isp_workers_with(plan, partitions, workers, capacity, &RetryPolicy::fail_fast())
+    IspBatchStream::spawn(plan, partitions, &FleetConfig::new(workers, capacity))
 }
 
-/// Streams `partitions` through `workers` emulated ISP devices into a
-/// bounded channel — the in-storage counterpart of
-/// [`presto_ops::stream_workers`], so ISP-vs-CPU comparisons can both run
-/// through the same consuming [`crate::pipeline::Trainer`] instead of
-/// draining into a `Vec`.
-///
-/// Each worker owns one [`IspWorker`] (decoder + generation/normalization
-/// units) and a recycled [`ScratchSpace`]; finished mini-batches flow
-/// through a `capacity`-bounded channel with producer back-pressure.
-/// Failure handling follows `recovery` — see the module docs for the
-/// retry/quarantine/failover semantics.
+/// Streams `partitions` through `workers` emulated ISP devices with an
+/// explicit [`RetryPolicy`]; see [`IspBatchStream::spawn`].
+#[deprecated(since = "0.8.0", note = "use `IspBatchStream::spawn` or `Fleet::Isp.spawn`")]
 #[must_use]
 pub fn stream_isp_workers_with(
     plan: &PreprocessPlan,
@@ -306,46 +297,11 @@ pub fn stream_isp_workers_with(
     capacity: usize,
     recovery: &RetryPolicy,
 ) -> IspBatchStream {
-    let workers = workers.max(1).min(partitions.len().max(1));
-    let capacity = capacity.max(1);
-    let devices: Vec<usize> = partitions.iter().map(|p| p.device).collect();
-    let shared = Arc::new(IspShared {
-        plan: plan.clone(),
-        partitions: partitions.to_vec(),
-        cursor: AtomicUsize::new(0),
-        tracker: RecoveryTracker::new(recovery.clone(), &devices, partitions.len()),
-        stop: AtomicBool::new(false),
-        completed: AtomicUsize::new(0),
-        p2p_bytes: AtomicU64::new(0),
-        started: Instant::now(),
-    });
-    let (tx, rx) = bounded::<IspItem>(capacity);
-    // Failover queue: each partition is enqueued at most once, so the
-    // bound can never block a sender.
-    let (failover_tx, failover_rx) = bounded::<usize>(partitions.len().max(1));
-    let mut handles = Vec::with_capacity(workers + 1);
-    for unit in 0..workers {
-        let shared = Arc::clone(&shared);
-        let tx = tx.clone();
-        let failover_tx = failover_tx.clone();
-        let handle = std::thread::Builder::new()
-            .name(format!("presto-isp-{unit}"))
-            .spawn(move || isp_unit_loop(&shared, &tx, &failover_tx))
-            .expect("spawn isp worker");
-        handles.push(handle);
-    }
-    {
-        let shared = Arc::clone(&shared);
-        let tx = tx.clone();
-        let handle = std::thread::Builder::new()
-            .name("presto-isp-failover".into())
-            .spawn(move || host_failover_loop(&shared, &tx, &failover_rx))
-            .expect("spawn isp failover worker");
-        handles.push(handle);
-    }
-    drop(tx);
-    drop(failover_tx); // unit clones are now the only failover senders
-    IspBatchStream { rx: Some(rx), handles, shared, workers, capacity }
+    IspBatchStream::spawn(
+        plan,
+        partitions,
+        &FleetConfig::new(workers, capacity).with_recovery(recovery.clone()),
+    )
 }
 
 /// One ISP unit's body: claim partitions off the global cursor, run the
@@ -478,6 +434,84 @@ pub struct IspBatchStream {
 }
 
 impl IspBatchStream {
+    /// Streams `partitions` through `config.workers` emulated ISP devices
+    /// into a `config.capacity`-bounded channel — the in-storage
+    /// counterpart of the host fleet's
+    /// [`BatchStream::spawn`](presto_ops::BatchStream::spawn), so
+    /// ISP-vs-CPU comparisons both run through the same consuming
+    /// [`crate::pipeline::Trainer`] instead of draining into a `Vec`.
+    ///
+    /// Each worker owns one [`IspWorker`] (decoder +
+    /// generation/normalization units) and a recycled [`ScratchSpace`];
+    /// finished mini-batches flow through the bounded channel with
+    /// producer back-pressure. Failure handling follows
+    /// [`FleetConfig::recovery`] (fail-fast by default, like every fleet)
+    /// — see the module docs for the retry/quarantine/failover semantics.
+    /// The `prefetch`, `host_workers` and `link_capacity` knobs do not
+    /// apply to this fleet and are ignored.
+    #[must_use]
+    pub fn spawn(
+        plan: &PreprocessPlan,
+        partitions: &[Partition],
+        config: &FleetConfig,
+    ) -> IspBatchStream {
+        let workers = config.workers.max(1).min(partitions.len().max(1));
+        let capacity = config.capacity.max(1);
+        let devices: Vec<usize> = partitions.iter().map(|p| p.device).collect();
+        let shared = Arc::new(IspShared {
+            plan: plan.clone(),
+            partitions: partitions.to_vec(),
+            cursor: AtomicUsize::new(0),
+            tracker: RecoveryTracker::new(config.recovery.clone(), &devices, partitions.len()),
+            stop: AtomicBool::new(false),
+            completed: AtomicUsize::new(0),
+            p2p_bytes: AtomicU64::new(0),
+            started: Instant::now(),
+        });
+        let (tx, rx) = bounded::<IspItem>(capacity);
+        // Failover queue: each partition is enqueued at most once, so the
+        // bound can never block a sender.
+        let (failover_tx, failover_rx) = bounded::<usize>(partitions.len().max(1));
+        let mut handles = Vec::with_capacity(workers + 1);
+        for unit in 0..workers {
+            let shared = Arc::clone(&shared);
+            let tx = tx.clone();
+            let failover_tx = failover_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("presto-isp-{unit}"))
+                .spawn(move || isp_unit_loop(&shared, &tx, &failover_tx))
+                .expect("spawn isp worker");
+            handles.push(handle);
+        }
+        {
+            let shared = Arc::clone(&shared);
+            let tx = tx.clone();
+            let handle = std::thread::Builder::new()
+                .name("presto-isp-failover".into())
+                .spawn(move || host_failover_loop(&shared, &tx, &failover_rx))
+                .expect("spawn isp failover worker");
+            handles.push(handle);
+        }
+        drop(tx);
+        drop(failover_tx); // unit clones are now the only failover senders
+        IspBatchStream { rx: Some(rx), handles, shared, workers, capacity }
+    }
+
+    /// Consolidated counters ([`StreamStats`]); this fleet reports P2P link
+    /// traffic but no boundary hand-offs.
+    #[must_use]
+    pub fn stats(&self) -> StreamStats {
+        StreamStats {
+            workers: self.workers,
+            capacity: self.capacity,
+            queued: self.rx.as_ref().map_or(0, Receiver::len),
+            completed: self.completed(),
+            p2p_bytes: self.p2p_bytes(),
+            boundary_bytes: 0,
+            recovery: Some(self.run_report()),
+        }
+    }
+
     /// Effective ISP-unit count (after clamping).
     #[must_use]
     pub fn workers(&self) -> usize {
@@ -560,8 +594,8 @@ impl BatchSource for IspBatchStream {
         self.rx.as_ref().map_or(0, Receiver::len)
     }
 
-    fn run_report(&self) -> Option<RunReport> {
-        Some(IspBatchStream::run_report(self))
+    fn stats(&self) -> StreamStats {
+        IspBatchStream::stats(self)
     }
 }
 
@@ -683,7 +717,7 @@ mod tests {
             .iter()
             .map(|p| preprocess_partition(&plan, p.blob.clone()).unwrap().0)
             .collect();
-        let mut stream = stream_isp_workers(&plan, ds.partitions(), 2, 2);
+        let mut stream = IspBatchStream::spawn(&plan, ds.partitions(), &FleetConfig::new(2, 2));
         let mut got: Vec<(usize, MiniBatch)> = Vec::new();
         for item in stream.by_ref() {
             let b = item.expect("preprocesses");
@@ -708,7 +742,7 @@ mod tests {
         let bytes = partitions[1].blob.as_bytes().to_vec();
         partitions[1].blob = presto_columnar::MemBlob::new(bytes[..bytes.len() / 4].to_vec());
         // One worker claims partitions in order: 0 ok, 1 errors, then stop.
-        let mut stream = stream_isp_workers(&plan, &partitions, 1, 1);
+        let mut stream = IspBatchStream::spawn(&plan, &partitions, &FleetConfig::new(1, 1));
         let mut ok = 0usize;
         let mut errors = 0usize;
         for item in stream.by_ref() {
@@ -748,7 +782,11 @@ mod tests {
             .with_max_attempts(2)
             .with_backoff(std::time::Duration::ZERO, std::time::Duration::ZERO)
             .with_quarantine_after(2);
-        let mut stream = stream_isp_workers_with(&plan, &partitions, 2, 4, &recovery);
+        let mut stream = IspBatchStream::spawn(
+            &plan,
+            &partitions,
+            &FleetConfig::new(2, 4).with_recovery(recovery),
+        );
         let mut got: Vec<(usize, MiniBatch, bool)> = Vec::new();
         for item in stream.by_ref() {
             let b = item.expect("every partition must deliver (failover covers device 1)");
@@ -794,7 +832,11 @@ mod tests {
             .with_backoff(std::time::Duration::ZERO, std::time::Duration::ZERO)
             .with_quarantine_after(2)
             .with_failover(false);
-        let mut stream = stream_isp_workers_with(&plan, &partitions, 2, 4, &recovery);
+        let mut stream = IspBatchStream::spawn(
+            &plan,
+            &partitions,
+            &FleetConfig::new(2, 4).with_recovery(recovery),
+        );
         let mut ok = 0usize;
         let mut failed: Vec<usize> = Vec::new();
         for item in stream.by_ref() {
@@ -826,7 +868,7 @@ mod tests {
         c.batch_size = 32;
         let plan = PreprocessPlan::from_config(&c, 11).expect("plan");
         let ds = presto_datagen::Dataset::generate(&c, 8, 32, 2, 5).expect("dataset");
-        let mut stream = stream_isp_workers(&plan, ds.partitions(), 2, 1);
+        let mut stream = IspBatchStream::spawn(&plan, ds.partitions(), &FleetConfig::new(2, 1));
         let _ = stream.next().unwrap().unwrap();
         drop(stream); // full channel + live producers must not wedge
     }

@@ -13,6 +13,13 @@
 //!   GPU-utilization numbers (Fig. 3).
 //! * [`placement`] — cost-model-driven host/ISP placement of a compiled
 //!   plan's operator stages.
+//! * [`fleet::Fleet`] — the unified fleet API: one
+//!   [`FleetConfig`](presto_ops::FleetConfig) builder spawns any of the
+//!   three streaming executors (host, ISP, split) as an interchangeable
+//!   [`pipeline::BatchSource`].
+//! * [`service::PreprocessService`] — the multi-tenant preprocessing
+//!   service: N concurrent jobs share one device pool under weighted-fair
+//!   dispatch with admission control and per-job SLO tracking.
 //! * [`experiments`] — one data generator per evaluation figure.
 //!
 //! ## Example: reproduce the headline comparison on RM5
@@ -33,26 +40,38 @@
 pub mod datacenter;
 pub mod experiments;
 pub mod failure;
+pub mod fleet;
 pub mod isp_worker;
 pub mod managers;
 pub mod pipeline;
 pub mod placement;
 pub mod provision;
+pub mod service;
 pub mod split;
 pub mod systems;
 
-pub use datacenter::{analyze as analyze_contention, ContentionReport, Fabric, FleetKind};
+pub use datacenter::{
+    analyze as analyze_contention, measure_throttle, ContentionReport, Fabric, FleetKind,
+    MeasuredThrottle,
+};
 pub use experiments::{isp_vs_cpu_end_to_end, EndToEndPoint};
 pub use failure::{simulate_with_failures, FailureEvent, FaultyRunReport, RecoveryPolicy};
-pub use isp_worker::{
-    stream_isp_workers, stream_isp_workers_with, IspBatchStream, IspRunStats, IspWorker,
-};
+pub use fleet::Fleet;
+#[allow(deprecated)]
+pub use isp_worker::{stream_isp_workers, stream_isp_workers_with};
+pub use isp_worker::{IspBatchStream, IspRunStats, IspWorker};
 pub use managers::{Backend, EndToEndReport, PreprocessManager, TrainManager, TrainingJob};
 pub use pipeline::{
     simulate, simulate_measured, BatchSource, PipelineConfig, PipelineReport, Trainer,
     TrainerConfig, TrainerReport,
 };
 pub use placement::{place_stages, OpCostModel, Place, PlacementPlan, StagePlacement};
-pub use provision::Provisioner;
-pub use split::{stream_split_workers, stream_split_workers_with, SplitBatchStream};
+pub use provision::{MeasuredThroughput, Provisioner};
+pub use service::{
+    AdmissionError, JobHandle, JobReport, JobSpec, JobStatus, PreprocessService, ServiceConfig,
+    ServiceReport,
+};
+pub use split::SplitBatchStream;
+#[allow(deprecated)]
+pub use split::{stream_split_workers, stream_split_workers_with};
 pub use systems::System;

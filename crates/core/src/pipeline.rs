@@ -31,7 +31,7 @@ use presto_hwsim::gpu::GpuTrainModel;
 use presto_hwsim::units::Secs;
 use presto_ops::executor::PreprocessError;
 use presto_ops::recovery::RunReport;
-use presto_ops::stream::{inter_arrivals, BatchStream, StreamedBatch};
+use presto_ops::stream::{inter_arrivals, BatchStream, StreamStats, StreamedBatch};
 use std::time::{Duration, Instant};
 
 use crate::systems::System;
@@ -393,13 +393,21 @@ pub struct TrainerReport {
     /// Measured consumer-side inter-arrival gaps, ready to replay through
     /// [`simulate_measured`] (per-RM-model calibration).
     pub inter_arrivals: Vec<Duration>,
-    /// The producer fleet's recovery activity (retries, failovers,
-    /// quarantines, per-device fault counts), when the source reports it.
-    /// `None` for sources without recovery instrumentation.
-    pub recovery: Option<RunReport>,
+    /// Final [`BatchSource::stats`] snapshot of the producer fleet:
+    /// completed partitions, emulated P2P / boundary link traffic, and the
+    /// fleet's recovery activity (retries, failovers, quarantines,
+    /// per-device fault counts) when the source tracks recovery.
+    pub stream: StreamStats,
 }
 
 impl TrainerReport {
+    /// The producer fleet's recovery activity, when the source reported
+    /// one (shorthand for `self.stream.recovery.as_ref()`).
+    #[must_use]
+    pub fn recovery(&self) -> Option<&RunReport> {
+        self.stream.recovery.as_ref()
+    }
+
     /// Share of wall-clock time the trainer spent stalled.
     #[must_use]
     pub fn stall_share(&self) -> f64 {
@@ -438,9 +446,12 @@ impl TrainerReport {
 
 /// A producer the trainer can consume: a blocking pull of preprocessed
 /// mini-batches plus the channel introspection the occupancy histogram
-/// needs. Implemented by the host streaming executor
-/// ([`presto_ops::stream::BatchStream`]) and by the in-storage emulation
-/// ([`crate::isp_worker::IspBatchStream`]).
+/// needs. Implemented by all three streaming fleets — the host executor
+/// ([`presto_ops::stream::BatchStream`]), the in-storage emulation
+/// ([`crate::isp_worker::IspBatchStream`]), the hybrid split executor
+/// ([`crate::split::SplitBatchStream`]) — and by the multi-tenant
+/// service's per-job handle ([`crate::service::JobHandle`]), so a
+/// `Trainer` plugs into any of them unchanged.
 pub trait BatchSource {
     /// Pulls the next mini-batch, blocking until one is ready; `None` ends
     /// the stream.
@@ -452,10 +463,13 @@ pub trait BatchSource {
     /// Mini-batches currently buffered in the output channel.
     fn queued(&self) -> usize;
 
-    /// The fleet's recovery-activity snapshot, when the source tracks one
-    /// (both streaming executors do; defaults to `None`).
-    fn run_report(&self) -> Option<RunReport> {
-        None
+    /// Consolidated fleet counters ([`StreamStats`]): queue depth,
+    /// completed partitions, emulated P2P / boundary link traffic, and the
+    /// recovery snapshot. The default covers sources without
+    /// instrumentation (capacity and live queue depth only; everything
+    /// else zero / `None`).
+    fn stats(&self) -> StreamStats {
+        StreamStats { capacity: self.capacity(), queued: self.queued(), ..StreamStats::default() }
     }
 }
 
@@ -472,8 +486,8 @@ impl BatchSource for BatchStream {
         BatchStream::queued(self)
     }
 
-    fn run_report(&self) -> Option<RunReport> {
-        Some(BatchStream::run_report(self))
+    fn stats(&self) -> StreamStats {
+        BatchStream::stats(self)
     }
 }
 
@@ -531,9 +545,9 @@ impl Trainer {
         }
         let elapsed = start.elapsed();
         let busy = compute + stall;
-        // Snapshot the fleet's recovery activity before the source drops
-        // (final: every producer has delivered or failed by now).
-        let recovery = source.run_report();
+        // Snapshot the fleet's consolidated counters before the source
+        // drops (final: every producer has delivered or failed by now).
+        let stream = source.stats();
         Ok(TrainerReport {
             batches,
             rows,
@@ -548,7 +562,7 @@ impl Trainer {
             },
             occupancy,
             inter_arrivals: inter_arrivals(&arrivals),
-            recovery,
+            stream,
         })
     }
 }
@@ -716,7 +730,7 @@ mod tests {
     // --- Trainer in the loop ---
 
     use presto_datagen::Dataset;
-    use presto_ops::{stream_workers, PreprocessPlan};
+    use presto_ops::{FleetConfig, PreprocessPlan};
 
     fn tiny_dataset(partitions: usize, rows: usize) -> (RmConfig, PreprocessPlan, Dataset) {
         let mut c = RmConfig::rm1();
@@ -729,7 +743,7 @@ mod tests {
     #[test]
     fn instant_trainer_consumes_every_batch() {
         let (_, plan, ds) = tiny_dataset(6, 64);
-        let stream = stream_workers(&plan, ds.partitions(), 2, 3);
+        let stream = BatchStream::spawn(&plan, ds.partitions(), &FleetConfig::new(2, 3));
         let report = Trainer::new(TrainerConfig::instant()).run(stream).expect("trains");
         assert_eq!(report.batches, 6);
         assert_eq!(report.rows, 6 * 64);
@@ -744,7 +758,7 @@ mod tests {
     #[test]
     fn slow_trainer_keeps_the_queue_full_and_rarely_stalls() {
         let (_, plan, ds) = tiny_dataset(8, 32);
-        let stream = stream_workers(&plan, ds.partitions(), 2, 2);
+        let stream = BatchStream::spawn(&plan, ds.partitions(), &FleetConfig::new(2, 2));
         let trainer = Trainer::new(TrainerConfig::per_batch(Duration::from_millis(5)));
         let report = trainer.run(stream).expect("trains");
         assert_eq!(report.batches, 8);
@@ -767,7 +781,7 @@ mod tests {
         let mut partitions = ds.partitions().to_vec();
         let bytes = partitions[1].blob.as_bytes().to_vec();
         partitions[1].blob = presto_columnar::MemBlob::new(bytes[..bytes.len() / 3].to_vec());
-        let stream = stream_workers(&plan, &partitions, 1, 2);
+        let stream = BatchStream::spawn(&plan, &partitions, &FleetConfig::new(1, 2));
         let result = Trainer::new(TrainerConfig::instant()).run(stream);
         assert!(result.is_err(), "corrupt partition must surface to the trainer");
     }
@@ -791,7 +805,7 @@ mod tests {
     #[test]
     fn trainer_trace_replays_through_the_simulation() {
         let (config, plan, ds) = tiny_dataset(8, 64);
-        let stream = stream_workers(&plan, ds.partitions(), 2, 4);
+        let stream = BatchStream::spawn(&plan, ds.partitions(), &FleetConfig::new(2, 4));
         let report = Trainer::new(TrainerConfig::instant()).run(stream).expect("trains");
         let gpu = GpuTrainModel::a100();
         let sim = report.replay(
@@ -815,7 +829,7 @@ mod tests {
             utilization: 0.0,
             occupancy: vec![2, 0, 2],
             inter_arrivals: Vec::new(),
-            recovery: None,
+            stream: StreamStats::default(),
         };
         assert!((report.mean_occupancy() - 1.0).abs() < 1e-12);
         assert!((report.stall_share() - 1.0).abs() < 1e-12);

@@ -1,0 +1,1250 @@
+//! Multi-tenant preprocessing service: N concurrent jobs on one device pool.
+//!
+//! The paper provisions each training job its own preprocessing devices
+//! (`⌈T/P⌉`, Fig. 4/14), but a real datacenter fleet runs *many* jobs that
+//! time-share whatever the cluster has (Sec. VI-A). [`PreprocessService`]
+//! models that sharing with the real executors of this repo rather than an
+//! analytic curve: it owns a pool of worker threads (the shared device
+//! fleet) and accepts any number of concurrent jobs, each described by a
+//! [`JobSpec`] — a compiled plan, its partitions, a
+//! [`Fleet`] preference (host CPU, in-storage, or hybrid split), a
+//! weighted-fair share, and an optional goodput SLO.
+//!
+//! [`PreprocessService::submit`] performs **admission control** against the
+//! pool: a job either starts immediately, queues behind the running set
+//! ([`JobStatus::Queued`]), or is rejected with a typed
+//! [`AdmissionError`]. Admitted jobs return a [`JobHandle`], which is
+//! itself a [`BatchSource`] — each tenant's
+//! [`Trainer`](crate::pipeline::Trainer) plugs into its handle exactly as
+//! it would into a dedicated [`BatchStream`](presto_ops::BatchStream).
+//!
+//! # Scheduling
+//!
+//! Pool workers pick work with **weighted fair queuing**: among jobs that
+//! are running, have unclaimed partitions, and have room in their bounded
+//! output channel, claim a partition from the job with the smallest
+//! `dispatched / weight`. A job whose consumer lags (full channel) yields
+//! its turn instead of blocking a pool worker, so one slow tenant cannot
+//! idle the pool, and a small job cannot starve behind a large one — the
+//! fair-share score of the large job grows with every dispatch. Per-job
+//! starvation is tracked as the longest gap between consecutive dispatches
+//! ([`JobReport::max_dispatch_gap`]) and the pool-wide balance as Jain's
+//! fairness index over weight-normalized service ([`ServiceReport::fairness`]).
+//!
+//! # Isolation
+//!
+//! Each job owns a private `RecoveryTracker` driving its
+//! [`RetryPolicy`]: faults retry with capped backoff, repeated faults
+//! quarantine the device *for that job*, and quarantined or unrecoverable
+//! partitions fail over to a pristine-media host read when the policy
+//! allows — so a device dying mid-run degrades only the jobs with
+//! partitions on it, and every job's [`RunReport`] accounts
+//! `delivered + failed == partitions` independently of its neighbors.
+//!
+//! # Lifecycle
+//!
+//! Dropping a [`JobHandle`] cancels its remaining partitions; dropping the
+//! service cancels everything and joins the pool.
+//! [`PreprocessService::shutdown`] instead waits for all submitted jobs to
+//! terminate (call it after draining the handles) and returns the final
+//! [`ServiceReport`].
+
+use crossbeam_channel::{bounded, Receiver, Sender};
+use presto_datagen::Partition;
+use presto_ops::executor::{preprocess_partition_split, PreprocessError, StageTimings};
+use presto_ops::minibatch::MiniBatch;
+use presto_ops::plan::PreprocessPlan;
+use presto_ops::recovery::{RecoveryTracker, RetryPolicy, RunReport};
+use presto_ops::stream::{StreamStats, StreamedBatch};
+use presto_ops::{preprocess_partition_with, ScratchSpace};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::fleet::Fleet;
+use crate::isp_worker::{IspWorker, FEATURE_BUFFER_ELEMS};
+use crate::pipeline::BatchSource;
+
+type Item = Result<StreamedBatch, PreprocessError>;
+
+/// Pool sizing and admission limits of a [`PreprocessService`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Shared pool worker threads (the device fleet every job time-shares).
+    pub pool_workers: usize,
+    /// Per-job output-channel capacity in mini-batches; a job whose
+    /// consumer lags past this stops receiving pool dispatches until it
+    /// drains (back-pressure without blocking the pool).
+    pub job_capacity: usize,
+    /// Jobs allowed to run concurrently; further submissions queue.
+    pub max_active_jobs: usize,
+    /// Jobs allowed to wait in the admission queue; further submissions
+    /// are rejected with [`AdmissionError::PoolSaturated`].
+    pub max_queued_jobs: usize,
+}
+
+impl ServiceConfig {
+    /// A pool of `pool_workers` threads with default admission limits
+    /// (4 active jobs, 4 queued, 4-deep per-job channels).
+    #[must_use]
+    pub fn new(pool_workers: usize) -> Self {
+        ServiceConfig {
+            pool_workers: pool_workers.max(1),
+            job_capacity: 4,
+            max_active_jobs: 4,
+            max_queued_jobs: 4,
+        }
+    }
+
+    /// Sets the per-job output-channel capacity.
+    #[must_use]
+    pub fn with_job_capacity(mut self, job_capacity: usize) -> Self {
+        self.job_capacity = job_capacity.max(1);
+        self
+    }
+
+    /// Sets the concurrent-job admission limit.
+    #[must_use]
+    pub fn with_max_active_jobs(mut self, max_active_jobs: usize) -> Self {
+        self.max_active_jobs = max_active_jobs.max(1);
+        self
+    }
+
+    /// Sets the admission-queue depth (0 = reject when saturated).
+    #[must_use]
+    pub fn with_max_queued_jobs(mut self, max_queued_jobs: usize) -> Self {
+        self.max_queued_jobs = max_queued_jobs;
+        self
+    }
+}
+
+/// One tenant's job: what to preprocess, on which fleet, with what share
+/// of the pool and what goodput target.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Human-readable job name, echoed in reports.
+    pub name: String,
+    /// The compiled preprocessing plan.
+    pub plan: PreprocessPlan,
+    /// The partitions to preprocess.
+    pub partitions: Vec<Partition>,
+    /// Which executor serves this job's partitions.
+    pub fleet: Fleet,
+    /// Weighted-fair share of the pool (relative to other jobs; > 0).
+    pub weight: f64,
+    /// Goodput SLO in rows/sec, checked against the job's delivered rate.
+    pub goodput_slo: Option<f64>,
+    /// Failure-handling policy for this job's partitions (private to the
+    /// job: quarantines never leak to other tenants).
+    pub recovery: RetryPolicy,
+}
+
+impl JobSpec {
+    /// A host-fleet job with weight 1, no SLO and fail-fast recovery.
+    #[must_use]
+    pub fn new(name: impl Into<String>, plan: PreprocessPlan, partitions: Vec<Partition>) -> Self {
+        JobSpec {
+            name: name.into(),
+            plan,
+            partitions,
+            fleet: Fleet::Host,
+            weight: 1.0,
+            goodput_slo: None,
+            recovery: RetryPolicy::fail_fast(),
+        }
+    }
+
+    /// Sets the fleet preference.
+    #[must_use]
+    pub fn with_fleet(mut self, fleet: Fleet) -> Self {
+        self.fleet = fleet;
+        self
+    }
+
+    /// Sets the weighted-fair share (clamped positive).
+    #[must_use]
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        self.weight = if weight > 0.0 { weight } else { 1.0 };
+        self
+    }
+
+    /// Sets the goodput SLO in rows/sec.
+    #[must_use]
+    pub fn with_goodput_slo(mut self, rows_per_sec: f64) -> Self {
+        self.goodput_slo = Some(rows_per_sec);
+        self
+    }
+
+    /// Sets the failure-handling policy.
+    #[must_use]
+    pub fn with_recovery(mut self, recovery: RetryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+}
+
+/// Why [`PreprocessService::submit`] refused a job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The spec carries no partitions — nothing to schedule.
+    NoPartitions,
+    /// Active and queued slots are all taken.
+    PoolSaturated {
+        /// Jobs currently running.
+        active: usize,
+        /// Jobs already waiting in the admission queue.
+        queued: usize,
+        /// The queue-depth limit that was hit.
+        max_queued: usize,
+    },
+    /// The service is shutting down.
+    ShuttingDown,
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::NoPartitions => write!(f, "job has no partitions"),
+            AdmissionError::PoolSaturated { active, queued, max_queued } => {
+                write!(f, "pool saturated: {active} active jobs, {queued}/{max_queued} queued")
+            }
+            AdmissionError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Admitted but waiting for an active-job slot.
+    Queued,
+    /// Receiving pool dispatches.
+    Running,
+    /// Every partition delivered.
+    Completed,
+    /// Terminated with at least one failed partition (or a fail-fast
+    /// abort).
+    Failed,
+    /// The consumer dropped its [`JobHandle`] before completion.
+    Cancelled,
+}
+
+/// Per-job counters shared between the pool, the scheduler and the
+/// consumer's [`JobHandle`].
+struct JobShared {
+    tracker: RecoveryTracker,
+    cancelled: AtomicBool,
+    /// Nanoseconds the consumer spent blocked in `next_batch`.
+    stall_nanos: AtomicU64,
+    rows: AtomicU64,
+    p2p_bytes: AtomicU64,
+    boundary_bytes: AtomicU64,
+    completed: AtomicUsize,
+}
+
+/// Immutable job inputs, shared by reference with pool workers.
+struct JobData {
+    name: String,
+    plan: PreprocessPlan,
+    partitions: Vec<Partition>,
+    fleet: Fleet,
+    weight: f64,
+    goodput_slo: Option<f64>,
+}
+
+/// Scheduler-owned mutable state of one job.
+struct JobState {
+    data: Arc<JobData>,
+    shared: Arc<JobShared>,
+    /// Producer end of the job's output channel; dropped at finalization
+    /// so the consumer observes end-of-stream.
+    tx: Option<Sender<Item>>,
+    status: JobStatus,
+    /// Next unclaimed partition.
+    cursor: usize,
+    /// Partitions claimed but not yet delivered.
+    inflight: usize,
+    /// Total dispatches (the weighted-fair service counter).
+    dispatched: u64,
+    /// Fail-fast tripped: stop claiming, finalize when in-flight drains.
+    halted: bool,
+    submitted_at: Instant,
+    started_at: Option<Instant>,
+    finished_at: Option<Instant>,
+    last_dispatch: Option<Instant>,
+    max_gap: Duration,
+}
+
+impl JobState {
+    fn dispatchable(&self, job_capacity: usize) -> bool {
+        self.status == JobStatus::Running
+            && !self.halted
+            && !self.shared.cancelled.load(Ordering::Relaxed)
+            && self.cursor < self.data.partitions.len()
+            && self.tx.as_ref().is_some_and(|tx| tx.len() + self.inflight < job_capacity)
+    }
+
+    fn terminal_when_drained(&self) -> bool {
+        self.status == JobStatus::Running
+            && self.inflight == 0
+            && (self.halted
+                || self.shared.cancelled.load(Ordering::Relaxed)
+                || self.cursor >= self.data.partitions.len())
+    }
+}
+
+struct SchedState {
+    jobs: Vec<JobState>,
+    pending: VecDeque<usize>,
+    active: usize,
+    stop: bool,
+}
+
+struct ServiceInner {
+    config: ServiceConfig,
+    state: Mutex<SchedState>,
+    signal: Condvar,
+    started: Instant,
+}
+
+/// One claimed unit of work, extracted under the scheduler lock.
+struct Claim {
+    job: usize,
+    pos: usize,
+    data: Arc<JobData>,
+    shared: Arc<JobShared>,
+    tx: Sender<Item>,
+}
+
+/// The multi-tenant preprocessing service — see the [module docs](self).
+pub struct PreprocessService {
+    inner: Arc<ServiceInner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl fmt::Debug for PreprocessService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PreprocessService")
+            .field("config", &self.inner.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PreprocessService {
+    /// Starts the pool: `config.pool_workers` threads, idle until jobs
+    /// arrive.
+    #[must_use]
+    pub fn new(config: ServiceConfig) -> Self {
+        let inner = Arc::new(ServiceInner {
+            config: config.clone(),
+            state: Mutex::new(SchedState {
+                jobs: Vec::new(),
+                pending: VecDeque::new(),
+                active: 0,
+                stop: false,
+            }),
+            signal: Condvar::new(),
+            started: Instant::now(),
+        });
+        let workers = (0..config.pool_workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("presto-pool-{i}"))
+                    .spawn(move || pool_worker(&inner))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        PreprocessService { inner, workers }
+    }
+
+    /// The pool configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServiceConfig {
+        &self.inner.config
+    }
+
+    /// Admits a job: starts it if an active slot is free, queues it if the
+    /// admission queue has room, otherwise rejects it.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError::NoPartitions`] for an empty job,
+    /// [`AdmissionError::PoolSaturated`] when both the active set and the
+    /// queue are full, [`AdmissionError::ShuttingDown`] after shutdown
+    /// began.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, AdmissionError> {
+        if spec.partitions.is_empty() {
+            return Err(AdmissionError::NoPartitions);
+        }
+        let config = &self.inner.config;
+        let mut state = self.inner.state.lock().expect("scheduler lock");
+        if state.stop {
+            return Err(AdmissionError::ShuttingDown);
+        }
+        let starts_now = state.active < config.max_active_jobs;
+        if !starts_now && state.pending.len() >= config.max_queued_jobs {
+            return Err(AdmissionError::PoolSaturated {
+                active: state.active,
+                queued: state.pending.len(),
+                max_queued: config.max_queued_jobs,
+            });
+        }
+        let devices: Vec<usize> = spec.partitions.iter().map(|p| p.device).collect();
+        let shared = Arc::new(JobShared {
+            tracker: RecoveryTracker::new(spec.recovery.clone(), &devices, spec.partitions.len()),
+            cancelled: AtomicBool::new(false),
+            stall_nanos: AtomicU64::new(0),
+            rows: AtomicU64::new(0),
+            p2p_bytes: AtomicU64::new(0),
+            boundary_bytes: AtomicU64::new(0),
+            completed: AtomicUsize::new(0),
+        });
+        let data = Arc::new(JobData {
+            name: spec.name,
+            plan: spec.plan,
+            partitions: spec.partitions,
+            fleet: spec.fleet,
+            weight: if spec.weight > 0.0 { spec.weight } else { 1.0 },
+            goodput_slo: spec.goodput_slo,
+        });
+        let (tx, rx) = bounded::<Item>(config.job_capacity);
+        let id = state.jobs.len();
+        let now = Instant::now();
+        let status = if starts_now {
+            state.active += 1;
+            JobStatus::Running
+        } else {
+            state.pending.push_back(id);
+            JobStatus::Queued
+        };
+        state.jobs.push(JobState {
+            data: Arc::clone(&data),
+            shared: Arc::clone(&shared),
+            tx: Some(tx),
+            status,
+            cursor: 0,
+            inflight: 0,
+            dispatched: 0,
+            halted: false,
+            submitted_at: now,
+            started_at: starts_now.then_some(now),
+            finished_at: None,
+            last_dispatch: None,
+            max_gap: Duration::ZERO,
+        });
+        drop(state);
+        self.inner.signal.notify_all();
+        Ok(JobHandle {
+            job: id,
+            name: data.name.clone(),
+            capacity: config.job_capacity,
+            rx: Some(rx),
+            shared,
+            inner: Arc::clone(&self.inner),
+        })
+    }
+
+    /// A point-in-time [`ServiceReport`] over every submitted job.
+    #[must_use]
+    pub fn report(&self) -> ServiceReport {
+        build_report(&self.inner)
+    }
+
+    /// Waits until every submitted job reaches a terminal status, stops
+    /// the pool, and returns the final report. Call after draining the
+    /// job handles — an undrained running job never terminates on its own.
+    #[must_use]
+    pub fn shutdown(mut self) -> ServiceReport {
+        {
+            let mut state = self.inner.state.lock().expect("scheduler lock");
+            loop {
+                reap(&mut state, &self.inner.config);
+                let busy = state
+                    .jobs
+                    .iter()
+                    .any(|j| matches!(j.status, JobStatus::Running | JobStatus::Queued));
+                if !busy {
+                    break;
+                }
+                let (next, _) = self
+                    .inner
+                    .signal
+                    .wait_timeout(state, Duration::from_millis(5))
+                    .expect("scheduler lock");
+                state = next;
+            }
+            state.stop = true;
+        }
+        self.inner.signal.notify_all();
+        self.join_pool();
+        build_report(&self.inner)
+    }
+
+    fn join_pool(&mut self) {
+        for handle in self.workers.drain(..) {
+            if let Err(panic) = handle.join() {
+                if !std::thread::panicking() {
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    }
+}
+
+impl Drop for PreprocessService {
+    fn drop(&mut self) {
+        {
+            let mut state = self.inner.state.lock().expect("scheduler lock");
+            state.stop = true;
+            for job in &state.jobs {
+                job.shared.cancelled.store(true, Ordering::Relaxed);
+            }
+        }
+        self.inner.signal.notify_all();
+        self.join_pool();
+    }
+}
+
+/// The consumer's end of one admitted job: a [`BatchSource`] yielding the
+/// job's mini-batches in completion order, exactly like a dedicated
+/// fleet's stream. Dropping the handle cancels the job's remaining
+/// partitions.
+pub struct JobHandle {
+    job: usize,
+    name: String,
+    capacity: usize,
+    rx: Option<Receiver<Item>>,
+    shared: Arc<JobShared>,
+    inner: Arc<ServiceInner>,
+}
+
+impl fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("job", &self.job)
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
+impl JobHandle {
+    /// The job's name, as given in its [`JobSpec`].
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The job's current lifecycle status.
+    #[must_use]
+    pub fn status(&self) -> JobStatus {
+        self.inner.state.lock().expect("scheduler lock").jobs[self.job].status
+    }
+
+    /// This job's [`JobReport`] so far (final once the stream has ended).
+    #[must_use]
+    pub fn report(&self) -> JobReport {
+        job_report(&self.inner.state.lock().expect("scheduler lock").jobs[self.job])
+    }
+
+    /// Consolidated live counters for this job ([`StreamStats`]).
+    #[must_use]
+    pub fn stats(&self) -> StreamStats {
+        StreamStats {
+            workers: self.inner.config.pool_workers,
+            capacity: self.capacity,
+            queued: self.rx.as_ref().map_or(0, Receiver::len),
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            p2p_bytes: self.shared.p2p_bytes.load(Ordering::Relaxed),
+            boundary_bytes: self.shared.boundary_bytes.load(Ordering::Relaxed),
+            recovery: Some(self.shared.tracker.report()),
+        }
+    }
+}
+
+impl Iterator for JobHandle {
+    type Item = Item;
+
+    fn next(&mut self) -> Option<Item> {
+        let rx = self.rx.as_ref()?;
+        let t0 = Instant::now();
+        let item = rx.recv().ok();
+        let nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.shared.stall_nanos.fetch_add(nanos, Ordering::Relaxed);
+        match item {
+            Some(item) => {
+                // A channel slot freed: wake the scheduler, the job may be
+                // dispatchable again.
+                self.inner.signal.notify_all();
+                Some(item)
+            }
+            None => {
+                self.rx = None;
+                None
+            }
+        }
+    }
+}
+
+impl BatchSource for JobHandle {
+    fn next_batch(&mut self) -> Option<Item> {
+        self.next()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn queued(&self) -> usize {
+        self.rx.as_ref().map_or(0, Receiver::len)
+    }
+
+    fn stats(&self) -> StreamStats {
+        JobHandle::stats(self)
+    }
+}
+
+impl Drop for JobHandle {
+    fn drop(&mut self) {
+        self.shared.cancelled.store(true, Ordering::Relaxed);
+        self.rx = None;
+        self.inner.signal.notify_all();
+    }
+}
+
+/// Final accounting for one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobReport {
+    /// Job name from the [`JobSpec`].
+    pub name: String,
+    /// Fleet the job ran on (`"host"`, `"isp"`, `"split"`).
+    pub fleet: String,
+    /// Lifecycle status at report time.
+    pub status: JobStatus,
+    /// Partitions in the job.
+    pub partitions: usize,
+    /// Partitions delivered as mini-batches.
+    pub delivered: u64,
+    /// Rows delivered.
+    pub rows: u64,
+    /// Weighted-fair share the job was scheduled with.
+    pub weight: f64,
+    /// Delivered rows/sec over the job's running time.
+    pub goodput_rows_per_sec: f64,
+    /// The SLO target from the spec, if any.
+    pub goodput_slo: Option<f64>,
+    /// Whether the goodput met the SLO (`None` when no SLO was set).
+    pub slo_met: Option<bool>,
+    /// Share of the job's running time its consumer spent blocked waiting
+    /// for the next batch (0 = never starved the trainer).
+    pub stall_share: f64,
+    /// Time spent waiting in the admission queue before starting.
+    pub queued_wait: Duration,
+    /// Running time (start to finish, or to now while running).
+    pub elapsed: Duration,
+    /// Longest gap between consecutive pool dispatches — the starvation
+    /// metric (small under fair sharing, large when crowded out).
+    pub max_dispatch_gap: Duration,
+    /// The job's private recovery accounting
+    /// (`delivered + failed == partitions` once terminal).
+    pub recovery: RunReport,
+}
+
+/// Roll-up over every job a service has seen.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceReport {
+    /// Pool worker threads serving the jobs.
+    pub pool_workers: usize,
+    /// Service uptime at report time.
+    pub elapsed: Duration,
+    /// Jain's fairness index over the jobs' weight-normalized service
+    /// (`dispatched / weight`): 1.0 = perfectly proportional sharing,
+    /// `1/n` = one job monopolized the pool.
+    pub fairness: f64,
+    /// Per-job reports, in submission order.
+    pub jobs: Vec<JobReport>,
+}
+
+impl ServiceReport {
+    /// The worst starvation over all jobs: the largest
+    /// [`JobReport::max_dispatch_gap`].
+    #[must_use]
+    pub fn max_starvation(&self) -> Duration {
+        self.jobs.iter().map(|j| j.max_dispatch_gap).max().unwrap_or(Duration::ZERO)
+    }
+}
+
+fn job_report(job: &JobState) -> JobReport {
+    let recovery = job.shared.tracker.report();
+    let rows = job.shared.rows.load(Ordering::Relaxed);
+    let elapsed = match (job.started_at, job.finished_at) {
+        (Some(start), Some(finish)) => finish.duration_since(start),
+        (Some(start), None) => start.elapsed(),
+        _ => Duration::ZERO,
+    };
+    let queued_wait = match job.started_at {
+        Some(start) => start.duration_since(job.submitted_at),
+        None => job.submitted_at.elapsed(),
+    };
+    let goodput = rows as f64 / elapsed.as_secs_f64().max(1e-9);
+    let stall = Duration::from_nanos(job.shared.stall_nanos.load(Ordering::Relaxed));
+    let stall_share = (stall.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)).clamp(0.0, 1.0);
+    JobReport {
+        name: job.data.name.clone(),
+        fleet: job.data.fleet.name().to_string(),
+        status: job.status,
+        partitions: job.data.partitions.len(),
+        delivered: recovery.delivered,
+        rows,
+        weight: job.data.weight,
+        goodput_rows_per_sec: goodput,
+        goodput_slo: job.data.goodput_slo,
+        slo_met: job.data.goodput_slo.map(|target| goodput >= target),
+        stall_share,
+        queued_wait,
+        elapsed,
+        max_dispatch_gap: job.max_gap,
+        recovery,
+    }
+}
+
+fn jains_index(shares: &[f64]) -> f64 {
+    if shares.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = shares.iter().sum();
+    let sum_sq: f64 = shares.iter().map(|x| x * x).sum();
+    if sum_sq <= 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (shares.len() as f64 * sum_sq)
+}
+
+fn build_report(inner: &ServiceInner) -> ServiceReport {
+    let state = inner.state.lock().expect("scheduler lock");
+    let shares: Vec<f64> = state
+        .jobs
+        .iter()
+        .filter(|j| j.dispatched > 0)
+        .map(|j| j.dispatched as f64 / j.data.weight)
+        .collect();
+    ServiceReport {
+        pool_workers: inner.config.pool_workers,
+        elapsed: inner.started.elapsed(),
+        fairness: jains_index(&shares),
+        jobs: state.jobs.iter().map(job_report).collect(),
+    }
+}
+
+/// Finalizes a terminal job: drops its sender (ending the consumer's
+/// stream), settles its status, frees its active slot and promotes queued
+/// jobs into the freed capacity.
+fn finalize(state: &mut SchedState, id: usize, config: &ServiceConfig) {
+    {
+        let job = &mut state.jobs[id];
+        job.tx = None;
+        job.finished_at = Some(Instant::now());
+        job.status = if job.shared.cancelled.load(Ordering::Relaxed) {
+            JobStatus::Cancelled
+        } else {
+            let report = job.shared.tracker.report();
+            if report.failed_partitions.is_empty() && !job.halted {
+                JobStatus::Completed
+            } else {
+                JobStatus::Failed
+            }
+        };
+    }
+    state.active -= 1;
+    while state.active < config.max_active_jobs {
+        let Some(next) = state.pending.pop_front() else { break };
+        let job = &mut state.jobs[next];
+        if job.shared.cancelled.load(Ordering::Relaxed) {
+            job.status = JobStatus::Cancelled;
+            job.tx = None;
+            job.finished_at = Some(Instant::now());
+            continue;
+        }
+        job.status = JobStatus::Running;
+        job.started_at = Some(Instant::now());
+        state.active += 1;
+    }
+}
+
+/// Sweeps for jobs whose work is finished (or cancelled/halted) with no
+/// in-flight partitions and finalizes them.
+fn reap(state: &mut SchedState, config: &ServiceConfig) {
+    for id in 0..state.jobs.len() {
+        if state.jobs[id].terminal_when_drained() {
+            finalize(state, id, config);
+        }
+    }
+}
+
+/// Picks the next (job, partition) under weighted fair queuing: the
+/// dispatchable job with the smallest `dispatched / weight` claims its
+/// next partition.
+fn claim_next(state: &mut SchedState, config: &ServiceConfig) -> Option<Claim> {
+    reap(state, config);
+    let id = state
+        .jobs
+        .iter()
+        .enumerate()
+        .filter(|(_, j)| j.dispatchable(config.job_capacity))
+        .min_by(|(_, a), (_, b)| {
+            let fa = a.dispatched as f64 / a.data.weight;
+            let fb = b.dispatched as f64 / b.data.weight;
+            fa.total_cmp(&fb)
+        })
+        .map(|(id, _)| id)?;
+    let job = &mut state.jobs[id];
+    let pos = job.cursor;
+    job.cursor += 1;
+    job.inflight += 1;
+    job.dispatched += 1;
+    let now = Instant::now();
+    let since = job.last_dispatch.or(job.started_at).unwrap_or(now);
+    let gap = now.duration_since(since);
+    if gap > job.max_gap {
+        job.max_gap = gap;
+    }
+    job.last_dispatch = Some(now);
+    Some(Claim {
+        job: id,
+        pos,
+        data: Arc::clone(&job.data),
+        shared: Arc::clone(&job.shared),
+        tx: job.tx.clone().expect("running job has a sender"),
+    })
+}
+
+/// Pool worker body: claim fairly, execute on the job's fleet, deliver.
+fn pool_worker(inner: &ServiceInner) {
+    let mut scratch = ScratchSpace::new();
+    loop {
+        let claim = {
+            let mut state: MutexGuard<'_, SchedState> = inner.state.lock().expect("scheduler lock");
+            loop {
+                if state.stop {
+                    return;
+                }
+                if let Some(claim) = claim_next(&mut state, &inner.config) {
+                    break claim;
+                }
+                // The timeout re-polls channel room (consumers drain
+                // without always reaching the condvar) and catches any
+                // missed wakeup.
+                let (next, _) = inner
+                    .signal
+                    .wait_timeout(state, Duration::from_millis(1))
+                    .expect("scheduler lock");
+                state = next;
+            }
+        };
+        let outcome = run_one(&claim.data, &claim.shared, claim.pos, &mut scratch);
+        let halted = deliver(inner, &claim, outcome);
+        {
+            let mut state = inner.state.lock().expect("scheduler lock");
+            let job = &mut state.jobs[claim.job];
+            job.inflight -= 1;
+            if halted {
+                job.halted = true;
+            }
+            reap(&mut state, &inner.config);
+        }
+        inner.signal.notify_all();
+    }
+}
+
+/// Sends one execution outcome to the job's consumer, updating the job's
+/// recovery accounting. Returns `true` when a fail-fast policy halts the
+/// job.
+fn deliver(inner: &ServiceInner, claim: &Claim, outcome: Result<Done, PreprocessError>) -> bool {
+    let partition = &claim.data.partitions[claim.pos];
+    let slot = claim.shared.tracker.slot_of(partition.device);
+    match outcome {
+        Ok(done) => {
+            claim.shared.rows.fetch_add(done.batch.rows() as u64, Ordering::Relaxed);
+            claim.shared.p2p_bytes.fetch_add(done.p2p_bytes, Ordering::Relaxed);
+            claim.shared.boundary_bytes.fetch_add(done.boundary_bytes, Ordering::Relaxed);
+            claim.shared.completed.fetch_add(1, Ordering::Relaxed);
+            claim.shared.tracker.note_delivered(slot, claim.pos, done.via_failover);
+            let item = StreamedBatch {
+                partition: claim.pos,
+                device: partition.device,
+                stolen: false,
+                batch: done.batch,
+                timings: done.timings,
+                arrived: inner.started.elapsed(),
+                attempts: done.attempts,
+                via_failover: done.via_failover,
+            };
+            // Room was reserved at claim time (len + inflight < capacity),
+            // so this send cannot block; it only errs when the consumer
+            // dropped its handle, which cancellation already covers.
+            let _ = claim.tx.send(Ok(item));
+            false
+        }
+        Err(e) => {
+            claim.shared.tracker.note_failed(slot, claim.pos);
+            let _ = claim.tx.send(Err(e.with_location(claim.pos, partition.device)));
+            claim.shared.tracker.policy().fail_fast
+        }
+    }
+}
+
+/// One delivered partition's payload and provenance.
+struct Done {
+    batch: MiniBatch,
+    timings: StageTimings,
+    attempts: u32,
+    via_failover: bool,
+    p2p_bytes: u64,
+    boundary_bytes: u64,
+}
+
+/// Runs one partition on its job's fleet under the job's retry policy:
+/// quarantined devices and unrecoverable retryable errors fail over to a
+/// pristine-media host read when the policy allows, exactly like the
+/// dedicated fleets.
+fn run_one(
+    data: &JobData,
+    shared: &JobShared,
+    pos: usize,
+    scratch: &mut ScratchSpace,
+) -> Result<Done, PreprocessError> {
+    let partition = &data.partitions[pos];
+    let slot = shared.tracker.slot_of(partition.device);
+    let policy = shared.tracker.policy().clone();
+
+    if shared.tracker.is_quarantined(slot) {
+        if policy.failover {
+            shared.tracker.note_failover(slot, pos);
+            return failover(data, pos, scratch);
+        }
+        return Err(PreprocessError::Extract(presto_columnar::ColumnarError::Io {
+            detail: format!("device {} quarantined (circuit breaker open)", partition.device),
+        }));
+    }
+
+    let mut attempt = 1u32;
+    loop {
+        let t0 = Instant::now();
+        let result = attempt_once(data, pos, scratch);
+        shared.tracker.check_straggler(slot, pos, t0.elapsed());
+        match result {
+            Ok(mut done) => {
+                done.attempts = attempt;
+                return Ok(done);
+            }
+            Err(e) => {
+                shared.tracker.note_fault(slot, pos);
+                let retry = e.is_retryable()
+                    && attempt < policy.max_attempts
+                    && !shared.tracker.is_quarantined(slot);
+                if !retry {
+                    if e.is_retryable() && policy.failover {
+                        shared.tracker.note_failover(slot, pos);
+                        return failover(data, pos, scratch);
+                    }
+                    return Err(e);
+                }
+                attempt += 1;
+                let backoff = shared.tracker.note_retry(slot, pos, attempt);
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+            }
+        }
+    }
+}
+
+/// Host-path failover: re-read the pristine media and run the full plan on
+/// the CPU — bit-identical output by construction.
+fn failover(
+    data: &JobData,
+    pos: usize,
+    scratch: &mut ScratchSpace,
+) -> Result<Done, PreprocessError> {
+    let blob = data.partitions[pos].blob.without_faults();
+    let (batch, timings) = preprocess_partition_with(&data.plan, blob, scratch)?;
+    Ok(Done { batch, timings, attempts: 1, via_failover: true, p2p_bytes: 0, boundary_bytes: 0 })
+}
+
+/// One attempt on the job's preferred fleet.
+fn attempt_once(
+    data: &JobData,
+    pos: usize,
+    scratch: &mut ScratchSpace,
+) -> Result<Done, PreprocessError> {
+    let blob = data.partitions[pos].blob.clone();
+    match &data.fleet {
+        Fleet::Host => {
+            let (batch, timings) = preprocess_partition_with(&data.plan, blob, scratch)?;
+            Ok(Done {
+                batch,
+                timings,
+                attempts: 1,
+                via_failover: false,
+                p2p_bytes: 0,
+                boundary_bytes: 0,
+            })
+        }
+        Fleet::Isp => {
+            let worker = IspWorker::new(data.plan.clone());
+            let (batch, stats) = worker.preprocess_with(blob, scratch)?;
+            Ok(Done {
+                batch,
+                timings: StageTimings::default(),
+                attempts: 1,
+                via_failover: false,
+                p2p_bytes: stats.p2p_bytes,
+                boundary_bytes: 0,
+            })
+        }
+        Fleet::Split(split) => {
+            let (batch, report) = preprocess_partition_split(
+                &data.plan,
+                split,
+                blob,
+                FEATURE_BUFFER_ELEMS,
+                scratch.read_scratch(),
+            )?;
+            let mut timings = report.isp;
+            timings.absorb(&report.host);
+            timings.extract = report.extract;
+            Ok(Done {
+                batch,
+                timings,
+                attempts: 1,
+                via_failover: false,
+                p2p_bytes: 0,
+                boundary_bytes: report.boundary_bytes,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_datagen::{Dataset, RmConfig};
+    use presto_ops::preprocess_partition;
+
+    fn setup(parts: usize, rows: usize, seed: u64) -> (PreprocessPlan, Dataset, Vec<MiniBatch>) {
+        let mut c = RmConfig::rm1();
+        c.batch_size = rows;
+        let plan = PreprocessPlan::from_config(&c, seed).expect("plan");
+        let ds = Dataset::generate(&c, parts, rows, 2, seed).expect("dataset");
+        let serial: Vec<MiniBatch> = ds
+            .partitions()
+            .iter()
+            .map(|p| preprocess_partition(&plan, p.blob.clone()).unwrap().0)
+            .collect();
+        (plan, ds, serial)
+    }
+
+    fn drain(handle: JobHandle) -> Vec<(usize, MiniBatch)> {
+        let mut got: Vec<(usize, MiniBatch)> = Vec::new();
+        for item in handle {
+            let b = item.expect("job partition preprocesses");
+            got.push((b.partition, b.batch));
+        }
+        got.sort_by_key(|(p, _)| *p);
+        got
+    }
+
+    #[test]
+    fn single_job_is_bit_identical_to_serial() {
+        let (plan, ds, serial) = setup(6, 32, 11);
+        let service = PreprocessService::new(ServiceConfig::new(2));
+        let handle =
+            service.submit(JobSpec::new("solo", plan, ds.partitions().to_vec())).expect("admitted");
+        let got = drain(handle);
+        assert_eq!(got.len(), 6);
+        for (pos, batch) in got {
+            assert_eq!(batch, serial[pos], "partition {pos}");
+        }
+        let report = service.shutdown();
+        assert_eq!(report.jobs.len(), 1);
+        assert_eq!(report.jobs[0].status, JobStatus::Completed);
+        assert_eq!(report.jobs[0].delivered, 6);
+        assert_eq!(report.jobs[0].recovery.delivered, 6);
+        assert!(report.jobs[0].recovery.failed_partitions.is_empty());
+    }
+
+    #[test]
+    fn concurrent_jobs_with_distinct_plans_match_their_solo_outputs() {
+        let (plan_a, ds_a, serial_a) = setup(5, 32, 11);
+        let (plan_b, ds_b, serial_b) = setup(4, 24, 77);
+        let service = PreprocessService::new(ServiceConfig::new(3));
+        let h_a = service
+            .submit(JobSpec::new("a", plan_a, ds_a.partitions().to_vec()).with_fleet(Fleet::Isp))
+            .expect("admitted");
+        let h_b = service
+            .submit(JobSpec::new("b", plan_b, ds_b.partitions().to_vec()))
+            .expect("admitted");
+        let (got_a, got_b) = std::thread::scope(|s| {
+            let ta = s.spawn(|| drain(h_a));
+            let tb = s.spawn(|| drain(h_b));
+            (ta.join().unwrap(), tb.join().unwrap())
+        });
+        assert_eq!(got_a.len(), 5);
+        assert_eq!(got_b.len(), 4);
+        for (pos, batch) in got_a {
+            assert_eq!(batch, serial_a[pos], "job a partition {pos}");
+        }
+        for (pos, batch) in got_b {
+            assert_eq!(batch, serial_b[pos], "job b partition {pos}");
+        }
+        let report = service.shutdown();
+        assert!(report.jobs.iter().all(|j| j.status == JobStatus::Completed));
+        assert!(report.fairness > 0.5, "fairness {:.2}", report.fairness);
+    }
+
+    #[test]
+    fn admission_queues_then_rejects_when_saturated() {
+        let (plan, ds, _) = setup(4, 16, 11);
+        // A 1-deep channel keeps the first job alive (it cannot buffer all
+        // its output) until the consumer actually drains it.
+        let config = ServiceConfig::new(1)
+            .with_job_capacity(1)
+            .with_max_active_jobs(1)
+            .with_max_queued_jobs(1);
+        let service = PreprocessService::new(config);
+        let spec = || JobSpec::new("job", plan.clone(), ds.partitions().to_vec());
+        let first = service.submit(spec()).expect("first admitted");
+        let second = service.submit(spec()).expect("second queues");
+        assert_eq!(second.status(), JobStatus::Queued);
+        let err = service.submit(spec()).expect_err("third rejected");
+        assert!(matches!(err, AdmissionError::PoolSaturated { max_queued: 1, .. }), "{err:?}");
+        assert_eq!(
+            service.submit(JobSpec::new("empty", plan.clone(), Vec::new())).expect_err("empty"),
+            AdmissionError::NoPartitions
+        );
+        // Draining the first job frees its slot; the queued job runs.
+        let got = drain(first);
+        assert_eq!(got.len(), 4);
+        let got = drain(second);
+        assert_eq!(got.len(), 4);
+        let report = service.shutdown();
+        assert!(report.jobs[1].queued_wait > Duration::ZERO);
+        assert_eq!(report.jobs[1].status, JobStatus::Completed);
+    }
+
+    #[test]
+    fn dropping_a_handle_cancels_only_that_job() {
+        let (plan, ds, serial) = setup(6, 32, 11);
+        let service = PreprocessService::new(ServiceConfig::new(2).with_job_capacity(1));
+        let doomed = service
+            .submit(JobSpec::new("doomed", plan.clone(), ds.partitions().to_vec()))
+            .expect("admitted");
+        let survivor = service
+            .submit(JobSpec::new("survivor", plan, ds.partitions().to_vec()))
+            .expect("admitted");
+        drop(doomed);
+        let got = drain(survivor);
+        assert_eq!(got.len(), 6);
+        for (pos, batch) in got {
+            assert_eq!(batch, serial[pos], "partition {pos}");
+        }
+        let report = service.shutdown();
+        assert_eq!(report.jobs[0].status, JobStatus::Cancelled);
+        assert_eq!(report.jobs[1].status, JobStatus::Completed);
+    }
+
+    #[test]
+    fn weighted_shares_skew_dispatch_counts() {
+        // One pool worker, two jobs with 3:1 weights and deep channels:
+        // the heavy job must accumulate dispatches ahead of the light one.
+        let (plan, ds, _) = setup(8, 16, 11);
+        let service = PreprocessService::new(ServiceConfig::new(1).with_job_capacity(8));
+        let heavy = service
+            .submit(JobSpec::new("heavy", plan.clone(), ds.partitions().to_vec()).with_weight(3.0))
+            .expect("admitted");
+        let light = service
+            .submit(JobSpec::new("light", plan, ds.partitions().to_vec()).with_weight(1.0))
+            .expect("admitted");
+        let (a, b) = std::thread::scope(|s| {
+            let ta = s.spawn(|| drain(heavy));
+            let tb = s.spawn(|| drain(light));
+            (ta.join().unwrap(), tb.join().unwrap())
+        });
+        assert_eq!(a.len(), 8);
+        assert_eq!(b.len(), 8);
+        let report = service.shutdown();
+        // Both finish (no starvation), and fairness over dispatched/weight
+        // stays high because the scheduler equalized exactly that ratio.
+        assert!(report.fairness > 0.6, "fairness {:.2}", report.fairness);
+        assert!(report.max_starvation() < Duration::from_secs(30));
+    }
+
+    #[test]
+    fn slo_and_stats_surface_through_the_handle() {
+        let (plan, ds, _) = setup(4, 32, 11);
+        let service = PreprocessService::new(ServiceConfig::new(2));
+        let handle = service
+            .submit(
+                JobSpec::new("slo", plan, ds.partitions().to_vec())
+                    .with_goodput_slo(1.0)
+                    .with_fleet(Fleet::Isp),
+            )
+            .expect("admitted");
+        let stats_handle = {
+            let mut handle = handle;
+            let mut n = 0;
+            while let Some(item) = handle.next_batch() {
+                item.expect("ok");
+                n += 1;
+            }
+            assert_eq!(n, 4);
+            handle
+        };
+        let stats = BatchSource::stats(&stats_handle);
+        assert_eq!(stats.completed, 4);
+        assert!(stats.p2p_bytes > 0, "ISP job moved P2P bytes");
+        assert_eq!(stats.recovery.as_ref().unwrap().delivered, 4);
+        let report = stats_handle.report();
+        assert_eq!(report.slo_met, Some(true), "goodput {}", report.goodput_rows_per_sec);
+        assert!(report.rows > 0);
+        drop(stats_handle);
+        let report = service.shutdown();
+        assert_eq!(report.jobs[0].status, JobStatus::Completed);
+    }
+
+    #[test]
+    fn fail_fast_job_halts_without_touching_its_neighbor() {
+        let (plan, ds, _) = setup(6, 16, 11);
+        // Kill device 0 for the victim job only.
+        let injector = presto_columnar::FaultPlan::new(5).with_device_death(0, 0).arm();
+        let faulty: Vec<Partition> = ds
+            .partitions()
+            .iter()
+            .map(|p| Partition {
+                index: p.index,
+                device: p.device,
+                rows: p.rows,
+                blob: p.blob.clone().with_faults(&injector, p.device, p.index),
+            })
+            .collect();
+        let service = PreprocessService::new(ServiceConfig::new(2));
+        let victim =
+            service.submit(JobSpec::new("victim", plan.clone(), faulty)).expect("admitted");
+        let healthy = service
+            .submit(JobSpec::new("healthy", plan, ds.partitions().to_vec()))
+            .expect("admitted");
+        let saw_error = victim.into_iter().any(|item| item.is_err());
+        assert!(saw_error, "fail-fast job surfaces its error");
+        let got = drain(healthy);
+        assert_eq!(got.len(), 6, "healthy job is untouched");
+        let report = service.shutdown();
+        assert_eq!(report.jobs[0].status, JobStatus::Failed);
+        assert_eq!(report.jobs[1].status, JobStatus::Completed);
+        assert!(report.jobs[1].recovery.failed_partitions.is_empty());
+    }
+}

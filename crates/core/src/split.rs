@@ -4,7 +4,8 @@
 //! This materializes a [`PlacementPlan`](crate::placement::PlacementPlan)
 //! as actual split execution. The plan is partitioned at the placement
 //! boundary by [`PreprocessPlan::split`](presto_ops::PreprocessPlan::split);
-//! [`stream_split_workers`] then drives the two sides as one pipeline:
+//! [`SplitBatchStream::spawn`] (or `Fleet::Split(split).spawn` through the
+//! unified fleet API) then drives the two sides as one pipeline:
 //!
 //! * **ISP unit threads** claim partitions off a global cursor (each unit
 //!   owns its resident partitions in a real deployment), P2P-extract only
@@ -29,8 +30,9 @@
 //!
 //! # Failure semantics
 //!
-//! The fleet reuses the [`RetryPolicy`] recovery machinery of the ISP
-//! stream: storage-side faults retry with capped exponential backoff,
+//! The fleet reuses the recovery machinery of the ISP stream, configured
+//! through [`FleetConfig::recovery`](presto_ops::FleetConfig):
+//! storage-side faults retry with capped exponential backoff,
 //! repeated failures quarantine the device, and a partition whose ISP
 //! prefix is unrecoverable **fails over to the host**, which re-reads the
 //! intact media and runs the *full* plan on the CPU — bit-identical output
@@ -51,7 +53,7 @@ use presto_ops::executor::{
 use presto_ops::minibatch::MiniBatch;
 use presto_ops::plan::{PreprocessPlan, SplitPlan};
 use presto_ops::recovery::{RecoveryTracker, RetryPolicy, RunReport};
-use presto_ops::stream::StreamedBatch;
+use presto_ops::stream::{FleetConfig, StreamStats, StreamedBatch};
 use presto_ops::{preprocess_partition_with, ScratchSpace};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -136,7 +138,8 @@ impl SplitShared {
 }
 
 /// Streams `partitions` through a split fleet with the legacy fail-fast
-/// policy; see [`stream_split_workers_with`] for recovery.
+/// policy.
+#[deprecated(since = "0.8.0", note = "use `SplitBatchStream::spawn` or `Fleet::Split(..).spawn`")]
 #[must_use]
 pub fn stream_split_workers(
     plan: &PreprocessPlan,
@@ -146,22 +149,17 @@ pub fn stream_split_workers(
     host_workers: usize,
     capacity: usize,
 ) -> SplitBatchStream {
-    stream_split_workers_with(
+    SplitBatchStream::spawn(
         plan,
         split,
         partitions,
-        isp_workers,
-        host_workers,
-        capacity,
-        &RetryPolicy::fail_fast(),
+        &FleetConfig::new(isp_workers, capacity).with_host_workers(host_workers),
     )
 }
 
-/// Streams `partitions` through `isp_workers` emulated ISP units feeding
-/// `host_workers` host-suffix workers over a `capacity`-bounded hand-off
-/// channel (the device link), with failure handling per `recovery`. The
-/// consumer side is a [`SplitBatchStream`] — a [`BatchSource`] in
-/// completion order, interchangeable with the single-fleet streams.
+/// Streams `partitions` through a split fleet with an explicit positional
+/// recovery policy.
+#[deprecated(since = "0.8.0", note = "use `SplitBatchStream::spawn` or `Fleet::Split(..).spawn`")]
 #[must_use]
 pub fn stream_split_workers_with(
     plan: &PreprocessPlan,
@@ -172,51 +170,14 @@ pub fn stream_split_workers_with(
     capacity: usize,
     recovery: &RetryPolicy,
 ) -> SplitBatchStream {
-    let isp_workers = isp_workers.max(1).min(partitions.len().max(1));
-    let host_workers = host_workers.max(1).min(partitions.len().max(1));
-    let capacity = capacity.max(1);
-    let devices: Vec<usize> = partitions.iter().map(|p| p.device).collect();
-    let shared = Arc::new(SplitShared {
-        plan: plan.clone(),
-        split: split.clone(),
-        partitions: partitions.to_vec(),
-        cursor: AtomicUsize::new(0),
-        tracker: RecoveryTracker::new(recovery.clone(), &devices, partitions.len()),
-        stop: AtomicBool::new(false),
-        completed: AtomicUsize::new(0),
-        p2p_bytes: AtomicU64::new(0),
-        boundary_bytes: AtomicU64::new(0),
-        started: Instant::now(),
-    });
-    let (out_tx, out_rx) = bounded::<SplitItem>(capacity);
-    // The hand-off channel models the bounded device link: ISP units stall
-    // (back-pressure) once `capacity` boundary payloads are in flight.
-    let (mid_tx, mid_rx) = bounded::<Handoff>(capacity);
-    let mut handles = Vec::with_capacity(isp_workers + host_workers);
-    for unit in 0..isp_workers {
-        let shared = Arc::clone(&shared);
-        let mid_tx = mid_tx.clone();
-        let out_tx = out_tx.clone();
-        let handle = std::thread::Builder::new()
-            .name(format!("presto-split-isp-{unit}"))
-            .spawn(move || split_isp_loop(&shared, &mid_tx, &out_tx))
-            .expect("spawn split isp worker");
-        handles.push(handle);
-    }
-    for worker in 0..host_workers {
-        let shared = Arc::clone(&shared);
-        let mid_rx = mid_rx.clone();
-        let out_tx = out_tx.clone();
-        let handle = std::thread::Builder::new()
-            .name(format!("presto-split-host-{worker}"))
-            .spawn(move || split_host_loop(&shared, &mid_rx, &out_tx))
-            .expect("spawn split host worker");
-        handles.push(handle);
-    }
-    drop(out_tx);
-    drop(mid_tx);
-    drop(mid_rx);
-    SplitBatchStream { rx: Some(out_rx), handles, shared, isp_workers, host_workers, capacity }
+    SplitBatchStream::spawn(
+        plan,
+        split,
+        partitions,
+        &FleetConfig::new(isp_workers, capacity)
+            .with_host_workers(host_workers)
+            .with_recovery(recovery.clone()),
+    )
 }
 
 /// One partition's ISP prefix: P2P-extract the ISP raw projection, run the
@@ -464,6 +425,72 @@ impl std::fmt::Debug for SplitShared {
 }
 
 impl SplitBatchStream {
+    /// Spawns the split fleet: `config.workers` emulated ISP units feeding
+    /// [`FleetConfig::effective_host_workers`] host-suffix workers over a
+    /// hand-off channel (the device link) bounded by
+    /// [`FleetConfig::effective_link_capacity`], with failure handling per
+    /// [`FleetConfig::recovery`](FleetConfig). The output channel holds
+    /// `config.capacity` finished mini-batches. `config.prefetch` does not
+    /// apply to this fleet and is ignored.
+    ///
+    /// The consumer side is a [`SplitBatchStream`] — a [`BatchSource`] in
+    /// completion order, interchangeable with the single-fleet streams.
+    #[must_use]
+    pub fn spawn(
+        plan: &PreprocessPlan,
+        split: &SplitPlan,
+        partitions: &[Partition],
+        config: &FleetConfig,
+    ) -> SplitBatchStream {
+        let isp_workers = config.workers.max(1).min(partitions.len().max(1));
+        let host_workers = config.effective_host_workers().max(1).min(partitions.len().max(1));
+        let capacity = config.capacity.max(1);
+        let link_capacity = config.effective_link_capacity().max(1);
+        let devices: Vec<usize> = partitions.iter().map(|p| p.device).collect();
+        let shared = Arc::new(SplitShared {
+            plan: plan.clone(),
+            split: split.clone(),
+            partitions: partitions.to_vec(),
+            cursor: AtomicUsize::new(0),
+            tracker: RecoveryTracker::new(config.recovery.clone(), &devices, partitions.len()),
+            stop: AtomicBool::new(false),
+            completed: AtomicUsize::new(0),
+            p2p_bytes: AtomicU64::new(0),
+            boundary_bytes: AtomicU64::new(0),
+            started: Instant::now(),
+        });
+        let (out_tx, out_rx) = bounded::<SplitItem>(capacity);
+        // The hand-off channel models the bounded device link: ISP units
+        // stall (back-pressure) once `link_capacity` boundary payloads are
+        // in flight.
+        let (mid_tx, mid_rx) = bounded::<Handoff>(link_capacity);
+        let mut handles = Vec::with_capacity(isp_workers + host_workers);
+        for unit in 0..isp_workers {
+            let shared = Arc::clone(&shared);
+            let mid_tx = mid_tx.clone();
+            let out_tx = out_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("presto-split-isp-{unit}"))
+                .spawn(move || split_isp_loop(&shared, &mid_tx, &out_tx))
+                .expect("spawn split isp worker");
+            handles.push(handle);
+        }
+        for worker in 0..host_workers {
+            let shared = Arc::clone(&shared);
+            let mid_rx = mid_rx.clone();
+            let out_tx = out_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("presto-split-host-{worker}"))
+                .spawn(move || split_host_loop(&shared, &mid_rx, &out_tx))
+                .expect("spawn split host worker");
+            handles.push(handle);
+        }
+        drop(out_tx);
+        drop(mid_tx);
+        drop(mid_rx);
+        SplitBatchStream { rx: Some(out_rx), handles, shared, isp_workers, host_workers, capacity }
+    }
+
     /// Effective ISP-unit count (after clamping).
     #[must_use]
     pub fn isp_workers(&self) -> usize {
@@ -506,6 +533,21 @@ impl SplitBatchStream {
     #[must_use]
     pub fn run_report(&self) -> RunReport {
         self.shared.tracker.report()
+    }
+
+    /// Consolidated counter snapshot — the [`BatchSource::stats`] surface.
+    /// `workers` reports the ISP-unit count; both byte counters are live.
+    #[must_use]
+    pub fn stats(&self) -> StreamStats {
+        StreamStats {
+            workers: self.isp_workers,
+            capacity: self.capacity,
+            queued: self.rx.as_ref().map_or(0, Receiver::len),
+            completed: self.completed(),
+            p2p_bytes: self.p2p_bytes(),
+            boundary_bytes: self.boundary_bytes(),
+            recovery: Some(self.run_report()),
+        }
     }
 
     fn join_workers(&mut self) {
@@ -555,8 +597,8 @@ impl BatchSource for SplitBatchStream {
         self.rx.as_ref().map_or(0, Receiver::len)
     }
 
-    fn run_report(&self) -> Option<RunReport> {
-        Some(SplitBatchStream::run_report(self))
+    fn stats(&self) -> StreamStats {
+        SplitBatchStream::stats(self)
     }
 }
 
@@ -589,7 +631,8 @@ mod tests {
         let (plan, ds, serial) = setup(6, 48);
         let split = plan.split(&alternating(plan.stages().len())).unwrap();
         assert!(!split.is_single_fleet());
-        let mut stream = stream_split_workers(&plan, &split, ds.partitions(), 2, 2, 2);
+        let mut stream =
+            SplitBatchStream::spawn(&plan, &split, ds.partitions(), &FleetConfig::new(2, 2));
         let mut got: Vec<(usize, MiniBatch)> = Vec::new();
         for item in stream.by_ref() {
             let b = item.expect("preprocesses");
@@ -609,7 +652,8 @@ mod tests {
     fn host_only_split_moves_no_device_bytes() {
         let (plan, ds, serial) = setup(4, 32);
         let split = plan.split(&vec![Fleet::Host; plan.stages().len()]).unwrap();
-        let mut stream = stream_split_workers(&plan, &split, ds.partitions(), 2, 2, 2);
+        let mut stream =
+            SplitBatchStream::spawn(&plan, &split, ds.partitions(), &FleetConfig::new(2, 2));
         let mut got: Vec<(usize, MiniBatch)> = Vec::new();
         for item in stream.by_ref() {
             let b = item.expect("preprocesses");
@@ -627,7 +671,8 @@ mod tests {
     fn all_isp_split_still_assembles_on_host() {
         let (plan, ds, serial) = setup(4, 32);
         let split = plan.split(&vec![Fleet::Isp; plan.stages().len()]).unwrap();
-        let mut stream = stream_split_workers(&plan, &split, ds.partitions(), 2, 2, 2);
+        let mut stream =
+            SplitBatchStream::spawn(&plan, &split, ds.partitions(), &FleetConfig::new(2, 2));
         let mut got: Vec<(usize, MiniBatch)> = Vec::new();
         for item in stream.by_ref() {
             let b = item.expect("preprocesses");
@@ -648,7 +693,8 @@ mod tests {
         let model = OpCostModel::analytic(&IspModel::smartssd());
         let placement = place_stages(&plan, 48, &model);
         let split = plan.split(&placement.fleet_assignment()).unwrap();
-        let mut stream = stream_split_workers(&plan, &split, ds.partitions(), 2, 2, 2);
+        let mut stream =
+            SplitBatchStream::spawn(&plan, &split, ds.partitions(), &FleetConfig::new(2, 2));
         let mut got: Vec<(usize, MiniBatch)> = Vec::new();
         for item in stream.by_ref() {
             let b = item.expect("preprocesses");
@@ -679,7 +725,12 @@ mod tests {
             .with_backoff(std::time::Duration::ZERO, std::time::Duration::ZERO)
             .with_quarantine_after(2);
         let split = plan.split(&alternating(plan.stages().len())).unwrap();
-        let mut stream = stream_split_workers_with(&plan, &split, &partitions, 2, 2, 4, &recovery);
+        let mut stream = SplitBatchStream::spawn(
+            &plan,
+            &split,
+            &partitions,
+            &FleetConfig::new(2, 4).with_recovery(recovery),
+        );
         let mut got: Vec<(usize, MiniBatch, bool)> = Vec::new();
         for item in stream.by_ref() {
             let b = item.expect("failover covers the dead device");
@@ -702,7 +753,8 @@ mod tests {
     fn dropping_a_split_stream_joins_without_deadlock() {
         let (plan, ds, _) = setup(8, 32);
         let split = plan.split(&alternating(plan.stages().len())).unwrap();
-        let mut stream = stream_split_workers(&plan, &split, ds.partitions(), 2, 2, 1);
+        let mut stream =
+            SplitBatchStream::spawn(&plan, &split, ds.partitions(), &FleetConfig::new(2, 1));
         let _ = stream.next().unwrap().unwrap();
         drop(stream); // full channels + live producers must not wedge
     }

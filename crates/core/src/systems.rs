@@ -227,9 +227,9 @@ impl System {
     /// This is what lets the trainer-in-the-loop experiments size the real
     /// executor from the same [`System`] value the analytic model prices.
     #[must_use]
-    pub fn stream_config(&self) -> presto_ops::StreamConfig {
+    pub fn stream_config(&self) -> presto_ops::FleetConfig {
         let workers = self.parallelism().max(1);
-        let config = presto_ops::StreamConfig::new(workers, 2 * workers);
+        let config = presto_ops::FleetConfig::new(workers, 2 * workers);
         match self {
             System::Presto { .. } => config.without_prefetch(),
             _ => config,

@@ -1237,7 +1237,7 @@ pub struct SplitReport {
 /// chunked emulation, hand the boundary across, run the host suffix and
 /// assemble. Bit-identical to [`preprocess_partition`] — the streaming
 /// equivalent (ISP and host sides pipelined on separate threads) lives in
-/// `presto_core::stream_split_workers`.
+/// `presto_core::SplitBatchStream`.
 ///
 /// # Errors
 ///

@@ -94,6 +94,8 @@ pub use recovery::{
 };
 pub use sigridhash::{InvalidMaxValueError, SigridHasher};
 pub use stream::{
-    inter_arrivals, stream_workers, stream_workers_with, BatchStream, DeviceLoad,
-    OrderedBatchStream, StreamConfig, StreamedBatch,
+    inter_arrivals, BatchStream, DeviceLoad, FleetConfig, OrderedBatchStream, StreamStats,
+    StreamedBatch,
 };
+#[allow(deprecated)]
+pub use stream::{stream_workers, stream_workers_with, StreamConfig};

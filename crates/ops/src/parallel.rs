@@ -5,8 +5,9 @@
 //! the wrapper drains the channel through the order-restoring adapter into a
 //! `Vec`, and the output is bit-identical to serial execution. Callers that
 //! want batches *as they complete* — the real producer–consumer shape, where
-//! the trainer overlaps with preprocessing — should use
-//! [`crate::stream_workers`] directly.
+//! the trainer overlaps with preprocessing — should spawn a
+//! [`crate::BatchStream`] (or any fleet) through the unified
+//! [`crate::FleetConfig`] API directly.
 //!
 //! [`run_workers_materialized`] preserves the previous architecture (shared
 //! ticket counter, results collected under one mutex, nothing visible until
@@ -17,7 +18,7 @@
 use crate::executor::{preprocess_partition_with, PreprocessError, ScratchSpace};
 use crate::minibatch::MiniBatch;
 use crate::plan::PreprocessPlan;
-use crate::stream::stream_workers;
+use crate::stream::{BatchStream, FleetConfig};
 use presto_datagen::Partition;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -47,7 +48,7 @@ impl ParallelReport {
 /// collects the mini-batches in partition order.
 ///
 /// Equivalent to draining
-/// [`crate::stream_workers`]`(..).into_ordered()`
+/// [`BatchStream::spawn`]`(..).into_ordered()`
 /// with a channel capacity of `2 × workers`.
 ///
 /// # Errors
@@ -65,7 +66,7 @@ pub fn run_workers(
 ) -> Result<ParallelReport, PreprocessError> {
     let workers = workers.max(1).min(partitions.len().max(1));
     let start = Instant::now();
-    let stream = stream_workers(plan, partitions, workers, workers * 2);
+    let stream = BatchStream::spawn(plan, partitions, &FleetConfig::new(workers, workers * 2));
     let mut batches = Vec::with_capacity(partitions.len());
     for item in stream.into_ordered() {
         batches.push(item?.batch);

@@ -12,6 +12,10 @@
 //! * [`RetryPolicy`] — the knobs. [`RetryPolicy::fail_fast`] reproduces the
 //!   pre-recovery semantics exactly (one attempt, first error poisons the
 //!   run); [`RetryPolicy::recover`] is the tolerant preset chaos tests use.
+//!   Every fleet takes its policy from the one
+//!   [`FleetConfig::recovery`](crate::stream::FleetConfig) knob, whose
+//!   documented default is fail-fast — see `FleetConfig` for the single
+//!   source of truth on that default.
 //! * [`RecoveryTracker`] — lock-light shared state: per-device health
 //!   (consecutive failures → quarantine), aggregate counters, and a
 //!   timestamped [`RecoveryEvent`] log.

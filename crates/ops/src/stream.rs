@@ -11,13 +11,13 @@
 //!
 //! Three mechanisms, one per ROADMAP item this module retires:
 //!
-//! * **Bounded output channel** — [`stream_workers`] returns a
+//! * **Bounded output channel** — [`BatchStream::spawn`] returns a
 //!   [`BatchStream`] fed by a `capacity`-bounded MPSC channel (the vendored
 //!   `crossbeam-channel`). Producers block when the consumer falls behind,
 //!   so in-flight memory is `O(capacity)`, not `O(partitions)`. The
 //!   [`BatchStream::into_ordered`] adapter restores deterministic
 //!   partition order for consumers (and tests) that need it.
-//! * **Double-buffered Extract** — with [`StreamConfig::prefetch`] on, each
+//! * **Double-buffered Extract** — with [`FleetConfig::prefetch`] on, each
 //!   worker owns a prefetch thread that runs [`extract_partition_with`]
 //!   (the projected `read_at_into` reads + decode, staged through a
 //!   recycled [`ReadScratch`]) for partition *i + 1* while the worker
@@ -42,7 +42,7 @@
 //! [`PreprocessError::At`] with the failing partition index and device id —
 //! so a consumer draining a many-device fleet can tell *which* device
 //! failed without string parsing. What happens next is governed by the
-//! [`RetryPolicy`] in [`StreamConfig::recovery`]:
+//! [`RetryPolicy`] in [`FleetConfig::recovery`]:
 //!
 //! * **Fail-fast** (the default, [`RetryPolicy::fail_fast`]): the first
 //!   worker error is forwarded into the stream as an `Err` item and the
@@ -92,7 +92,140 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Configuration of one streaming run.
+/// Configuration shared by every fleet — host CPU, emulated ISP, and the
+/// hybrid split executor. One builder replaces the three divergent
+/// pre-unification entry points (`StreamConfig`, the positional
+/// `stream_isp_workers_with` arguments, and the 7-argument
+/// `stream_split_workers_with`).
+///
+/// # Recovery default — the single source of truth
+///
+/// Every fleet defaults to **fail-fast** failure handling
+/// ([`RetryPolicy::fail_fast`]): the first error is forwarded into the
+/// stream and the fleet halts within one partition. Opt into retry /
+/// quarantine / failover with [`FleetConfig::with_recovery`] — the same
+/// knob, with the same default, for all three fleets. (Before the
+/// unification the host fleet defaulted to fail-fast while the ISP and
+/// split fleets required an explicit policy at every call site.)
+///
+/// # Per-fleet knobs
+///
+/// `workers` and `capacity` mean the same thing on every fleet. `prefetch`
+/// only affects the host fleet (the ISP pipeline is inherently staged).
+/// `host_workers` and `link_capacity` only affect the split fleet: the
+/// host-side worker count (defaults to `workers`) and the bounded
+/// ISP → host hand-off channel modelling the device link (defaults to
+/// `capacity`).
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Worker (pipeline) count; clamped to `1..=partitions`. On the split
+    /// fleet this is the ISP-side unit count.
+    pub workers: usize,
+    /// Output-channel capacity in mini-batches; producers block when full.
+    pub capacity: usize,
+    /// Overlap Extract of the next partition with Transform of the current
+    /// one (host fleet only: one prefetch thread per worker,
+    /// double-buffered at the batch level through a one-slot hand-off
+    /// channel).
+    pub prefetch: bool,
+    /// Failure handling (retry, quarantine, straggler detection, ISP→host
+    /// failover); defaults to [`RetryPolicy::fail_fast`] on every fleet.
+    pub recovery: RetryPolicy,
+    /// Split fleet only: host-side worker count. `None` mirrors `workers`.
+    pub host_workers: Option<usize>,
+    /// Split fleet only: capacity of the bounded ISP → host hand-off
+    /// channel (the emulated device link). `None` mirrors `capacity`.
+    pub link_capacity: Option<usize>,
+}
+
+impl FleetConfig {
+    /// `workers` pipelines over a `capacity`-bounded channel, prefetch on,
+    /// fail-fast failure handling.
+    #[must_use]
+    pub fn new(workers: usize, capacity: usize) -> Self {
+        FleetConfig {
+            workers,
+            capacity,
+            prefetch: true,
+            recovery: RetryPolicy::fail_fast(),
+            host_workers: None,
+            link_capacity: None,
+        }
+    }
+
+    /// Disables the Extract prefetch thread (host-fleet ablation switch).
+    #[must_use]
+    pub fn without_prefetch(mut self) -> Self {
+        self.prefetch = false;
+        self
+    }
+
+    /// Sets the failure-handling policy (all fleets).
+    #[must_use]
+    pub fn with_recovery(mut self, recovery: RetryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Sets the split fleet's host-side worker count.
+    #[must_use]
+    pub fn with_host_workers(mut self, host_workers: usize) -> Self {
+        self.host_workers = Some(host_workers);
+        self
+    }
+
+    /// Sets the split fleet's ISP → host hand-off channel capacity.
+    #[must_use]
+    pub fn with_link_capacity(mut self, link_capacity: usize) -> Self {
+        self.link_capacity = Some(link_capacity);
+        self
+    }
+
+    /// Effective host-side worker count for the split fleet.
+    #[must_use]
+    pub fn effective_host_workers(&self) -> usize {
+        self.host_workers.unwrap_or(self.workers)
+    }
+
+    /// Effective ISP → host link capacity for the split fleet.
+    #[must_use]
+    pub fn effective_link_capacity(&self) -> usize {
+        self.link_capacity.unwrap_or(self.capacity)
+    }
+}
+
+/// One snapshot of a streaming fleet's counters — the consolidated stats
+/// surface behind `BatchSource::stats()`, replacing the per-stream ad-hoc
+/// accessors (`BatchStream::queued()`, `IspBatchStream::p2p_bytes()`,
+/// `SplitBatchStream::boundary_bytes()`, fleet-specific `run_report()`s).
+///
+/// Counters that do not apply to a fleet are zero (`p2p_bytes` on the host
+/// fleet, `boundary_bytes` everywhere but the split fleet). `recovery` is
+/// `None` only for sources that do not track recovery at all (e.g. ad-hoc
+/// test sources using the trait's default implementation).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StreamStats {
+    /// Producer worker count (ISP-side units on the split fleet).
+    pub workers: usize,
+    /// Output-channel capacity in mini-batches.
+    pub capacity: usize,
+    /// Mini-batches buffered in the output channel right now.
+    pub queued: usize,
+    /// Partitions fully preprocessed so far (producer-side counter).
+    pub completed: usize,
+    /// Bytes moved over the emulated P2P / device link (ISP and split
+    /// fleets; the host fleet reads through the page cache and reports 0).
+    pub p2p_bytes: u64,
+    /// Bytes of typed boundary hand-offs crossing the split fleet's
+    /// ISP → host link (0 on single-fleet executors).
+    pub boundary_bytes: u64,
+    /// Recovery-activity snapshot (retries, quarantines, per-device fault
+    /// counts, delivery accounting), when the source tracks recovery.
+    pub recovery: Option<RunReport>,
+}
+
+/// Pre-unification host-fleet configuration.
+#[deprecated(since = "0.8.0", note = "use `FleetConfig` (one builder for all three fleets)")]
 #[derive(Debug, Clone)]
 pub struct StreamConfig {
     /// Worker (pipeline) count; clamped to `1..=partitions`.
@@ -100,14 +233,13 @@ pub struct StreamConfig {
     /// Output-channel capacity in mini-batches; producers block when full.
     pub capacity: usize,
     /// Overlap Extract of the next partition with Transform of the current
-    /// one (one prefetch thread per worker, double-buffered at the batch
-    /// level through a one-slot hand-off channel).
+    /// one.
     pub prefetch: bool,
-    /// Failure handling (retry, quarantine, straggler detection); defaults
-    /// to [`RetryPolicy::fail_fast`], the original semantics.
+    /// Failure handling; defaults to [`RetryPolicy::fail_fast`].
     pub recovery: RetryPolicy,
 }
 
+#[allow(deprecated)]
 impl StreamConfig {
     /// `workers` pipelines over a `capacity`-bounded channel, prefetch on,
     /// fail-fast failure handling.
@@ -128,6 +260,15 @@ impl StreamConfig {
     pub fn with_recovery(mut self, recovery: RetryPolicy) -> Self {
         self.recovery = recovery;
         self
+    }
+
+    /// The equivalent [`FleetConfig`].
+    #[must_use]
+    pub fn to_fleet(&self) -> FleetConfig {
+        let mut config = FleetConfig::new(self.workers, self.capacity);
+        config.prefetch = self.prefetch;
+        config.recovery = self.recovery.clone();
+        config
     }
 }
 
@@ -289,7 +430,8 @@ struct SharedRun {
 type StreamItem = Result<StreamedBatch, PreprocessError>;
 
 /// Streams `partitions` through `workers` preprocessing pipelines with
-/// Extract prefetch on; see [`stream_workers_with`].
+/// Extract prefetch on; see [`BatchStream::spawn`].
+#[deprecated(since = "0.8.0", note = "use `BatchStream::spawn` or `Fleet::Host.spawn`")]
 #[must_use]
 pub fn stream_workers(
     plan: &PreprocessPlan,
@@ -297,63 +439,20 @@ pub fn stream_workers(
     workers: usize,
     capacity: usize,
 ) -> BatchStream {
-    stream_workers_with(plan, partitions, &StreamConfig::new(workers, capacity))
+    BatchStream::spawn(plan, partitions, &FleetConfig::new(workers, capacity))
 }
 
-/// Starts a streaming run and returns the consumer's end of the pipeline.
-///
-/// Mini-batches are yielded **as they complete**, tagged with their
-/// partition index; wrap with [`BatchStream::into_ordered`] for
-/// deterministic order. Worker/partition data is snapshotted via O(1)
-/// clones (`MemBlob` shares its bytes), so the stream is `'static` and
-/// outlives the borrowed arguments.
+/// Starts a streaming run from a pre-unification [`StreamConfig`]; see
+/// [`BatchStream::spawn`].
+#[deprecated(since = "0.8.0", note = "use `BatchStream::spawn` or `Fleet::Host.spawn`")]
+#[allow(deprecated)]
 #[must_use]
 pub fn stream_workers_with(
     plan: &PreprocessPlan,
     partitions: &[Partition],
     config: &StreamConfig,
 ) -> BatchStream {
-    let workers = config.workers.max(1).min(partitions.len().max(1));
-    let capacity = config.capacity.max(1);
-    let devices: Vec<usize> = partitions.iter().map(|p| p.device).collect();
-    let shared = Arc::new(SharedRun {
-        plan: plan.clone(),
-        partitions: partitions.to_vec(),
-        queues: DeviceQueues::new(partitions),
-        tracker: RecoveryTracker::new(config.recovery.clone(), &devices, partitions.len()),
-        stop: AtomicBool::new(false),
-        completed: AtomicUsize::new(0),
-        started: Instant::now(),
-    });
-    let (tx, rx) = bounded::<StreamItem>(capacity);
-
-    let mut handles = Vec::with_capacity(workers * 2);
-    for worker in 0..workers {
-        let home = worker % shared.queues.slots();
-        if config.prefetch {
-            // Pipeline pair: prefetcher extracts partition i+1 while the
-            // transform worker processes partition i. The one-slot hand-off
-            // bounds each worker to a single extracted batch in flight.
-            let (stage_tx, stage_rx) =
-                bounded::<(Claim, Result<StagedExtract, PreprocessError>)>(1);
-            handles.push(spawn_named(
-                format!("presto-prefetch-{worker}"),
-                prefetch_loop(Arc::clone(&shared), home, stage_tx),
-            ));
-            handles.push(spawn_named(
-                format!("presto-stream-{worker}"),
-                transform_loop(Arc::clone(&shared), stage_rx, tx.clone()),
-            ));
-        } else {
-            handles.push(spawn_named(
-                format!("presto-stream-{worker}"),
-                fused_loop(Arc::clone(&shared), home, tx.clone()),
-            ));
-        }
-    }
-    drop(tx); // the workers' clones are now the only senders
-
-    BatchStream { rx: Some(rx), handles, shared, workers, capacity, prefetch: config.prefetch }
+    BatchStream::spawn(plan, partitions, &config.to_fleet())
 }
 
 fn spawn_named(name: String, body: impl FnOnce() + Send + 'static) -> JoinHandle<()> {
@@ -581,6 +680,79 @@ pub struct BatchStream {
 }
 
 impl BatchStream {
+    /// Starts a host-fleet streaming run and returns the consumer's end of
+    /// the pipeline.
+    ///
+    /// Mini-batches are yielded **as they complete**, tagged with their
+    /// partition index; wrap with [`BatchStream::into_ordered`] for
+    /// deterministic order. Worker/partition data is snapshotted via O(1)
+    /// clones (`MemBlob` shares its bytes), so the stream is `'static` and
+    /// outlives the borrowed arguments.
+    #[must_use]
+    pub fn spawn(
+        plan: &PreprocessPlan,
+        partitions: &[Partition],
+        config: &FleetConfig,
+    ) -> BatchStream {
+        let workers = config.workers.max(1).min(partitions.len().max(1));
+        let capacity = config.capacity.max(1);
+        let devices: Vec<usize> = partitions.iter().map(|p| p.device).collect();
+        let shared = Arc::new(SharedRun {
+            plan: plan.clone(),
+            partitions: partitions.to_vec(),
+            queues: DeviceQueues::new(partitions),
+            tracker: RecoveryTracker::new(config.recovery.clone(), &devices, partitions.len()),
+            stop: AtomicBool::new(false),
+            completed: AtomicUsize::new(0),
+            started: Instant::now(),
+        });
+        let (tx, rx) = bounded::<StreamItem>(capacity);
+
+        let mut handles = Vec::with_capacity(workers * 2);
+        for worker in 0..workers {
+            let home = worker % shared.queues.slots();
+            if config.prefetch {
+                // Pipeline pair: prefetcher extracts partition i+1 while the
+                // transform worker processes partition i. The one-slot
+                // hand-off bounds each worker to a single extracted batch in
+                // flight.
+                let (stage_tx, stage_rx) =
+                    bounded::<(Claim, Result<StagedExtract, PreprocessError>)>(1);
+                handles.push(spawn_named(
+                    format!("presto-prefetch-{worker}"),
+                    prefetch_loop(Arc::clone(&shared), home, stage_tx),
+                ));
+                handles.push(spawn_named(
+                    format!("presto-stream-{worker}"),
+                    transform_loop(Arc::clone(&shared), stage_rx, tx.clone()),
+                ));
+            } else {
+                handles.push(spawn_named(
+                    format!("presto-stream-{worker}"),
+                    fused_loop(Arc::clone(&shared), home, tx.clone()),
+                ));
+            }
+        }
+        drop(tx); // the workers' clones are now the only senders
+
+        BatchStream { rx: Some(rx), handles, shared, workers, capacity, prefetch: config.prefetch }
+    }
+
+    /// Consolidated counters ([`StreamStats`]); the host fleet reports no
+    /// P2P or boundary traffic.
+    #[must_use]
+    pub fn stats(&self) -> StreamStats {
+        StreamStats {
+            workers: self.workers,
+            capacity: self.capacity,
+            queued: self.queued(),
+            completed: self.completed(),
+            p2p_bytes: 0,
+            boundary_bytes: 0,
+            recovery: Some(self.run_report()),
+        }
+    }
+
     /// Effective worker count (after clamping).
     #[must_use]
     pub fn workers(&self) -> usize {
@@ -785,9 +957,9 @@ mod tests {
             .map(|p| crate::executor::preprocess_partition(&plan, p.blob.clone()).unwrap().0)
             .collect();
         for prefetch in [true, false] {
-            let mut config = StreamConfig::new(3, 2);
+            let mut config = FleetConfig::new(3, 2);
             config.prefetch = prefetch;
-            let streamed: Vec<MiniBatch> = stream_workers_with(&plan, ds.partitions(), &config)
+            let streamed: Vec<MiniBatch> = BatchStream::spawn(&plan, ds.partitions(), &config)
                 .into_ordered()
                 .map(|item| item.unwrap().batch)
                 .collect();
@@ -815,7 +987,7 @@ mod tests {
             }
             partitions.push(Partition { index, device: index % 2, rows, blob });
         }
-        let mut stream = stream_workers(&plan, &partitions, 2, 4);
+        let mut stream = BatchStream::spawn(&plan, &partitions, &FleetConfig::new(2, 4));
         let first = stream.next().expect("stream yields").expect("no error");
         assert!(
             stream.completed() < partitions.len(),
@@ -835,11 +1007,8 @@ mod tests {
         let plan = PreprocessPlan::from_config(&c, 1).unwrap();
         // One worker homed on device 0 must still process everything —
         // 2 affine claims + 6 steals.
-        let stream = stream_workers_with(
-            &plan,
-            ds.partitions(),
-            &StreamConfig::new(1, 8).without_prefetch(),
-        );
+        let stream =
+            BatchStream::spawn(&plan, ds.partitions(), &FleetConfig::new(1, 8).without_prefetch());
         let mut stolen = 0usize;
         let mut total = 0usize;
         let report = {
@@ -875,7 +1044,7 @@ mod tests {
                 blob: p.blob.clone().with_read_latency(Duration::from_micros(200)),
             })
             .collect();
-        let mut stream = stream_workers(&plan, &partitions, 4, 16);
+        let mut stream = BatchStream::spawn(&plan, &partitions, &FleetConfig::new(4, 16));
         let n = stream.by_ref().filter(|i| i.is_ok()).count();
         assert_eq!(n, 8);
         let report = stream.device_report();
@@ -891,7 +1060,7 @@ mod tests {
     fn ordered_adapter_restores_partition_order() {
         let (c, ds) = dataset(9, 16, 3);
         let plan = PreprocessPlan::from_config(&c, 1).unwrap();
-        let order: Vec<usize> = stream_workers(&plan, ds.partitions(), 3, 2)
+        let order: Vec<usize> = BatchStream::spawn(&plan, ds.partitions(), &FleetConfig::new(3, 2))
             .into_ordered()
             .map(|i| i.unwrap().partition)
             .collect();
@@ -907,8 +1076,8 @@ mod tests {
         let bytes = partitions[2].blob.as_bytes().to_vec();
         partitions[2].blob = presto_columnar::MemBlob::new(bytes[..bytes.len() / 3].to_vec());
         // One worker, no prefetch: claims run 0, 1, 2, ... deterministically.
-        let config = StreamConfig::new(1, 1).without_prefetch();
-        let mut stream = stream_workers_with(&plan, &partitions, &config);
+        let config = FleetConfig::new(1, 1).without_prefetch();
+        let mut stream = BatchStream::spawn(&plan, &partitions, &config);
         let mut ok = 0usize;
         let mut errors = 0usize;
         for item in stream.by_ref() {
@@ -942,8 +1111,8 @@ mod tests {
         partitions[3].blob = presto_columnar::MemBlob::new(bytes[..bytes.len() / 2].to_vec());
         // Capacity-1 channel that the consumer never drains past the first
         // item: the error producer must not wedge the run.
-        let config = StreamConfig::new(2, 1);
-        let mut stream = stream_workers_with(&plan, &partitions, &config);
+        let config = FleetConfig::new(2, 1);
+        let mut stream = BatchStream::spawn(&plan, &partitions, &config);
         let _first = stream.next().unwrap();
         drop(stream); // joins workers; a deadlock would hang the test here
     }
@@ -952,8 +1121,8 @@ mod tests {
     fn capacity_one_applies_back_pressure() {
         let (c, ds) = dataset(8, 16, 1);
         let plan = PreprocessPlan::from_config(&c, 1).unwrap();
-        let config = StreamConfig::new(1, 1).without_prefetch();
-        let mut stream = stream_workers_with(&plan, ds.partitions(), &config);
+        let config = FleetConfig::new(1, 1).without_prefetch();
+        let mut stream = BatchStream::spawn(&plan, ds.partitions(), &config);
         let mut taken = 0usize;
         while let Some(item) = stream.next() {
             item.unwrap();
@@ -984,7 +1153,7 @@ mod tests {
     fn dropping_a_full_stream_does_not_deadlock_or_leak_threads() {
         let (c, ds) = dataset(10, 16, 2);
         let plan = PreprocessPlan::from_config(&c, 1).unwrap();
-        let mut stream = stream_workers(&plan, ds.partitions(), 2, 1);
+        let mut stream = BatchStream::spawn(&plan, ds.partitions(), &FleetConfig::new(2, 1));
         // Take one batch, then walk away with the capacity-1 channel full
         // and producers blocked mid-send.
         let _ = stream.next().unwrap().unwrap();
@@ -1000,10 +1169,10 @@ mod tests {
         partitions[3].blob = presto_columnar::MemBlob::new(bytes[..bytes.len() / 2].to_vec());
         // One worker, no prefetch, capacity 1 (the worst case for a
         // deadlock): claims run 0, 1, 2, 3 deterministically.
-        let config = StreamConfig::new(1, 1).without_prefetch();
+        let config = FleetConfig::new(1, 1).without_prefetch();
         let mut delivered = Vec::new();
         let mut errors = 0usize;
-        for item in stream_workers_with(&plan, &partitions, &config).into_ordered() {
+        for item in BatchStream::spawn(&plan, &partitions, &config).into_ordered() {
             match item {
                 Ok(b) => delivered.push(b.partition),
                 Err(e) => {
@@ -1046,8 +1215,8 @@ mod tests {
             .with_max_attempts(2000)
             .with_backoff(Duration::ZERO, Duration::ZERO)
             .with_quarantine_after(0);
-        let config = StreamConfig::new(3, 2).with_recovery(recovery);
-        let mut s = stream_workers_with(&plan, &partitions, &config).into_ordered();
+        let config = FleetConfig::new(3, 2).with_recovery(recovery);
+        let mut s = BatchStream::spawn(&plan, &partitions, &config).into_ordered();
         let streamed: Vec<MiniBatch> = s.by_ref().map(|i| i.unwrap().batch).collect();
         let report = s.get_ref().run_report();
         assert_eq!(streamed, serial, "recovered stream must be bit-identical");
@@ -1077,8 +1246,8 @@ mod tests {
             .with_max_attempts(2000)
             .with_backoff(Duration::ZERO, Duration::ZERO)
             .with_quarantine_after(0);
-        let config = StreamConfig::new(2, 2).with_recovery(recovery);
-        let ok = stream_workers_with(&plan, &partitions, &config).filter(|i| i.is_ok()).count();
+        let config = FleetConfig::new(2, 2).with_recovery(recovery);
+        let ok = BatchStream::spawn(&plan, &partitions, &config).filter(|i| i.is_ok()).count();
         assert_eq!(ok, 4, "corruption is transient from pristine media: all must deliver");
         assert!(injector.stats().corrupt > 0, "corruption must actually have been injected");
     }
@@ -1105,8 +1274,8 @@ mod tests {
             .with_max_attempts(2)
             .with_backoff(Duration::ZERO, Duration::ZERO)
             .with_quarantine_after(2);
-        let config = StreamConfig::new(2, 4).with_recovery(recovery);
-        let mut stream = stream_workers_with(&plan, &partitions, &config);
+        let config = FleetConfig::new(2, 4).with_recovery(recovery);
+        let mut stream = BatchStream::spawn(&plan, &partitions, &config);
         let mut ok = Vec::new();
         let mut failed = Vec::new();
         for item in stream.by_ref() {
@@ -1136,10 +1305,58 @@ mod tests {
     fn workers_and_capacity_are_clamped() {
         let (c, ds) = dataset(2, 8, 1);
         let plan = PreprocessPlan::from_config(&c, 1).unwrap();
-        let stream = stream_workers(&plan, ds.partitions(), 64, 0);
+        let stream = BatchStream::spawn(&plan, ds.partitions(), &FleetConfig::new(64, 0));
         assert_eq!(stream.workers(), 2);
         assert_eq!(stream.capacity(), 1);
         assert!(stream.prefetch());
         assert_eq!(stream.count(), 2);
+    }
+
+    #[test]
+    fn stats_consolidates_the_counters() {
+        let (c, ds) = dataset(4, 16, 2);
+        let plan = PreprocessPlan::from_config(&c, 1).unwrap();
+        let mut stream = BatchStream::spawn(&plan, ds.partitions(), &FleetConfig::new(2, 4));
+        let n = stream.by_ref().filter(Result::is_ok).count();
+        assert_eq!(n, 4);
+        let stats = stream.stats();
+        assert_eq!((stats.workers, stats.capacity, stats.completed), (2, 4, 4));
+        assert_eq!((stats.p2p_bytes, stats.boundary_bytes), (0, 0));
+        let recovery = stats.recovery.expect("host fleet tracks recovery");
+        assert_eq!(recovery.delivered, 4);
+        assert!(recovery.failed_partitions.is_empty());
+    }
+
+    #[test]
+    fn fleet_config_split_knobs_mirror_the_shared_ones_by_default() {
+        let config = FleetConfig::new(3, 5);
+        assert_eq!(config.effective_host_workers(), 3);
+        assert_eq!(config.effective_link_capacity(), 5);
+        let config = config.with_host_workers(2).with_link_capacity(9);
+        assert_eq!(config.effective_host_workers(), 2);
+        assert_eq!(config.effective_link_capacity(), 9);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_entry_points_still_spawn_the_same_fleet() {
+        let (c, ds) = dataset(3, 16, 1);
+        let plan = PreprocessPlan::from_config(&c, 1).unwrap();
+        let via_new: Vec<MiniBatch> =
+            BatchStream::spawn(&plan, ds.partitions(), &FleetConfig::new(2, 2))
+                .into_ordered()
+                .map(|i| i.unwrap().batch)
+                .collect();
+        let via_old: Vec<MiniBatch> = stream_workers(&plan, ds.partitions(), 2, 2)
+            .into_ordered()
+            .map(|i| i.unwrap().batch)
+            .collect();
+        let via_config: Vec<MiniBatch> =
+            stream_workers_with(&plan, ds.partitions(), &StreamConfig::new(2, 2))
+                .into_ordered()
+                .map(|i| i.unwrap().batch)
+                .collect();
+        assert_eq!(via_old, via_new);
+        assert_eq!(via_config, via_new);
     }
 }

@@ -26,11 +26,11 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use presto::columnar::{FaultInjector, FaultPlan};
-use presto::core::{stream_isp_workers_with, Trainer, TrainerConfig};
+use presto::core::{IspBatchStream, Trainer, TrainerConfig};
 use presto::datagen::{Dataset, Partition, RmConfig};
 use presto::metrics::{samples_per_sec, TextTable};
 use presto::ops::{
-    preprocess_partition, stream_workers_with, MiniBatch, PreprocessPlan, RetryPolicy, StreamConfig,
+    preprocess_partition, BatchStream, FleetConfig, MiniBatch, PreprocessPlan, RetryPolicy,
 };
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -93,13 +93,15 @@ fn main() {
             let injector = FaultPlan::new(seed).with_transient_rate(rate).arm();
             let partitions = armed(&dataset, &injector);
             let report = if fleet.starts_with("Disagg") {
-                let cfg = StreamConfig::new(3, 4).with_recovery(policy.clone());
-                trainer.run(stream_workers_with(&plan, &partitions, &cfg))
+                let cfg = FleetConfig::new(3, 4).with_recovery(policy.clone());
+                trainer.run(BatchStream::spawn(&plan, &partitions, &cfg))
             } else {
-                trainer.run(stream_isp_workers_with(&plan, &partitions, 2, 4, &policy))
+                let cfg = FleetConfig::new(2, 4).with_recovery(policy.clone());
+                trainer.run(IspBatchStream::spawn(&plan, &partitions, &cfg))
             }
             .expect("recovered run completes");
-            let recovery = report.recovery.expect("stream reports recovery");
+            let report_recovery = report.recovery().cloned();
+            let recovery = report_recovery.expect("stream reports recovery");
             table.row(vec![
                 fleet.to_string(),
                 format!("{:.1}%", rate * 100.0),
@@ -120,7 +122,8 @@ fn main() {
     let injector = FaultPlan::new(seed).with_device_death(1, 60).arm();
     let partitions = armed(&dataset, &injector);
     let policy = RetryPolicy::recover().with_max_attempts(2).with_quarantine_after(2);
-    let mut stream = stream_isp_workers_with(&plan, &partitions, 2, 4, &policy);
+    let mut stream =
+        IspBatchStream::spawn(&plan, &partitions, &FleetConfig::new(2, 4).with_recovery(policy));
     let mut batches: Vec<(usize, bool, MiniBatch)> = stream
         .by_ref()
         .map(|item| item.expect("failover completes every partition"))

@@ -19,10 +19,12 @@
 //! (CI uses tiny values to catch example rot cheaply).
 
 use presto::core::placement::{place_stages, OpCostModel};
-use presto::core::stream_isp_workers;
+use presto::core::IspBatchStream;
 use presto::datagen::{Dataset, RmConfig};
 use presto::hwsim::fpga::IspModel;
-use presto::ops::{preprocess_partition, stream_workers, MiniBatch, PlanGraph, PreprocessPlan};
+use presto::ops::{
+    preprocess_partition, BatchStream, FleetConfig, MiniBatch, PlanGraph, PreprocessPlan,
+};
 use std::time::Instant;
 
 fn env_usize(key: &str, default: usize) -> usize {
@@ -68,17 +70,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         // Host CPU streaming fleet.
         let t0 = Instant::now();
-        let cpu: Vec<MiniBatch> = stream_workers(&plan, dataset.partitions(), 2, 4)
-            .into_ordered()
-            .map(|item| item.map(|b| b.batch))
-            .collect::<Result<_, _>>()?;
+        let cpu: Vec<MiniBatch> =
+            BatchStream::spawn(&plan, dataset.partitions(), &FleetConfig::new(2, 4))
+                .into_ordered()
+                .map(|item| item.map(|b| b.batch))
+                .collect::<Result<_, _>>()?;
         let cpu_time = t0.elapsed();
         assert_eq!(cpu, serial, "{name}: CPU stream must match serial");
 
         // In-storage fleet (emulated ISP units, chunked through on-chip
         // feature buffers).
         let t0 = Instant::now();
-        let mut isp_stream = stream_isp_workers(&plan, dataset.partitions(), 2, 4);
+        let mut isp_stream =
+            IspBatchStream::spawn(&plan, dataset.partitions(), &FleetConfig::new(2, 4));
         let mut isp: Vec<(usize, MiniBatch)> = Vec::new();
         for item in isp_stream.by_ref() {
             let b = item?;

@@ -27,12 +27,12 @@
 
 use presto::columnar::ReadScratch;
 use presto::core::placement::{place_stages, OpCostModel};
-use presto::core::{stream_isp_workers, stream_split_workers};
+use presto::core::{IspBatchStream, SplitBatchStream};
 use presto::datagen::{Dataset, Partition, RmConfig};
 use presto::hwsim::fpga::IspModel;
 use presto::ops::{
-    preprocess_partition, preprocess_partition_split, stream_workers, MiniBatch, PlanGraph,
-    PreprocessPlan,
+    preprocess_partition, preprocess_partition_split, BatchStream, FleetConfig, MiniBatch,
+    PlanGraph, PreprocessPlan,
 };
 use std::time::{Duration, Instant};
 
@@ -82,10 +82,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let plan = PreprocessPlan::compile(PlanGraph::canonical(&config, 7)?, &config)?;
         let placement = place_stages(&plan, rows, &model);
         let split = plan.split(&placement.fleet_assignment())?;
-        for item in stream_split_workers(&plan, &split, &slow, 2, 2, 4) {
+        let warm = FleetConfig::new(2, 4).with_host_workers(2);
+        for item in SplitBatchStream::spawn(&plan, &split, &slow, &warm) {
             item?;
         }
-        for item in stream_workers(&plan, &slow, 2, 4) {
+        for item in BatchStream::spawn(&plan, &slow, &FleetConfig::new(2, 4)) {
             item?;
         }
     }
@@ -111,7 +112,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         // Host-only fleet.
         let t0 = Instant::now();
-        let host: Vec<MiniBatch> = stream_workers(&plan, &slow, 2, 4)
+        let host: Vec<MiniBatch> = BatchStream::spawn(&plan, &slow, &FleetConfig::new(2, 4))
             .into_ordered()
             .map(|item| item.map(|b| b.batch))
             .collect::<Result<_, _>>()?;
@@ -120,7 +121,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         // ISP-only fleet.
         let t0 = Instant::now();
-        let mut isp_stream = stream_isp_workers(&plan, &slow, 2, 4);
+        let mut isp_stream = IspBatchStream::spawn(&plan, &slow, &FleetConfig::new(2, 4));
         let mut isp: Vec<(usize, MiniBatch)> = Vec::new();
         for item in isp_stream.by_ref() {
             let b = item?;
@@ -135,7 +136,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         // Hybrid split fleet: ISP prefix pipelined against host suffix.
         let t0 = Instant::now();
-        let mut split_stream = stream_split_workers(&plan, &split, &slow, 2, 2, 4);
+        let split_config = FleetConfig::new(2, 4).with_host_workers(2);
+        let mut split_stream = SplitBatchStream::spawn(&plan, &split, &slow, &split_config);
         let mut hybrid: Vec<(usize, MiniBatch)> = Vec::new();
         for item in split_stream.by_ref() {
             let b = item?;

@@ -15,10 +15,10 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use presto::columnar::{FaultInjector, FaultPlan};
-use presto::core::{stream_isp_workers_with, Trainer, TrainerConfig};
+use presto::core::{IspBatchStream, Trainer, TrainerConfig};
 use presto::datagen::{Dataset, Partition, RmConfig};
 use presto::ops::{
-    preprocess_partition, stream_workers_with, MiniBatch, PreprocessPlan, RetryPolicy, StreamConfig,
+    preprocess_partition, BatchStream, FleetConfig, MiniBatch, PreprocessPlan, RetryPolicy,
 };
 
 fn fault_seed() -> u64 {
@@ -73,8 +73,8 @@ fn host_fleet_transient_faults_stream_bit_identical() {
 
     let injector = FaultPlan::new(fault_seed()).with_transient_rate(0.08).arm();
     let partitions = armed(&ds, &injector);
-    let config = StreamConfig::new(3, 2).with_recovery(transient_policy());
-    let mut s = stream_workers_with(&plan, &partitions, &config).into_ordered();
+    let config = FleetConfig::new(3, 2).with_recovery(transient_policy());
+    let mut s = BatchStream::spawn(&plan, &partitions, &config).into_ordered();
     let streamed: Vec<MiniBatch> = s.by_ref().map(|i| i.unwrap().batch).collect();
     let report = s.get_ref().run_report();
 
@@ -93,7 +93,11 @@ fn isp_fleet_transient_faults_stream_bit_identical() {
 
     let injector = FaultPlan::new(fault_seed()).with_transient_rate(0.08).arm();
     let partitions = armed(&ds, &injector);
-    let mut stream = stream_isp_workers_with(&plan, &partitions, 2, 2, &transient_policy());
+    let mut stream = IspBatchStream::spawn(
+        &plan,
+        &partitions,
+        &FleetConfig::new(2, 2).with_recovery(transient_policy()),
+    );
     let mut batches: Vec<(usize, MiniBatch)> =
         stream.by_ref().map(|i| i.unwrap()).map(|b| (b.partition, b.batch)).collect();
     batches.sort_by_key(|(pos, _)| *pos);
@@ -114,8 +118,8 @@ fn corrupt_pages_recover_from_pristine_media() {
 
     let injector = FaultPlan::new(fault_seed()).with_corrupt_rate(0.04).arm();
     let partitions = armed(&ds, &injector);
-    let config = StreamConfig::new(2, 2).with_recovery(transient_policy());
-    let streamed: Vec<MiniBatch> = stream_workers_with(&plan, &partitions, &config)
+    let config = FleetConfig::new(2, 2).with_recovery(transient_policy());
+    let streamed: Vec<MiniBatch> = BatchStream::spawn(&plan, &partitions, &config)
         .into_ordered()
         .map(|i| i.unwrap().batch)
         .collect();
@@ -136,7 +140,8 @@ fn dead_isp_device_fails_over_bit_identically_and_reports_it() {
     let injector = FaultPlan::new(fault_seed()).with_device_death(1, 60).arm();
     let partitions = armed(&ds, &injector);
     let policy = RetryPolicy::recover().with_max_attempts(2).with_quarantine_after(2);
-    let mut stream = stream_isp_workers_with(&plan, &partitions, 2, 4, &policy);
+    let mut stream =
+        IspBatchStream::spawn(&plan, &partitions, &FleetConfig::new(2, 4).with_recovery(policy));
     let mut batches: Vec<(usize, bool, MiniBatch)> = stream
         .by_ref()
         .map(|i| i.unwrap())
@@ -165,7 +170,8 @@ fn quarantine_without_failover_drops_nothing_silently() {
     let on_dead = partitions.iter().filter(|p| p.device == 0).count();
     let policy =
         RetryPolicy::recover().with_max_attempts(2).with_quarantine_after(2).with_failover(false);
-    let mut stream = stream_isp_workers_with(&plan, &partitions, 2, 4, &policy);
+    let mut stream =
+        IspBatchStream::spawn(&plan, &partitions, &FleetConfig::new(2, 4).with_recovery(policy));
     let mut ok = 0usize;
     let mut errors = Vec::new();
     for item in stream.by_ref() {
@@ -194,19 +200,87 @@ fn trainer_surfaces_the_recovery_report() {
     let plan = PreprocessPlan::from_config(&c, 1).unwrap();
 
     // Fault-free run: the report is present and clean.
-    let config = StreamConfig::new(2, 2).with_recovery(transient_policy());
-    let stream = stream_workers_with(&plan, ds.partitions(), &config);
+    let config = FleetConfig::new(2, 2).with_recovery(transient_policy());
+    let stream = BatchStream::spawn(&plan, ds.partitions(), &config);
     let report = Trainer::new(TrainerConfig::instant()).run(stream).unwrap();
-    let recovery = report.recovery.expect("BatchStream reports recovery");
+    let recovery = report.recovery().expect("BatchStream reports recovery");
     assert!(recovery.clean(), "no faults injected, so no recovery activity");
 
     // Faulty run: retries show up in the trainer-level report.
     let injector = FaultPlan::new(fault_seed()).with_transient_rate(0.08).arm();
     let partitions = armed(&ds, &injector);
-    let stream = stream_workers_with(&plan, &partitions, &config);
+    let stream = BatchStream::spawn(&plan, &partitions, &config);
     let report = Trainer::new(TrainerConfig::instant()).run(stream).unwrap();
-    let recovery = report.recovery.expect("BatchStream reports recovery");
+    let recovery = report.recovery().expect("BatchStream reports recovery");
     assert!(injector.stats().transient > 0);
     assert!(recovery.retries > 0, "trainer report must surface producer retries");
     assert_eq!(report.batches, ds.partitions().len());
+}
+
+#[test]
+fn multi_tenant_device_death_degrades_only_the_victim_job() {
+    use presto::core::{Fleet, JobSpec, JobStatus, PreprocessService, ServiceConfig};
+
+    let (c, ds) = dataset(8, 24, 2);
+    let plan = PreprocessPlan::from_config(&c, 1).unwrap();
+    let serial = serial_reference(&plan, &ds);
+
+    // The victim job's device 1 dies mid-run; the healthy job shares the
+    // same pool but reads pristine media, so the quarantine must stay
+    // scoped to the victim.
+    let injector = FaultPlan::new(fault_seed()).with_device_death(1, 60).arm();
+    let victim_partitions = armed(&ds, &injector);
+    let policy = RetryPolicy::recover().with_max_attempts(2).with_quarantine_after(2);
+
+    let service = PreprocessService::new(
+        ServiceConfig::new(2).with_max_active_jobs(2).with_job_capacity(ds.partitions().len()),
+    );
+    let victim = service
+        .submit(
+            JobSpec::new("victim", plan.clone(), victim_partitions)
+                .with_fleet(Fleet::Isp)
+                .with_recovery(policy),
+        )
+        .expect("pool admits the victim job");
+    let healthy = service
+        .submit(JobSpec::new("healthy", plan.clone(), ds.partitions().to_vec()))
+        .expect("pool admits the healthy job");
+
+    let (victim_batches, healthy_ok) = std::thread::scope(|scope| {
+        let v = scope.spawn(|| {
+            let mut batches: Vec<(usize, bool, MiniBatch)> = victim
+                .map(|i| i.expect("victim partitions fail over, not error"))
+                .map(|b| (b.partition, b.via_failover, b.batch))
+                .collect();
+            batches.sort_by_key(|(pos, ..)| *pos);
+            batches
+        });
+        let h = scope.spawn(|| {
+            healthy.inspect(|i| assert!(i.is_ok(), "healthy job sees no faults")).count()
+        });
+        (v.join().unwrap(), h.join().unwrap())
+    });
+    let report = service.shutdown();
+
+    let failovers = victim_batches.iter().filter(|(_, via, _)| *via).count();
+    let streamed: Vec<MiniBatch> = victim_batches.into_iter().map(|(.., b)| b).collect();
+    assert_eq!(streamed, serial, "victim output must be bit-identical despite failover");
+    assert!(failovers > 0, "dead-device partitions must arrive via the host path");
+
+    let victim_report = report.jobs.iter().find(|j| j.name == "victim").unwrap();
+    let healthy_report = report.jobs.iter().find(|j| j.name == "healthy").unwrap();
+    assert_eq!(victim_report.status, JobStatus::Completed);
+    assert!(victim_report.recovery.failovers > 0);
+    assert!(victim_report.recovery.quarantined.contains(&1));
+    assert_eq!(
+        victim_report.recovery.delivered as usize + victim_report.recovery.failed_partitions.len(),
+        victim_report.recovery.partitions,
+        "every victim partition is accounted for"
+    );
+
+    assert_eq!(healthy_ok, ds.partitions().len());
+    assert_eq!(healthy_report.status, JobStatus::Completed);
+    assert!(healthy_report.recovery.clean(), "quarantine must not leak to the healthy job");
+    assert_eq!(healthy_report.delivered as usize, ds.partitions().len());
+    assert!(healthy_report.goodput_rows_per_sec > 0.0, "healthy goodput stays measurable");
 }

@@ -14,11 +14,12 @@
 //!    for arbitrary compiled graphs under *arbitrary* (not just
 //!    cost-optimal) stage-to-fleet assignments and any chunk size.
 
-use presto::core::stream_isp_workers;
+use presto::core::IspBatchStream;
 use presto::datagen::{generate_batch, generated_source_column, Dataset, RmConfig};
 use presto::ops::{
-    lognorm, preprocess_batch, preprocess_partition, stream_workers, Bucketizer, ChainSpec,
-    DenseMatrix, IdMap, JaggedFeature, MiniBatch, Op, PlanGraph, PreprocessPlan, SigridHasher,
+    lognorm, preprocess_batch, preprocess_partition, BatchStream, Bucketizer, ChainSpec,
+    DenseMatrix, FleetConfig, IdMap, JaggedFeature, MiniBatch, Op, PlanGraph, PreprocessPlan,
+    SigridHasher,
 };
 use proptest::prelude::*;
 
@@ -144,12 +145,13 @@ proptest! {
                 .iter()
                 .map(|p| preprocess_partition(&plan, p.blob.clone()).expect("serial").0)
                 .collect();
-            let cpu: Vec<MiniBatch> = stream_workers(&plan, ds.partitions(), 2, 2)
+            let cpu: Vec<MiniBatch> = BatchStream::spawn(&plan, ds.partitions(), &FleetConfig::new(2, 2))
                 .into_ordered()
                 .map(|item| item.expect("cpu batch").batch)
                 .collect();
             prop_assert_eq!(&cpu, &serial);
-            let mut isp: Vec<(usize, MiniBatch)> = stream_isp_workers(&plan, ds.partitions(), 2, 2)
+            let mut isp: Vec<(usize, MiniBatch)> =
+                IspBatchStream::spawn(&plan, ds.partitions(), &FleetConfig::new(2, 2))
                 .map(|item| item.expect("isp batch"))
                 .map(|b| (b.partition, b.batch))
                 .collect();

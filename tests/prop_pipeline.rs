@@ -6,8 +6,8 @@
 use presto::datagen::{generate_batch, write_partition, Dataset, RmConfig};
 use presto::ops::{
     preprocess_batch, preprocess_batch_owned, preprocess_batch_with, preprocess_partition,
-    preprocess_partition_with, run_workers, run_workers_materialized, stream_workers_with,
-    MiniBatch, PreprocessPlan, ScratchSpace, StreamConfig,
+    preprocess_partition_with, run_workers, run_workers_materialized, BatchStream, FleetConfig,
+    MiniBatch, PreprocessPlan, ScratchSpace,
 };
 use proptest::prelude::*;
 
@@ -88,10 +88,12 @@ proptest! {
             .collect();
 
         for prefetch in [true, false] {
-            let mut stream_config = StreamConfig::new(workers, capacity);
-            stream_config.prefetch = prefetch;
+            let mut fleet_config = FleetConfig::new(workers, capacity);
+            if !prefetch {
+                fleet_config = fleet_config.without_prefetch();
+            }
             let streamed: Vec<MiniBatch> =
-                stream_workers_with(&plan, ds.partitions(), &stream_config)
+                BatchStream::spawn(&plan, ds.partitions(), &fleet_config)
                     .into_ordered()
                     .map(|item| item.expect("streamed batch").batch)
                     .collect();
@@ -157,5 +159,82 @@ proptest! {
                 .expect("reused scratch");
             prop_assert_eq!(reused, fresh);
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Weighted-fair service invariant: every admitted job terminates with
+    /// `delivered + failed == partitions`, and no job starves behind a
+    /// larger neighbor (dispatch gaps stay bounded, so small jobs make
+    /// progress while big ones run).
+    #[test]
+    fn every_admitted_job_terminates_with_full_accounting(
+        pool_workers in 1usize..4,
+        job_sizes in proptest::collection::vec(1usize..6, 2..5),
+        weights in proptest::collection::vec(1u32..5, 2..5),
+        seed in any::<u64>(),
+    ) {
+        use presto::core::{JobSpec, JobStatus, PreprocessService, ServiceConfig};
+        use std::time::Duration;
+
+        let mut c = RmConfig::rm1();
+        c.batch_size = 8;
+        let plan = PreprocessPlan::from_config(&c, 3).expect("plan builds");
+        let jobs: Vec<Dataset> = job_sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &parts)| {
+                Dataset::generate(&c, parts, 8, 1, seed ^ i as u64).expect("dataset")
+            })
+            .collect();
+
+        let service = PreprocessService::new(
+            ServiceConfig::new(pool_workers)
+                .with_max_active_jobs(jobs.len())
+                .with_job_capacity(2),
+        );
+        let handles: Vec<_> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, ds)| {
+                let weight = f64::from(weights[i % weights.len()]);
+                service
+                    .submit(
+                        JobSpec::new(format!("job-{i}"), plan.clone(), ds.partitions().to_vec())
+                            .with_weight(weight),
+                    )
+                    .expect("pool admits every job within max_active_jobs")
+            })
+            .collect();
+
+        let drained: Vec<usize> = std::thread::scope(|scope| {
+            let joins: Vec<_> = handles
+                .into_iter()
+                .map(|h| {
+                    scope.spawn(move || {
+                        h.inspect(|i| assert!(i.is_ok(), "fault-free job")).count()
+                    })
+                })
+                .collect();
+            joins.into_iter().map(|j| j.join().unwrap()).collect()
+        });
+        let report = service.shutdown();
+
+        prop_assert_eq!(report.jobs.len(), jobs.len());
+        for (i, job) in report.jobs.iter().enumerate() {
+            prop_assert_eq!(job.status, JobStatus::Completed);
+            prop_assert_eq!(drained[i], job_sizes[i]);
+            prop_assert_eq!(
+                job.recovery.delivered as usize + job.recovery.failed_partitions.len(),
+                job.recovery.partitions
+            );
+            prop_assert!(
+                job.max_dispatch_gap < Duration::from_secs(30),
+                "job-{} must not starve behind its neighbors", i
+            );
+        }
+        prop_assert!(report.fairness > 0.0 && report.fairness <= 1.0 + 1e-9);
     }
 }
