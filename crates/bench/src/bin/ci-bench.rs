@@ -20,6 +20,10 @@
 //! * `multi_tenant_rows_per_sec` — two concurrent RM1 jobs through the
 //!   multi-tenant [`PreprocessService`] sharing one pool worker under
 //!   weighted-fair dispatch: aggregate delivered rows over wall-clock.
+//! * `shuffled_stream_rows_per_sec` — the shuffled random-access epoch
+//!   (`ShuffledStream::spawn` over a row-group-indexed `PSTOCOL4` dataset,
+//!   in-order delivery through the reorder heap) feeding the same trainer:
+//!   the price of shuffling relative to `streaming_end_to_end`.
 //!
 //! Writes the measurements to `BENCH_ci.json` (uploaded as a CI artifact),
 //! appends a per-metric delta table to `$GITHUB_STEP_SUMMARY` when that
@@ -50,7 +54,7 @@ use presto_hwsim::fpga::IspModel;
 use presto_metrics::TextTable;
 use presto_ops::{
     extract_partition_with, preprocess_partition_with, BatchStream, FleetConfig, PreprocessPlan,
-    ScratchSpace,
+    ScratchSpace, ShuffleSpec, ShuffledStream,
 };
 use std::time::Instant;
 
@@ -165,6 +169,30 @@ fn multi_tenant() -> f64 {
     })
 }
 
+/// The shuffled-epoch pipeline: row groups of a `PSTOCOL4` dataset in a
+/// seeded permutation, delivered in permutation order to the trainer.
+/// Groups of 256 rows give 32 shuffle units over the same data volume as
+/// `streaming_end_to_end`, so the delta between the two metrics is the
+/// cost of random access + reorder delivery.
+fn shuffled_stream() -> f64 {
+    let mut config = RmConfig::rm1();
+    config.batch_size = 1024;
+    let plan = PreprocessPlan::from_config(&config, 1).expect("plan");
+    let ds = Dataset::generate_grouped(&config, 8, 1024, 2, 7, 256).expect("dataset");
+    let trainer = Trainer::new(TrainerConfig::instant());
+    best_of(3, || {
+        let stream = ShuffledStream::spawn(
+            &plan,
+            ds.partitions(),
+            ShuffleSpec::new(42),
+            &FleetConfig::new(2, 4),
+        )
+        .expect("spawns");
+        let report = trainer.run(stream).expect("trains");
+        report.rows
+    })
+}
+
 /// Appends the per-metric delta table to the GitHub Actions job summary
 /// (`$GITHUB_STEP_SUMMARY`), so reviewers see the deltas without opening
 /// logs — including on green runs. No-op outside CI.
@@ -206,6 +234,7 @@ fn main() {
         ("streaming_end_to_end_rows_per_sec".to_owned(), streaming_end_to_end()),
         ("split_end_to_end_rows_per_sec".to_owned(), split_end_to_end()),
         ("multi_tenant_rows_per_sec".to_owned(), multi_tenant()),
+        ("shuffled_stream_rows_per_sec".to_owned(), shuffled_stream()),
     ];
     std::fs::write(OUTPUT_PATH, render_flat_json(&measured)).expect("write BENCH_ci.json");
     println!("wrote {OUTPUT_PATH}");

@@ -174,7 +174,9 @@ pub fn write_chunk_policy(
         page::write_page_policy(&page_arr, policy, out)?;
         start += take;
     }
-    Ok(ColumnStats::from_array(array))
+    let mut stats = ColumnStats::from_array(array);
+    stats.pages = n_pages as u64;
+    Ok(stats)
 }
 
 /// Reads a column chunk written by [`write_chunk`], for a `buf` starting at
@@ -210,7 +212,12 @@ pub fn read_chunk_at(buf: &[u8], pos: &mut usize, data_type: DataType, base: u64
 /// set of exactly-sized output buffers, with page payload staging (LZ,
 /// length streams) recycled through the caller's [`crate::ReadScratch`].
 ///
-/// `rows` and `elements` come from the footer's column statistics; they
+/// `rows` and `elements` come from the footer's column statistics **for the
+/// one row group being read** — chunk stats are per-group, so a random
+/// row-group access (the `PSTOCOL4` shuffled-read path) sizes its output
+/// buffers from that group's own index entry, never from file totals. The
+/// last row group of a partition whose row count is not a multiple of the
+/// group size therefore allocates exactly its short length. They
 /// size the outputs and every page's decoded counts are validated against
 /// the running totals. `staging` and `lengths` are recycled intermediates
 /// (see [`ReadScratch::decode_buffers`](crate::ReadScratch)). Float columns

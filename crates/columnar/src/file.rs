@@ -1,25 +1,50 @@
 //! The columnar file container: row groups of column chunks plus a footer.
 //!
-//! File layout:
+//! File layout (`PSTOCOL4`):
 //!
 //! ```text
-//! magic  "PSTOCOL3"                      (8 bytes)
+//! magic  "PSTOCOL4"                      (8 bytes)
 //! column chunks, back to back            (row-group major, column minor)
-//! footer: schema, row-group metadata     (self-describing)
+//! footer: schema, row-group index        (self-describing, see below)
 //! u32 LE  CRC-32 of the footer bytes
 //! u32 LE  footer length
-//! magic  "PSTOCOL3"                      (8 bytes)
+//! magic  "PSTOCOL4"                      (8 bytes)
 //! ```
 //!
-//! Version 3 adds the delta-bitpacked block encoding (page encoding tag 3,
-//! see [`crate::encoding::block`]) and the per-column
-//! [`WritePolicy`]; the container layout is
-//! unchanged from version 2, so the reader accepts `PSTOCOL2` files as-is
-//! (they simply never use tag 3 — covered by a checked-in v2 fixture test).
+//! The footer is a varint-encoded tree:
+//!
+//! ```text
+//! footer      := schema row_group_index
+//! schema      := n_fields { name_len name_bytes type_tag }*
+//! index       := n_groups { group }*
+//! group       := rows { chunk }*            one chunk per schema field
+//! chunk       := offset byte_len stats      absolute offset + length in bytes
+//! stats       := rows elements pages null_rows minmax   (v4)
+//!              | rows elements minmax                    (v2/v3 legacy)
+//! minmax      := 0x00 | 0x01 min_i64 max_i64 (zigzag varints)
+//! ```
+//!
+//! Version 4 makes the footer a true **row-group index**: writers emit
+//! mini-batch-aligned row groups ([`FileWriter::with_group_rows`] +
+//! [`FileWriter::write_batch`]) and every chunk entry carries the group's
+//! own page count and null-row count next to its offset/size/row/element
+//! stats, so a reader can fetch any single group — `read_row_group(g)` /
+//! `read_projected_with(g, ..)` — with exactly one ranged read per
+//! projected column and exactly-sized decode buffers, without touching any
+//! other group. This random access is what the shuffled epoch streaming in
+//! `presto-ops` (`ShuffledStream`) is built on. [`FileMeta::locate_row`] /
+//! [`FileMeta::start_rows`] map global row numbers onto groups.
+//!
+//! Version 3 added the delta-bitpacked block encoding (page encoding tag 3,
+//! see [`crate::encoding::block`]) and the per-column [`WritePolicy`].
 //! Version 2 (PR 2) 8-byte-aligns every page payload (see
-//! [`crate::page::PAYLOAD_ALIGN`]); version-1 files fail at open with a
-//! clear bad-magic error instead of a misleading decode failure. Mixed
-//! leading/trailing magics are rejected as corruption.
+//! [`crate::page::PAYLOAD_ALIGN`]). The reader accepts `PSTOCOL2` and
+//! `PSTOCOL3` files as-is — same container layout, legacy per-chunk stats
+//! (their [`ColumnStats::pages`]/[`ColumnStats::null_rows`] read back as 0 =
+//! unknown), and in practice one whole-partition row group, which v4
+//! readers simply treat as an index of length 1. Version-1 files fail at
+//! open with a clear bad-magic error instead of a misleading decode
+//! failure. Mixed leading/trailing magics are rejected as corruption.
 //!
 //! The footer-at-the-end design is what lets a reader fetch metadata with two
 //! small reads and then issue *exactly one ranged read per projected column*,
@@ -37,12 +62,58 @@ use crate::page::DEFAULT_PAGE_ROWS;
 use crate::schema::{DataType, Field, Schema, WritePolicy};
 use crate::stats::ColumnStats;
 
-/// Magic bytes at both ends of every file the writer produces.
-pub const MAGIC: &[u8; 8] = b"PSTOCOL3";
+/// Magic bytes at both ends of every file the writer produces by default.
+pub const MAGIC: &[u8; 8] = b"PSTOCOL4";
 
-/// Previous-version magic the reader still accepts (same layout, no
-/// delta-bitpacked pages).
+/// Version-3 magic the reader still accepts (legacy per-chunk stats, no
+/// row-group index guarantees — typically one whole-partition group).
+pub const MAGIC_V3: &[u8; 8] = b"PSTOCOL3";
+
+/// Version-2 magic the reader still accepts (same as v3 minus the
+/// delta-bitpacked page encoding).
 pub const MAGIC_V2: &[u8; 8] = b"PSTOCOL2";
+
+/// Container format versions this crate can read (and, for fixtures and
+/// compatibility tests, write — see [`FileWriter::with_format_version`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FormatVersion {
+    /// `PSTOCOL2`: aligned page payloads, legacy footer stats.
+    V2,
+    /// `PSTOCOL3`: v2 plus delta-bitpacked pages, legacy footer stats.
+    V3,
+    /// `PSTOCOL4`: v3 plus the row-group index footer (per-chunk page and
+    /// null-row counts). The current default.
+    V4,
+}
+
+impl FormatVersion {
+    /// The magic bytes written at both ends of a file of this version.
+    #[must_use]
+    pub fn magic(self) -> &'static [u8; 8] {
+        match self {
+            FormatVersion::V2 => MAGIC_V2,
+            FormatVersion::V3 => MAGIC_V3,
+            FormatVersion::V4 => MAGIC,
+        }
+    }
+
+    /// Resolves magic bytes to a version; `None` for unknown magics.
+    #[must_use]
+    pub fn from_magic(magic: &[u8]) -> Option<Self> {
+        match magic {
+            m if m == MAGIC => Some(FormatVersion::V4),
+            m if m == MAGIC_V3 => Some(FormatVersion::V3),
+            m if m == MAGIC_V2 => Some(FormatVersion::V2),
+            _ => None,
+        }
+    }
+
+    /// True when footers of this version carry the v4 stats layout.
+    #[must_use]
+    fn v4_stats(self) -> bool {
+        matches!(self, FormatVersion::V4)
+    }
+}
 
 /// Footer metadata for one column chunk.
 #[derive(Debug, Clone, PartialEq)]
@@ -80,7 +151,38 @@ impl FileMeta {
         self.row_groups.iter().map(|rg| rg.rows).sum()
     }
 
-    fn write(&self, out: &mut Vec<u8>) {
+    /// Global row number at which each row group starts (one entry per
+    /// group, in file order). `start_rows()[g] + locate_row` arithmetic is
+    /// how shuffled readers map epoch positions back to file coordinates.
+    #[must_use]
+    pub fn start_rows(&self) -> Vec<u64> {
+        let mut starts = Vec::with_capacity(self.row_groups.len());
+        let mut acc = 0u64;
+        for rg in &self.row_groups {
+            starts.push(acc);
+            acc += rg.rows;
+        }
+        starts
+    }
+
+    /// Locates global row number `row` as `(group index, offset within
+    /// group)` by walking the group index; `None` when `row` is past the
+    /// end of the file. Empty groups are skipped, never returned.
+    #[must_use]
+    pub fn locate_row(&self, row: u64) -> Option<(usize, u64)> {
+        let mut acc = 0u64;
+        let mut candidate = None;
+        for (g, rg) in self.row_groups.iter().enumerate() {
+            if row < acc + rg.rows {
+                candidate = Some((g, row - acc));
+                break;
+            }
+            acc += rg.rows;
+        }
+        candidate
+    }
+
+    fn write(&self, out: &mut Vec<u8>, version: FormatVersion) {
         varint::write_u64(out, self.schema.len() as u64);
         for field in self.schema.fields() {
             varint::write_u64(out, field.name().len() as u64);
@@ -93,12 +195,16 @@ impl FileMeta {
             for chunk in &rg.columns {
                 varint::write_u64(out, chunk.offset);
                 varint::write_u64(out, chunk.byte_len);
-                chunk.stats.write(out);
+                if version.v4_stats() {
+                    chunk.stats.write(out);
+                } else {
+                    chunk.stats.write_legacy(out);
+                }
             }
         }
     }
 
-    fn read(buf: &[u8]) -> Result<Self> {
+    fn read(buf: &[u8], version: FormatVersion) -> Result<Self> {
         let mut pos = 0usize;
         let n_fields = varint::read_u64(buf, &mut pos)? as usize;
         let mut fields = Vec::with_capacity(n_fields);
@@ -128,7 +234,7 @@ impl FileMeta {
             for _ in 0..schema.len() {
                 let offset = varint::read_u64(buf, &mut pos)?;
                 let byte_len = varint::read_u64(buf, &mut pos)?;
-                let stats = ColumnStats::read(buf, &mut pos)?;
+                let stats = ColumnStats::read(buf, &mut pos, version.v4_stats())?;
                 columns.push(ChunkMeta { offset, byte_len, stats });
             }
             row_groups.push(RowGroupMeta { rows, columns });
@@ -161,6 +267,8 @@ impl FileMeta {
 pub struct FileWriter {
     schema: Schema,
     page_rows: usize,
+    group_rows: Option<usize>,
+    version: FormatVersion,
     policy: WritePolicy,
     buf: Vec<u8>,
     row_groups: Vec<RowGroupMeta>,
@@ -185,10 +293,41 @@ impl FileWriter {
         FileWriter {
             schema,
             page_rows: page_rows.max(1),
+            group_rows: None,
+            version: FormatVersion::V4,
             policy: WritePolicy::from_env(),
             buf,
             row_groups: Vec::new(),
         }
+    }
+
+    /// Sets the target rows per row group for [`FileWriter::write_batch`]:
+    /// batches split into mini-batch-aligned groups of `group_rows` rows
+    /// (the last group of a batch may be shorter). Group splits share the
+    /// batch's buffers ([`column::slice_array`]); only jagged offsets are
+    /// rebased.
+    ///
+    /// Smaller groups give a shuffled reader finer-grained randomness and
+    /// work stealing but amplify per-group read overhead (footer entries,
+    /// page headers, ranged reads); `examples/shuffle_epochs` sweeps the
+    /// trade-off.
+    #[must_use]
+    pub fn with_group_rows(mut self, group_rows: usize) -> Self {
+        self.group_rows = Some(group_rows.max(1));
+        self
+    }
+
+    /// Writes an older container version (magic + legacy footer stats
+    /// layout) — for compatibility fixtures and cross-version tests. Note
+    /// the page encodings are still chosen by the active [`WritePolicy`],
+    /// so a faithful [`FormatVersion::V2`] file also needs a policy that
+    /// avoids the delta-bitpack encoding v2 predates.
+    #[must_use]
+    pub fn with_format_version(mut self, version: FormatVersion) -> Self {
+        self.version = version;
+        // The leading magic is always bytes 0..8, already emitted.
+        self.buf[0..8].copy_from_slice(version.magic());
+        self
     }
 
     /// Enables per-page payload compression for subsequently written row
@@ -267,18 +406,67 @@ impl FileWriter {
         Ok(())
     }
 
+    /// Appends a batch of rows, split into row groups of the configured
+    /// [`FileWriter::with_group_rows`] target (one group holding the whole
+    /// batch when no target is set). Validation runs once on the full
+    /// batch; the splits are zero-copy windows except for rebased jagged
+    /// offsets. An empty batch writes nothing.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FileWriter::write_row_group`].
+    pub fn write_batch(&mut self, columns: &[Array]) -> Result<()> {
+        let rows = columns.first().map_or(0, Array::len);
+        let group_rows = match self.group_rows {
+            Some(g) if rows > 0 => g,
+            _ => return self.write_row_group(columns),
+        };
+        // Validate once up front (write_row_group re-validates per group,
+        // which is cheap relative to encoding but catches length mismatches
+        // before any bytes are emitted).
+        if columns.len() != self.schema.len() {
+            return Err(ColumnarError::InvalidSchema {
+                detail: format!(
+                    "batch has {} columns, schema has {}",
+                    columns.len(),
+                    self.schema.len()
+                ),
+            });
+        }
+        for col in columns {
+            if col.len() != rows {
+                return Err(ColumnarError::CountMismatch { declared: rows, actual: col.len() });
+            }
+        }
+        let mut start = 0usize;
+        while start < rows {
+            let take = group_rows.min(rows - start);
+            let group: Vec<Array> =
+                columns.iter().map(|c| column::slice_array(c, start, take)).collect();
+            self.write_row_group(&group)?;
+            start += take;
+        }
+        Ok(())
+    }
+
+    /// The container version this writer emits.
+    #[must_use]
+    pub fn format_version(&self) -> FormatVersion {
+        self.version
+    }
+
     /// Finalizes the file and returns its bytes.
     #[must_use]
     pub fn finish(mut self) -> Vec<u8> {
         let meta = FileMeta { schema: self.schema.clone(), row_groups: self.row_groups.clone() };
         let mut footer = Vec::new();
-        meta.write(&mut footer);
+        meta.write(&mut footer, self.version);
         let footer_crc = crc32(&footer);
         let footer_len = footer.len() as u32;
         self.buf.extend_from_slice(&footer);
         self.buf.extend_from_slice(&footer_crc.to_le_bytes());
         self.buf.extend_from_slice(&footer_len.to_le_bytes());
-        self.buf.extend_from_slice(MAGIC);
+        self.buf.extend_from_slice(self.version.magic());
         self.buf
     }
 }
@@ -288,6 +476,7 @@ impl FileWriter {
 pub struct FileReader<B> {
     blob: B,
     meta: FileMeta,
+    version: FormatVersion,
 }
 
 impl<B: BlobRead> FileReader<B> {
@@ -306,9 +495,9 @@ impl<B: BlobRead> FileReader<B> {
             });
         }
         let head = blob.read_at(0, 8)?;
-        if head != MAGIC && head != MAGIC_V2 {
+        let Some(version) = FormatVersion::from_magic(&head) else {
             return Err(ColumnarError::CorruptFile { detail: "bad leading magic".into() });
-        }
+        };
         let tail = blob.read_at(total - tail_len as u64, tail_len)?;
         if tail[8..] != head {
             return Err(ColumnarError::CorruptFile { detail: "bad trailing magic".into() });
@@ -326,14 +515,20 @@ impl<B: BlobRead> FileReader<B> {
         if actual != footer_crc {
             return Err(ColumnarError::ChecksumMismatch { expected: footer_crc, actual });
         }
-        let meta = FileMeta::read(&footer)?;
-        Ok(FileReader { blob, meta })
+        let meta = FileMeta::read(&footer, version)?;
+        Ok(FileReader { blob, meta, version })
     }
 
     /// The parsed footer.
     #[must_use]
     pub fn meta(&self) -> &FileMeta {
         &self.meta
+    }
+
+    /// The container version this file was written with.
+    #[must_use]
+    pub fn version(&self) -> FormatVersion {
+        self.version
     }
 
     /// The table schema.
@@ -771,5 +966,142 @@ mod tests {
         let reader = FileReader::open(MemBlob::new(bytes)).unwrap();
         assert_eq!(reader.row_group_count(), 0);
         assert_eq!(reader.meta().total_rows(), 0);
+        assert_eq!(reader.version(), FormatVersion::V4);
+    }
+
+    #[test]
+    fn write_batch_splits_into_target_sized_groups() {
+        let cols = sample_columns(200, 5);
+        let mut w = FileWriter::with_page_rows(sample_schema(), 64).with_group_rows(64);
+        w.write_batch(&cols).unwrap();
+        let reader = FileReader::open(MemBlob::new(w.finish())).unwrap();
+        assert_eq!(reader.row_group_count(), 4);
+        let rows: Vec<u64> = reader.meta().row_groups.iter().map(|rg| rg.rows).collect();
+        assert_eq!(rows, vec![64, 64, 64, 8]);
+        assert_eq!(reader.meta().total_rows(), 200);
+        // Each group reads back as the matching row window of the batch.
+        let mut start = 0usize;
+        for (g, take) in [(0usize, 64usize), (1, 64), (2, 64), (3, 8)] {
+            let expect: Vec<Array> =
+                cols.iter().map(|c| column::slice_array(c, start, take)).collect();
+            assert_eq!(reader.read_row_group(g).unwrap(), expect, "group {g}");
+            start += take;
+        }
+    }
+
+    #[test]
+    fn write_batch_group_size_edge_cases() {
+        // Group size larger than the batch → one group; group size 1 → one
+        // group per row.
+        let cols = sample_columns(5, 2);
+        let mut w = FileWriter::new(sample_schema()).with_group_rows(1000);
+        w.write_batch(&cols).unwrap();
+        let r = FileReader::open(MemBlob::new(w.finish())).unwrap();
+        assert_eq!(r.row_group_count(), 1);
+        assert_eq!(r.read_row_group(0).unwrap(), cols);
+
+        let mut w = FileWriter::new(sample_schema()).with_group_rows(1);
+        w.write_batch(&cols).unwrap();
+        let r = FileReader::open(MemBlob::new(w.finish())).unwrap();
+        assert_eq!(r.row_group_count(), 5);
+        for g in 0..5 {
+            let expect: Vec<Array> = cols.iter().map(|c| column::slice_array(c, g, 1)).collect();
+            assert_eq!(r.read_row_group(g).unwrap(), expect);
+        }
+
+        // No group target set → write_batch degenerates to one group.
+        let mut w = FileWriter::new(sample_schema());
+        w.write_batch(&cols).unwrap();
+        let r = FileReader::open(MemBlob::new(w.finish())).unwrap();
+        assert_eq!(r.row_group_count(), 1);
+
+        // Empty batch writes nothing even with a group target.
+        let mut w = FileWriter::new(sample_schema()).with_group_rows(4);
+        w.write_batch(&sample_columns(0, 0)).unwrap();
+        let r = FileReader::open(MemBlob::new(w.finish())).unwrap();
+        assert_eq!(r.row_group_count(), 1); // single empty group via write_row_group
+        assert_eq!(r.meta().total_rows(), 0);
+    }
+
+    #[test]
+    fn locate_row_and_start_rows_index_the_groups() {
+        let mut w = FileWriter::with_page_rows(sample_schema(), 64).with_group_rows(64);
+        w.write_batch(&sample_columns(200, 1)).unwrap();
+        let reader = FileReader::open(MemBlob::new(w.finish())).unwrap();
+        let meta = reader.meta();
+        assert_eq!(meta.start_rows(), vec![0, 64, 128, 192]);
+        assert_eq!(meta.locate_row(0), Some((0, 0)));
+        assert_eq!(meta.locate_row(63), Some((0, 63)));
+        assert_eq!(meta.locate_row(64), Some((1, 0)));
+        assert_eq!(meta.locate_row(199), Some((3, 7)));
+        assert_eq!(meta.locate_row(200), None);
+        assert_eq!(meta.locate_row(u64::MAX), None);
+    }
+
+    #[test]
+    fn v4_footer_records_pages_and_null_rows() {
+        let mut w = FileWriter::with_page_rows(sample_schema(), 128);
+        w.write_row_group(&sample_columns(500, 0)).unwrap();
+        let reader = FileReader::open(MemBlob::new(w.finish())).unwrap();
+        let rg = &reader.meta().row_groups[0];
+        // 500 rows at 128 rows/page → 4 pages per chunk.
+        for chunk in &rg.columns {
+            assert_eq!(chunk.stats.pages, 4);
+        }
+        // sample_columns gives rows with i % 4 == 0 empty lists: 125 of 500.
+        assert_eq!(rg.columns[2].stats.null_rows, 125);
+        assert_eq!(rg.columns[0].stats.null_rows, 0);
+    }
+
+    #[test]
+    fn legacy_versions_write_and_read_back() {
+        for version in [FormatVersion::V2, FormatVersion::V3] {
+            let cols = sample_columns(300, 2);
+            let mut w = FileWriter::with_page_rows(sample_schema(), 128)
+                .with_policy(WritePolicy::default())
+                .with_format_version(version);
+            w.write_row_group(&cols).unwrap();
+            let bytes = w.finish();
+            assert_eq!(&bytes[0..8], version.magic());
+            assert_eq!(&bytes[bytes.len() - 8..], version.magic());
+            let reader = FileReader::open(MemBlob::new(bytes)).unwrap();
+            assert_eq!(reader.version(), version);
+            // Legacy footers carry no page/null counts.
+            let chunk = &reader.meta().row_groups[0].columns[0];
+            assert_eq!(chunk.stats.pages, 0);
+            assert_eq!(chunk.stats.null_rows, 0);
+            assert_eq!(reader.read_row_group(0).unwrap(), cols, "{version:?}");
+        }
+    }
+
+    #[test]
+    fn mixed_valid_version_magics_are_rejected() {
+        // Leading v4, trailing v3 — both valid magics, but mismatched.
+        let mut bytes = sample_file(1, 10);
+        let n = bytes.len();
+        bytes[n - 8..].copy_from_slice(MAGIC_V3);
+        assert!(matches!(
+            FileReader::open(MemBlob::new(bytes)),
+            Err(ColumnarError::CorruptFile { .. })
+        ));
+    }
+
+    #[test]
+    fn last_short_row_group_decodes_batched_exactly() {
+        // Regression for group-subset buffer sizing: the batched decoder
+        // must size the short trailing group (8 rows) from that group's own
+        // index entry, not file totals (200 rows). Multi-page chunks force
+        // the batched path; the opaque backend forces staging reads.
+        let cols = sample_columns(200, 7);
+        let mut w = FileWriter::with_page_rows(sample_schema(), 4).with_group_rows(64);
+        w.write_batch(&cols).unwrap();
+        let bytes = w.finish();
+        let expect: Vec<Array> = cols.iter().map(|c| column::slice_array(c, 192, 8)).collect();
+        let shared = FileReader::open(MemBlob::new(bytes.clone())).unwrap();
+        let last = shared.row_group_count() - 1;
+        assert_eq!(shared.meta().row_groups[last].rows, 8);
+        assert_eq!(shared.read_row_group(last).unwrap(), expect);
+        let opaque = FileReader::open(CountingBlob::new(MemBlob::new(bytes))).unwrap();
+        assert_eq!(opaque.read_row_group(last).unwrap(), expect);
     }
 }

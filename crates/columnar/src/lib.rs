@@ -90,7 +90,10 @@ pub use compress::Compression;
 pub use encoding::Encoding;
 pub use error::{ColumnarError, Result};
 pub use fault::{DeviceDeath, FaultInjector, FaultPlan, FaultSite, FaultStats, FaultyBlob};
-pub use file::{ChunkMeta, FileMeta, FileReader, FileWriter, RowGroupMeta, MAGIC, MAGIC_V2};
+pub use file::{
+    ChunkMeta, FileMeta, FileReader, FileWriter, FormatVersion, RowGroupMeta, MAGIC, MAGIC_V2,
+    MAGIC_V3,
+};
 pub use io::{
     BlobRead, CountingBlob, Device, DeviceModel, DeviceStats, FsBlob, MemBlob, ReadScratch,
 };

@@ -1,5 +1,8 @@
 //! Pages: the unit of encoding and checksumming inside a column chunk
-//! (format version 3, magic `PSTOCOL3`).
+//! (unchanged since format version 2; current container magic `PSTOCOL4`,
+//! whose footer additionally records each chunk's page count — see
+//! [`crate::file`] for the footer layout and [`crate::stats::ColumnStats`]
+//! for the per-chunk entry).
 //!
 //! Layout of one page:
 //!
@@ -19,9 +22,11 @@
 //! Encoding tags: `0` plain, `1` delta-varint, `2` dictionary, `3`
 //! delta-bitpacked miniblocks ([`crate::encoding::block`]: per-miniblock
 //! frame-of-reference + bit width, 128 values each, decoded 64 at a time
-//! through word loads). Tag 3 is new in version 3; the layout is otherwise
-//! identical to version 2, so the v3 reader accepts v2 files unchanged —
-//! a v2 file simply never uses tag 3.
+//! through word loads). Tag 3 is new in version 3; the page layout is
+//! otherwise identical to version 2, so the current reader accepts v2 and
+//! v3 files unchanged — a v2 file simply never uses tag 3, and versions
+//! differ only in their footer stats layout (v4 adds page and null-row
+//! counts per chunk).
 //!
 //! Which encoding and compression a page gets is decided per *column* by
 //! [`crate::schema::WritePolicy`]: a sample-based cost model picks the

@@ -1,19 +1,38 @@
 //! Per-column-chunk statistics recorded in the file footer.
 //!
 //! Readers use these to size buffers and (in the hwsim layer) to price decode
-//! work without touching payload bytes.
+//! work without touching payload bytes. Because every column chunk belongs to
+//! exactly one row group, these stats are **per-group** metadata: the batched
+//! decoder ([`crate::column::read_chunk_batched`]) sizes its output buffers
+//! from the claimed group's own `rows`/`elements`, never from file totals —
+//! which is what makes random row-group access as exactly-sized as a
+//! whole-partition read, including the last short group of a
+//! group-size-misaligned partition.
+//!
+//! The `PSTOCOL4` footer extends each entry with the chunk's page count and
+//! its null-row count (rows with zero elements — only list columns can have
+//! them). Files with the `PSTOCOL2`/`PSTOCOL3` magic carry the legacy layout;
+//! their stats read back with `pages == 0` and `null_rows == 0` (unknown —
+//! a real v4 chunk always has at least one page).
 
 use crate::array::Array;
 use crate::encoding::varint;
 use crate::error::Result;
 
-/// Statistics for one column chunk.
+/// Statistics for one column chunk (one column of one row group).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ColumnStats {
     /// Number of rows in the chunk.
     pub rows: u64,
     /// Number of scalar elements (= rows for scalars, flattened length for lists).
     pub elements: u64,
+    /// Number of pages in the chunk (`PSTOCOL4` footers; 0 = unknown, for
+    /// chunks read from legacy `PSTOCOL2`/`PSTOCOL3` footers).
+    pub pages: u64,
+    /// Rows with zero elements — empty lists for jagged columns, always 0
+    /// for scalar columns (the format has no scalar nulls). 0 also for
+    /// legacy footers, which did not record the count.
+    pub null_rows: u64,
     /// Minimum integer value, when the column is integer-typed and non-empty.
     pub min_i64: Option<i64>,
     /// Maximum integer value, when the column is integer-typed and non-empty.
@@ -21,7 +40,8 @@ pub struct ColumnStats {
 }
 
 impl ColumnStats {
-    /// Computes statistics from an in-memory array.
+    /// Computes statistics from an in-memory array (`pages` is filled in by
+    /// the chunk writer, which decides the pagination).
     #[must_use]
     pub fn from_array(array: &Array) -> Self {
         let (min_i64, max_i64) = match array {
@@ -31,17 +51,39 @@ impl ColumnStats {
             }
             _ => (None, None),
         };
+        let null_rows = match array {
+            Array::ListInt64 { offsets, .. } => {
+                offsets.windows(2).filter(|w| w[0] == w[1]).count() as u64
+            }
+            _ => 0,
+        };
         ColumnStats {
             rows: array.len() as u64,
             elements: array.element_count() as u64,
+            pages: 0,
+            null_rows,
             min_i64,
             max_i64,
         }
     }
 
+    /// Writes the `PSTOCOL4` stats layout.
     pub(crate) fn write(&self, out: &mut Vec<u8>) {
         varint::write_u64(out, self.rows);
         varint::write_u64(out, self.elements);
+        varint::write_u64(out, self.pages);
+        varint::write_u64(out, self.null_rows);
+        self.write_minmax(out);
+    }
+
+    /// Writes the legacy (`PSTOCOL2`/`PSTOCOL3`) stats layout.
+    pub(crate) fn write_legacy(&self, out: &mut Vec<u8>) {
+        varint::write_u64(out, self.rows);
+        varint::write_u64(out, self.elements);
+        self.write_minmax(out);
+    }
+
+    fn write_minmax(&self, out: &mut Vec<u8>) {
         match (self.min_i64, self.max_i64) {
             (Some(min), Some(max)) => {
                 out.push(1);
@@ -52,9 +94,13 @@ impl ColumnStats {
         }
     }
 
-    pub(crate) fn read(buf: &[u8], pos: &mut usize) -> Result<Self> {
+    /// Reads the layout selected by `v4`: `true` for `PSTOCOL4` footers,
+    /// `false` for the legacy two-field layout (pages/null_rows read as 0).
+    pub(crate) fn read(buf: &[u8], pos: &mut usize, v4: bool) -> Result<Self> {
         let rows = varint::read_u64(buf, pos)?;
         let elements = varint::read_u64(buf, pos)?;
+        let (pages, null_rows) =
+            if v4 { (varint::read_u64(buf, pos)?, varint::read_u64(buf, pos)?) } else { (0, 0) };
         let has_minmax = {
             let b = buf
                 .get(*pos)
@@ -68,7 +114,7 @@ impl ColumnStats {
         } else {
             (None, None)
         };
-        Ok(ColumnStats { rows, elements, min_i64, max_i64 })
+        Ok(ColumnStats { rows, elements, pages, null_rows, min_i64, max_i64 })
     }
 }
 
@@ -81,16 +127,18 @@ mod tests {
         let s = ColumnStats::from_array(&Array::Int64(vec![3, -1, 7].into()));
         assert_eq!(s.rows, 3);
         assert_eq!(s.elements, 3);
+        assert_eq!(s.null_rows, 0);
         assert_eq!(s.min_i64, Some(-1));
         assert_eq!(s.max_i64, Some(7));
     }
 
     #[test]
-    fn stats_from_list_array_count_elements() {
-        let a = Array::from_lists([vec![5i64, 1], vec![9]]).unwrap();
+    fn stats_from_list_array_count_elements_and_empty_rows() {
+        let a = Array::from_lists([vec![5i64, 1], vec![], vec![9], vec![]]).unwrap();
         let s = ColumnStats::from_array(&a);
-        assert_eq!(s.rows, 2);
+        assert_eq!(s.rows, 4);
         assert_eq!(s.elements, 3);
+        assert_eq!(s.null_rows, 2);
         assert_eq!(s.min_i64, Some(1));
         assert_eq!(s.max_i64, Some(9));
     }
@@ -100,29 +148,70 @@ mod tests {
         let s = ColumnStats::from_array(&Array::Float32(vec![1.0, 2.0].into()));
         assert_eq!(s.min_i64, None);
         assert_eq!(s.max_i64, None);
+        assert_eq!(s.null_rows, 0);
     }
 
     #[test]
-    fn serialization_roundtrips() {
+    fn serialization_roundtrips_v4() {
         for s in [
-            ColumnStats { rows: 0, elements: 0, min_i64: None, max_i64: None },
-            ColumnStats { rows: 10, elements: 200, min_i64: Some(-5), max_i64: Some(i64::MAX) },
+            ColumnStats {
+                rows: 0,
+                elements: 0,
+                pages: 1,
+                null_rows: 0,
+                min_i64: None,
+                max_i64: None,
+            },
+            ColumnStats {
+                rows: 10,
+                elements: 200,
+                pages: 3,
+                null_rows: 4,
+                min_i64: Some(-5),
+                max_i64: Some(i64::MAX),
+            },
         ] {
             let mut buf = Vec::new();
             s.write(&mut buf);
             let mut pos = 0;
-            assert_eq!(ColumnStats::read(&buf, &mut pos).unwrap(), s);
+            assert_eq!(ColumnStats::read(&buf, &mut pos, true).unwrap(), s);
             assert_eq!(pos, buf.len());
         }
     }
 
     #[test]
+    fn legacy_layout_roundtrips_without_v4_fields() {
+        let s = ColumnStats {
+            rows: 10,
+            elements: 200,
+            pages: 3,
+            null_rows: 4,
+            min_i64: Some(-5),
+            max_i64: Some(7),
+        };
+        let mut buf = Vec::new();
+        s.write_legacy(&mut buf);
+        let mut pos = 0;
+        let back = ColumnStats::read(&buf, &mut pos, false).unwrap();
+        assert_eq!(pos, buf.len());
+        // pages/null_rows are not representable in the legacy layout.
+        assert_eq!(back, ColumnStats { pages: 0, null_rows: 0, ..s });
+    }
+
+    #[test]
     fn truncated_stats_error() {
-        let s = ColumnStats { rows: 1, elements: 1, min_i64: Some(1), max_i64: Some(2) };
+        let s = ColumnStats {
+            rows: 1,
+            elements: 1,
+            pages: 1,
+            null_rows: 0,
+            min_i64: Some(1),
+            max_i64: Some(2),
+        };
         let mut buf = Vec::new();
         s.write(&mut buf);
         buf.pop();
         let mut pos = 0;
-        assert!(ColumnStats::read(&buf, &mut pos).is_err());
+        assert!(ColumnStats::read(&buf, &mut pos, true).is_err());
     }
 }

@@ -55,8 +55,10 @@
 //! carries the [`SplitPlan`] produced from a list of the former.
 
 use presto_datagen::Partition;
+use presto_ops::executor::PreprocessError;
 use presto_ops::plan::{PreprocessPlan, SplitPlan};
-use presto_ops::stream::{BatchStream, FleetConfig};
+use presto_ops::shuffle::{ShuffleSpec, ShuffledStream};
+use presto_ops::stream::{BatchStream, FleetConfig, StreamedBatch};
 
 use crate::isp_worker::IspBatchStream;
 use crate::pipeline::BatchSource;
@@ -76,6 +78,12 @@ pub enum Fleet {
     /// [`SplitPlan`]'s stage prefix on ISP units and its suffix on host
     /// workers, pipelined over the device link.
     Split(SplitPlan),
+    /// Shuffled-epoch fleet: [`ShuffledStream`] streaming every `PSTOCOL4`
+    /// row group of the partitions in the carried spec's seeded
+    /// permutation, delivered in permutation order regardless of worker
+    /// count. Partitions written without row grouping degrade gracefully
+    /// to a whole-partition shuffle (each file is one group).
+    Shuffled(ShuffleSpec),
 }
 
 impl Fleet {
@@ -100,6 +108,14 @@ impl Fleet {
             Fleet::Split(split) => {
                 Box::new(SplitBatchStream::spawn(plan, split, partitions, config))
             }
+            // The shuffled fleet enumerates row-group footers up front; a
+            // failure there surfaces as the stream's only item, matching
+            // the other fleets' errors-on-the-stream contract so this
+            // constructor stays infallible.
+            Fleet::Shuffled(spec) => match ShuffledStream::spawn(plan, partitions, *spec, config) {
+                Ok(stream) => Box::new(stream),
+                Err(e) => Box::new(FailedSpawn { err: Some(e) }),
+            },
         }
     }
 
@@ -110,7 +126,28 @@ impl Fleet {
             Fleet::Host => "host",
             Fleet::Isp => "isp",
             Fleet::Split(_) => "split",
+            Fleet::Shuffled(_) => "shuffled",
         }
+    }
+}
+
+/// Degenerate [`BatchSource`] yielding one spawn-time error, then ending.
+#[derive(Debug)]
+struct FailedSpawn {
+    err: Option<PreprocessError>,
+}
+
+impl BatchSource for FailedSpawn {
+    fn next_batch(&mut self) -> Option<Result<StreamedBatch, PreprocessError>> {
+        self.err.take().map(Err)
+    }
+
+    fn capacity(&self) -> usize {
+        1
+    }
+
+    fn queued(&self) -> usize {
+        usize::from(self.err.is_some())
     }
 }
 
@@ -162,8 +199,53 @@ mod tests {
     }
 
     #[test]
+    fn shuffled_fleet_streams_all_groups_and_matches_serial() {
+        let mut c = RmConfig::rm1();
+        c.batch_size = 16;
+        let plan = PreprocessPlan::from_config(&c, 11).unwrap();
+        let ds = Dataset::generate_grouped(&c, 3, 32, 2, 21, 16).unwrap();
+        let serial: Vec<MiniBatch> = ds
+            .partitions()
+            .iter()
+            .map(|p| preprocess_partition(&plan, p.blob.clone()).unwrap().0)
+            .collect();
+        let fleet = Fleet::Shuffled(presto_ops::ShuffleSpec::new(42));
+        let mut source = fleet.spawn(&plan, ds.partitions(), &FleetConfig::new(2, 4));
+        let mut got = Vec::new();
+        while let Some(item) = source.next_batch() {
+            got.push(item.unwrap());
+        }
+        assert_eq!(got.len(), 6, "3 partitions x 2 groups of 16");
+        assert_eq!(source.stats().completed, 6);
+        got.sort_by_key(|b| (b.partition, b.group));
+        for b in got {
+            let want = serial[b.partition].slice_rows(b.group * 16, 16).unwrap();
+            assert_eq!(b.batch, want, "partition {} group {}", b.partition, b.group);
+        }
+    }
+
+    #[test]
+    fn shuffled_fleet_surfaces_spawn_failure_on_the_stream() {
+        let mut c = RmConfig::rm1();
+        c.batch_size = 16;
+        let plan = PreprocessPlan::from_config(&c, 1).unwrap();
+        let ds = Dataset::generate(&c, 1, 16, 1, 5).unwrap();
+        let mut partitions = ds.partitions().to_vec();
+        // Destroy the footer so epoch enumeration itself fails.
+        let bytes = partitions[0].blob.as_bytes().to_vec();
+        partitions[0].blob = presto_columnar::MemBlob::new(bytes[..bytes.len() / 2].to_vec());
+        let fleet = Fleet::Shuffled(presto_ops::ShuffleSpec::new(1));
+        let mut source = fleet.spawn(&plan, &partitions, &FleetConfig::new(1, 1));
+        assert_eq!(source.queued(), 1);
+        let first = source.next_batch().expect("one item");
+        assert!(first.is_err());
+        assert!(source.next_batch().is_none(), "error ends the stream");
+    }
+
+    #[test]
     fn fleet_names_are_stable() {
         assert_eq!(Fleet::Host.name(), "host");
         assert_eq!(Fleet::Isp.name(), "isp");
+        assert_eq!(Fleet::Shuffled(presto_ops::ShuffleSpec::new(0)).name(), "shuffled");
     }
 }

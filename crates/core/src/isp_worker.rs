@@ -239,6 +239,7 @@ impl IspShared {
         self.tracker.note_delivered(self.tracker.slot_of(partition.device), pos, via_failover);
         let item = StreamedBatch {
             partition: pos,
+            group: 0,
             device: partition.device,
             stolen: false,
             batch,

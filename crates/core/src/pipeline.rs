@@ -31,6 +31,7 @@ use presto_hwsim::gpu::GpuTrainModel;
 use presto_hwsim::units::Secs;
 use presto_ops::executor::PreprocessError;
 use presto_ops::recovery::RunReport;
+use presto_ops::shuffle::ShuffledStream;
 use presto_ops::stream::{inter_arrivals, BatchStream, StreamStats, StreamedBatch};
 use std::time::{Duration, Instant};
 
@@ -488,6 +489,42 @@ impl BatchSource for BatchStream {
 
     fn stats(&self) -> StreamStats {
         BatchStream::stats(self)
+    }
+}
+
+impl<S: BatchSource + ?Sized> BatchSource for Box<S> {
+    fn next_batch(&mut self) -> Option<Result<StreamedBatch, PreprocessError>> {
+        (**self).next_batch()
+    }
+
+    fn capacity(&self) -> usize {
+        (**self).capacity()
+    }
+
+    fn queued(&self) -> usize {
+        (**self).queued()
+    }
+
+    fn stats(&self) -> StreamStats {
+        (**self).stats()
+    }
+}
+
+impl BatchSource for ShuffledStream {
+    fn next_batch(&mut self) -> Option<Result<StreamedBatch, PreprocessError>> {
+        self.next()
+    }
+
+    fn capacity(&self) -> usize {
+        ShuffledStream::capacity(self)
+    }
+
+    fn queued(&self) -> usize {
+        ShuffledStream::queued(self)
+    }
+
+    fn stats(&self) -> StreamStats {
+        ShuffledStream::stats(self)
     }
 }
 

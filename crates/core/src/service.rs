@@ -184,6 +184,19 @@ impl JobSpec {
         self.recovery = recovery;
         self
     }
+
+    /// Shuffles the job's partition order with the seeded epoch
+    /// permutation ([`presto_ops::epoch_order`], epoch 0): the service's
+    /// claim machinery then serves the tenant a deterministic shuffled
+    /// epoch at partition granularity without any scheduler changes. For
+    /// row-group-granular shuffling, consume a
+    /// [`ShuffledStream`](presto_ops::ShuffledStream) directly.
+    #[must_use]
+    pub fn with_shuffle(mut self, seed: u64) -> Self {
+        let order = presto_ops::epoch_order(self.partitions.len(), seed, 0);
+        self.partitions = order.into_iter().map(|i| self.partitions[i].clone()).collect();
+        self
+    }
 }
 
 /// Why [`PreprocessService::submit`] refused a job.
@@ -378,9 +391,17 @@ impl PreprocessService {
     /// [`AdmissionError::PoolSaturated`] when both the active set and the
     /// queue are full, [`AdmissionError::ShuttingDown`] after shutdown
     /// began.
-    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, AdmissionError> {
+    pub fn submit(&self, mut spec: JobSpec) -> Result<JobHandle, AdmissionError> {
         if spec.partitions.is_empty() {
             return Err(AdmissionError::NoPartitions);
+        }
+        // A shuffled-fleet tenant gets its seeded epoch permutation applied
+        // at admission: the pool then claims partitions in shuffled order
+        // through the unchanged weighted-fair machinery (preprocessing
+        // itself runs the host path, whole partitions at a time).
+        if let Fleet::Shuffled(shuffle) = &spec.fleet {
+            let order = presto_ops::epoch_order(spec.partitions.len(), shuffle.seed, shuffle.epoch);
+            spec.partitions = order.into_iter().map(|i| spec.partitions[i].clone()).collect();
         }
         let config = &self.inner.config;
         let mut state = self.inner.state.lock().expect("scheduler lock");
@@ -876,6 +897,7 @@ fn deliver(inner: &ServiceInner, claim: &Claim, outcome: Result<Done, Preprocess
             claim.shared.tracker.note_delivered(slot, claim.pos, done.via_failover);
             let item = StreamedBatch {
                 partition: claim.pos,
+                group: 0,
                 device: partition.device,
                 stolen: false,
                 batch: done.batch,
@@ -984,7 +1006,9 @@ fn attempt_once(
 ) -> Result<Done, PreprocessError> {
     let blob = data.partitions[pos].blob.clone();
     match &data.fleet {
-        Fleet::Host => {
+        // The shuffled fleet's permutation was applied at admission; the
+        // per-partition work is the plain host path.
+        Fleet::Host | Fleet::Shuffled(_) => {
             let (batch, timings) = preprocess_partition_with(&data.plan, blob, scratch)?;
             Ok(Done {
                 batch,

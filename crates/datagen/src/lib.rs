@@ -44,4 +44,4 @@ pub use config::{RmConfig, DEFAULT_BATCH_SIZE, EMBEDDING_DIM};
 pub use profile::WorkloadProfile;
 pub use rng::DataRng;
 pub use table::{generate_batch, generated_source_column, raw_schema, RowBatch};
-pub use writer::{write_partition, Dataset, Partition};
+pub use writer::{write_partition, write_partition_grouped, Dataset, Partition};

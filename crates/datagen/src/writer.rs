@@ -68,6 +68,38 @@ impl Dataset {
         Ok(Dataset { config: config.clone(), partitions, num_devices })
     }
 
+    /// Like [`Dataset::generate`] with each partition written as
+    /// mini-batch-aligned row groups of `rows_per_group` rows (the last
+    /// group of a partition may be shorter) — the `PSTOCOL4` layout the
+    /// shuffled random-access readers consume. Row content is identical to
+    /// [`Dataset::generate`] with the same seed; only the grouping differs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates columnar write failures.
+    pub fn generate_grouped(
+        config: &RmConfig,
+        num_partitions: usize,
+        rows_per_partition: usize,
+        num_devices: usize,
+        seed: u64,
+        rows_per_group: usize,
+    ) -> Result<Self, ColumnarError> {
+        let num_devices = num_devices.max(1);
+        let mut partitions = Vec::with_capacity(num_partitions);
+        for index in 0..num_partitions {
+            let batch = generate_batch(config, rows_per_partition, seed ^ (index as u64) << 17);
+            let blob = write_partition_grouped(&batch, rows_per_group)?;
+            partitions.push(Partition {
+                index,
+                device: index % num_devices,
+                rows: rows_per_partition,
+                blob,
+            });
+        }
+        Ok(Dataset { config: config.clone(), partitions, num_devices })
+    }
+
     /// The generating configuration.
     #[must_use]
     pub fn config(&self) -> &RmConfig {
@@ -112,6 +144,23 @@ impl Dataset {
 pub fn write_partition(batch: &RowBatch) -> Result<MemBlob, ColumnarError> {
     let mut writer = FileWriter::new(batch.schema().clone());
     writer.write_row_group(batch.columns())?;
+    Ok(MemBlob::new(writer.finish()))
+}
+
+/// Serializes one row batch as a columnar file of `rows_per_group`-row
+/// row groups, giving the file a real row-group index for shuffled random
+/// access. Bit-identical content to [`write_partition`] per row; the
+/// grouping only changes chunk boundaries and footer entries.
+///
+/// # Errors
+///
+/// Propagates columnar write failures.
+pub fn write_partition_grouped(
+    batch: &RowBatch,
+    rows_per_group: usize,
+) -> Result<MemBlob, ColumnarError> {
+    let mut writer = FileWriter::new(batch.schema().clone()).with_group_rows(rows_per_group);
+    writer.write_batch(batch.columns())?;
     Ok(MemBlob::new(writer.finish()))
 }
 
@@ -166,6 +215,36 @@ mod tests {
         let ds = Dataset::generate(&tiny_config(), 2, 4, 0, 1).unwrap();
         assert_eq!(ds.num_devices(), 1);
         assert!(ds.partitions().iter().all(|p| p.device == 0));
+    }
+
+    #[test]
+    fn grouped_generation_matches_ungrouped_content() {
+        let c = tiny_config();
+        let flat = Dataset::generate(&c, 2, 50, 1, 3).unwrap();
+        let grouped = Dataset::generate_grouped(&c, 2, 50, 1, 3, 16).unwrap();
+        for (f, g) in flat.partitions().iter().zip(grouped.partitions()) {
+            let fr = FileReader::open(f.blob.clone()).unwrap();
+            let gr = FileReader::open(g.blob.clone()).unwrap();
+            assert_eq!(fr.row_group_count(), 1);
+            assert_eq!(gr.row_group_count(), 4, "50 rows at 16/group");
+            assert_eq!(gr.meta().total_rows(), 50);
+            // Same rows: concatenating the groups equals the single group.
+            let whole = fr.read_row_group(0).unwrap();
+            let mut per_column: Vec<Vec<presto_columnar::Array>> =
+                (0..whole.len()).map(|_| Vec::new()).collect();
+            for rg in 0..4 {
+                for (col, array) in gr.read_row_group(rg).unwrap().into_iter().enumerate() {
+                    per_column[col].push(array);
+                }
+            }
+            for (col, parts) in per_column.into_iter().enumerate() {
+                assert_eq!(
+                    presto_columnar::column::concat_arrays(&parts).unwrap(),
+                    whole[col],
+                    "column {col}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1425,16 +1425,7 @@ pub fn extract_columns_from_reader<B: BlobRead>(
     }
 
     // Reassemble into one RowBatch (single row group is the common case).
-    let schema = {
-        let fields: Vec<presto_columnar::Field> = needed
-            .iter()
-            .map(|n| {
-                let idx = reader.schema().index_of(n).expect("projected name resolves");
-                reader.schema().field(idx).expect("index valid").clone()
-            })
-            .collect();
-        presto_columnar::Schema::new(fields)?
-    };
+    let schema = projected_schema(reader, needed)?;
     let merged: Vec<Array> = if columns.len() == 1 {
         columns.pop().expect("one row group")
     } else {
@@ -1453,6 +1444,67 @@ pub fn extract_columns_from_reader<B: BlobRead>(
             .collect::<Result<_, _>>()?
     };
     Ok(RowBatch::new(schema, merged)?)
+}
+
+/// Decodes a column projection of **one row group** from an already-open
+/// reader — the random-access Extract of the shuffled epoch path
+/// ([`crate::shuffle::ShuffledStream`]). No merge: the group's decoded
+/// arrays become the [`RowBatch`] directly, sized from the group's own
+/// footer index entry (see [`presto_columnar::column::read_chunk_batched`]).
+///
+/// # Errors
+///
+/// Propagates storage, decode and schema failures (including out-of-range
+/// group indices).
+pub fn extract_group_from_reader<B: BlobRead>(
+    reader: &FileReader<B>,
+    needed: &[String],
+    row_group: usize,
+    read: &mut ReadScratch,
+) -> Result<RowBatch, PreprocessError> {
+    let names: Vec<&str> = needed.iter().map(String::as_str).collect();
+    let columns = reader.read_projected_with(row_group, &names, read)?;
+    let schema = projected_schema(reader, needed)?;
+    Ok(RowBatch::new(schema, columns)?)
+}
+
+/// Full pipeline over one row group of an already-open partition: group
+/// Extract + Transform + format conversion. Row-group preprocessing is
+/// row-wise, so concatenating the mini-batches of a partition's groups in
+/// file order is bit-identical to preprocessing the whole partition at
+/// once — the invariant the shuffle determinism suite pins.
+///
+/// # Errors
+///
+/// Same as [`preprocess_partition_with`].
+pub fn preprocess_group_with<B: BlobRead>(
+    plan: &PreprocessPlan,
+    reader: &FileReader<B>,
+    row_group: usize,
+    scratch: &mut ScratchSpace,
+) -> Result<(MiniBatch, StageTimings), PreprocessError> {
+    let t0 = Instant::now();
+    let batch =
+        extract_group_from_reader(reader, plan.required_columns(), row_group, &mut scratch.read)?;
+    let extract = t0.elapsed();
+    let (mini_batch, mut timings) = preprocess_batch_owned(plan, batch)?;
+    timings.extract = extract;
+    Ok((mini_batch, timings))
+}
+
+/// Schema of a projection, in projection order.
+fn projected_schema<B: BlobRead>(
+    reader: &FileReader<B>,
+    needed: &[String],
+) -> Result<presto_columnar::Schema, PreprocessError> {
+    let fields: Vec<presto_columnar::Field> = needed
+        .iter()
+        .map(|n| {
+            let idx = reader.schema().index_of(n).expect("projected name resolves");
+            reader.schema().field(idx).expect("index valid").clone()
+        })
+        .collect();
+    Ok(presto_columnar::Schema::new(fields)?)
 }
 
 #[cfg(test)]

@@ -27,6 +27,10 @@
 //! * [`parallel`] — [`run_workers`], the drain-the-stream-into-a-`Vec`
 //!   wrapper, plus the pre-streaming materialized baseline kept for
 //!   ablations.
+//! * [`shuffle`] — [`ShuffledStream`], the random-access epoch streamer:
+//!   a seeded deterministic permutation over every `PSTOCOL4` row group of
+//!   every partition, bit-identical across worker counts and resumable
+//!   mid-epoch from a serialized [`EpochCursor`].
 //!
 //! ## The zero-copy / allocation-free hot path
 //!
@@ -71,18 +75,19 @@ pub mod op;
 pub mod parallel;
 pub mod plan;
 pub mod recovery;
+pub mod shuffle;
 pub mod sigridhash;
 pub mod stream;
 
 pub use bucketize::{BucketizeError, Bucketizer};
 pub use dedup::{hash_deduped, plan_dedup, DedupPlan};
 pub use executor::{
-    extract_batch_from_reader, extract_columns_from_reader, extract_partition_with,
-    preprocess_batch, preprocess_batch_owned, preprocess_batch_owned_chunked,
-    preprocess_batch_with, preprocess_partition, preprocess_partition_split,
-    preprocess_partition_with, preprocess_split_host, preprocess_split_isp, transform_batch_into,
-    BoundaryBatch, OpBucket, OpTimings, PreprocessError, ScratchSpace, SplitReport, StageTimings,
-    StageValue, UnitStats,
+    extract_batch_from_reader, extract_columns_from_reader, extract_group_from_reader,
+    extract_partition_with, preprocess_batch, preprocess_batch_owned,
+    preprocess_batch_owned_chunked, preprocess_batch_with, preprocess_group_with,
+    preprocess_partition, preprocess_partition_split, preprocess_partition_with,
+    preprocess_split_host, preprocess_split_isp, transform_batch_into, BoundaryBatch, OpBucket,
+    OpTimings, PreprocessError, ScratchSpace, SplitReport, StageTimings, StageValue, UnitStats,
 };
 pub use graph::{ChainSpec, GraphError, PlanGraph};
 pub use minibatch::{DenseMatrix, JaggedFeature, MiniBatch, ShapeError};
@@ -92,6 +97,7 @@ pub use plan::{BoundarySlot, CompiledStage, Fleet, PreprocessPlan, SplitPlan, St
 pub use recovery::{
     DeviceHealth, RecoveryEvent, RecoveryEventKind, RecoveryTracker, RetryPolicy, RunReport,
 };
+pub use shuffle::{epoch_order, epoch_units, EpochCursor, GroupRef, ShuffleSpec, ShuffledStream};
 pub use sigridhash::{InvalidMaxValueError, SigridHasher};
 pub use stream::{
     inter_arrivals, BatchStream, DeviceLoad, FleetConfig, OrderedBatchStream, StreamStats,

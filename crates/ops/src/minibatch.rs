@@ -188,6 +188,46 @@ impl MiniBatch {
         self.labels.len()
     }
 
+    /// The row window `start..start + rows` as a new mini-batch: labels and
+    /// dense rows copied contiguously (the dense matrix is row-major),
+    /// jagged features with rebased offsets.
+    ///
+    /// Preprocessing is row-wise, so a row group's mini-batch equals the
+    /// matching window of its whole partition's mini-batch — the
+    /// group-order normalization the shuffled-epoch determinism tests pin.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when the window exceeds the batch.
+    pub fn slice_rows(&self, start: usize, rows: usize) -> Result<MiniBatch, ShapeError> {
+        let end =
+            start.checked_add(rows).filter(|&e| e <= self.rows()).ok_or_else(|| ShapeError {
+                detail: format!(
+                    "row window {start}+{rows} exceeds mini-batch of {} rows",
+                    self.rows()
+                ),
+            })?;
+        let labels = self.labels[start..end].to_vec();
+        let dense = DenseMatrix {
+            rows,
+            cols: self.dense.cols,
+            data: self.dense.data[start * self.dense.cols..end * self.dense.cols].to_vec(),
+        };
+        let sparse = self
+            .sparse
+            .iter()
+            .map(|f| {
+                let base = f.offsets[start];
+                JaggedFeature {
+                    name: f.name.clone(),
+                    offsets: f.offsets[start..=end].iter().map(|&o| o - base).collect(),
+                    values: f.values[f.offsets[start] as usize..f.offsets[end] as usize].to_vec(),
+                }
+            })
+            .collect();
+        MiniBatch::new(labels, dense, sparse)
+    }
+
     /// Click labels.
     #[must_use]
     pub fn labels(&self) -> &[i64] {

@@ -1,0 +1,795 @@
+//! Shuffled epoch streaming over row groups: seeded deterministic
+//! permutations, bounded prefetch, and resumable mid-epoch cursors.
+//!
+//! Real recommendation trainers consume *shuffled* epochs and checkpoint
+//! mid-epoch — Meta's data storage & ingestion study names both as
+//! first-order requirements of the online preprocessing path, and BagPipe's
+//! lookahead exploits a known upcoming batch order. The `PSTOCOL4`
+//! row-group index (see `presto_columnar::file`) makes the storage side of
+//! this cheap: every mini-batch-aligned row group is independently
+//! addressable with one ranged read per projected column. This module adds
+//! the execution side:
+//!
+//! * [`epoch_units`] enumerates every row group of every partition into a
+//!   flat list of [`GroupRef`] units — the shuffle's sample space.
+//! * [`epoch_order`] derives the epoch's permutation of those units from
+//!   `(seed, epoch)` with a SplitMix64-keyed Fisher–Yates shuffle. Same
+//!   inputs ⇒ same permutation, on every worker count, forever; the epoch
+//!   number folds in so successive epochs reshuffle without new seeds.
+//! * [`ShuffledStream`] streams the permutation through a worker pool with
+//!   a bounded output channel (the prefetch bound) and **delivers units in
+//!   permutation order**: workers race, a small reorder heap at the
+//!   consumer restores the seeded order, so the concatenated epoch output
+//!   is bit-identical across worker counts — the property the CI
+//!   `shuffle-determinism` matrix pins.
+//! * [`EpochCursor`] ([`ShuffledStream::cursor`]) is a serializable
+//!   checkpoint of how far the epoch got; [`ShuffledStream::resume`]
+//!   continues from it bit-identically.
+//!
+//! Failure handling reuses the fleet [`RetryPolicy`](crate::recovery::RetryPolicy)
+//! machinery at row-group
+//! granularity: each unit is retried with capped backoff on retryable
+//! storage faults, devices carry the same consecutive-failure quarantine
+//! circuit breaker, and with `fail_fast: false` every claimed unit ends as
+//! exactly one in-order `Ok` batch or one tagged `Err`.
+//!
+//! # Shuffle quality vs read amplification
+//!
+//! The row-group size is the knob: groups of one row give a perfect
+//! uniform shuffle but pay a footer entry, page headers and a ranged read
+//! per row; whole-partition groups read sequentially but only permute
+//! partition order. Sized at the training mini-batch (the intended
+//! configuration), within-group order is fixed but groups — and therefore
+//! mini-batches — are drawn uniformly, which is the standard trade
+//! recommendation pipelines make. `examples/shuffle_epochs` sweeps the
+//! trade-off.
+
+use crate::executor::{preprocess_group_with, PreprocessError, ScratchSpace};
+use crate::recovery::{RecoveryTracker, RunReport};
+use crate::stream::{FleetConfig, StreamStats, StreamedBatch};
+use crossbeam_channel::{bounded, Receiver, Sender};
+use presto_columnar::{ColumnarError, FileReader};
+use presto_datagen::Partition;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// What to shuffle: the seed and which epoch of it to stream.
+///
+/// The permutation is a pure function of `(seed, epoch, unit count)` —
+/// nothing about worker count, timing or device layout leaks in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShuffleSpec {
+    /// Shuffle seed shared by every epoch of a training run.
+    pub seed: u64,
+    /// Epoch number; each epoch draws a fresh permutation from the seed.
+    pub epoch: u64,
+}
+
+impl ShuffleSpec {
+    /// Epoch 0 of `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        ShuffleSpec { seed, epoch: 0 }
+    }
+
+    /// Selects the epoch to stream.
+    #[must_use]
+    pub fn with_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = epoch;
+        self
+    }
+}
+
+/// One shuffle unit: a row group of a partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupRef {
+    /// Position of the partition in the input slice.
+    pub partition: usize,
+    /// Row group index within the partition.
+    pub group: usize,
+    /// Rows in the group (from the footer index).
+    pub rows: u64,
+}
+
+/// SplitMix64: the full-avalanche mixer keying the Fisher–Yates draws.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut x = *state;
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Enumerates the epoch's shuffle units: every row group of every
+/// partition, in `(partition, group)` order. Only footers are parsed —
+/// `MemBlob` clones share their bytes, so this is metadata-cost only.
+///
+/// # Errors
+///
+/// Propagates open/footer failures (tagged with the partition and device).
+pub fn epoch_units(partitions: &[Partition]) -> Result<Vec<GroupRef>, PreprocessError> {
+    let mut units = Vec::new();
+    for (pos, p) in partitions.iter().enumerate() {
+        let reader = FileReader::open(p.blob.clone())
+            .map_err(|e| PreprocessError::from(e).with_location(pos, p.device))?;
+        for (group, rg) in reader.meta().row_groups.iter().enumerate() {
+            if rg.rows > 0 {
+                units.push(GroupRef { partition: pos, group, rows: rg.rows });
+            }
+        }
+    }
+    Ok(units)
+}
+
+/// The epoch's permutation: a seeded Fisher–Yates shuffle of
+/// `0..unit_count`, keyed by SplitMix64 on `(seed, epoch)`. Deterministic
+/// in its arguments alone.
+#[must_use]
+pub fn epoch_order(unit_count: usize, seed: u64, epoch: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..unit_count).collect();
+    // Fold the epoch into the stream state so each epoch of one seed draws
+    // a fresh permutation; SplitMix64's avalanche decorrelates neighboring
+    // (seed, epoch) pairs from the first draw.
+    let mut state = seed ^ epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for i in (1..unit_count).rev() {
+        let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    order
+}
+
+/// A serializable mid-epoch checkpoint: everything needed to continue a
+/// shuffled epoch bit-identically on a fresh process.
+///
+/// `encode` / `decode` use a stable, dependency-free string form
+/// (`pstoshuf1:<seed>:<epoch>:<next>:<units>`) so cursors can live in
+/// checkpoint metadata, environment variables or logs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochCursor {
+    /// Shuffle seed of the run.
+    pub seed: u64,
+    /// Epoch the cursor is inside.
+    pub epoch: u64,
+    /// Next permutation position to deliver (units before it are done).
+    pub next: u64,
+    /// Total units in the epoch — validated at resume so a cursor cannot
+    /// silently replay against a differently grouped dataset.
+    pub units: u64,
+}
+
+impl EpochCursor {
+    /// True when the epoch is fully delivered.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.next >= self.units
+    }
+
+    /// Serializes the cursor (`pstoshuf1:<seed>:<epoch>:<next>:<units>`).
+    #[must_use]
+    pub fn encode(&self) -> String {
+        format!("pstoshuf1:{}:{}:{}:{}", self.seed, self.epoch, self.next, self.units)
+    }
+
+    /// Parses a cursor serialized by [`EpochCursor::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive error for unknown prefixes, wrong field
+    /// counts, or non-numeric fields.
+    pub fn decode(s: &str) -> Result<Self, PreprocessError> {
+        let bad = |detail: String| PreprocessError::Extract(ColumnarError::CorruptFile { detail });
+        let rest = s
+            .strip_prefix("pstoshuf1:")
+            .ok_or_else(|| bad(format!("epoch cursor {s:?} lacks the pstoshuf1 prefix")))?;
+        let fields: Vec<&str> = rest.split(':').collect();
+        if fields.len() != 4 {
+            return Err(bad(format!("epoch cursor has {} fields, expected 4", fields.len())));
+        }
+        let parse = |name: &str, v: &str| {
+            v.parse::<u64>()
+                .map_err(|_| bad(format!("epoch cursor field {name} is not a number: {v:?}")))
+        };
+        Ok(EpochCursor {
+            seed: parse("seed", fields[0])?,
+            epoch: parse("epoch", fields[1])?,
+            next: parse("next", fields[2])?,
+            units: parse("units", fields[3])?,
+        })
+    }
+}
+
+/// State shared by the shuffled run's workers.
+#[derive(Debug)]
+struct ShuffleShared {
+    plan: crate::plan::PreprocessPlan,
+    partitions: Vec<Partition>,
+    units: Vec<GroupRef>,
+    /// The epoch permutation: `order[seq]` is the unit streamed at
+    /// permutation position `seq`.
+    order: Vec<usize>,
+    /// Next permutation position to claim (producer side).
+    claim: AtomicUsize,
+    tracker: RecoveryTracker,
+    stop: AtomicBool,
+    completed: AtomicUsize,
+    started: Instant,
+}
+
+type SeqItem = (usize, Result<StreamedBatch, PreprocessError>);
+
+/// Runs one claimed unit's Extract + Transform with the fleet retry loop:
+/// capped exponential backoff on retryable errors, straggler accounting,
+/// per-device quarantine — the row-group-granularity twin of the partition
+/// fleets' attempt loop.
+fn attempt_unit(
+    shared: &ShuffleShared,
+    seq: usize,
+    scratch: &mut ScratchSpace,
+) -> Result<StreamedBatch, PreprocessError> {
+    let unit = shared.units[shared.order[seq]];
+    let partition = &shared.partitions[unit.partition];
+    let slot = shared.tracker.slot_of(partition.device);
+    let policy = shared.tracker.policy();
+    if shared.tracker.is_quarantined(slot) {
+        let e = PreprocessError::Extract(ColumnarError::Io {
+            detail: format!("device {} quarantined (circuit breaker open)", partition.device),
+        });
+        shared.tracker.note_failed(slot, unit.partition);
+        return Err(e.with_location(unit.partition, partition.device));
+    }
+    let mut attempt = 1u32;
+    let produced = loop {
+        let t0 = Instant::now();
+        let result = FileReader::open(partition.blob.clone())
+            .map_err(PreprocessError::from)
+            .and_then(|reader| preprocess_group_with(&shared.plan, &reader, unit.group, scratch));
+        shared.tracker.check_straggler(slot, unit.partition, t0.elapsed());
+        match result {
+            Ok(produced) => break Ok(produced),
+            Err(e) => {
+                shared.tracker.note_fault(slot, unit.partition);
+                let retry = e.is_retryable()
+                    && attempt < policy.max_attempts
+                    && !shared.tracker.is_quarantined(slot)
+                    && !shared.stop.load(Ordering::Relaxed);
+                if !retry {
+                    break Err(e);
+                }
+                attempt += 1;
+                let backoff = shared.tracker.note_retry(slot, unit.partition, attempt);
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+            }
+        }
+    };
+    match produced {
+        Ok((batch, timings)) => {
+            shared.completed.fetch_add(1, Ordering::Relaxed);
+            shared.tracker.note_delivered(slot, unit.partition, false);
+            Ok(StreamedBatch {
+                partition: unit.partition,
+                group: unit.group,
+                device: partition.device,
+                stolen: false,
+                batch,
+                timings,
+                arrived: shared.started.elapsed(),
+                attempts: attempt,
+                via_failover: false,
+            })
+        }
+        Err(e) => {
+            shared.tracker.note_failed(slot, unit.partition);
+            Err(e.with_location(unit.partition, partition.device))
+        }
+    }
+}
+
+/// Worker body: claim the next permutation position, process its unit,
+/// send `(seq, result)`; the consumer's reorder heap restores seq order.
+fn shuffle_loop(shared: Arc<ShuffleShared>, tx: Sender<SeqItem>) -> impl FnOnce() + Send + 'static {
+    move || {
+        let mut scratch = ScratchSpace::new();
+        while !shared.stop.load(Ordering::Relaxed) {
+            let seq = shared.claim.fetch_add(1, Ordering::Relaxed);
+            if seq >= shared.order.len() {
+                break;
+            }
+            let result = attempt_unit(&shared, seq, &mut scratch);
+            let failed = result.is_err();
+            if failed && shared.tracker.policy().fail_fast {
+                shared.stop.store(true, Ordering::Relaxed);
+                let _ = tx.send((seq, result));
+                break;
+            }
+            if tx.send((seq, result)).is_err() {
+                break;
+            }
+        }
+    }
+}
+
+/// Min-heap entry ordered by permutation position.
+#[derive(Debug)]
+struct BySeq(SeqItem);
+
+impl PartialEq for BySeq {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 .0 == other.0 .0
+    }
+}
+impl Eq for BySeq {}
+impl PartialOrd for BySeq {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for BySeq {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0 .0.cmp(&other.0 .0)
+    }
+}
+
+/// A shuffled-epoch [`BatchSource`](StreamStats) feed: row groups of all
+/// partitions in a seeded permutation, delivered **in permutation order**
+/// regardless of worker count.
+///
+/// Construction: [`ShuffledStream::spawn`] starts an epoch from the top;
+/// [`ShuffledStream::resume`] continues from an [`EpochCursor`]. Dropping
+/// the stream stops and joins the workers (no deadlock, even with a full
+/// channel).
+#[derive(Debug)]
+pub struct ShuffledStream {
+    rx: Option<Receiver<SeqItem>>,
+    handles: Vec<JoinHandle<()>>,
+    shared: Arc<ShuffleShared>,
+    pending: BinaryHeap<Reverse<BySeq>>,
+    /// Next permutation position to yield — the consumer-side watermark
+    /// the cursor is derived from, so a resumed run never re-delivers or
+    /// skips a unit no matter what producers had claimed ahead.
+    next_seq: usize,
+    spec: ShuffleSpec,
+    workers: usize,
+    capacity: usize,
+}
+
+impl ShuffledStream {
+    /// Starts streaming epoch `spec.epoch` of `spec.seed` over every row
+    /// group of `partitions`.
+    ///
+    /// `config.workers` parallel unit pipelines feed a
+    /// `config.capacity`-bounded channel (the prefetch bound);
+    /// `config.recovery` governs retry/quarantine exactly as on the
+    /// partition fleets. `prefetch`, `host_workers` and `link_capacity`
+    /// do not apply.
+    ///
+    /// # Errors
+    ///
+    /// Propagates footer enumeration failures ([`epoch_units`]).
+    pub fn spawn(
+        plan: &crate::plan::PreprocessPlan,
+        partitions: &[Partition],
+        spec: ShuffleSpec,
+        config: &FleetConfig,
+    ) -> Result<ShuffledStream, PreprocessError> {
+        let units = epoch_units(partitions)?;
+        let cursor =
+            EpochCursor { seed: spec.seed, epoch: spec.epoch, next: 0, units: units.len() as u64 };
+        Self::start(plan, partitions, units, cursor, config)
+    }
+
+    /// Resumes an epoch from a serialized [`EpochCursor`]: unit `next` of
+    /// the permutation is the first delivered, and the continuation is
+    /// bit-identical to the uninterrupted run's tail.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the cursor's `units` does not match the dataset's row
+    /// grouping (a cursor from a different dataset or group size), plus
+    /// anything [`ShuffledStream::spawn`] can raise.
+    pub fn resume(
+        plan: &crate::plan::PreprocessPlan,
+        partitions: &[Partition],
+        cursor: EpochCursor,
+        config: &FleetConfig,
+    ) -> Result<ShuffledStream, PreprocessError> {
+        let units = epoch_units(partitions)?;
+        if cursor.units != units.len() as u64 {
+            return Err(PreprocessError::Extract(ColumnarError::CorruptFile {
+                detail: format!(
+                    "epoch cursor was taken over {} units but the dataset has {} — \
+                     different data or row-group size",
+                    cursor.units,
+                    units.len()
+                ),
+            }));
+        }
+        Self::start(plan, partitions, units, cursor, config)
+    }
+
+    fn start(
+        plan: &crate::plan::PreprocessPlan,
+        partitions: &[Partition],
+        units: Vec<GroupRef>,
+        cursor: EpochCursor,
+        config: &FleetConfig,
+    ) -> Result<ShuffledStream, PreprocessError> {
+        let order = epoch_order(units.len(), cursor.seed, cursor.epoch);
+        let start = usize::try_from(cursor.next).unwrap_or(usize::MAX).min(order.len());
+        let workers = config.workers.max(1).min(units.len().max(1));
+        let capacity = config.capacity.max(1);
+        let devices: Vec<usize> = units.iter().map(|u| partitions[u.partition].device).collect();
+        let shared = Arc::new(ShuffleShared {
+            plan: plan.clone(),
+            partitions: partitions.to_vec(),
+            order,
+            claim: AtomicUsize::new(start),
+            tracker: RecoveryTracker::new(config.recovery.clone(), &devices, units.len()),
+            units,
+            stop: AtomicBool::new(false),
+            completed: AtomicUsize::new(0),
+            started: Instant::now(),
+        });
+        let (tx, rx) = bounded::<SeqItem>(capacity);
+        let mut handles = Vec::with_capacity(workers);
+        for worker in 0..workers {
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("presto-shuffle-{worker}"))
+                    .spawn(shuffle_loop(Arc::clone(&shared), tx.clone()))
+                    .expect("spawn shuffle worker"),
+            );
+        }
+        drop(tx);
+        Ok(ShuffledStream {
+            rx: Some(rx),
+            handles,
+            shared,
+            pending: BinaryHeap::new(),
+            next_seq: start,
+            spec: ShuffleSpec { seed: cursor.seed, epoch: cursor.epoch },
+            workers,
+            capacity,
+        })
+    }
+
+    /// The shuffle spec this stream is running.
+    #[must_use]
+    pub fn spec(&self) -> ShuffleSpec {
+        self.spec
+    }
+
+    /// Units (row groups) in the epoch.
+    #[must_use]
+    pub fn unit_count(&self) -> usize {
+        self.shared.units.len()
+    }
+
+    /// Effective worker count (after clamping).
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Units fully preprocessed so far (producer-side counter).
+    #[must_use]
+    pub fn completed(&self) -> usize {
+        self.shared.completed.load(Ordering::Relaxed)
+    }
+
+    /// Output-channel capacity — the prefetch bound.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Batches buffered ahead of the consumer, counting both the channel
+    /// and the reorder heap.
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.rx.as_ref().map_or(0, Receiver::len) + self.pending.len()
+    }
+
+    /// The resume checkpoint as of now: everything before the cursor has
+    /// been **yielded to the consumer** (not merely claimed by a producer),
+    /// so feeding it to [`ShuffledStream::resume`] — on this process or
+    /// another — continues the epoch without gaps or repeats.
+    #[must_use]
+    pub fn cursor(&self) -> EpochCursor {
+        EpochCursor {
+            seed: self.spec.seed,
+            epoch: self.spec.epoch,
+            next: self.next_seq as u64,
+            units: self.shared.units.len() as u64,
+        }
+    }
+
+    /// Consolidated counters; queued counts both channel and reorder-heap
+    /// occupancy (batches buffered ahead of the consumer either way).
+    #[must_use]
+    pub fn stats(&self) -> StreamStats {
+        StreamStats {
+            workers: self.workers,
+            capacity: self.capacity,
+            queued: self.queued(),
+            completed: self.completed(),
+            p2p_bytes: 0,
+            boundary_bytes: 0,
+            recovery: Some(self.run_report()),
+        }
+    }
+
+    /// Recovery-activity snapshot at row-group granularity (`partitions`
+    /// in the report counts shuffle units).
+    #[must_use]
+    pub fn run_report(&self) -> RunReport {
+        self.shared.tracker.report()
+    }
+
+    fn join_workers(&mut self) {
+        for handle in self.handles.drain(..) {
+            if let Err(panic) = handle.join() {
+                if !std::thread::panicking() {
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for ShuffledStream {
+    type Item = Result<StreamedBatch, PreprocessError>;
+
+    /// Yields the epoch strictly in permutation order: out-of-order
+    /// arrivals wait in the reorder heap (bounded by workers + channel
+    /// capacity) until their position comes up. The consumer keeps
+    /// draining the channel while waiting, so producers blocked on a full
+    /// channel always make progress — no deadlock.
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(Reverse(head)) = self.pending.peek() {
+                if head.0 .0 == self.next_seq {
+                    let Reverse(BySeq((_, item))) =
+                        self.pending.pop().expect("peeked entry exists");
+                    self.next_seq += 1;
+                    return Some(item);
+                }
+            }
+            let received = self.rx.as_ref().and_then(|rx| rx.recv().ok());
+            match received {
+                Some(item) => self.pending.push(Reverse(BySeq(item))),
+                None => {
+                    // Producers done. Flush any buffered tail in order; a
+                    // gap (possible only after a fail-fast stop) ends the
+                    // stream rather than delivering out of order.
+                    self.join_workers();
+                    let Reverse(BySeq((seq, item))) = self.pending.pop()?;
+                    if seq != self.next_seq {
+                        self.pending.clear();
+                        return None;
+                    }
+                    self.next_seq = seq + 1;
+                    return Some(item);
+                }
+            }
+        }
+    }
+}
+
+impl Drop for ShuffledStream {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        // Disconnect so producers blocked on a full channel exit.
+        self.rx = None;
+        self.join_workers();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PreprocessPlan;
+    use presto_datagen::{Dataset, RmConfig};
+
+    fn tiny(rows: usize) -> RmConfig {
+        let mut c = RmConfig::rm1();
+        c.batch_size = rows;
+        c
+    }
+
+    fn grouped_dataset(partitions: usize, rows: usize, group_rows: usize) -> (RmConfig, Dataset) {
+        let c = tiny(rows);
+        let ds = Dataset::generate_grouped(&c, partitions, rows, 2, 7, group_rows).unwrap();
+        (c, ds)
+    }
+
+    #[test]
+    fn epoch_order_is_deterministic_and_seed_sensitive() {
+        let a = epoch_order(100, 42, 0);
+        let b = epoch_order(100, 42, 0);
+        assert_eq!(a, b);
+        assert_ne!(a, epoch_order(100, 43, 0), "different seed, different order");
+        assert_ne!(a, epoch_order(100, 42, 1), "different epoch, different order");
+        // It is a permutation.
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        // Degenerate sizes.
+        assert_eq!(epoch_order(0, 1, 0), Vec::<usize>::new());
+        assert_eq!(epoch_order(1, 1, 0), vec![0]);
+    }
+
+    #[test]
+    fn cursor_roundtrips_and_rejects_garbage() {
+        let c = EpochCursor { seed: 991_217, epoch: 3, next: 17, units: 40 };
+        assert_eq!(EpochCursor::decode(&c.encode()).unwrap(), c);
+        assert!(!c.is_done());
+        assert!(EpochCursor { next: 40, ..c }.is_done());
+        for bad in ["", "pstoshuf1:1:2:3", "pstoshuf1:1:2:3:x", "other:1:2:3:4"] {
+            assert!(EpochCursor::decode(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn shuffled_epoch_is_identical_across_worker_counts() {
+        let (c, ds) = grouped_dataset(3, 48, 16);
+        let plan = PreprocessPlan::from_config(&c, 1).unwrap();
+        let spec = ShuffleSpec::new(42);
+        let reference: Vec<(usize, usize)> =
+            ShuffledStream::spawn(&plan, ds.partitions(), spec, &FleetConfig::new(1, 2))
+                .unwrap()
+                .map(|i| {
+                    let b = i.unwrap();
+                    (b.partition, b.group)
+                })
+                .collect();
+        assert_eq!(reference.len(), 9, "3 partitions x 3 groups");
+        for workers in [4usize, 8] {
+            let got: Vec<(usize, usize)> =
+                ShuffledStream::spawn(&plan, ds.partitions(), spec, &FleetConfig::new(workers, 2))
+                    .unwrap()
+                    .map(|i| {
+                        let b = i.unwrap();
+                        (b.partition, b.group)
+                    })
+                    .collect();
+            assert_eq!(got, reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn resume_from_cursor_continues_bit_identically() {
+        let (c, ds) = grouped_dataset(4, 40, 8);
+        let plan = PreprocessPlan::from_config(&c, 1).unwrap();
+        let spec = ShuffleSpec::new(7).with_epoch(2);
+        let full: Vec<_> =
+            ShuffledStream::spawn(&plan, ds.partitions(), spec, &FleetConfig::new(3, 2))
+                .unwrap()
+                .map(|i| i.unwrap())
+                .collect();
+        assert_eq!(full.len(), 20);
+        // Interrupt after 7 batches, snapshot the cursor, resume.
+        let mut first =
+            ShuffledStream::spawn(&plan, ds.partitions(), spec, &FleetConfig::new(3, 2)).unwrap();
+        let head: Vec<_> = first.by_ref().take(7).map(|i| i.unwrap()).collect();
+        let cursor = first.cursor();
+        drop(first);
+        assert_eq!(cursor.next, 7);
+        let tail: Vec<_> =
+            ShuffledStream::resume(&plan, ds.partitions(), cursor, &FleetConfig::new(2, 3))
+                .unwrap()
+                .map(|i| i.unwrap())
+                .collect();
+        assert_eq!(head.len() + tail.len(), full.len());
+        for (got, want) in head.iter().chain(tail.iter()).zip(&full) {
+            assert_eq!((got.partition, got.group), (want.partition, want.group));
+            assert_eq!(got.batch, want.batch);
+        }
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_unit_count() {
+        let (c, ds) = grouped_dataset(2, 32, 8);
+        let plan = PreprocessPlan::from_config(&c, 1).unwrap();
+        let cursor = EpochCursor { seed: 1, epoch: 0, next: 0, units: 999 };
+        assert!(ShuffledStream::resume(&plan, ds.partitions(), cursor, &FleetConfig::new(1, 1))
+            .is_err());
+    }
+
+    #[test]
+    fn shuffled_output_matches_sequential_after_group_sort() {
+        // Per-group preprocessing is row-wise, so sorting the shuffled
+        // epoch by (partition, group) and concatenating must equal the
+        // sequential whole-partition pipeline.
+        let (c, ds) = grouped_dataset(3, 40, 16); // groups of 16,16,8
+        let plan = PreprocessPlan::from_config(&c, 1).unwrap();
+        let mut shuffled: Vec<_> = ShuffledStream::spawn(
+            &plan,
+            ds.partitions(),
+            ShuffleSpec::new(991_217),
+            &FleetConfig::new(4, 2),
+        )
+        .unwrap()
+        .map(|i| i.unwrap())
+        .collect();
+        shuffled.sort_by_key(|b| (b.partition, b.group));
+        for (pos, p) in ds.partitions().iter().enumerate() {
+            let (serial, _) = crate::executor::preprocess_partition(&plan, p.blob.clone()).unwrap();
+            let groups: Vec<_> = shuffled.iter().filter(|b| b.partition == pos).collect();
+            assert_eq!(groups.len(), 3);
+            let total: usize = groups.iter().map(|b| b.batch.rows()).sum();
+            assert_eq!(total, serial.rows());
+            // Row-window equality against the serial mini-batch.
+            let mut start = 0usize;
+            for g in groups {
+                assert_eq!(g.batch, serial.slice_rows(start, g.batch.rows()).unwrap());
+                start += g.batch.rows();
+            }
+        }
+    }
+
+    #[test]
+    fn fail_fast_surfaces_error_and_stops_early() {
+        let (c, ds) = grouped_dataset(2, 32, 8);
+        let plan = PreprocessPlan::from_config(&c, 1).unwrap();
+        let mut partitions = ds.partitions().to_vec();
+        // Corrupt partition 1's page data only: the footer at the tail
+        // stays intact, so epoch enumeration succeeds and the fault
+        // surfaces mid-stream where the retry/fail-fast machinery runs.
+        let mut bytes = partitions[1].blob.as_bytes().to_vec();
+        let end = bytes.len() * 6 / 10;
+        for b in &mut bytes[16..end] {
+            *b ^= 0xff;
+        }
+        partitions[1].blob = presto_columnar::MemBlob::new(bytes);
+        let items: Vec<_> =
+            ShuffledStream::spawn(&plan, &partitions, ShuffleSpec::new(3), &FleetConfig::new(2, 2))
+                .unwrap()
+                .collect();
+        let errs: Vec<_> = items.iter().filter_map(|i| i.as_ref().err()).collect();
+        assert!(!errs.is_empty(), "corruption must surface");
+        for e in &errs {
+            assert_eq!(e.partition(), Some(1), "{e}");
+        }
+        // Fail-fast: units past the failure are abandoned, so strictly
+        // fewer than the epoch's 8 units arrive as Ok.
+        let oks = items.iter().filter(|i| i.is_ok()).count();
+        assert!(oks < 8, "stream must stop early, got {oks} ok batches");
+    }
+
+    #[test]
+    fn recover_policy_streams_past_group_failures() {
+        let (c, ds) = grouped_dataset(2, 32, 8);
+        let plan = PreprocessPlan::from_config(&c, 1).unwrap();
+        let mut partitions = ds.partitions().to_vec();
+        let mut bytes = partitions[1].blob.as_bytes().to_vec();
+        let end = bytes.len() * 6 / 10;
+        for b in &mut bytes[16..end] {
+            *b ^= 0xff;
+        }
+        partitions[1].blob = presto_columnar::MemBlob::new(bytes);
+        // No quarantine so partition 0's groups are never collateral.
+        let policy =
+            crate::recovery::RetryPolicy::recover().with_quarantine_after(0).with_failover(false);
+        let stream = ShuffledStream::spawn(
+            &plan,
+            &partitions,
+            ShuffleSpec::new(3),
+            &FleetConfig::new(2, 2).with_recovery(policy),
+        )
+        .unwrap();
+        let items: Vec<_> = stream.collect();
+        assert_eq!(items.len(), 8, "every unit ends as exactly one Ok or Err");
+        let oks: Vec<_> = items.iter().filter_map(|i| i.as_ref().ok()).collect();
+        let errs: Vec<_> = items.iter().filter_map(|i| i.as_ref().err()).collect();
+        assert!(!errs.is_empty());
+        assert!(errs.iter().all(|e| e.partition() == Some(1)));
+        // All 4 of partition 0's groups still arrive.
+        assert_eq!(oks.iter().filter(|b| b.partition == 0).count(), 4);
+    }
+}

@@ -277,6 +277,11 @@ impl StreamConfig {
 pub struct StreamedBatch {
     /// Position of the source partition in the input slice.
     pub partition: usize,
+    /// Row group within the partition this batch was decoded from. Fleets
+    /// that preprocess whole partitions at a time report group `0`; the
+    /// shuffled random-access stream reports the actual `PSTOCOL4` row
+    /// group index.
+    pub group: usize,
     /// Storage device the partition lives on.
     pub device: usize,
     /// True when the partition was claimed off the producing worker's home
@@ -621,6 +626,7 @@ fn deliver(
             shared.tracker.note_delivered(slot, claim.pos, false);
             let item = StreamedBatch {
                 partition: claim.pos,
+                group: 0,
                 device: partition.device,
                 stolen: claim.stolen,
                 batch,

@@ -1,14 +1,19 @@
 //! Format-version compatibility and encoding-matrix pinning.
 //!
 //! * A checked-in `PSTOCOL2` fixture (written by the PR 3 code base) must
-//!   keep decoding bit-identically under the v3 reader, all the way through
-//!   preprocessing.
+//!   keep decoding bit-identically under the current reader, all the way
+//!   through preprocessing.
+//! * A freshly written `PSTOCOL3` file (the previous format, emitted via
+//!   [`FileWriter::with_format_version`]) must read back through the v4
+//!   reader with the same preprocessing fingerprint — the cross-version
+//!   leg of CI's `shuffle-determinism` job.
 //! * Files written with every forced encoding must decode to the same
 //!   arrays and preprocess to the same mini-batch as the default policy —
 //!   the in-process counterpart of CI's `PRESTO_FORCE_ENCODING` matrix.
 
 use presto::columnar::{
-    Compression, Encoding, FileReader, FileWriter, MemBlob, WritePolicy, MAGIC, MAGIC_V2,
+    Compression, Encoding, FileReader, FileWriter, FormatVersion, MemBlob, WritePolicy, MAGIC,
+    MAGIC_V2, MAGIC_V3,
 };
 use presto::datagen::{generate_batch, write_partition, RmConfig};
 use presto::ops::{preprocess_partition, MiniBatch, PreprocessPlan};
@@ -72,16 +77,54 @@ fn v2_fixture_preprocesses_bit_identically() {
 }
 
 #[test]
-fn v3_writer_output_matches_v2_content() {
+fn v4_writer_output_matches_v2_content() {
     let config = fixture_config();
     let batch = generate_batch(&config, 200, 42);
     let blob = write_partition(&batch).expect("writes");
-    assert_eq!(&blob.as_bytes()[..8], MAGIC, "new files carry the v3 magic");
-    let v3 = FileReader::open(blob).expect("opens");
+    assert_eq!(&blob.as_bytes()[..8], MAGIC, "new files carry the v4 magic");
+    let v4 = FileReader::open(blob).expect("opens");
+    assert_eq!(v4.version(), FormatVersion::V4);
     let v2 = FileReader::open(MemBlob::new(V2_FIXTURE.to_vec())).expect("opens");
+    assert_eq!(v2.version(), FormatVersion::V2);
     assert_eq!(
-        v3.read_row_group(0).expect("v3 decodes"),
+        v4.read_row_group(0).expect("v4 decodes"),
         v2.read_row_group(0).expect("v2 decodes"),
+    );
+}
+
+#[test]
+fn fresh_v3_file_reads_through_v4_reader() {
+    // The previous on-disk version, written by today's writer in
+    // compatibility mode, must round-trip through the current reader with
+    // unchanged content — the "one release back" guarantee.
+    let config = fixture_config();
+    let batch = generate_batch(&config, 200, 42);
+    let mut writer = FileWriter::new(batch.schema().clone()).with_format_version(FormatVersion::V3);
+    writer.write_row_group(batch.columns()).expect("writes");
+    let blob = MemBlob::new(writer.finish());
+    assert_eq!(&blob.as_bytes()[..8], MAGIC_V3);
+    let reader = FileReader::open(blob.clone()).expect("v3 file opens");
+    assert_eq!(reader.version(), FormatVersion::V3);
+    assert_eq!(reader.read_row_group(0).expect("decodes"), batch.columns());
+    // Legacy footers carry no page/null statistics; rows still size
+    // everything the reader needs.
+    assert_eq!(reader.meta().total_rows(), 200);
+}
+
+#[test]
+#[cfg_attr(feature = "fast-math", ignore = "fast-math ln_1p is not bit-identical by design")]
+fn fresh_v3_file_preprocesses_to_pinned_fingerprint() {
+    let config = fixture_config();
+    let batch = generate_batch(&config, 200, 42);
+    let mut writer = FileWriter::new(batch.schema().clone()).with_format_version(FormatVersion::V3);
+    writer.write_row_group(batch.columns()).expect("writes");
+    let blob = MemBlob::new(writer.finish());
+    let plan = PreprocessPlan::from_config(&config, 1).expect("plan");
+    let (mb, _) = preprocess_partition(&plan, blob).expect("preprocesses");
+    assert_eq!(
+        fingerprint(&mb),
+        0x8c2b_dfa5_d504_2341,
+        "v3-written data must preprocess bit-identically to the v2 fixture"
     );
 }
 
@@ -114,6 +157,36 @@ fn matrix_policies() -> Vec<(&'static str, WritePolicy)> {
         ("lz", base.with_compression(Compression::Lz)),
         ("lz_hot", base.with_compression(Compression::Lz).compressing_hot_columns()),
     ]
+}
+
+#[test]
+fn every_forced_encoding_roundtrips_row_groups() {
+    // The PSTOCOL4 random-access path under the encoding matrix: grouped
+    // files written under every forced encoding must serve each row group
+    // back bit-identically, including the short last group.
+    let mut config = RmConfig::rm1();
+    config.batch_size = 300;
+    let batch = generate_batch(&config, 300, 7);
+    for (name, policy) in matrix_policies() {
+        let mut writer = FileWriter::with_page_rows(batch.schema().clone(), 64)
+            .with_policy(policy)
+            .with_group_rows(128);
+        writer.write_batch(batch.columns()).expect("writes");
+        let reader = FileReader::open(MemBlob::new(writer.finish())).expect("opens");
+        assert_eq!(reader.row_group_count(), 3, "300 rows at 128/group under {name}");
+        let mut per_column: Vec<Vec<presto::columnar::Array>> =
+            (0..batch.columns().len()).map(|_| Vec::new()).collect();
+        for rg in 0..reader.row_group_count() {
+            for (col, array) in reader.read_row_group(rg).expect("decodes").into_iter().enumerate()
+            {
+                per_column[col].push(array);
+            }
+        }
+        for (col, parts) in per_column.into_iter().enumerate() {
+            let whole = presto::columnar::column::concat_arrays(&parts).expect("concat");
+            assert_eq!(whole, batch.columns()[col], "column {col} differs under {name}");
+        }
+    }
 }
 
 #[test]
