@@ -19,7 +19,7 @@ use presto_columnar::{BlobRead, MemBlob, ReadScratch, Result as ColumnarResult};
 use presto_datagen::{generate_batch, write_partition, Dataset, Partition, RmConfig};
 use presto_ops::{
     extract_partition_with, preprocess_partition_with, run_workers_materialized, BatchStream,
-    FleetConfig, MiniBatch, PreprocessPlan, ScratchSpace,
+    FleetConfig, MiniBatch, PlanGraph, PreprocessPlan, ScratchSpace,
 };
 use std::hint::black_box;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -197,6 +197,27 @@ fn bench_extract_only(c: &mut Criterion) {
         let blob = write_partition(&batch).expect("encodes");
         let mut scratch = ReadScratch::new();
         group.bench_function(name, |bench| {
+            bench.iter(|| {
+                black_box(
+                    extract_partition_with(&plan, black_box(blob.clone()), &mut scratch)
+                        .expect("extracts"),
+                )
+            });
+        });
+    }
+    // The long-sequence scenario with prefix pushdown: `long_history`'s
+    // FirstX(8)-headed chains give every sparse column a `Prefix(8)`
+    // requirement, so the plan-aware extract decodes ~8 of each ~512
+    // elements. Compare against `rm2` above for the pushdown win.
+    {
+        let mut config = RmConfig::rm_longseq();
+        config.batch_size = ROWS;
+        let graph = PlanGraph::long_history(&config, 1, 8).expect("graph");
+        let plan = PreprocessPlan::compile(graph, &config).expect("plan");
+        let batch = generate_batch(&config, ROWS, 5);
+        let blob = write_partition(&batch).expect("encodes");
+        let mut scratch = ReadScratch::new();
+        group.bench_function("longseq", |bench| {
             bench.iter(|| {
                 black_box(
                     extract_partition_with(&plan, black_box(blob.clone()), &mut scratch)

@@ -24,6 +24,12 @@
 //!   (`ShuffledStream::spawn` over a row-group-indexed `PSTOCOL4` dataset,
 //!   in-order delivery through the reorder heap) feeding the same trainer:
 //!   the price of shuffling relative to `streaming_end_to_end`.
+//! * `extract_longseq_rows_per_sec` — the Extract stage on the
+//!   long-sequence scenario (`RmConfig::rm_longseq` through
+//!   `PlanGraph::long_history`) with prefix pushdown active: the plan's
+//!   `Prefix(8)` requirements let the reader decode only the head of each
+//!   512-element list. The full-decode rate is printed alongside for the
+//!   speedup figure; the gated number is the pushdown rate.
 //!
 //! Writes the measurements to `BENCH_ci.json` (uploaded as a CI artifact),
 //! appends a per-metric delta table to `$GITHUB_STEP_SUMMARY` when that
@@ -169,6 +175,42 @@ fn multi_tenant() -> f64 {
     })
 }
 
+/// The prefix-pushdown Extract on the long-sequence scenario
+/// (`RmConfig::rm_longseq`: average list length 512, skewed, consumed
+/// through `FirstX(8)`-headed chains): the plan derives `Prefix(8)` for
+/// every sparse column, so the value streams decode only ~8/512 of their
+/// elements. Prints the full-decode rate of the same partition alongside,
+/// so the pushdown speedup is a visible figure on every CI run; the gated
+/// metric is the pushdown rate.
+fn extract_longseq() -> f64 {
+    use presto_columnar::FileReader;
+    use presto_ops::{extract_columns_from_reader, PlanGraph};
+    let mut config = RmConfig::rm_longseq();
+    config.batch_size = 2048;
+    let graph = PlanGraph::long_history(&config, 1, 8).expect("graph");
+    let plan = PreprocessPlan::compile(graph, &config).expect("plan");
+    let batch = generate_batch(&config, 2048, 7);
+    let blob = write_partition(&batch).expect("serializes");
+    let mut scratch = ReadScratch::new();
+    extract_partition_with(&plan, blob.clone(), &mut scratch).expect("extracts");
+    let pushdown = best_of(5, || {
+        let (rb, _) = extract_partition_with(&plan, blob.clone(), &mut scratch).expect("extracts");
+        rb.rows()
+    });
+    let reader = FileReader::open(blob).expect("opens");
+    let full = best_of(5, || {
+        extract_columns_from_reader(&reader, plan.required_columns(), &mut scratch)
+            .expect("full decode")
+            .rows()
+    });
+    println!(
+        "  extract_longseq: pushdown {pushdown:.0} rows/s vs full decode {full:.0} rows/s \
+         ({:.1}x)",
+        pushdown / full.max(1e-12)
+    );
+    pushdown
+}
+
 /// The shuffled-epoch pipeline: row groups of a `PSTOCOL4` dataset in a
 /// seeded permutation, delivered in permutation order to the trainer.
 /// Groups of 256 rows give 32 shuffle units over the same data volume as
@@ -235,6 +277,7 @@ fn main() {
         ("split_end_to_end_rows_per_sec".to_owned(), split_end_to_end()),
         ("multi_tenant_rows_per_sec".to_owned(), multi_tenant()),
         ("shuffled_stream_rows_per_sec".to_owned(), shuffled_stream()),
+        ("extract_longseq_rows_per_sec".to_owned(), extract_longseq()),
     ];
     std::fs::write(OUTPUT_PATH, render_flat_json(&measured)).expect("write BENCH_ci.json");
     println!("wrote {OUTPUT_PATH}");

@@ -329,6 +329,106 @@ pub fn read_chunk_batched(
     }
 }
 
+/// Prefix-pushdown chunk decode for list columns: like the list arm of
+/// [`read_chunk_batched`], but materializes only the first `prefix` elements
+/// of every list. The RLE length stream still decodes fully (it is cheap and
+/// row alignment depends on it); the value stream decodes through
+/// [`encoding::decode_i64_ranges`], which skips storing out-of-prefix
+/// elements and hard-stops after the last needed one. The returned array's
+/// offsets already reflect the truncation — downstream `FirstX` becomes a
+/// no-op.
+///
+/// All of [`read_chunk_batched`]'s budget discipline applies unchanged: the
+/// chunk-level [`encoding::MAX_PAGE_ELEMENTS`] ceiling, per-page running
+/// totals checked before each decode, and reservations clamped to what the
+/// remaining input could describe. Additionally each page's length stream
+/// must sum to its declared element count before any value byte is decoded,
+/// so a crafted header cannot widen the ranged decode's budget.
+///
+/// # Errors
+///
+/// Same as [`read_chunk_batched`].
+#[allow(clippy::too_many_arguments)]
+pub fn read_chunk_prefix(
+    buf: &[u8],
+    pos: &mut usize,
+    base: u64,
+    rows: usize,
+    elements: usize,
+    prefix: usize,
+    staging: &mut Vec<u8>,
+    lengths: &mut Vec<u64>,
+) -> Result<Array> {
+    if rows > encoding::MAX_PAGE_ELEMENTS || elements > encoding::MAX_PAGE_ELEMENTS {
+        return Err(ColumnarError::CorruptFile {
+            detail: format!("chunk declares {rows} rows / {elements} elements"),
+        });
+    }
+    let n_pages = varint::read_u64(buf, pos)? as usize;
+    let remaining = buf.len().saturating_sub(*pos);
+    let cap_limit = remaining.saturating_mul(64).max(1024);
+    let mut total_rows = 0usize;
+    let mut total_elements = 0usize;
+    let check_budget = |total: usize, add: usize, declared: usize| -> Result<usize> {
+        let next = total.saturating_add(add);
+        if next > declared {
+            return Err(ColumnarError::CountMismatch { declared, actual: next });
+        }
+        Ok(next)
+    };
+    let mut offsets: Vec<u32> = Vec::with_capacity(rows.saturating_add(1).min(cap_limit));
+    offsets.push(0);
+    let mut values: Vec<i64> =
+        Vec::with_capacity(rows.saturating_mul(prefix).min(elements).min(cap_limit));
+    let mut ranges: Vec<(usize, usize)> = Vec::new();
+    for _ in 0..n_pages {
+        let header = page::read_page_header(buf, pos, base)?;
+        total_rows = check_budget(total_rows, header.rows, rows)?;
+        total_elements = check_budget(total_elements, header.elements, elements)?;
+        let (payload, _) = page::page_payload(&header, buf, staging)?;
+        let (value_enc, value_start) = page::read_list_prefix(payload, header.rows, lengths)?;
+        // Turn per-list prefixes into sorted element ranges over this page's
+        // value stream, merging lists whose kept prefixes are contiguous
+        // (always the case while lists are shorter than `prefix`).
+        ranges.clear();
+        let mut start = 0usize;
+        for &len in lengths.iter() {
+            let len = usize::try_from(len).map_err(|_| ColumnarError::CorruptFile {
+                detail: "list length exceeds usize".into(),
+            })?;
+            let stop = start.saturating_add(len.min(prefix));
+            match ranges.last_mut() {
+                Some(last) if last.1 == start => last.1 = stop,
+                _ if stop > start => ranges.push((start, stop)),
+                _ => {}
+            }
+            start = start.saturating_add(len);
+        }
+        if start != header.elements {
+            return Err(ColumnarError::CountMismatch { declared: header.elements, actual: start });
+        }
+        let mut p = value_start;
+        encoding::decode_i64_ranges(
+            value_enc,
+            payload,
+            &mut p,
+            header.elements,
+            &ranges,
+            &mut values,
+        )?;
+        page::extend_offsets_clamped(lengths, prefix, header.rows, &mut offsets)?;
+    }
+    if total_rows != rows {
+        return Err(ColumnarError::CountMismatch { declared: rows, actual: total_rows });
+    }
+    if total_elements != elements {
+        return Err(ColumnarError::CountMismatch { declared: elements, actual: total_elements });
+    }
+    let array = Array::ListInt64 { offsets: offsets.into(), values: values.into() };
+    array.validate()?;
+    Ok(array)
+}
+
 /// Reads the chunk at `offset..offset + byte_len` of a shared in-memory
 /// file, decoding aligned plain pages as zero-copy views over `shared`
 /// (see [`page::read_page_shared`]). Single-page chunks — the common case —

@@ -170,6 +170,151 @@ pub fn decode_i64_into(
     Ok(())
 }
 
+/// Like [`decode_i64_into`], materializing only the elements covered by
+/// `ranges` (sorted, non-overlapping, half-open element-index intervals) —
+/// the prefix-pushdown path. Deltas are cumulative, so every miniblock up
+/// to the last needed element must still be *read*, but a miniblock that
+/// contains no needed element takes a summation-only path: its packed
+/// deltas are reduced to one running-value adjustment (a vectorizable sum
+/// with no per-element prefix chain and no stores). The decode hard-stops
+/// after the miniblock containing the last needed element. The stream count
+/// is validated against `expected` before any allocation, and a crafted
+/// header cannot allocate beyond the ranges' total length — the same
+/// [`super::MAX_PAGE_ELEMENTS`]-bounded budget discipline as the full
+/// decode.
+///
+/// # Errors
+///
+/// Same as [`decode_i64_into`], plus [`ColumnarError::CorruptFile`] when a
+/// range exceeds `expected`.
+pub fn decode_i64_ranges(
+    buf: &[u8],
+    pos: &mut usize,
+    expected: usize,
+    ranges: &[(usize, usize)],
+    out: &mut Vec<i64>,
+) -> Result<()> {
+    let count = varint::read_u64(buf, pos)? as usize;
+    if count != expected {
+        return Err(ColumnarError::CountMismatch { declared: expected, actual: count });
+    }
+    let need = super::validate_ranges(ranges, count)?;
+    if count == 0 || need == 0 {
+        return Ok(());
+    }
+    out.reserve(need);
+    let last_needed = ranges.last().map_or(0, |&(_, stop)| stop);
+    let mut prev = varint::read_i64(buf, pos)?;
+    let mut ranges = ranges.iter().copied().peekable();
+    if let Some(&(start, stop)) = ranges.peek() {
+        if start == 0 && stop > 0 {
+            out.push(prev);
+        }
+    }
+    let mut idx = 1usize; // element index of the next delta-coded value
+    let mut remaining = count - 1;
+    let mut packed = [0u64; GROUP];
+    let mut decoded = [0i64; GROUP];
+    while remaining > 0 && idx < last_needed {
+        let m = remaining.min(MINIBLOCK);
+        let min_delta = varint::read_i64(buf, pos)?;
+        let Some(&width) = buf.get(*pos) else {
+            return Err(ColumnarError::UnexpectedEof { context: "miniblock bit width" });
+        };
+        *pos += 1;
+        let width = u32::from(width);
+        if width > 64 {
+            return Err(ColumnarError::ValueOutOfRange {
+                detail: format!("miniblock bit width {width} exceeds 64"),
+            });
+        }
+        let total_bytes = bitpack::packed_len(m, width);
+        let Some(data) = pos.checked_add(total_bytes).and_then(|end| buf.get(*pos..end)) else {
+            return Err(ColumnarError::UnexpectedEof { context: "miniblock payload" });
+        };
+        *pos += total_bytes;
+
+        // This miniblock covers elements [idx, idx + m). Skip-sum it when
+        // no range intersects: only the *sum* of its deltas is needed to
+        // carry `prev` forward.
+        let needed_here = ranges.peek().is_some_and(|&(start, _)| start < idx + m);
+        if !needed_here {
+            let mut sum = (m as i64).wrapping_mul(min_delta);
+            if width > 0 {
+                let mut done = 0usize;
+                while done < m {
+                    let take = (m - done).min(GROUP);
+                    if take == GROUP {
+                        let start = done * width as usize / 8;
+                        bitpack::unpack_group(
+                            &data[start..start + 8 * width as usize],
+                            width,
+                            &mut packed,
+                        );
+                        for &p in &packed {
+                            sum = sum.wrapping_add(p as i64);
+                        }
+                    } else {
+                        let mut bit = (done * width as usize) as u64;
+                        for _ in 0..take {
+                            sum = sum.wrapping_add(bitpack::read_bits(data, bit, width) as i64);
+                            bit += u64::from(width);
+                        }
+                    }
+                    done += take;
+                }
+            }
+            prev = prev.wrapping_add(sum);
+            idx += m;
+            remaining -= m;
+            continue;
+        }
+
+        let mut done = 0usize;
+        while done < m {
+            let take = (m - done).min(GROUP);
+            if take == GROUP && width > 0 {
+                let start = done * width as usize / 8; // byte-aligned: done is a GROUP multiple
+                bitpack::unpack_group(&data[start..start + 8 * width as usize], width, &mut packed);
+            } else if width == 0 {
+                packed[..take].fill(0);
+            } else {
+                let mut bit = (done * width as usize) as u64;
+                for p in &mut packed[..take] {
+                    *p = bitpack::read_bits(data, bit, width);
+                    bit += u64::from(width);
+                }
+            }
+            for (d, &p) in decoded.iter_mut().zip(&packed[..take]) {
+                prev = prev.wrapping_add(min_delta).wrapping_add(p as i64);
+                *d = prev;
+            }
+            // Gather the in-range overlap of elements [lo, lo + take).
+            let lo = idx + done;
+            let hi = lo + take;
+            while let Some(&(start, stop)) = ranges.peek() {
+                if start >= hi {
+                    break;
+                }
+                let s = start.max(lo);
+                let e = stop.min(hi);
+                if s < e {
+                    out.extend_from_slice(&decoded[s - lo..e - lo]);
+                }
+                if stop <= hi {
+                    let _ = ranges.next();
+                } else {
+                    break;
+                }
+            }
+            done += take;
+        }
+        idx += m;
+        remaining -= m;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -64,6 +64,76 @@ pub fn decode_i64_into(
     decode_values(buf, pos, count, out)
 }
 
+/// Like [`decode_i64_into`], materializing only the elements covered by
+/// `ranges` (sorted, non-overlapping, half-open element-index intervals) —
+/// the prefix-pushdown path. The varint delta stream is inherently
+/// sequential, so skipped elements are still decoded to carry the running
+/// value forward, but they are never stored; the decode hard-stops at the
+/// end of the last range instead of walking the page tail. The stream count
+/// is validated against `expected` before any allocation.
+///
+/// # Errors
+///
+/// Same as [`decode_i64_into`], plus [`crate::ColumnarError::CorruptFile`]
+/// when a range exceeds `expected`.
+pub fn decode_i64_ranges(
+    buf: &[u8],
+    pos: &mut usize,
+    expected: usize,
+    ranges: &[(usize, usize)],
+    out: &mut Vec<i64>,
+) -> Result<()> {
+    let count = varint::read_u64(buf, pos)? as usize;
+    if count != expected {
+        return Err(crate::ColumnarError::CountMismatch { declared: expected, actual: count });
+    }
+    let need = super::validate_ranges(ranges, count)?;
+    if count == 0 || need == 0 {
+        return Ok(());
+    }
+    out.reserve(need);
+    let last_needed = ranges.last().map_or(0, |&(_, stop)| stop);
+    let mut prev = varint::read_i64(buf, pos)?;
+    let mut ranges = ranges.iter().copied().peekable();
+    let mut idx = 0usize; // element index of `prev`
+    if let Some(&(start, stop)) = ranges.peek() {
+        if start == 0 && stop > 0 {
+            out.push(prev);
+        }
+    }
+    let mut raw = [0u64; 64];
+    let mut decoded = [0i64; 64];
+    while idx + 1 < last_needed {
+        let take = (last_needed - (idx + 1)).min(64).min(count - 1 - idx);
+        varint::read_u64_group(buf, pos, &mut raw[..take])?;
+        for (d, &r) in decoded.iter_mut().zip(&raw[..take]) {
+            prev = prev.wrapping_add(varint::zigzag_decode(r));
+            *d = prev;
+        }
+        // Gather the in-range overlap of this group of elements
+        // [idx + 1, idx + 1 + take).
+        let lo = idx + 1;
+        let hi = lo + take;
+        while let Some(&(start, stop)) = ranges.peek() {
+            if start >= hi {
+                break;
+            }
+            let s = start.max(lo);
+            let e = stop.min(hi);
+            if s < e {
+                out.extend_from_slice(&decoded[s - lo..e - lo]);
+            }
+            if stop <= hi {
+                let _ = ranges.next();
+            } else {
+                break;
+            }
+        }
+        idx += take;
+    }
+    Ok(())
+}
+
 /// Shared decode core: first value, then zigzag deltas in batches of 64
 /// through the byte-sliced group decoder ([`varint::read_u64_group`]).
 fn decode_values(buf: &[u8], pos: &mut usize, count: usize, out: &mut Vec<i64>) -> Result<()> {

@@ -279,6 +279,77 @@ pub fn decode_i64_into(
     Ok(())
 }
 
+/// Validates prefix-pushdown `ranges` against a stream of `count` elements:
+/// sorted, non-overlapping, half-open, every bound within `count`. Returns
+/// the total number of covered elements — the exact (and, because every
+/// range lies inside a [`MAX_PAGE_ELEMENTS`]-bounded stream, safely bounded)
+/// output reservation for a ranged decode.
+///
+/// # Errors
+///
+/// Returns [`ColumnarError::CorruptFile`] on any malformed range.
+pub(crate) fn validate_ranges(ranges: &[(usize, usize)], count: usize) -> Result<usize> {
+    let mut need = 0usize;
+    let mut cursor = 0usize;
+    for &(start, stop) in ranges {
+        if start < cursor || stop < start || stop > count {
+            return Err(ColumnarError::CorruptFile {
+                detail: format!(
+                    "decode range {start}..{stop} invalid for a {count}-element stream"
+                ),
+            });
+        }
+        need += stop - start;
+        cursor = stop;
+    }
+    Ok(need)
+}
+
+/// Decodes only the elements of `ranges` (sorted, non-overlapping, half-open
+/// element-index intervals) from a stream written by [`encode_i64`],
+/// appending them to `out` in order — the prefix-pushdown decode. Plain
+/// pages gather by direct byte-range slicing; the sequential delta codecs
+/// skip storing out-of-range elements and hard-stop after the last needed
+/// one; dictionary pages (cold path: low-cardinality columns, never the
+/// long-sequence id streams pushdown targets) decode fully into a staging
+/// buffer and gather. `*pos` is **not** guaranteed to advance past the whole
+/// stream — callers frame pages via the page header, not the codec.
+///
+/// Every encoding validates `count` against its own stream metadata before
+/// reserving, and the reservation is bounded by the ranges' covered length,
+/// so a crafted stream can neither over-allocate nor over-produce.
+///
+/// # Errors
+///
+/// Same as [`decode_i64_into`], plus [`ColumnarError::CorruptFile`] for
+/// malformed ranges.
+pub fn decode_i64_ranges(
+    encoding: Encoding,
+    buf: &[u8],
+    pos: &mut usize,
+    count: usize,
+    ranges: &[(usize, usize)],
+    out: &mut Vec<i64>,
+) -> Result<()> {
+    let base = out.len();
+    let need = validate_ranges(ranges, count)?;
+    match encoding {
+        Encoding::Plain => plain::decode_i64_ranges(buf, pos, count, ranges, out)?,
+        Encoding::Delta => delta::decode_i64_ranges(buf, pos, count, ranges, out)?,
+        Encoding::DeltaBitpack => block::decode_i64_ranges(buf, pos, count, ranges, out)?,
+        Encoding::Dictionary => {
+            let mut staged = Vec::new();
+            dictionary::decode_i64_into(buf, pos, count, &mut staged)?;
+            out.reserve(need);
+            for &(start, stop) in ranges {
+                out.extend_from_slice(&staged[start..stop]);
+            }
+        }
+    }
+    debug_assert_eq!(out.len() - base, need);
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -372,5 +443,94 @@ mod tests {
             decode_i64(Encoding::Delta, &buf, &mut pos, 4),
             Err(ColumnarError::CountMismatch { .. })
         ));
+    }
+
+    const ALL: [Encoding; 4] =
+        [Encoding::Plain, Encoding::Delta, Encoding::Dictionary, Encoding::DeltaBitpack];
+
+    /// Ranged decode must equal gathering the same ranges from a full decode,
+    /// for every encoding and for range shapes that exercise miniblock /
+    /// varint-group boundaries, the first element, singletons, and tails.
+    #[test]
+    fn ranged_decode_matches_full_decode_gather() {
+        let values: Vec<i64> = (0..1000).map(|i| (i * 37) % 450 - 20).collect();
+        let range_sets: &[&[(usize, usize)]] = &[
+            &[],
+            &[(0, 1)],
+            &[(0, 1000)],
+            &[(999, 1000)],
+            &[(0, 3), (5, 9), (700, 701)],
+            &[(126, 130), (254, 258)], // straddles 128-miniblock boundaries
+            &[(63, 65), (191, 193)],   // straddles 64-group boundaries
+            &[(0, 8), (128, 136), (512, 520), (992, 1000)],
+            &[(500, 500), (600, 608)], // empty range is legal
+            &[(0, 0), (5, 9)],         // leading empty range must not emit element 0
+        ];
+        for &e in &ALL {
+            let mut buf = Vec::new();
+            encode_i64(e, &values, &mut buf);
+            for ranges in range_sets {
+                let mut out = Vec::new();
+                let mut pos = 0;
+                decode_i64_ranges(e, &buf, &mut pos, values.len(), ranges, &mut out)
+                    .unwrap_or_else(|err| panic!("{e} {ranges:?}: {err}"));
+                let expect: Vec<i64> =
+                    ranges.iter().flat_map(|&(s, t)| values[s..t].iter().copied()).collect();
+                assert_eq!(out, expect, "{e} {ranges:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn ranged_decode_handles_tiny_streams() {
+        for n in [0usize, 1, 2, 63, 64, 65, 127, 128, 129] {
+            let values: Vec<i64> = (0..n as i64).map(|i| i * 3 - 7).collect();
+            for &e in &ALL {
+                let mut buf = Vec::new();
+                encode_i64(e, &values, &mut buf);
+                let mut out = Vec::new();
+                let mut pos = 0;
+                let take = n.min(2);
+                decode_i64_ranges(e, &buf, &mut pos, n, &[(0, take)], &mut out).unwrap();
+                assert_eq!(out, values[..take], "{e} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_ranges_are_rejected_without_allocating() {
+        let values: Vec<i64> = (0..100).collect();
+        // Unsorted, overlapping, inverted, and out-of-bounds range lists.
+        let bad: &[&[(usize, usize)]] =
+            &[&[(5, 10), (0, 3)], &[(0, 10), (5, 20)], &[(10, 5)], &[(90, 101)], &[(101, 101)]];
+        for &e in &ALL {
+            let mut buf = Vec::new();
+            encode_i64(e, &values, &mut buf);
+            for ranges in bad {
+                let mut out = Vec::new();
+                let mut pos = 0;
+                assert!(matches!(
+                    decode_i64_ranges(e, &buf, &mut pos, values.len(), ranges, &mut out),
+                    Err(ColumnarError::CorruptFile { .. })
+                ));
+                assert_eq!(out.capacity(), 0, "{e} {ranges:?} reserved before validation");
+            }
+        }
+    }
+
+    /// A stream whose declared count disagrees with the caller's expectation
+    /// must fail before any reservation on the ranged path too — the ranges
+    /// cannot widen the budget a corrupt header would otherwise claim.
+    #[test]
+    fn ranged_decode_checks_stream_count_before_allocating() {
+        for &e in &ALL {
+            let mut buf = Vec::new();
+            encode_i64(e, &(0..16).collect::<Vec<i64>>(), &mut buf);
+            let mut out = Vec::new();
+            let mut pos = 0;
+            let err = decode_i64_ranges(e, &buf, &mut pos, 1 << 27, &[(0, 1 << 27)], &mut out);
+            assert!(err.is_err(), "{e}");
+            assert_eq!(out.capacity(), 0, "{e} reserved before count validation");
+        }
     }
 }

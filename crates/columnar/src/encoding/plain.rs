@@ -66,6 +66,42 @@ pub fn decode_i64_into(
     Ok(())
 }
 
+/// Like [`decode_i64_into`], but materializing only the elements covered by
+/// `ranges` (sorted, non-overlapping, half-open element-index intervals) —
+/// the prefix-pushdown path. Plain pages are random-access, so each range is
+/// a direct byte-slice copy; the skipped elements are never touched. The
+/// whole `count * 8`-byte stream is bounds-checked (and `*pos` advanced past
+/// it) before any allocation, so a corrupt count cannot over-reserve.
+///
+/// # Errors
+///
+/// Returns [`ColumnarError::UnexpectedEof`] if fewer than `count * 8` bytes
+/// remain, [`ColumnarError::CorruptFile`] when a range exceeds `count`.
+pub fn decode_i64_ranges(
+    buf: &[u8],
+    pos: &mut usize,
+    count: usize,
+    ranges: &[(usize, usize)],
+    out: &mut Vec<i64>,
+) -> Result<()> {
+    let end = count
+        .checked_mul(8)
+        .and_then(|need| pos.checked_add(need))
+        .filter(|&e| e <= buf.len())
+        .ok_or(ColumnarError::UnexpectedEof { context: "plain i64" })?;
+    let need = super::validate_ranges(ranges, count)?;
+    out.reserve(need);
+    for &(start, stop) in ranges {
+        out.extend(
+            buf[*pos + start * 8..*pos + stop * 8]
+                .chunks_exact(8)
+                .map(|c| i64::from_le_bytes(c.try_into().expect("chunk"))),
+        );
+    }
+    *pos = end;
+    Ok(())
+}
+
 /// Reads `count` little-endian `f32`s from `buf` at `*pos`.
 ///
 /// # Errors

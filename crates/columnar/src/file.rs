@@ -50,6 +50,38 @@
 //! small reads and then issue *exactly one ranged read per projected column*,
 //! which is the selective-extraction property the PreSto paper's Extract
 //! phase depends on (Section II-B).
+//!
+//! # Prefix pushdown
+//!
+//! [`FileReader::read_projected_limits_with`] /
+//! [`FileReader::read_column_limit_with`] accept a per-column element
+//! limit: `Some(x)` on a list column materializes only the first `x`
+//! elements of every list. This is the storage half of the late-
+//! materialization contract with `presto-ops`:
+//!
+//! - **Who may request a prefix.** Only a query planner that has proven
+//!   every consumer of the column truncates it first — in `presto-ops`,
+//!   plan compilation emits `Prefix(x)` only when *every* reading chain is
+//!   headed by `FirstX`, taking the max `x` across readers. The reader
+//!   itself does not validate that claim; a too-small limit silently drops
+//!   data, exactly like projecting away a needed column would.
+//! - **Why offsets stay full.** The RLE length stream always decodes
+//!   completely: it is a few bytes per list, row alignment and the
+//!   per-page element budget checks depend on it, and it is what lets the
+//!   value stream stop early (the last needed element's position is known
+//!   only from the lengths). Only the *value* stream is cut short — plain
+//!   pages gather by byte range, delta pages skip storing out-of-prefix
+//!   elements and hard-stop after the last needed one (see
+//!   [`crate::encoding::block`]).
+//! - **What comes back.** A compact [`Array::ListInt64`] whose offsets
+//!   already reflect the truncation — `min(len, x)` per list — so a
+//!   downstream `FirstX(x)` is a no-op. Lists shorter than `x` are
+//!   returned whole; empty lists stay empty. Row counts are unchanged,
+//!   which keeps the group-level `rows` invariant intact.
+//!
+//! The on-disk format is untouched: pushdown is purely a reader-side
+//! decode strategy, and full-decode reads of the same file are
+//! bit-identical to what they always were.
 
 use crate::array::Array;
 use crate::checksum::crc32;
@@ -687,6 +719,124 @@ impl<B: BlobRead> FileReader<B> {
         idx.iter().map(|&c| self.read_column_with(row_group, c, scratch)).collect()
     }
 
+    /// Like [`FileReader::read_projected_with`], honoring a per-column
+    /// element limit — the prefix-pushdown read (see the module docs).
+    /// `limits[i]` applies to `names[i]`: `Some(x)` materializes only the
+    /// first `x` elements of each list in that column; `None` reads the
+    /// column in full.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FileReader::read_projected_with`], plus
+    /// [`ColumnarError::CountMismatch`] when `limits` and `names` disagree
+    /// in length.
+    pub fn read_projected_limits_with(
+        &self,
+        row_group: usize,
+        names: &[&str],
+        limits: &[Option<usize>],
+        scratch: &mut crate::io::ReadScratch,
+    ) -> Result<Vec<Array>> {
+        if limits.len() != names.len() {
+            return Err(ColumnarError::CountMismatch {
+                declared: names.len(),
+                actual: limits.len(),
+            });
+        }
+        let idx = self.meta.schema.project(names)?;
+        idx.iter()
+            .zip(limits)
+            .map(|(&c, &limit)| self.read_column_limit_with(row_group, c, limit, scratch))
+            .collect()
+    }
+
+    /// Prefix-pushdown single-column read: like
+    /// [`FileReader::read_column_with`], but when `limit` is `Some(x)` and
+    /// the column is a list column, only the first `x` elements of every
+    /// list are materialized (offsets in the returned array already reflect
+    /// the truncation). `None` — or a non-list column — delegates to the
+    /// full read unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FileReader::read_column_with`].
+    pub fn read_column_limit_with(
+        &self,
+        row_group: usize,
+        column: usize,
+        limit: Option<usize>,
+        scratch: &mut crate::io::ReadScratch,
+    ) -> Result<Array> {
+        let Some(prefix) = limit else {
+            return self.read_column_with(row_group, column, scratch);
+        };
+        let rg = self.meta.row_groups.get(row_group).ok_or_else(|| {
+            ColumnarError::UnknownColumn { name: format!("row group {row_group}") }
+        })?;
+        let chunk = rg
+            .columns
+            .get(column)
+            .ok_or_else(|| ColumnarError::UnknownColumn { name: format!("column {column}") })?;
+        let field = self.meta.schema.field(column).expect("meta/schema in sync");
+        if field.data_type() != DataType::ListInt64 {
+            return self.read_column_with(row_group, column, scratch);
+        }
+        let (offset, len) = (chunk.offset, chunk.byte_len as usize);
+        let rows = usize::try_from(rg.rows).unwrap_or(usize::MAX);
+        let elements = usize::try_from(chunk.stats.elements).unwrap_or(usize::MAX);
+        // The prefix decode always gathers into a fresh compact buffer, so
+        // the lazy zero-copy paths never apply: route every blob flavor to
+        // `read_chunk_prefix` over the raw chunk bytes.
+        let array = if let Some(shared) = self.blob.as_shared() {
+            let start = usize::try_from(offset).map_err(|_| ColumnarError::Io {
+                detail: format!("chunk offset {offset} out of addressable range"),
+            })?;
+            let end = start
+                .checked_add(len)
+                .filter(|&e| e <= shared.len())
+                .ok_or(ColumnarError::UnexpectedEof { context: "column chunk range" })?;
+            let (_, staging, lengths) = scratch.split_parts();
+            let mut pos = start;
+            column::read_chunk_prefix(
+                &shared[..end],
+                &mut pos,
+                0,
+                rows,
+                elements,
+                prefix,
+                staging,
+                lengths,
+            )?
+        } else {
+            let (bytes, staging, lengths): (&[u8], &mut Vec<u8>, &mut Vec<u64>) =
+                match self.blob.as_slice() {
+                    Some(all) => {
+                        let start = usize::try_from(offset).map_err(|_| ColumnarError::Io {
+                            detail: format!("chunk offset {offset} out of addressable range"),
+                        })?;
+                        let bytes =
+                            start.checked_add(len).and_then(|end| all.get(start..end)).ok_or(
+                                ColumnarError::UnexpectedEof { context: "column chunk range" },
+                            )?;
+                        let (_, staging, lengths) = scratch.split_parts();
+                        (bytes, staging, lengths)
+                    }
+                    None => scratch.read_split(&self.blob, offset, len)?,
+                };
+            let mut pos = 0usize;
+            column::read_chunk_prefix(
+                bytes, &mut pos, offset, rows, elements, prefix, staging, lengths,
+            )?
+        };
+        if array.len() as u64 != rg.rows {
+            return Err(ColumnarError::CountMismatch {
+                declared: rg.rows as usize,
+                actual: array.len(),
+            });
+        }
+        Ok(array)
+    }
+
     /// Reads an entire row group in schema order.
     ///
     /// # Errors
@@ -797,6 +947,56 @@ mod tests {
         let b = reader.read_projected(0, &["dense_0"]).unwrap();
         assert_eq!(a, b);
         assert!(scratch.capacity() > 0);
+    }
+
+    /// Truncates every list of a `ListInt64` array to its first `x`
+    /// elements — the reference semantics prefix pushdown must match.
+    fn truncate_lists(array: &Array, x: usize) -> Array {
+        let Array::ListInt64 { offsets, values } = array else { panic!("list array") };
+        let lists: Vec<Vec<i64>> = offsets
+            .windows(2)
+            .map(|w| {
+                let (s, e) = (w[0] as usize, w[1] as usize);
+                values[s..s + (e - s).min(x)].to_vec()
+            })
+            .collect();
+        Array::from_lists(lists).unwrap()
+    }
+
+    #[test]
+    fn prefix_limit_reads_match_truncated_full_reads() {
+        use crate::io::ReadScratch;
+        let bytes = sample_file(2, 300); // list lengths 0..=3: shorter than and equal to x
+        let mut scratch = ReadScratch::new();
+        for x in [1usize, 2, 8] {
+            // Shared blob path...
+            let reader = FileReader::open(MemBlob::new(bytes.clone())).unwrap();
+            for g in 0..2 {
+                let full = reader.read_projected(g, &["label", "sparse_0"]).unwrap();
+                let limited = reader
+                    .read_projected_limits_with(
+                        g,
+                        &["label", "sparse_0"],
+                        &[None, Some(x)],
+                        &mut scratch,
+                    )
+                    .unwrap();
+                assert_eq!(limited[0], full[0]);
+                assert_eq!(limited[1], truncate_lists(&full[1], x), "x={x} g={g}");
+            }
+            // ...and the opaque staging path.
+            let reader = FileReader::open(CountingBlob::new(MemBlob::new(bytes.clone()))).unwrap();
+            let full = reader.read_projected(1, &["sparse_0"]).unwrap();
+            let limited = reader
+                .read_projected_limits_with(1, &["sparse_0"], &[Some(x)], &mut scratch)
+                .unwrap();
+            assert_eq!(limited[0], truncate_lists(&full[0], x));
+        }
+        // Mismatched limits length is rejected.
+        let reader = FileReader::open(MemBlob::new(bytes)).unwrap();
+        assert!(reader
+            .read_projected_limits_with(0, &["label"], &[None, Some(1)], &mut scratch)
+            .is_err());
     }
 
     #[test]

@@ -352,6 +352,31 @@ pub(crate) fn extend_offsets(lengths: &[u64], rows: usize, offsets: &mut Vec<u32
     Ok(())
 }
 
+/// Prefix-pushdown variant of [`extend_offsets`]: appends each list's
+/// length clamped to `prefix`, so the produced offsets already describe the
+/// truncated lists. Validation (row count, u32 overflow) matches
+/// [`extend_offsets`] exactly — the clamp only narrows values.
+pub(crate) fn extend_offsets_clamped(
+    lengths: &[u64],
+    prefix: usize,
+    rows: usize,
+    offsets: &mut Vec<u32>,
+) -> Result<()> {
+    if lengths.len() != rows {
+        return Err(ColumnarError::CountMismatch { declared: rows, actual: lengths.len() });
+    }
+    let mut acc = u64::from(*offsets.last().unwrap_or(&0));
+    offsets.reserve(lengths.len());
+    for len in lengths {
+        acc = acc.saturating_add((*len).min(prefix as u64));
+        let off = u32::try_from(acc).map_err(|_| ColumnarError::ValueOutOfRange {
+            detail: "list offsets overflow u32".into(),
+        })?;
+        offsets.push(off);
+    }
+    Ok(())
+}
+
 /// Locates the list value stream within a list page's payload: decodes the
 /// RLE length stream into `lengths`, reads the value encoding tag and skips
 /// the value-stream alignment padding. Returns the value encoding and the

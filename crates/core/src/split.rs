@@ -47,7 +47,7 @@ use crossbeam_channel::{bounded, Receiver, Sender};
 use presto_columnar::FileReader;
 use presto_datagen::Partition;
 use presto_ops::executor::{
-    extract_columns_from_reader, preprocess_split_host, preprocess_split_isp, BoundaryBatch,
+    extract_columns_for_plan, preprocess_split_host, preprocess_split_isp, BoundaryBatch,
     PreprocessError, StageTimings,
 };
 use presto_ops::minibatch::MiniBatch;
@@ -205,8 +205,12 @@ fn isp_prefix(
         }
         bytes
     };
-    let batch =
-        extract_columns_from_reader(&reader, shared.split.isp_columns(), scratch.read_scratch())?;
+    let batch = extract_columns_for_plan(
+        &shared.plan,
+        &reader,
+        shared.split.isp_columns(),
+        scratch.read_scratch(),
+    )?;
     let extract = t0.elapsed();
     let (boundary, mut timings, _stats) =
         preprocess_split_isp(&shared.plan, &shared.split, batch, FEATURE_BUFFER_ELEMS)?;
@@ -393,8 +397,12 @@ fn host_suffix(
 ) -> Result<(MiniBatch, StageTimings), PreprocessError> {
     let t0 = Instant::now();
     let reader = FileReader::open(partition.blob.clone())?;
-    let batch =
-        extract_columns_from_reader(&reader, shared.split.host_columns(), scratch.read_scratch())?;
+    let batch = extract_columns_for_plan(
+        &shared.plan,
+        &reader,
+        shared.split.host_columns(),
+        scratch.read_scratch(),
+    )?;
     let extract = t0.elapsed();
     let (batch, mut timings) = preprocess_split_host(&shared.plan, &shared.split, batch, boundary)?;
     timings.extract = extract;

@@ -103,6 +103,26 @@ impl RmConfig {
         RmConfig { name: "RM1-L".into(), avg_sparse_len: 8, fixed_sparse_len: false, ..Self::rm1() }
     }
 
+    /// Long-sequence user-history shape — the RecD/late-materialization
+    /// scenario: a handful of ultra-long skewed list columns (average
+    /// length 512, exponentially distributed up to 4×) consumed through
+    /// `FirstX`-headed chains. This is where prefix pushdown has its >90%
+    /// decode-work savings; `PlanGraph::long_history` in `presto-ops`
+    /// provides the matching graph.
+    #[must_use]
+    pub fn rm_longseq() -> Self {
+        RmConfig {
+            name: "RM-LS".into(),
+            num_dense: 4,
+            num_sparse: 4,
+            avg_sparse_len: 512,
+            fixed_sparse_len: false,
+            num_generated: 4,
+            num_tables: 8,
+            ..Self::rm1()
+        }
+    }
+
     /// Common shape of RM2–RM5 before per-model overrides.
     fn production_base() -> Self {
         RmConfig {
@@ -231,6 +251,15 @@ mod tests {
         let rm1 = RmConfig::rm1();
         assert_eq!((v.num_dense, v.num_sparse, v.num_generated), (13, 26, 13));
         assert_eq!(v.bucket_size, rm1.bucket_size);
+    }
+
+    #[test]
+    fn rm_longseq_is_a_long_skewed_list_shape() {
+        let c = RmConfig::rm_longseq();
+        c.validate().unwrap();
+        assert!(c.avg_sparse_len >= 512);
+        assert!(!c.fixed_sparse_len);
+        assert_eq!(c.num_tables, c.num_sparse + c.num_generated);
     }
 
     #[test]

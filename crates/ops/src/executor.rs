@@ -1071,16 +1071,28 @@ fn run_stage_subset(
                 }
                 StageInput::Stage(j) => outputs[*j].as_value_ref(),
             };
-            run_chain(
-                stage.ops(),
-                input,
-                &mut slot,
-                &mut temp,
-                chunk,
-                &mut staged,
-                timings,
-                stats,
-            )?;
+            // A leading `FirstX(x)` over lists already no longer than `x`
+            // is the identity — the common case once prefix pushdown has
+            // truncated the column at decode time (clamping still happens
+            // here when the extracted prefix was a looser max). Skip the
+            // op instead of copying the lists through it.
+            let ops = match (stage.ops().first(), &input) {
+                (Some(Op::FirstX(x)), ValueRef::List { offsets, values })
+                    if offsets.windows(2).all(|w| (w[1] - w[0]) as usize <= *x) =>
+                {
+                    if stage.ops().len() == 1 {
+                        // Identity chain: materialize the input directly
+                        // (run_chain rejects empty op lists).
+                        slot =
+                            StageValue::List { offsets: offsets.to_vec(), values: values.to_vec() };
+                        outputs[i] = slot;
+                        continue;
+                    }
+                    &stage.ops()[1..]
+                }
+                _ => stage.ops(),
+            };
+            run_chain(ops, input, &mut slot, &mut temp, chunk, &mut staged, timings, stats)?;
         }
         outputs[i] = slot;
     }
@@ -1252,9 +1264,9 @@ pub fn preprocess_partition_split<B: BlobRead>(
     let t0 = Instant::now();
     let reader = FileReader::open(blob)?;
     let isp_batch = (!split.isp_stages().is_empty())
-        .then(|| extract_columns_from_reader(&reader, split.isp_columns(), read))
+        .then(|| extract_columns_for_plan(plan, &reader, split.isp_columns(), read))
         .transpose()?;
-    let host_batch = extract_columns_from_reader(&reader, split.host_columns(), read)?;
+    let host_batch = extract_columns_for_plan(plan, &reader, split.host_columns(), read)?;
     let extract = t0.elapsed();
 
     let (boundary, isp_timings, stats) = match isp_batch {
@@ -1401,14 +1413,37 @@ pub fn extract_batch_from_reader<B: BlobRead>(
     reader: &FileReader<B>,
     read: &mut ReadScratch,
 ) -> Result<RowBatch, PreprocessError> {
-    extract_columns_from_reader(reader, plan.required_columns(), read)
+    extract_columns_for_plan(plan, reader, plan.required_columns(), read)
+}
+
+/// Like [`extract_columns_from_reader`], honoring the plan's per-column
+/// [`crate::plan::ColumnRequirement`]s: a `Prefix(x)` column decodes only
+/// the first `x` elements of each list (see
+/// [`presto_columnar::FileReader::read_projected_limits_with`]). `needed`
+/// may be any subset of the plan's columns — the per-fleet projections of a
+/// split run included — because requirements are derived from *all* of a
+/// column's readers, not from the projection. This is the Extract every
+/// plan-driven path (host, ISP chunked, split, shuffled row-group) goes
+/// through.
+///
+/// # Errors
+///
+/// Propagates storage, decode and schema failures.
+pub fn extract_columns_for_plan<B: BlobRead>(
+    plan: &PreprocessPlan,
+    reader: &FileReader<B>,
+    needed: &[String],
+    read: &mut ReadScratch,
+) -> Result<RowBatch, PreprocessError> {
+    let limits: Vec<Option<usize>> = needed.iter().map(|n| plan.column_limit(n)).collect();
+    extract_columns_limited(reader, needed, Some(&limits), read)
 }
 
 /// Decodes an arbitrary column projection from an already-open reader into
-/// one owned [`RowBatch`] (row groups merged). The per-fleet Extract of a
-/// split run: each side projects exactly its own raw inputs
-/// ([`SplitPlan::isp_columns`] / [`SplitPlan::host_columns`]) instead of the
-/// whole-plan [`PreprocessPlan::required_columns`].
+/// one owned [`RowBatch`] (row groups merged), always in full — the
+/// plan-free Extract (and the full-decode comparator the benches measure
+/// prefix pushdown against). Plan-driven callers use
+/// [`extract_columns_for_plan`] instead.
 ///
 /// # Errors
 ///
@@ -1418,10 +1453,24 @@ pub fn extract_columns_from_reader<B: BlobRead>(
     needed: &[String],
     read: &mut ReadScratch,
 ) -> Result<RowBatch, PreprocessError> {
+    extract_columns_limited(reader, needed, None, read)
+}
+
+/// Shared body of the merged-row-group Extract: read every row group
+/// (optionally with per-column decode limits), then reassemble column-major.
+fn extract_columns_limited<B: BlobRead>(
+    reader: &FileReader<B>,
+    needed: &[String],
+    limits: Option<&[Option<usize>]>,
+    read: &mut ReadScratch,
+) -> Result<RowBatch, PreprocessError> {
     let names: Vec<&str> = needed.iter().map(String::as_str).collect();
     let mut columns = Vec::with_capacity(reader.row_group_count());
     for rg in 0..reader.row_group_count() {
-        columns.push(reader.read_projected_with(rg, &names, read)?);
+        columns.push(match limits {
+            Some(limits) => reader.read_projected_limits_with(rg, &names, limits, read)?,
+            None => reader.read_projected_with(rg, &names, read)?,
+        });
     }
 
     // Reassemble into one RowBatch (single row group is the common case).
@@ -1468,6 +1517,27 @@ pub fn extract_group_from_reader<B: BlobRead>(
     Ok(RowBatch::new(schema, columns)?)
 }
 
+/// Prefix-pushdown sibling of [`extract_group_from_reader`]: decodes one
+/// row group of the plan's projection, honoring the plan's per-column
+/// requirements — the random-access Extract of the shuffled epoch path.
+///
+/// # Errors
+///
+/// Same as [`extract_group_from_reader`].
+pub fn extract_group_for_plan<B: BlobRead>(
+    plan: &PreprocessPlan,
+    reader: &FileReader<B>,
+    row_group: usize,
+    read: &mut ReadScratch,
+) -> Result<RowBatch, PreprocessError> {
+    let needed = plan.required_columns();
+    let names: Vec<&str> = needed.iter().map(String::as_str).collect();
+    let limits: Vec<Option<usize>> = needed.iter().map(|n| plan.column_limit(n)).collect();
+    let columns = reader.read_projected_limits_with(row_group, &names, &limits, read)?;
+    let schema = projected_schema(reader, needed)?;
+    Ok(RowBatch::new(schema, columns)?)
+}
+
 /// Full pipeline over one row group of an already-open partition: group
 /// Extract + Transform + format conversion. Row-group preprocessing is
 /// row-wise, so concatenating the mini-batches of a partition's groups in
@@ -1484,8 +1554,7 @@ pub fn preprocess_group_with<B: BlobRead>(
     scratch: &mut ScratchSpace,
 ) -> Result<(MiniBatch, StageTimings), PreprocessError> {
     let t0 = Instant::now();
-    let batch =
-        extract_group_from_reader(reader, plan.required_columns(), row_group, &mut scratch.read)?;
+    let batch = extract_group_for_plan(plan, reader, row_group, &mut scratch.read)?;
     let extract = t0.elapsed();
     let (mini_batch, mut timings) = preprocess_batch_owned(plan, batch)?;
     timings.extract = extract;

@@ -316,6 +316,44 @@ impl PlanGraph {
         Ok(PlanGraph::new(chains))
     }
 
+    /// Non-canonical scenario "long history": every sparse column is an
+    /// ultra-long user-history sequence consumed through a single
+    /// `FirstX(x) → SigridHash` chain — the RecD request-history shape
+    /// where only the most recent `x` events feed the model. Because every
+    /// sparse reader truncates first, plan compilation derives
+    /// `Prefix(x)` for all sparse columns and the Extract step decodes
+    /// only `x / avg_sparse_len` of the list bytes (see the prefix-
+    /// pushdown module docs in [`crate::plan`]). Pair with
+    /// [`RmConfig::rm_longseq`] (average length 512) to make the decode
+    /// savings measurable. Dense and generated features stay canonical.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PlanGraph::canonical`].
+    pub fn long_history(config: &RmConfig, seed: u64, x: usize) -> Result<Self, GraphError> {
+        let mut chains = Vec::new();
+        for i in 0..config.num_dense {
+            let name = format!("dense_{i}");
+            chains.push(ChainSpec::feature(name.clone(), name, vec![Op::LogNorm]));
+        }
+        for i in 0..config.num_sparse {
+            let name = format!("sparse_{i}");
+            chains.push(ChainSpec::feature(
+                name.clone(),
+                name,
+                vec![Op::FirstX(x), Op::SigridHash(sparse_hasher(config, seed, i)?)],
+            ));
+        }
+        for i in 0..config.num_generated {
+            chains.push(ChainSpec::feature(
+                format!("gen_{i}"),
+                generated_source_column(config, i),
+                vec![Op::Bucketize(log_bucketizer(config, i)?)],
+            ));
+        }
+        Ok(PlanGraph::new(chains))
+    }
+
     /// Non-canonical scenario "dense cleanup": every dense column passes
     /// through a shared `FillMissing → Clamp` intermediate (`clean_i`)
     /// before its LogNorm feature, and each generated Bucketize reads the

@@ -82,18 +82,21 @@ pub mod stream;
 pub use bucketize::{BucketizeError, Bucketizer};
 pub use dedup::{hash_deduped, plan_dedup, DedupPlan};
 pub use executor::{
-    extract_batch_from_reader, extract_columns_from_reader, extract_group_from_reader,
-    extract_partition_with, preprocess_batch, preprocess_batch_owned,
-    preprocess_batch_owned_chunked, preprocess_batch_with, preprocess_group_with,
-    preprocess_partition, preprocess_partition_split, preprocess_partition_with,
-    preprocess_split_host, preprocess_split_isp, transform_batch_into, BoundaryBatch, OpBucket,
-    OpTimings, PreprocessError, ScratchSpace, SplitReport, StageTimings, StageValue, UnitStats,
+    extract_batch_from_reader, extract_columns_for_plan, extract_columns_from_reader,
+    extract_group_for_plan, extract_group_from_reader, extract_partition_with, preprocess_batch,
+    preprocess_batch_owned, preprocess_batch_owned_chunked, preprocess_batch_with,
+    preprocess_group_with, preprocess_partition, preprocess_partition_split,
+    preprocess_partition_with, preprocess_split_host, preprocess_split_isp, transform_batch_into,
+    BoundaryBatch, OpBucket, OpTimings, PreprocessError, ScratchSpace, SplitReport, StageTimings,
+    StageValue, UnitStats,
 };
 pub use graph::{ChainSpec, GraphError, PlanGraph};
 pub use minibatch::{DenseMatrix, JaggedFeature, MiniBatch, ShapeError};
 pub use op::{firstx_into, ngram_into, IdMap, Op, OpTag, ValueKind};
 pub use parallel::{run_workers, run_workers_materialized, ParallelReport};
-pub use plan::{BoundarySlot, CompiledStage, Fleet, PreprocessPlan, SplitPlan, StageInput};
+pub use plan::{
+    BoundarySlot, ColumnRequirement, CompiledStage, Fleet, PreprocessPlan, SplitPlan, StageInput,
+};
 pub use recovery::{
     DeviceHealth, RecoveryEvent, RecoveryEventKind, RecoveryTracker, RetryPolicy, RunReport,
 };

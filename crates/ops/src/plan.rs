@@ -12,6 +12,8 @@
 //!
 //! * [`PreprocessPlan::required_columns`] — the exact Extract projection
 //!   (only raw columns some chain actually reads, plus the label);
+//! * [`PreprocessPlan::column_requirements`] — per-column read depth for
+//!   the prefix-pushdown contract (see below);
 //! * per-stage *consume* flags — whether a stage is the last reader of its
 //!   raw column and fully elementwise, so the owned executor path can
 //!   transform the decoded buffer in place instead of copying;
@@ -24,12 +26,50 @@
 //! historical hardcoded three-stage plan (pinned by `tests/graph_ir.rs` and
 //! the v2 format-compat fingerprint); richer scenarios compile through
 //! [`PreprocessPlan::compile`] from any valid graph.
+//!
+//! # Prefix pushdown (the plan → storage contract)
+//!
+//! Compilation derives a [`ColumnRequirement`] for every entry of
+//! [`PreprocessPlan::required_columns`]. A list column gets `Prefix(x)`
+//! **only** when every chain reading it is headed by `FirstX` — the one
+//! shape that proves no consumer can observe an element past position
+//! `x - 1` (taking the max `x` across readers, so a looser reader still
+//! sees everything it needs and re-clamps itself). Any full-list reader,
+//! an `NGram` head (which looks past position `x` of the raw list), or
+//! raw emission into the mini-batch forces `Full`, as do non-list columns
+//! and the label.
+//!
+//! The executor turns `Prefix(x)` into a decode limit for
+//! `presto-columnar`'s `read_projected_limits_with`, which truncates the
+//! *value* stream at decode time while still decoding the offsets/length
+//! stream in full — row alignment, budget validation and the row-group
+//! `rows` invariant all hang off the lengths, and they are a tiny
+//! fraction of a long-sequence column's bytes. Because the plan is the
+//! only party allowed to request a prefix, and only under the
+//! every-reader-truncates proof above, prefix-extracted execution is
+//! bit-identical to full-decode execution by construction (pinned by the
+//! pushdown proptests in `tests/`). [`PreprocessPlan::stage_op_elements`]
+//! prices list inputs at the truncated length, so placement sees the
+//! cheaper ISP extract and boundary traffic that pushdown buys.
 
 use crate::graph::{resolve, ChainInput, GraphError, PlanGraph, LABEL_COLUMN};
 use crate::op::{Op, OpTag, ValueKind};
 use presto_columnar::DataType;
 use presto_datagen::{raw_schema, RmConfig};
 use std::collections::HashMap;
+
+/// How much of a raw column the Extract step must materialize — the
+/// plan-side half of the prefix-pushdown contract with `presto-columnar`
+/// (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnRequirement {
+    /// Every element is (or may be) needed: decode the column in full.
+    Full,
+    /// Only the first `x` elements of each list are ever observed — every
+    /// reading chain is headed by `FirstX(x')` with `x' <= x` — so Extract
+    /// may materialize just that prefix.
+    Prefix(usize),
+}
 
 /// Which fleet a stage of a split execution runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -215,6 +255,8 @@ pub struct PreprocessPlan {
     graph: PlanGraph,
     stages: Vec<CompiledStage>,
     required_columns: Vec<String>,
+    /// Per-entry read requirement, parallel to `required_columns`.
+    column_requirements: Vec<ColumnRequirement>,
     /// Stage positions of emitted Dense stages, declaration order.
     emit_dense: Vec<usize>,
     /// Stage positions of emitted List stages, declaration order.
@@ -329,6 +371,31 @@ impl PreprocessPlan {
             }
         }
 
+        // Read requirements: a list column may be prefix-extracted only
+        // when *every* chain reading it truncates first (`FirstX` head);
+        // the prefix is the loosest (max) `x` across readers. Anything
+        // else — a full-list reader, an `NGram` head, raw emission with no
+        // ops, a non-list column, the label — forces a full decode.
+        let column_requirements: Vec<ColumnRequirement> = required_columns
+            .iter()
+            .map(|name| {
+                if name == LABEL_COLUMN || raw_kinds.get(name.as_str()) != Some(&ValueKind::List) {
+                    return ColumnRequirement::Full;
+                }
+                let mut prefix: Option<usize> = None;
+                for stage in &stages {
+                    if !matches!(&stage.input, StageInput::Raw(n) if n == name) {
+                        continue;
+                    }
+                    match stage.ops.first() {
+                        Some(Op::FirstX(x)) => prefix = Some(prefix.map_or(*x, |p| p.max(*x))),
+                        _ => return ColumnRequirement::Full,
+                    }
+                }
+                prefix.map_or(ColumnRequirement::Full, ColumnRequirement::Prefix)
+            })
+            .collect();
+
         // Emission order: declaration order within each kind; assembly
         // emits List features before Ids features (raw jagged features,
         // then unit-length generated features — the legacy layout).
@@ -354,6 +421,7 @@ impl PreprocessPlan {
             graph,
             stages,
             required_columns,
+            column_requirements,
             emit_dense,
             emit_list,
             emit_ids,
@@ -423,6 +491,38 @@ impl PreprocessPlan {
         &self.required_columns
     }
 
+    /// Per-column read requirements, parallel to
+    /// [`PreprocessPlan::required_columns`]: `Prefix(x)` when every reader
+    /// of that list column truncates to its first `x` elements, `Full`
+    /// otherwise. Derived once at compile time; the Extract paths turn
+    /// these into per-column decode limits.
+    #[must_use]
+    pub fn column_requirements(&self) -> &[ColumnRequirement] {
+        &self.column_requirements
+    }
+
+    /// The read requirement for one raw column; columns the plan does not
+    /// extract report `Full` (a conservative default — nothing reads them,
+    /// so nothing is lost by decoding more).
+    #[must_use]
+    pub fn requirement_for(&self, name: &str) -> ColumnRequirement {
+        self.required_columns
+            .iter()
+            .position(|c| c == name)
+            .map_or(ColumnRequirement::Full, |i| self.column_requirements[i])
+    }
+
+    /// The Extract decode limit for one raw column: `Some(x)` iff its
+    /// requirement is [`ColumnRequirement::Prefix`] — the value to hand to
+    /// `FileReader::read_projected_limits_with`.
+    #[must_use]
+    pub fn column_limit(&self, name: &str) -> Option<usize> {
+        match self.requirement_for(name) {
+            ColumnRequirement::Prefix(x) => Some(x),
+            ColumnRequirement::Full => None,
+        }
+    }
+
     /// Estimated elements flowing into each op of each stage for a
     /// `rows`-row batch, the element counts the placement cost model
     /// prices. List lengths use the configuration's average
@@ -466,8 +566,17 @@ impl PreprocessPlan {
         let mut out = Vec::with_capacity(self.stages.len());
         for stage in &self.stages {
             let mut len = match &stage.input {
-                StageInput::Raw(_) => match stage.input_kind {
-                    ValueKind::List => self.config.avg_sparse_len as f64,
+                StageInput::Raw(name) => match stage.input_kind {
+                    // Prefix pushdown shrinks what Extract hands the first
+                    // op, so the cost model must price the truncated
+                    // length — this is what lets placement see the reduced
+                    // ISP extract/P2P bytes for long-sequence columns.
+                    ValueKind::List => match self.requirement_for(name) {
+                        ColumnRequirement::Prefix(p) => {
+                            (self.config.avg_sparse_len as f64).min(p as f64)
+                        }
+                        ColumnRequirement::Full => self.config.avg_sparse_len as f64,
+                    },
                     ValueKind::Dense | ValueKind::Ids => 1.0,
                 },
                 StageInput::Stage(pos) => per_row[*pos],
@@ -693,11 +802,42 @@ mod tests {
         let elems = plan.stage_op_elements(100);
         let by_output: HashMap<&str, &Vec<(OpTag, u64)>> =
             plan.stages().iter().zip(&elems).map(|(s, e)| (s.output(), e)).collect();
-        // FirstX sees the full lists, its consumers see the truncated ones.
-        assert_eq!(by_output["trunc_0"], &vec![(OpTag::FirstX, 1000)]);
+        // sparse_0's only reader is FirstX-headed, so the plan derives
+        // Prefix(4) and the cost model prices the truncated extract: FirstX
+        // sees min(avg 10, prefix 4) = 4 elements per row, and its
+        // consumers see the same truncated lists.
+        assert_eq!(plan.requirement_for("sparse_0"), ColumnRequirement::Prefix(4));
+        assert_eq!(by_output["trunc_0"], &vec![(OpTag::FirstX, 400)]);
         assert_eq!(by_output["sparse_0"], &vec![(OpTag::SigridHash, 400)]);
         assert_eq!(by_output["cross_0"], &vec![(OpTag::NGram, 400)]);
         assert_eq!(by_output["gen_0"], &vec![(OpTag::Bucketize, 100)]);
+    }
+
+    #[test]
+    fn column_requirements_follow_reader_shapes() {
+        // Canonical graph: sparse chains are SigridHash-headed (full-list
+        // readers), so nothing may be prefix-extracted.
+        let c = RmConfig::rm1();
+        let plan = PreprocessPlan::from_config(&c, 42).unwrap();
+        assert!(plan.column_requirements().iter().all(|r| *r == ColumnRequirement::Full));
+        assert_eq!(plan.column_limit("sparse_0"), None);
+        // Truncated-cross graph: every sparse reader is FirstX(4)-headed.
+        let mut c = RmConfig::rm1();
+        c.num_dense = 1;
+        c.num_sparse = 1;
+        c.num_generated = 1;
+        c.num_tables = 2;
+        c.avg_sparse_len = 10;
+        c.fixed_sparse_len = false;
+        let plan = PreprocessPlan::compile(PlanGraph::truncated_cross(&c, 7, 4, 2).unwrap(), &c)
+            .expect("compiles");
+        assert_eq!(plan.column_limit("sparse_0"), Some(4));
+        // The label and dense columns are always Full.
+        assert_eq!(plan.requirement_for("label"), ColumnRequirement::Full);
+        assert_eq!(plan.requirement_for("dense_0"), ColumnRequirement::Full);
+        // Unknown columns conservatively report Full.
+        assert_eq!(plan.requirement_for("no_such"), ColumnRequirement::Full);
+        assert_eq!(plan.column_requirements().len(), plan.required_columns().len());
     }
 
     fn tiny_truncated_plan() -> PreprocessPlan {

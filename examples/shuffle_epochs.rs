@@ -12,12 +12,14 @@
 //! uninterrupted epoch — the checkpoint/restart contract.
 //!
 //! Part 3 (group-size sweep): the same rows are written at several
-//! rows-per-group settings and streamed shuffled. Small groups approach a
-//! uniform row-level shuffle but multiply footer entries and ranged reads
-//! (read amplification); whole-partition groups read sequentially but only
-//! permute partition order. Sizing groups at the training mini-batch is
-//! the standard compromise: batches are drawn uniformly while each read
-//! stays one contiguous ranged access per column.
+//! rows-per-group settings, and the bytes one shuffled epoch actually
+//! reads are summed from each file's row-group index. Small groups
+//! approach a uniform row-level shuffle but multiply footer entries,
+//! ranged reads, and stored bytes (chunk headers and encoder restarts —
+//! measured read amplification); whole-partition groups read sequentially
+//! but only permute partition order. Sizing groups at the training
+//! mini-batch is the standard compromise: batches are drawn uniformly
+//! while each read stays one contiguous ranged access per column.
 //!
 //! Run with: `cargo run --release --example shuffle_epochs`
 //!
@@ -26,6 +28,7 @@
 //! * `PRESTO_SHUFFLE_ROWS` — rows per partition (default 1024)
 //! * `PRESTO_SHUFFLE_SEED` — shuffle seed (default 42)
 
+use presto::columnar::FileReader;
 use presto::datagen::{Dataset, RmConfig};
 use presto::metrics::TextTable;
 use presto::ops::{
@@ -107,19 +110,45 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("resumed: stitched epoch identical to the uninterrupted run ✓");
 
     // ── Part 3: group-size sweep ─────────────────────────────────────────
-    // Shuffle quality vs read amplification: `units` is the permutation's
-    // sample space (more = finer shuffle), while `reads/column` counts the
-    // ranged accesses one epoch issues per projected column (more = higher
-    // read amplification against the same stored bytes).
+    // Shuffle quality vs read amplification, *measured*: `units` is the
+    // permutation's sample space (more = finer shuffle), and `MiB/epoch` is
+    // the data volume one shuffled epoch actually reads — every chunk of
+    // every plan-projected column, summed from the row-group index
+    // (`ChunkMeta::byte_len`). Smaller groups re-pay per-chunk headers and
+    // reset the delta encoders more often, so the same rows occupy more
+    // stored bytes; `amplification` is the ratio against whole-partition
+    // groups.
     println!();
-    let mut table =
-        TextTable::new(vec!["rows/group", "units", "reads/column", "shuffle granularity"]);
+    let mut table = TextTable::new(vec![
+        "rows/group",
+        "units",
+        "MiB/epoch",
+        "amplification",
+        "shuffle granularity",
+    ]);
     let mut candidates = vec![1, 32, group_rows, rows];
     candidates.sort_unstable();
     candidates.dedup();
+    let mut sweep: Vec<(usize, usize, u64)> = Vec::new();
     for candidate in candidates {
         let sweep_ds = Dataset::generate_grouped(&config, num_partitions, rows, 2, 7, candidate)?;
         let sweep_units = epoch_units(sweep_ds.partitions())?;
+        let mut epoch_bytes = 0u64;
+        for p in sweep_ds.partitions() {
+            let reader = FileReader::open(p.blob.clone())?;
+            let projected: Vec<usize> = plan
+                .required_columns()
+                .iter()
+                .filter_map(|name| reader.schema().index_of(name))
+                .collect();
+            for rg in &reader.meta().row_groups {
+                epoch_bytes += projected.iter().map(|&c| rg.columns[c].byte_len).sum::<u64>();
+            }
+        }
+        sweep.push((candidate, sweep_units.len(), epoch_bytes));
+    }
+    let baseline_bytes = sweep.last().map_or(1, |&(_, _, b)| b.max(1));
+    for &(candidate, units, bytes) in &sweep {
         let granularity = if candidate == 1 {
             "per-row (uniform)".to_owned()
         } else if candidate >= rows {
@@ -129,8 +158,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
         table.row(vec![
             candidate.to_string(),
-            sweep_units.len().to_string(),
-            sweep_units.len().to_string(),
+            units.to_string(),
+            format!("{:.2}", bytes as f64 / (1024.0 * 1024.0)),
+            format!("{:.2}x", bytes as f64 / baseline_bytes as f64),
             granularity,
         ]);
     }
@@ -138,7 +168,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\ngroup-size tuning: rows/group = the training mini-batch ({group_rows} here) keeps\n\
          mini-batches uniformly drawn at one contiguous ranged read per column per batch;\n\
-         smaller groups sharpen the shuffle but multiply footer entries and ranged reads."
+         smaller groups sharpen the shuffle but re-pay chunk headers and encoder restarts,\n\
+         which the measured MiB/epoch column prices against whole-partition groups."
     );
     Ok(())
 }

@@ -19,6 +19,13 @@
 //! split pipeline overlaps the drive-side prefix of partition *i + 1* with
 //! the host-side suffix of partition *i*.
 //!
+//! A final long-history section prices `PlanGraph::long_history` (512-
+//! element skewed lists behind `FirstX(8)` heads) with and without prefix
+//! pushdown: the `Prefix(8)` requirement shrinks the priced element counts
+//! ~64x, which flips the cost-model fleet choice for the long-sequence
+//! stages — and the pushed-down plan still executes bit-identically to the
+//! serial full-materialization reference.
+//!
 //! Run with: `cargo run --release --example split_ablation`
 //! `PRESTO_ABLATION_ROWS` / `PRESTO_ABLATION_PARTITIONS` /
 //! `PRESTO_ABLATION_LAT_US` shrink or reshape the run (CI uses tiny
@@ -31,8 +38,8 @@ use presto::core::{IspBatchStream, SplitBatchStream};
 use presto::datagen::{Dataset, Partition, RmConfig};
 use presto::hwsim::fpga::IspModel;
 use presto::ops::{
-    preprocess_partition, preprocess_partition_split, BatchStream, FleetConfig, MiniBatch,
-    PlanGraph, PreprocessPlan,
+    preprocess_partition, preprocess_partition_split, BatchStream, ChainSpec, ColumnRequirement,
+    FleetConfig, MiniBatch, Op, PlanGraph, PreprocessPlan, SigridHasher,
 };
 use std::time::{Duration, Instant};
 
@@ -238,6 +245,103 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if placement.stages.len() > 4 {
             println!("    ... ({} more stages)", placement.stages.len() - 4);
         }
+    }
+
+    // ── Long-history scenario: prefix pushdown moves the placement ───────
+    // `long_history` heads every sparse chain with FirstX(8), so the plan
+    // derives `Prefix(8)` for each 512-element history column and the cost
+    // model prices the truncated extract. The comparator adds one consumer
+    // per column that hashes the *full* history — any full-list reader
+    // forces `Full` decode — which restores the pre-pushdown pricing for
+    // the very same FirstX-headed stages. The fleet choice flips.
+    {
+        let ls_rows = (rows / 4).max(64);
+        let ls_parts = partitions.clamp(1, 4);
+        let mut ls_config = RmConfig::rm_longseq();
+        ls_config.batch_size = ls_rows;
+        println!(
+            "\n=== scenario long-history ({}): {ls_parts} x {ls_rows} rows, avg list len {}",
+            ls_config.name, ls_config.avg_sparse_len
+        );
+        let plan = PreprocessPlan::compile(PlanGraph::long_history(&ls_config, 7, 8)?, &ls_config)?;
+        let mut full_chains = PlanGraph::long_history(&ls_config, 7, 8)?.chains().to_vec();
+        for i in 0..ls_config.num_sparse {
+            let hasher = SigridHasher::new(0xF011 ^ i as u64, ls_config.avg_embeddings as u64)?;
+            full_chains.push(ChainSpec::feature(
+                format!("full_hist_{i}"),
+                format!("sparse_{i}"),
+                vec![Op::SigridHash(hasher)],
+            ));
+        }
+        let plan_full = PreprocessPlan::compile(PlanGraph::new(full_chains), &ls_config)?;
+        assert_eq!(plan.requirement_for("sparse_0"), ColumnRequirement::Prefix(8));
+        assert_eq!(plan_full.requirement_for("sparse_0"), ColumnRequirement::Full);
+        let placed = place_stages(&plan, ls_rows, &model);
+        let placed_full = place_stages(&plan_full, ls_rows, &model);
+        let mut flips = 0usize;
+        for s in &placed.stages {
+            if !s.output.starts_with("sparse_") {
+                continue;
+            }
+            let f = placed_full
+                .stages
+                .iter()
+                .find(|t| t.output == s.output)
+                .expect("comparator shares the stage");
+            if f.place != s.place {
+                flips += 1;
+            }
+            println!(
+                "  {:<10} full-decode pricing: {:>8} elems -> {:<5}  prefix(8) pricing: \
+                 {:>6} elems -> {}",
+                s.output, f.elements, f.place, s.elements, s.place
+            );
+        }
+        println!(
+            "  {flips} of {} long-sequence stages changed fleet under prefix pushdown",
+            ls_config.num_sparse
+        );
+        if strict {
+            assert!(flips > 0, "PRESTO_ABLATION_STRICT: pushdown never moved a placement");
+        }
+
+        // Execute the pushed-down plan at its chosen placement: still
+        // bit-identical to the serial full-materialization reference.
+        let ls_dataset = Dataset::generate(&ls_config, ls_parts, ls_rows, 2, 2024)?;
+        let ls_slow: Vec<Partition> = ls_dataset
+            .partitions()
+            .iter()
+            .map(|p| Partition {
+                index: p.index,
+                device: p.device,
+                rows: p.rows,
+                blob: p.blob.clone().with_read_latency(Duration::from_micros(lat_us as u64)),
+            })
+            .collect();
+        let serial: Vec<MiniBatch> = ls_dataset
+            .partitions()
+            .iter()
+            .map(|p| preprocess_partition(&plan, p.blob.clone()).map(|(mb, _)| mb))
+            .collect::<Result<_, _>>()?;
+        let split = plan.split(&placed.fleet_assignment())?;
+        let t0 = Instant::now();
+        let split_config = FleetConfig::new(2, 4).with_host_workers(2);
+        let mut hybrid: Vec<(usize, MiniBatch)> = Vec::new();
+        for item in SplitBatchStream::spawn(&plan, &split, &ls_slow, &split_config) {
+            let b = item?;
+            hybrid.push((b.partition, b.batch));
+        }
+        let split_time = t0.elapsed();
+        hybrid.sort_by_key(|(p, _)| *p);
+        for (pos, batch) in &hybrid {
+            assert_eq!(batch, &serial[*pos], "long-history split partition {pos} must match");
+        }
+        println!(
+            "  split with prefix pushdown: {:.1} ms ({:.0} rows/s), bit-identical to the \
+             serial reference",
+            split_time.as_secs_f64() * 1e3,
+            (ls_parts * ls_rows) as f64 / split_time.as_secs_f64()
+        );
     }
 
     println!(

@@ -247,6 +247,84 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The prefix-pushdown acceptance property: a plan whose sparse readers
+    /// are all FirstX-headed — so Extract decodes only each list's prefix
+    /// and the leading FirstX becomes a passthrough — produces bit-identical
+    /// mini-batches to full decode + the legacy FirstX kernel, across every
+    /// forced encoding, lists shorter than `x`, empty lists, and row groups
+    /// down to one row.
+    #[test]
+    fn prefix_pushdown_matches_full_decode_plus_legacy_firstx(
+        (config, rows, seed) in arb_shape(),
+        x in 1usize..6,
+        n in 1usize..4,
+        group_pick in 0usize..3,
+    ) {
+        use presto::columnar::{Encoding, FileReader, FileWriter, MemBlob, WritePolicy};
+        use presto::ops::{
+            preprocess_batch_owned, preprocess_group_with, ColumnRequirement, ScratchSpace,
+        };
+        let group_rows = [1usize, 3, 16][group_pick]; // groups down to one row
+        for graph in [
+            PlanGraph::long_history(&config, 5, x).expect("long-history graph"),
+            PlanGraph::truncated_cross(&config, 5, x, n).expect("cross graph"),
+        ] {
+            let plan = PreprocessPlan::compile(graph, &config).expect("compiles");
+            if config.num_sparse > 0 {
+                // Every sparse reader truncates, so the plan must push down.
+                prop_assert_eq!(plan.requirement_for("sparse_0"), ColumnRequirement::Prefix(x));
+            }
+            // Per-row-group batches, so the group path has its own reference.
+            let batches: Vec<_> = (0..rows.div_ceil(group_rows))
+                .map(|g| generate_batch(&config, group_rows, seed ^ g as u64))
+                .collect();
+            for enc in [
+                Encoding::Plain,
+                Encoding::Delta,
+                Encoding::DeltaBitpack,
+                Encoding::Dictionary,
+            ] {
+                let policy = WritePolicy::default().with_forced_encoding(enc);
+                let mut writer =
+                    FileWriter::with_page_rows(batches[0].schema().clone(), 7).with_policy(policy);
+                for b in &batches {
+                    writer.write_row_group(b.columns()).expect("writes");
+                }
+                let blob = MemBlob::new(writer.finish());
+                let reader = FileReader::open(blob).expect("opens");
+                let mut scratch = ScratchSpace::new();
+                for (g, raw) in batches.iter().enumerate() {
+                    // Reference 1: the borrowed in-memory path — legacy
+                    // FirstX kernel over the untruncated lists.
+                    let (reference, _) =
+                        preprocess_batch(&plan, raw).expect("legacy borrowed path");
+                    // Reference 2: plan-free full decode of this group +
+                    // the legacy owned path (extract_columns_from_reader
+                    // never pushes down — it is the full-decode comparator).
+                    let full = presto::ops::extract_group_from_reader(
+                        &reader,
+                        plan.required_columns(),
+                        g,
+                        scratch.read_scratch(),
+                    )
+                    .expect("full decode");
+                    let (via_full, _) =
+                        preprocess_batch_owned(&plan, full).expect("legacy owned path");
+                    prop_assert!(via_full == reference, "{enc} group {g}: full-decode diverged");
+                    // Pushdown: the shuffled row-group Extract with limits +
+                    // passthrough FirstX.
+                    let (pushed, _) = preprocess_group_with(&plan, &reader, g, &mut scratch)
+                        .expect("pushdown path");
+                    prop_assert!(pushed == reference, "{enc} group {g} diverged");
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn degenerate_graphs_error_with_the_right_variants() {
     use presto::ops::GraphError;

@@ -176,6 +176,91 @@ proptest! {
     }
 
     #[test]
+    fn prefix_limited_reads_match_truncated_full_reads_under_every_encoding(
+        groups in vec(vec(vec(any::<i64>(), 0..8), 1..24), 1..3),
+        x in 1usize..6,
+        page_rows in 1usize..16,
+    ) {
+        // The prefix-pushdown read contract: `Some(x)` on a list column is
+        // bit-identical to a full decode followed by per-list truncation —
+        // for every forced encoding, lists shorter than (and longer than)
+        // `x`, empty lists, and row groups as small as one row.
+        use presto::columnar::ReadScratch;
+        let schema = Schema::new(vec![Field::new("lists", DataType::ListInt64)]).expect("schema");
+        for enc in [
+            Encoding::Plain,
+            Encoding::Delta,
+            Encoding::DeltaBitpack,
+            Encoding::Dictionary,
+        ] {
+            let policy = WritePolicy::default().with_forced_encoding(enc);
+            let mut writer =
+                FileWriter::with_page_rows(schema.clone(), page_rows).with_policy(policy);
+            for lists in &groups {
+                let array = Array::from_lists(lists.clone()).expect("fits u32");
+                writer.write_row_group(std::slice::from_ref(&array)).expect("writes");
+            }
+            let reader = FileReader::open(MemBlob::new(writer.finish())).expect("opens");
+            let mut scratch = ReadScratch::new();
+            for (g, lists) in groups.iter().enumerate() {
+                let limited = reader
+                    .read_projected_limits_with(g, &["lists"], &[Some(x)], &mut scratch)
+                    .expect("prefix read");
+                let truncated: Vec<Vec<i64>> = lists
+                    .iter()
+                    .map(|l| l[..l.len().min(x)].to_vec())
+                    .collect();
+                let expect = Array::from_lists(truncated).expect("fits u32");
+                prop_assert!(limited[0] == expect, "{enc} g={g} x={x} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_streams_never_over_allocate_on_the_ranged_path(
+        values in vec(any::<i64>(), 1..400),
+        x in 1usize..9,
+        pos_frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        // Satellite of the PR-4 hardening: the partial-block (prefix) decode
+        // obeys the same budget discipline as the full decode — bit-flipped
+        // headers and truncated streams error or produce exactly the
+        // requested elements, and never drive an oversized reservation.
+        let take = values.len().min(x);
+        let ranges = [(0usize, take)];
+        let mut buf = Vec::new();
+        encoding::block::encode_i64(&values, &mut buf);
+        let mut flipped = buf.clone();
+        let idx = ((flipped.len() - 1) as f64 * pos_frac) as usize;
+        flipped[idx] ^= flip;
+        let mut out = Vec::new();
+        let mut pos = 0;
+        if encoding::block::decode_i64_ranges(&flipped, &mut pos, values.len(), &ranges, &mut out)
+            .is_ok()
+        {
+            prop_assert_eq!(out.len(), take);
+        }
+        prop_assert!(out.capacity() <= take.max(64) * 2, "over-allocated on corrupt data");
+        let cut = ((buf.len() as f64) * cut_frac) as usize;
+        if cut < buf.len() {
+            let mut out = Vec::new();
+            let mut pos = 0;
+            // A cut can land past the last needed element, where the prefix
+            // decode legitimately stops early — success must then still
+            // deliver exactly the requested prefix.
+            if encoding::block::decode_i64_ranges(
+                &buf[..cut], &mut pos, values.len(), &ranges, &mut out,
+            )
+            .is_ok()
+            {
+                prop_assert_eq!(&out[..], &values[..take]);
+            }
+        }
+    }
+
+    #[test]
     fn stats_match_data((schema, arrays) in arb_table()) {
         let mut writer = FileWriter::new(schema);
         writer.write_row_group(&arrays).expect("writes");
